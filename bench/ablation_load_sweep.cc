@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation (extension beyond the paper): throughput/latency as the
+ * offered closed-loop load grows, at the tuned operating point
+ * (Table 3 batch, 4 MPS instances). Shows the saturation knee the
+ * paper's Figure 7c/9 latency cliffs come from.
+ */
+
+#include "bench_util.hh"
+#include "serve/simulation.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Ablation", "Closed-loop load sweep at the tuned "
+                       "operating point");
+    const int loads[] = {1, 2, 4, 8};
+
+    std::vector<std::string> head{"App", "Metric"};
+    for (int l : loads)
+        head.push_back("load" + std::to_string(l));
+    row(head, 11);
+
+    for (serve::App app : {serve::App::IMC, serve::App::ASR,
+                           serve::App::POS}) {
+        std::vector<std::string> qps_cells{serve::appName(app),
+                                           "QPS"};
+        std::vector<std::string> lat_cells{serve::appName(app),
+                                           "p99(ms)"};
+        for (int load : loads) {
+            serve::SimConfig config;
+            config.app = app;
+            config.batch = serve::appSpec(app).tunedBatch;
+            config.instancesPerGpu = 4;
+            config.clientBatches = load;
+            auto result = serve::runServingSim(config);
+            qps_cells.push_back(eng(result.throughputQps));
+            lat_cells.push_back(num(result.p99Latency * 1e3, 1));
+        }
+        row(qps_cells, 11);
+        row(lat_cells, 11);
+    }
+    std::printf("\nTakeaway: past GPU saturation, added load buys "
+                "no throughput and\nlatency grows linearly "
+                "(queueing) - the paper's guidance to stop at\n"
+                "~4 concurrent instances.\n\n");
+    return 0;
+}

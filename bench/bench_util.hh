@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries: a
+ * fixed-width row printer and the standard experiment knobs.
+ */
+
+#ifndef DJINN_BENCH_BENCH_UTIL_HH
+#define DJINN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace djinn {
+namespace bench {
+
+/** Print a banner naming the experiment being regenerated. */
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==============================================="
+                "=================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("==============================================="
+                "=================\n");
+}
+
+/** Print a row of cells at a fixed column width. */
+inline void
+row(const std::vector<std::string> &cells, int width = 12)
+{
+    for (const auto &cell : cells)
+        std::printf("%*s", width, cell.c_str());
+    std::printf("\n");
+}
+
+/** Format a double with the given precision. */
+inline std::string
+num(double value, int precision = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+/** Format a value in engineering style (K/M/G). */
+inline std::string
+eng(double value, int precision = 1)
+{
+    char buf[64];
+    if (value >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.*fG", precision,
+                      value / 1e9);
+    } else if (value >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.*fM", precision,
+                      value / 1e6);
+    } else if (value >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.*fK", precision,
+                      value / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    }
+    return buf;
+}
+
+} // namespace bench
+} // namespace djinn
+
+#endif // DJINN_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regenerates paper Figure 4: single-core CPU cycle breakdown of
+ * each application between its DNN portion and pre/post-processing.
+ */
+
+#include "bench_util.hh"
+#include "serve/simulation.hh"
+#include "wsc/capacity.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Figure 4", "Cycle breakdown for each DNN application "
+                       "(Xeon core)");
+    row({"App", "DNN(s)", "Pre(s)", "Post(s)", "DNN%"});
+    for (serve::App app : serve::allApps()) {
+        const auto &spec = serve::appSpec(app);
+        wsc::CpuCapacity cpu = wsc::cpuCapacity(app);
+        double pre = cpu.dnnTime * spec.preprocFraction;
+        double post = cpu.dnnTime * spec.postprocFraction;
+        row({spec.name, num(cpu.dnnTime, 4), num(pre, 4),
+             num(post, 4), num(100.0 * spec.dnnFraction(), 1)});
+    }
+    std::printf("\nPaper shape: image tasks ~all DNN; ASR roughly "
+                "half DNN; NLP more than\ntwo-thirds DNN.\n\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates paper Figure 9: query latency as the number of DNN
+ * service instances per GPU grows, MPS vs time-shared.
+ */
+
+#include "bench_util.hh"
+#include "serve/simulation.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Figure 9",
+           "Service latency (ms) vs DNN service instances per GPU");
+    const int instance_counts[] = {1, 2, 4, 8, 16};
+
+    std::vector<std::string> head{"App", "Mode"};
+    for (int n : instance_counts)
+        head.push_back("i" + std::to_string(n));
+    row(head, 10);
+
+    for (serve::App app : serve::allApps()) {
+        for (bool mps : {true, false}) {
+            std::vector<std::string> cells{
+                serve::appName(app), mps ? "MPS" : "share"};
+            for (int n : instance_counts) {
+                serve::SimConfig config;
+                config.app = app;
+                config.batch = serve::appSpec(app).tunedBatch;
+                config.instancesPerGpu = n;
+                config.mps = mps;
+                cells.push_back(num(
+                    serve::runServingSim(config).meanLatency * 1e3,
+                    1));
+            }
+            row(cells, 10);
+        }
+    }
+    std::printf("\nPaper shape: latency small below ~4 instances, "
+                "then grows; MPS limits\nthe increase (up to ~3x "
+                "lower than time-sharing).\n\n");
+    return 0;
+}

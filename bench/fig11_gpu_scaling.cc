@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Regenerates paper Figure 11: throughput as the number of GPUs in
+ * the server grows 1..8, with tuned batch sizes and 4 MPS
+ * instances per GPU, under the real host interconnect.
+ */
+
+#include "bench_util.hh"
+#include "serve/simulation.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Figure 11", "Throughput vs number of GPUs "
+                        "(PCIe-limited host)");
+    std::vector<std::string> head{"App"};
+    for (int g = 1; g <= 8; ++g)
+        head.push_back("g" + std::to_string(g));
+    head.push_back("8v1");
+    row(head, 9);
+
+    for (serve::App app : serve::allApps()) {
+        std::vector<std::string> cells{serve::appName(app)};
+        double first = 0.0, last = 0.0;
+        for (int gpus = 1; gpus <= 8; ++gpus) {
+            serve::SimConfig config;
+            config.app = app;
+            config.batch = serve::appSpec(app).tunedBatch;
+            config.instancesPerGpu = 4;
+            config.gpuCount = gpus;
+            double qps = serve::runServingSim(config).throughputQps;
+            if (gpus == 1)
+                first = qps;
+            last = qps;
+            cells.push_back(eng(qps));
+        }
+        cells.push_back(num(last / first, 1) + "x");
+        row(cells, 9);
+    }
+    std::printf("\nPaper shape: near-linear scaling for the image "
+                "and speech services;\nNLP plateaus around 4 GPUs "
+                "(PCIe bandwidth limit).\n\n");
+    return 0;
+}

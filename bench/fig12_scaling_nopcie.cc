@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Regenerates paper Figure 12: throughput as GPUs scale 1..8 with
+ * inputs pinned in GPU memory (no PCIe transfers), the paper's
+ * bandwidth-bypass experiment.
+ */
+
+#include "bench_util.hh"
+#include "serve/simulation.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Figure 12", "Throughput vs number of GPUs "
+                        "(no PCIe bandwidth limit)");
+    std::vector<std::string> head{"App"};
+    for (int g = 1; g <= 8; ++g)
+        head.push_back("g" + std::to_string(g));
+    head.push_back("8v1");
+    row(head, 9);
+
+    for (serve::App app : serve::allApps()) {
+        std::vector<std::string> cells{serve::appName(app)};
+        double first = 0.0, last = 0.0;
+        for (int gpus = 1; gpus <= 8; ++gpus) {
+            serve::SimConfig config;
+            config.app = app;
+            config.batch = serve::appSpec(app).tunedBatch;
+            config.instancesPerGpu = 4;
+            config.gpuCount = gpus;
+            config.hostLink = gpu::unlimitedLink();
+            double qps = serve::runServingSim(config).throughputQps;
+            if (gpus == 1)
+                first = qps;
+            last = qps;
+            cells.push_back(eng(qps));
+        }
+        cells.push_back(num(last / first, 1) + "x");
+        row(cells, 9);
+    }
+    std::printf("\nPaper shape: with transfers eliminated, all "
+                "applications scale\nnear-linearly to 8 GPUs.\n\n");
+    return 0;
+}

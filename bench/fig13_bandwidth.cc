@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Regenerates paper Figure 13: the network bandwidth each
+ * application needs to sustain its bandwidth-unconstrained peak
+ * throughput as the GPU count grows, against the PCIe v3 and 10GbE
+ * reference lines.
+ */
+
+#include "bench_util.hh"
+#include "gpu/link.hh"
+#include "wsc/bandwidth.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Figure 13",
+           "Bandwidth requirement (GB/s) vs number of GPUs");
+    std::vector<std::string> head{"App"};
+    for (int g = 1; g <= 8; ++g)
+        head.push_back("g" + std::to_string(g));
+    row(head, 9);
+
+    for (serve::App app : serve::allApps()) {
+        std::vector<std::string> cells{serve::appName(app)};
+        for (int gpus = 1; gpus <= 8; ++gpus) {
+            cells.push_back(num(
+                wsc::bandwidthRequirement(app, gpus) / 1e9, 2));
+        }
+        row(cells, 9);
+    }
+
+    std::printf("\nReference lines: PCIe v3 x16 = %.2f GB/s, "
+                "10GbE = %.2f GB/s\n",
+                gpu::pcieV3().peakBandwidth / 1e9,
+                gpu::ethernet10G().peakBandwidth / 1e9);
+    std::printf("Paper shape: compute-heavy tasks need only ~4 "
+                "GB/s; the NLP tasks blow\npast PCIe v3 well before "
+                "8 GPUs.\n\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates paper Figure 14 in textual form: the three WSC
+ * organizations and the path a DNN query takes through each, with
+ * a concrete provisioning example (MIXED workload, 70% DNN) so the
+ * structural difference is visible in hardware counts.
+ */
+
+#include "bench_util.hh"
+#include "wsc/designs.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Figure 14", "WSC designs and query paths");
+    std::printf(
+        "(a) CPU Only: front end -> beefy CPU server NIC -> memory\n"
+        "    -> CPU executes preprocessing + DNN + postprocessing.\n"
+        "(b) Integrated GPU: front end -> CPU of a combined server\n"
+        "    -> preprocessing on CPU -> PCIe -> one of 12 on-board\n"
+        "    GPUs runs the DjiNN service.\n"
+        "(c) Disaggregated GPU: front end -> beefy CPU server\n"
+        "    (preprocessing) -> 10GbE fabric -> wimpy GPU chassis\n"
+        "    (16 teamed NICs) -> PCIe -> GPU pool.\n\n");
+
+    wsc::DesignConfig config;
+    const wsc::Mix mix = wsc::Mix::Mixed;
+    const double fraction = 0.7;
+    std::printf("provisioning example: MIXED workload, 70%% DNN, "
+                "%.0f-server baseline\n\n", config.baselineServers);
+    row({"Design", "beefy", "wimpy", "GPUs", "NICs", "TCO $M"},
+        18);
+    for (wsc::Design design : wsc::allDesigns()) {
+        auto result = wsc::provision(design, mix, fraction, config);
+        row({wsc::designName(design),
+             num(result.fleet.beefyServers, 0),
+             num(result.fleet.wimpyServers, 0),
+             num(result.fleet.gpus, 0),
+             num(result.fleet.nicUnits, 0),
+             num(result.tco.total() / 1e6, 2)}, 18);
+    }
+    std::printf("\nThe disaggregated design buys GPU capacity only "
+                "where the workload can\nfeed it; the integrated "
+                "design replicates 12 GPUs into every server it\n"
+                "adds.\n\n");
+    return 0;
+}

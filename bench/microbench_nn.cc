@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the inference substrate:
+ * SGEMM at DNN-relevant shapes, im2col convolution, and whole
+ * forward passes of the small zoo networks on the CPU path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "nn/gemm.hh"
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+#include "nn/zoo.hh"
+
+using namespace djinn;
+
+namespace {
+
+std::vector<float>
+randomVec(int64_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> out(static_cast<size_t>(n));
+    for (auto &v : out)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return out;
+}
+
+void
+BM_Sgemm(benchmark::State &state)
+{
+    int64_t m = state.range(0);
+    int64_t n = state.range(1);
+    int64_t k = state.range(2);
+    auto a = randomVec(m * k, 1);
+    auto b = randomVec(k * n, 2);
+    std::vector<float> c(static_cast<size_t>(m * n));
+    for (auto _ : state) {
+        nn::sgemm(m, n, k, a.data(), b.data(), c.data());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+
+// SENNA fc1 (28-word sentence), Kaldi hidden layer slice, AlexNet
+// fc6 tile.
+BENCHMARK(BM_Sgemm)
+    ->Args({28, 600, 250})
+    ->Args({64, 2048, 2048})
+    ->Args({16, 4096, 9216})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SennaForward(benchmark::State &state)
+{
+    auto net = nn::zoo::build(nn::zoo::Model::SennaPos, 42);
+    int64_t rows = state.range(0);
+    nn::Tensor in(nn::Shape(rows, 250), 0.1f);
+    for (auto _ : state) {
+        nn::Tensor out = net->forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows);
+}
+
+BENCHMARK(BM_SennaForward)
+    ->Arg(28)
+    ->Arg(28 * 16)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_MnistForward(benchmark::State &state)
+{
+    auto net = nn::zoo::build(nn::zoo::Model::Mnist, 42);
+    int64_t rows = state.range(0);
+    nn::Tensor in(nn::Shape(rows, 1, 28, 28), 0.5f);
+    for (auto _ : state) {
+        nn::Tensor out = net->forward(in);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * rows);
+}
+
+BENCHMARK(BM_MnistForward)
+    ->Arg(1)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_NetDefParse(benchmark::State &state)
+{
+    std::string def = nn::zoo::netDef(nn::zoo::Model::AlexNet);
+    for (auto _ : state) {
+        auto net = nn::parseNetDefOrDie(def);
+        benchmark::DoNotOptimize(net.get());
+    }
+}
+
+BENCHMARK(BM_NetDefParse)->Unit(benchmark::kMillisecond);
+
+void
+BM_WeightInit(benchmark::State &state)
+{
+    auto net = nn::parseNetDefOrDie(
+        nn::zoo::netDef(nn::zoo::Model::SennaPos));
+    for (auto _ : state)
+        nn::initializeWeights(*net, 42);
+}
+
+BENCHMARK(BM_WeightInit)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

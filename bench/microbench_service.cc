@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the service machinery: wire
+ * protocol encode/decode, the batching executor, and the
+ * discrete-event queue that powers the serving simulator.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/batcher.hh"
+#include "core/protocol.hh"
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+#include "sim/event_queue.hh"
+
+using namespace djinn;
+
+namespace {
+
+void
+BM_EncodeRequest(benchmark::State &state)
+{
+    core::Request request;
+    request.type = core::RequestType::Inference;
+    request.model = "senna_pos";
+    request.rows = 28;
+    request.payload.assign(28 * 250, 0.5f);
+    for (auto _ : state) {
+        auto bytes = core::encodeRequest(request);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.SetBytesProcessed(
+        state.iterations() *
+        static_cast<int64_t>(request.payload.size() * 4));
+}
+
+BENCHMARK(BM_EncodeRequest)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DecodeRequest(benchmark::State &state)
+{
+    core::Request request;
+    request.type = core::RequestType::Inference;
+    request.model = "senna_pos";
+    request.rows = 28;
+    request.payload.assign(28 * 250, 0.5f);
+    auto bytes = core::encodeRequest(request);
+    for (auto _ : state) {
+        auto decoded = core::decodeRequest(bytes);
+        benchmark::DoNotOptimize(&decoded);
+    }
+    state.SetBytesProcessed(
+        state.iterations() * static_cast<int64_t>(bytes.size()));
+}
+
+BENCHMARK(BM_DecodeRequest)->Unit(benchmark::kMicrosecond);
+
+void
+BM_BatcherThroughput(benchmark::State &state)
+{
+    core::ModelRegistry registry;
+    auto net = nn::parseNetDefOrDie(
+        "name tiny\ninput 1 4 4\nlayer fc fc out 8\n");
+    nn::initializeWeights(*net, 3);
+    (void)registry.add(std::move(net));
+    core::BatchOptions options;
+    options.maxQueries = static_cast<int64_t>(state.range(0));
+    options.maxDelay = 100e-6;
+    core::BatchingExecutor executor(registry, options);
+
+    std::vector<float> payload(16, 0.5f);
+    for (auto _ : state) {
+        auto future = executor.submit("tiny", 1, payload);
+        benchmark::DoNotOptimize(future.get());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_BatcherThroughput)
+    ->Arg(1)
+    ->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int fired = 0;
+        for (int i = 0; i < 1000; ++i) {
+            eq.scheduleAt(static_cast<double>(i % 37),
+                          [&fired]() { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+
+BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

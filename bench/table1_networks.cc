@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates paper Table 1: the Tonic Suite neural network
+ * architectures with their network types, layer counts, and
+ * parameter counts.
+ */
+
+#include "bench_util.hh"
+#include "nn/net_def.hh"
+#include "nn/zoo.hh"
+#include "serve/app.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Table 1", "Tonic Suite neural network architectures");
+    row({"App", "Network", "Type", "Layers", "Params"});
+
+    struct Entry {
+        serve::App app;
+        const char *type;
+    };
+    const Entry entries[] = {
+        {serve::App::IMC, "CNN"},  {serve::App::DIG, "CNN"},
+        {serve::App::FACE, "CNN"}, {serve::App::ASR, "DNN"},
+        {serve::App::POS, "DNN"},  {serve::App::CHK, "DNN"},
+        {serve::App::NER, "DNN"},
+    };
+
+    for (const Entry &entry : entries) {
+        const auto &spec = serve::appSpec(entry.app);
+        auto net = nn::parseNetDefOrDie(nn::zoo::netDef(spec.model));
+        row({spec.name, nn::zoo::modelName(spec.model), entry.type,
+             std::to_string(net->layerCount()),
+             eng(static_cast<double>(net->paramCount()))});
+    }
+
+    std::printf("\nPaper Table 1 reference: IMC alexnet CNN 22/60M, "
+                "DIG mnist CNN 7/60K,\nFACE deepface CNN 8/120M, "
+                "ASR kaldi DNN 13/30M, POS/CHK/NER senna DNN "
+                "3/180K\n\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Regenerates paper Table 3: per-application service inputs,
+ * payload sizes, outputs, and the tuned batch sizes selected from
+ * the Figure 7 sweep (knee of throughput with bounded latency).
+ */
+
+#include "bench_util.hh"
+#include "serve/tuner.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+namespace {
+
+/**
+ * Re-derive the tuned batch size with the library's tuner, which
+ * encodes the paper's rule of "high throughput while limiting
+ * query latency impact" (Section 5.1).
+ */
+int64_t
+deriveBatch(serve::App app)
+{
+    serve::SimConfig base;
+    return serve::tuneBatchSize(app, base).batch;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 3", "DjiNN service applications");
+    row({"App", "Rows/query", "In(KB)", "Out(KB)", "Batch",
+         "Derived"});
+    for (serve::App app : serve::allApps()) {
+        const auto &spec = serve::appSpec(app);
+        row({spec.name, std::to_string(spec.samplesPerQuery),
+             num(spec.inputBytes / 1024.0, 0),
+             num(spec.outputBytes / 1024.0, 1),
+             std::to_string(spec.tunedBatch),
+             std::to_string(deriveBatch(app))});
+    }
+    std::printf("\n'Batch' is the paper's Table 3 value; 'Derived' "
+                "is re-derived from our\nFigure 7 sweep (smallest "
+                "batch within 90%% of peak throughput).\n\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates the paper's parameter tables: Table 2 (the modeled
+ * platform), Table 4 (TCO cost factors), Table 5 (workload mixes),
+ * and Table 6 (interconnect/network design points). These are model
+ * inputs; printing them documents exactly what every experiment
+ * ran with.
+ */
+
+#include "bench_util.hh"
+#include "gpu/gpu_spec.hh"
+#include "wsc/network_config.hh"
+#include "wsc/tco_params.hh"
+#include "wsc/workload_mix.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+int
+main()
+{
+    banner("Table 2", "Platform specification (modeled)");
+    gpu::GpuSpec gpu_spec;
+    gpu::CpuSpec cpu_spec;
+    std::printf("GPU          %s: %lld SMX, %.2f TFLOP/s, "
+                "%.0f GB/s, %.0f GB, %.0f W (x8 in the server)\n",
+                gpu_spec.name.c_str(),
+                static_cast<long long>(gpu_spec.smCount),
+                gpu_spec.peakFlops / 1e12,
+                gpu_spec.memBandwidth / 1e9,
+                gpu_spec.memoryBytes / 1e9, gpu_spec.powerWatts);
+    std::printf("CPU          %s: %.1f GHz, %.0f SP FLOPs/cycle, "
+                "%.1f GB/s/core (x2 sockets, 12 cores)\n",
+                cpu_spec.name.c_str(), cpu_spec.frequency / 1e9,
+                cpu_spec.flopsPerCycle,
+                cpu_spec.memBandwidth / 1e9);
+    std::printf("Host links   2x PCIe v3 x16 root complex "
+                "(%.2f GB/s raw each)\n\n",
+                gpu::pcieV3().peakBandwidth / 1e9);
+
+    banner("Table 4", "TCO parameters");
+    wsc::TcoParams tco;
+    row({"GPU-capable server", "$" + num(tco.gpuServerCost, 0)},
+        24);
+    row({"High-end GPU", "$" + num(tco.gpuCost, 0)}, 24);
+    row({"Wimpy server", "$" + num(tco.wimpyServerCost, 0)}, 24);
+    row({"10GbE NIC", "$" + num(tco.nicCost, 0)}, 24);
+    row({"WSC capex", "$" + num(tco.wscCapexPerWatt, 0) + "/W"},
+        24);
+    row({"Opex", "$" + num(tco.opexPerWattMonth, 2) + "/W/mo"},
+        24);
+    row({"PUE", num(tco.pue, 1)}, 24);
+    row({"Electricity", "$" + num(tco.electricityPerKwh, 3) +
+         "/kWh"}, 24);
+    row({"Interest rate", num(tco.interestRate * 100, 0) + "%"},
+        24);
+    row({"Server lifetime", num(tco.lifetimeMonths / 12, 0) +
+         " years"}, 24);
+    row({"Maintenance", num(tco.maintenanceRate * 100, 0) +
+         "%/month"}, 24);
+    std::printf("\n");
+
+    banner("Table 5", "DNN service workloads");
+    for (wsc::Mix mix : wsc::allMixes()) {
+        std::string apps;
+        for (serve::App app : wsc::mixApps(mix)) {
+            if (!apps.empty())
+                apps += ", ";
+            apps += serve::appName(app);
+        }
+        std::printf("%-6s %s\n", wsc::mixName(mix), apps.c_str());
+    }
+    std::printf("\n");
+
+    banner("Table 6", "Interconnect and network configurations");
+    row({"Design", "Host GB/s", "NICs", "Ingest GB/s", "NIC $",
+         "Premium $"}, 14);
+    for (const auto &config : wsc::allNetworkConfigs()) {
+        row({config.name,
+             num(config.hostLink.peakBandwidth / 1e9, 1),
+             std::to_string(config.nicCount),
+             num(config.disaggIngest.effectiveBandwidth() / 1e9, 1),
+             num(config.nicUnitCost, 0),
+             num(config.serverPremium, 0)}, 14);
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The NLP scenario: a sentence flows through all three SENNA-based
+ * services. CHK demonstrates the paper's service composition - it
+ * internally issues a POS request, folds the tags into its own
+ * features, then queries the chunking network.
+ *
+ * Usage: nlp_pipeline ["a sentence to analyze"]
+ */
+
+#include <cstdio>
+
+#include "core/djinn_client.hh"
+#include "core/djinn_server.hh"
+#include "tonic/apps.hh"
+
+using namespace djinn;
+
+int
+main(int argc, char **argv)
+{
+    std::string sentence = argc > 1
+        ? argv[1]
+        : "john runs the large warehouse computer in paris";
+
+    core::ModelRegistry registry;
+    registry.addZooModel(nn::zoo::Model::SennaPos);
+    registry.addZooModel(nn::zoo::Model::SennaChk);
+    registry.addZooModel(nn::zoo::Model::SennaNer);
+
+    core::ServerConfig config;
+    config.batching = true;
+    config.batchOptions.maxQueries = 64; // Table 3 NLP batch size
+    core::DjinnServer server(registry, config);
+    if (!server.start().isOk())
+        return 1;
+    core::DjinnClient client;
+    if (!client.connect("127.0.0.1", server.port()).isOk())
+        return 1;
+
+    std::printf("input: %s\n\n", sentence.c_str());
+
+    tonic::PosApp pos(client);
+    auto pos_out = pos.tag(sentence);
+    if (pos_out.isOk())
+        std::printf("POS: %s\n", pos_out.value().text.c_str());
+
+    tonic::ChkApp chk(client);
+    auto chk_out = chk.chunk(sentence);
+    if (chk_out.isOk())
+        std::printf("CHK: %s\n", chk_out.value().text.c_str());
+
+    tonic::NerApp ner(client);
+    auto ner_out = ner.recognize(sentence);
+    if (ner_out.isOk())
+        std::printf("NER: %s\n", ner_out.value().text.c_str());
+
+    std::printf("\nservice requests issued: %lu (CHK issues two: "
+                "POS first, then its own)\n",
+                static_cast<unsigned long>(
+                    server.requestsServed()));
+    server.stop();
+    return 0;
+}

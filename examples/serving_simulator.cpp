@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CLI front end for the serving simulator: explore any point of
+ * the paper's design space (app, batch size, MPS instances, GPU
+ * count, interconnect) from the command line.
+ *
+ * Usage:
+ *   serving_simulator [app] [batch] [instances] [gpus]
+ *                     [mps|share] [pcie3|pcie4|qpi|none]
+ * Defaults: IMC 16 4 1 mps pcie3
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "serve/simulation.hh"
+
+using namespace djinn;
+
+int
+main(int argc, char **argv)
+{
+    serve::SimConfig config;
+    config.app = argc > 1 ? serve::appFromName(argv[1])
+                          : serve::App::IMC;
+    config.batch = argc > 2 ? std::atoll(argv[2]) : 16;
+    config.instancesPerGpu = argc > 3 ? std::atoi(argv[3]) : 4;
+    config.gpuCount = argc > 4 ? std::atoi(argv[4]) : 1;
+    if (argc > 5)
+        config.mps = std::string(argv[5]) != "share";
+    if (argc > 6) {
+        std::string link = argv[6];
+        if (link == "pcie4") {
+            config.hostLink = gpu::pcieV4();
+            config.hostLink.peakBandwidth *= 2.0;
+        } else if (link == "qpi") {
+            config.hostLink = gpu::qpiAggregate();
+        } else if (link == "none") {
+            config.hostLink = gpu::unlimitedLink();
+        }
+    }
+
+    std::printf("app=%s batch=%lld instances=%d gpus=%d mode=%s "
+                "link=%s\n",
+                serve::appName(config.app),
+                static_cast<long long>(config.batch),
+                config.instancesPerGpu, config.gpuCount,
+                config.mps ? "MPS" : "time-share",
+                config.hostLink.name.c_str());
+
+    serve::SimResult result = serve::runServingSim(config);
+    double cpu_qps =
+        1.0 / serve::cpuQueryTime(config.app, gpu::CpuSpec());
+
+    std::printf("throughput       %12.1f QPS (%.1fx over one Xeon "
+                "core)\n", result.throughputQps,
+                result.throughputQps / cpu_qps);
+    std::printf("latency mean     %12.3f ms\n",
+                result.meanLatency * 1e3);
+    std::printf("latency median   %12.3f ms\n",
+                result.medianLatency * 1e3);
+    std::printf("latency p99      %12.3f ms\n",
+                result.p99Latency * 1e3);
+    std::printf("GPU occupancy    %12.2f\n", result.gpuOccupancy);
+    std::printf("GPU utilization  %12.2f\n", result.gpuUtilization);
+    std::printf("host link util   %12.2f (%.2f GB/s)\n",
+                result.hostLinkUtilization,
+                result.hostLinkBytesPerSec / 1e9);
+    return 0;
+}

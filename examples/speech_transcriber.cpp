@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The speech scenario: an utterance is synthesized (standing in
+ * for a microphone capture), converted to spliced filterbank
+ * features, pushed through the DjiNN-hosted Kaldi acoustic model,
+ * and Viterbi-decoded into a phone sequence.
+ *
+ * Usage: speech_transcriber [seconds]
+ * Default 1.0 second; the paper's ASR query shape is ~5.5 s
+ * (548 feature vectors).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/djinn_client.hh"
+#include "core/djinn_server.hh"
+#include "tonic/apps.hh"
+#include "tonic/audio.hh"
+
+using namespace djinn;
+
+int
+main(int argc, char **argv)
+{
+    double seconds = argc > 1 ? std::atof(argv[1]) : 1.0;
+    if (seconds <= 0.0 || seconds > 30.0) {
+        std::fprintf(stderr, "duration must be in (0, 30]\n");
+        return 1;
+    }
+
+    core::ModelRegistry registry;
+    registry.addZooModel(nn::zoo::Model::KaldiAsr);
+
+    core::DjinnServer server(registry, core::ServerConfig{});
+    if (!server.start().isOk())
+        return 1;
+    core::DjinnClient client;
+    if (!client.connect("127.0.0.1", server.port()).isOk())
+        return 1;
+
+    Rng rng(99);
+    auto samples = tonic::synthesizeUtterance(seconds, rng);
+    tonic::FeatureConfig features;
+    std::printf("utterance: %.1f s, %zu samples -> %lld frames\n",
+                seconds, samples.size(),
+                static_cast<long long>(tonic::frameCount(
+                    static_cast<int64_t>(samples.size()),
+                    features)));
+
+    tonic::AsrApp asr(client);
+    auto result = asr.transcribe(samples);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "transcription failed: %s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+    const tonic::AppOutput &out = result.value();
+    std::printf("phones: %s\n", out.text.c_str());
+    std::printf("timing: pre %.1f ms | dnn service %.1f ms | "
+                "post %.1f ms (dnn %.0f%%)\n",
+                out.times.preprocess * 1e3,
+                out.times.service * 1e3,
+                out.times.postprocess * 1e3,
+                100.0 * out.times.service / out.times.total());
+    server.stop();
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The full model lifecycle the paper's workflow implies: train a
+ * digit-recognition network (the paper's authors trained DeepFace
+ * on PubFig83 themselves), save its weights, load them into a
+ * fresh DjiNN service from disk, and verify the served predictions
+ * are accurate end to end.
+ *
+ * Usage: train_and_serve [steps]   (default 60)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/djinn_client.hh"
+#include "core/djinn_server.hh"
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+#include "nn/serialize.hh"
+#include "tonic/image.hh"
+#include "train/sgd.hh"
+
+using namespace djinn;
+
+namespace {
+
+const char *digit_net_def = R"(
+name trained_digits
+input 1 28 28
+layer conv1 conv out 6 kernel 5 stride 2
+layer r1 relu
+layer pool1 maxpool kernel 2 stride 2
+layer fc1 fc out 32
+layer r2 relu
+layer fc2 fc out 10
+)";
+
+void
+makeBatch(int64_t batch, Rng &rng, nn::Tensor &input,
+          std::vector<int> &labels)
+{
+    input.resize(nn::Shape(batch, 1, 28, 28));
+    labels.resize(static_cast<size_t>(batch));
+    for (int64_t n = 0; n < batch; ++n) {
+        int digit = static_cast<int>(n % 10);
+        tonic::Image image = tonic::synthesizeDigit(digit, rng);
+        for (int64_t i = 0; i < 28 * 28; ++i) {
+            input.sample(n)[i] =
+                static_cast<float>(image.pixels[i]) / 255.0f;
+        }
+        labels[static_cast<size_t>(n)] = digit;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int steps = argc > 1 ? std::atoi(argv[1]) : 60;
+
+    // 1. Train.
+    auto net = nn::parseNetDefOrDie(digit_net_def);
+    nn::initializeWeights(*net, 17);
+    train::TrainConfig config;
+    config.learningRate = 0.05;
+    train::SgdTrainer trainer(*net, config);
+
+    Rng rng(23);
+    nn::Tensor input;
+    std::vector<int> labels;
+    for (int step = 0; step < steps; ++step) {
+        makeBatch(30, rng, input, labels);
+        double loss = trainer.step(input, labels);
+        if (step % 10 == 0)
+            std::printf("step %3d  loss %.4f\n", step, loss);
+    }
+    makeBatch(200, rng, input, labels);
+    std::printf("training done: accuracy %.1f%% on fresh digits\n",
+                100.0 * train::accuracy(*net, input, labels));
+
+    // 2. Export the trained model the way a trainer hands a model
+    //    to production DjiNN.
+    std::string dir = "/tmp";
+    std::string def_path = dir + "/trained_digits.def";
+    std::string djw_path = dir + "/trained_digits.djw";
+    {
+        std::ofstream os(def_path);
+        os << nn::formatNetDef(*net);
+    }
+    if (!nn::saveWeights(*net, djw_path).isOk()) {
+        std::fprintf(stderr, "cannot save weights\n");
+        return 1;
+    }
+    std::printf("exported %s + %s\n", def_path.c_str(),
+                djw_path.c_str());
+
+    // 3. Serve from the exported files and verify over TCP.
+    core::ModelRegistry registry;
+    Status loaded = registry.loadFromFiles(def_path, djw_path);
+    if (!loaded.isOk()) {
+        std::fprintf(stderr, "load failed: %s\n",
+                     loaded.toString().c_str());
+        return 1;
+    }
+    core::DjinnServer server(registry, core::ServerConfig{});
+    if (!server.start().isOk())
+        return 1;
+    core::DjinnClient client;
+    if (!client.connect("127.0.0.1", server.port()).isOk())
+        return 1;
+
+    makeBatch(100, rng, input, labels);
+    std::vector<float> payload(input.data(),
+                               input.data() + input.elems());
+    auto result = client.infer("trained_digits", 100, payload);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "infer failed: %s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+    int correct = 0;
+    for (int64_t n = 0; n < 100; ++n) {
+        const float *row = result.value().data() + n * 10;
+        int best = 0;
+        for (int c = 1; c < 10; ++c) {
+            if (row[c] > row[best])
+                best = c;
+        }
+        if (best == labels[static_cast<size_t>(n)])
+            ++correct;
+    }
+    std::printf("served accuracy over TCP: %d%%\n", correct);
+    server.stop();
+    return correct > 80 ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Warehouse-scale planning tool: given a workload mix and the
+ * fraction of the fleet that serves DNN queries, provision all
+ * three WSC designs (paper Figure 14), print their inventories,
+ * and compare lifetime TCO.
+ *
+ * Usage: wsc_planner [MIXED|IMAGE|NLP] [dnn_percent]
+ * Defaults: MIXED 50
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "wsc/designs.hh"
+
+using namespace djinn;
+using namespace djinn::wsc;
+
+int
+main(int argc, char **argv)
+{
+    Mix mix = Mix::Mixed;
+    if (argc > 1) {
+        std::string name = argv[1];
+        if (name == "IMAGE")
+            mix = Mix::Image;
+        else if (name == "NLP")
+            mix = Mix::Nlp;
+        else if (name != "MIXED") {
+            std::fprintf(stderr, "unknown mix '%s'\n",
+                         name.c_str());
+            return 1;
+        }
+    }
+    double fraction = argc > 2 ? std::atof(argv[2]) / 100.0 : 0.5;
+    if (fraction < 0.0 || fraction > 1.0) {
+        std::fprintf(stderr, "dnn_percent must be 0..100\n");
+        return 1;
+    }
+
+    DesignConfig config;
+    std::printf("workload: %s, %.0f%% DNN services, baseline fleet "
+                "%.0f servers\n\n",
+                mixName(mix), fraction * 100.0,
+                config.baselineServers);
+
+    double cpu_total = 0.0;
+    for (Design design : allDesigns()) {
+        ProvisionResult result = provision(design, mix, fraction,
+                                           config);
+        if (design == Design::CpuOnly)
+            cpu_total = result.tco.total();
+        std::printf("%s\n", designName(design));
+        std::printf("  beefy servers %8.0f   wimpy servers %8.0f\n",
+                    result.fleet.beefyServers,
+                    result.fleet.wimpyServers);
+        std::printf("  GPUs          %8.0f   NIC units     %8.0f\n",
+                    result.fleet.gpus, result.fleet.nicUnits);
+        std::printf("  DNN capacity  %8.0f QPS\n", result.dnnQps);
+        std::printf("  lifetime TCO  $%.2fM  (%.2fx vs CPU-only)\n\n",
+                    result.tco.total() / 1e6,
+                    cpu_total / result.tco.total());
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Build, test, and regenerate every paper table and figure.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j "$(nproc)" --output-on-failure \
+    2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+echo "done: test_output.txt and bench_output.txt written"

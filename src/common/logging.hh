@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Logging and error-reporting primitives, modeled on the gem5
+ * inform/warn/fatal/panic convention.
+ *
+ * fatal() is for user errors (bad configuration, invalid arguments):
+ * it throws a FatalError so callers and tests can recover. panic() is
+ * for internal invariant violations: it aborts.
+ */
+
+#ifndef DJINN_COMMON_LOGGING_HH
+#define DJINN_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace djinn {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Exception thrown by fatal(). Represents an unrecoverable *user*
+ * error (bad config, invalid request), not an internal bug.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Set the minimum severity that is printed to stderr. */
+void setLogLevel(LogLevel level);
+
+/** Current minimum printed severity. */
+LogLevel logLevel();
+
+/** printf-style message at Debug severity. */
+void logDebug(const char *fmt, ...);
+
+/** printf-style status message users should see but not worry about. */
+void inform(const char *fmt, ...);
+
+/** printf-style message flagging suspicious but survivable behavior. */
+void warn(const char *fmt, ...);
+
+/**
+ * Report an unrecoverable user error and throw FatalError.
+ *
+ * @param fmt printf-style format for the error message.
+ */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/**
+ * Report an internal invariant violation and abort the process.
+ *
+ * @param fmt printf-style format for the error message.
+ */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Format a printf-style message into a std::string. */
+std::string vstrprintf(const char *fmt, va_list ap);
+
+/** Format a printf-style message into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+} // namespace djinn
+
+#endif // DJINN_COMMON_LOGGING_HH

@@ -1,0 +1,123 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace djinn {
+
+namespace {
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+uint64_t
+mix64(uint64_t x)
+{
+    uint64_t s = x;
+    return splitmix64(s);
+}
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: lo %ld > hi %ld", lo, hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    return lo + static_cast<int64_t>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    // Avoid log(0).
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double rate)
+{
+    if (rate <= 0.0)
+        panic("exponential: non-positive rate %f", rate);
+    double u = uniform();
+    if (u < 1e-300)
+        u = 1e-300;
+    return -std::log(u) / rate;
+}
+
+Rng
+Rng::split(uint64_t index) const
+{
+    uint64_t seed = state_[0] ^ mix64(index + 0x5851f42d4c957f2dULL);
+    return Rng(seed);
+}
+
+} // namespace djinn

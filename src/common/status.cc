@@ -1,0 +1,28 @@
+#include "common/status.hh"
+
+namespace djinn {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "Ok";
+      case StatusCode::InvalidArgument: return "InvalidArgument";
+      case StatusCode::NotFound: return "NotFound";
+      case StatusCode::Unavailable: return "Unavailable";
+      case StatusCode::Internal: return "Internal";
+      case StatusCode::ProtocolError: return "ProtocolError";
+      case StatusCode::IoError: return "IoError";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "OK";
+    return std::string(statusCodeName(code_)) + ": " + message_;
+}
+
+} // namespace djinn

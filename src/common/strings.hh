@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Small string utilities used by parsers and the wire protocol.
+ */
+
+#ifndef DJINN_COMMON_STRINGS_HH
+#define DJINN_COMMON_STRINGS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace djinn {
+
+/** Split a string on a delimiter character; keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on any whitespace run; drops empty fields. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** Parse a signed integer; returns false on any non-numeric input. */
+bool parseInt(std::string_view s, int64_t &out);
+
+/** Parse a double; returns false on any non-numeric input. */
+bool parseDouble(std::string_view s, double &out);
+
+/** Join items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 std::string_view sep);
+
+} // namespace djinn
+
+#endif // DJINN_COMMON_STRINGS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Unit constants and conversions used throughout the timing and TCO
+ * models. Times are seconds (double); data sizes are bytes (double
+ * in models, uint64_t on wires); rates are per-second.
+ */
+
+#ifndef DJINN_COMMON_UNITS_HH
+#define DJINN_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace djinn {
+namespace units {
+
+// Data sizes -------------------------------------------------------
+
+constexpr double kB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * 1024.0;
+constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+
+// Compute ----------------------------------------------------------
+
+constexpr double MFLOP = 1e6;
+constexpr double GFLOP = 1e9;
+constexpr double TFLOP = 1e12;
+
+// Time -------------------------------------------------------------
+
+constexpr double usec = 1e-6;
+constexpr double msec = 1e-3;
+constexpr double sec = 1.0;
+constexpr double minute = 60.0;
+constexpr double hour = 3600.0;
+constexpr double month = 3600.0 * 24.0 * 30.0;
+constexpr double year = 3600.0 * 24.0 * 365.0;
+
+// Frequencies / rates ----------------------------------------------
+
+constexpr double MHz = 1e6;
+constexpr double GHz = 1e9;
+
+} // namespace units
+} // namespace djinn
+
+#endif // DJINN_COMMON_UNITS_HH

@@ -1,0 +1,188 @@
+#include "core/batcher.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace core {
+
+BatchingExecutor::BatchingExecutor(const ModelRegistry &registry,
+                                   const BatchOptions &options)
+    : registry_(registry), options_(options)
+{
+    if (options.maxQueries <= 0)
+        fatal("BatchingExecutor: maxQueries must be positive");
+    if (options.maxDelay < 0.0)
+        fatal("BatchingExecutor: maxDelay must be non-negative");
+}
+
+BatchingExecutor::~BatchingExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(mapMutex_);
+        stopping_ = true;
+        for (auto &[name, queue] : queues_) {
+            std::lock_guard<std::mutex> qlock(queue->mutex);
+            queue->stopping = true;
+            queue->cv.notify_all();
+        }
+    }
+    for (auto &[name, queue] : queues_) {
+        if (queue->dispatcher.joinable())
+            queue->dispatcher.join();
+    }
+}
+
+BatchingExecutor::ModelQueue *
+BatchingExecutor::queueFor(const std::string &model, Status &error)
+{
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    if (stopping_) {
+        error = Status::unavailable("executor shutting down");
+        return nullptr;
+    }
+    auto it = queues_.find(model);
+    if (it != queues_.end())
+        return it->second.get();
+
+    auto network = registry_.find(model);
+    if (!network) {
+        error = Status::notFound("unknown model '" + model + "'");
+        return nullptr;
+    }
+    auto queue = std::make_unique<ModelQueue>();
+    queue->network = std::move(network);
+    ModelQueue *raw = queue.get();
+    raw->dispatcher = std::thread([this, raw]() {
+        dispatchLoop(raw);
+    });
+    queues_.emplace(model, std::move(queue));
+    return raw;
+}
+
+std::future<InferenceResult>
+BatchingExecutor::submit(const std::string &model, int64_t rows,
+                         std::vector<float> data)
+{
+    std::promise<InferenceResult> promise;
+    std::future<InferenceResult> future = promise.get_future();
+
+    Status error = Status::ok();
+    ModelQueue *queue = queueFor(model, error);
+    if (!queue) {
+        promise.set_value({error, {}});
+        return future;
+    }
+
+    int64_t sample_elems = queue->network->inputShape().sampleElems();
+    if (rows <= 0 ||
+        static_cast<int64_t>(data.size()) != rows * sample_elems) {
+        promise.set_value(
+            {Status::invalidArgument(strprintf(
+                 "model '%s' expects %lld floats per row, got %zu "
+                 "floats for %lld rows", model.c_str(),
+                 static_cast<long long>(sample_elems), data.size(),
+                 static_cast<long long>(rows))),
+             {}});
+        return future;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(queue->mutex);
+        queue->pending.push_back({rows, std::move(data),
+                                  std::move(promise)});
+        queue->cv.notify_all();
+    }
+    return future;
+}
+
+void
+BatchingExecutor::dispatchLoop(ModelQueue *queue)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto max_delay = std::chrono::duration_cast<
+        Clock::duration>(std::chrono::duration<double>(
+        options_.maxDelay));
+
+    while (true) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(queue->mutex);
+            queue->cv.wait(lock, [&]() {
+                return queue->stopping || !queue->pending.empty();
+            });
+            if (queue->stopping && queue->pending.empty())
+                return;
+            // Give peers a chance to join the batch.
+            if (static_cast<int64_t>(queue->pending.size()) <
+                options_.maxQueries && !queue->stopping) {
+                queue->cv.wait_for(lock, max_delay, [&]() {
+                    return queue->stopping ||
+                           static_cast<int64_t>(
+                               queue->pending.size()) >=
+                               options_.maxQueries;
+                });
+            }
+            int64_t take = std::min<int64_t>(
+                options_.maxQueries,
+                static_cast<int64_t>(queue->pending.size()));
+            batch.assign(
+                std::make_move_iterator(queue->pending.begin()),
+                std::make_move_iterator(queue->pending.begin() +
+                                        take));
+            queue->pending.erase(queue->pending.begin(),
+                                 queue->pending.begin() + take);
+        }
+        if (batch.empty())
+            continue;
+
+        const nn::Network &net = *queue->network;
+        int64_t total_rows = 0;
+        for (const auto &p : batch)
+            total_rows += p.rows;
+
+        // Stack all queries into one combined input matrix.
+        nn::Tensor input(net.inputShape().withBatch(total_rows));
+        int64_t row = 0;
+        for (const auto &p : batch) {
+            std::memcpy(input.sample(row), p.data.data(),
+                        p.data.size() * sizeof(float));
+            row += p.rows;
+        }
+
+        nn::Tensor output = net.forward(input);
+        int64_t out_elems = net.outputShape().sampleElems();
+
+        // Count before fulfilling the promises: a caller must never
+        // observe a resolved future with stale counters.
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        queries_.fetch_add(batch.size(), std::memory_order_relaxed);
+
+        // Scatter results back to their queries.
+        row = 0;
+        for (auto &p : batch) {
+            std::vector<float> slice(
+                output.sample(row),
+                output.sample(row) + p.rows * out_elems);
+            row += p.rows;
+            p.promise.set_value({Status::ok(), std::move(slice)});
+        }
+    }
+}
+
+uint64_t
+BatchingExecutor::batchesExecuted() const
+{
+    return batches_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+BatchingExecutor::queriesServed() const
+{
+    return queries_.load(std::memory_order_relaxed);
+}
+
+} // namespace core
+} // namespace djinn

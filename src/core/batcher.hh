@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Server-side query batching (paper Section 5.1): queries for the
+ * same model are stacked into one larger input matrix so a single
+ * forward pass serves many queries, raising accelerator occupancy.
+ */
+
+#ifndef DJINN_CORE_BATCHER_HH
+#define DJINN_CORE_BATCHER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.hh"
+#include "core/model_registry.hh"
+
+namespace djinn {
+namespace core {
+
+/** Batching policy. */
+struct BatchOptions {
+    /** Combine at most this many queries per forward pass. */
+    int64_t maxQueries = 16;
+
+    /**
+     * Dispatch a partial batch after this long, so a lone query is
+     * never stranded waiting for peers. Seconds.
+     */
+    double maxDelay = 2e-3;
+};
+
+/** Result of one batched query. */
+struct InferenceResult {
+    Status status;
+    std::vector<float> output;
+};
+
+/**
+ * Batches inference requests per model and executes combined
+ * forward passes on dispatcher threads (one per model, created
+ * lazily). Thread-safe.
+ */
+class BatchingExecutor
+{
+  public:
+    /**
+     * @param registry the shared model registry.
+     * @param options batching policy.
+     */
+    BatchingExecutor(const ModelRegistry &registry,
+                     const BatchOptions &options);
+
+    /** Stops dispatcher threads and fails queued queries. */
+    ~BatchingExecutor();
+
+    BatchingExecutor(const BatchingExecutor &) = delete;
+    BatchingExecutor &operator=(const BatchingExecutor &) = delete;
+
+    /**
+     * Submit one query: @p rows inputs for @p model, flattened into
+     * @p data (rows x sample elements).
+     *
+     * @return a future resolving to the query's output rows.
+     */
+    std::future<InferenceResult> submit(const std::string &model,
+                                        int64_t rows,
+                                        std::vector<float> data);
+
+    /** Number of combined forward passes executed so far. */
+    uint64_t batchesExecuted() const;
+
+    /** Number of queries served so far. */
+    uint64_t queriesServed() const;
+
+  private:
+    struct Pending {
+        int64_t rows;
+        std::vector<float> data;
+        std::promise<InferenceResult> promise;
+    };
+
+    struct ModelQueue {
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::vector<Pending> pending;
+        std::shared_ptr<const nn::Network> network;
+        std::thread dispatcher;
+        bool stopping = false;
+    };
+
+    void dispatchLoop(ModelQueue *queue);
+    ModelQueue *queueFor(const std::string &model,
+                         Status &error);
+
+    const ModelRegistry &registry_;
+    BatchOptions options_;
+
+    std::mutex mapMutex_;
+    std::map<std::string, std::unique_ptr<ModelQueue>> queues_;
+    bool stopping_ = false;
+
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> queries_{0};
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_BATCHER_HH

@@ -1,0 +1,200 @@
+#include "core/djinn_client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.hh"
+
+namespace djinn {
+namespace core {
+
+DjinnClient::~DjinnClient()
+{
+    disconnect();
+}
+
+Status
+DjinnClient::connect(const std::string &host, uint16_t port)
+{
+    if (fd_ >= 0)
+        return Status::invalidArgument("already connected");
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Status::invalidArgument("bad host address '" + host +
+                                       "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        Status s = Status::ioError(std::string("connect: ") +
+                                   std::strerror(errno));
+        ::close(fd);
+        return s;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return Status::ok();
+}
+
+void
+DjinnClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Result<Response>
+DjinnClient::roundTrip(const Request &request)
+{
+    if (fd_ < 0)
+        return Status::unavailable("not connected");
+    FrameIo io(fd_);
+    Status s = io.writeFrame(encodeRequest(request));
+    if (!s.isOk())
+        return s;
+    auto frame = io.readFrame();
+    if (!frame.isOk())
+        return frame.status();
+    return decodeResponse(frame.value());
+}
+
+Result<std::vector<float>>
+DjinnClient::infer(const std::string &model, int64_t rows,
+                   const std::vector<float> &data)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = model;
+    request.rows = static_cast<uint32_t>(rows);
+    request.payload = data;
+    auto response = roundTrip(request);
+    if (!response.isOk())
+        return response.status();
+    const Response &r = response.value();
+    if (r.status != WireStatus::Ok) {
+        switch (r.status) {
+          case WireStatus::UnknownModel:
+            return Status::notFound(r.message);
+          case WireStatus::BadRequest:
+            return Status::invalidArgument(r.message);
+          default:
+            return Status::internal(r.message);
+        }
+    }
+    return std::vector<float>(r.payload);
+}
+
+Result<std::vector<std::string>>
+DjinnClient::listModels()
+{
+    Request request;
+    request.type = RequestType::ListModels;
+    auto response = roundTrip(request);
+    if (!response.isOk())
+        return response.status();
+    const Response &r = response.value();
+    if (r.status != WireStatus::Ok)
+        return Status::internal(r.message);
+    if (r.message.empty())
+        return std::vector<std::string>{};
+    return split(r.message, ',');
+}
+
+Result<DjinnClient::ModelInfo>
+DjinnClient::describeModel(const std::string &model)
+{
+    Request request;
+    request.type = RequestType::Describe;
+    request.model = model;
+    auto response = roundTrip(request);
+    if (!response.isOk())
+        return response.status();
+    const Response &r = response.value();
+    if (r.status == WireStatus::UnknownModel)
+        return Status::notFound(r.message);
+    if (r.status != WireStatus::Ok)
+        return Status::internal(r.message);
+    // Parse "input=CxHxW output=N".
+    ModelInfo info;
+    if (std::sscanf(r.message.c_str(),
+                    "input=%" SCNd64 "x%" SCNd64 "x%" SCNd64
+                    " output=%" SCNd64,
+                    &info.channels, &info.height, &info.width,
+                    &info.outputs) != 4) {
+        return Status::protocolError("malformed describe reply '" +
+                                     r.message + "'");
+    }
+    return info;
+}
+
+Result<std::vector<DjinnClient::ModelStats>>
+DjinnClient::serverStats()
+{
+    Request request;
+    request.type = RequestType::Stats;
+    auto response = roundTrip(request);
+    if (!response.isOk())
+        return response.status();
+    if (response.value().status != WireStatus::Ok)
+        return Status::internal(response.value().message);
+
+    std::vector<ModelStats> out;
+    for (const std::string &line :
+         split(response.value().message, '\n')) {
+        if (line.empty())
+            continue;
+        auto fields = split(line, ',');
+        if (fields.size() != 4) {
+            return Status::protocolError(
+                "malformed stats line '" + line + "'");
+        }
+        ModelStats s;
+        s.model = fields[0];
+        int64_t requests, rows;
+        double mean;
+        if (!parseInt(fields[1], requests) ||
+            !parseInt(fields[2], rows) ||
+            !parseDouble(fields[3], mean)) {
+            return Status::protocolError(
+                "malformed stats line '" + line + "'");
+        }
+        s.requests = static_cast<uint64_t>(requests);
+        s.rows = static_cast<uint64_t>(rows);
+        s.meanServiceMs = mean;
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+Status
+DjinnClient::ping()
+{
+    Request request;
+    request.type = RequestType::Ping;
+    auto response = roundTrip(request);
+    if (!response.isOk())
+        return response.status();
+    if (response.value().message != "pong")
+        return Status::protocolError("unexpected ping reply");
+    return Status::ok();
+}
+
+} // namespace core
+} // namespace djinn

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Client library for the DjiNN service: connect over TCP and issue
+ * inference / list / ping requests. Tonic applications use this to
+ * reach the service (paper Figure 3).
+ */
+
+#ifndef DJINN_CORE_DJINN_CLIENT_HH
+#define DJINN_CORE_DJINN_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "core/protocol.hh"
+
+namespace djinn {
+namespace core {
+
+/**
+ * A blocking DjiNN client over one TCP connection. Not thread-safe;
+ * use one client per thread.
+ */
+class DjinnClient
+{
+  public:
+    DjinnClient() = default;
+
+    /** Disconnects if connected. */
+    ~DjinnClient();
+
+    DjinnClient(const DjinnClient &) = delete;
+    DjinnClient &operator=(const DjinnClient &) = delete;
+
+    /**
+     * Connect to a DjiNN server.
+     *
+     * @param host IPv4 address ("127.0.0.1").
+     * @param port TCP port.
+     */
+    Status connect(const std::string &host, uint16_t port);
+
+    /** Close the connection. */
+    void disconnect();
+
+    /** True when connected. */
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Run inference: send @p rows stacked inputs for @p model.
+     *
+     * @return the output rows, flattened (rows x output elements).
+     */
+    Result<std::vector<float>> infer(const std::string &model,
+                                     int64_t rows,
+                                     const std::vector<float> &data);
+
+    /** Names of the models the server exposes. */
+    Result<std::vector<std::string>> listModels();
+
+    /** A served model's geometry, from a Describe request. */
+    struct ModelInfo {
+        int64_t channels = 0;
+        int64_t height = 0;
+        int64_t width = 0;
+        int64_t outputs = 0;
+
+        /** Floats per input row. */
+        int64_t
+        inputElems() const
+        {
+            return channels * height * width;
+        }
+    };
+
+    /** Query a model's input geometry and output width. */
+    Result<ModelInfo> describeModel(const std::string &model);
+
+    /** One row of the server's per-model statistics. */
+    struct ModelStats {
+        std::string model;
+        uint64_t requests = 0;
+        uint64_t rows = 0;
+        double meanServiceMs = 0.0;
+    };
+
+    /** Fetch the server's per-model service statistics. */
+    Result<std::vector<ModelStats>> serverStats();
+
+    /** Round-trip liveness check. */
+    Status ping();
+
+  private:
+    Result<Response> roundTrip(const Request &request);
+
+    int fd_ = -1;
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_DJINN_CLIENT_HH

@@ -1,0 +1,309 @@
+#include "core/djinn_server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace djinn {
+namespace core {
+
+DjinnServer::DjinnServer(const ModelRegistry &registry,
+                         const ServerConfig &config)
+    : registry_(registry), config_(config)
+{
+    if (config_.batching) {
+        batcher_ = std::make_unique<BatchingExecutor>(
+            registry_, config_.batchOptions);
+    }
+}
+
+DjinnServer::~DjinnServer()
+{
+    stop();
+}
+
+Status
+DjinnServer::start()
+{
+    if (running_.load())
+        return Status::invalidArgument("server already running");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    if (::inet_pton(AF_INET, config_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return Status::invalidArgument("bad bind address '" +
+                                       config_.bindAddress + "'");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        Status s = Status::ioError(std::string("bind: ") +
+                                   std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return s;
+    }
+    if (::listen(listenFd_, 128) < 0) {
+        Status s = Status::ioError(std::string("listen: ") +
+                                   std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return s;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0) {
+        port_ = ntohs(addr.sin_port);
+    }
+
+    running_.store(true);
+    acceptor_ = std::thread([this]() { acceptLoop(); });
+    inform("DjiNN listening on %s:%u with %zu models",
+           config_.bindAddress.c_str(), port_, registry_.size());
+    return Status::ok();
+}
+
+void
+DjinnServer::stop()
+{
+    if (!running_.exchange(false)) {
+        if (acceptor_.joinable())
+            acceptor_.join();
+        return;
+    }
+    // Closing the listening socket unblocks accept().
+    if (listenFd_ >= 0) {
+        ::shutdown(listenFd_, SHUT_RDWR);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    if (acceptor_.joinable())
+        acceptor_.join();
+    // Unblock workers parked in read() on idle connections. Fds in
+    // the registry are guaranteed not yet closed (workers remove
+    // theirs under the same lock before closing).
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (int fd : activeFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        workers.swap(workers_);
+    }
+    for (auto &w : workers) {
+        if (w.joinable())
+            w.join();
+    }
+}
+
+void
+DjinnServer::acceptLoop()
+{
+    while (running_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // Listening socket was closed during stop().
+            break;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(workersMutex_);
+        workers_.emplace_back([this, fd]() { serveConnection(fd); });
+    }
+}
+
+void
+DjinnServer::serveConnection(int fd)
+{
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        activeFds_.insert(fd);
+    }
+    FrameIo io(fd);
+    while (running_.load()) {
+        auto frame = io.readFrame();
+        if (!frame.isOk())
+            break; // Peer closed or protocol failure; drop quietly.
+        auto request = decodeRequest(frame.value());
+        Response response;
+        if (!request.isOk()) {
+            response.status = WireStatus::BadRequest;
+            response.message = request.status().toString();
+        } else {
+            response = handleRequest(request.value());
+        }
+        Status s = io.writeFrame(encodeResponse(response));
+        if (!s.isOk())
+            break;
+    }
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        activeFds_.erase(fd);
+        ::close(fd);
+    }
+}
+
+Response
+DjinnServer::handleRequest(const Request &request)
+{
+    Response response;
+    switch (request.type) {
+      case RequestType::Ping:
+        response.message = "pong";
+        return response;
+      case RequestType::ListModels:
+        response.message = join(registry_.modelNames(), ",");
+        return response;
+      case RequestType::Describe:
+        {
+            auto network = registry_.find(request.model);
+            if (!network) {
+                response.status = WireStatus::UnknownModel;
+                response.message =
+                    "unknown model '" + request.model + "'";
+                return response;
+            }
+            const nn::Shape &in = network->inputShape();
+            response.message = strprintf(
+                "input=%lldx%lldx%lld output=%lld",
+                static_cast<long long>(in.c()),
+                static_cast<long long>(in.h()),
+                static_cast<long long>(in.w()),
+                static_cast<long long>(
+                    network->outputShape().sampleElems()));
+            return response;
+        }
+      case RequestType::Stats:
+        {
+            std::string lines;
+            for (const ModelStats &s : stats()) {
+                double mean_ms = s.requests
+                    ? s.serviceSeconds / s.requests * 1e3
+                    : 0.0;
+                lines += strprintf("%s,%llu,%llu,%.3f\n",
+                                   s.model.c_str(),
+                                   static_cast<unsigned long long>(
+                                       s.requests),
+                                   static_cast<unsigned long long>(
+                                       s.rows),
+                                   mean_ms);
+            }
+            response.message = lines;
+            return response;
+        }
+      case RequestType::Inference:
+        return handleInference(request);
+    }
+    response.status = WireStatus::BadRequest;
+    response.message = "unknown request type";
+    return response;
+}
+
+void
+DjinnServer::recordService(const std::string &model, uint64_t rows,
+                           double seconds)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    ModelStats &s = stats_[model];
+    s.model = model;
+    ++s.requests;
+    s.rows += rows;
+    s.serviceSeconds += seconds;
+}
+
+std::vector<DjinnServer::ModelStats>
+DjinnServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    std::vector<ModelStats> out;
+    out.reserve(stats_.size());
+    for (const auto &[name, s] : stats_)
+        out.push_back(s);
+    return out;
+}
+
+Response
+DjinnServer::handleInference(const Request &request)
+{
+    Response response;
+    auto network = registry_.find(request.model);
+    if (!network) {
+        response.status = WireStatus::UnknownModel;
+        response.message = "unknown model '" + request.model + "'";
+        return response;
+    }
+    int64_t rows = request.rows;
+    int64_t sample_elems = network->inputShape().sampleElems();
+    if (rows <= 0 || rows > config_.maxRowsPerRequest ||
+        static_cast<int64_t>(request.payload.size()) !=
+            rows * sample_elems) {
+        response.status = WireStatus::BadRequest;
+        response.message = strprintf(
+            "payload must be rows x %lld floats (1 <= rows <= %lld); "
+            "got %u rows, %zu floats",
+            static_cast<long long>(sample_elems),
+            static_cast<long long>(config_.maxRowsPerRequest),
+            request.rows, request.payload.size());
+        return response;
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    try {
+        if (batcher_) {
+            auto future = batcher_->submit(request.model, rows,
+                                           request.payload);
+            InferenceResult result = future.get();
+            if (!result.status.isOk()) {
+                response.status = WireStatus::ServerError;
+                response.message = result.status.toString();
+                return response;
+            }
+            response.payload = std::move(result.output);
+        } else {
+            nn::Tensor input(network->inputShape().withBatch(rows));
+            std::memcpy(input.data(), request.payload.data(),
+                        request.payload.size() * sizeof(float));
+            nn::Tensor output = network->forward(input);
+            response.payload.assign(output.data(),
+                                    output.data() + output.elems());
+        }
+    } catch (const FatalError &e) {
+        response.status = WireStatus::ServerError;
+        response.message = e.what();
+        return response;
+    }
+    double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    recordService(request.model, rows, seconds);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    return response;
+}
+
+} // namespace core
+} // namespace djinn

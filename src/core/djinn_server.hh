@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The DjiNN server (paper Section 3.1): a standalone DNN service
+ * accepting framed requests over TCP/IP. At initialization it loads
+ * every configured model into memory once; each accepted connection
+ * is served by a worker thread with read-only access to the shared
+ * models. Optionally, concurrent queries to the same model are
+ * batched into combined forward passes.
+ */
+
+#ifndef DJINN_CORE_DJINN_SERVER_HH
+#define DJINN_CORE_DJINN_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hh"
+#include "core/batcher.hh"
+#include "core/model_registry.hh"
+#include "core/protocol.hh"
+
+namespace djinn {
+namespace core {
+
+/** DjiNN server configuration. */
+struct ServerConfig {
+    /** TCP port to bind; 0 picks an ephemeral port. */
+    uint16_t port = 0;
+
+    /** Bind address; defaults to loopback. */
+    std::string bindAddress = "127.0.0.1";
+
+    /** Enable cross-request batching per model (Section 5.1). */
+    bool batching = false;
+
+    /** Batching policy when enabled. */
+    BatchOptions batchOptions;
+
+    /** Cap on input rows accepted in a single request. */
+    int64_t maxRowsPerRequest = 4096;
+};
+
+/**
+ * The DjiNN service. Owns the listening socket, the acceptor
+ * thread, and the per-connection worker threads.
+ */
+class DjinnServer
+{
+  public:
+    /**
+     * @param registry models to serve; must outlive the server.
+     * @param config server options.
+     */
+    DjinnServer(const ModelRegistry &registry,
+                const ServerConfig &config);
+
+    /** Stops the server if still running. */
+    ~DjinnServer();
+
+    DjinnServer(const DjinnServer &) = delete;
+    DjinnServer &operator=(const DjinnServer &) = delete;
+
+    /** Bind, listen, and start accepting connections. */
+    Status start();
+
+    /** Stop accepting, close connections, join all threads. */
+    void stop();
+
+    /** The bound TCP port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    /** True while the server is accepting connections. */
+    bool running() const { return running_.load(); }
+
+    /** Total inference requests served. */
+    uint64_t requestsServed() const { return requests_.load(); }
+
+    /** Connections accepted so far. */
+    uint64_t connectionsAccepted() const { return accepted_.load(); }
+
+    /** Per-model service counters. */
+    struct ModelStats {
+        std::string model;
+        uint64_t requests = 0;
+        uint64_t rows = 0;
+        double serviceSeconds = 0.0;
+    };
+
+    /** Snapshot of the per-model counters, sorted by model name. */
+    std::vector<ModelStats> stats() const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+    Response handleRequest(const Request &request);
+    Response handleInference(const Request &request);
+
+    const ModelRegistry &registry_;
+    ServerConfig config_;
+    std::unique_ptr<BatchingExecutor> batcher_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::thread acceptor_;
+    std::mutex workersMutex_;
+    std::vector<std::thread> workers_;
+    std::atomic<uint64_t> requests_{0};
+    std::atomic<uint64_t> accepted_{0};
+
+    void recordService(const std::string &model, uint64_t rows,
+                       double seconds);
+
+    mutable std::mutex statsMutex_;
+    std::map<std::string, ModelStats> stats_;
+
+    // Live connection sockets; stop() shuts them down to unblock
+    // workers parked in read().
+    std::mutex connMutex_;
+    std::set<int> activeFds_;
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_DJINN_SERVER_HH

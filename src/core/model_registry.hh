@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The in-memory model registry (paper Section 3.1, "Request
+ * Processing"): DjiNN loads each pre-trained model once at
+ * initialization, and all worker threads share read-only access, so
+ * requests never load private model copies.
+ */
+
+#ifndef DJINN_CORE_MODEL_REGISTRY_HH
+#define DJINN_CORE_MODEL_REGISTRY_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "nn/network.hh"
+#include "nn/zoo.hh"
+
+namespace djinn {
+namespace core {
+
+/**
+ * Thread-safe registry of finalized, immutable networks keyed by
+ * model name.
+ */
+class ModelRegistry
+{
+  public:
+    ModelRegistry() = default;
+
+    /**
+     * Register a network. Takes shared ownership; the network must
+     * be finalized.
+     */
+    Status add(nn::NetworkPtr network);
+
+    /**
+     * Build and register a zoo model with deterministic weights.
+     *
+     * @param model which zoo network.
+     * @param seed weight initialization seed.
+     */
+    Status addZooModel(nn::zoo::Model model, uint64_t seed = 42);
+
+    /**
+     * Load a model from a netdef file and optional weight file.
+     *
+     * @param netdef_path path to the netdef text.
+     * @param weights_path path to a .djw file, or empty to keep
+     *        zeroed weights.
+     */
+    Status loadFromFiles(const std::string &netdef_path,
+                         const std::string &weights_path);
+
+    /** Look up a model; nullptr when absent. */
+    std::shared_ptr<const nn::Network> find(
+        const std::string &name) const;
+
+    /** Names of all registered models, sorted. */
+    std::vector<std::string> modelNames() const;
+
+    /** Number of registered models. */
+    size_t size() const;
+
+    /** Total resident weight bytes across all models. */
+    uint64_t totalWeightBytes() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<const nn::Network>> models_;
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_MODEL_REGISTRY_HH

@@ -1,0 +1,295 @@
+#include "core/protocol.hh"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace djinn {
+namespace core {
+
+namespace {
+
+constexpr uint32_t requestMagic = 0x444a4e52;  // 'DJNR'
+constexpr uint32_t responseMagic = 0x444a4e41; // 'DJNA'
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v & 0xff));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void
+putBytes(std::vector<uint8_t> &out, const void *data, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    out.insert(out.end(), p, p + len);
+}
+
+/** Bounds-checked little-endian reader over a byte buffer. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<uint8_t> &data) : data_(data) {}
+
+    bool
+    u16(uint16_t &v)
+    {
+        if (pos_ + 2 > data_.size())
+            return false;
+        v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+        pos_ += 2;
+        return true;
+    }
+
+    bool
+    u32(uint32_t &v)
+    {
+        if (pos_ + 4 > data_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 4;
+        return true;
+    }
+
+    bool
+    u64(uint64_t &v)
+    {
+        if (pos_ + 8 > data_.size())
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += 8;
+        return true;
+    }
+
+    bool
+    str(std::string &out, size_t len)
+    {
+        if (pos_ + len > data_.size())
+            return false;
+        out.assign(reinterpret_cast<const char *>(&data_[pos_]), len);
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    floats(std::vector<float> &out, size_t count)
+    {
+        size_t bytes = count * sizeof(float);
+        if (pos_ + bytes > data_.size())
+            return false;
+        out.resize(count);
+        if (count)
+            std::memcpy(out.data(), &data_[pos_], bytes);
+        pos_ += bytes;
+        return true;
+    }
+
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    const std::vector<uint8_t> &data_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+encodeRequest(const Request &request)
+{
+    std::vector<uint8_t> out;
+    out.reserve(24 + request.model.size() +
+                request.payload.size() * sizeof(float));
+    putU32(out, requestMagic);
+    putU16(out, protocolVersion);
+    putU16(out, static_cast<uint16_t>(request.type));
+    putU32(out, static_cast<uint32_t>(request.model.size()));
+    putBytes(out, request.model.data(), request.model.size());
+    putU32(out, request.rows);
+    putU64(out, request.payload.size());
+    putBytes(out, request.payload.data(),
+             request.payload.size() * sizeof(float));
+    return out;
+}
+
+std::vector<uint8_t>
+encodeResponse(const Response &response)
+{
+    std::vector<uint8_t> out;
+    out.reserve(20 + response.message.size() +
+                response.payload.size() * sizeof(float));
+    putU32(out, responseMagic);
+    putU16(out, protocolVersion);
+    putU16(out, static_cast<uint16_t>(response.status));
+    putU32(out, static_cast<uint32_t>(response.message.size()));
+    putBytes(out, response.message.data(), response.message.size());
+    putU64(out, response.payload.size());
+    putBytes(out, response.payload.data(),
+             response.payload.size() * sizeof(float));
+    return out;
+}
+
+Result<Request>
+decodeRequest(const std::vector<uint8_t> &data)
+{
+    Reader r(data);
+    uint32_t magic;
+    uint16_t version, type;
+    if (!r.u32(magic) || magic != requestMagic)
+        return Status::protocolError("bad request magic");
+    if (!r.u16(version) || version != protocolVersion)
+        return Status::protocolError("unsupported protocol version");
+    if (!r.u16(type))
+        return Status::protocolError("truncated request header");
+    Request request;
+    switch (type) {
+      case static_cast<uint16_t>(RequestType::Inference):
+      case static_cast<uint16_t>(RequestType::ListModels):
+      case static_cast<uint16_t>(RequestType::Ping):
+      case static_cast<uint16_t>(RequestType::Describe):
+      case static_cast<uint16_t>(RequestType::Stats):
+        request.type = static_cast<RequestType>(type);
+        break;
+      default:
+        return Status::protocolError("unknown request type");
+    }
+    uint32_t name_len;
+    if (!r.u32(name_len) || name_len > 4096)
+        return Status::protocolError("bad model name length");
+    if (!r.str(request.model, name_len))
+        return Status::protocolError("truncated model name");
+    uint64_t count;
+    if (!r.u32(request.rows) || !r.u64(count))
+        return Status::protocolError("truncated request payload "
+                                     "header");
+    if (!r.floats(request.payload, count))
+        return Status::protocolError("truncated request payload");
+    if (!r.atEnd())
+        return Status::protocolError("trailing bytes after request");
+    return request;
+}
+
+Result<Response>
+decodeResponse(const std::vector<uint8_t> &data)
+{
+    Reader r(data);
+    uint32_t magic;
+    uint16_t version, status;
+    if (!r.u32(magic) || magic != responseMagic)
+        return Status::protocolError("bad response magic");
+    if (!r.u16(version) || version != protocolVersion)
+        return Status::protocolError("unsupported protocol version");
+    if (!r.u16(status) || status > 3)
+        return Status::protocolError("bad response status");
+    Response response;
+    response.status = static_cast<WireStatus>(status);
+    uint32_t msg_len;
+    if (!r.u32(msg_len) || msg_len > 1u << 20)
+        return Status::protocolError("bad response message length");
+    if (!r.str(response.message, msg_len))
+        return Status::protocolError("truncated response message");
+    uint64_t count;
+    if (!r.u64(count))
+        return Status::protocolError("truncated response payload "
+                                     "header");
+    if (!r.floats(response.payload, count))
+        return Status::protocolError("truncated response payload");
+    if (!r.atEnd())
+        return Status::protocolError("trailing bytes after response");
+    return response;
+}
+
+Status
+FrameIo::writeFrame(const std::vector<uint8_t> &frame)
+{
+    uint8_t header[4];
+    uint32_t len = static_cast<uint32_t>(frame.size());
+    for (int i = 0; i < 4; ++i)
+        header[i] = static_cast<uint8_t>((len >> (8 * i)) & 0xff);
+
+    auto write_all = [this](const uint8_t *data,
+                            size_t size) -> Status {
+        size_t sent = 0;
+        while (sent < size) {
+            // MSG_NOSIGNAL: a peer that hung up must surface as
+            // EPIPE, not a process-killing SIGPIPE.
+            ssize_t n = ::send(fd_, data + sent, size - sent,
+                               MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Status::ioError(
+                    std::string("write: ") + std::strerror(errno));
+            }
+            sent += static_cast<size_t>(n);
+        }
+        return Status::ok();
+    };
+
+    Status s = write_all(header, sizeof(header));
+    if (!s.isOk())
+        return s;
+    return write_all(frame.data(), frame.size());
+}
+
+Result<std::vector<uint8_t>>
+FrameIo::readFrame(uint32_t max_bytes)
+{
+    auto read_all = [this](uint8_t *data, size_t size) -> Status {
+        size_t got = 0;
+        while (got < size) {
+            ssize_t n = ::read(fd_, data + got, size - got);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Status::ioError(
+                    std::string("read: ") + std::strerror(errno));
+            }
+            if (n == 0)
+                return Status::ioError("connection closed");
+            got += static_cast<size_t>(n);
+        }
+        return Status::ok();
+    };
+
+    uint8_t header[4];
+    Status s = read_all(header, sizeof(header));
+    if (!s.isOk())
+        return s;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<uint32_t>(header[i]) << (8 * i);
+    if (len > max_bytes)
+        return Status::protocolError("frame too large");
+    std::vector<uint8_t> frame(len);
+    if (len) {
+        s = read_all(frame.data(), len);
+        if (!s.isOk())
+            return s;
+    }
+    return frame;
+}
+
+} // namespace core
+} // namespace djinn

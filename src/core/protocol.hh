@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The DjiNN wire protocol: a custom framed format over TCP/IP
+ * (paper Section 3.1, "Decoupled Architecture").
+ *
+ * Request frame:
+ *   u32 magic 'DJNR' | u16 version | u16 type | u32 model name len |
+ *   name bytes | u32 rows | u64 payload float count | f32 payload[]
+ *
+ * Response frame:
+ *   u32 magic 'DJNA' | u16 version | u16 status | u32 message len |
+ *   message bytes | u64 payload float count | f32 payload[]
+ *
+ * All integers are little-endian. Payloads are row-major float
+ * matrices: `rows` inputs of the model's per-sample element count.
+ */
+
+#ifndef DJINN_CORE_PROTOCOL_HH
+#define DJINN_CORE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace djinn {
+namespace core {
+
+/** Protocol version understood by this implementation. */
+constexpr uint16_t protocolVersion = 1;
+
+/** Request frame types. */
+enum class RequestType : uint16_t {
+    Inference = 1,
+    ListModels = 2,
+    Ping = 3,
+    /** Report a model's input geometry and output width. */
+    Describe = 4,
+    /** Report per-model service statistics. */
+    Stats = 5,
+};
+
+/** Response status codes on the wire. */
+enum class WireStatus : uint16_t {
+    Ok = 0,
+    UnknownModel = 1,
+    BadRequest = 2,
+    ServerError = 3,
+};
+
+/** A parsed request frame. */
+struct Request {
+    RequestType type = RequestType::Ping;
+
+    /** Target model name (inference requests). */
+    std::string model;
+
+    /** Number of input rows in the payload. */
+    uint32_t rows = 0;
+
+    /** Flat row-major input data. */
+    std::vector<float> payload;
+};
+
+/** A parsed response frame. */
+struct Response {
+    WireStatus status = WireStatus::Ok;
+
+    /** Error text or model listing. */
+    std::string message;
+
+    /** Flat row-major output data. */
+    std::vector<float> payload;
+};
+
+/** Serialize a request into wire bytes. */
+std::vector<uint8_t> encodeRequest(const Request &request);
+
+/** Serialize a response into wire bytes. */
+std::vector<uint8_t> encodeResponse(const Response &response);
+
+/**
+ * Parse a request frame from a complete buffer.
+ *
+ * @param data frame bytes (exactly one frame).
+ * @return the request, or a ProtocolError status.
+ */
+Result<Request> decodeRequest(const std::vector<uint8_t> &data);
+
+/** Parse a response frame from a complete buffer. */
+Result<Response> decodeResponse(const std::vector<uint8_t> &data);
+
+/**
+ * Blocking framed I/O over a connected stream socket. Frames on
+ * the wire are preceded by a u32 byte length. Writes use
+ * MSG_NOSIGNAL so a hung-up peer surfaces as an IoError instead of
+ * SIGPIPE.
+ */
+class FrameIo
+{
+  public:
+    /** @param fd an open, connected stream socket. */
+    explicit FrameIo(int fd) : fd_(fd) {}
+
+    /** Write one length-prefixed frame. */
+    Status writeFrame(const std::vector<uint8_t> &frame);
+
+    /**
+     * Read one length-prefixed frame.
+     *
+     * @param max_bytes reject frames larger than this.
+     */
+    Result<std::vector<uint8_t>> readFrame(
+        uint32_t max_bytes = 256u << 20);
+
+  private:
+    int fd_;
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_PROTOCOL_HH

@@ -1,0 +1,60 @@
+#include "gpu/gpu_model.hh"
+
+#include <algorithm>
+
+namespace djinn {
+namespace gpu {
+
+ForwardProfile
+profileForward(const perf::NetCost &cost, const GpuSpec &spec)
+{
+    ForwardProfile p;
+    p.network = cost.network;
+    p.batch = cost.batch;
+
+    double weight_bytes = 0.0;
+    double peak_activation = 0.0;
+
+    for (const auto &kernel : cost.kernels) {
+        KernelTiming t = timeKernel(kernel, spec);
+        p.totalTime += t.totalTime;
+        p.occupancy += t.occupancy * t.totalTime;
+        p.ipcRatio += t.ipcRatio * t.totalTime;
+        // Activation traffic approximates L1/shared pressure; total
+        // traffic approximates L2/DRAM pressure.
+        double l1 = t.totalTime > 0.0
+            ? std::min(1.0, kernel.activationBytes / t.totalTime /
+                       spec.memBandwidth)
+            : 0.0;
+        p.l1Utilization += l1 * t.totalTime;
+        p.l2Utilization += t.memUtilization * t.totalTime;
+        p.kernels.push_back(t);
+
+        // Footprint: weights resident once; activations double
+        // buffered at the widest layer.
+        weight_bytes += kernel.paramBytes;
+        peak_activation = std::max(peak_activation,
+                                   kernel.activationBytes);
+    }
+
+    if (p.totalTime > 0.0) {
+        p.occupancy /= p.totalTime;
+        p.ipcRatio /= p.totalTime;
+        p.l1Utilization /= p.totalTime;
+        p.l2Utilization /= p.totalTime;
+    }
+    p.memoryFootprint = weight_bytes + peak_activation;
+    return p;
+}
+
+double
+cpuForwardTime(const perf::NetCost &cost, const CpuSpec &spec)
+{
+    double total = 0.0;
+    for (const auto &kernel : cost.kernels)
+        total += cpuLayerTime(kernel, spec);
+    return total;
+}
+
+} // namespace gpu
+} // namespace djinn

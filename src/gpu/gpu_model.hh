@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Whole-network GPU forward-pass profile: execution time plus the
+ * time-weighted hardware counters the paper reports in Figure 6
+ * (occupancy, IPC/peak, L1/shared and L2 utilization).
+ */
+
+#ifndef DJINN_GPU_GPU_MODEL_HH
+#define DJINN_GPU_GPU_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/kernel_model.hh"
+#include "perf/layer_cost.hh"
+
+namespace djinn {
+namespace gpu {
+
+/** Profile of one batched forward pass on a GPU. */
+struct ForwardProfile {
+    /** Network name. */
+    std::string network;
+
+    /** Batch size (input rows). */
+    int64_t batch = 1;
+
+    /** Total forward-pass time for the batch, seconds. */
+    double totalTime = 0.0;
+
+    /** Per-kernel timings in layer order. */
+    std::vector<KernelTiming> kernels;
+
+    /** Time-weighted average achieved occupancy. */
+    double occupancy = 0.0;
+
+    /** Time-weighted average IPC / peak IPC. */
+    double ipcRatio = 0.0;
+
+    /** Time-weighted L1/shared utilization (activation traffic). */
+    double l1Utilization = 0.0;
+
+    /** Time-weighted L2/DRAM utilization (total traffic). */
+    double l2Utilization = 0.0;
+
+    /** Device memory footprint: weights + peak activations, bytes. */
+    double memoryFootprint = 0.0;
+
+    /** Samples per second this profile sustains. */
+    double
+    samplesPerSecond() const
+    {
+        return totalTime > 0.0 ? batch / totalTime : 0.0;
+    }
+};
+
+/**
+ * Profile a network's forward pass on a GPU.
+ *
+ * @param cost output of perf::analyzeNetwork at the desired batch.
+ * @param spec the device model.
+ */
+ForwardProfile profileForward(const perf::NetCost &cost,
+                              const GpuSpec &spec);
+
+/**
+ * Profile a network's forward pass on one CPU core.
+ *
+ * @return total forward time in seconds for the batch.
+ */
+double cpuForwardTime(const perf::NetCost &cost, const CpuSpec &spec);
+
+} // namespace gpu
+} // namespace djinn
+
+#endif // DJINN_GPU_GPU_MODEL_HH

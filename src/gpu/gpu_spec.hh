@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Hardware descriptions for the analytic timing models that replace
+ * the paper's measured platform (Table 2): the NVIDIA Tesla K40
+ * accelerator and one Intel Xeon E5-2620 v2 core.
+ *
+ * Every constant here is a model *parameter*: the defaults are
+ * calibrated so the paper's reported shapes hold (see DESIGN.md and
+ * tests/gpu/calibration_test.cc), and benches may vary them.
+ */
+
+#ifndef DJINN_GPU_GPU_SPEC_HH
+#define DJINN_GPU_GPU_SPEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace djinn {
+namespace gpu {
+
+/**
+ * An analytic GPU description. Defaults model the Tesla K40:
+ * 15 SMX, 2880 CUDA cores at boost, 4.29 TFLOP/s single precision,
+ * 288 GB/s GDDR5, 12 GB memory.
+ */
+struct GpuSpec {
+    /** Human-readable device name. */
+    std::string name = "Tesla K40";
+
+    /** Streaming multiprocessor count. */
+    int64_t smCount = 15;
+
+    /** Maximum resident warps per SM. */
+    int64_t maxWarpsPerSm = 64;
+
+    /** Threads per warp. */
+    int64_t warpSize = 32;
+
+    /** Peak single-precision FLOP/s. */
+    double peakFlops = 4.29e12;
+
+    /** Peak memory bandwidth, bytes/s. */
+    double memBandwidth = 288e9;
+
+    /** Device memory capacity in bytes. */
+    double memoryBytes = 12e9;
+
+    /** Board power in watts (K40: 235 W TDP). */
+    double powerWatts = 235.0;
+
+    // Model calibration -------------------------------------------
+
+    /** Fraction of peak memory bandwidth streaming kernels achieve. */
+    double memEfficiency = 0.80;
+
+    /**
+     * Fraction of peak bandwidth achieved by locally connected
+     * weight streaming (scattered per-position filters).
+     */
+    double lcMemEfficiency = 0.40;
+
+    /** Fraction of peak FLOP/s a well-shaped GEMM achieves. */
+    double gemmEfficiency = 0.45;
+
+    /**
+     * Fraction of peak FLOP/s the locally connected kernel achieves
+     * (many tiny dot products; the paper's FACE bottleneck).
+     */
+    double lcComputeEfficiency = 0.08;
+
+    /**
+     * Occupancy at which latency hiding saturates; achieved
+     * instruction throughput scales as min(1, occupancy / this).
+     */
+    double occupancySaturation = 0.90;
+
+    /** Fixed cost per kernel launch (driver + dispatch), seconds. */
+    double launchOverhead = 20e-6;
+
+    /**
+     * Cost of a context switch between CUDA processes time-sharing
+     * the GPU without MPS, seconds.
+     */
+    double contextSwitchOverhead = 120e-6;
+
+    /** Maximum concurrent MPS client processes (K40 MPS limit). */
+    int64_t mpsMaxProcesses = 16;
+
+    /** Maximum resident warps across the device. */
+    int64_t
+    maxActiveWarps() const
+    {
+        return smCount * maxWarpsPerSm;
+    }
+};
+
+/**
+ * An analytic single-core CPU description. Defaults model one core
+ * of the Intel Xeon E5-2620 v2 (Table 2): 2.1 GHz, AVX (8 SP FLOPs
+ * per cycle), a fair share of the socket's DDR3-1866 bandwidth.
+ */
+struct CpuSpec {
+    /** Human-readable name. */
+    std::string name = "Xeon E5-2620 v2 core";
+
+    /** Core clock in Hz. */
+    double frequency = 2.1e9;
+
+    /** Single-precision FLOPs per cycle (AVX mul+add). */
+    double flopsPerCycle = 8.0;
+
+    /** Achievable memory bandwidth for one core, bytes/s. */
+    double memBandwidth = 12.8e9;
+
+    /** Fraction of peak an ATLAS-class GEMM achieves. */
+    double gemmEfficiency = 0.70;
+
+    /** Fraction of peak the locally connected loop achieves. */
+    double lcEfficiency = 0.25;
+
+    /** Per-layer dispatch overhead, seconds. */
+    double layerOverhead = 2e-6;
+
+    /** Socket-level TDP attributed to this workload path, watts. */
+    double powerWatts = 80.0;
+
+    /** Peak FLOP/s. */
+    double peakFlops() const { return frequency * flopsPerCycle; }
+};
+
+} // namespace gpu
+} // namespace djinn
+
+#endif // DJINN_GPU_GPU_SPEC_HH

@@ -1,0 +1,107 @@
+#include "gpu/kernel_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace gpu {
+
+namespace {
+
+/** Arithmetic efficiency multiplier for a layer kind. */
+double
+computeEfficiency(nn::LayerKind kind, const GpuSpec &spec)
+{
+    switch (kind) {
+      case nn::LayerKind::InnerProduct:
+      case nn::LayerKind::Convolution:
+        return spec.gemmEfficiency;
+      case nn::LayerKind::LocallyConnected:
+        return spec.lcComputeEfficiency;
+      default:
+        // Elementwise kernels are trivially memory bound; give them
+        // full arithmetic efficiency so the roofline picks memory.
+        return 1.0;
+    }
+}
+
+/** Achievable bandwidth for a kernel's weight traffic. */
+double
+weightBandwidth(nn::LayerKind kind, const GpuSpec &spec)
+{
+    if (kind == nn::LayerKind::LocallyConnected)
+        return spec.memBandwidth * spec.lcMemEfficiency;
+    return spec.memBandwidth * spec.memEfficiency;
+}
+
+} // namespace
+
+KernelTiming
+timeKernel(const perf::KernelCost &kernel, const GpuSpec &spec)
+{
+    KernelTiming t;
+
+    int64_t warps_per_block =
+        (kernel.threadsPerBlock + spec.warpSize - 1) / spec.warpSize;
+    double resident_warps = static_cast<double>(
+        std::min(kernel.blocks * warps_per_block,
+                 spec.maxActiveWarps()));
+    t.occupancy = resident_warps /
+                  static_cast<double>(spec.maxActiveWarps());
+
+    double latency_hiding =
+        std::min(1.0, t.occupancy / spec.occupancySaturation);
+    double achieved_flops = spec.peakFlops *
+                            computeEfficiency(kernel.kind, spec) *
+                            kernel.tileUtilization * latency_hiding;
+    if (kernel.flops > 0.0)
+        t.computeTime = kernel.flops / achieved_flops;
+
+    double act_bw = spec.memBandwidth * spec.memEfficiency;
+    double w_bw = weightBandwidth(kernel.kind, spec);
+    t.memoryTime = kernel.weightBytes / w_bw +
+                   kernel.activationBytes / act_bw;
+
+    t.launchTime = static_cast<double>(kernel.launches) *
+                   spec.launchOverhead;
+    t.totalTime = std::max(t.computeTime, t.memoryTime) +
+                  t.launchTime;
+
+    if (t.totalTime > 0.0) {
+        t.ipcRatio = std::min(
+            1.0, kernel.flops / t.totalTime / spec.peakFlops);
+        t.memUtilization = std::min(
+            1.0, (kernel.weightBytes + kernel.activationBytes) /
+                 t.totalTime / spec.memBandwidth);
+    }
+    return t;
+}
+
+double
+cpuLayerTime(const perf::KernelCost &kernel, const CpuSpec &spec)
+{
+    double eff;
+    switch (kernel.kind) {
+      case nn::LayerKind::InnerProduct:
+      case nn::LayerKind::Convolution:
+        // ATLAS loses efficiency on small matrices the same way the
+        // GPU loses tile utilization; reuse that signal, softened.
+        eff = spec.gemmEfficiency *
+              (0.5 + 0.5 * kernel.tileUtilization);
+        break;
+      case nn::LayerKind::LocallyConnected:
+        eff = spec.lcEfficiency;
+        break;
+      default:
+        eff = 1.0;
+        break;
+    }
+    double compute = kernel.flops / (spec.peakFlops() * eff);
+    double memory = (kernel.weightBytes + kernel.activationBytes) /
+                    spec.memBandwidth;
+    return std::max(compute, memory) + spec.layerOverhead;
+}
+
+} // namespace gpu
+} // namespace djinn

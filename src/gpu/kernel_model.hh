@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-kernel GPU timing: a roofline model (compute vs. memory)
+ * modulated by occupancy and GEMM tile utilization, plus launch
+ * overhead. This is the unit the paper profiles with nvprof
+ * (Section 4, Figure 6).
+ */
+
+#ifndef DJINN_GPU_KERNEL_MODEL_HH
+#define DJINN_GPU_KERNEL_MODEL_HH
+
+#include "gpu/gpu_spec.hh"
+#include "perf/layer_cost.hh"
+
+namespace djinn {
+namespace gpu {
+
+/** Timing and counter results for one kernel on one GPU. */
+struct KernelTiming {
+    /** Time limited by arithmetic throughput, seconds. */
+    double computeTime = 0.0;
+
+    /** Time limited by memory traffic, seconds. */
+    double memoryTime = 0.0;
+
+    /** Total launch overhead (all sequential launches), seconds. */
+    double launchTime = 0.0;
+
+    /** Wall time: max(compute, memory) + launch. */
+    double totalTime = 0.0;
+
+    /** Achieved occupancy: resident warps / peak resident warps. */
+    double occupancy = 0.0;
+
+    /** Achieved instruction throughput / peak (nvprof "IPC/peak"). */
+    double ipcRatio = 0.0;
+
+    /** Achieved DRAM bandwidth / peak bandwidth. */
+    double memUtilization = 0.0;
+};
+
+/**
+ * Time one kernel on the device described by @p spec.
+ *
+ * The model:
+ *  - occupancy = min(1, resident warps / max warps), with resident
+ *    warps limited by the launch's block count;
+ *  - achieved FLOP/s = peak * kindEff * tileUtil
+ *      * min(1, occupancy / occupancySaturation);
+ *  - memory time = weight and activation traffic at the kind's
+ *    achievable bandwidth;
+ *  - wall time = max(compute, memory) + launches * launchOverhead.
+ */
+KernelTiming timeKernel(const perf::KernelCost &kernel,
+                        const GpuSpec &spec);
+
+/**
+ * Time one layer's forward pass on the CPU described by @p spec:
+ * roofline of GEMM throughput vs. memory streaming plus a small
+ * per-layer overhead.
+ *
+ * @return seconds.
+ */
+double cpuLayerTime(const perf::KernelCost &kernel,
+                    const CpuSpec &spec);
+
+} // namespace gpu
+} // namespace djinn
+
+#endif // DJINN_GPU_KERNEL_MODEL_HH

@@ -1,0 +1,67 @@
+#include "gpu/link.hh"
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace gpu {
+
+LinkSpec
+pcieV3()
+{
+    return LinkSpec{"PCIe v3 x16", 15.75e9, 0.80, 8e-6};
+}
+
+LinkSpec
+pcieV4()
+{
+    return LinkSpec{"PCIe v4 x16", 31.75e9, 0.80, 8e-6};
+}
+
+LinkSpec
+qpiAggregate()
+{
+    // 12 point-to-point links x 25.6 GB/s (Section 6.4).
+    return LinkSpec{"QPI x12", 307.2e9, 0.85, 2e-6};
+}
+
+LinkSpec
+ethernet10G()
+{
+    return ethernet10G(1);
+}
+
+LinkSpec
+ethernet10G(int count)
+{
+    if (count <= 0)
+        fatal("ethernet10G: need at least one NIC");
+    return LinkSpec{strprintf("%dx10GbE", count), count * 1.25e9,
+                    0.80, 20e-6};
+}
+
+LinkSpec
+ethernet40G(int count)
+{
+    if (count <= 0)
+        fatal("ethernet40G: need at least one NIC");
+    return LinkSpec{strprintf("%dx40GbE", count), count * 5.0e9,
+                    0.80, 15e-6};
+}
+
+LinkSpec
+ethernet400G(int count)
+{
+    if (count <= 0)
+        fatal("ethernet400G: need at least one NIC");
+    return LinkSpec{strprintf("%dx400GbE", count), count * 50.0e9,
+                    0.80, 10e-6};
+}
+
+LinkSpec
+unlimitedLink()
+{
+    return LinkSpec{"unlimited", 1e18, 1.0, 0.0};
+}
+
+} // namespace gpu
+} // namespace djinn

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Interconnect and network link models: PCIe v3/v4, QPI, and
+ * 10/40/400 Gb ethernet (paper Sections 6.1 and 6.4, Table 6).
+ * A link carries query payloads between host memory and GPUs, or
+ * between CPU servers and GPU servers in the disaggregated design.
+ */
+
+#ifndef DJINN_GPU_LINK_HH
+#define DJINN_GPU_LINK_HH
+
+#include <string>
+
+namespace djinn {
+namespace gpu {
+
+/** A point-to-point data link with finite bandwidth. */
+struct LinkSpec {
+    /** Human-readable name. */
+    std::string name = "PCIe v3 x16";
+
+    /** Raw peak bandwidth, bytes/s. */
+    double peakBandwidth = 15.75e9;
+
+    /** Fraction of peak achievable after protocol overhead. */
+    double efficiency = 0.80;
+
+    /** Fixed per-transfer latency (DMA setup / NIC), seconds. */
+    double perTransferLatency = 8e-6;
+
+    /** Achievable bandwidth, bytes/s. */
+    double
+    effectiveBandwidth() const
+    {
+        return peakBandwidth * efficiency;
+    }
+
+    /** Time to move @p bytes over an otherwise idle link. */
+    double
+    transferTime(double bytes) const
+    {
+        return perTransferLatency + bytes / effectiveBandwidth();
+    }
+};
+
+/** PCIe v3 x16: 15.75 GB/s peak. */
+LinkSpec pcieV3();
+
+/** PCIe v4 x16: 31.75 GB/s peak (Section 6.4). */
+LinkSpec pcieV4();
+
+/**
+ * QPI-attached GPUs: 12 point-to-point links at 25.6 GB/s each,
+ * 307.2 GB/s aggregate (Section 6.4).
+ */
+LinkSpec qpiAggregate();
+
+/** One 10GbE NIC: 1.25 GB/s peak, 80% protocol efficiency. */
+LinkSpec ethernet10G();
+
+/** @p count teamed 10GbE NICs. */
+LinkSpec ethernet10G(int count);
+
+/** @p count teamed 40GbE NICs. */
+LinkSpec ethernet40G(int count);
+
+/** @p count teamed 400GbE NICs. */
+LinkSpec ethernet400G(int count);
+
+/**
+ * An "infinite" link used for the paper's PCIe-bypass experiment
+ * (inputs pinned in GPU memory, Figure 12).
+ */
+LinkSpec unlimitedLink();
+
+} // namespace gpu
+} // namespace djinn
+
+#endif // DJINN_GPU_LINK_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Single-precision general matrix multiply, the compute core of DNN
+ * inference (the role ATLAS plays in the paper's CPU baseline).
+ *
+ * C = alpha * op(A) * op(B) + beta * C, row-major storage.
+ */
+
+#ifndef DJINN_NN_GEMM_HH
+#define DJINN_NN_GEMM_HH
+
+#include <cstdint>
+
+namespace djinn {
+namespace nn {
+
+/** Whether an operand is used as stored or transposed. */
+enum class Trans {
+    No,
+    Yes,
+};
+
+/**
+ * Row-major SGEMM: C (m x n) = alpha * op(A) * op(B) + beta * C.
+ *
+ * op(A) is m x k and op(B) is k x n after applying the transpose
+ * flags. Leading dimensions are the row strides of the matrices *as
+ * stored* (so A is lda-strided regardless of transA).
+ *
+ * The implementation is cache-blocked with a small register tile;
+ * correctness is the priority, with performance adequate for the
+ * functional service and tests.
+ */
+void sgemm(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+           int64_t k, float alpha, const float *a, int64_t lda,
+           const float *b, int64_t ldb, float beta, float *c,
+           int64_t ldc);
+
+/** Convenience SGEMM with no transposes and unit strides. */
+void sgemm(int64_t m, int64_t n, int64_t k, const float *a,
+           const float *b, float *c);
+
+/**
+ * Matrix-vector multiply y = A * x with A stored row-major (m x n).
+ */
+void sgemv(int64_t m, int64_t n, const float *a, const float *x,
+           float *y);
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_GEMM_HH

@@ -1,0 +1,51 @@
+#include "nn/init.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace djinn {
+namespace nn {
+
+namespace {
+
+uint64_t
+hashString(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+initializeWeights(Network &net, uint64_t seed)
+{
+    uint64_t base = mix64(seed ^ hashString(net.name()));
+    for (size_t i = 0; i < net.layerCount(); ++i) {
+        Layer &layer = net.layer(i);
+        auto params = layer.params();
+        if (params.empty())
+            continue;
+        Rng rng(mix64(base + i));
+        int64_t fan_in = layer.inputShape().sampleElems();
+        float stddev = std::sqrt(2.0f / static_cast<float>(
+            std::max<int64_t>(fan_in, 1)));
+        // The first tensor is weights; any later tensors are biases
+        // and stay zero (the allocation default).
+        Tensor *weights = params.front();
+        float *data = weights->data();
+        int64_t total = weights->elems();
+        for (int64_t j = 0; j < total; ++j)
+            data[j] = static_cast<float>(rng.gaussian(0.0, stddev));
+        for (size_t p = 1; p < params.size(); ++p)
+            params[p]->fill(0.0f);
+    }
+}
+
+} // namespace nn
+} // namespace djinn

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Deterministic weight initialization. The paper's experiments never
+ * measure accuracy, so pseudo-random weights with the right tensor
+ * shapes stand in for the released pre-trained models (see
+ * DESIGN.md, substitution table).
+ */
+
+#ifndef DJINN_NN_INIT_HH
+#define DJINN_NN_INIT_HH
+
+#include <cstdint>
+
+#include "nn/network.hh"
+
+namespace djinn {
+namespace nn {
+
+/**
+ * Fill every parameter tensor of @p net with He-scaled Gaussian
+ * values (stddev sqrt(2 / fan_in)), deterministically derived from
+ * @p seed, the network name, and each layer's index. Biases are
+ * zeroed.
+ */
+void initializeWeights(Network &net, uint64_t seed);
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_INIT_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Layer abstraction for the inference library. A Network is an
+ * ordered pipeline of Layers; each layer maps an input Tensor with
+ * batch dimension N to an output Tensor with the same N.
+ */
+
+#ifndef DJINN_NN_LAYER_HH
+#define DJINN_NN_LAYER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace djinn {
+namespace nn {
+
+/** The kinds of layer the library implements. */
+enum class LayerKind {
+    InnerProduct,
+    Convolution,
+    LocallyConnected,
+    MaxPool,
+    AvgPool,
+    ReLU,
+    Tanh,
+    Sigmoid,
+    HardTanh,
+    LRN,
+    Softmax,
+    Dropout,
+    Flatten,
+};
+
+/** Printable name of a layer kind (matches the netdef keyword). */
+const char *layerKindName(LayerKind kind);
+
+/** Parse a netdef keyword into a LayerKind; fatal() on unknown. */
+LayerKind layerKindFromName(const std::string &name);
+
+/**
+ * Base class for all layers. Layers are configured at construction,
+ * have their parameter shapes fixed by setup(), and are immutable
+ * during forward() so concurrent inference threads can share them.
+ */
+class Layer
+{
+  public:
+    /** @param name unique layer name within its network. */
+    Layer(std::string name, LayerKind kind)
+        : name_(std::move(name)), kind_(kind)
+    {}
+
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** The layer's unique name within its network. */
+    const std::string &name() const { return name_; }
+
+    /** The layer's kind. */
+    LayerKind kind() const { return kind_; }
+
+    /** The input sample shape this layer was set up with. */
+    const Shape &inputShape() const { return inputShape_; }
+
+    /** The output sample shape computed by setup(). */
+    const Shape &outputShape() const { return outputShape_; }
+
+    /**
+     * Fix the input geometry and allocate parameters. The batch
+     * dimension of @p input is ignored; geometry is (c, h, w).
+     * Must be called exactly once before forward().
+     */
+    void setup(const Shape &input);
+
+    /**
+     * Run the forward pass over a batch.
+     *
+     * @param in input with shape inputShape().withBatch(N).
+     * @param out resized by the layer to outputShape().withBatch(N).
+     */
+    void forward(const Tensor &in, Tensor &out) const;
+
+    /** Number of learned parameters (weights + biases). */
+    virtual uint64_t paramCount() const { return 0; }
+
+    /** Mutable views of the learned parameter tensors. */
+    virtual std::vector<Tensor *> params() { return {}; }
+
+    /** Read-only views of the learned parameter tensors. */
+    std::vector<const Tensor *> params() const;
+
+    /** One-line human-readable description. */
+    virtual std::string describe() const;
+
+  protected:
+    /** Compute the output sample shape and allocate parameters. */
+    virtual Shape setupImpl(const Shape &input) = 0;
+
+    /** Layer-specific forward pass; shapes already validated. */
+    virtual void forwardImpl(const Tensor &in, Tensor &out) const = 0;
+
+  private:
+    std::string name_;
+    LayerKind kind_;
+    Shape inputShape_;
+    Shape outputShape_;
+    bool isSetUp_ = false;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_LAYER_HH

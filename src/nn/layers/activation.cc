@@ -1,0 +1,61 @@
+#include "nn/layers/activation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+
+ActivationLayer::ActivationLayer(std::string name, LayerKind kind)
+    : Layer(std::move(name), kind)
+{
+    switch (kind) {
+      case LayerKind::ReLU:
+      case LayerKind::Tanh:
+      case LayerKind::Sigmoid:
+      case LayerKind::HardTanh:
+        break;
+      default:
+        panic("ActivationLayer constructed with non-activation kind");
+    }
+}
+
+Shape
+ActivationLayer::setupImpl(const Shape &input)
+{
+    return input;
+}
+
+void
+ActivationLayer::forwardImpl(const Tensor &in, Tensor &out) const
+{
+    int64_t total = in.elems();
+    const float *src = in.data();
+    float *dst = out.data();
+
+    switch (kind()) {
+      case LayerKind::ReLU:
+        for (int64_t i = 0; i < total; ++i)
+            dst[i] = src[i] > 0.0f ? src[i] : 0.0f;
+        break;
+      case LayerKind::Tanh:
+        for (int64_t i = 0; i < total; ++i)
+            dst[i] = std::tanh(src[i]);
+        break;
+      case LayerKind::Sigmoid:
+        for (int64_t i = 0; i < total; ++i)
+            dst[i] = 1.0f / (1.0f + std::exp(-src[i]));
+        break;
+      case LayerKind::HardTanh:
+        for (int64_t i = 0; i < total; ++i)
+            dst[i] = std::clamp(src[i], -1.0f, 1.0f);
+        break;
+      default:
+        panic("unreachable activation kind");
+    }
+}
+
+} // namespace nn
+} // namespace djinn

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Elementwise activation layers: ReLU (image nets), Sigmoid (Kaldi
+ * ASR net), Tanh and HardTanh (SENNA NLP nets).
+ */
+
+#ifndef DJINN_NN_LAYERS_ACTIVATION_HH
+#define DJINN_NN_LAYERS_ACTIVATION_HH
+
+#include "nn/layer.hh"
+
+namespace djinn {
+namespace nn {
+
+/**
+ * Elementwise activation. Output shape equals input shape; the kind
+ * selects the nonlinearity.
+ */
+class ActivationLayer : public Layer
+{
+  public:
+    /**
+     * @param name layer name.
+     * @param kind one of ReLU, Tanh, Sigmoid, HardTanh.
+     */
+    ActivationLayer(std::string name, LayerKind kind);
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_LAYERS_ACTIVATION_HH

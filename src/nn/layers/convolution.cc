@@ -1,0 +1,182 @@
+#include "nn/layers/convolution.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "nn/gemm.hh"
+
+namespace djinn {
+namespace nn {
+
+int64_t
+convOutSize(int64_t in, int64_t kernel, int64_t pad, int64_t stride)
+{
+    int64_t padded = in + 2 * pad - kernel;
+    if (padded < 0)
+        fatal("conv window %ld larger than padded input %ld",
+              kernel, in + 2 * pad);
+    return padded / stride + 1;
+}
+
+void
+im2col(const float *data, int64_t channels, int64_t height,
+       int64_t width, int64_t kernel_h, int64_t kernel_w, int64_t pad,
+       int64_t stride, float *col)
+{
+    int64_t out_h = convOutSize(height, kernel_h, pad, stride);
+    int64_t out_w = convOutSize(width, kernel_w, pad, stride);
+    int64_t cols = out_h * out_w;
+
+    for (int64_t c = 0; c < channels; ++c) {
+        const float *plane = data + c * height * width;
+        for (int64_t kh = 0; kh < kernel_h; ++kh) {
+            for (int64_t kw = 0; kw < kernel_w; ++kw) {
+                float *row =
+                    col + ((c * kernel_h + kh) * kernel_w + kw) * cols;
+                for (int64_t oh = 0; oh < out_h; ++oh) {
+                    int64_t ih = oh * stride - pad + kh;
+                    if (ih < 0 || ih >= height) {
+                        std::memset(row + oh * out_w, 0,
+                                    static_cast<size_t>(out_w) *
+                                    sizeof(float));
+                        continue;
+                    }
+                    const float *src = plane + ih * width;
+                    for (int64_t ow = 0; ow < out_w; ++ow) {
+                        int64_t iw = ow * stride - pad + kw;
+                        row[oh * out_w + ow] =
+                            (iw < 0 || iw >= width) ? 0.0f : src[iw];
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const float *col, int64_t channels, int64_t height,
+       int64_t width, int64_t kernel_h, int64_t kernel_w,
+       int64_t pad, int64_t stride, float *data)
+{
+    int64_t out_h = convOutSize(height, kernel_h, pad, stride);
+    int64_t out_w = convOutSize(width, kernel_w, pad, stride);
+    int64_t cols = out_h * out_w;
+
+    for (int64_t c = 0; c < channels; ++c) {
+        float *plane = data + c * height * width;
+        for (int64_t kh = 0; kh < kernel_h; ++kh) {
+            for (int64_t kw = 0; kw < kernel_w; ++kw) {
+                const float *row =
+                    col + ((c * kernel_h + kh) * kernel_w + kw) *
+                          cols;
+                for (int64_t oh = 0; oh < out_h; ++oh) {
+                    int64_t ih = oh * stride - pad + kh;
+                    if (ih < 0 || ih >= height)
+                        continue;
+                    float *dst = plane + ih * width;
+                    for (int64_t ow = 0; ow < out_w; ++ow) {
+                        int64_t iw = ow * stride - pad + kw;
+                        if (iw < 0 || iw >= width)
+                            continue;
+                        dst[iw] += row[oh * out_w + ow];
+                    }
+                }
+            }
+        }
+    }
+}
+
+ConvolutionLayer::ConvolutionLayer(std::string name,
+                                   int64_t out_channels, int64_t kernel,
+                                   int64_t stride, int64_t pad,
+                                   int64_t groups, bool bias)
+    : Layer(std::move(name), LayerKind::Convolution),
+      outChannels_(out_channels), kernel_(kernel), stride_(stride),
+      pad_(pad), groups_(groups), hasBias_(bias)
+{
+    if (out_channels <= 0 || kernel <= 0 || stride <= 0 || pad < 0 ||
+        groups <= 0) {
+        fatal("conv layer '%s': invalid geometry", this->name().c_str());
+    }
+    if (out_channels % groups != 0)
+        fatal("conv layer '%s': %ld outputs not divisible by %ld "
+              "groups", this->name().c_str(), out_channels, groups);
+}
+
+Shape
+ConvolutionLayer::setupImpl(const Shape &input)
+{
+    if (input.c() % groups_ != 0)
+        fatal("conv layer '%s': %ld input channels not divisible by "
+              "%ld groups", name().c_str(), input.c(), groups_);
+    int64_t in_per_group = input.c() / groups_;
+    weights_.resize(Shape(outChannels_, in_per_group, kernel_,
+                          kernel_));
+    if (hasBias_)
+        bias_.resize(Shape(1, outChannels_));
+    int64_t out_h = convOutSize(input.h(), kernel_, pad_, stride_);
+    int64_t out_w = convOutSize(input.w(), kernel_, pad_, stride_);
+    return Shape(1, outChannels_, out_h, out_w);
+}
+
+uint64_t
+ConvolutionLayer::paramCount() const
+{
+    uint64_t n = static_cast<uint64_t>(weights_.elems());
+    if (hasBias_)
+        n += outChannels_;
+    return n;
+}
+
+std::vector<Tensor *>
+ConvolutionLayer::params()
+{
+    std::vector<Tensor *> out{&weights_};
+    if (hasBias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+void
+ConvolutionLayer::forwardImpl(const Tensor &in, Tensor &out) const
+{
+    const Shape &is = inputShape();
+    const Shape &os = outputShape();
+    int64_t in_per_group = is.c() / groups_;
+    int64_t out_per_group = outChannels_ / groups_;
+    int64_t cols = os.h() * os.w();
+    int64_t patch = in_per_group * kernel_ * kernel_;
+
+    std::vector<float> col_buf(static_cast<size_t>(patch) * cols);
+
+    for (int64_t n = 0; n < in.shape().n(); ++n) {
+        const float *src = in.sample(n);
+        float *dst = out.sample(n);
+        for (int64_t g = 0; g < groups_; ++g) {
+            const float *src_g =
+                src + g * in_per_group * is.h() * is.w();
+            float *dst_g = dst + g * out_per_group * cols;
+            im2col(src_g, in_per_group, is.h(), is.w(), kernel_,
+                   kernel_, pad_, stride_, col_buf.data());
+            // dst_g[out_per_group x cols] =
+            //     W_g[out_per_group x patch] * col[patch x cols]
+            const float *w_g = weights_.data() +
+                               g * out_per_group * patch;
+            sgemm(Trans::No, Trans::No, out_per_group, cols, patch,
+                  1.0f, w_g, patch, col_buf.data(), cols, 0.0f, dst_g,
+                  cols);
+        }
+        if (hasBias_) {
+            const float *b = bias_.data();
+            for (int64_t c = 0; c < outChannels_; ++c) {
+                float *plane = dst + c * cols;
+                for (int64_t i = 0; i < cols; ++i)
+                    plane[i] += b[c];
+            }
+        }
+    }
+}
+
+} // namespace nn
+} // namespace djinn

@@ -1,0 +1,66 @@
+#include "nn/layers/inner_product.hh"
+
+#include "common/logging.hh"
+#include "nn/gemm.hh"
+
+namespace djinn {
+namespace nn {
+
+InnerProductLayer::InnerProductLayer(std::string name, int64_t outputs,
+                                     bool bias)
+    : Layer(std::move(name), LayerKind::InnerProduct),
+      outputs_(outputs), hasBias_(bias)
+{
+    if (outputs <= 0)
+        fatal("fc layer '%s': outputs must be positive, got %ld",
+              this->name().c_str(), outputs);
+}
+
+Shape
+InnerProductLayer::setupImpl(const Shape &input)
+{
+    inputs_ = input.sampleElems();
+    weights_.resize(Shape(outputs_, inputs_));
+    if (hasBias_)
+        bias_.resize(Shape(1, outputs_));
+    return Shape(1, outputs_);
+}
+
+uint64_t
+InnerProductLayer::paramCount() const
+{
+    uint64_t n = static_cast<uint64_t>(outputs_) * inputs_;
+    if (hasBias_)
+        n += outputs_;
+    return n;
+}
+
+std::vector<Tensor *>
+InnerProductLayer::params()
+{
+    std::vector<Tensor *> out{&weights_};
+    if (hasBias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+void
+InnerProductLayer::forwardImpl(const Tensor &in, Tensor &out) const
+{
+    int64_t batch = in.shape().n();
+    // out[N x outputs] = in[N x inputs] * W^T[inputs x outputs]
+    sgemm(Trans::No, Trans::Yes, batch, outputs_, inputs_, 1.0f,
+          in.data(), inputs_, weights_.data(), inputs_, 0.0f,
+          out.data(), outputs_);
+    if (hasBias_) {
+        const float *b = bias_.data();
+        for (int64_t n = 0; n < batch; ++n) {
+            float *row = out.sample(n);
+            for (int64_t o = 0; o < outputs_; ++o)
+                row[o] += b[o];
+        }
+    }
+}
+
+} // namespace nn
+} // namespace djinn

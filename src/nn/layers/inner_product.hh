@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fully connected (inner product) layer: out = in * W^T + b.
+ */
+
+#ifndef DJINN_NN_LAYERS_INNER_PRODUCT_HH
+#define DJINN_NN_LAYERS_INNER_PRODUCT_HH
+
+#include "nn/layer.hh"
+
+namespace djinn {
+namespace nn {
+
+/**
+ * Fully connected layer. The input sample is flattened to a vector
+ * of length c*h*w; weights are stored row-major (outputs x inputs).
+ */
+class InnerProductLayer : public Layer
+{
+  public:
+    /**
+     * @param name layer name.
+     * @param outputs number of output neurons.
+     * @param bias whether a bias vector is learned.
+     */
+    InnerProductLayer(std::string name, int64_t outputs,
+                      bool bias = true);
+
+    uint64_t paramCount() const override;
+    std::vector<Tensor *> params() override;
+
+    /** Number of output neurons. */
+    int64_t outputs() const { return outputs_; }
+
+    /** Flattened input length (valid after setup). */
+    int64_t inputs() const { return inputs_; }
+
+    /** The (outputs x inputs) weight matrix. */
+    const Tensor &weights() const { return weights_; }
+
+    /** The bias vector; empty when bias is disabled. */
+    const Tensor &bias() const { return bias_; }
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+
+  private:
+    int64_t outputs_;
+    bool hasBias_;
+    int64_t inputs_ = 0;
+    Tensor weights_;
+    Tensor bias_;
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_LAYERS_INNER_PRODUCT_HH

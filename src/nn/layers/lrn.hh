@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Local response normalization across channels, as used by AlexNet.
+ */
+
+#ifndef DJINN_NN_LAYERS_LRN_HH
+#define DJINN_NN_LAYERS_LRN_HH
+
+#include "nn/layer.hh"
+
+namespace djinn {
+namespace nn {
+
+/**
+ * Cross-channel LRN:
+ * out = in / (k + alpha/size * sum_{local window} in^2)^beta.
+ * Defaults match AlexNet (size 5, alpha 1e-4, beta 0.75, k 1).
+ */
+class LrnLayer : public Layer
+{
+  public:
+    /**
+     * @param name layer name.
+     * @param size channel window size (odd).
+     * @param alpha scale on the squared sum.
+     * @param beta exponent.
+     * @param k additive constant.
+     */
+    LrnLayer(std::string name, int64_t size = 5, float alpha = 1e-4f,
+             float beta = 0.75f, float k = 1.0f);
+
+    int64_t size() const { return size_; }
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+
+  private:
+    int64_t size_;
+    float alpha_;
+    float beta_;
+    float k_;
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_LAYERS_LRN_HH

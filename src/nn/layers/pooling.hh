@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Max and average pooling layers. Pooling windows follow Caffe's
+ * ceil-mode output size so AlexNet's 55 -> 27 -> 13 -> 6 pyramid is
+ * reproduced exactly.
+ */
+
+#ifndef DJINN_NN_LAYERS_POOLING_HH
+#define DJINN_NN_LAYERS_POOLING_HH
+
+#include "nn/layer.hh"
+
+namespace djinn {
+namespace nn {
+
+/** Ceil-mode pooled output size (Caffe semantics). */
+int64_t poolOutSize(int64_t in, int64_t kernel, int64_t pad,
+                    int64_t stride);
+
+/**
+ * Spatial pooling over square windows. Kind selects max or average;
+ * average pooling divides by the number of in-bounds elements.
+ */
+class PoolingLayer : public Layer
+{
+  public:
+    /**
+     * @param name layer name.
+     * @param kind LayerKind::MaxPool or LayerKind::AvgPool.
+     * @param kernel square window size.
+     * @param stride window stride.
+     * @param pad zero padding on each border.
+     */
+    PoolingLayer(std::string name, LayerKind kind, int64_t kernel,
+                 int64_t stride = 1, int64_t pad = 0);
+
+    int64_t kernel() const { return kernel_; }
+    int64_t stride() const { return stride_; }
+    int64_t pad() const { return pad_; }
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+
+  private:
+    int64_t kernel_;
+    int64_t stride_;
+    int64_t pad_;
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_LAYERS_POOLING_HH

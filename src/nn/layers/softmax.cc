@@ -1,0 +1,74 @@
+#include "nn/layers/softmax.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace djinn {
+namespace nn {
+
+SoftmaxLayer::SoftmaxLayer(std::string name)
+    : Layer(std::move(name), LayerKind::Softmax)
+{}
+
+Shape
+SoftmaxLayer::setupImpl(const Shape &input)
+{
+    return Shape(1, input.sampleElems());
+}
+
+void
+SoftmaxLayer::forwardImpl(const Tensor &in, Tensor &out) const
+{
+    int64_t dim = inputShape().sampleElems();
+    for (int64_t n = 0; n < in.shape().n(); ++n) {
+        const float *src = in.sample(n);
+        float *dst = out.sample(n);
+        float max = *std::max_element(src, src + dim);
+        double sum = 0.0;
+        for (int64_t i = 0; i < dim; ++i) {
+            dst[i] = std::exp(src[i] - max);
+            sum += dst[i];
+        }
+        float inv = static_cast<float>(1.0 / sum);
+        for (int64_t i = 0; i < dim; ++i)
+            dst[i] *= inv;
+    }
+}
+
+DropoutLayer::DropoutLayer(std::string name)
+    : Layer(std::move(name), LayerKind::Dropout)
+{}
+
+Shape
+DropoutLayer::setupImpl(const Shape &input)
+{
+    return input;
+}
+
+void
+DropoutLayer::forwardImpl(const Tensor &in, Tensor &out) const
+{
+    std::memcpy(out.data(), in.data(),
+                static_cast<size_t>(in.elems()) * sizeof(float));
+}
+
+FlattenLayer::FlattenLayer(std::string name)
+    : Layer(std::move(name), LayerKind::Flatten)
+{}
+
+Shape
+FlattenLayer::setupImpl(const Shape &input)
+{
+    return Shape(1, input.sampleElems());
+}
+
+void
+FlattenLayer::forwardImpl(const Tensor &in, Tensor &out) const
+{
+    std::memcpy(out.data(), in.data(),
+                static_cast<size_t>(in.elems()) * sizeof(float));
+}
+
+} // namespace nn
+} // namespace djinn

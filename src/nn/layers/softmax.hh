@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Softmax classifier layer (numerically stable, per sample).
+ */
+
+#ifndef DJINN_NN_LAYERS_SOFTMAX_HH
+#define DJINN_NN_LAYERS_SOFTMAX_HH
+
+#include "nn/layer.hh"
+
+namespace djinn {
+namespace nn {
+
+/**
+ * Softmax over the full sample vector. Each sample's outputs sum to
+ * one; inputs are shifted by the per-sample max before
+ * exponentiation for numerical stability.
+ */
+class SoftmaxLayer : public Layer
+{
+  public:
+    explicit SoftmaxLayer(std::string name);
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+};
+
+/**
+ * Identity layer standing in for Caffe's inference-time dropout
+ * (scaling is folded into the trained weights).
+ */
+class DropoutLayer : public Layer
+{
+  public:
+    explicit DropoutLayer(std::string name);
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+};
+
+/** Reshape a sample's (c, h, w) geometry to a flat vector. */
+class FlattenLayer : public Layer
+{
+  public:
+    explicit FlattenLayer(std::string name);
+
+  protected:
+    Shape setupImpl(const Shape &input) override;
+    void forwardImpl(const Tensor &in, Tensor &out) const override;
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_LAYERS_SOFTMAX_HH

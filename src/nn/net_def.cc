@@ -1,0 +1,295 @@
+#include "nn/net_def.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "nn/layers/activation.hh"
+#include "nn/layers/convolution.hh"
+#include "nn/layers/inner_product.hh"
+#include "nn/layers/locally_connected.hh"
+#include "nn/layers/lrn.hh"
+#include "nn/layers/pooling.hh"
+#include "nn/layers/softmax.hh"
+
+namespace djinn {
+namespace nn {
+
+namespace {
+
+/** Key-value options parsed from the tail of a layer line. */
+class Options
+{
+  public:
+    Options(const std::vector<std::string> &tokens, size_t start,
+            Status &status, int line)
+    {
+        for (size_t i = start; i < tokens.size(); i += 2) {
+            if (i + 1 >= tokens.size()) {
+                status = Status::invalidArgument(strprintf(
+                    "line %d: option '%s' missing a value", line,
+                    tokens[i].c_str()));
+                return;
+            }
+            int64_t value;
+            if (!parseInt(tokens[i + 1], value)) {
+                status = Status::invalidArgument(strprintf(
+                    "line %d: option '%s' has non-integer value '%s'",
+                    line, tokens[i].c_str(), tokens[i + 1].c_str()));
+                return;
+            }
+            values_[tokens[i]] = value;
+        }
+    }
+
+    int64_t
+    get(const std::string &key, int64_t fallback)
+    {
+        auto it = values_.find(key);
+        if (it == values_.end())
+            return fallback;
+        used_.insert(key);
+        return it->second;
+    }
+
+    /** Keys that were provided but never consumed. */
+    std::vector<std::string>
+    unused() const
+    {
+        std::vector<std::string> out;
+        for (const auto &[key, value] : values_) {
+            if (!used_.count(key))
+                out.push_back(key);
+        }
+        return out;
+    }
+
+  private:
+    std::map<std::string, int64_t> values_;
+    std::set<std::string> used_;
+};
+
+Result<LayerPtr>
+makeLayer(const std::string &lname, LayerKind kind, Options &opt,
+          int line)
+{
+    switch (kind) {
+      case LayerKind::InnerProduct:
+        {
+            int64_t out = opt.get("out", -1);
+            if (out <= 0) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: fc layer requires positive 'out'",
+                    line));
+            }
+            bool bias = opt.get("bias", 1) != 0;
+            return LayerPtr(
+                new InnerProductLayer(lname, out, bias));
+        }
+      case LayerKind::Convolution:
+        {
+            int64_t out = opt.get("out", -1);
+            int64_t kernel = opt.get("kernel", -1);
+            if (out <= 0 || kernel <= 0) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: conv layer requires 'out' and 'kernel'",
+                    line));
+            }
+            return LayerPtr(new ConvolutionLayer(
+                lname, out, kernel, opt.get("stride", 1),
+                opt.get("pad", 0), opt.get("group", 1),
+                opt.get("bias", 1) != 0));
+        }
+      case LayerKind::LocallyConnected:
+        {
+            int64_t out = opt.get("out", -1);
+            int64_t kernel = opt.get("kernel", -1);
+            if (out <= 0 || kernel <= 0) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: local layer requires 'out' and "
+                    "'kernel'", line));
+            }
+            return LayerPtr(new LocallyConnectedLayer(
+                lname, out, kernel, opt.get("stride", 1),
+                opt.get("pad", 0), opt.get("bias", 1) != 0));
+        }
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+        {
+            int64_t kernel = opt.get("kernel", -1);
+            if (kernel <= 0) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: pool layer requires 'kernel'", line));
+            }
+            return LayerPtr(new PoolingLayer(
+                lname, kind, kernel, opt.get("stride", 1),
+                opt.get("pad", 0)));
+        }
+      case LayerKind::ReLU:
+      case LayerKind::Tanh:
+      case LayerKind::Sigmoid:
+      case LayerKind::HardTanh:
+        return LayerPtr(new ActivationLayer(lname, kind));
+      case LayerKind::LRN:
+        return LayerPtr(new LrnLayer(lname, opt.get("size", 5)));
+      case LayerKind::Softmax:
+        return LayerPtr(new SoftmaxLayer(lname));
+      case LayerKind::Dropout:
+        return LayerPtr(new DropoutLayer(lname));
+      case LayerKind::Flatten:
+        return LayerPtr(new FlattenLayer(lname));
+    }
+    return Status::invalidArgument(strprintf(
+        "line %d: unhandled layer kind", line));
+}
+
+} // namespace
+
+Result<std::shared_ptr<Network>>
+parseNetDef(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string line;
+    int lineno = 0;
+
+    std::string net_name;
+    Shape input;
+    bool have_input = false;
+    std::shared_ptr<Network> net;
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::string_view body = trim(line);
+        if (body.empty() || body[0] == '#')
+            continue;
+        auto tokens = splitWhitespace(body);
+        const std::string &verb = tokens[0];
+
+        if (verb == "name") {
+            if (tokens.size() != 2) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: 'name' takes one argument", lineno));
+            }
+            net_name = tokens[1];
+        } else if (verb == "input") {
+            if (tokens.size() != 4) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: 'input' takes c h w", lineno));
+            }
+            int64_t c, h, w;
+            if (!parseInt(tokens[1], c) || !parseInt(tokens[2], h) ||
+                !parseInt(tokens[3], w) || c <= 0 || h <= 0 ||
+                w <= 0) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: invalid input geometry", lineno));
+            }
+            input = Shape(1, c, h, w);
+            have_input = true;
+        } else if (verb == "layer") {
+            if (!have_input) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: 'layer' before 'input'", lineno));
+            }
+            if (tokens.size() < 3) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: 'layer' needs a name and kind",
+                    lineno));
+            }
+            if (!net) {
+                net = std::make_shared<Network>(
+                    net_name.empty() ? "unnamed" : net_name, input);
+            }
+            LayerKind kind;
+            try {
+                kind = layerKindFromName(tokens[2]);
+            } catch (const FatalError &e) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: %s", lineno, e.what()));
+            }
+            Status opt_status = Status::ok();
+            Options opt(tokens, 3, opt_status, lineno);
+            if (!opt_status.isOk())
+                return opt_status;
+            auto layer = makeLayer(tokens[1], kind, opt, lineno);
+            if (!layer.isOk())
+                return layer.status();
+            auto unused = opt.unused();
+            if (!unused.empty()) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: unknown option '%s' for %s layer",
+                    lineno, unused.front().c_str(),
+                    tokens[2].c_str()));
+            }
+            try {
+                net->add(layer.takeValue());
+            } catch (const FatalError &e) {
+                return Status::invalidArgument(strprintf(
+                    "line %d: %s", lineno, e.what()));
+            }
+        } else {
+            return Status::invalidArgument(strprintf(
+                "line %d: unknown directive '%s'", lineno,
+                verb.c_str()));
+        }
+    }
+
+    if (!net) {
+        return Status::invalidArgument(
+            "netdef contains no layers");
+    }
+    try {
+        net->finalize();
+    } catch (const FatalError &e) {
+        return Status::invalidArgument(e.what());
+    }
+    return net;
+}
+
+std::shared_ptr<Network>
+parseNetDefOrDie(const std::string &text)
+{
+    auto result = parseNetDef(text);
+    if (!result.isOk())
+        fatal("netdef parse failed: %s",
+              result.status().toString().c_str());
+    return result.takeValue();
+}
+
+std::string
+formatNetDef(const Network &net)
+{
+    std::ostringstream os;
+    os << "name " << net.name() << "\n";
+    const Shape &in = net.inputShape();
+    os << "input " << in.c() << " " << in.h() << " " << in.w()
+       << "\n";
+    for (size_t i = 0; i < net.layerCount(); ++i) {
+        const Layer &l = net.layer(i);
+        os << "layer " << l.name() << " " << layerKindName(l.kind());
+        if (auto *fc = dynamic_cast<const InnerProductLayer *>(&l)) {
+            os << " out " << fc->outputs();
+        } else if (auto *cv =
+                   dynamic_cast<const ConvolutionLayer *>(&l)) {
+            os << " out " << cv->outChannels() << " kernel "
+               << cv->kernel() << " stride " << cv->stride()
+               << " pad " << cv->pad() << " group " << cv->groups();
+        } else if (auto *lc =
+                   dynamic_cast<const LocallyConnectedLayer *>(&l)) {
+            os << " out " << lc->outChannels() << " kernel "
+               << lc->kernel() << " stride " << lc->stride()
+               << " pad " << lc->pad();
+        } else if (auto *pl = dynamic_cast<const PoolingLayer *>(&l)) {
+            os << " kernel " << pl->kernel() << " stride "
+               << pl->stride() << " pad " << pl->pad();
+        } else if (auto *ln = dynamic_cast<const LrnLayer *>(&l)) {
+            os << " size " << ln->size();
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace nn
+} // namespace djinn

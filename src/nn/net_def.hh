@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Text network-definition format and parser (the role Caffe's
+ * prototxt plays in the paper). Example:
+ *
+ *     name alexnet
+ *     input 3 227 227
+ *     layer conv1 conv out 96 kernel 11 stride 4
+ *     layer relu1 relu
+ *     layer pool1 maxpool kernel 3 stride 2
+ *     layer fc8 fc out 1000
+ *     layer prob softmax
+ *
+ * Lines starting with '#' are comments. Layer lines are
+ * "layer <name> <kind> [key value]...".
+ */
+
+#ifndef DJINN_NN_NET_DEF_HH
+#define DJINN_NN_NET_DEF_HH
+
+#include <memory>
+#include <string>
+
+#include "common/status.hh"
+#include "nn/network.hh"
+
+namespace djinn {
+namespace nn {
+
+/**
+ * Parse a netdef document into a finalized Network with
+ * zero-initialized weights.
+ *
+ * @param text the netdef source.
+ * @return the network, or a Status describing the first parse error
+ *         (with a line number).
+ */
+Result<std::shared_ptr<Network>> parseNetDef(const std::string &text);
+
+/**
+ * Parse a netdef document, aborting via fatal() on error. For
+ * trusted built-in definitions (the zoo).
+ */
+std::shared_ptr<Network> parseNetDefOrDie(const std::string &text);
+
+/** Render a Network back into netdef text (round-trips the zoo). */
+std::string formatNetDef(const Network &net);
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_NET_DEF_HH

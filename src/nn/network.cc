@@ -1,0 +1,112 @@
+#include "nn/network.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+
+Network::Network(std::string name, const Shape &input)
+    : name_(std::move(name)),
+      inputShape_(1, input.c(), input.h(), input.w()),
+      tailShape_(inputShape_)
+{
+    if (inputShape_.sampleElems() <= 0)
+        fatal("network '%s': empty input shape", name_.c_str());
+}
+
+const Shape &
+Network::outputShape() const
+{
+    if (!finalized_)
+        panic("network '%s': outputShape before finalize",
+              name_.c_str());
+    return tailShape_;
+}
+
+void
+Network::add(LayerPtr layer)
+{
+    if (finalized_)
+        panic("network '%s': add after finalize", name_.c_str());
+    if (findLayer(layer->name()))
+        fatal("network '%s': duplicate layer name '%s'", name_.c_str(),
+              layer->name().c_str());
+    layer->setup(tailShape_);
+    tailShape_ = layer->outputShape();
+    layers_.push_back(std::move(layer));
+}
+
+void
+Network::finalize()
+{
+    if (finalized_)
+        panic("network '%s': finalize twice", name_.c_str());
+    if (layers_.empty())
+        fatal("network '%s': no layers", name_.c_str());
+    finalized_ = true;
+}
+
+const Layer *
+Network::findLayer(const std::string &name) const
+{
+    for (const auto &l : layers_) {
+        if (l->name() == name)
+            return l.get();
+    }
+    return nullptr;
+}
+
+uint64_t
+Network::paramCount() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers_)
+        total += l->paramCount();
+    return total;
+}
+
+uint64_t
+Network::weightBytes() const
+{
+    return paramCount() * sizeof(float);
+}
+
+Tensor
+Network::forward(const Tensor &in) const
+{
+    if (!finalized_)
+        panic("network '%s': forward before finalize", name_.c_str());
+    Tensor a = in;
+    Tensor b;
+    const Tensor *cur = &a;
+    Tensor *next = &b;
+    for (const auto &l : layers_) {
+        l->forward(*cur, *next);
+        if (cur == &a) {
+            cur = &b;
+            next = &a;
+        } else {
+            cur = &a;
+            next = &b;
+        }
+    }
+    return cur == &a ? std::move(a) : std::move(b);
+}
+
+std::string
+Network::describe() const
+{
+    std::ostringstream os;
+    os << "network " << name_ << " input "
+       << inputShape_.toString() << "\n";
+    for (const auto &l : layers_)
+        os << "  " << l->describe() << "\n";
+    os << "  total params: " << paramCount() << " ("
+       << weightBytes() / (1024.0 * 1024.0) << " MiB)\n";
+    return os.str();
+}
+
+} // namespace nn
+} // namespace djinn

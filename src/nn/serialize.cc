@@ -1,0 +1,138 @@
+#include "nn/serialize.hh"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+
+namespace {
+
+constexpr char magic[4] = {'D', 'J', 'W', '1'};
+
+void
+writeU32(std::ostream &os, uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+void
+writeU64(std::ostream &os, uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU32(std::istream &is, uint32_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+bool
+readU64(std::istream &is, uint64_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace
+
+Status
+saveWeights(const Network &net, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return Status::ioError("cannot open '" + path +
+                               "' for writing");
+    os.write(magic, sizeof(magic));
+    writeU32(os, static_cast<uint32_t>(net.layerCount()));
+    for (size_t i = 0; i < net.layerCount(); ++i) {
+        const Layer &layer = net.layer(i);
+        const std::string &name = layer.name();
+        writeU32(os, static_cast<uint32_t>(name.size()));
+        os.write(name.data(),
+                 static_cast<std::streamsize>(name.size()));
+        auto params = layer.params();
+        writeU32(os, static_cast<uint32_t>(params.size()));
+        for (const Tensor *t : params) {
+            writeU64(os, static_cast<uint64_t>(t->elems()));
+            os.write(reinterpret_cast<const char *>(t->data()),
+                     static_cast<std::streamsize>(
+                         t->elems() * sizeof(float)));
+        }
+    }
+    if (!os)
+        return Status::ioError("write failed for '" + path + "'");
+    return Status::ok();
+}
+
+Status
+loadWeights(Network &net, const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return Status::ioError("cannot open '" + path +
+                               "' for reading");
+    char got_magic[4];
+    is.read(got_magic, sizeof(got_magic));
+    if (!is || std::memcmp(got_magic, magic, sizeof(magic)) != 0)
+        return Status::protocolError("'" + path +
+                                     "' is not a DJW1 weight file");
+    uint32_t layer_count;
+    if (!readU32(is, layer_count))
+        return Status::protocolError("truncated weight file");
+    if (layer_count != net.layerCount()) {
+        return Status::invalidArgument(strprintf(
+            "weight file has %u layers, network '%s' has %zu",
+            layer_count, net.name().c_str(), net.layerCount()));
+    }
+    for (size_t i = 0; i < net.layerCount(); ++i) {
+        Layer &layer = net.layer(i);
+        uint32_t name_len;
+        if (!readU32(is, name_len) || name_len > 4096)
+            return Status::protocolError("truncated weight file");
+        std::string name(name_len, '\0');
+        is.read(name.data(), name_len);
+        if (!is)
+            return Status::protocolError("truncated weight file");
+        if (name != layer.name()) {
+            return Status::invalidArgument(strprintf(
+                "layer %zu name mismatch: file '%s', network '%s'",
+                i, name.c_str(), layer.name().c_str()));
+        }
+        uint32_t tensor_count;
+        if (!readU32(is, tensor_count))
+            return Status::protocolError("truncated weight file");
+        auto params = layer.params();
+        if (tensor_count != params.size()) {
+            return Status::invalidArgument(strprintf(
+                "layer '%s': file has %u param tensors, network has "
+                "%zu", name.c_str(), tensor_count, params.size()));
+        }
+        for (Tensor *t : params) {
+            uint64_t elems;
+            if (!readU64(is, elems))
+                return Status::protocolError("truncated weight file");
+            if (elems != static_cast<uint64_t>(t->elems())) {
+                return Status::invalidArgument(strprintf(
+                    "layer '%s': tensor element count mismatch "
+                    "(file %llu, network %lld)", name.c_str(),
+                    static_cast<unsigned long long>(elems),
+                    static_cast<long long>(t->elems())));
+            }
+            is.read(reinterpret_cast<char *>(t->data()),
+                    static_cast<std::streamsize>(
+                        elems * sizeof(float)));
+            if (!is)
+                return Status::protocolError("truncated weight file");
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace nn
+} // namespace djinn

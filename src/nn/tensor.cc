@@ -1,0 +1,92 @@
+#include "nn/tensor.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+
+Shape::Shape(int64_t n, int64_t c, int64_t h, int64_t w)
+    : n_(n), c_(c), h_(h), w_(w)
+{
+    if (n < 0 || c < 0 || h < 0 || w < 0)
+        fatal("Shape: negative dimension in %ldx%ldx%ldx%ld",
+              n, c, h, w);
+}
+
+std::string
+Shape::toString() const
+{
+    return std::to_string(n_) + "x" + std::to_string(c_) + "x" +
+           std::to_string(h_) + "x" + std::to_string(w_);
+}
+
+Tensor::Tensor(const Shape &shape)
+    : shape_(shape), data_(static_cast<size_t>(shape.elems()), 0.0f)
+{}
+
+Tensor::Tensor(const Shape &shape, float fill)
+    : shape_(shape), data_(static_cast<size_t>(shape.elems()), fill)
+{}
+
+float *
+Tensor::sample(int64_t n)
+{
+    return data_.data() + n * shape_.sampleElems();
+}
+
+const float *
+Tensor::sample(int64_t n) const
+{
+    return data_.data() + n * shape_.sampleElems();
+}
+
+void
+Tensor::reshape(const Shape &shape)
+{
+    if (shape.elems() != shape_.elems()) {
+        fatal("reshape: %s (%ld elems) -> %s (%ld elems)",
+              shape_.toString().c_str(), shape_.elems(),
+              shape.toString().c_str(), shape.elems());
+    }
+    shape_ = shape;
+}
+
+void
+Tensor::resize(const Shape &shape)
+{
+    shape_ = shape;
+    data_.resize(static_cast<size_t>(shape.elems()));
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+double
+Tensor::sum() const
+{
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+int64_t
+Tensor::argmaxSample(int64_t n) const
+{
+    const float *base = sample(n);
+    int64_t count = shape_.sampleElems();
+    if (count == 0)
+        fatal("argmaxSample on empty sample");
+    int64_t best = 0;
+    for (int64_t i = 1; i < count; ++i) {
+        if (base[i] > base[best])
+            best = i;
+    }
+    return best;
+}
+
+} // namespace nn
+} // namespace djinn

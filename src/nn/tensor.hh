@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Dense float tensors in NCHW layout, the data currency of the
+ * inference library. A Shape is (n, c, h, w); vectors are represented
+ * as (n, c, 1, 1).
+ */
+
+#ifndef DJINN_NN_TENSOR_HH
+#define DJINN_NN_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace djinn {
+namespace nn {
+
+/**
+ * A 4-dimensional NCHW shape. n is the batch dimension; layers treat
+ * (c, h, w) as the per-sample geometry.
+ */
+class Shape
+{
+  public:
+    /** Default: the empty shape (0, 0, 0, 0). */
+    Shape() = default;
+
+    /** Construct from explicit dimensions; all must be >= 0. */
+    Shape(int64_t n, int64_t c, int64_t h = 1, int64_t w = 1);
+
+    int64_t n() const { return n_; }
+    int64_t c() const { return c_; }
+    int64_t h() const { return h_; }
+    int64_t w() const { return w_; }
+
+    /** Total element count n*c*h*w. */
+    int64_t elems() const { return n_ * c_ * h_ * w_; }
+
+    /** Per-sample element count c*h*w. */
+    int64_t sampleElems() const { return c_ * h_ * w_; }
+
+    /** Same shape with a different batch dimension. */
+    Shape withBatch(int64_t n) const { return Shape(n, c_, h_, w_); }
+
+    bool operator==(const Shape &o) const = default;
+
+    /** Render as "NxCxHxW". */
+    std::string toString() const;
+
+  private:
+    int64_t n_ = 0;
+    int64_t c_ = 0;
+    int64_t h_ = 0;
+    int64_t w_ = 0;
+};
+
+/**
+ * An owning, contiguous float tensor. Layout is NCHW: index
+ * (n, c, h, w) maps to ((n*C + c)*H + h)*W + w.
+ */
+class Tensor
+{
+  public:
+    /** The empty tensor. */
+    Tensor() = default;
+
+    /** Allocate a zero-filled tensor of the given shape. */
+    explicit Tensor(const Shape &shape);
+
+    /** Allocate and fill with a constant. */
+    Tensor(const Shape &shape, float fill);
+
+    /** The tensor's shape. */
+    const Shape &shape() const { return shape_; }
+
+    /** Total element count. */
+    int64_t elems() const { return shape_.elems(); }
+
+    /** True when no elements are held. */
+    bool empty() const { return data_.empty(); }
+
+    /** Mutable flat storage. */
+    float *data() { return data_.data(); }
+
+    /** Read-only flat storage. */
+    const float *data() const { return data_.data(); }
+
+    /** Element access by NCHW coordinates (bounds unchecked). */
+    float &
+    at(int64_t n, int64_t c, int64_t h, int64_t w)
+    {
+        return data_[offset(n, c, h, w)];
+    }
+
+    /** Read-only element access by NCHW coordinates. */
+    float
+    at(int64_t n, int64_t c, int64_t h, int64_t w) const
+    {
+        return data_[offset(n, c, h, w)];
+    }
+
+    /** Flat element access (bounds checked in debug). */
+    float &operator[](int64_t i) { return data_[i]; }
+
+    /** Read-only flat element access. */
+    float operator[](int64_t i) const { return data_[i]; }
+
+    /** Pointer to the start of sample @p n. */
+    float *sample(int64_t n);
+
+    /** Read-only pointer to the start of sample @p n. */
+    const float *sample(int64_t n) const;
+
+    /**
+     * Reinterpret the same storage with a new shape of equal element
+     * count. Fails with fatal() on mismatched element counts.
+     */
+    void reshape(const Shape &shape);
+
+    /**
+     * Resize, discarding contents. Storage is reallocated only when
+     * the element count grows.
+     */
+    void resize(const Shape &shape);
+
+    /** Set every element to @p value. */
+    void fill(float value);
+
+    /** Sum of all elements. */
+    double sum() const;
+
+    /** Index of the maximum element within sample @p n. */
+    int64_t argmaxSample(int64_t n) const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+
+    int64_t
+    offset(int64_t n, int64_t c, int64_t h, int64_t w) const
+    {
+        return ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w;
+    }
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_TENSOR_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Static cost analysis of a network's forward pass: per-layer FLOP
+ * counts, memory traffic, and GPU kernel launch geometry. These
+ * feed the CPU and GPU timing models (src/gpu) that replace the
+ * paper's real Xeon/K40 measurements.
+ */
+
+#ifndef DJINN_PERF_LAYER_COST_HH
+#define DJINN_PERF_LAYER_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace djinn {
+namespace perf {
+
+/**
+ * The cost of one layer's forward pass at a given batch size,
+ * expressed as one GPU kernel (Caffe launches one or more kernels
+ * per layer; we aggregate to one representative kernel per layer).
+ */
+struct KernelCost {
+    /** Name of the layer this kernel implements. */
+    std::string layer;
+
+    /** Layer kind. */
+    nn::LayerKind kind;
+
+    /** Total floating point operations for the batch. */
+    double flops = 0.0;
+
+    /**
+     * Parameter bytes streamed from memory during the batch.
+     * Layers whose GEMM carries the batch in its M dimension (fully
+     * connected) read weights once per launch; Caffe-style per-sample
+     * layers (convolution via im2col, locally connected) re-stream
+     * them per sample.
+     */
+    double weightBytes = 0.0;
+
+    /** Activation bytes moved (inputs read + outputs written). */
+    double activationBytes = 0.0;
+
+    /** Resident parameter bytes (model footprint, batch independent). */
+    double paramBytes = 0.0;
+
+    /**
+     * GEMM tile utilization in [0, 1]: the fraction of launched
+     * multiply-adds that compute useful outputs. Small matrices pay
+     * for full 32x32 tiles they cannot fill (e.g. an M=1 fully
+     * connected pass uses 1/32 of each tile row).
+     */
+    double tileUtilization = 1.0;
+
+    /** Thread blocks launched (tiled-GEMM geometry). */
+    int64_t blocks = 0;
+
+    /** Threads per block. */
+    int64_t threadsPerBlock = 256;
+
+    /**
+     * Number of sequential kernel launches this layer issues for the
+     * batch (per-sample layers launch once per sample).
+     */
+    int64_t launches = 1;
+};
+
+/** Aggregate forward-pass cost of a network at one batch size. */
+struct NetCost {
+    /** Network name. */
+    std::string network;
+
+    /** Batch size (total input rows / images fed at once). */
+    int64_t batch = 1;
+
+    /** Per-layer kernel costs, in execution order. */
+    std::vector<KernelCost> kernels;
+
+    /** Sum of kernel FLOPs. */
+    double totalFlops() const;
+
+    /** Sum of kernel memory traffic (weights + activations). */
+    double totalBytes() const;
+
+    /** Sum of kernel launch counts. */
+    int64_t totalLaunches() const;
+};
+
+/**
+ * Analyze a network's forward pass at a batch size.
+ *
+ * @param net a finalized network.
+ * @param batch number of samples processed per query batch.
+ */
+NetCost analyzeNetwork(const nn::Network &net, int64_t batch);
+
+/**
+ * GEMM launch geometry used by the GPU model: 32x32 output tiles,
+ * 256 threads per block.
+ */
+struct GemmGeometry {
+    int64_t blocks;
+    double tileUtilization;
+};
+
+/**
+ * Compute tiled-GEMM geometry for an (m x n) output matrix.
+ *
+ * @param tile_m tile height: 32 for cuBLAS-style GEMM (fully
+ *        connected layers), 16 for cuDNN's implicit-GEMM
+ *        convolutions, which pack few-filter cases better.
+ */
+GemmGeometry gemmGeometry(int64_t m, int64_t n, int64_t tile_m = 32);
+
+} // namespace perf
+} // namespace djinn
+
+#endif // DJINN_PERF_LAYER_COST_HH

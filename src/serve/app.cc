@@ -1,0 +1,77 @@
+#include "serve/app.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace djinn {
+namespace serve {
+
+namespace {
+
+using nn::zoo::Model;
+using namespace units;
+
+/**
+ * Table 3, plus the pre/post-processing fractions implied by
+ * Figure 4 (image tasks are nearly pure DNN; ASR splits roughly
+ * half; the NLP tasks spend about a third outside the DNN).
+ * Output sizes follow the service responses: a classification for
+ * the image tasks, per-input probability vectors for ASR and NLP.
+ */
+const AppSpec catalog[] = {
+    {App::IMC, "IMC", Model::AlexNet, 1, 604 * KiB, 4 * KiB, 16,
+     0.015, 0.005},
+    {App::DIG, "DIG", Model::Mnist, 100, 307 * KiB, 4 * KiB, 16,
+     0.02, 0.01},
+    {App::FACE, "FACE", Model::DeepFace, 1, 271 * KiB, 0.4 * KiB, 2,
+     0.015, 0.005},
+    {App::ASR, "ASR", Model::KaldiAsr, 548, 4594 * KiB, 8766 * KiB, 2,
+     0.72, 0.40},
+    {App::POS, "POS", Model::SennaPos, 28, 38 * KiB, 5 * KiB, 64,
+     0.30, 0.19},
+    {App::CHK, "CHK", Model::SennaChk, 28, 75 * KiB, 2.6 * KiB, 64,
+     0.33, 0.21},
+    {App::NER, "NER", Model::SennaNer, 28, 43 * KiB, 1.0 * KiB, 64,
+     0.27, 0.16},
+};
+
+} // namespace
+
+const AppSpec &
+appSpec(App app)
+{
+    for (const auto &spec : catalog) {
+        if (spec.app == app)
+            return spec;
+    }
+    panic("appSpec: unknown app %d", static_cast<int>(app));
+}
+
+App
+appFromName(const std::string &name)
+{
+    for (const auto &spec : catalog) {
+        if (spec.name == name)
+            return spec.app;
+    }
+    fatal("unknown application '%s'", name.c_str());
+}
+
+const std::vector<App> &
+allApps()
+{
+    static const std::vector<App> apps = {
+        App::IMC, App::DIG, App::FACE, App::ASR,
+        App::POS, App::CHK, App::NER,
+    };
+    return apps;
+}
+
+const char *
+appName(App app)
+{
+    return appSpec(app).name.c_str();
+}
+
+} // namespace serve
+} // namespace djinn

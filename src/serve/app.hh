@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The seven DjiNN service applications and their service-level
+ * parameters (paper Table 3): query input/output sizes, DNN rows per
+ * query, the tuned batch size, and the CPU-side pre/post-processing
+ * share (paper Figure 4).
+ */
+
+#ifndef DJINN_SERVE_APP_HH
+#define DJINN_SERVE_APP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/zoo.hh"
+
+namespace djinn {
+namespace serve {
+
+/** The Tonic Suite applications. */
+enum class App {
+    IMC,
+    DIG,
+    FACE,
+    ASR,
+    POS,
+    CHK,
+    NER,
+};
+
+/** Service-level description of one application (Table 3 row). */
+struct AppSpec {
+    /** Which application. */
+    App app;
+
+    /** Short upper-case name ("IMC"). */
+    std::string name;
+
+    /** The zoo network that backs the app. */
+    nn::zoo::Model model;
+
+    /**
+     * DNN input rows contained in one query: 1 image for IMC/FACE,
+     * 100 images for DIG, 548 feature vectors for ASR, 28 words for
+     * the NLP tasks.
+     */
+    int64_t samplesPerQuery;
+
+    /** Query payload sent to the service, bytes (Table 3). */
+    double inputBytes;
+
+    /** Response payload returned by the service, bytes. */
+    double outputBytes;
+
+    /**
+     * The throughput/latency-balanced batch size chosen in the
+     * paper (queries per combined GPU pass, Table 3 last column).
+     */
+    int64_t tunedBatch;
+
+    /**
+     * CPU pre-processing time as a fraction of the app's
+     * single-core CPU DNN time (drives Figure 4).
+     */
+    double preprocFraction;
+
+    /** CPU post-processing fraction, same normalization. */
+    double postprocFraction;
+
+    /** DNN fraction of total single-core execution (Figure 4). */
+    double
+    dnnFraction() const
+    {
+        return 1.0 / (1.0 + preprocFraction + postprocFraction);
+    }
+};
+
+/** The spec for one application. */
+const AppSpec &appSpec(App app);
+
+/** Look up an application by its short name; fatal() on unknown. */
+App appFromName(const std::string &name);
+
+/** All seven applications in Table 3 order. */
+const std::vector<App> &allApps();
+
+/** Short name of an application. */
+const char *appName(App app);
+
+} // namespace serve
+} // namespace djinn
+
+#endif // DJINN_SERVE_APP_HH

@@ -1,0 +1,200 @@
+#include "serve/resources.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace serve {
+
+// FifoLink ---------------------------------------------------------
+
+FifoLink::FifoLink(sim::EventQueue &eq, const gpu::LinkSpec &spec)
+    : eq_(eq), spec_(spec)
+{}
+
+void
+FifoLink::transfer(double bytes, std::function<void()> done)
+{
+    queue_.push_back({bytes, std::move(done)});
+    if (!busy_)
+        startNext();
+}
+
+void
+FifoLink::startNext()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Pending item = std::move(queue_.front());
+    queue_.pop_front();
+    double duration = spec_.transferTime(item.bytes);
+    bytesMoved_ += item.bytes;
+    busyTime_ += duration;
+    eq_.scheduleAfter(duration,
+                      [this, done = std::move(item.done)]() {
+                          done();
+                          startNext();
+                      });
+}
+
+// CpuPool ----------------------------------------------------------
+
+CpuPool::CpuPool(sim::EventQueue &eq, int cores)
+    : eq_(eq), cores_(cores)
+{
+    if (cores <= 0)
+        fatal("CpuPool: need at least one core, got %d", cores);
+}
+
+void
+CpuPool::run(double duration, std::function<void()> done)
+{
+    queue_.push_back({duration, std::move(done)});
+    dispatch();
+}
+
+void
+CpuPool::dispatch()
+{
+    while (busyCores_ < cores_ && !queue_.empty()) {
+        Pending item = std::move(queue_.front());
+        queue_.pop_front();
+        ++busyCores_;
+        busyTime_ += item.duration;
+        eq_.scheduleAfter(item.duration,
+                          [this, done = std::move(item.done)]() {
+                              --busyCores_;
+                              done();
+                              dispatch();
+                          });
+    }
+}
+
+// GpuResource ------------------------------------------------------
+
+GpuResource::GpuResource(sim::EventQueue &eq, const gpu::GpuSpec &spec,
+                         bool mps)
+    : eq_(eq), spec_(spec), mps_(mps)
+{}
+
+void
+GpuResource::submit(Job job)
+{
+    if (job.soloTime <= 0.0)
+        fatal("GpuResource: non-positive job time %g", job.soloTime);
+    if (!mps_) {
+        queue_.push_back(std::move(job));
+        if (!busy_)
+            startNextExclusive();
+        return;
+    }
+
+    // MPS: admit up to the process limit, overflow waits FIFO.
+    if (static_cast<int64_t>(running_.size()) >=
+        spec_.mpsMaxProcesses) {
+        queue_.push_back(std::move(job));
+        return;
+    }
+    advance();
+    running_.push_back({std::move(job), 0.0});
+    running_.back().remaining = running_.back().job.soloTime;
+    reschedule();
+}
+
+void
+GpuResource::startNextExclusive()
+{
+    if (queue_.empty()) {
+        busy_ = false;
+        return;
+    }
+    busy_ = true;
+    Job job = std::move(queue_.front());
+    queue_.pop_front();
+    double duration = job.soloTime;
+    if (lastInstance_ != -1 && lastInstance_ != job.instance)
+        duration += spec_.contextSwitchOverhead;
+    lastInstance_ = job.instance;
+    workDone_ += job.soloTime;
+    eq_.scheduleAfter(duration,
+                      [this, done = std::move(job.done)]() {
+                          done();
+                          startNextExclusive();
+                      });
+}
+
+double
+GpuResource::currentRate() const
+{
+    double total_occ = 0.0;
+    for (const auto &r : running_)
+        total_occ += r.job.occupancy;
+    if (total_occ <= 1.0)
+        return 1.0;
+    return 1.0 / total_occ;
+}
+
+void
+GpuResource::advance()
+{
+    double now = eq_.now();
+    double dt = now - lastUpdate_;
+    lastUpdate_ = now;
+    if (dt <= 0.0 || running_.empty())
+        return;
+    double rate = currentRate();
+    for (auto &r : running_)
+        r.remaining -= dt * rate;
+}
+
+void
+GpuResource::reschedule()
+{
+    if (completionEvent_ != sim::InvalidEventId) {
+        eq_.cancel(completionEvent_);
+        completionEvent_ = sim::InvalidEventId;
+    }
+    if (running_.empty())
+        return;
+    double min_remaining = 1e300;
+    for (const auto &r : running_)
+        min_remaining = std::min(min_remaining, r.remaining);
+    min_remaining = std::max(min_remaining, 0.0);
+    double delay = min_remaining / currentRate();
+    completionEvent_ = eq_.scheduleAfter(delay, [this]() {
+        completionEvent_ = sim::InvalidEventId;
+        advance();
+        // Collect completed jobs (remaining within epsilon).
+        std::vector<std::function<void()>> done_callbacks;
+        for (auto it = running_.begin(); it != running_.end();) {
+            if (it->remaining <= 1e-12) {
+                workDone_ += it->job.soloTime;
+                done_callbacks.push_back(std::move(it->job.done));
+                it = running_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        // Admit queued jobs up to the MPS process limit.
+        while (!queue_.empty() &&
+               static_cast<int64_t>(running_.size()) <
+                   spec_.mpsMaxProcesses) {
+            Job job = std::move(queue_.front());
+            queue_.pop_front();
+            running_.push_back({std::move(job), 0.0});
+            running_.back().remaining =
+                running_.back().job.soloTime;
+        }
+        reschedule();
+        for (auto &cb : done_callbacks)
+            cb();
+    });
+}
+
+} // namespace serve
+} // namespace djinn

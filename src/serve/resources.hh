@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Contended resources inside the serving simulator: a FIFO data
+ * link (PCIe / NIC), a pool of host CPU cores, and a GPU that is
+ * either time-shared between processes (non-MPS) or shared
+ * concurrently via processor sharing (NVIDIA MPS, paper Section
+ * 5.2).
+ */
+
+#ifndef DJINN_SERVE_RESOURCES_HH
+#define DJINN_SERVE_RESOURCES_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/link.hh"
+#include "sim/event_queue.hh"
+
+namespace djinn {
+namespace serve {
+
+/**
+ * A shared data link serving transfers in FIFO order at its
+ * effective bandwidth. Models the host-side interconnect that all
+ * GPU input/output traffic crosses.
+ */
+class FifoLink
+{
+  public:
+    /**
+     * @param eq the simulation event queue.
+     * @param spec link bandwidth description.
+     */
+    FifoLink(sim::EventQueue &eq, const gpu::LinkSpec &spec);
+
+    /** Queue a transfer; @p done fires when the bytes have moved. */
+    void transfer(double bytes, std::function<void()> done);
+
+    /** Total bytes moved so far. */
+    double bytesMoved() const { return bytesMoved_; }
+
+    /** Total time the link has spent busy. */
+    double busyTime() const { return busyTime_; }
+
+    /** The link description. */
+    const gpu::LinkSpec &spec() const { return spec_; }
+
+  private:
+    struct Pending {
+        double bytes;
+        std::function<void()> done;
+    };
+
+    void startNext();
+
+    sim::EventQueue &eq_;
+    gpu::LinkSpec spec_;
+    std::deque<Pending> queue_;
+    bool busy_ = false;
+    double bytesMoved_ = 0.0;
+    double busyTime_ = 0.0;
+};
+
+/**
+ * A pool of identical host CPU cores running fixed-duration jobs
+ * (query pre-processing / serialization) in FIFO order.
+ */
+class CpuPool
+{
+  public:
+    /**
+     * @param eq the simulation event queue.
+     * @param cores number of cores in the pool.
+     */
+    CpuPool(sim::EventQueue &eq, int cores);
+
+    /** Queue a job of @p duration seconds; @p done fires at end. */
+    void run(double duration, std::function<void()> done);
+
+    /** Aggregate busy core-seconds so far. */
+    double busyTime() const { return busyTime_; }
+
+  private:
+    struct Pending {
+        double duration;
+        std::function<void()> done;
+    };
+
+    void dispatch();
+
+    sim::EventQueue &eq_;
+    int cores_;
+    int busyCores_ = 0;
+    std::deque<Pending> queue_;
+    double busyTime_ = 0.0;
+};
+
+/**
+ * One GPU executing batch forward passes submitted by service
+ * instances (processes).
+ *
+ * Without MPS, processes time-share: jobs run one at a time and a
+ * context switch is charged whenever ownership changes.
+ *
+ * With MPS, kernels from different processes run concurrently under
+ * processor sharing: while the sum of the running jobs' occupancies
+ * is below 1 they proceed at full speed (they occupy complementary
+ * SMs); beyond that they slow down proportionally.
+ */
+class GpuResource
+{
+  public:
+    /** A batch forward pass to execute. */
+    struct Job {
+        /** Solo execution time of the batch, seconds. */
+        double soloTime;
+
+        /** Average achieved occupancy of the batch's kernels. */
+        double occupancy;
+
+        /** Submitting process (service instance) id. */
+        int instance;
+
+        /** Fires when the batch completes. */
+        std::function<void()> done;
+    };
+
+    /**
+     * @param eq the simulation event queue.
+     * @param spec device description.
+     * @param mps true to share concurrently via MPS.
+     */
+    GpuResource(sim::EventQueue &eq, const gpu::GpuSpec &spec,
+                bool mps);
+
+    /** Submit a batch for execution. */
+    void submit(Job job);
+
+    /** Total solo-work seconds completed. */
+    double workDone() const { return workDone_; }
+
+    /** True when MPS sharing is enabled. */
+    bool mps() const { return mps_; }
+
+  private:
+    struct Running {
+        Job job;
+        double remaining;
+    };
+
+    // Exclusive (non-MPS) path.
+    void startNextExclusive();
+
+    // MPS processor-sharing path.
+    void advance();
+    void reschedule();
+    double currentRate() const;
+
+    sim::EventQueue &eq_;
+    gpu::GpuSpec spec_;
+    bool mps_;
+
+    std::deque<Job> queue_;
+    bool busy_ = false;
+    int lastInstance_ = -1;
+    double workDone_ = 0.0;
+
+    std::list<Running> running_;
+    double lastUpdate_ = 0.0;
+    sim::EventId completionEvent_ = sim::InvalidEventId;
+};
+
+} // namespace serve
+} // namespace djinn
+
+#endif // DJINN_SERVE_RESOURCES_HH

@@ -1,0 +1,512 @@
+#include "serve/simulation.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gpu/gpu_model.hh"
+#include "nn/net_def.hh"
+#include "serve/resources.hh"
+#include "sim/stats.hh"
+
+namespace djinn {
+namespace serve {
+
+SimConfig::SimConfig()
+{
+    // Dual-socket root complex: two PCIe v3 x16 pipes feed the GPUs.
+    hostLink = gpu::pcieV3();
+    hostLink.name = "host root complex (2x PCIe v3 x16)";
+    hostLink.peakBandwidth *= 2.0;
+}
+
+const nn::Network &
+sharedNetwork(nn::zoo::Model model)
+{
+    static std::mutex mutex;
+    static std::map<nn::zoo::Model, nn::NetworkPtr> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(model);
+    if (it == cache.end()) {
+        // Weights stay zero: timing only depends on shapes.
+        auto net = nn::parseNetDefOrDie(nn::zoo::netDef(model));
+        it = cache.emplace(model, std::move(net)).first;
+    }
+    return *it->second;
+}
+
+double
+cpuQueryTime(App app, const gpu::CpuSpec &spec)
+{
+    const AppSpec &as = appSpec(app);
+    const nn::Network &net = sharedNetwork(as.model);
+    perf::NetCost cost = perf::analyzeNetwork(net,
+                                              as.samplesPerQuery);
+    return gpu::cpuForwardTime(cost, spec);
+}
+
+namespace {
+
+/** One in-flight or queued query. */
+struct Query {
+    double issueTime;
+};
+
+/** Per-tenant measurement sink. */
+struct TenantStats {
+    App app;
+    uint64_t completed = 0;
+    sim::Distribution latency;
+};
+
+/** Everything shared by the instances of one simulation run. */
+struct SimState {
+    sim::EventQueue eq;
+    const SimConfig &config;
+
+    std::unique_ptr<FifoLink> link;
+    std::unique_ptr<CpuPool> cpu;
+    std::vector<std::unique_ptr<GpuResource>> gpus;
+
+    // Lazily computed forward profiles per (model, rows).
+    std::map<std::pair<nn::zoo::Model, int64_t>,
+             gpu::ForwardProfile>
+        profiles;
+
+    bool measuring = false;
+    std::vector<TenantStats> tenants;
+    double gpuWorkAtStart = 0.0;
+    double linkBytesAtStart = 0.0;
+    double linkBusyAtStart = 0.0;
+    double cpuBusyAtStart = 0.0;
+
+    explicit SimState(const SimConfig &cfg) : config(cfg)
+    {
+        link = std::make_unique<FifoLink>(eq, cfg.hostLink);
+        cpu = std::make_unique<CpuPool>(eq, cfg.hostCores);
+        for (int g = 0; g < cfg.gpuCount; ++g) {
+            gpus.push_back(std::make_unique<GpuResource>(
+                eq, cfg.gpuSpec, cfg.mps));
+        }
+    }
+
+    const gpu::ForwardProfile &
+    profileFor(nn::zoo::Model model, int64_t rows)
+    {
+        auto key = std::make_pair(model, rows);
+        auto it = profiles.find(key);
+        if (it == profiles.end()) {
+            const nn::Network &net = sharedNetwork(model);
+            perf::NetCost cost = perf::analyzeNetwork(net, rows);
+            it = profiles.emplace(
+                key,
+                gpu::profileForward(cost, config.gpuSpec)).first;
+        }
+        return it->second;
+    }
+
+    double
+    totalGpuWork() const
+    {
+        double total = 0.0;
+        for (const auto &g : gpus)
+            total += g->workDone();
+        return total;
+    }
+};
+
+/**
+ * One DNN service instance (a process in the paper's setup): owns a
+ * query queue and pipelines batches through prep, transfer-in, GPU,
+ * and transfer-out.
+ */
+class Instance
+{
+  public:
+    Instance(SimState &state, int id, GpuResource &gpu,
+             const AppSpec &spec, int64_t batch, size_t tenant,
+             bool closed_loop)
+        : state_(state), id_(id), gpu_(gpu), spec_(spec),
+          batch_limit_(batch), tenant_(tenant),
+          closedLoop_(closed_loop)
+    {}
+
+    /** Hand a fresh query to this instance. */
+    void
+    enqueue(double issue_time)
+    {
+        queue_.push_back({issue_time});
+        maybeStart();
+    }
+
+  private:
+    /**
+     * Deterministic +/-2% jitter per batch. Real servers never run
+     * in perfect lockstep; without this, the homogeneous closed
+     * loop phase-locks all instances onto the same GPU submission
+     * instants and throughput becomes an artifact of resonance.
+     */
+    double
+    jitter()
+    {
+        uint64_t h = mix64(static_cast<uint64_t>(id_) * 0x9e3779b9 +
+                           batchCount_++);
+        double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+        return 1.0 + 0.04 * (unit - 0.5);
+    }
+
+    void
+    maybeStart()
+    {
+        if (busy_ || queue_.empty())
+            return;
+        busy_ = true;
+        int64_t take = std::min<int64_t>(
+            batch_limit_, static_cast<int64_t>(queue_.size()));
+        batch_.assign(queue_.begin(), queue_.begin() + take);
+        queue_.erase(queue_.begin(), queue_.begin() + take);
+
+        double prep = static_cast<double>(take) *
+                      (state_.config.hostPrepFixed +
+                       state_.config.hostPrepPerByte *
+                           spec_.inputBytes) *
+                      jitter();
+        state_.cpu->run(prep, [this, take]() {
+            state_.link->transfer(
+                spec_.inputBytes * take,
+                [this, take]() { runGpu(take); });
+        });
+    }
+
+    void
+    runGpu(int64_t take)
+    {
+        const gpu::ForwardProfile &profile = state_.profileFor(
+            spec_.model, take * spec_.samplesPerQuery);
+        GpuResource::Job job;
+        job.soloTime = profile.totalTime * jitter();
+        job.occupancy = profile.occupancy;
+        job.instance = id_;
+        job.done = [this, take]() {
+            state_.link->transfer(spec_.outputBytes * take,
+                                  [this]() { complete(); });
+        };
+        gpu_.submit(std::move(job));
+    }
+
+    void
+    complete()
+    {
+        double now = state_.eq.now();
+        TenantStats &stats = state_.tenants[tenant_];
+        for (const Query &q : batch_) {
+            if (state_.measuring) {
+                ++stats.completed;
+                stats.latency.add(now - q.issueTime);
+            }
+        }
+        size_t finished = batch_.size();
+        batch_.clear();
+        busy_ = false;
+        if (closedLoop_) {
+            // Each completed client immediately reissues.
+            for (size_t i = 0; i < finished; ++i)
+                enqueue(now);
+        }
+        maybeStart();
+    }
+
+    SimState &state_;
+    int id_;
+    GpuResource &gpu_;
+    const AppSpec &spec_;
+    int64_t batch_limit_;
+    size_t tenant_;
+    bool closedLoop_;
+    std::vector<Query> queue_;
+    std::vector<Query> batch_;
+    bool busy_ = false;
+    uint64_t batchCount_ = 0;
+};
+
+/** Poisson arrival source feeding a tenant's instances round-robin. */
+class ArrivalSource
+{
+  public:
+    ArrivalSource(SimState &state, std::vector<Instance *> targets,
+                  double rate, uint64_t seed)
+        : state_(state), targets_(std::move(targets)), rate_(rate),
+          rng_(seed)
+    {
+        if (rate_ > 0.0 && !targets_.empty())
+            scheduleNext();
+    }
+
+  private:
+    void
+    scheduleNext()
+    {
+        double gap = rng_.exponential(rate_);
+        state_.eq.scheduleAfter(gap, [this]() {
+            targets_[next_ % targets_.size()]->enqueue(
+                state_.eq.now());
+            ++next_;
+            scheduleNext();
+        });
+    }
+
+    SimState &state_;
+    std::vector<Instance *> targets_;
+    double rate_;
+    Rng rng_;
+    size_t next_ = 0;
+};
+
+/**
+ * Check the co-resident models and activations fit device memory
+ * (the paper's K40 has 12 GB; DeepFace at large batch is the
+ * pressure case).
+ */
+void
+checkGpuMemory(SimState &state,
+               const std::vector<TenantConfig> &tenants)
+{
+    // Conservative: every tenant's model + batch activations
+    // resident on every GPU it runs on.
+    double footprint = 0.0;
+    for (const TenantConfig &tenant : tenants) {
+        const AppSpec &spec = appSpec(tenant.app);
+        footprint += state.profileFor(
+            spec.model,
+            tenant.batch * spec.samplesPerQuery).memoryFootprint;
+    }
+    if (footprint > state.config.gpuSpec.memoryBytes) {
+        fatal("configuration needs %.1f GB of GPU memory but the "
+              "%s has %.1f GB",
+              footprint / 1e9, state.config.gpuSpec.name.c_str(),
+              state.config.gpuSpec.memoryBytes / 1e9);
+    }
+}
+
+MixedSimResult
+runSim(const SimConfig &config,
+       const std::vector<TenantConfig> &tenants)
+{
+    if (config.gpuCount <= 0)
+        fatal("runSim: gpuCount must be positive");
+    if (tenants.empty())
+        fatal("runSim: need at least one tenant");
+    for (const TenantConfig &tenant : tenants) {
+        if (tenant.batch <= 0 || tenant.instances <= 0)
+            fatal("runSim: tenant batch and instances must be "
+                  "positive");
+    }
+    if (config.loadMode == LoadMode::Open &&
+        config.arrivalRate <= 0.0) {
+        fatal("runSim: open-loop mode requires a positive "
+              "arrivalRate");
+    }
+
+    SimState state(config);
+    checkGpuMemory(state, tenants);
+
+    bool closed = config.loadMode == LoadMode::Closed;
+    std::vector<std::unique_ptr<Instance>> instances;
+    std::vector<std::vector<Instance *>> per_tenant(tenants.size());
+    int id = 0;
+    int gpu_rr = 0;
+    int total_instances = 0;
+    for (size_t t = 0; t < tenants.size(); ++t) {
+        const TenantConfig &tenant = tenants[t];
+        state.tenants.push_back({tenant.app, 0, {}});
+        for (int i = 0; i < tenant.instances; ++i) {
+            instances.push_back(std::make_unique<Instance>(
+                state, id++, *state.gpus[gpu_rr % config.gpuCount],
+                appSpec(tenant.app), tenant.batch, t, closed));
+            per_tenant[t].push_back(instances.back().get());
+            ++gpu_rr;
+            ++total_instances;
+        }
+    }
+
+    std::vector<std::unique_ptr<ArrivalSource>> sources;
+    if (closed) {
+        // Closed-loop population: clientBatches batches per
+        // instance, seeded at staggered times so the deterministic
+        // simulation does not phase-lock.
+        size_t index = 0;
+        for (size_t t = 0; t < tenants.size(); ++t) {
+            int64_t per_instance =
+                config.clientBatches * tenants[t].batch;
+            for (Instance *inst : per_tenant[t]) {
+                double offset =
+                    1e-6 * static_cast<double>(index++);
+                state.eq.scheduleAt(
+                    offset, [inst, per_instance, offset]() {
+                        for (int64_t c = 0; c < per_instance; ++c)
+                            inst->enqueue(offset);
+                    });
+            }
+        }
+    } else {
+        // Open loop: split the aggregate rate over tenants by
+        // instance share.
+        for (size_t t = 0; t < tenants.size(); ++t) {
+            double share = static_cast<double>(
+                               tenants[t].instances) /
+                           total_instances;
+            sources.push_back(std::make_unique<ArrivalSource>(
+                state, per_tenant[t], config.arrivalRate * share,
+                mix64(config.seed + t)));
+        }
+    }
+
+    state.eq.runUntil(config.warmupTime);
+    state.measuring = true;
+    state.gpuWorkAtStart = state.totalGpuWork();
+    state.linkBytesAtStart = state.link->bytesMoved();
+    state.linkBusyAtStart = state.link->busyTime();
+    state.cpuBusyAtStart = state.cpu->busyTime();
+
+    state.eq.runUntil(config.warmupTime + config.measureTime);
+
+    MixedSimResult result;
+    for (TenantStats &stats : state.tenants) {
+        TenantResult tenant;
+        tenant.app = stats.app;
+        tenant.completedQueries = stats.completed;
+        tenant.throughputQps =
+            static_cast<double>(stats.completed) /
+            config.measureTime;
+        tenant.meanLatency = stats.latency.mean();
+        tenant.p99Latency = stats.latency.quantile(0.99);
+        result.tenants.push_back(tenant);
+    }
+    result.gpuUtilization =
+        (state.totalGpuWork() - state.gpuWorkAtStart) /
+        (config.measureTime * config.gpuCount);
+    result.hostLinkUtilization =
+        (state.link->busyTime() - state.linkBusyAtStart) /
+        config.measureTime;
+    return result;
+}
+
+} // namespace
+
+SimResult
+runServingSim(const SimConfig &config)
+{
+    if (config.batch <= 0 || config.gpuCount <= 0 ||
+        config.instancesPerGpu <= 0) {
+        fatal("runServingSim: batch, gpuCount and instancesPerGpu "
+              "must be positive");
+    }
+
+    SimState state(config);
+    const AppSpec &spec = appSpec(config.app);
+    std::vector<TenantConfig> tenants{
+        {config.app, config.batch,
+         config.gpuCount * config.instancesPerGpu}};
+    checkGpuMemory(state, tenants);
+
+    bool closed = config.loadMode == LoadMode::Closed;
+    std::vector<std::unique_ptr<Instance>> instances;
+    std::vector<Instance *> raw;
+    state.tenants.push_back({config.app, 0, {}});
+    int id = 0;
+    for (int g = 0; g < config.gpuCount; ++g) {
+        for (int i = 0; i < config.instancesPerGpu; ++i) {
+            instances.push_back(std::make_unique<Instance>(
+                state, id++, *state.gpus[g], spec, config.batch, 0,
+                closed));
+            raw.push_back(instances.back().get());
+        }
+    }
+
+    std::unique_ptr<ArrivalSource> source;
+    if (closed) {
+        int64_t per_instance = config.clientBatches * config.batch;
+        for (size_t i = 0; i < raw.size(); ++i) {
+            double offset = 1e-6 * static_cast<double>(i);
+            Instance *inst = raw[i];
+            state.eq.scheduleAt(
+                offset, [inst, per_instance, offset]() {
+                    for (int64_t c = 0; c < per_instance; ++c)
+                        inst->enqueue(offset);
+                });
+        }
+    } else {
+        if (config.arrivalRate <= 0.0)
+            fatal("runServingSim: open-loop mode requires a "
+                  "positive arrivalRate");
+        source = std::make_unique<ArrivalSource>(
+            state, raw, config.arrivalRate, config.seed);
+    }
+
+    state.eq.runUntil(config.warmupTime);
+    state.measuring = true;
+    state.gpuWorkAtStart = state.totalGpuWork();
+    state.linkBytesAtStart = state.link->bytesMoved();
+    state.linkBusyAtStart = state.link->busyTime();
+    state.cpuBusyAtStart = state.cpu->busyTime();
+
+    state.eq.runUntil(config.warmupTime + config.measureTime);
+
+    TenantStats &stats = state.tenants.front();
+    SimResult result;
+    result.completedQueries = stats.completed;
+    result.throughputQps = static_cast<double>(stats.completed) /
+                           config.measureTime;
+    result.meanLatency = stats.latency.mean();
+    result.p99Latency = stats.latency.quantile(0.99);
+    result.p95Latency = stats.latency.quantile(0.95);
+    result.medianLatency = stats.latency.median();
+    result.gpuOccupancy = state.profileFor(
+        spec.model,
+        config.batch * spec.samplesPerQuery).occupancy;
+    result.gpuUtilization =
+        (state.totalGpuWork() - state.gpuWorkAtStart) /
+        (config.measureTime * config.gpuCount);
+    result.hostLinkUtilization =
+        (state.link->busyTime() - state.linkBusyAtStart) /
+        config.measureTime;
+    result.hostLinkBytesPerSec =
+        (state.link->bytesMoved() - state.linkBytesAtStart) /
+        config.measureTime;
+
+    // Energy: GPUs draw an idle floor plus utilization-proportional
+    // dynamic power; the host contributes its busy core share.
+    if (stats.completed > 0) {
+        constexpr double gpu_idle_fraction = 0.25;
+        constexpr double host_core_watts = 80.0 / 12.0;
+        double gpu_watts = config.gpuCount *
+                           config.gpuSpec.powerWatts *
+                           (gpu_idle_fraction +
+                            (1.0 - gpu_idle_fraction) *
+                                std::min(result.gpuUtilization,
+                                         1.0));
+        double cpu_busy =
+            state.cpu->busyTime() - state.cpuBusyAtStart;
+        double host_energy = cpu_busy * host_core_watts * 12.0 /
+                             config.hostCores;
+        double energy = gpu_watts * config.measureTime +
+                        host_energy;
+        result.energyPerQuery =
+            energy / static_cast<double>(stats.completed);
+    }
+    return result;
+}
+
+MixedSimResult
+runMixedSim(const SimConfig &config,
+            const std::vector<TenantConfig> &tenants)
+{
+    return runSim(config, tenants);
+}
+
+} // namespace serve
+} // namespace djinn

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The DNN-serving simulator: clients drive batched queries through
+ * host preparation, the host interconnect, and one or more
+ * (possibly MPS-shared) GPUs. This reproduces the paper's
+ * single-server experiments (Figures 5, 7, 8, 9, 10, 11, 12) and
+ * extends them with open-loop arrivals, heterogeneous co-location,
+ * and energy accounting.
+ */
+
+#ifndef DJINN_SERVE_SIMULATION_HH
+#define DJINN_SERVE_SIMULATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/link.hh"
+#include "nn/zoo.hh"
+#include "serve/app.hh"
+
+namespace djinn {
+namespace serve {
+
+/** How load is offered to the service. */
+enum class LoadMode {
+    /**
+     * Closed loop: a fixed client population; every completion
+     * immediately reissues. Measures peak throughput (the paper's
+     * stress-test methodology).
+     */
+    Closed,
+
+    /**
+     * Open loop: Poisson arrivals at a fixed rate, split
+     * round-robin over instances. Measures latency at a target
+     * load.
+     */
+    Open,
+};
+
+/** Configuration of one serving experiment. */
+struct SimConfig {
+    /** The application under test. */
+    App app = App::IMC;
+
+    /** Queries combined into one GPU pass (paper Section 5.1). */
+    int64_t batch = 1;
+
+    /** GPUs in the server (paper Section 5.3 scales 1-8). */
+    int gpuCount = 1;
+
+    /** Concurrent DNN service instances per GPU (Section 5.2). */
+    int instancesPerGpu = 1;
+
+    /** Share each GPU via MPS (true) or time-slicing (false). */
+    bool mps = true;
+
+    /** Device model. */
+    gpu::GpuSpec gpuSpec;
+
+    /**
+     * The host-side interconnect all GPU traffic crosses. Defaults
+     * to the dual-socket root-complex equivalent of two PCIe v3 x16
+     * links; use gpu::unlimitedLink() for the paper's pinned-input
+     * experiment (Figure 12).
+     */
+    gpu::LinkSpec hostLink;
+
+    /** Host cores available for query preparation. */
+    int hostCores = 12;
+
+    /** Fixed host preparation cost per query, seconds. */
+    double hostPrepFixed = 2e-6;
+
+    /** Host preparation cost per query payload byte, seconds. */
+    double hostPrepPerByte = 1.0 / 10e9;
+
+    /** Load generation mode. */
+    LoadMode loadMode = LoadMode::Closed;
+
+    /**
+     * Closed loop: clients per service instance, expressed in
+     * batches: concurrency = clientBatches * batch queries.
+     */
+    int clientBatches = 2;
+
+    /** Open loop: aggregate query arrival rate, queries/second. */
+    double arrivalRate = 0.0;
+
+    /** Seed for the open-loop arrival process. */
+    uint64_t seed = 1;
+
+    /** Simulated warmup before measurement, seconds. */
+    double warmupTime = 0.25;
+
+    /** Simulated measurement window, seconds. */
+    double measureTime = 1.0;
+
+    SimConfig();
+};
+
+/** Measured results of one serving experiment. */
+struct SimResult {
+    /** Steady-state queries per second. */
+    double throughputQps = 0.0;
+
+    /** Mean query sojourn time (queue + service), seconds. */
+    double meanLatency = 0.0;
+
+    /** 99th percentile query latency, seconds. */
+    double p99Latency = 0.0;
+
+    /** 95th percentile query latency, seconds. */
+    double p95Latency = 0.0;
+
+    /** Median query latency, seconds. */
+    double medianLatency = 0.0;
+
+    /** Queries completed inside the measurement window. */
+    uint64_t completedQueries = 0;
+
+    /** Average achieved GPU occupancy of the batched forward pass. */
+    double gpuOccupancy = 0.0;
+
+    /** Fraction of the window each GPU spent executing kernels. */
+    double gpuUtilization = 0.0;
+
+    /** Fraction of the window the host link spent busy. */
+    double hostLinkUtilization = 0.0;
+
+    /** Host-link bytes moved per second during the window. */
+    double hostLinkBytesPerSec = 0.0;
+
+    /**
+     * Server energy per query, joules: GPUs (idle floor plus
+     * utilization-proportional dynamic power) plus the host CPU
+     * share, divided by completed queries.
+     */
+    double energyPerQuery = 0.0;
+};
+
+/** Run one serving experiment. */
+SimResult runServingSim(const SimConfig &config);
+
+/** One application's slice of a co-located (mixed) experiment. */
+struct TenantConfig {
+    /** The application. */
+    App app = App::IMC;
+
+    /** Queries per combined GPU pass for this tenant. */
+    int64_t batch = 1;
+
+    /** Service instances this tenant runs (spread across GPUs). */
+    int instances = 1;
+};
+
+/** Per-tenant results of a mixed experiment. */
+struct TenantResult {
+    App app = App::IMC;
+    double throughputQps = 0.0;
+    double meanLatency = 0.0;
+    double p99Latency = 0.0;
+    uint64_t completedQueries = 0;
+};
+
+/**
+ * Results of a co-located experiment: the shared-server totals plus
+ * one entry per tenant.
+ */
+struct MixedSimResult {
+    std::vector<TenantResult> tenants;
+    double gpuUtilization = 0.0;
+    double hostLinkUtilization = 0.0;
+};
+
+/**
+ * Run several applications concurrently against the same GPU server
+ * (the DjiNN deployment model: one service, many applications).
+ * Uses the SimConfig's server-side knobs (gpuCount, mps, hostLink,
+ * load mode); per-tenant batch/instances come from @p tenants, and
+ * SimConfig::app is ignored.
+ */
+MixedSimResult runMixedSim(const SimConfig &config,
+                           const std::vector<TenantConfig> &tenants);
+
+/**
+ * A process-lifetime cache of zoo networks built with zeroed
+ * weights (cost analysis only needs shapes). Thread-safe.
+ */
+const nn::Network &sharedNetwork(nn::zoo::Model model);
+
+/**
+ * Single-core CPU time for one query's DNN portion of @p app
+ * (batch of one query), used as the baseline for the paper's
+ * GPU-vs-CPU throughput ratios.
+ */
+double cpuQueryTime(App app, const gpu::CpuSpec &spec);
+
+} // namespace serve
+} // namespace djinn
+
+#endif // DJINN_SERVE_SIMULATION_HH

@@ -1,0 +1,56 @@
+#include "serve/tuner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace serve {
+
+TunerResult
+tuneBatchSize(App app, const SimConfig &base_config,
+              const TunerOptions &options)
+{
+    if (options.candidates.empty())
+        fatal("tuneBatchSize: no candidate batch sizes");
+    if (!std::is_sorted(options.candidates.begin(),
+                        options.candidates.end())) {
+        fatal("tuneBatchSize: candidates must be ascending");
+    }
+
+    TunerResult result;
+    for (int64_t batch : options.candidates) {
+        SimConfig config = base_config;
+        config.app = app;
+        config.batch = batch;
+        // Let enough batches complete to measure the big ones.
+        config.measureTime = std::max(
+            base_config.measureTime,
+            0.25 * static_cast<double>(batch));
+        SimResult sim = runServingSim(config);
+        result.sweep.push_back(
+            {batch, sim.throughputQps, sim.meanLatency, false});
+    }
+
+    double latency_cap = options.latencySlack *
+                         result.sweep.front().meanLatency;
+    double best = 0.0;
+    for (TunerPoint &point : result.sweep) {
+        point.admissible = point.meanLatency <= latency_cap;
+        if (point.admissible)
+            best = std::max(best, point.throughputQps);
+    }
+    for (const TunerPoint &point : result.sweep) {
+        if (point.admissible &&
+            point.throughputQps >=
+                options.throughputFraction * best) {
+            result.batch = point.batch;
+            return result;
+        }
+    }
+    result.batch = options.candidates.front();
+    return result;
+}
+
+} // namespace serve
+} // namespace djinn

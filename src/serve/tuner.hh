@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Batch-size auto-tuning: the paper selects each application's
+ * batch size by sweeping Figure 7 and picking "high throughput
+ * while limiting query latency impact" (Section 5.1, Table 3 last
+ * column). This formalizes that rule as a library call.
+ */
+
+#ifndef DJINN_SERVE_TUNER_HH
+#define DJINN_SERVE_TUNER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/simulation.hh"
+
+namespace djinn {
+namespace serve {
+
+/** Tuning policy. */
+struct TunerOptions {
+    /** Candidate batch sizes, ascending. */
+    std::vector<int64_t> candidates{1, 2, 4, 8, 16, 32, 64, 128};
+
+    /**
+     * Latency budget as a multiple of the unbatched mean latency;
+     * candidates beyond it are rejected.
+     */
+    double latencySlack = 6.0;
+
+    /**
+     * Accept the smallest batch whose throughput reaches this
+     * fraction of the best admissible throughput.
+     */
+    double throughputFraction = 0.9;
+};
+
+/** One point of the tuning sweep. */
+struct TunerPoint {
+    int64_t batch = 0;
+    double throughputQps = 0.0;
+    double meanLatency = 0.0;
+    bool admissible = false;
+};
+
+/** The tuning result: the chosen batch plus the full sweep. */
+struct TunerResult {
+    int64_t batch = 1;
+    std::vector<TunerPoint> sweep;
+};
+
+/**
+ * Sweep batch sizes for @p app on the server described by
+ * @p base_config (its batch field is ignored) and select per the
+ * paper's rule.
+ */
+TunerResult tuneBatchSize(App app, const SimConfig &base_config,
+                          const TunerOptions &options = {});
+
+} // namespace serve
+} // namespace djinn
+
+#endif // DJINN_SERVE_TUNER_HH

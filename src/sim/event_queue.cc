@@ -1,0 +1,91 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace sim {
+
+EventId
+EventQueue::scheduleAt(Time when, Callback cb)
+{
+    if (when < now_) {
+        panic("scheduleAt: time %g is before now %g", when, now_);
+    }
+    auto entry = std::make_shared<Entry>();
+    entry->when = when;
+    entry->seq = seq_++;
+    entry->id = nextId_++;
+    entry->cb = std::move(cb);
+    heap_.push(entry);
+    live_[entry->id] = entry;
+    ++liveCount_;
+    return entry->id;
+}
+
+EventId
+EventQueue::scheduleAfter(Time delay, Callback cb)
+{
+    if (delay < 0.0)
+        panic("scheduleAfter: negative delay %g", delay);
+    return scheduleAt(now_ + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    auto it = live_.find(id);
+    if (it == live_.end())
+        return false;
+    it->second->cancelled = true;
+    it->second->cb = nullptr;
+    live_.erase(it);
+    --liveCount_;
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        auto entry = heap_.top();
+        heap_.pop();
+        if (entry->cancelled)
+            continue;
+        live_.erase(entry->id);
+        --liveCount_;
+        now_ = entry->when;
+        ++fired_;
+        // Move the callback out so re-entrant scheduling is safe.
+        Callback cb = std::move(entry->cb);
+        cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::run(Time limit)
+{
+    while (!heap_.empty()) {
+        // Peek past cancelled entries without firing.
+        auto entry = heap_.top();
+        if (entry->cancelled) {
+            heap_.pop();
+            continue;
+        }
+        if (entry->when > limit)
+            break;
+        step();
+    }
+}
+
+void
+EventQueue::runUntil(Time deadline)
+{
+    run(deadline);
+    if (now_ < deadline)
+        now_ = deadline;
+}
+
+} // namespace sim
+} // namespace djinn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * The serving experiments (batching, MPS, multi-GPU scaling) run on
+ * this engine: every queue arrival, kernel completion, and transfer
+ * completion is an event. Time is a double in seconds.
+ */
+
+#ifndef DJINN_SIM_EVENT_QUEUE_HH
+#define DJINN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace djinn {
+namespace sim {
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Opaque handle used to cancel a scheduled event. */
+using EventId = uint64_t;
+
+/** Sentinel returned when an event could not be scheduled. */
+constexpr EventId InvalidEventId = 0;
+
+/**
+ * A time-ordered event queue. Events scheduled for the same instant
+ * run in FIFO order of scheduling (stable), which keeps simulations
+ * deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in seconds. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute time.
+     *
+     * @param when absolute simulated time; must be >= now().
+     * @param cb callback invoked when the event fires.
+     * @return handle usable with cancel().
+     */
+    EventId scheduleAt(Time when, Callback cb);
+
+    /** Schedule a callback @p delay seconds after now(). */
+    EventId scheduleAfter(Time delay, Callback cb);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * event is a harmless no-op.
+     *
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True when no runnable events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+    /** Number of pending (non-cancelled) events. */
+    size_t pendingCount() const { return liveCount_; }
+
+    /**
+     * Fire the next event.
+     *
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains or simulated time exceeds @p limit. */
+    void run(Time limit = 1e30);
+
+    /**
+     * Run until @p deadline, firing all events scheduled strictly
+     * before it, then set now() to the deadline.
+     */
+    void runUntil(Time deadline);
+
+    /** Total number of events fired so far. */
+    uint64_t firedCount() const { return fired_; }
+
+  private:
+    struct Entry {
+        Time when;
+        uint64_t seq;
+        EventId id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct Order {
+        bool
+        operator()(const std::shared_ptr<Entry> &a,
+                   const std::shared_ptr<Entry> &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    std::priority_queue<std::shared_ptr<Entry>,
+                        std::vector<std::shared_ptr<Entry>>, Order>
+        heap_;
+    std::unordered_map<EventId, std::shared_ptr<Entry>> live_;
+    Time now_ = 0.0;
+    uint64_t seq_ = 0;
+    uint64_t nextId_ = 1;
+    uint64_t fired_ = 0;
+    size_t liveCount_ = 0;
+};
+
+} // namespace sim
+} // namespace djinn
+
+#endif // DJINN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,166 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace sim {
+
+// Accumulator ------------------------------------------------------
+
+void
+Accumulator::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+Accumulator::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Accumulator::reset()
+{
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+    sum_ = 0.0;
+}
+
+// Distribution -----------------------------------------------------
+
+void
+Distribution::add(double x)
+{
+    samples_.push_back(x);
+    sum_ += x;
+    sorted_ = false;
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.front();
+}
+
+double
+Distribution::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    return samples_.back();
+}
+
+void
+Distribution::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Distribution::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    ensureSorted();
+    double pos = q * static_cast<double>(samples_.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void
+Distribution::reset()
+{
+    samples_.clear();
+    sorted_ = true;
+    sum_ = 0.0;
+}
+
+// StatRegistry -----------------------------------------------------
+
+void
+StatRegistry::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+double
+StatRegistry::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        warn("StatRegistry: missing stat '%s'", name.c_str());
+        return 0.0;
+    }
+    return it->second;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::vector<std::pair<std::string, double>>
+StatRegistry::all() const
+{
+    return {values_.begin(), values_.end()};
+}
+
+std::string
+StatRegistry::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : values_)
+        os << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace sim
+} // namespace djinn

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Statistics primitives for the simulator and the benchmark harness:
+ * counters, mean/variance accumulators, and percentile-capable
+ * sample distributions.
+ */
+
+#ifndef DJINN_SIM_STATS_HH
+#define DJINN_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace djinn {
+namespace sim {
+
+/** A monotonically increasing named count. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n to the count. */
+    void inc(uint64_t n = 1) { value_ += n; }
+
+    /** Current count. */
+    uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * Streaming mean / variance / min / max accumulator (Welford's
+ * algorithm). O(1) memory; no percentiles.
+ */
+class Accumulator
+{
+  public:
+    Accumulator() = default;
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples recorded. */
+    uint64_t count() const { return n_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance; 0 with fewer than 2 samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/**
+ * A sample distribution that stores every value for exact quantiles.
+ * Suitable for per-query latency distributions at experiment scale
+ * (up to a few million samples).
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples. */
+    uint64_t count() const { return samples_.size(); }
+
+    /** Mean; 0 when empty. */
+    double mean() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /**
+     * Exact quantile by linear interpolation between order statistics.
+     *
+     * @param q quantile in [0, 1]; e.g. 0.5 for median, 0.99 for p99.
+     */
+    double quantile(double q) const;
+
+    /** Median (quantile 0.5). */
+    double median() const { return quantile(0.5); }
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+
+    void ensureSorted() const;
+};
+
+/**
+ * A named registry of statistics, used to dump experiment results in
+ * a uniform "name value" format.
+ */
+class StatRegistry
+{
+  public:
+    /** Record a scalar value under a name (overwrites). */
+    void set(const std::string &name, double value);
+
+    /** Fetch a scalar; returns 0 and warns when missing. */
+    double get(const std::string &name) const;
+
+    /** True when the name exists. */
+    bool has(const std::string &name) const;
+
+    /** All stats in name order as (name, value). */
+    std::vector<std::pair<std::string, double>> all() const;
+
+    /** Render all stats, one "name value" pair per line. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace sim
+} // namespace djinn
+
+#endif // DJINN_SIM_STATS_HH

@@ -1,0 +1,181 @@
+#include "tonic/audio.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+
+namespace {
+
+double
+hzToMel(double hz)
+{
+    return 1127.0 * std::log(1.0 + hz / 700.0);
+}
+
+double
+melToHz(double mel)
+{
+    return 700.0 * (std::exp(mel / 1127.0) - 1.0);
+}
+
+} // namespace
+
+std::vector<float>
+synthesizeUtterance(double seconds, Rng &rng, double sample_rate)
+{
+    if (seconds <= 0.0)
+        fatal("synthesizeUtterance: non-positive duration %f",
+              seconds);
+    int64_t n = static_cast<int64_t>(seconds * sample_rate);
+    std::vector<float> out(static_cast<size_t>(n));
+
+    // Speech-like: a pitch contour with harmonics, amplitude
+    // modulated into syllable-like bursts, plus breath noise.
+    double f0 = rng.uniform(90.0, 220.0);
+    double drift = rng.uniform(-20.0, 20.0);
+    double syllable_rate = rng.uniform(3.0, 5.0);
+    double phase[5] = {0, 0, 0, 0, 0};
+    for (int64_t i = 0; i < n; ++i) {
+        double t = static_cast<double>(i) / sample_rate;
+        double pitch = f0 + drift * t +
+                       10.0 * std::sin(2 * M_PI * 2.3 * t);
+        double envelope =
+            0.4 + 0.6 * std::pow(
+                std::fabs(std::sin(M_PI * syllable_rate * t)), 2.0);
+        double sample = 0.0;
+        for (int h = 0; h < 5; ++h) {
+            phase[h] += 2 * M_PI * pitch * (h + 1) / sample_rate;
+            sample += std::sin(phase[h]) / (h + 1.5);
+        }
+        sample = sample * envelope * 0.25 +
+                 0.02 * rng.gaussian();
+        out[static_cast<size_t>(i)] = static_cast<float>(sample);
+    }
+    return out;
+}
+
+int64_t
+frameCount(int64_t samples, const FeatureConfig &config)
+{
+    int64_t frame_len = static_cast<int64_t>(
+        config.frameLength * config.sampleRate);
+    int64_t shift = static_cast<int64_t>(
+        config.frameShift * config.sampleRate);
+    if (samples < frame_len)
+        return 0;
+    return (samples - frame_len) / shift + 1;
+}
+
+nn::Tensor
+filterbankFeatures(const std::vector<float> &samples,
+                   const FeatureConfig &config)
+{
+    int64_t frame_len = static_cast<int64_t>(
+        config.frameLength * config.sampleRate);
+    int64_t shift = static_cast<int64_t>(
+        config.frameShift * config.sampleRate);
+    int64_t frames = frameCount(
+        static_cast<int64_t>(samples.size()), config);
+    if (frames <= 0)
+        fatal("filterbankFeatures: utterance shorter than one frame");
+
+    // FFT length: next power of two >= frame length.
+    int64_t nfft = 1;
+    while (nfft < frame_len)
+        nfft <<= 1;
+    int64_t nbins = nfft / 2 + 1;
+
+    // Precompute the Hamming window.
+    std::vector<double> window(static_cast<size_t>(frame_len));
+    for (int64_t i = 0; i < frame_len; ++i) {
+        window[i] = 0.54 - 0.46 * std::cos(2 * M_PI * i /
+                                           (frame_len - 1));
+    }
+
+    // Precompute triangular mel filters over the power bins.
+    double mel_lo = hzToMel(20.0);
+    double mel_hi = hzToMel(config.sampleRate / 2.0);
+    std::vector<double> centers(
+        static_cast<size_t>(config.melBins) + 2);
+    for (int64_t m = 0; m < config.melBins + 2; ++m) {
+        double mel = mel_lo + (mel_hi - mel_lo) * m /
+                     (config.melBins + 1);
+        centers[m] = melToHz(mel) / (config.sampleRate / 2.0) *
+                     (nbins - 1);
+    }
+
+    nn::Tensor features(nn::Shape(frames, config.melBins));
+
+    std::vector<double> re(static_cast<size_t>(nbins));
+    std::vector<double> im(static_cast<size_t>(nbins));
+    std::vector<double> frame(static_cast<size_t>(frame_len));
+
+    for (int64_t f = 0; f < frames; ++f) {
+        const float *src = samples.data() + f * shift;
+        // Pre-emphasis + window.
+        frame[0] = src[0] * window[0];
+        for (int64_t i = 1; i < frame_len; ++i) {
+            frame[i] = (src[i] - config.preEmphasis * src[i - 1]) *
+                       window[i];
+        }
+        // Real DFT (direct form; frame_len is a few hundred points).
+        for (int64_t k = 0; k < nbins; ++k) {
+            double sr = 0.0, si = 0.0;
+            double w = -2.0 * M_PI * k / nfft;
+            for (int64_t i = 0; i < frame_len; ++i) {
+                sr += frame[i] * std::cos(w * i);
+                si += frame[i] * std::sin(w * i);
+            }
+            re[k] = sr;
+            im[k] = si;
+        }
+        // Mel filterbank over the power spectrum, log compressed.
+        for (int64_t m = 0; m < config.melBins; ++m) {
+            double left = centers[m];
+            double center = centers[m + 1];
+            double right = centers[m + 2];
+            double acc = 0.0;
+            int64_t k0 = std::max<int64_t>(
+                static_cast<int64_t>(std::ceil(left)), 0);
+            int64_t k1 = std::min<int64_t>(
+                static_cast<int64_t>(std::floor(right)), nbins - 1);
+            for (int64_t k = k0; k <= k1; ++k) {
+                double weight = k <= center
+                    ? (k - left) / std::max(center - left, 1e-9)
+                    : (right - k) / std::max(right - center, 1e-9);
+                weight = std::clamp(weight, 0.0, 1.0);
+                acc += weight * (re[k] * re[k] + im[k] * im[k]);
+            }
+            features.at(f, m, 0, 0) =
+                static_cast<float>(std::log(acc + 1e-10));
+        }
+    }
+    return features;
+}
+
+nn::Tensor
+spliceFrames(const nn::Tensor &features, int64_t splice_context)
+{
+    int64_t frames = features.shape().n();
+    int64_t dims = features.shape().sampleElems();
+    int64_t width = 2 * splice_context + 1;
+    nn::Tensor out(nn::Shape(frames, width * dims));
+    for (int64_t f = 0; f < frames; ++f) {
+        for (int64_t c = -splice_context; c <= splice_context; ++c) {
+            int64_t src = std::clamp<int64_t>(f + c, 0, frames - 1);
+            std::memcpy(
+                out.sample(f) + (c + splice_context) * dims,
+                features.sample(src),
+                static_cast<size_t>(dims) * sizeof(float));
+        }
+    }
+    return out;
+}
+
+} // namespace tonic
+} // namespace djinn

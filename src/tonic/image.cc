@@ -1,0 +1,259 @@
+#include "tonic/image.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+
+std::vector<uint8_t>
+encodePnm(const Image &image)
+{
+    if (image.channels != 1 && image.channels != 3)
+        fatal("encodePnm: %lld channels unsupported",
+              static_cast<long long>(image.channels));
+    std::string header = strprintf(
+        "P%c\n%lld %lld\n255\n", image.channels == 3 ? '6' : '5',
+        static_cast<long long>(image.width),
+        static_cast<long long>(image.height));
+    std::vector<uint8_t> out(header.begin(), header.end());
+    out.insert(out.end(), image.pixels.begin(), image.pixels.end());
+    return out;
+}
+
+Result<Image>
+decodePnm(const std::vector<uint8_t> &data)
+{
+    size_t pos = 0;
+    auto next_token = [&]() -> std::string {
+        // Skip whitespace and '#' comment lines.
+        while (pos < data.size()) {
+            if (std::isspace(data[pos])) {
+                ++pos;
+            } else if (data[pos] == '#') {
+                while (pos < data.size() && data[pos] != '\n')
+                    ++pos;
+            } else {
+                break;
+            }
+        }
+        std::string token;
+        while (pos < data.size() && !std::isspace(data[pos]))
+            token.push_back(static_cast<char>(data[pos++]));
+        return token;
+    };
+
+    std::string magic = next_token();
+    int64_t channels;
+    if (magic == "P6") {
+        channels = 3;
+    } else if (magic == "P5") {
+        channels = 1;
+    } else {
+        return Status::protocolError("not a binary PPM/PGM image");
+    }
+    std::string w = next_token();
+    std::string h = next_token();
+    std::string maxval = next_token();
+    Image image;
+    try {
+        image.width = std::stoll(w);
+        image.height = std::stoll(h);
+    } catch (...) {
+        return Status::protocolError("bad PNM dimensions");
+    }
+    if (maxval != "255")
+        return Status::protocolError("only 8-bit PNM supported");
+    if (image.width <= 0 || image.height <= 0 ||
+        image.width > 1 << 16 || image.height > 1 << 16) {
+        return Status::protocolError("bad PNM dimensions");
+    }
+    image.channels = channels;
+    // Exactly one whitespace byte separates header from pixels.
+    ++pos;
+    size_t need = static_cast<size_t>(image.size());
+    if (data.size() - pos < need)
+        return Status::protocolError("truncated PNM pixel data");
+    image.pixels.assign(data.begin() + pos, data.begin() + pos + need);
+    return image;
+}
+
+Status
+savePnm(const Image &image, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return Status::ioError("cannot open '" + path + "'");
+    auto bytes = encodePnm(image);
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    return os ? Status::ok()
+              : Status::ioError("write failed for '" + path + "'");
+}
+
+Result<Image>
+loadPnm(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return Status::ioError("cannot open '" + path + "'");
+    std::vector<uint8_t> data(
+        (std::istreambuf_iterator<char>(is)),
+        std::istreambuf_iterator<char>());
+    return decodePnm(data);
+}
+
+Image
+resize(const Image &image, int64_t width, int64_t height)
+{
+    Image out;
+    out.width = width;
+    out.height = height;
+    out.channels = image.channels;
+    out.pixels.resize(static_cast<size_t>(out.size()));
+
+    double sx = static_cast<double>(image.width) / width;
+    double sy = static_cast<double>(image.height) / height;
+    for (int64_t y = 0; y < height; ++y) {
+        double fy = (y + 0.5) * sy - 0.5;
+        int64_t y0 = std::clamp<int64_t>(
+            static_cast<int64_t>(std::floor(fy)), 0,
+            image.height - 1);
+        int64_t y1 = std::min(y0 + 1, image.height - 1);
+        double wy = std::clamp(fy - y0, 0.0, 1.0);
+        for (int64_t x = 0; x < width; ++x) {
+            double fx = (x + 0.5) * sx - 0.5;
+            int64_t x0 = std::clamp<int64_t>(
+                static_cast<int64_t>(std::floor(fx)), 0,
+                image.width - 1);
+            int64_t x1 = std::min(x0 + 1, image.width - 1);
+            double wx = std::clamp(fx - x0, 0.0, 1.0);
+            for (int64_t c = 0; c < image.channels; ++c) {
+                double top = image.at(x0, y0, c) * (1 - wx) +
+                             image.at(x1, y0, c) * wx;
+                double bottom = image.at(x0, y1, c) * (1 - wx) +
+                                image.at(x1, y1, c) * wx;
+                double v = top * (1 - wy) + bottom * wy;
+                out.at(x, y, c) = static_cast<uint8_t>(
+                    std::clamp(v + 0.5, 0.0, 255.0));
+            }
+        }
+    }
+    return out;
+}
+
+nn::Tensor
+toTensor(const Image &image, float mean)
+{
+    nn::Tensor t(nn::Shape(1, image.channels, image.height,
+                           image.width));
+    for (int64_t c = 0; c < image.channels; ++c) {
+        for (int64_t y = 0; y < image.height; ++y) {
+            for (int64_t x = 0; x < image.width; ++x) {
+                t.at(0, c, y, x) =
+                    static_cast<float>(image.at(x, y, c)) - mean;
+            }
+        }
+    }
+    return t;
+}
+
+Image
+synthesizePhoto(int64_t width, int64_t height, int64_t channels,
+                Rng &rng)
+{
+    Image image;
+    image.width = width;
+    image.height = height;
+    image.channels = channels;
+    image.pixels.resize(static_cast<size_t>(image.size()));
+
+    // A few random low-frequency color waves plus speckle noise.
+    double fx[3], fy[3], phase[3], base[3];
+    for (int c = 0; c < 3; ++c) {
+        fx[c] = rng.uniform(0.5, 3.0);
+        fy[c] = rng.uniform(0.5, 3.0);
+        phase[c] = rng.uniform(0.0, 2 * M_PI);
+        base[c] = rng.uniform(64.0, 192.0);
+    }
+    for (int64_t y = 0; y < height; ++y) {
+        for (int64_t x = 0; x < width; ++x) {
+            for (int64_t c = 0; c < channels; ++c) {
+                int k = static_cast<int>(c % 3);
+                double u = static_cast<double>(x) / width;
+                double v = static_cast<double>(y) / height;
+                double wave = 50.0 *
+                    std::sin(2 * M_PI * (fx[k] * u + fy[k] * v) +
+                             phase[k]);
+                double noise = rng.gaussian(0.0, 12.0);
+                image.at(x, y, c) = static_cast<uint8_t>(
+                    std::clamp(base[k] + wave + noise, 0.0, 255.0));
+            }
+        }
+    }
+    return image;
+}
+
+Image
+synthesizeDigit(int digit, Rng &rng)
+{
+    if (digit < 0 || digit > 9)
+        fatal("synthesizeDigit: digit %d out of range", digit);
+    Image image;
+    image.width = 28;
+    image.height = 28;
+    image.channels = 1;
+    image.pixels.assign(28 * 28, 0);
+
+    // Seven-segment style strokes jittered per sample; enough to
+    // exercise the DIG pipeline with digit-dependent structure.
+    const bool segs[10][7] = {
+        {1, 1, 1, 0, 1, 1, 1}, {0, 0, 1, 0, 0, 1, 0},
+        {1, 0, 1, 1, 1, 0, 1}, {1, 0, 1, 1, 0, 1, 1},
+        {0, 1, 1, 1, 0, 1, 0}, {1, 1, 0, 1, 0, 1, 1},
+        {1, 1, 0, 1, 1, 1, 1}, {1, 0, 1, 0, 0, 1, 0},
+        {1, 1, 1, 1, 1, 1, 1}, {1, 1, 1, 1, 0, 1, 1},
+    };
+    auto hline = [&](int64_t y, int64_t x0, int64_t x1) {
+        for (int64_t x = x0; x <= x1; ++x) {
+            for (int64_t dy = -1; dy <= 1; ++dy) {
+                int64_t yy = std::clamp<int64_t>(y + dy, 0, 27);
+                image.at(x, yy, 0) = 255;
+            }
+        }
+    };
+    auto vline = [&](int64_t x, int64_t y0, int64_t y1) {
+        for (int64_t y = y0; y <= y1; ++y) {
+            for (int64_t dx = -1; dx <= 1; ++dx) {
+                int64_t xx = std::clamp<int64_t>(x + dx, 0, 27);
+                image.at(xx, y, 0) = 255;
+            }
+        }
+    };
+    int64_t jx = rng.uniformInt(-2, 2);
+    int64_t jy = rng.uniformInt(-2, 2);
+    int64_t left = 8 + jx, right = 19 + jx;
+    int64_t top = 5 + jy, mid = 14 + jy, bottom = 23 + jy;
+    const bool *s = segs[digit];
+    if (s[0]) hline(top, left, right);
+    if (s[1]) vline(left, top, mid);
+    if (s[2]) vline(right, top, mid);
+    if (s[3]) hline(mid, left, right);
+    if (s[4]) vline(left, mid, bottom);
+    if (s[5]) vline(right, mid, bottom);
+    if (s[6]) hline(bottom, left, right);
+
+    // Light noise so samples differ.
+    for (auto &p : image.pixels) {
+        double v = p + rng.gaussian(0.0, 8.0);
+        p = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+    return image;
+}
+
+} // namespace tonic
+} // namespace djinn

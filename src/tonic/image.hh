@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Image handling for the Tonic image tasks (IMC, DIG, FACE): a PPM
+ * (P6) / PGM (P5) codec, bilinear resizing, CHW float conversion
+ * with mean subtraction, and deterministic synthetic image
+ * generation standing in for ImageNet / MNIST / PubFig83+LFW inputs.
+ */
+
+#ifndef DJINN_TONIC_IMAGE_HH
+#define DJINN_TONIC_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "nn/tensor.hh"
+
+namespace djinn {
+namespace tonic {
+
+/** An 8-bit interleaved image (RGB when channels==3, gray when 1). */
+struct Image {
+    int64_t width = 0;
+    int64_t height = 0;
+    int64_t channels = 0;
+    std::vector<uint8_t> pixels; // H x W x C interleaved
+
+    /** Total pixel component count. */
+    int64_t size() const { return width * height * channels; }
+
+    /** Component at (x, y, c). */
+    uint8_t &
+    at(int64_t x, int64_t y, int64_t c)
+    {
+        return pixels[(y * width + x) * channels + c];
+    }
+
+    /** Read-only component at (x, y, c). */
+    uint8_t
+    at(int64_t x, int64_t y, int64_t c) const
+    {
+        return pixels[(y * width + x) * channels + c];
+    }
+};
+
+/** Encode an image as PPM (P6, 3 channels) or PGM (P5, 1 channel). */
+std::vector<uint8_t> encodePnm(const Image &image);
+
+/** Decode a binary PPM/PGM buffer. */
+Result<Image> decodePnm(const std::vector<uint8_t> &data);
+
+/** Write an image to a .ppm/.pgm file. */
+Status savePnm(const Image &image, const std::string &path);
+
+/** Read an image from a .ppm/.pgm file. */
+Result<Image> loadPnm(const std::string &path);
+
+/** Bilinear resize to (width x height). */
+Image resize(const Image &image, int64_t width, int64_t height);
+
+/**
+ * Convert to a CHW float tensor (batch 1) with per-channel mean
+ * subtraction.
+ *
+ * @param mean value subtracted from every component (0-255 scale).
+ */
+nn::Tensor toTensor(const Image &image, float mean = 0.0f);
+
+/**
+ * Deterministic synthetic photo: smooth color gradients plus
+ * speckle, exercising the same decode/resize/normalize path a real
+ * dataset image would.
+ */
+Image synthesizePhoto(int64_t width, int64_t height, int64_t channels,
+                      Rng &rng);
+
+/** Deterministic synthetic handwritten digit (28x28 grayscale). */
+Image synthesizeDigit(int digit, Rng &rng);
+
+} // namespace tonic
+} // namespace djinn
+
+#endif // DJINN_TONIC_IMAGE_HH

@@ -1,0 +1,73 @@
+#include "tonic/labels.hh"
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+
+const std::vector<std::string> &
+posTagNames()
+{
+    static const std::vector<std::string> tags = {
+        "CC", "CD", "DT", "EX", "FW", "IN", "JJ", "JJR", "JJS",
+        "LS", "MD", "NN", "NNS", "NNP", "NNPS", "PDT", "POS",
+        "PRP", "PRP$", "RB", "RBR", "RBS", "RP", "SYM", "TO",
+        "UH", "VB", "VBD", "VBG", "VBN", "VBP", "VBZ", "WDT",
+        "WP", "WP$", "WRB", "#", "$", ".", ",", ":", "(", ")",
+        "``", "''",
+    };
+    return tags;
+}
+
+const std::vector<std::string> &
+chunkTagNames()
+{
+    static const std::vector<std::string> tags = {
+        "O", "B-NP", "I-NP", "B-VP", "I-VP", "B-PP", "I-PP",
+        "B-ADJP", "I-ADJP", "B-ADVP", "I-ADVP", "B-SBAR", "I-SBAR",
+        "B-CONJP", "I-CONJP", "B-INTJ", "I-INTJ", "B-LST", "I-LST",
+        "B-PRT", "I-PRT", "B-UCP", "I-UCP",
+    };
+    return tags;
+}
+
+const std::vector<std::string> &
+nerTagNames()
+{
+    static const std::vector<std::string> tags = {
+        "O", "B-PER", "I-PER", "B-LOC", "I-LOC", "B-ORG", "I-ORG",
+        "B-MISC", "I-MISC",
+    };
+    return tags;
+}
+
+const std::vector<std::string> &
+phoneNames()
+{
+    static const std::vector<std::string> phones = {
+        "aa", "ae", "ah", "ao", "aw", "ay", "b", "ch", "d", "dh",
+        "eh", "er", "ey", "f", "g", "hh", "ih", "iy", "jh", "k",
+        "l", "m", "n", "ng", "ow", "oy", "p", "r", "s", "sh",
+        "t", "th", "uh", "uw", "v", "w", "y", "z", "zh", "sil",
+    };
+    return phones;
+}
+
+std::string
+imagenetClassName(int index)
+{
+    if (index < 0)
+        fatal("imagenetClassName: negative class %d", index);
+    return strprintf("synset_%04d", index);
+}
+
+std::string
+celebrityName(int index)
+{
+    if (index < 0)
+        fatal("celebrityName: negative identity %d", index);
+    return strprintf("celebrity_%02d", index);
+}
+
+} // namespace tonic
+} // namespace djinn

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Label tables for the Tonic applications: POS/chunk/NER tag sets
+ * (SENNA-style), the ASR phone inventory, and synthetic class names
+ * for the image tasks.
+ */
+
+#ifndef DJINN_TONIC_LABELS_HH
+#define DJINN_TONIC_LABELS_HH
+
+#include <string>
+#include <vector>
+
+namespace djinn {
+namespace tonic {
+
+/** The 45 Penn Treebank POS tags used by the POS task. */
+const std::vector<std::string> &posTagNames();
+
+/** The 23 chunk tags (begin/inside phrase labels plus O). */
+const std::vector<std::string> &chunkTagNames();
+
+/** The 9 named-entity tags (PER/LOC/ORG/MISC begin/inside plus O). */
+const std::vector<std::string> &nerTagNames();
+
+/** The 40-phone inventory the ASR decoder emits. */
+const std::vector<std::string> &phoneNames();
+
+/** Synthetic ImageNet-style class name for class @p index. */
+std::string imagenetClassName(int index);
+
+/** Synthetic PubFig-style identity name for identity @p index. */
+std::string celebrityName(int index);
+
+} // namespace tonic
+} // namespace djinn
+
+#endif // DJINN_TONIC_LABELS_HH

@@ -1,0 +1,150 @@
+#include "tonic/text.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/strings.hh"
+
+namespace djinn {
+namespace tonic {
+
+namespace {
+
+uint64_t
+tokenHash(const std::string &token)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : token) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+const char *const word_bank[] = {
+    "the", "a", "quick", "brown", "fox", "jumps", "over", "lazy",
+    "dog", "server", "network", "deep", "neural", "service",
+    "warehouse", "scale", "computer", "latency", "throughput",
+    "query", "john", "mary", "paris", "london", "monday", "runs",
+    "processes", "answers", "speaks", "listens", "fast", "slow",
+    "large", "small", "red", "blue", "engineers", "design",
+    "systems", "images",
+};
+
+} // namespace
+
+std::vector<std::string>
+tokenize(const std::string &sentence)
+{
+    std::vector<std::string> tokens;
+    std::string current;
+    auto flush = [&]() {
+        if (!current.empty()) {
+            tokens.push_back(toLower(current));
+            current.clear();
+        }
+    };
+    for (char raw : sentence) {
+        unsigned char c = static_cast<unsigned char>(raw);
+        if (std::isalnum(c) || raw == '\'' || raw == '-') {
+            current.push_back(raw);
+        } else if (std::isspace(c)) {
+            flush();
+        } else {
+            flush();
+            tokens.push_back(std::string(1, raw));
+        }
+    }
+    flush();
+    return tokens;
+}
+
+std::vector<float>
+embedToken(const std::string &token, int64_t embedding_dim)
+{
+    Rng rng(tokenHash(toLower(token)));
+    std::vector<float> out(static_cast<size_t>(embedding_dim));
+    for (auto &v : out)
+        v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return out;
+}
+
+nn::Tensor
+windowFeatures(const std::vector<std::string> &tokens,
+               const TextConfig &config)
+{
+    std::vector<int> no_tags(tokens.size(), 0);
+    return windowFeaturesWithTags(tokens, no_tags, config);
+}
+
+nn::Tensor
+windowFeaturesWithTags(const std::vector<std::string> &tokens,
+                       const std::vector<int> &tags,
+                       const TextConfig &config)
+{
+    if (tokens.empty())
+        fatal("windowFeatures: empty token list");
+    if (tags.size() != tokens.size())
+        fatal("windowFeatures: %zu tags for %zu tokens", tags.size(),
+              tokens.size());
+    int64_t window = 2 * config.windowContext + 1;
+    int64_t dim = config.embeddingDim;
+    nn::Tensor out(nn::Shape(static_cast<int64_t>(tokens.size()),
+                             window * dim));
+
+    static const std::string padding = "<pad>";
+    std::vector<float> pad_embedding = embedToken(padding, dim);
+
+    for (int64_t t = 0; t < static_cast<int64_t>(tokens.size());
+         ++t) {
+        float *row = out.sample(t);
+        for (int64_t w = -config.windowContext;
+             w <= config.windowContext; ++w) {
+            int64_t src = t + w;
+            int64_t slot = w + config.windowContext;
+            const std::vector<float> *embedding;
+            std::vector<float> scratch;
+            int tag = 0;
+            if (src < 0 ||
+                src >= static_cast<int64_t>(tokens.size())) {
+                embedding = &pad_embedding;
+            } else {
+                scratch = embedToken(tokens[src], dim);
+                embedding = &scratch;
+                tag = tags[src];
+            }
+            // Rotate by the auxiliary tag id so tag features change
+            // the input (the CHK task feeds POS output back in).
+            for (int64_t i = 0; i < dim; ++i) {
+                row[slot * dim + i] =
+                    (*embedding)[(i + tag) % dim];
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+synthesizeSentence(int words, uint64_t seed)
+{
+    if (words <= 0)
+        fatal("synthesizeSentence: need positive word count");
+    Rng rng(seed);
+    constexpr int64_t bank_size =
+        static_cast<int64_t>(sizeof(word_bank) /
+                             sizeof(word_bank[0]));
+    std::string out;
+    for (int i = 0; i < words; ++i) {
+        if (i)
+            out += ' ';
+        out += word_bank[rng.uniformInt(0, bank_size - 1)];
+    }
+    out += '.';
+    return out;
+}
+
+} // namespace tonic
+} // namespace djinn

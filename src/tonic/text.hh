@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Text front end for the NLP tasks (POS, CHK, NER): SENNA-style
+ * window features. Sentences are tokenized, each token mapped to a
+ * deterministic 50-dim embedding (hash-derived, standing in for the
+ * Wikipedia-trained SENNA embeddings), and a 5-token window around
+ * each position is concatenated into the 250-float network input.
+ */
+
+#ifndef DJINN_TONIC_TEXT_HH
+#define DJINN_TONIC_TEXT_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace djinn {
+namespace tonic {
+
+/** SENNA-style text feature parameters. */
+struct TextConfig {
+    /** Embedding width per token. */
+    int64_t embeddingDim = 50;
+
+    /** Tokens on each side of the target (window = 2*ctx + 1). */
+    int64_t windowContext = 2;
+};
+
+/**
+ * Split a sentence into lower-cased word tokens; punctuation
+ * becomes its own token.
+ */
+std::vector<std::string> tokenize(const std::string &sentence);
+
+/**
+ * Deterministic embedding of one token: hash-seeded pseudo-random
+ * unit-variance vector. The same token always maps to the same
+ * embedding, and related casings share it (tokens are lower-cased
+ * first).
+ */
+std::vector<float> embedToken(const std::string &token,
+                              int64_t embedding_dim);
+
+/**
+ * Build window features for every token of a sentence: row t holds
+ * the concatenated embeddings of tokens [t-ctx, t+ctx], with
+ * padding embeddings past the sentence edges.
+ *
+ * @return a (tokens x window*embeddingDim) Tensor.
+ */
+nn::Tensor windowFeatures(const std::vector<std::string> &tokens,
+                          const TextConfig &config);
+
+/**
+ * Window features augmented with a feature channel (e.g. POS tag
+ * ids for the CHK task, paper Section 3.2.3): each window position's
+ * embedding is rotated by its auxiliary id so downstream features
+ * depend on the tags.
+ */
+nn::Tensor windowFeaturesWithTags(
+    const std::vector<std::string> &tokens,
+    const std::vector<int> &tags, const TextConfig &config);
+
+/** Deterministic synthetic sentence of @p words words. */
+std::string synthesizeSentence(int words, uint64_t seed);
+
+} // namespace tonic
+} // namespace djinn
+
+#endif // DJINN_TONIC_TEXT_HH

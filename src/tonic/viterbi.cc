@@ -1,0 +1,81 @@
+#include "tonic/viterbi.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+
+std::vector<int>
+viterbiDecode(const nn::Tensor &scores,
+              const std::vector<float> &transitions)
+{
+    int64_t steps = scores.shape().n();
+    int64_t states = scores.shape().sampleElems();
+    if (steps <= 0 || states <= 0)
+        fatal("viterbiDecode: empty score matrix");
+    if (static_cast<int64_t>(transitions.size()) != states * states)
+        fatal("viterbiDecode: transition matrix must be %lld x %lld",
+              static_cast<long long>(states),
+              static_cast<long long>(states));
+
+    std::vector<float> best(static_cast<size_t>(states));
+    std::vector<float> next(static_cast<size_t>(states));
+    std::vector<int> backptr(static_cast<size_t>(steps * states));
+
+    const float *row0 = scores.sample(0);
+    for (int64_t s = 0; s < states; ++s)
+        best[s] = row0[s];
+
+    for (int64_t t = 1; t < steps; ++t) {
+        const float *row = scores.sample(t);
+        for (int64_t j = 0; j < states; ++j) {
+            float top = -std::numeric_limits<float>::infinity();
+            int arg = 0;
+            for (int64_t i = 0; i < states; ++i) {
+                float cand = best[i] + transitions[i * states + j];
+                if (cand > top) {
+                    top = cand;
+                    arg = static_cast<int>(i);
+                }
+            }
+            next[j] = top + row[j];
+            backptr[t * states + j] = arg;
+        }
+        std::swap(best, next);
+    }
+
+    std::vector<int> path(static_cast<size_t>(steps));
+    int64_t last = static_cast<int64_t>(
+        std::max_element(best.begin(), best.end()) - best.begin());
+    path[steps - 1] = static_cast<int>(last);
+    for (int64_t t = steps - 1; t > 0; --t)
+        path[t - 1] = backptr[t * states + path[t]];
+    return path;
+}
+
+std::vector<float>
+selfLoopTransitions(int64_t states, float self_bonus)
+{
+    std::vector<float> out(static_cast<size_t>(states * states),
+                           0.0f);
+    for (int64_t s = 0; s < states; ++s)
+        out[s * states + s] = self_bonus;
+    return out;
+}
+
+std::vector<int>
+collapseRuns(const std::vector<int> &path)
+{
+    std::vector<int> out;
+    for (int state : path) {
+        if (out.empty() || out.back() != state)
+            out.push_back(state);
+    }
+    return out;
+}
+
+} // namespace tonic
+} // namespace djinn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Viterbi decoding over per-step class scores, the post-processing
+ * step shared by ASR (most likely senone/phone sequence) and the
+ * NLP tasks (most likely tag sequence), per paper Section 3.2.
+ */
+
+#ifndef DJINN_TONIC_VITERBI_HH
+#define DJINN_TONIC_VITERBI_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hh"
+
+namespace djinn {
+namespace tonic {
+
+/**
+ * Find the maximum-score state path.
+ *
+ * @param scores (steps x states) per-step state scores (e.g. log
+ *        probabilities from the DNN service).
+ * @param transitions (states x states) additive transition scores;
+ *        transitions[i*states + j] scores moving from state i to j.
+ * @return one state index per step.
+ */
+std::vector<int> viterbiDecode(const nn::Tensor &scores,
+                               const std::vector<float> &transitions);
+
+/**
+ * Build a simple self-loop-biased transition matrix: staying in the
+ * same state scores @p self_bonus, any move scores 0. Used by the
+ * ASR phone decoder.
+ */
+std::vector<float> selfLoopTransitions(int64_t states,
+                                       float self_bonus);
+
+/** Collapse consecutive duplicate states (CTC-style). */
+std::vector<int> collapseRuns(const std::vector<int> &path);
+
+} // namespace tonic
+} // namespace djinn
+
+#endif // DJINN_TONIC_VITERBI_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Minibatch SGD training for the inference library (extension
+ * beyond the paper's inference focus). The paper's authors had to
+ * train DeepFace on PubFig83+LFW themselves before serving it; a
+ * complete release of the system therefore needs a trainer.
+ *
+ * Supported layers: fully connected, convolution (via
+ * im2col/col2im), ReLU/Tanh/Sigmoid/HardTanh, max/avg pooling,
+ * dropout/flatten (identity), and a fused softmax +
+ * cross-entropy loss (a trailing Softmax layer is folded into the
+ * loss). LRN and locally connected layers are not trainable here.
+ */
+
+#ifndef DJINN_TRAIN_SGD_HH
+#define DJINN_TRAIN_SGD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace djinn {
+namespace train {
+
+/** SGD hyper-parameters. */
+struct TrainConfig {
+    /** Learning rate. */
+    double learningRate = 0.01;
+
+    /** Classical momentum coefficient. */
+    double momentum = 0.9;
+
+    /** L2 weight decay. */
+    double weightDecay = 0.0;
+};
+
+/**
+ * A momentum-SGD trainer bound to one network. The network's
+ * parameters are updated in place; it must not serve inference
+ * concurrently with training.
+ */
+class SgdTrainer
+{
+  public:
+    /**
+     * @param net the network to train (finalized).
+     * @param config hyper-parameters.
+     */
+    SgdTrainer(nn::Network &net, const TrainConfig &config);
+
+    /**
+     * One minibatch step: forward, softmax cross-entropy against
+     * @p labels, backward, momentum update.
+     *
+     * @param input batch input (N samples).
+     * @param labels one class index per sample.
+     * @return the batch's mean cross-entropy loss (before the
+     *         update).
+     */
+    double step(const nn::Tensor &input,
+                const std::vector<int> &labels);
+
+    /** Mean cross-entropy loss without updating parameters. */
+    double evaluate(const nn::Tensor &input,
+                    const std::vector<int> &labels);
+
+    /** Number of steps taken. */
+    uint64_t steps() const { return steps_; }
+
+  private:
+    double forwardBackward(const nn::Tensor &input,
+                           const std::vector<int> &labels,
+                           bool update);
+    void applyUpdates();
+
+    nn::Network &net_;
+    TrainConfig config_;
+    uint64_t steps_ = 0;
+
+    // Parallel to each layer's params(): accumulated gradients and
+    // momentum velocities.
+    std::vector<std::vector<nn::Tensor>> grads_;
+    std::vector<std::vector<nn::Tensor>> velocity_;
+};
+
+/**
+ * Top-1 classification accuracy of @p net on a labeled batch.
+ */
+double accuracy(const nn::Network &net, const nn::Tensor &input,
+                const std::vector<int> &labels);
+
+} // namespace train
+} // namespace djinn
+
+#endif // DJINN_TRAIN_SGD_HH

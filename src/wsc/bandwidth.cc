@@ -1,0 +1,25 @@
+#include "wsc/bandwidth.hh"
+
+#include <algorithm>
+
+#include "wsc/capacity.hh"
+
+namespace djinn {
+namespace wsc {
+
+double
+bandwidthRequirement(serve::App app, int gpus)
+{
+    const serve::AppSpec &spec = serve::appSpec(app);
+    double qps = gpuPeakQps(app) * gpus;
+    return std::max(qps * spec.inputBytes, qps * spec.outputBytes);
+}
+
+double
+ingressRequirement(serve::App app, int gpus)
+{
+    return gpuPeakQps(app) * gpus * serve::appSpec(app).inputBytes;
+}
+
+} // namespace wsc
+} // namespace djinn

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Network bandwidth requirements for peak DNN throughput (paper
+ * Section 6.1, Figure 13): the traffic a server must carry so the
+ * GPUs never starve, computed from the unconstrained per-GPU
+ * throughput of each application.
+ */
+
+#ifndef DJINN_WSC_BANDWIDTH_HH
+#define DJINN_WSC_BANDWIDTH_HH
+
+#include "serve/app.hh"
+
+namespace djinn {
+namespace wsc {
+
+/**
+ * Bytes per second a server with @p gpus GPUs needs to sustain an
+ * application's bandwidth-unconstrained throughput: the larger of
+ * the ingress (inputs) and egress (results) directions.
+ */
+double bandwidthRequirement(serve::App app, int gpus);
+
+/** Ingress-only (query payload) bandwidth requirement. */
+double ingressRequirement(serve::App app, int gpus);
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_BANDWIDTH_HH

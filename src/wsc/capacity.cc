@@ -1,0 +1,64 @@
+#include "wsc/capacity.hh"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "serve/simulation.hh"
+
+namespace djinn {
+namespace wsc {
+
+CpuCapacity
+cpuCapacity(serve::App app, const gpu::CpuSpec &spec)
+{
+    const serve::AppSpec &as = serve::appSpec(app);
+    CpuCapacity out;
+    out.dnnTime = serve::cpuQueryTime(app, spec);
+    out.prePostTime = out.dnnTime *
+                      (as.preprocFraction + as.postprocFraction);
+    out.coreQps = 1.0 / (out.dnnTime + out.prePostTime);
+    return out;
+}
+
+double
+gpuServerQps(serve::App app, const gpu::LinkSpec &host_link,
+             int gpu_count)
+{
+    using Key = std::tuple<serve::App, std::string, double, int>;
+    static std::mutex mutex;
+    static std::map<Key, double> cache;
+
+    Key key{app, host_link.name, host_link.effectiveBandwidth(),
+            gpu_count};
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+    }
+
+    serve::SimConfig config;
+    config.app = app;
+    config.batch = serve::appSpec(app).tunedBatch;
+    config.gpuCount = gpu_count;
+    config.instancesPerGpu = 4;
+    config.hostLink = host_link;
+    // Large servers move a lot of data; give the host CPU pool a
+    // socket pair's worth of cores.
+    config.hostCores = 12;
+    serve::SimResult result = serve::runServingSim(config);
+
+    std::lock_guard<std::mutex> lock(mutex);
+    cache[key] = result.throughputQps;
+    return result.throughputQps;
+}
+
+double
+gpuPeakQps(serve::App app)
+{
+    return gpuServerQps(app, gpu::unlimitedLink(), 1);
+}
+
+} // namespace wsc
+} // namespace djinn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-application capacity numbers feeding the TCO provisioning:
+ * single-core CPU throughput for the full query (DNN plus pre/post
+ * processing), the pre/post CPU time the GPU designs still pay, and
+ * per-server GPU-side throughput from the serving simulator.
+ */
+
+#ifndef DJINN_WSC_CAPACITY_HH
+#define DJINN_WSC_CAPACITY_HH
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/link.hh"
+#include "serve/app.hh"
+
+namespace djinn {
+namespace wsc {
+
+/** CPU-side capacity of one application. */
+struct CpuCapacity {
+    /** Full-query (DNN + pre + post) throughput of one core, QPS. */
+    double coreQps = 0.0;
+
+    /** CPU pre+post processing seconds per query. */
+    double prePostTime = 0.0;
+
+    /** CPU DNN seconds per query. */
+    double dnnTime = 0.0;
+};
+
+/** Compute CPU-side capacity for an application. */
+CpuCapacity cpuCapacity(serve::App app,
+                        const gpu::CpuSpec &spec = gpu::CpuSpec());
+
+/**
+ * Optimized GPU-side DNN throughput of a server (tuned batch size,
+ * 4 MPS instances per GPU), in QPS. Results are cached per
+ * (app, link, gpu count); the underlying measurement is a serving
+ * simulation.
+ *
+ * @param app the application.
+ * @param host_link total host interconnect the GPUs share.
+ * @param gpu_count GPUs in the server.
+ */
+double gpuServerQps(serve::App app, const gpu::LinkSpec &host_link,
+                    int gpu_count);
+
+/**
+ * Unconstrained per-GPU DNN throughput (no interconnect limit), in
+ * QPS; the basis of the bandwidth-requirement analysis (Figure 13).
+ */
+double gpuPeakQps(serve::App app);
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_CAPACITY_HH

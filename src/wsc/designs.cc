@@ -1,0 +1,231 @@
+#include "wsc/designs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "serve/app.hh"
+
+namespace djinn {
+namespace wsc {
+
+namespace {
+
+/**
+ * The interconnect a disaggregated GPU chassis actually sees: data
+ * must cross both the NIC team and the internal host link, so the
+ * narrower of the two governs.
+ */
+gpu::LinkSpec
+disaggChassisLink(const NetworkConfig &network)
+{
+    const gpu::LinkSpec &nics = network.disaggIngest;
+    const gpu::LinkSpec &host = network.hostLink;
+    return nics.effectiveBandwidth() < host.effectiveBandwidth()
+        ? nics : host;
+}
+
+/** The CPU-only fleet share dedicated to one service, servers. */
+double
+serviceShare(Mix mix, double dnn_fraction,
+             const DesignConfig &config)
+{
+    return config.baselineServers * dnn_fraction /
+           static_cast<double>(mixApps(mix).size());
+}
+
+/**
+ * Per-service DNN throughput target, QPS: what the CPU-only fleet
+ * share sustains through the DNN service portion (Section 6.3
+ * matches DNN service throughput across designs).
+ */
+double
+serviceTarget(serve::App app, Mix mix, double dnn_fraction,
+              const DesignConfig &config)
+{
+    CpuCapacity cpu = cpuCapacity(app);
+    double per_core_qps = config.accountPrePost
+        ? cpu.coreQps
+        : 1.0 / cpu.dnnTime;
+    return serviceShare(mix, dnn_fraction, config) *
+           config.coresPerServer * per_core_qps *
+           config.perfMultiplier;
+}
+
+/** NICs needed to carry @p bytes_per_sec of egress, at least one. */
+double
+nicsForTraffic(double bytes_per_sec)
+{
+    double per_nic = gpu::ethernet10G().effectiveBandwidth();
+    return std::max(1.0, std::ceil(bytes_per_sec / per_nic));
+}
+
+} // namespace
+
+const char *
+designName(Design design)
+{
+    switch (design) {
+      case Design::CpuOnly: return "CPU Only";
+      case Design::IntegratedGpu: return "Integrated GPU";
+      case Design::DisaggregatedGpu: return "Disaggregated GPU";
+    }
+    return "unknown";
+}
+
+const std::vector<Design> &
+allDesigns()
+{
+    static const std::vector<Design> designs = {
+        Design::CpuOnly, Design::IntegratedGpu,
+        Design::DisaggregatedGpu,
+    };
+    return designs;
+}
+
+DisaggServerPlan
+planDisaggServer(serve::App app, const DesignConfig &config)
+{
+    const serve::AppSpec &spec = serve::appSpec(app);
+    gpu::LinkSpec chassis = disaggChassisLink(config.network);
+    double per_gpu = gpuServerQps(app, chassis, 1);
+    double ingest_qps = chassis.effectiveBandwidth() /
+                        (spec.inputBytes + spec.outputBytes);
+
+    DisaggServerPlan plan;
+    // Provision only as many GPUs as the chassis bandwidth can
+    // feed; this is the disaggregated design's key freedom
+    // (Section 6.2).
+    plan.gpusPerServer = static_cast<int>(std::clamp<double>(
+        std::floor(ingest_qps / per_gpu), 1.0,
+        static_cast<double>(config.maxGpusPerDisaggServer)));
+    plan.serverQps = gpuServerQps(app, chassis, plan.gpusPerServer);
+    return plan;
+}
+
+ProvisionResult
+provision(Design design, Mix mix, double dnn_fraction,
+          const DesignConfig &config)
+{
+    if (dnn_fraction < 0.0 || dnn_fraction > 1.0)
+        fatal("provision: dnn_fraction %f out of [0,1]",
+              dnn_fraction);
+
+    ProvisionResult result;
+    result.design = design;
+    FleetInventory &fleet = result.fleet;
+
+    // Non-DNN webservices run on beefy CPU servers in every design.
+    double non_dnn = config.baselineServers * (1.0 - dnn_fraction);
+    fleet.beefyServers += non_dnn;
+    fleet.nicUnits += non_dnn;
+
+    for (serve::App app : mixApps(mix)) {
+        double target = serviceTarget(app, mix, dnn_fraction,
+                                      config);
+        if (target <= 0.0)
+            continue;
+        result.dnnQps += target;
+        const serve::AppSpec &spec = serve::appSpec(app);
+        CpuCapacity cpu = cpuCapacity(app);
+
+        switch (design) {
+          case Design::CpuOnly:
+            {
+                // The baseline fleet share runs the full service
+                // (scaled when perfMultiplier grows the workload).
+                double servers = std::ceil(
+                    serviceShare(mix, dnn_fraction, config) *
+                    config.perfMultiplier);
+                fleet.beefyServers += servers;
+                fleet.nicUnits += servers;
+            }
+            break;
+
+          case Design::IntegratedGpu:
+            {
+                double server_qps = gpuServerQps(
+                    app, config.network.hostLink,
+                    config.gpusPerIntegratedServer);
+                if (config.accountPrePost) {
+                    // The same server's cores must also keep up
+                    // with query pre/post-processing.
+                    double cpu_qps = config.coresPerServer /
+                                     std::max(cpu.prePostTime,
+                                              1e-12);
+                    server_qps = std::min(server_qps, cpu_qps);
+                }
+                double servers = std::ceil(target / server_qps);
+                fleet.beefyServers += servers;
+                fleet.gpus += servers *
+                              config.gpusPerIntegratedServer;
+                fleet.nicUnits += servers;
+                fleet.interconnectPremium +=
+                    servers * config.network.serverPremium;
+            }
+            break;
+
+          case Design::DisaggregatedGpu:
+            {
+                if (config.accountPrePost) {
+                    // Beefy CPU servers run pre/post-processing
+                    // and ship prepared queries to GPU servers.
+                    double cpu_servers = std::max(std::ceil(
+                        target * cpu.prePostTime /
+                        config.coresPerServer), 1.0);
+                    fleet.beefyServers += cpu_servers;
+                    double egress_per_server =
+                        target *
+                        (spec.inputBytes + spec.outputBytes) /
+                        cpu_servers;
+                    fleet.nicUnits += cpu_servers *
+                        nicsForTraffic(egress_per_server);
+                }
+
+                // Wimpy GPU chassis sized to their bandwidth.
+                DisaggServerPlan plan = planDisaggServer(app,
+                                                         config);
+                double gpu_servers = std::ceil(target /
+                                               plan.serverQps);
+                fleet.wimpyServers += gpu_servers;
+                fleet.gpus += gpu_servers * plan.gpusPerServer;
+                fleet.nicUnits += gpu_servers *
+                                  config.network.nicCount *
+                                  (config.network.nicUnitCost /
+                                   config.params.nicCost);
+                fleet.interconnectPremium +=
+                    gpu_servers * config.network.serverPremium;
+            }
+            break;
+        }
+    }
+
+    result.tco = computeTco(fleet, config.params);
+    return result;
+}
+
+double
+networkPerformanceGain(Mix mix, const NetworkConfig &network,
+                       const DesignConfig &baseline_config)
+{
+    // Fixed hardware: a fully populated chassis (the paper's
+    // 8-GPU server), bandwidth-starved under the baseline network,
+    // unlocked by the upgrade.
+    int gpus = baseline_config.maxGpusPerDisaggServer;
+    gpu::LinkSpec base_link =
+        disaggChassisLink(baseline_config.network);
+    gpu::LinkSpec new_link = disaggChassisLink(network);
+
+    double total_gain = 0.0;
+    int count = 0;
+    for (serve::App app : mixApps(mix)) {
+        double base_qps = gpuServerQps(app, base_link, gpus);
+        double new_qps = gpuServerQps(app, new_link, gpus);
+        total_gain += new_qps / base_qps;
+        ++count;
+    }
+    return count ? total_gain / count : 1.0;
+}
+
+} // namespace wsc
+} // namespace djinn

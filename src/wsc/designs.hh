@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The three WSC design points (paper Section 6.2, Figure 14) and
+ * the provisioning methodology of Section 6.3: a CPU-only fleet
+ * sets per-service throughput targets, and the Integrated-GPU and
+ * Disaggregated-GPU designs are built out to match them, then
+ * costed with the TCO model.
+ */
+
+#ifndef DJINN_WSC_DESIGNS_HH
+#define DJINN_WSC_DESIGNS_HH
+
+#include <string>
+#include <vector>
+
+#include "wsc/capacity.hh"
+#include "wsc/network_config.hh"
+#include "wsc/tco_params.hh"
+#include "wsc/workload_mix.hh"
+
+namespace djinn {
+namespace wsc {
+
+/** The WSC organizations of Figure 14. */
+enum class Design {
+    CpuOnly,
+    IntegratedGpu,
+    DisaggregatedGpu,
+};
+
+/** Printable design name. */
+const char *designName(Design design);
+
+/** All designs in Figure 14 order. */
+const std::vector<Design> &allDesigns();
+
+/** Shared provisioning configuration. */
+struct DesignConfig {
+    /** Cost factors (Table 4). */
+    TcoParams params;
+
+    /** Interconnect/network design point (Table 6). */
+    NetworkConfig network = pcie3With10GbE();
+
+    /** Size of the reference CPU-only fleet, servers. */
+    double baselineServers = 1000.0;
+
+    /** Cores per beefy server (2x Xeon E5-2620 v2). */
+    int coresPerServer = 12;
+
+    /** GPUs in every server of the Integrated design. */
+    int gpusPerIntegratedServer = 12;
+
+    /** Most GPUs a disaggregated wimpy chassis can host. */
+    int maxGpusPerDisaggServer = 8;
+
+    /**
+     * Scale on the CPU-only throughput targets; 1.0 reproduces
+     * Figure 15, larger values model the scaled-up workloads of
+     * Figure 16.
+     */
+    double perfMultiplier = 1.0;
+
+    /**
+     * When true, the GPU designs are additionally provisioned with
+     * CPU capacity for each query's pre/post-processing (Figure 4
+     * fractions). The paper's Section 6.3 methodology matches DNN
+     * service throughput only, so reproducing Figure 15 uses false;
+     * true is an ablation showing how Amdahl's law on ASR's heavy
+     * pre/post-processing compresses the TCO gains.
+     */
+    bool accountPrePost = false;
+};
+
+/** One provisioned design. */
+struct ProvisionResult {
+    Design design = Design::CpuOnly;
+
+    /** Hardware inventory. */
+    FleetInventory fleet;
+
+    /** Lifetime TCO breakdown. */
+    TcoBreakdown tco;
+
+    /** Aggregate DNN queries per second the fleet sustains. */
+    double dnnQps = 0.0;
+};
+
+/**
+ * Provision a design for a workload that is @p dnn_fraction DNN
+ * services (split evenly across the mix) and the rest non-DNN
+ * webservices, matching the CPU-only fleet's throughput targets.
+ */
+ProvisionResult provision(Design design, Mix mix,
+                          double dnn_fraction,
+                          const DesignConfig &config);
+
+/**
+ * Per-GPU-server throughput of one app in the Disaggregated design
+ * under a network config, together with the GPU count the chassis
+ * is provisioned with (fewer GPUs when bandwidth-bound).
+ */
+struct DisaggServerPlan {
+    int gpusPerServer = 1;
+    double serverQps = 0.0;
+};
+
+/** Plan one disaggregated GPU chassis for an app. */
+DisaggServerPlan planDisaggServer(serve::App app,
+                                  const DesignConfig &config);
+
+/**
+ * The Figure 16 exercise: fixing the baseline-provisioned
+ * disaggregated GPU hardware, how much does workload throughput
+ * grow when the network is upgraded to @p network?
+ *
+ * @return throughput multiplier (>= 1) averaged over the mix.
+ */
+double networkPerformanceGain(Mix mix,
+                              const NetworkConfig &network,
+                              const DesignConfig &baseline_config);
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_DESIGNS_HH

@@ -1,0 +1,59 @@
+#include "wsc/network_config.hh"
+
+namespace djinn {
+namespace wsc {
+
+NetworkConfig
+pcie3With10GbE()
+{
+    NetworkConfig config;
+    config.name = "PCIe v3 / 10GbE";
+    // Total host ingest: one x16 pipe per socket, dual socket.
+    config.hostLink = gpu::pcieV3();
+    config.hostLink.peakBandwidth *= 2.0;
+    config.disaggIngest = gpu::ethernet10G(16);
+    config.nicCount = 16;
+    config.nicUnitCost = 750.0;
+    config.serverPremium = 0.0;
+    return config;
+}
+
+NetworkConfig
+pcie4With40GbE()
+{
+    NetworkConfig config;
+    config.name = "PCIe v4 / 40GbE";
+    // Total host ingest: one x16 pipe per socket, dual socket.
+    config.hostLink = gpu::pcieV4();
+    config.hostLink.peakBandwidth *= 2.0;
+    // 9 teamed 40GbE saturate PCIe v4 at 20% ethernet overhead
+    // (Section 6.4).
+    config.disaggIngest = gpu::ethernet40G(9);
+    config.nicCount = 9;
+    config.nicUnitCost = 1500.0;
+    config.serverPremium = 500.0;
+    return config;
+}
+
+NetworkConfig
+qpiWith400GbE()
+{
+    NetworkConfig config;
+    config.name = "QPI / 400GbE";
+    config.hostLink = gpu::qpiAggregate();
+    // 8 teamed 400GbE saturate the 12 QPI links (Section 6.4).
+    config.disaggIngest = gpu::ethernet400G(8);
+    config.nicCount = 8;
+    config.nicUnitCost = 6000.0;
+    config.serverPremium = 2500.0;
+    return config;
+}
+
+std::vector<NetworkConfig>
+allNetworkConfigs()
+{
+    return {pcie3With10GbE(), pcie4With40GbE(), qpiWith400GbE()};
+}
+
+} // namespace wsc
+} // namespace djinn

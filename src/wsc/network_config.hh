@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Interconnect/network design points (paper Table 6 and Section
+ * 6.4): the baseline PCIe v3 + 10GbE, the cutting-edge PCIe v4 +
+ * 40GbE, and the near-future QPI + 400GbE configurations.
+ *
+ * Table 6's unit prices are partially illegible in the available
+ * paper text; the cost fields below are reconstructed assumptions,
+ * phrased (like the paper) as premiums over the PCIe v3 / 10GbE
+ * point, and documented in DESIGN.md.
+ */
+
+#ifndef DJINN_WSC_NETWORK_CONFIG_HH
+#define DJINN_WSC_NETWORK_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "gpu/link.hh"
+
+namespace djinn {
+namespace wsc {
+
+/** One row of Table 6. */
+struct NetworkConfig {
+    /** Design point name. */
+    std::string name;
+
+    /**
+     * Total CPU-to-GPU interconnect ingest of a server (both
+     * sockets aggregated).
+     */
+    gpu::LinkSpec hostLink;
+
+    /** Teamed NIC ingest available to a disaggregated GPU server. */
+    gpu::LinkSpec disaggIngest;
+
+    /** NICs teamed per GPU server. */
+    int nicCount = 16;
+
+    /** Dollar cost of one NIC of this generation (+switch share). */
+    double nicUnitCost = 750.0;
+
+    /**
+     * Added per-server interconnect cost over the PCIe v3 baseline
+     * (PCIe v4 retimers / QPI fabric), dollars.
+     */
+    double serverPremium = 0.0;
+};
+
+/** Baseline: PCIe v3 x16 + 16 teamed 10GbE NICs. */
+NetworkConfig pcie3With10GbE();
+
+/** Cutting edge: PCIe v4 x16 + 9 teamed 40GbE NICs (Section 6.4). */
+NetworkConfig pcie4With40GbE();
+
+/** Near future: 12 QPI links + 8 teamed 400GbE NICs (Section 6.4). */
+NetworkConfig qpiWith400GbE();
+
+/** The three Table 6 design points, baseline first. */
+std::vector<NetworkConfig> allNetworkConfigs();
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_NETWORK_CONFIG_HH

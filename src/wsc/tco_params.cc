@@ -1,0 +1,64 @@
+#include "wsc/tco_params.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace wsc {
+
+double
+financedCost(double principal, const TcoParams &params)
+{
+    if (principal <= 0.0)
+        return 0.0;
+    double r = params.interestRate / 12.0;
+    double n = params.amortizationMonths;
+    if (r <= 0.0)
+        return principal;
+    double factor = std::pow(1.0 + r, n);
+    double monthly = principal * r * factor / (factor - 1.0);
+    return monthly * params.lifetimeMonths;
+}
+
+TcoBreakdown
+computeTco(const FleetInventory &fleet, const TcoParams &params)
+{
+    TcoBreakdown out;
+
+    double server_capex =
+        fleet.beefyServers * params.gpuServerCost +
+        fleet.wimpyServers * params.wimpyServerCost +
+        fleet.interconnectPremium;
+    double gpu_capex = fleet.gpus * params.gpuCost;
+    double network_capex = fleet.nicUnits * params.nicCost;
+
+    double it_watts =
+        fleet.beefyServers * params.gpuServerPowerW +
+        fleet.wimpyServers * params.wimpyServerPowerW +
+        fleet.gpus * params.gpuPowerW;
+    double wall_watts = it_watts * params.pue;
+
+    double facility_capex = params.wscCapexPerWatt * wall_watts;
+
+    out.servers = financedCost(server_capex, params);
+    out.gpus = financedCost(gpu_capex, params);
+    out.network = financedCost(network_capex, params);
+    out.facility = financedCost(facility_capex, params);
+
+    double hours = params.lifetimeMonths * 730.0;
+    out.power = wall_watts / 1000.0 * hours *
+                params.electricityPerKwh;
+
+    double monthly_amortized_servers =
+        financedCost(server_capex + gpu_capex, params) /
+        params.lifetimeMonths;
+    out.operations =
+        params.opexPerWattMonth * it_watts * params.lifetimeMonths +
+        params.maintenanceRate * monthly_amortized_servers *
+            params.lifetimeMonths;
+    return out;
+}
+
+} // namespace wsc
+} // namespace djinn

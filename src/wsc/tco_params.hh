@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Total-cost-of-ownership parameters (paper Table 4) and the cost
+ * arithmetic shared by the WSC designs: capital amortization with
+ * interest, facility capex per watt, power, opex, and maintenance,
+ * following the Barroso et al. methodology the paper cites.
+ */
+
+#ifndef DJINN_WSC_TCO_PARAMS_HH
+#define DJINN_WSC_TCO_PARAMS_HH
+
+#include <string>
+
+namespace djinn {
+namespace wsc {
+
+/** Cost factors, defaults per paper Table 4. */
+struct TcoParams {
+    /** 300 W GPU-capable (beefy) server chassis, dollars. */
+    double gpuServerCost = 6864.0;
+
+    /** Beefy server power, watts. */
+    double gpuServerPowerW = 300.0;
+
+    /** High-end 240 W GPU board, dollars. */
+    double gpuCost = 3314.0;
+
+    /** GPU board power, watts. */
+    double gpuPowerW = 240.0;
+
+    /** 75 W wimpy server, dollars. */
+    double wimpyServerCost = 1716.0;
+
+    /** Wimpy server power, watts. */
+    double wimpyServerPowerW = 75.0;
+
+    /** Networking cost per 10GbE NIC including switch share. */
+    double nicCost = 750.0;
+
+    /** WSC facility capital expenditure, dollars per watt. */
+    double wscCapexPerWatt = 10.0;
+
+    /** Operational expenditure, dollars per watt per month. */
+    double opexPerWattMonth = 0.04;
+
+    /** Power usage effectiveness. */
+    double pue = 1.1;
+
+    /** Electricity price, dollars per kWh. */
+    double electricityPerKwh = 0.067;
+
+    /** Annual interest rate on capital expenditures. */
+    double interestRate = 0.08;
+
+    /** Server lifetime, months (3 years). */
+    double lifetimeMonths = 36.0;
+
+    /** Loan amortization period, months (3 years). */
+    double amortizationMonths = 36.0;
+
+    /**
+     * Server maintenance/operations, fraction of the monthly
+     * amortized server capital per month.
+     */
+    double maintenanceRate = 0.05;
+};
+
+/** One WSC design's provisioned hardware. */
+struct FleetInventory {
+    /** Beefy CPU (or CPU+GPU host) servers. */
+    double beefyServers = 0.0;
+
+    /** Wimpy GPU-host servers (disaggregated design). */
+    double wimpyServers = 0.0;
+
+    /** Discrete GPU boards. */
+    double gpus = 0.0;
+
+    /** 10GbE-equivalent NIC units (by cost). */
+    double nicUnits = 0.0;
+
+    /** Extra per-server interconnect premium dollars (PCIe4/QPI). */
+    double interconnectPremium = 0.0;
+};
+
+/** TCO broken into the components Figure 16 plots. */
+struct TcoBreakdown {
+    /** Server capital (amortized, with financing), dollars. */
+    double servers = 0.0;
+
+    /** GPU capital (amortized, with financing), dollars. */
+    double gpus = 0.0;
+
+    /** Network capital (amortized, with financing), dollars. */
+    double network = 0.0;
+
+    /** Facility capital (amortized, with financing), dollars. */
+    double facility = 0.0;
+
+    /** Electricity over the lifetime, dollars. */
+    double power = 0.0;
+
+    /** Opex + maintenance over the lifetime, dollars. */
+    double operations = 0.0;
+
+    /** Lifetime total. */
+    double
+    total() const
+    {
+        return servers + gpus + network + facility + power +
+               operations;
+    }
+};
+
+/**
+ * Lifetime dollars paid on a loan of @p principal amortized monthly
+ * at the params' interest rate.
+ */
+double financedCost(double principal, const TcoParams &params);
+
+/** Compute the lifetime TCO of a fleet. */
+TcoBreakdown computeTco(const FleetInventory &fleet,
+                        const TcoParams &params);
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_TCO_PARAMS_HH

@@ -1,0 +1,50 @@
+#include "wsc/workload_mix.hh"
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace wsc {
+
+const char *
+mixName(Mix mix)
+{
+    switch (mix) {
+      case Mix::Mixed: return "MIXED";
+      case Mix::Image: return "IMAGE";
+      case Mix::Nlp: return "NLP";
+    }
+    return "unknown";
+}
+
+const std::vector<serve::App> &
+mixApps(Mix mix)
+{
+    using serve::App;
+    static const std::vector<App> mixed = {
+        App::IMC, App::DIG, App::FACE, App::ASR,
+        App::POS, App::CHK, App::NER,
+    };
+    static const std::vector<App> image = {
+        App::IMC, App::DIG, App::FACE,
+    };
+    static const std::vector<App> nlp = {
+        App::POS, App::CHK, App::NER,
+    };
+    switch (mix) {
+      case Mix::Mixed: return mixed;
+      case Mix::Image: return image;
+      case Mix::Nlp: return nlp;
+    }
+    panic("mixApps: unknown mix %d", static_cast<int>(mix));
+}
+
+const std::vector<Mix> &
+allMixes()
+{
+    static const std::vector<Mix> mixes = {Mix::Mixed, Mix::Image,
+                                           Mix::Nlp};
+    return mixes;
+}
+
+} // namespace wsc
+} // namespace djinn

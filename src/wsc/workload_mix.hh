@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The DNN service workload mixes of paper Table 5: MIXED (all seven
+ * services), IMAGE (IMC, DIG, FACE), and NLP (POS, CHK, NER).
+ */
+
+#ifndef DJINN_WSC_WORKLOAD_MIX_HH
+#define DJINN_WSC_WORKLOAD_MIX_HH
+
+#include <string>
+#include <vector>
+
+#include "serve/app.hh"
+
+namespace djinn {
+namespace wsc {
+
+/** The three workload mixes of Table 5. */
+enum class Mix {
+    Mixed,
+    Image,
+    Nlp,
+};
+
+/** Short name of a mix ("MIXED", "IMAGE", "NLP"). */
+const char *mixName(Mix mix);
+
+/** The services a mix comprises, shares split evenly (Section 6.3). */
+const std::vector<serve::App> &mixApps(Mix mix);
+
+/** All mixes in Table 5 order. */
+const std::vector<Mix> &allMixes();
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_WORKLOAD_MIX_HH

@@ -1,0 +1,58 @@
+#include "common/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace {
+
+TEST(Logging, StrprintfFormatsArguments)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+}
+
+TEST(Logging, StrprintfEmpty)
+{
+    EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(Logging, StrprintfLongString)
+{
+    std::string big(10000, 'a');
+    EXPECT_EQ(strprintf("%s", big.c_str()), big);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad user input %d", 7), FatalError);
+}
+
+TEST(Logging, FatalMessagePreserved)
+{
+    try {
+        fatal("code %d", 42);
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "code 42");
+    }
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(Logging, InformAndWarnDoNotThrow)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error); // silence output in tests
+    EXPECT_NO_THROW(inform("hello %d", 1));
+    EXPECT_NO_THROW(warn("watch out %s", "x"));
+    EXPECT_NO_THROW(logDebug("dbg"));
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace djinn

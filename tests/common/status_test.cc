@@ -1,0 +1,76 @@
+#include "common/status.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    EXPECT_EQ(Status::invalidArgument("x").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(Status::notFound("x").code(), StatusCode::NotFound);
+    EXPECT_EQ(Status::unavailable("x").code(),
+              StatusCode::Unavailable);
+    EXPECT_EQ(Status::internal("x").code(), StatusCode::Internal);
+    EXPECT_EQ(Status::protocolError("x").code(),
+              StatusCode::ProtocolError);
+    EXPECT_EQ(Status::ioError("x").code(), StatusCode::IoError);
+    EXPECT_EQ(Status::notFound("missing thing").message(),
+              "missing thing");
+}
+
+TEST(Status, ToStringIncludesCodeName)
+{
+    Status s = Status::protocolError("bad magic");
+    EXPECT_EQ(s.toString(), "ProtocolError: bad magic");
+}
+
+TEST(Status, CodeNamesDistinct)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "Ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::IoError), "IoError");
+    EXPECT_STRNE(statusCodeName(StatusCode::NotFound),
+                 statusCodeName(StatusCode::Internal));
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_TRUE(r.status().isOk());
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Status::notFound("nope"));
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), StatusCode::NotFound);
+    EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(Result, TakeValueMovesOut)
+{
+    Result<std::string> r(std::string("payload"));
+    std::string v = r.takeValue();
+    EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, WorksWithVectors)
+{
+    Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value().size(), 3u);
+}
+
+} // namespace
+} // namespace djinn

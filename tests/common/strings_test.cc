@@ -1,0 +1,111 @@
+#include "common/strings.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace {
+
+TEST(Strings, SplitBasic)
+{
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,c,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField)
+{
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWhitespaceDropsEmpties)
+{
+    auto parts = splitWhitespace("  a \t b\n c  ");
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitWhitespaceEmptyInput)
+{
+    EXPECT_TRUE(splitWhitespace("").empty());
+    EXPECT_TRUE(splitWhitespace("   \t\n").empty());
+}
+
+TEST(Strings, TrimBothEnds)
+{
+    EXPECT_EQ(trim("  abc \n"), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("layer conv1", "layer"));
+    EXPECT_FALSE(startsWith("lay", "layer"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("AbC-12"), "abc-12");
+}
+
+TEST(Strings, ParseIntValid)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_TRUE(parseInt("  13 ", v));
+    EXPECT_EQ(v, 13);
+}
+
+TEST(Strings, ParseIntRejectsJunk)
+{
+    int64_t v = 0;
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("abc", v));
+    EXPECT_FALSE(parseInt("12x", v));
+    EXPECT_FALSE(parseInt("1.5", v));
+}
+
+TEST(Strings, ParseDoubleValid)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("3.25", v));
+    EXPECT_DOUBLE_EQ(v, 3.25);
+    EXPECT_TRUE(parseDouble("-1e3", v));
+    EXPECT_DOUBLE_EQ(v, -1000.0);
+}
+
+TEST(Strings, ParseDoubleRejectsJunk)
+{
+    double v = 0;
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("x", v));
+    EXPECT_FALSE(parseDouble("1.5z", v));
+}
+
+TEST(Strings, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+} // namespace
+} // namespace djinn

@@ -1,0 +1,170 @@
+#include "core/batcher.hh"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+
+namespace djinn {
+namespace core {
+namespace {
+
+class BatcherTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto net = nn::parseNetDefOrDie(
+            "name tiny\ninput 1 2 2\nlayer fc fc out 3\n");
+        nn::initializeWeights(*net, 5);
+        ASSERT_TRUE(registry_.add(std::move(net)).isOk());
+    }
+
+    ModelRegistry registry_;
+};
+
+TEST_F(BatcherTest, SingleQueryCompletes)
+{
+    BatchOptions options;
+    options.maxQueries = 4;
+    options.maxDelay = 1e-3;
+    BatchingExecutor executor(registry_, options);
+    auto future = executor.submit("tiny", 1, {1, 2, 3, 4});
+    InferenceResult result = future.get();
+    ASSERT_TRUE(result.status.isOk()) << result.status.toString();
+    EXPECT_EQ(result.output.size(), 3u);
+    EXPECT_EQ(executor.queriesServed(), 1u);
+}
+
+TEST_F(BatcherTest, UnknownModelRejected)
+{
+    BatchingExecutor executor(registry_, BatchOptions{});
+    auto future = executor.submit("missing", 1, {1, 2, 3, 4});
+    InferenceResult result = future.get();
+    EXPECT_EQ(result.status.code(), StatusCode::NotFound);
+}
+
+TEST_F(BatcherTest, WrongPayloadSizeRejected)
+{
+    BatchingExecutor executor(registry_, BatchOptions{});
+    auto future = executor.submit("tiny", 1, {1, 2, 3});
+    InferenceResult result = future.get();
+    EXPECT_EQ(result.status.code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(BatcherTest, ZeroRowsRejected)
+{
+    BatchingExecutor executor(registry_, BatchOptions{});
+    auto future = executor.submit("tiny", 0, {});
+    EXPECT_EQ(future.get().status.code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST_F(BatcherTest, ConcurrentQueriesGetCombined)
+{
+    BatchOptions options;
+    options.maxQueries = 8;
+    options.maxDelay = 200e-3; // generous window to coalesce even
+                               // on a loaded machine
+    BatchingExecutor executor(registry_, options);
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(executor.submit(
+            "tiny", 1,
+            {static_cast<float>(i), 0, 0, 0}));
+    }
+    for (auto &f : futures)
+        ASSERT_TRUE(f.get().status.isOk());
+    EXPECT_EQ(executor.queriesServed(), 8u);
+    // Coalescing must beat one-batch-per-query.
+    EXPECT_LT(executor.batchesExecuted(), 8u);
+}
+
+TEST_F(BatcherTest, BatchedResultsMatchUnbatched)
+{
+    auto net = registry_.find("tiny");
+    BatchOptions options;
+    options.maxQueries = 4;
+    options.maxDelay = 10e-3;
+    BatchingExecutor executor(registry_, options);
+
+    std::vector<std::vector<float>> inputs = {
+        {1, 2, 3, 4}, {5, 6, 7, 8}, {-1, 0, 1, 2}};
+    std::vector<std::future<InferenceResult>> futures;
+    for (const auto &in : inputs)
+        futures.push_back(executor.submit("tiny", 1, in));
+
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        InferenceResult result = futures[i].get();
+        ASSERT_TRUE(result.status.isOk());
+        nn::Tensor in(nn::Shape(1, 1, 2, 2));
+        std::copy(inputs[i].begin(), inputs[i].end(), in.data());
+        nn::Tensor expected = net->forward(in);
+        ASSERT_EQ(result.output.size(), 3u);
+        for (int64_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(result.output[j], expected[j], 1e-5);
+    }
+}
+
+TEST_F(BatcherTest, MultiRowQueryKeepsRowOrder)
+{
+    auto net = registry_.find("tiny");
+    BatchingExecutor executor(registry_, BatchOptions{});
+    std::vector<float> data = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto result = executor.submit("tiny", 2, data).get();
+    ASSERT_TRUE(result.status.isOk());
+    ASSERT_EQ(result.output.size(), 6u);
+
+    nn::Tensor in(nn::Shape(2, 1, 2, 2));
+    std::copy(data.begin(), data.end(), in.data());
+    nn::Tensor expected = net->forward(in);
+    for (int64_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(result.output[i], expected[i], 1e-5);
+}
+
+TEST_F(BatcherTest, ManyThreadsStress)
+{
+    BatchOptions options;
+    options.maxQueries = 16;
+    options.maxDelay = 1e-3;
+    BatchingExecutor executor(registry_, options);
+
+    constexpr int threads = 8;
+    constexpr int per_thread = 25;
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&executor, &failures]() {
+            for (int i = 0; i < per_thread; ++i) {
+                auto result = executor.submit(
+                    "tiny", 1, {1, 1, 1, 1}).get();
+                if (!result.status.isOk())
+                    ++failures;
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(executor.queriesServed(),
+              static_cast<uint64_t>(threads * per_thread));
+}
+
+TEST_F(BatcherTest, InvalidOptionsFatal)
+{
+    BatchOptions options;
+    options.maxQueries = 0;
+    EXPECT_THROW(BatchingExecutor(registry_, options), FatalError);
+    options.maxQueries = 4;
+    options.maxDelay = -1.0;
+    EXPECT_THROW(BatchingExecutor(registry_, options), FatalError);
+}
+
+} // namespace
+} // namespace core
+} // namespace djinn

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Property tests on the wire protocol: random payloads round-trip
+ * bit-exactly, and arbitrary truncations or corruptions never
+ * crash the decoder - they fail cleanly with ProtocolError or
+ * decode deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hh"
+#include "core/protocol.hh"
+
+namespace djinn {
+namespace core {
+namespace {
+
+Request
+randomRequest(Rng &rng)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    int64_t name_len = rng.uniformInt(0, 64);
+    for (int64_t i = 0; i < name_len; ++i) {
+        request.model.push_back(
+            static_cast<char>(rng.uniformInt(32, 126)));
+    }
+    request.rows = static_cast<uint32_t>(rng.uniformInt(1, 64));
+    int64_t count = rng.uniformInt(0, 4096);
+    request.payload.resize(static_cast<size_t>(count));
+    for (auto &v : request.payload)
+        v = static_cast<float>(rng.gaussian(0, 100.0));
+    return request;
+}
+
+class ProtocolRoundTrip : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(ProtocolRoundTrip, RandomRequestsRoundTripExactly)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+    for (int i = 0; i < 50; ++i) {
+        Request request = randomRequest(rng);
+        auto decoded = decodeRequest(encodeRequest(request));
+        ASSERT_TRUE(decoded.isOk());
+        const Request &r = decoded.value();
+        ASSERT_EQ(r.model, request.model);
+        ASSERT_EQ(r.rows, request.rows);
+        ASSERT_EQ(r.payload.size(), request.payload.size());
+        for (size_t j = 0; j < r.payload.size(); ++j) {
+            // Bit-exact: NaNs and infinities included.
+            ASSERT_EQ(std::memcmp(&r.payload[j],
+                                  &request.payload[j],
+                                  sizeof(float)), 0);
+        }
+    }
+}
+
+TEST_P(ProtocolRoundTrip, RandomResponsesRoundTripExactly)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7907);
+    for (int i = 0; i < 50; ++i) {
+        Response response;
+        response.status = static_cast<WireStatus>(
+            rng.uniformInt(0, 3));
+        int64_t msg_len = rng.uniformInt(0, 128);
+        for (int64_t j = 0; j < msg_len; ++j) {
+            response.message.push_back(
+                static_cast<char>(rng.uniformInt(32, 126)));
+        }
+        int64_t count = rng.uniformInt(0, 2048);
+        response.payload.resize(static_cast<size_t>(count));
+        for (auto &v : response.payload)
+            v = static_cast<float>(rng.gaussian(0, 10.0));
+
+        auto decoded = decodeResponse(encodeResponse(response));
+        ASSERT_TRUE(decoded.isOk());
+        ASSERT_EQ(decoded.value().status, response.status);
+        ASSERT_EQ(decoded.value().message, response.message);
+        ASSERT_EQ(decoded.value().payload, response.payload);
+    }
+}
+
+TEST_P(ProtocolRoundTrip, TruncationsFailCleanly)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 31337);
+    Request request = randomRequest(rng);
+    auto bytes = encodeRequest(request);
+    for (int i = 0; i < 60; ++i) {
+        size_t cut = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(bytes.size()) - 1));
+        std::vector<uint8_t> partial(bytes.begin(),
+                                     bytes.begin() + cut);
+        auto decoded = decodeRequest(partial);
+        ASSERT_FALSE(decoded.isOk()) << "cut=" << cut;
+        ASSERT_EQ(decoded.status().code(),
+                  StatusCode::ProtocolError);
+    }
+}
+
+TEST_P(ProtocolRoundTrip, SingleByteCorruptionNeverCrashes)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 65537);
+    Request request = randomRequest(rng);
+    auto bytes = encodeRequest(request);
+    for (int i = 0; i < 100; ++i) {
+        auto copy = bytes;
+        size_t pos = static_cast<size_t>(rng.uniformInt(
+            0, static_cast<int64_t>(copy.size()) - 1));
+        copy[pos] ^= static_cast<uint8_t>(rng.uniformInt(1, 255));
+        // Must not crash; may succeed (payload bytes) or fail with
+        // a protocol error.
+        auto decoded = decodeRequest(copy);
+        if (!decoded.isOk()) {
+            ASSERT_EQ(decoded.status().code(),
+                      StatusCode::ProtocolError);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTrip,
+                         ::testing::Values(1, 2, 3));
+
+} // namespace
+} // namespace core
+} // namespace djinn

@@ -1,0 +1,207 @@
+#include "core/protocol.hh"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace djinn {
+namespace core {
+namespace {
+
+TEST(Protocol, RequestRoundTrip)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "alexnet";
+    request.rows = 2;
+    request.payload = {1.0f, 2.5f, -3.0f, 0.0f};
+
+    auto bytes = encodeRequest(request);
+    auto decoded = decodeRequest(bytes);
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    const Request &r = decoded.value();
+    EXPECT_EQ(r.type, RequestType::Inference);
+    EXPECT_EQ(r.model, "alexnet");
+    EXPECT_EQ(r.rows, 2u);
+    ASSERT_EQ(r.payload.size(), 4u);
+    EXPECT_FLOAT_EQ(r.payload[1], 2.5f);
+    EXPECT_FLOAT_EQ(r.payload[2], -3.0f);
+}
+
+TEST(Protocol, ResponseRoundTrip)
+{
+    Response response;
+    response.status = WireStatus::UnknownModel;
+    response.message = "unknown model 'x'";
+    response.payload = {0.25f};
+
+    auto bytes = encodeResponse(response);
+    auto decoded = decodeResponse(bytes);
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_EQ(decoded.value().status, WireStatus::UnknownModel);
+    EXPECT_EQ(decoded.value().message, "unknown model 'x'");
+    ASSERT_EQ(decoded.value().payload.size(), 1u);
+}
+
+TEST(Protocol, EmptyPayloadAllowed)
+{
+    Request request;
+    request.type = RequestType::Ping;
+    auto decoded = decodeRequest(encodeRequest(request));
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_TRUE(decoded.value().payload.empty());
+}
+
+TEST(Protocol, RejectsBadMagic)
+{
+    auto bytes = encodeRequest(Request{});
+    bytes[0] ^= 0xff;
+    auto decoded = decodeRequest(bytes);
+    ASSERT_FALSE(decoded.isOk());
+    EXPECT_EQ(decoded.status().code(), StatusCode::ProtocolError);
+}
+
+TEST(Protocol, RejectsBadVersion)
+{
+    auto bytes = encodeRequest(Request{});
+    bytes[4] = 0x77;
+    EXPECT_FALSE(decodeRequest(bytes).isOk());
+}
+
+TEST(Protocol, RejectsUnknownType)
+{
+    auto bytes = encodeRequest(Request{});
+    bytes[6] = 0x42;
+    EXPECT_FALSE(decodeRequest(bytes).isOk());
+}
+
+TEST(Protocol, RejectsTruncatedFrames)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1, 2, 3};
+    auto bytes = encodeRequest(request);
+    for (size_t cut : {size_t(3), size_t(9), bytes.size() - 1}) {
+        std::vector<uint8_t> partial(bytes.begin(),
+                                     bytes.begin() + cut);
+        EXPECT_FALSE(decodeRequest(partial).isOk())
+            << "cut at " << cut;
+    }
+}
+
+TEST(Protocol, RejectsTrailingGarbage)
+{
+    auto bytes = encodeRequest(Request{});
+    bytes.push_back(0xab);
+    EXPECT_FALSE(decodeRequest(bytes).isOk());
+}
+
+TEST(Protocol, RejectsOversizeModelName)
+{
+    auto bytes = encodeRequest(Request{});
+    // Patch the name length field (offset 8) to a huge value.
+    bytes[8] = 0xff;
+    bytes[9] = 0xff;
+    bytes[10] = 0xff;
+    bytes[11] = 0x7f;
+    EXPECT_FALSE(decodeRequest(bytes).isOk());
+}
+
+TEST(Protocol, ResponseRejectsBadStatus)
+{
+    auto bytes = encodeResponse(Response{});
+    bytes[6] = 0x63; // status 99
+    EXPECT_FALSE(decodeResponse(bytes).isOk());
+}
+
+TEST(Protocol, RequestAndResponseMagicsDiffer)
+{
+    auto req = encodeRequest(Request{});
+    EXPECT_FALSE(decodeResponse(req).isOk());
+    auto resp = encodeResponse(Response{});
+    EXPECT_FALSE(decodeRequest(resp).isOk());
+}
+
+TEST(FrameIo, RoundTripOverSocketPair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FrameIo a(fds[0]), b(fds[1]);
+
+    std::vector<uint8_t> frame{1, 2, 3, 4, 5};
+    ASSERT_TRUE(a.writeFrame(frame).isOk());
+    auto got = b.readFrame();
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(got.value(), frame);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FrameIo, EmptyFrameRoundTrips)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FrameIo a(fds[0]), b(fds[1]);
+    ASSERT_TRUE(a.writeFrame({}).isOk());
+    auto got = b.readFrame();
+    ASSERT_TRUE(got.isOk());
+    EXPECT_TRUE(got.value().empty());
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FrameIo, LargeFrameRoundTrips)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::vector<uint8_t> frame(1 << 20);
+    for (size_t i = 0; i < frame.size(); ++i)
+        frame[i] = static_cast<uint8_t>(i * 31);
+    // Write from a thread so the pipe buffer can drain.
+    std::thread writer([&]() {
+        FrameIo a(fds[0]);
+        ASSERT_TRUE(a.writeFrame(frame).isOk());
+    });
+    FrameIo b(fds[1]);
+    auto got = b.readFrame();
+    writer.join();
+    ASSERT_TRUE(got.isOk());
+    EXPECT_EQ(got.value(), frame);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FrameIo, RejectsFrameOverLimit)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    FrameIo a(fds[0]), b(fds[1]);
+    std::vector<uint8_t> frame(1024);
+    ASSERT_TRUE(a.writeFrame(frame).isOk());
+    auto got = b.readFrame(512);
+    EXPECT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), StatusCode::ProtocolError);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(FrameIo, PeerCloseReportsIoError)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    ::close(fds[0]);
+    FrameIo b(fds[1]);
+    auto got = b.readFrame();
+    EXPECT_FALSE(got.isOk());
+    EXPECT_EQ(got.status().code(), StatusCode::IoError);
+    ::close(fds[1]);
+}
+
+} // namespace
+} // namespace core
+} // namespace djinn

@@ -1,0 +1,170 @@
+#include "core/model_registry.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+#include "nn/serialize.hh"
+
+namespace djinn {
+namespace core {
+namespace {
+
+nn::NetworkPtr
+tinyNet(const std::string &name)
+{
+    auto net = nn::parseNetDefOrDie(
+        "name " + name + "\ninput 1 4 4\nlayer fc fc out 3\n");
+    nn::initializeWeights(*net, 7);
+    return net;
+}
+
+TEST(ModelRegistry, AddAndFind)
+{
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.add(tinyNet("a")).isOk());
+    EXPECT_EQ(registry.size(), 1u);
+    auto found = registry.find("a");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->name(), "a");
+    EXPECT_EQ(registry.find("missing"), nullptr);
+}
+
+TEST(ModelRegistry, RejectsDuplicates)
+{
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.add(tinyNet("a")).isOk());
+    Status s = registry.add(tinyNet("a"));
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+}
+
+TEST(ModelRegistry, RejectsNull)
+{
+    ModelRegistry registry;
+    EXPECT_FALSE(registry.add(nullptr).isOk());
+}
+
+TEST(ModelRegistry, RejectsUnfinalized)
+{
+    auto net = std::make_shared<nn::Network>("raw",
+                                             nn::Shape(1, 4));
+    ModelRegistry registry;
+    EXPECT_FALSE(registry.add(net).isOk());
+}
+
+TEST(ModelRegistry, ModelNamesSorted)
+{
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.add(tinyNet("zeta")).isOk());
+    ASSERT_TRUE(registry.add(tinyNet("alpha")).isOk());
+    auto names = registry.modelNames();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(ModelRegistry, AddZooModel)
+{
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.addZooModel(nn::zoo::Model::Mnist).isOk());
+    auto net = registry.find("mnist");
+    ASSERT_NE(net, nullptr);
+    EXPECT_EQ(net->inputShape(), nn::Shape(1, 1, 28, 28));
+}
+
+TEST(ModelRegistry, TotalWeightBytesSums)
+{
+    ModelRegistry registry;
+    auto a = tinyNet("a");
+    auto b = tinyNet("b");
+    uint64_t expected = a->weightBytes() + b->weightBytes();
+    ASSERT_TRUE(registry.add(std::move(a)).isOk());
+    ASSERT_TRUE(registry.add(std::move(b)).isOk());
+    EXPECT_EQ(registry.totalWeightBytes(), expected);
+}
+
+TEST(ModelRegistry, LoadFromFiles)
+{
+    std::string dir = ::testing::TempDir();
+    std::string netdef_path = dir + "/reg_net.def";
+    std::string weights_path = dir + "/reg_net.djw";
+
+    auto src = tinyNet("filed");
+    {
+        std::ofstream os(netdef_path);
+        os << nn::formatNetDef(*src);
+    }
+    ASSERT_TRUE(nn::saveWeights(*src, weights_path).isOk());
+
+    ModelRegistry registry;
+    ASSERT_TRUE(
+        registry.loadFromFiles(netdef_path, weights_path).isOk());
+    auto loaded = registry.find("filed");
+    ASSERT_NE(loaded, nullptr);
+
+    // Same weights -> same outputs.
+    nn::Tensor in(nn::Shape(1, 1, 4, 4), 0.5f);
+    nn::Tensor a = src->forward(in);
+    nn::Tensor b = loaded->forward(in);
+    for (int64_t i = 0; i < a.elems(); ++i)
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+
+    std::remove(netdef_path.c_str());
+    std::remove(weights_path.c_str());
+}
+
+TEST(ModelRegistry, ShippedNetdefFilesLoadAndMatchZoo)
+{
+    // The files in models/ are what djinnd --netdef consumes; they
+    // must stay structurally identical to the built-in zoo.
+    ModelRegistry registry;
+    for (nn::zoo::Model model : nn::zoo::allModels()) {
+        std::string name = nn::zoo::modelName(model);
+        std::string path = std::string(DJINN_SOURCE_DIR) +
+                           "/models/" + name + ".def";
+        Status s = registry.loadFromFiles(path, "");
+        ASSERT_TRUE(s.isOk())
+            << path << ": " << s.toString()
+            << " (regenerate with tools/export_models)";
+        auto loaded = registry.find(name);
+        ASSERT_NE(loaded, nullptr);
+        auto zoo_net = nn::parseNetDefOrDie(nn::zoo::netDef(model));
+        EXPECT_EQ(loaded->layerCount(), zoo_net->layerCount())
+            << name;
+        EXPECT_EQ(loaded->paramCount(), zoo_net->paramCount())
+            << name;
+        EXPECT_EQ(loaded->outputShape(), zoo_net->outputShape())
+            << name;
+    }
+}
+
+TEST(ModelRegistry, LoadFromMissingFileFails)
+{
+    ModelRegistry registry;
+    Status s = registry.loadFromFiles("/nonexistent/x.def", "");
+    EXPECT_EQ(s.code(), StatusCode::IoError);
+}
+
+TEST(ModelRegistry, LoadWithoutWeightsKeepsZeros)
+{
+    std::string path = ::testing::TempDir() + "/reg_zero.def";
+    {
+        std::ofstream os(path);
+        os << "name zeroed\ninput 1 2 2\nlayer fc fc out 2\n";
+    }
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.loadFromFiles(path, "").isOk());
+    auto net = registry.find("zeroed");
+    ASSERT_NE(net, nullptr);
+    nn::Tensor in(nn::Shape(1, 1, 2, 2), 1.0f);
+    nn::Tensor out = net->forward(in);
+    EXPECT_FLOAT_EQ(out[0], 0.0f);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace core
+} // namespace djinn

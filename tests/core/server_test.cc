@@ -1,0 +1,381 @@
+/**
+ * @file
+ * End-to-end DjiNN service tests: a real TCP server on loopback,
+ * exercised through the client library.
+ */
+
+#include "core/djinn_server.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/djinn_client.hh"
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+
+namespace djinn {
+namespace core {
+namespace {
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto net = nn::parseNetDefOrDie(
+            "name tiny\ninput 1 2 2\nlayer fc fc out 3\n"
+            "layer prob softmax\n");
+        nn::initializeWeights(*net, 5);
+        ASSERT_TRUE(registry_.add(std::move(net)).isOk());
+    }
+
+    void
+    startServer(ServerConfig config = ServerConfig{})
+    {
+        server_ = std::make_unique<DjinnServer>(registry_, config);
+        ASSERT_TRUE(server_->start().isOk());
+    }
+
+    Status
+    connect(DjinnClient &client)
+    {
+        return client.connect("127.0.0.1", server_->port());
+    }
+
+    ModelRegistry registry_;
+    std::unique_ptr<DjinnServer> server_;
+};
+
+TEST_F(ServerTest, StartsOnEphemeralPort)
+{
+    startServer();
+    EXPECT_GT(server_->port(), 0);
+    EXPECT_TRUE(server_->running());
+    server_->stop();
+    EXPECT_FALSE(server_->running());
+}
+
+TEST_F(ServerTest, PingPong)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    EXPECT_TRUE(client.ping().isOk());
+}
+
+TEST_F(ServerTest, ListModels)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto models = client.listModels();
+    ASSERT_TRUE(models.isOk());
+    ASSERT_EQ(models.value().size(), 1u);
+    EXPECT_EQ(models.value()[0], "tiny");
+}
+
+TEST_F(ServerTest, InferenceReturnsDistribution)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto result = client.infer("tiny", 1, {1, 2, 3, 4});
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    ASSERT_EQ(result.value().size(), 3u);
+    double sum = 0;
+    for (float v : result.value())
+        sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+    EXPECT_EQ(server_->requestsServed(), 1u);
+}
+
+TEST_F(ServerTest, InferenceMatchesLocalForward)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    std::vector<float> input{0.5f, -1.0f, 2.0f, 0.0f};
+    auto remote = client.infer("tiny", 1, input);
+    ASSERT_TRUE(remote.isOk());
+
+    auto net = registry_.find("tiny");
+    nn::Tensor in(nn::Shape(1, 1, 2, 2));
+    std::copy(input.begin(), input.end(), in.data());
+    nn::Tensor local = net->forward(in);
+    for (int64_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(remote.value()[i], local[i], 1e-6);
+}
+
+TEST_F(ServerTest, MultiRowInference)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    std::vector<float> input(8, 0.25f);
+    auto result = client.infer("tiny", 2, input);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value().size(), 6u);
+}
+
+TEST_F(ServerTest, UnknownModelReported)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto result = client.infer("resnet", 1, {1, 2, 3, 4});
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+}
+
+TEST_F(ServerTest, WrongPayloadSizeReported)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto result = client.infer("tiny", 1, {1, 2});
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(ServerTest, RowLimitEnforced)
+{
+    ServerConfig config;
+    config.maxRowsPerRequest = 2;
+    startServer(config);
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    std::vector<float> input(12, 0.0f);
+    auto result = client.infer("tiny", 3, input);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(ServerTest, SequentialRequestsOnOneConnection)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    for (int i = 0; i < 10; ++i) {
+        auto result = client.infer("tiny", 1, {1, 2, 3, 4});
+        ASSERT_TRUE(result.isOk());
+    }
+    EXPECT_EQ(server_->requestsServed(), 10u);
+    EXPECT_EQ(server_->connectionsAccepted(), 1u);
+}
+
+TEST_F(ServerTest, ConcurrentClients)
+{
+    startServer();
+    constexpr int clients = 8;
+    constexpr int per_client = 10;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([this, &failures]() {
+            DjinnClient client;
+            if (!connect(client).isOk()) {
+                ++failures;
+                return;
+            }
+            for (int i = 0; i < per_client; ++i) {
+                auto result = client.infer("tiny", 1, {1, 2, 3, 4});
+                if (!result.isOk())
+                    ++failures;
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server_->requestsServed(),
+              static_cast<uint64_t>(clients * per_client));
+    EXPECT_EQ(server_->connectionsAccepted(),
+              static_cast<uint64_t>(clients));
+}
+
+TEST_F(ServerTest, BatchingModeServesCorrectResults)
+{
+    ServerConfig config;
+    config.batching = true;
+    config.batchOptions.maxQueries = 4;
+    config.batchOptions.maxDelay = 2e-3;
+    startServer(config);
+
+    auto net = registry_.find("tiny");
+    constexpr int clients = 6;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+        workers.emplace_back([this, c, net, &failures]() {
+            DjinnClient client;
+            if (!connect(client).isOk()) {
+                ++failures;
+                return;
+            }
+            std::vector<float> input{static_cast<float>(c), 1, 2,
+                                     3};
+            auto result = client.infer("tiny", 1, input);
+            if (!result.isOk()) {
+                ++failures;
+                return;
+            }
+            nn::Tensor in(nn::Shape(1, 1, 2, 2));
+            std::copy(input.begin(), input.end(), in.data());
+            nn::Tensor expected = net->forward(in);
+            for (int64_t i = 0; i < 3; ++i) {
+                if (std::abs(result.value()[i] - expected[i]) >
+                    1e-5) {
+                    ++failures;
+                }
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ServerTest, DescribeModelReportsGeometry)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto info = client.describeModel("tiny");
+    ASSERT_TRUE(info.isOk()) << info.status().toString();
+    EXPECT_EQ(info.value().channels, 1);
+    EXPECT_EQ(info.value().height, 2);
+    EXPECT_EQ(info.value().width, 2);
+    EXPECT_EQ(info.value().inputElems(), 4);
+    EXPECT_EQ(info.value().outputs, 3);
+}
+
+TEST_F(ServerTest, DescribeUnknownModelFails)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto info = client.describeModel("resnet");
+    ASSERT_FALSE(info.isOk());
+    EXPECT_EQ(info.status().code(), StatusCode::NotFound);
+}
+
+TEST_F(ServerTest, StatsTrackServedRequests)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(client.infer("tiny", 2, std::vector<float>(
+            8, 0.5f)).isOk());
+
+    auto stats = client.serverStats();
+    ASSERT_TRUE(stats.isOk()) << stats.status().toString();
+    ASSERT_EQ(stats.value().size(), 1u);
+    const auto &s = stats.value()[0];
+    EXPECT_EQ(s.model, "tiny");
+    EXPECT_EQ(s.requests, 5u);
+    EXPECT_EQ(s.rows, 10u);
+    EXPECT_GE(s.meanServiceMs, 0.0);
+
+    // Server-side snapshot agrees.
+    auto local = server_->stats();
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local[0].requests, 5u);
+}
+
+TEST_F(ServerTest, StatsEmptyBeforeTraffic)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto stats = client.serverStats();
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_TRUE(stats.value().empty());
+}
+
+TEST_F(ServerTest, StatsExcludeFailedRequests)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    (void)client.infer("tiny", 1, {1.0f}); // wrong size, rejected
+    (void)client.infer("missing", 1, {1, 2, 3, 4});
+    auto stats = client.serverStats();
+    ASSERT_TRUE(stats.isOk());
+    EXPECT_TRUE(stats.value().empty());
+}
+
+TEST_F(ServerTest, StopUnblocksAndRejects)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    server_->stop();
+    // Later requests on the (now closed) connection fail cleanly.
+    auto result = client.infer("tiny", 1, {1, 2, 3, 4});
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST_F(ServerTest, StopCompletesWithIdleConnectedClients)
+{
+    // Regression: stop() used to join worker threads that were
+    // parked in read() on idle connections - a hang. It must shut
+    // those sockets down and return promptly.
+    startServer();
+    DjinnClient a, b;
+    ASSERT_TRUE(connect(a).isOk());
+    ASSERT_TRUE(connect(b).isOk());
+    ASSERT_TRUE(a.ping().isOk()); // ensure workers are parked
+    ASSERT_TRUE(b.ping().isOk());
+
+    auto start = std::chrono::steady_clock::now();
+    server_->stop();
+    double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    EXPECT_LT(seconds, 2.0);
+}
+
+TEST_F(ServerTest, DoubleStartRejected)
+{
+    startServer();
+    EXPECT_FALSE(server_->start().isOk());
+}
+
+TEST_F(ServerTest, StopIsIdempotent)
+{
+    startServer();
+    server_->stop();
+    server_->stop();
+    SUCCEED();
+}
+
+TEST_F(ServerTest, ClientConnectToClosedPortFails)
+{
+    startServer();
+    uint16_t port = server_->port();
+    server_->stop();
+    server_.reset();
+    DjinnClient client;
+    EXPECT_FALSE(client.connect("127.0.0.1", port).isOk());
+}
+
+TEST_F(ServerTest, ClientRejectsBadAddress)
+{
+    DjinnClient client;
+    EXPECT_FALSE(client.connect("not-an-ip", 1234).isOk());
+}
+
+TEST_F(ServerTest, ClientInferWithoutConnectFails)
+{
+    DjinnClient client;
+    auto result = client.infer("tiny", 1, {1, 2, 3, 4});
+    EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+}
+
+} // namespace
+} // namespace core
+} // namespace djinn

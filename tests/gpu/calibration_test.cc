@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Calibration of the simulator against the paper's headline
+ * results. Each test pins one claim from the paper to a band; if a
+ * model-constant change moves a shape outside its band, the test
+ * fails. (Absolute values are model outputs, only shapes are
+ * asserted — see EXPERIMENTS.md.)
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gpu/gpu_model.hh"
+#include "serve/simulation.hh"
+
+namespace djinn {
+namespace {
+
+using serve::App;
+using serve::appSpec;
+using serve::SimConfig;
+using serve::runServingSim;
+
+/** CPU DNN-portion QPS for one query, single Xeon core. */
+double
+cpuQps(App app)
+{
+    return 1.0 / serve::cpuQueryTime(app, gpu::CpuSpec());
+}
+
+/** Sim throughput with the given knobs. */
+double
+gpuQps(App app, int64_t batch, int instances, int gpus = 1,
+       bool mps = true)
+{
+    SimConfig config;
+    config.app = app;
+    config.batch = batch;
+    config.instancesPerGpu = instances;
+    config.gpuCount = gpus;
+    config.mps = mps;
+    return runServingSim(config).throughputQps;
+}
+
+/** Fully optimized single-GPU ratio (Figure 10). */
+double
+optimizedRatio(App app)
+{
+    static std::map<App, double> cache;
+    auto it = cache.find(app);
+    if (it != cache.end())
+        return it->second;
+    double ratio = gpuQps(app, appSpec(app).tunedBatch, 4) /
+                   cpuQps(app);
+    cache[app] = ratio;
+    return ratio;
+}
+
+// Figure 5: batch-1 GPU vs CPU ratios ------------------------------
+
+TEST(Calibration, Fig5AsrHighestUnbatchedGain)
+{
+    // "ASR achieves significant improvement, 120x speedup."
+    double ratio = gpuQps(App::ASR, 1, 1) / cpuQps(App::ASR);
+    EXPECT_GT(ratio, 90.0);
+    EXPECT_LT(ratio, 220.0);
+}
+
+TEST(Calibration, Fig5NlpAroundSevenX)
+{
+    // "NLP applications ... achieve only around 7x improvement."
+    for (App app : {App::POS, App::CHK, App::NER}) {
+        double ratio = gpuQps(app, 1, 1) / cpuQps(app);
+        EXPECT_GT(ratio, 3.0) << serve::appName(app);
+        EXPECT_LT(ratio, 11.0) << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig5BigNetworksAboveTwentyX)
+{
+    // "Networks with more than 30M parameters achieve above 20x."
+    for (App app : {App::IMC, App::FACE, App::ASR}) {
+        double ratio = gpuQps(app, 1, 1) / cpuQps(app);
+        EXPECT_GT(ratio, 20.0) << serve::appName(app);
+    }
+}
+
+// Figure 6: occupancy ----------------------------------------------
+
+TEST(Calibration, Fig6NlpOccupancyUnder20Percent)
+{
+    SimConfig config;
+    for (App app : {App::POS, App::CHK, App::NER}) {
+        config.app = app;
+        config.batch = 1;
+        EXPECT_LT(runServingSim(config).gpuOccupancy, 0.20)
+            << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig6AsrOccupancyAbove90Percent)
+{
+    SimConfig config;
+    config.app = App::ASR;
+    config.batch = 1;
+    EXPECT_GT(runServingSim(config).gpuOccupancy, 0.90);
+}
+
+// Figure 7: batching -----------------------------------------------
+
+TEST(Calibration, Fig7NlpBatchingGainLarge)
+{
+    // "NLP tasks achieve over a 15x throughput improvement" from
+    // batching (we accept 8x and above).
+    for (App app : {App::POS, App::NER}) {
+        double gain = gpuQps(app, 64, 1) / gpuQps(app, 1, 1);
+        EXPECT_GT(gain, 8.0) << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig7ImcBatchingGainModerate)
+{
+    // "5x for IMC with limited latency increases."
+    double gain = gpuQps(App::IMC, 16, 1) / gpuQps(App::IMC, 1, 1);
+    EXPECT_GT(gain, 2.0);
+    EXPECT_LT(gain, 8.0);
+}
+
+TEST(Calibration, Fig7AsrBatchingGainSmall)
+{
+    // ASR is already occupancy-saturated; batching adds little.
+    double gain = gpuQps(App::ASR, 8, 1) / gpuQps(App::ASR, 1, 1);
+    EXPECT_LT(gain, 1.5);
+}
+
+TEST(Calibration, Fig7FaceBatchingGainSmall)
+{
+    // FACE's locally connected layers stream weights per sample.
+    double gain = gpuQps(App::FACE, 8, 1) / gpuQps(App::FACE, 1, 1);
+    EXPECT_LT(gain, 2.0);
+}
+
+TEST(Calibration, Fig7ThroughputPlateausWithBatch)
+{
+    // Doubling the batch beyond the knee must not keep doubling
+    // throughput.
+    double q64 = gpuQps(App::POS, 64, 1);
+    double q128 = gpuQps(App::POS, 128, 1);
+    EXPECT_LT(q128, 1.5 * q64);
+}
+
+// Figures 8 and 9: MPS ----------------------------------------------
+
+TEST(Calibration, Fig8MpsRaisesThroughput)
+{
+    // NLP gains a lot (host-side gaps dominate its small batches);
+    // IMC gains modestly (its GPU passes already fill the device).
+    double pos_single = gpuQps(App::POS, 64, 1);
+    double pos_four = gpuQps(App::POS, 64, 4);
+    EXPECT_GT(pos_four, 1.5 * pos_single);
+
+    double imc_single = gpuQps(App::IMC, 16, 1);
+    double imc_four = gpuQps(App::IMC, 16, 4);
+    EXPECT_GT(imc_four, 1.05 * imc_single);
+}
+
+TEST(Calibration, Fig8MpsBeatsTimeSharing)
+{
+    for (App app : {App::POS, App::IMC}) {
+        int64_t batch = appSpec(app).tunedBatch;
+        double mps = gpuQps(app, batch, 8, 1, true);
+        double shared = gpuQps(app, batch, 8, 1, false);
+        EXPECT_GE(mps, 0.99 * shared) << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig9LatencyGrowsWithInstances)
+{
+    SimConfig config;
+    config.app = App::POS;
+    config.batch = 64;
+    config.instancesPerGpu = 1;
+    double lat1 = runServingSim(config).meanLatency;
+    config.instancesPerGpu = 16;
+    double lat16 = runServingSim(config).meanLatency;
+    EXPECT_GT(lat16, 1.5 * lat1);
+}
+
+TEST(Calibration, Fig9MpsLimitsLatencyVsTimeSharing)
+{
+    SimConfig config;
+    config.app = App::IMC;
+    config.batch = 16;
+    config.instancesPerGpu = 8;
+    config.mps = true;
+    double mps_lat = runServingSim(config).meanLatency;
+    config.mps = false;
+    double shared_lat = runServingSim(config).meanLatency;
+    EXPECT_LE(mps_lat, shared_lat * 1.05);
+}
+
+// Figure 10: final single-GPU gains ---------------------------------
+
+TEST(Calibration, Fig10AllButFaceOver100x)
+{
+    // "over 100x throughput improvement on the GPU for all but the
+    // FACE application."
+    for (App app : {App::IMC, App::DIG, App::ASR, App::POS,
+                    App::CHK, App::NER}) {
+        EXPECT_GT(optimizedRatio(app), 80.0) << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig10FaceAroundFortyX)
+{
+    // "...which achieves a 40x improvement."
+    double ratio = optimizedRatio(App::FACE);
+    EXPECT_GT(ratio, 20.0);
+    EXPECT_LT(ratio, 70.0);
+}
+
+// Figures 11 and 12: multi-GPU scaling -------------------------------
+
+TEST(Calibration, Fig11ComputeHeavyAppsScaleNearLinearly)
+{
+    for (App app : {App::IMC, App::ASR, App::FACE}) {
+        int64_t batch = appSpec(app).tunedBatch;
+        double one = gpuQps(app, batch, 4, 1);
+        double eight = gpuQps(app, batch, 4, 8);
+        EXPECT_GT(eight / one, 6.5) << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig11NlpPlateausFromBandwidth)
+{
+    for (App app : {App::POS, App::CHK, App::NER}) {
+        int64_t batch = appSpec(app).tunedBatch;
+        double one = gpuQps(app, batch, 4, 1);
+        double eight = gpuQps(app, batch, 4, 8);
+        EXPECT_LT(eight / one, 5.5) << serve::appName(app);
+    }
+}
+
+TEST(Calibration, Fig12NoPcieLimitRestoresLinearScaling)
+{
+    for (App app : {App::POS, App::CHK}) {
+        SimConfig config;
+        config.app = app;
+        config.batch = appSpec(app).tunedBatch;
+        config.instancesPerGpu = 4;
+        config.hostLink = gpu::unlimitedLink();
+        config.gpuCount = 1;
+        double one = runServingSim(config).throughputQps;
+        config.gpuCount = 8;
+        double eight = runServingSim(config).throughputQps;
+        EXPECT_GT(eight / one, 6.5) << serve::appName(app);
+    }
+}
+
+} // namespace
+} // namespace djinn

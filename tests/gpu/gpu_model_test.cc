@@ -1,0 +1,119 @@
+#include "gpu/gpu_model.hh"
+
+#include <gtest/gtest.h>
+
+#include "nn/net_def.hh"
+#include "nn/zoo.hh"
+
+namespace djinn {
+namespace gpu {
+namespace {
+
+std::shared_ptr<nn::Network>
+cachedStructure(nn::zoo::Model model)
+{
+    return nn::parseNetDefOrDie(nn::zoo::netDef(model));
+}
+
+TEST(GpuModel, TotalTimeSumsKernels)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 8 1 1\nlayer a fc out 16\nlayer r relu\n"
+        "layer b fc out 4\n");
+    GpuSpec spec;
+    auto cost = perf::analyzeNetwork(*net, 1);
+    auto profile = profileForward(cost, spec);
+    ASSERT_EQ(profile.kernels.size(), 3u);
+    double sum = 0.0;
+    for (const auto &k : profile.kernels)
+        sum += k.totalTime;
+    EXPECT_NEAR(profile.totalTime, sum, 1e-12);
+}
+
+TEST(GpuModel, ThroughputImprovesWithBatchForSmallNets)
+{
+    auto net = cachedStructure(nn::zoo::Model::SennaPos);
+    GpuSpec spec;
+    auto p1 = profileForward(perf::analyzeNetwork(*net, 28), spec);
+    auto p64 = profileForward(
+        perf::analyzeNetwork(*net, 28 * 64), spec);
+    EXPECT_GT(p64.samplesPerSecond(), 5.0 * p1.samplesPerSecond());
+}
+
+TEST(GpuModel, OccupancyRisesWithBatch)
+{
+    auto net = cachedStructure(nn::zoo::Model::SennaPos);
+    GpuSpec spec;
+    auto p1 = profileForward(perf::analyzeNetwork(*net, 28), spec);
+    auto p64 = profileForward(
+        perf::analyzeNetwork(*net, 28 * 64), spec);
+    EXPECT_LT(p1.occupancy, 0.25);   // paper Fig 6: NLP under 20%
+    EXPECT_GT(p64.occupancy, 0.75);  // paper Fig 7b: >80% at 64
+}
+
+TEST(GpuModel, AsrOccupancyHighAtBatchOne)
+{
+    auto net = cachedStructure(nn::zoo::Model::KaldiAsr);
+    GpuSpec spec;
+    // One ASR query carries 548 feature vectors.
+    auto p = profileForward(perf::analyzeNetwork(*net, 548), spec);
+    EXPECT_GT(p.occupancy, 0.9); // paper Fig 6: above 90%
+}
+
+TEST(GpuModel, MemoryFootprintMatchesWeights)
+{
+    auto net = cachedStructure(nn::zoo::Model::KaldiAsr);
+    GpuSpec spec;
+    auto p = profileForward(perf::analyzeNetwork(*net, 16), spec);
+    double weight_bytes =
+        static_cast<double>(net->paramCount()) * sizeof(float);
+    EXPECT_GE(p.memoryFootprint, weight_bytes);
+    EXPECT_LT(p.memoryFootprint, weight_bytes * 1.5);
+}
+
+TEST(GpuModel, DeepFaceFitsInK40Memory)
+{
+    auto net = cachedStructure(nn::zoo::Model::DeepFace);
+    GpuSpec spec;
+    auto p = profileForward(perf::analyzeNetwork(*net, 2), spec);
+    EXPECT_LT(p.memoryFootprint, spec.memoryBytes);
+}
+
+TEST(GpuModel, AggregatesWeightedByTime)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 8 1 1\nlayer a fc out 16\n");
+    GpuSpec spec;
+    auto p = profileForward(perf::analyzeNetwork(*net, 1), spec);
+    // Single kernel: aggregate equals the kernel's own counters.
+    EXPECT_DOUBLE_EQ(p.occupancy, p.kernels[0].occupancy);
+    EXPECT_DOUBLE_EQ(p.ipcRatio, p.kernels[0].ipcRatio);
+}
+
+TEST(GpuModel, CpuForwardTimeSumsLayers)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 8 1 1\nlayer a fc out 16\nlayer b fc out 4\n");
+    CpuSpec spec;
+    auto cost = perf::analyzeNetwork(*net, 1);
+    double total = cpuForwardTime(cost, spec);
+    double manual = 0.0;
+    for (const auto &k : cost.kernels)
+        manual += cpuLayerTime(k, spec);
+    EXPECT_DOUBLE_EQ(total, manual);
+}
+
+TEST(GpuModel, CpuTimeScalesRoughlyWithBatch)
+{
+    auto net = cachedStructure(nn::zoo::Model::KaldiAsr);
+    CpuSpec spec;
+    double t1 = cpuForwardTime(perf::analyzeNetwork(*net, 100),
+                               spec);
+    double t2 = cpuForwardTime(perf::analyzeNetwork(*net, 200),
+                               spec);
+    EXPECT_NEAR(t2 / t1, 2.0, 0.2);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace djinn

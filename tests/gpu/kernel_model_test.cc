@@ -1,0 +1,168 @@
+#include "gpu/kernel_model.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace gpu {
+namespace {
+
+perf::KernelCost
+fcKernel(double flops, double weight_bytes, int64_t blocks,
+         double util = 1.0)
+{
+    perf::KernelCost k;
+    k.kind = nn::LayerKind::InnerProduct;
+    k.flops = flops;
+    k.weightBytes = weight_bytes;
+    k.tileUtilization = util;
+    k.blocks = blocks;
+    k.threadsPerBlock = 256;
+    k.launches = 1;
+    return k;
+}
+
+TEST(KernelModel, OccupancySaturatesAtOne)
+{
+    GpuSpec spec;
+    auto k = fcKernel(1e9, 0, 100000);
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_DOUBLE_EQ(t.occupancy, 1.0);
+}
+
+TEST(KernelModel, SmallLaunchHasLowOccupancy)
+{
+    GpuSpec spec;
+    // 19 blocks x 8 warps = 152 of 960 warps.
+    auto k = fcKernel(1e6, 0, 19);
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_NEAR(t.occupancy, 152.0 / 960.0, 1e-9);
+}
+
+TEST(KernelModel, ComputeTimeScalesWithFlops)
+{
+    GpuSpec spec;
+    auto t1 = timeKernel(fcKernel(1e9, 0, 100000), spec);
+    auto t2 = timeKernel(fcKernel(2e9, 0, 100000), spec);
+    EXPECT_NEAR(t2.computeTime, 2.0 * t1.computeTime, 1e-12);
+}
+
+TEST(KernelModel, LowOccupancySlowsCompute)
+{
+    GpuSpec spec;
+    auto full = timeKernel(fcKernel(1e8, 0, 100000), spec);
+    auto starved = timeKernel(fcKernel(1e8, 0, 4), spec);
+    EXPECT_GT(starved.computeTime, 5.0 * full.computeTime);
+}
+
+TEST(KernelModel, TileUtilizationSlowsCompute)
+{
+    GpuSpec spec;
+    auto full = timeKernel(fcKernel(1e8, 0, 100000, 1.0), spec);
+    auto thin = timeKernel(fcKernel(1e8, 0, 100000, 1.0 / 32),
+                           spec);
+    EXPECT_NEAR(thin.computeTime, 32.0 * full.computeTime,
+                full.computeTime * 0.01);
+}
+
+TEST(KernelModel, MemoryBoundKernelUsesMemoryTime)
+{
+    GpuSpec spec;
+    // Tiny flops, large weight traffic.
+    auto k = fcKernel(1e3, 1e9, 100000);
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_GT(t.memoryTime, t.computeTime);
+    EXPECT_NEAR(t.totalTime, t.memoryTime + t.launchTime, 1e-12);
+}
+
+TEST(KernelModel, LaunchOverheadPerLaunch)
+{
+    GpuSpec spec;
+    auto k = fcKernel(1e6, 0, 1000);
+    k.launches = 10;
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_DOUBLE_EQ(t.launchTime, 10 * spec.launchOverhead);
+}
+
+TEST(KernelModel, LocallyConnectedPaysScatteredBandwidth)
+{
+    GpuSpec spec;
+    perf::KernelCost lc;
+    lc.kind = nn::LayerKind::LocallyConnected;
+    lc.flops = 1e6;
+    lc.weightBytes = 1e9;
+    lc.blocks = 100000;
+    auto fc = fcKernel(1e6, 1e9, 100000);
+    auto t_lc = timeKernel(lc, spec);
+    auto t_fc = timeKernel(fc, spec);
+    EXPECT_GT(t_lc.memoryTime, 1.5 * t_fc.memoryTime);
+}
+
+TEST(KernelModel, IpcRatioHighForComputeBound)
+{
+    GpuSpec spec;
+    auto k = fcKernel(1e9, 1e6, 100000);
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_GT(t.ipcRatio, 0.3);
+    EXPECT_LE(t.ipcRatio, 1.0);
+}
+
+TEST(KernelModel, IpcRatioLowForStarvedKernel)
+{
+    GpuSpec spec;
+    auto k = fcKernel(1e6, 0, 2, 0.5);
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_LT(t.ipcRatio, 0.1);
+}
+
+TEST(KernelModel, MemUtilizationBounded)
+{
+    GpuSpec spec;
+    auto k = fcKernel(1e3, 1e9, 100000);
+    KernelTiming t = timeKernel(k, spec);
+    EXPECT_GT(t.memUtilization, 0.5);
+    EXPECT_LE(t.memUtilization, 1.0);
+}
+
+TEST(KernelModel, MaxActiveWarpsMatchesK40)
+{
+    GpuSpec spec;
+    EXPECT_EQ(spec.maxActiveWarps(), 960);
+}
+
+TEST(CpuModel, ComputeBoundLayer)
+{
+    CpuSpec spec;
+    auto k = fcKernel(1e9, 1e6, 1);
+    double t = cpuLayerTime(k, spec);
+    // ~1e9 / (16.8e9 * 0.7) plus overhead.
+    EXPECT_NEAR(t, 1e9 / (spec.peakFlops() * spec.gemmEfficiency) +
+                       spec.layerOverhead,
+                1e-3);
+}
+
+TEST(CpuModel, MemoryBoundLayer)
+{
+    CpuSpec spec;
+    auto k = fcKernel(1e3, 1.28e9, 1);
+    double t = cpuLayerTime(k, spec);
+    EXPECT_NEAR(t, 0.1 + spec.layerOverhead, 1e-3);
+}
+
+TEST(CpuModel, SmallTilePenalty)
+{
+    CpuSpec spec;
+    auto big = fcKernel(1e8, 0, 1, 1.0);
+    auto small = fcKernel(1e8, 0, 1, 1.0 / 32);
+    EXPECT_GT(cpuLayerTime(small, spec),
+              1.5 * cpuLayerTime(big, spec));
+}
+
+TEST(CpuModel, PeakFlopsFromClock)
+{
+    CpuSpec spec;
+    EXPECT_DOUBLE_EQ(spec.peakFlops(), 2.1e9 * 8.0);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace djinn

@@ -1,0 +1,78 @@
+#include "gpu/link.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace gpu {
+namespace {
+
+TEST(Link, PcieV3Bandwidth)
+{
+    LinkSpec link = pcieV3();
+    EXPECT_DOUBLE_EQ(link.peakBandwidth, 15.75e9);
+    EXPECT_DOUBLE_EQ(link.effectiveBandwidth(), 15.75e9 * 0.8);
+}
+
+TEST(Link, PcieV4DoublesV3)
+{
+    EXPECT_NEAR(pcieV4().peakBandwidth / pcieV3().peakBandwidth,
+                2.0, 0.02);
+}
+
+TEST(Link, QpiAggregateMatchesPaper)
+{
+    // Section 6.4: 12 x 25.6 GB/s = 307.2 GB/s.
+    EXPECT_DOUBLE_EQ(qpiAggregate().peakBandwidth, 307.2e9);
+}
+
+TEST(Link, Ethernet10GTeaming)
+{
+    EXPECT_DOUBLE_EQ(ethernet10G(16).peakBandwidth, 16 * 1.25e9);
+    EXPECT_DOUBLE_EQ(ethernet10G().peakBandwidth, 1.25e9);
+}
+
+TEST(Link, PaperFootnoteSixteenNicsYield16GBps)
+{
+    // Footnote 1: 16 x 1.25 GB/s at 80% yields 16 GB/s.
+    EXPECT_DOUBLE_EQ(ethernet10G(16).effectiveBandwidth(), 16e9);
+}
+
+TEST(Link, Ethernet40GAnd400G)
+{
+    EXPECT_DOUBLE_EQ(ethernet40G(9).peakBandwidth, 9 * 5.0e9);
+    EXPECT_DOUBLE_EQ(ethernet400G(8).peakBandwidth, 8 * 50.0e9);
+}
+
+TEST(Link, TransferTimeLinearInBytes)
+{
+    LinkSpec link = pcieV3();
+    double t1 = link.transferTime(1e6);
+    double t2 = link.transferTime(2e6);
+    EXPECT_NEAR(t2 - t1, 1e6 / link.effectiveBandwidth(), 1e-12);
+}
+
+TEST(Link, TransferTimeIncludesLatency)
+{
+    LinkSpec link = pcieV3();
+    EXPECT_DOUBLE_EQ(link.transferTime(0.0),
+                     link.perTransferLatency);
+}
+
+TEST(Link, UnlimitedLinkIsEffectivelyFree)
+{
+    LinkSpec link = unlimitedLink();
+    EXPECT_LT(link.transferTime(1e12), 1e-5);
+}
+
+TEST(Link, ZeroNicCountFatal)
+{
+    EXPECT_THROW(ethernet10G(0), FatalError);
+    EXPECT_THROW(ethernet40G(-1), FatalError);
+    EXPECT_THROW(ethernet400G(0), FatalError);
+}
+
+} // namespace
+} // namespace gpu
+} // namespace djinn

@@ -1,0 +1,172 @@
+#include "nn/gemm.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+/** Textbook reference GEMM for validation. */
+void
+referenceGemm(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+              int64_t k, float alpha, const float *a, int64_t lda,
+              const float *b, int64_t ldb, float beta, float *c,
+              int64_t ldc)
+{
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int64_t p = 0; p < k; ++p) {
+                float av = trans_a == Trans::No ? a[i * lda + p]
+                                                : a[p * lda + i];
+                float bv = trans_b == Trans::No ? b[p * ldb + j]
+                                                : b[j * ldb + p];
+                acc += static_cast<double>(av) * bv;
+            }
+            c[i * ldc + j] = static_cast<float>(
+                alpha * acc + beta * c[i * ldc + j]);
+        }
+    }
+}
+
+std::vector<float>
+randomMatrix(int64_t elems, Rng &rng)
+{
+    std::vector<float> out(static_cast<size_t>(elems));
+    for (auto &v : out)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return out;
+}
+
+void
+expectClose(const std::vector<float> &got,
+            const std::vector<float> &want, double tol = 1e-4)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+        ASSERT_NEAR(got[i], want[i], tol) << "at index " << i;
+}
+
+TEST(Gemm, TinyKnownValues)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    std::vector<float> a{1, 2, 3, 4}, b{5, 6, 7, 8}, c(4, 0.0f);
+    sgemm(2, 2, 2, a.data(), b.data(), c.data());
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(Gemm, BetaAccumulates)
+{
+    std::vector<float> a{1, 0, 0, 1}, b{2, 3, 4, 5};
+    std::vector<float> c{10, 10, 10, 10};
+    sgemm(Trans::No, Trans::No, 2, 2, 2, 1.0f, a.data(), 2, b.data(),
+          2, 1.0f, c.data(), 2);
+    EXPECT_FLOAT_EQ(c[0], 12);
+    EXPECT_FLOAT_EQ(c[3], 15);
+}
+
+TEST(Gemm, AlphaScales)
+{
+    std::vector<float> a{1, 1}, b{1, 1}, c(1, 0.0f);
+    sgemm(Trans::No, Trans::No, 1, 1, 2, 2.5f, a.data(), 2, b.data(),
+          1, 0.0f, c.data(), 1);
+    EXPECT_FLOAT_EQ(c[0], 5.0f);
+}
+
+TEST(Gemm, ZeroKZeroesOutput)
+{
+    std::vector<float> c{3, 3};
+    sgemm(Trans::No, Trans::No, 1, 2, 0, 1.0f, nullptr, 1, nullptr,
+          2, 0.0f, c.data(), 2);
+    EXPECT_FLOAT_EQ(c[0], 0.0f);
+    EXPECT_FLOAT_EQ(c[1], 0.0f);
+}
+
+TEST(Gemm, ZeroAlphaOnlyAppliesBeta)
+{
+    std::vector<float> a{1, 1}, b{1, 1}, c{4};
+    sgemm(Trans::No, Trans::No, 1, 1, 2, 0.0f, a.data(), 2, b.data(),
+          1, 0.5f, c.data(), 1);
+    EXPECT_FLOAT_EQ(c[0], 2.0f);
+}
+
+TEST(Gemv, MatchesManual)
+{
+    // A = [1 2 3; 4 5 6], x = [1, 1, 1] -> y = [6, 15]
+    std::vector<float> a{1, 2, 3, 4, 5, 6}, x{1, 1, 1}, y(2);
+    sgemv(2, 3, a.data(), x.data(), y.data());
+    EXPECT_FLOAT_EQ(y[0], 6);
+    EXPECT_FLOAT_EQ(y[1], 15);
+}
+
+/** Property sweep: sgemm equals the reference over shapes/flags. */
+class GemmProperty
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, int, int, int>>
+{};
+
+TEST_P(GemmProperty, MatchesReference)
+{
+    auto [m, n, k, ta, tb] = GetParam();
+    Trans trans_a = ta ? Trans::Yes : Trans::No;
+    Trans trans_b = tb ? Trans::Yes : Trans::No;
+    Rng rng(static_cast<uint64_t>(m * 73856093 + n * 19349663 +
+                                  k * 83492791 + ta * 7 + tb));
+    int64_t lda = trans_a == Trans::No ? k : m;
+    int64_t ldb = trans_b == Trans::No ? n : k;
+    auto a = randomMatrix(trans_a == Trans::No ? m * k : k * m, rng);
+    auto b = randomMatrix(trans_b == Trans::No ? k * n : n * k, rng);
+    auto c = randomMatrix(m * n, rng);
+    auto expected = c;
+    referenceGemm(trans_a, trans_b, m, n, k, 1.3f, a.data(), lda,
+                  b.data(), ldb, 0.7f, expected.data(), n);
+    sgemm(trans_a, trans_b, m, n, k, 1.3f, a.data(), lda, b.data(),
+          ldb, 0.7f, c.data(), n);
+    expectClose(c, expected, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmProperty,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1, 0, 0),
+        std::make_tuple(1, 128, 64, 0, 0),
+        std::make_tuple(128, 1, 64, 0, 0),
+        std::make_tuple(3, 5, 7, 0, 0),
+        std::make_tuple(3, 5, 7, 1, 0),
+        std::make_tuple(3, 5, 7, 0, 1),
+        std::make_tuple(3, 5, 7, 1, 1),
+        std::make_tuple(32, 32, 32, 0, 0),
+        std::make_tuple(33, 65, 129, 0, 0),
+        std::make_tuple(33, 65, 129, 0, 1),
+        std::make_tuple(64, 256, 256, 0, 0),
+        std::make_tuple(65, 257, 300, 1, 1),
+        std::make_tuple(100, 10, 320, 0, 1),
+        std::make_tuple(28, 45, 600, 0, 1)));
+
+/** Blocked path crosses block boundaries (k > blockK etc.). */
+TEST(Gemm, LargeBlockedMatchesReference)
+{
+    Rng rng(7);
+    int64_t m = 70, n = 300, k = 520;
+    auto a = randomMatrix(m * k, rng);
+    auto b = randomMatrix(k * n, rng);
+    std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+    auto expected = c;
+    referenceGemm(Trans::No, Trans::No, m, n, k, 1.0f, a.data(), k,
+                  b.data(), n, 0.0f, expected.data(), n);
+    sgemm(m, n, k, a.data(), b.data(), c.data());
+    expectClose(c, expected, 5e-3);
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

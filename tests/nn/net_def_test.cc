@@ -1,0 +1,188 @@
+#include "nn/net_def.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+const char *valid_def = R"(
+# a small test network
+name tiny
+input 1 8 8
+layer conv1 conv out 4 kernel 3 pad 1
+layer relu1 relu
+layer pool1 maxpool kernel 2 stride 2
+layer fc1 fc out 10
+layer prob softmax
+)";
+
+TEST(NetDef, ParsesValidDefinition)
+{
+    auto result = parseNetDef(valid_def);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    auto net = result.value();
+    EXPECT_EQ(net->name(), "tiny");
+    EXPECT_EQ(net->layerCount(), 5u);
+    EXPECT_EQ(net->inputShape(), Shape(1, 1, 8, 8));
+    EXPECT_EQ(net->outputShape(), Shape(1, 10));
+    EXPECT_TRUE(net->finalized());
+}
+
+TEST(NetDef, CommentsAndBlanksIgnored)
+{
+    auto result = parseNetDef(
+        "name x\n\n# comment\ninput 1 2 2\n\nlayer fc fc out 3\n");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value()->layerCount(), 1u);
+}
+
+TEST(NetDef, DefaultOptionValues)
+{
+    auto result = parseNetDef(
+        "input 1 6 6\nlayer c conv out 2 kernel 3\n");
+    ASSERT_TRUE(result.isOk());
+    // stride 1, pad 0 -> 4x4 output.
+    EXPECT_EQ(result.value()->outputShape(), Shape(1, 2, 4, 4));
+}
+
+TEST(NetDef, LayerBeforeInputRejected)
+{
+    auto result = parseNetDef("layer fc fc out 3\n");
+    EXPECT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("before 'input'"),
+              std::string::npos);
+}
+
+TEST(NetDef, UnknownDirectiveRejected)
+{
+    auto result = parseNetDef("input 1 2 2\nfrobnicate yes\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, UnknownLayerKindRejected)
+{
+    auto result = parseNetDef("input 1 2 2\nlayer x warp out 3\n");
+    EXPECT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("unknown layer kind"),
+              std::string::npos);
+}
+
+TEST(NetDef, UnknownOptionRejected)
+{
+    auto result = parseNetDef(
+        "input 1 2 2\nlayer x fc out 3 frob 7\n");
+    EXPECT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("unknown option"),
+              std::string::npos);
+}
+
+TEST(NetDef, MissingOptionValueRejected)
+{
+    auto result = parseNetDef("input 1 2 2\nlayer x fc out\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, NonIntegerOptionRejected)
+{
+    auto result = parseNetDef("input 1 2 2\nlayer x fc out abc\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, FcRequiresOut)
+{
+    auto result = parseNetDef("input 1 2 2\nlayer x fc\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, ConvRequiresKernel)
+{
+    auto result = parseNetDef("input 1 4 4\nlayer x conv out 2\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, PoolRequiresKernel)
+{
+    auto result = parseNetDef("input 1 4 4\nlayer x maxpool\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, BadInputGeometryRejected)
+{
+    EXPECT_FALSE(parseNetDef("input 0 2 2\nlayer x fc out 1\n")
+                     .isOk());
+    EXPECT_FALSE(parseNetDef("input 1 2\nlayer x fc out 1\n")
+                     .isOk());
+}
+
+TEST(NetDef, EmptyDocumentRejected)
+{
+    EXPECT_FALSE(parseNetDef("").isOk());
+    EXPECT_FALSE(parseNetDef("name x\ninput 1 2 2\n").isOk());
+}
+
+TEST(NetDef, DuplicateLayerNameRejected)
+{
+    auto result = parseNetDef(
+        "input 1 2 2\nlayer a fc out 2\nlayer a fc out 2\n");
+    EXPECT_FALSE(result.isOk());
+}
+
+TEST(NetDef, ErrorsCarryLineNumbers)
+{
+    auto result = parseNetDef(
+        "input 1 2 2\nlayer ok fc out 2\nlayer bad warp\n");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_NE(result.status().message().find("line 3"),
+              std::string::npos);
+}
+
+TEST(NetDef, ParseOrDieThrowsOnBadInput)
+{
+    EXPECT_THROW(parseNetDefOrDie("garbage"), FatalError);
+}
+
+TEST(NetDef, FormatRoundTrips)
+{
+    auto net = parseNetDefOrDie(valid_def);
+    std::string text = formatNetDef(*net);
+    auto reparsed = parseNetDef(text);
+    ASSERT_TRUE(reparsed.isOk()) << reparsed.status().toString();
+    auto net2 = reparsed.value();
+    EXPECT_EQ(net2->layerCount(), net->layerCount());
+    EXPECT_EQ(net2->paramCount(), net->paramCount());
+    EXPECT_EQ(net2->outputShape(), net->outputShape());
+    for (size_t i = 0; i < net->layerCount(); ++i) {
+        EXPECT_EQ(net2->layer(i).name(), net->layer(i).name());
+        EXPECT_EQ(net2->layer(i).kind(), net->layer(i).kind());
+    }
+}
+
+TEST(NetDef, AllLayerKindsParse)
+{
+    const char *def = R"(
+input 2 8 8
+layer c conv out 4 kernel 3 pad 1 stride 1 group 2
+layer lc local out 2 kernel 3
+layer mp maxpool kernel 2 stride 2
+layer ap avgpool kernel 3 stride 1
+layer r relu
+layer t tanh
+layer s sigmoid
+layer h hardtanh
+layer l lrn size 3
+layer d dropout
+layer f flatten
+layer fc fc out 6
+layer sm softmax
+)";
+    auto result = parseNetDef(def);
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value()->layerCount(), 13u);
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

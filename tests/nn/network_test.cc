@@ -1,0 +1,177 @@
+#include "nn/network.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "nn/init.hh"
+#include "nn/layers/activation.hh"
+#include "nn/layers/inner_product.hh"
+#include "nn/layers/softmax.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+std::shared_ptr<Network>
+smallMlp()
+{
+    auto net = std::make_shared<Network>("mlp", Shape(1, 8));
+    net->add(std::make_unique<InnerProductLayer>("fc1", 16));
+    net->add(std::make_unique<ActivationLayer>("relu1",
+                                               LayerKind::ReLU));
+    net->add(std::make_unique<InnerProductLayer>("fc2", 4));
+    net->add(std::make_unique<SoftmaxLayer>("prob"));
+    net->finalize();
+    return net;
+}
+
+TEST(Network, ShapePropagation)
+{
+    auto net = smallMlp();
+    EXPECT_EQ(net->inputShape(), Shape(1, 8));
+    EXPECT_EQ(net->outputShape(), Shape(1, 4));
+    EXPECT_EQ(net->layerCount(), 4u);
+}
+
+TEST(Network, ParamCount)
+{
+    auto net = smallMlp();
+    // fc1: 8*16+16, fc2: 16*4+4.
+    EXPECT_EQ(net->paramCount(), 144u + 68u);
+    EXPECT_EQ(net->weightBytes(), (144u + 68u) * 4);
+}
+
+TEST(Network, ForwardProducesDistribution)
+{
+    auto net = smallMlp();
+    initializeWeights(*net, 1);
+    Tensor in(Shape(3, 8), 0.5f);
+    Tensor out = net->forward(in);
+    EXPECT_EQ(out.shape(), Shape(3, 4));
+    for (int64_t n = 0; n < 3; ++n) {
+        double sum = 0;
+        for (int64_t i = 0; i < 4; ++i)
+            sum += out.sample(n)[i];
+        EXPECT_NEAR(sum, 1.0, 1e-5);
+    }
+}
+
+TEST(Network, ForwardDeterministic)
+{
+    auto net = smallMlp();
+    initializeWeights(*net, 7);
+    Tensor in(Shape(1, 8), 0.25f);
+    Tensor a = net->forward(in);
+    Tensor b = net->forward(in);
+    for (int64_t i = 0; i < a.elems(); ++i)
+        EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+TEST(Network, BatchEqualsPerSampleForward)
+{
+    auto net = smallMlp();
+    initializeWeights(*net, 3);
+    Tensor x1(Shape(1, 8));
+    Tensor x2(Shape(1, 8));
+    for (int i = 0; i < 8; ++i) {
+        x1[i] = static_cast<float>(i) * 0.1f;
+        x2[i] = 1.0f - static_cast<float>(i) * 0.05f;
+    }
+    Tensor batch(Shape(2, 8));
+    std::copy(x1.data(), x1.data() + 8, batch.sample(0));
+    std::copy(x2.data(), x2.data() + 8, batch.sample(1));
+
+    Tensor y1 = net->forward(x1);
+    Tensor y2 = net->forward(x2);
+    Tensor yb = net->forward(batch);
+    for (int64_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(yb.sample(0)[i], y1[i], 1e-5);
+        EXPECT_NEAR(yb.sample(1)[i], y2[i], 1e-5);
+    }
+}
+
+TEST(Network, FindLayer)
+{
+    auto net = smallMlp();
+    EXPECT_NE(net->findLayer("fc1"), nullptr);
+    EXPECT_EQ(net->findLayer("fc1")->kind(),
+              LayerKind::InnerProduct);
+    EXPECT_EQ(net->findLayer("nope"), nullptr);
+}
+
+TEST(Network, DuplicateLayerNameFatal)
+{
+    Network net("dup", Shape(1, 4));
+    net.add(std::make_unique<InnerProductLayer>("fc", 4));
+    EXPECT_THROW(net.add(std::make_unique<InnerProductLayer>("fc",
+                                                             4)),
+                 FatalError);
+}
+
+TEST(Network, EmptyNetworkFinalizeFatal)
+{
+    Network net("empty", Shape(1, 4));
+    EXPECT_THROW(net.finalize(), FatalError);
+}
+
+TEST(Network, EmptyInputShapeFatal)
+{
+    EXPECT_THROW(Network("bad", Shape(1, 0)), FatalError);
+}
+
+TEST(Network, DescribeListsLayers)
+{
+    auto net = smallMlp();
+    std::string desc = net->describe();
+    EXPECT_NE(desc.find("fc1"), std::string::npos);
+    EXPECT_NE(desc.find("prob"), std::string::npos);
+    EXPECT_NE(desc.find("total params"), std::string::npos);
+}
+
+TEST(Init, DeterministicPerSeed)
+{
+    auto a = smallMlp();
+    auto b = smallMlp();
+    initializeWeights(*a, 42);
+    initializeWeights(*b, 42);
+    auto pa = a->layer(0).params();
+    auto pb = b->layer(0).params();
+    for (int64_t i = 0; i < pa[0]->elems(); ++i)
+        EXPECT_FLOAT_EQ((*pa[0])[i], (*pb[0])[i]);
+}
+
+TEST(Init, DifferentSeedsDiffer)
+{
+    auto a = smallMlp();
+    auto b = smallMlp();
+    initializeWeights(*a, 1);
+    initializeWeights(*b, 2);
+    auto pa = a->layer(0).params();
+    auto pb = b->layer(0).params();
+    bool any_diff = false;
+    for (int64_t i = 0; i < pa[0]->elems(); ++i) {
+        if ((*pa[0])[i] != (*pb[0])[i])
+            any_diff = true;
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Init, BiasesZeroWeightsScaled)
+{
+    auto net = smallMlp();
+    initializeWeights(*net, 5);
+    auto params = net->layer(0).params();
+    // Bias tensor all zero.
+    for (int64_t i = 0; i < params[1]->elems(); ++i)
+        EXPECT_FLOAT_EQ((*params[1])[i], 0.0f);
+    // Weight variance near He scale 2/fan_in = 0.25.
+    double sq = 0.0;
+    for (int64_t i = 0; i < params[0]->elems(); ++i)
+        sq += (*params[0])[i] * (*params[0])[i];
+    double var = sq / params[0]->elems();
+    EXPECT_NEAR(var, 0.25, 0.08);
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

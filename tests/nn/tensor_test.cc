@@ -1,0 +1,142 @@
+#include "nn/tensor.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+TEST(Shape, DefaultIsEmpty)
+{
+    Shape s;
+    EXPECT_EQ(s.elems(), 0);
+}
+
+TEST(Shape, ElementCounts)
+{
+    Shape s(2, 3, 4, 5);
+    EXPECT_EQ(s.n(), 2);
+    EXPECT_EQ(s.c(), 3);
+    EXPECT_EQ(s.h(), 4);
+    EXPECT_EQ(s.w(), 5);
+    EXPECT_EQ(s.elems(), 120);
+    EXPECT_EQ(s.sampleElems(), 60);
+}
+
+TEST(Shape, VectorShapeDefaultsHw)
+{
+    Shape s(4, 100);
+    EXPECT_EQ(s.h(), 1);
+    EXPECT_EQ(s.w(), 1);
+    EXPECT_EQ(s.sampleElems(), 100);
+}
+
+TEST(Shape, WithBatchReplacesN)
+{
+    Shape s(1, 3, 8, 8);
+    Shape b = s.withBatch(16);
+    EXPECT_EQ(b.n(), 16);
+    EXPECT_EQ(b.c(), 3);
+    EXPECT_EQ(b.sampleElems(), s.sampleElems());
+}
+
+TEST(Shape, EqualityAndToString)
+{
+    EXPECT_EQ(Shape(1, 2, 3, 4), Shape(1, 2, 3, 4));
+    EXPECT_NE(Shape(1, 2, 3, 4), Shape(1, 2, 3, 5));
+    EXPECT_EQ(Shape(1, 2, 3, 4).toString(), "1x2x3x4");
+}
+
+TEST(Shape, NegativeDimensionFatal)
+{
+    EXPECT_THROW(Shape(-1, 2, 3, 4), FatalError);
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape(2, 3));
+    EXPECT_EQ(t.elems(), 6);
+    for (int64_t i = 0; i < t.elems(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t(Shape(2, 2), 3.5f);
+    EXPECT_FLOAT_EQ(t[0], 3.5f);
+    EXPECT_FLOAT_EQ(t[3], 3.5f);
+}
+
+TEST(Tensor, NchwIndexing)
+{
+    Tensor t(Shape(2, 3, 4, 5));
+    t.at(1, 2, 3, 4) = 7.0f;
+    // Flat offset: ((1*3 + 2)*4 + 3)*5 + 4 = 119.
+    EXPECT_FLOAT_EQ(t[119], 7.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+}
+
+TEST(Tensor, SamplePointsIntoBatch)
+{
+    Tensor t(Shape(3, 4));
+    t.at(2, 1, 0, 0) = 9.0f;
+    EXPECT_FLOAT_EQ(t.sample(2)[1], 9.0f);
+    EXPECT_EQ(t.sample(1) - t.sample(0), 4);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape(1, 2, 3, 4));
+    t[5] = 1.5f;
+    t.reshape(Shape(1, 24));
+    EXPECT_FLOAT_EQ(t[5], 1.5f);
+    EXPECT_EQ(t.shape(), Shape(1, 24));
+}
+
+TEST(Tensor, ReshapeMismatchedElementsFatal)
+{
+    Tensor t(Shape(1, 6));
+    EXPECT_THROW(t.reshape(Shape(1, 7)), FatalError);
+}
+
+TEST(Tensor, ResizeChangesShape)
+{
+    Tensor t(Shape(1, 2));
+    t.resize(Shape(4, 8));
+    EXPECT_EQ(t.elems(), 32);
+}
+
+TEST(Tensor, FillSetsAll)
+{
+    Tensor t(Shape(2, 3));
+    t.fill(2.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), 12.0);
+}
+
+TEST(Tensor, ArgmaxSample)
+{
+    Tensor t(Shape(2, 4));
+    t.at(0, 2, 0, 0) = 5.0f;
+    t.at(1, 0, 0, 0) = 1.0f;
+    EXPECT_EQ(t.argmaxSample(0), 2);
+    EXPECT_EQ(t.argmaxSample(1), 0);
+}
+
+TEST(Tensor, ArgmaxTieTakesFirst)
+{
+    Tensor t(Shape(1, 3), 1.0f);
+    EXPECT_EQ(t.argmaxSample(0), 0);
+}
+
+TEST(Tensor, EmptyTensor)
+{
+    Tensor t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.elems(), 0);
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

@@ -1,0 +1,202 @@
+#include "perf/layer_cost.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "nn/net_def.hh"
+#include "nn/zoo.hh"
+
+namespace djinn {
+namespace perf {
+namespace {
+
+std::shared_ptr<nn::Network>
+fcNet(int64_t in, int64_t out)
+{
+    return nn::parseNetDefOrDie(strprintf(
+        "name t\ninput %lld 1 1\nlayer fc fc out %lld\n",
+        static_cast<long long>(in), static_cast<long long>(out)));
+}
+
+TEST(GemmGeometry, ExactTiles)
+{
+    auto g = gemmGeometry(64, 64);
+    EXPECT_EQ(g.blocks, 4);
+    EXPECT_DOUBLE_EQ(g.tileUtilization, 1.0);
+}
+
+TEST(GemmGeometry, PartialTilesLoseUtilization)
+{
+    auto g = gemmGeometry(1, 32);
+    EXPECT_EQ(g.blocks, 1);
+    EXPECT_DOUBLE_EQ(g.tileUtilization, 1.0 / 32.0);
+}
+
+TEST(GemmGeometry, RoundsUpBlocks)
+{
+    auto g = gemmGeometry(33, 65);
+    EXPECT_EQ(g.blocks, 2 * 3);
+    EXPECT_NEAR(g.tileUtilization, (33.0 / 64) * (65.0 / 96), 1e-12);
+}
+
+TEST(GemmGeometry, CustomTileM)
+{
+    auto g = gemmGeometry(10, 32, 16);
+    EXPECT_EQ(g.blocks, 1);
+    EXPECT_DOUBLE_EQ(g.tileUtilization, 10.0 / 16.0);
+}
+
+TEST(GemmGeometry, MinimumOneBlock)
+{
+    auto g = gemmGeometry(0, 0);
+    EXPECT_EQ(g.blocks, 1);
+}
+
+TEST(LayerCost, FcFlopsFormula)
+{
+    auto net = fcNet(100, 50);
+    NetCost cost = analyzeNetwork(*net, 4);
+    ASSERT_EQ(cost.kernels.size(), 1u);
+    // 2 * batch * in * out.
+    EXPECT_DOUBLE_EQ(cost.kernels[0].flops, 2.0 * 4 * 100 * 50);
+}
+
+TEST(LayerCost, FcWeightsReadOncePerLaunch)
+{
+    auto net = fcNet(100, 50);
+    NetCost b1 = analyzeNetwork(*net, 1);
+    NetCost b16 = analyzeNetwork(*net, 16);
+    // Batch grows flops but not weight traffic.
+    EXPECT_DOUBLE_EQ(b1.kernels[0].weightBytes,
+                     b16.kernels[0].weightBytes);
+    EXPECT_DOUBLE_EQ(b16.kernels[0].flops,
+                     16.0 * b1.kernels[0].flops);
+}
+
+TEST(LayerCost, FcActivationBytesScaleWithBatch)
+{
+    auto net = fcNet(100, 50);
+    NetCost b1 = analyzeNetwork(*net, 1);
+    NetCost b8 = analyzeNetwork(*net, 8);
+    EXPECT_DOUBLE_EQ(b8.kernels[0].activationBytes,
+                     8.0 * b1.kernels[0].activationBytes);
+}
+
+TEST(LayerCost, ConvFlopsFormula)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 3 8 8\nlayer c conv out 4 kernel 3\n");
+    NetCost cost = analyzeNetwork(*net, 1);
+    // 6x6 output positions, patch 3*3*3=27, 4 filters.
+    EXPECT_DOUBLE_EQ(cost.kernels[0].flops, 2.0 * 4 * 36 * 27);
+}
+
+TEST(LayerCost, ConvWeightTrafficNearlyFlatInBatch)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 3 8 8\nlayer c conv out 4 kernel 3\n");
+    NetCost b1 = analyzeNetwork(*net, 1);
+    NetCost b16 = analyzeNetwork(*net, 16);
+    // Cached re-reads: far less than 16x growth.
+    EXPECT_LT(b16.kernels[0].weightBytes,
+              4.0 * b1.kernels[0].weightBytes);
+    EXPECT_GT(b16.kernels[0].weightBytes,
+              b1.kernels[0].weightBytes);
+}
+
+TEST(LayerCost, LocallyConnectedStreamsWeightsPerSample)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 2 8 8\nlayer l local out 2 kernel 3\n");
+    NetCost b1 = analyzeNetwork(*net, 1);
+    NetCost b4 = analyzeNetwork(*net, 4);
+    EXPECT_DOUBLE_EQ(b4.kernels[0].weightBytes,
+                     4.0 * b1.kernels[0].weightBytes);
+    EXPECT_EQ(b4.kernels[0].launches, 4);
+}
+
+TEST(LayerCost, ParamBytesIndependentOfBatch)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 2 8 8\nlayer l local out 2 kernel 3\n");
+    NetCost b1 = analyzeNetwork(*net, 1);
+    NetCost b4 = analyzeNetwork(*net, 4);
+    EXPECT_DOUBLE_EQ(b1.kernels[0].paramBytes,
+                     b4.kernels[0].paramBytes);
+    EXPECT_DOUBLE_EQ(
+        b1.kernels[0].paramBytes,
+        static_cast<double>(net->paramCount()) * sizeof(float));
+}
+
+TEST(LayerCost, ElementwiseLayersHaveNoWeights)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 1 8 8\nlayer r relu\nlayer p maxpool kernel 2 "
+        "stride 2\nlayer s softmax\n");
+    NetCost cost = analyzeNetwork(*net, 2);
+    for (const auto &k : cost.kernels) {
+        EXPECT_DOUBLE_EQ(k.weightBytes, 0.0);
+        EXPECT_DOUBLE_EQ(k.paramBytes, 0.0);
+        EXPECT_EQ(k.launches, 1);
+    }
+}
+
+TEST(LayerCost, TotalsSumKernels)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 4 1 1\nlayer a fc out 8\nlayer r relu\n"
+        "layer b fc out 2\n");
+    NetCost cost = analyzeNetwork(*net, 3);
+    double flops = 0.0, bytes = 0.0;
+    int64_t launches = 0;
+    for (const auto &k : cost.kernels) {
+        flops += k.flops;
+        bytes += k.weightBytes + k.activationBytes;
+        launches += k.launches;
+    }
+    EXPECT_DOUBLE_EQ(cost.totalFlops(), flops);
+    EXPECT_DOUBLE_EQ(cost.totalBytes(), bytes);
+    EXPECT_EQ(cost.totalLaunches(), launches);
+}
+
+TEST(LayerCost, KernelPerLayerInOrder)
+{
+    auto net = nn::parseNetDefOrDie(
+        "input 4 1 1\nlayer a fc out 8\nlayer r relu\n"
+        "layer b fc out 2\n");
+    NetCost cost = analyzeNetwork(*net, 1);
+    ASSERT_EQ(cost.kernels.size(), 3u);
+    EXPECT_EQ(cost.kernels[0].layer, "a");
+    EXPECT_EQ(cost.kernels[1].layer, "r");
+    EXPECT_EQ(cost.kernels[2].layer, "b");
+}
+
+TEST(LayerCost, NonPositiveBatchFatal)
+{
+    auto net = fcNet(4, 2);
+    EXPECT_THROW(analyzeNetwork(*net, 0), FatalError);
+}
+
+TEST(LayerCost, AlexNetFlopsInKnownRange)
+{
+    auto net = nn::parseNetDefOrDie(
+        nn::zoo::netDef(nn::zoo::Model::AlexNet));
+    NetCost cost = analyzeNetwork(*net, 1);
+    // AlexNet forward is ~1.4-1.6 GFLOPs per image.
+    EXPECT_GT(cost.totalFlops(), 1.2e9);
+    EXPECT_LT(cost.totalFlops(), 2.0e9);
+}
+
+TEST(LayerCost, KaldiFlopsMatchParamCount)
+{
+    auto net = nn::parseNetDefOrDie(
+        nn::zoo::netDef(nn::zoo::Model::KaldiAsr));
+    NetCost cost = analyzeNetwork(*net, 1);
+    // Pure-FC network: forward flops ~ 2 * params.
+    EXPECT_NEAR(cost.totalFlops(),
+                2.0 * static_cast<double>(net->paramCount()), 5e7);
+}
+
+} // namespace
+} // namespace perf
+} // namespace djinn

@@ -1,0 +1,96 @@
+#include "serve/app.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace serve {
+namespace {
+
+TEST(AppCatalog, SevenAppsInTableOrder)
+{
+    const auto &apps = allApps();
+    ASSERT_EQ(apps.size(), 7u);
+    EXPECT_EQ(apps[0], App::IMC);
+    EXPECT_EQ(apps[3], App::ASR);
+    EXPECT_EQ(apps[6], App::NER);
+}
+
+TEST(AppCatalog, NamesRoundTrip)
+{
+    for (App app : allApps())
+        EXPECT_EQ(appFromName(appName(app)), app);
+    EXPECT_THROW(appFromName("OCR"), FatalError);
+}
+
+TEST(AppCatalog, Table3SamplesPerQuery)
+{
+    EXPECT_EQ(appSpec(App::IMC).samplesPerQuery, 1);
+    EXPECT_EQ(appSpec(App::DIG).samplesPerQuery, 100);
+    EXPECT_EQ(appSpec(App::FACE).samplesPerQuery, 1);
+    EXPECT_EQ(appSpec(App::ASR).samplesPerQuery, 548);
+    EXPECT_EQ(appSpec(App::POS).samplesPerQuery, 28);
+    EXPECT_EQ(appSpec(App::CHK).samplesPerQuery, 28);
+    EXPECT_EQ(appSpec(App::NER).samplesPerQuery, 28);
+}
+
+TEST(AppCatalog, Table3InputSizes)
+{
+    // Table 3 input sizes in KB.
+    EXPECT_NEAR(appSpec(App::IMC).inputBytes / 1024.0, 604, 1);
+    EXPECT_NEAR(appSpec(App::DIG).inputBytes / 1024.0, 307, 1);
+    EXPECT_NEAR(appSpec(App::FACE).inputBytes / 1024.0, 271, 1);
+    EXPECT_NEAR(appSpec(App::ASR).inputBytes / 1024.0, 4594, 1);
+    EXPECT_NEAR(appSpec(App::POS).inputBytes / 1024.0, 38, 1);
+    EXPECT_NEAR(appSpec(App::CHK).inputBytes / 1024.0, 75, 1);
+    EXPECT_NEAR(appSpec(App::NER).inputBytes / 1024.0, 43, 1);
+}
+
+TEST(AppCatalog, Table3TunedBatchSizes)
+{
+    EXPECT_EQ(appSpec(App::IMC).tunedBatch, 16);
+    EXPECT_EQ(appSpec(App::DIG).tunedBatch, 16);
+    EXPECT_EQ(appSpec(App::FACE).tunedBatch, 2);
+    EXPECT_EQ(appSpec(App::ASR).tunedBatch, 2);
+    EXPECT_EQ(appSpec(App::POS).tunedBatch, 64);
+    EXPECT_EQ(appSpec(App::CHK).tunedBatch, 64);
+    EXPECT_EQ(appSpec(App::NER).tunedBatch, 64);
+}
+
+TEST(AppCatalog, Figure4DnnFractions)
+{
+    // Image tasks: almost all DNN.
+    for (App app : {App::IMC, App::DIG, App::FACE})
+        EXPECT_GT(appSpec(app).dnnFraction(), 0.95);
+    // ASR: roughly half.
+    EXPECT_NEAR(appSpec(App::ASR).dnnFraction(), 0.48, 0.05);
+    // NLP: more than two thirds.
+    for (App app : {App::POS, App::CHK, App::NER}) {
+        EXPECT_GT(appSpec(app).dnnFraction(), 0.60);
+        EXPECT_LT(appSpec(app).dnnFraction(), 0.80);
+    }
+}
+
+TEST(AppCatalog, ModelsMatchApplications)
+{
+    using nn::zoo::Model;
+    EXPECT_EQ(appSpec(App::IMC).model, Model::AlexNet);
+    EXPECT_EQ(appSpec(App::DIG).model, Model::Mnist);
+    EXPECT_EQ(appSpec(App::FACE).model, Model::DeepFace);
+    EXPECT_EQ(appSpec(App::ASR).model, Model::KaldiAsr);
+    EXPECT_EQ(appSpec(App::POS).model, Model::SennaPos);
+    EXPECT_EQ(appSpec(App::CHK).model, Model::SennaChk);
+    EXPECT_EQ(appSpec(App::NER).model, Model::SennaNer);
+}
+
+TEST(AppCatalog, OutputsPositive)
+{
+    for (App app : allApps())
+        EXPECT_GT(appSpec(app).outputBytes, 0.0)
+            << appName(app);
+}
+
+} // namespace
+} // namespace serve
+} // namespace djinn

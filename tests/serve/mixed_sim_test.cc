@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the serving-simulator extensions: open-loop Poisson
+ * load, heterogeneous co-location, GPU memory capacity checks, and
+ * energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "serve/simulation.hh"
+
+namespace djinn {
+namespace serve {
+namespace {
+
+SimConfig
+fastConfig(App app)
+{
+    SimConfig config;
+    config.app = app;
+    config.warmupTime = 0.1;
+    config.measureTime = 0.5;
+    return config;
+}
+
+// Open-loop load ----------------------------------------------------
+
+TEST(OpenLoop, ThroughputTracksOfferedLoadBelowSaturation)
+{
+    SimConfig config = fastConfig(App::POS);
+    config.batch = 8;
+    config.instancesPerGpu = 4;
+    config.loadMode = LoadMode::Open;
+    config.arrivalRate = 5000.0;
+    config.measureTime = 1.0;
+    SimResult result = runServingSim(config);
+    EXPECT_NEAR(result.throughputQps, 5000.0, 600.0);
+}
+
+TEST(OpenLoop, SaturatedLoadCapsAtClosedLoopCapacity)
+{
+    SimConfig closed = fastConfig(App::POS);
+    closed.batch = 64;
+    closed.instancesPerGpu = 4;
+    double capacity = runServingSim(closed).throughputQps;
+
+    SimConfig open = closed;
+    open.loadMode = LoadMode::Open;
+    open.arrivalRate = 4.0 * capacity;
+    double open_qps = runServingSim(open).throughputQps;
+    EXPECT_LT(open_qps, 1.25 * capacity);
+}
+
+TEST(OpenLoop, LatencyLowAtLightLoad)
+{
+    // At 5% load, queries barely queue: latency ~ service time.
+    SimConfig config = fastConfig(App::POS);
+    config.batch = 8;
+    config.instancesPerGpu = 4;
+    config.loadMode = LoadMode::Open;
+    double capacity = 0.0;
+    {
+        SimConfig closed = config;
+        closed.loadMode = LoadMode::Closed;
+        capacity = runServingSim(closed).throughputQps;
+    }
+    config.arrivalRate = 0.05 * capacity;
+    config.measureTime = 1.0;
+    SimResult light = runServingSim(config);
+    config.arrivalRate = 0.95 * capacity;
+    SimResult heavy = runServingSim(config);
+    EXPECT_LT(light.meanLatency, heavy.meanLatency);
+}
+
+TEST(OpenLoop, DeterministicPerSeed)
+{
+    SimConfig config = fastConfig(App::NER);
+    config.batch = 8;
+    config.loadMode = LoadMode::Open;
+    config.arrivalRate = 2000.0;
+    config.seed = 7;
+    SimResult a = runServingSim(config);
+    SimResult b = runServingSim(config);
+    EXPECT_DOUBLE_EQ(a.throughputQps, b.throughputQps);
+    EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+}
+
+TEST(OpenLoop, DifferentSeedsDiffer)
+{
+    SimConfig config = fastConfig(App::NER);
+    config.batch = 8;
+    config.loadMode = LoadMode::Open;
+    config.arrivalRate = 2000.0;
+    config.seed = 1;
+    SimResult a = runServingSim(config);
+    config.seed = 2;
+    SimResult b = runServingSim(config);
+    EXPECT_NE(a.meanLatency, b.meanLatency);
+}
+
+TEST(OpenLoop, RequiresArrivalRate)
+{
+    SimConfig config = fastConfig(App::POS);
+    config.loadMode = LoadMode::Open;
+    config.arrivalRate = 0.0;
+    EXPECT_THROW(runServingSim(config), FatalError);
+}
+
+TEST(OpenLoop, PercentilesOrdered)
+{
+    SimConfig config = fastConfig(App::POS);
+    config.batch = 16;
+    config.loadMode = LoadMode::Open;
+    config.arrivalRate = 20000.0;
+    SimResult result = runServingSim(config);
+    EXPECT_LE(result.medianLatency, result.p95Latency);
+    EXPECT_LE(result.p95Latency, result.p99Latency);
+}
+
+// Co-location ---------------------------------------------------------
+
+TEST(MixedSim, AllTenantsMakeProgress)
+{
+    SimConfig config = fastConfig(App::IMC);
+    config.instancesPerGpu = 1; // unused by mixed
+    std::vector<TenantConfig> tenants{
+        {App::IMC, 16, 2},
+        {App::POS, 64, 2},
+    };
+    MixedSimResult result = runMixedSim(config, tenants);
+    ASSERT_EQ(result.tenants.size(), 2u);
+    EXPECT_GT(result.tenants[0].throughputQps, 0.0);
+    EXPECT_GT(result.tenants[1].throughputQps, 0.0);
+    EXPECT_EQ(result.tenants[0].app, App::IMC);
+    EXPECT_EQ(result.tenants[1].app, App::POS);
+}
+
+TEST(MixedSim, ColocationCostsEachTenantThroughput)
+{
+    SimConfig config = fastConfig(App::IMC);
+    std::vector<TenantConfig> solo{{App::IMC, 16, 4}};
+    double alone =
+        runMixedSim(config, solo).tenants[0].throughputQps;
+
+    std::vector<TenantConfig> shared{
+        {App::IMC, 16, 4},
+        {App::ASR, 2, 4},
+    };
+    double contended =
+        runMixedSim(config, shared).tenants[0].throughputQps;
+    EXPECT_LT(contended, alone);
+}
+
+TEST(MixedSim, SevenAppConsolidationRuns)
+{
+    // The DjiNN vision: all seven Tonic services on one GPU server.
+    SimConfig config = fastConfig(App::IMC);
+    config.gpuCount = 2;
+    std::vector<TenantConfig> tenants;
+    for (App app : allApps())
+        tenants.push_back({app, appSpec(app).tunedBatch, 1});
+    MixedSimResult result = runMixedSim(config, tenants);
+    ASSERT_EQ(result.tenants.size(), 7u);
+    for (const auto &tenant : result.tenants) {
+        EXPECT_GT(tenant.throughputQps, 0.0)
+            << appName(tenant.app);
+    }
+    EXPECT_GT(result.gpuUtilization, 0.2);
+}
+
+TEST(MixedSim, RejectsEmptyTenantList)
+{
+    SimConfig config = fastConfig(App::IMC);
+    EXPECT_THROW(runMixedSim(config, {}), FatalError);
+}
+
+TEST(MixedSim, RejectsBadTenant)
+{
+    SimConfig config = fastConfig(App::IMC);
+    std::vector<TenantConfig> tenants{{App::IMC, 0, 1}};
+    EXPECT_THROW(runMixedSim(config, tenants), FatalError);
+}
+
+TEST(MixedSim, OpenLoopSplitsRateByInstances)
+{
+    SimConfig config = fastConfig(App::POS);
+    config.loadMode = LoadMode::Open;
+    config.arrivalRate = 4000.0;
+    config.measureTime = 1.0;
+    std::vector<TenantConfig> tenants{
+        {App::POS, 8, 3},
+        {App::NER, 8, 1},
+    };
+    MixedSimResult result = runMixedSim(config, tenants);
+    // POS gets ~3/4 of the arrivals.
+    EXPECT_NEAR(result.tenants[0].throughputQps, 3000.0, 450.0);
+    EXPECT_NEAR(result.tenants[1].throughputQps, 1000.0, 250.0);
+}
+
+// GPU memory capacity --------------------------------------------------
+
+TEST(GpuMemory, OversizedBatchRejected)
+{
+    SimConfig config = fastConfig(App::IMC);
+    // 8192 images worth of conv1 activations blow past 12 GB.
+    config.batch = 8192;
+    config.gpuSpec.launchOverhead = 20e-6;
+    EXPECT_THROW(runServingSim(config), FatalError);
+}
+
+TEST(GpuMemory, PaperOperatingPointsFit)
+{
+    for (App app : allApps()) {
+        SimConfig config = fastConfig(app);
+        config.batch = appSpec(app).tunedBatch;
+        EXPECT_NO_THROW(runServingSim(config)) << appName(app);
+    }
+}
+
+// Energy ----------------------------------------------------------------
+
+TEST(Energy, PositiveAndFiniteAtSteadyState)
+{
+    SimConfig config = fastConfig(App::IMC);
+    config.batch = 16;
+    config.instancesPerGpu = 4;
+    SimResult result = runServingSim(config);
+    EXPECT_GT(result.energyPerQuery, 0.0);
+    EXPECT_LT(result.energyPerQuery, 10.0); // J/query sanity
+}
+
+TEST(Energy, NlpQueriesCheaperThanImc)
+{
+    SimConfig imc = fastConfig(App::IMC);
+    imc.batch = 16;
+    imc.instancesPerGpu = 4;
+    SimConfig pos = fastConfig(App::POS);
+    pos.batch = 64;
+    pos.instancesPerGpu = 4;
+    EXPECT_LT(runServingSim(pos).energyPerQuery,
+              runServingSim(imc).energyPerQuery);
+}
+
+TEST(Energy, IdleFloorChargedAtLowLoad)
+{
+    // At 5% load the idle-power floor dominates: energy per query
+    // is much worse than at saturation.
+    SimConfig sat = fastConfig(App::POS);
+    sat.batch = 64;
+    sat.instancesPerGpu = 4;
+    SimResult at_peak = runServingSim(sat);
+
+    SimConfig light = sat;
+    light.loadMode = LoadMode::Open;
+    light.arrivalRate = 0.05 * at_peak.throughputQps;
+    light.measureTime = 1.0;
+    SimResult idleish = runServingSim(light);
+    EXPECT_GT(idleish.energyPerQuery,
+              3.0 * at_peak.energyPerQuery);
+}
+
+} // namespace
+} // namespace serve
+} // namespace djinn

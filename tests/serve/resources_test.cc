@@ -1,0 +1,278 @@
+#include "serve/resources.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace serve {
+namespace {
+
+gpu::LinkSpec
+testLink(double bandwidth)
+{
+    gpu::LinkSpec link;
+    link.name = "test";
+    link.peakBandwidth = bandwidth;
+    link.efficiency = 1.0;
+    link.perTransferLatency = 0.0;
+    return link;
+}
+
+// FifoLink ----------------------------------------------------------
+
+TEST(FifoLink, SingleTransferTiming)
+{
+    sim::EventQueue eq;
+    FifoLink link(eq, testLink(100.0)); // 100 B/s
+    double done_at = -1;
+    link.transfer(50.0, [&]() { done_at = eq.now(); });
+    eq.run();
+    EXPECT_DOUBLE_EQ(done_at, 0.5);
+    EXPECT_DOUBLE_EQ(link.bytesMoved(), 50.0);
+}
+
+TEST(FifoLink, TransfersSerialize)
+{
+    sim::EventQueue eq;
+    FifoLink link(eq, testLink(100.0));
+    std::vector<double> done;
+    link.transfer(100.0, [&]() { done.push_back(eq.now()); });
+    link.transfer(100.0, [&]() { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[0], 1.0);
+    EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(FifoLink, FifoOrderPreserved)
+{
+    sim::EventQueue eq;
+    FifoLink link(eq, testLink(1000.0));
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        link.transfer(10.0, [&, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(FifoLink, PerTransferLatencyCharged)
+{
+    sim::EventQueue eq;
+    gpu::LinkSpec spec = testLink(1e9);
+    spec.perTransferLatency = 0.25;
+    FifoLink link(eq, spec);
+    double done_at = -1;
+    link.transfer(0.0, [&]() { done_at = eq.now(); });
+    eq.run();
+    EXPECT_DOUBLE_EQ(done_at, 0.25);
+}
+
+TEST(FifoLink, BusyTimeAccumulates)
+{
+    sim::EventQueue eq;
+    FifoLink link(eq, testLink(100.0));
+    link.transfer(100.0, []() {});
+    link.transfer(200.0, []() {});
+    eq.run();
+    EXPECT_DOUBLE_EQ(link.busyTime(), 3.0);
+}
+
+TEST(FifoLink, ChainedTransfersFromCallback)
+{
+    sim::EventQueue eq;
+    FifoLink link(eq, testLink(100.0));
+    double done_at = -1;
+    link.transfer(100.0, [&]() {
+        link.transfer(100.0, [&]() { done_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(done_at, 2.0);
+}
+
+// CpuPool -----------------------------------------------------------
+
+TEST(CpuPool, ParallelUpToCores)
+{
+    sim::EventQueue eq;
+    CpuPool pool(eq, 2);
+    std::vector<double> done;
+    for (int i = 0; i < 2; ++i)
+        pool.run(1.0, [&]() { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[0], 1.0);
+    EXPECT_DOUBLE_EQ(done[1], 1.0);
+}
+
+TEST(CpuPool, QueuesBeyondCores)
+{
+    sim::EventQueue eq;
+    CpuPool pool(eq, 2);
+    std::vector<double> done;
+    for (int i = 0; i < 3; ++i)
+        pool.run(1.0, [&]() { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_DOUBLE_EQ(done[2], 2.0);
+}
+
+TEST(CpuPool, BusyTimeCoreSeconds)
+{
+    sim::EventQueue eq;
+    CpuPool pool(eq, 4);
+    pool.run(1.0, []() {});
+    pool.run(2.0, []() {});
+    eq.run();
+    EXPECT_DOUBLE_EQ(pool.busyTime(), 3.0);
+}
+
+TEST(CpuPool, ZeroCoresFatal)
+{
+    sim::EventQueue eq;
+    EXPECT_THROW(CpuPool(eq, 0), FatalError);
+}
+
+// GpuResource: exclusive (time-shared) mode --------------------------
+
+TEST(GpuExclusive, JobsSerialize)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    spec.contextSwitchOverhead = 0.0;
+    GpuResource gpu(eq, spec, false);
+    std::vector<double> done;
+    gpu.submit({1.0, 0.5, 0, [&]() { done.push_back(eq.now()); }});
+    gpu.submit({1.0, 0.5, 0, [&]() { done.push_back(eq.now()); }});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_DOUBLE_EQ(done[0], 1.0);
+    EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(GpuExclusive, ContextSwitchChargedOnProcessChange)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    spec.contextSwitchOverhead = 0.5;
+    GpuResource gpu(eq, spec, false);
+    std::vector<double> done;
+    // Same instance twice: one switch charged only when the
+    // instance changes.
+    gpu.submit({1.0, 0.5, 1, [&]() { done.push_back(eq.now()); }});
+    gpu.submit({1.0, 0.5, 1, [&]() { done.push_back(eq.now()); }});
+    gpu.submit({1.0, 0.5, 2, [&]() { done.push_back(eq.now()); }});
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_DOUBLE_EQ(done[0], 1.0);
+    EXPECT_DOUBLE_EQ(done[1], 2.0);       // no switch
+    EXPECT_DOUBLE_EQ(done[2], 3.5);       // switch to instance 2
+}
+
+TEST(GpuExclusive, WorkDoneExcludesSwitchOverhead)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    spec.contextSwitchOverhead = 0.5;
+    GpuResource gpu(eq, spec, false);
+    gpu.submit({1.0, 0.5, 1, []() {}});
+    gpu.submit({1.0, 0.5, 2, []() {}});
+    eq.run();
+    EXPECT_DOUBLE_EQ(gpu.workDone(), 2.0);
+}
+
+// GpuResource: MPS processor sharing ---------------------------------
+
+TEST(GpuMps, LowOccupancyJobsRunConcurrently)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    GpuResource gpu(eq, spec, true);
+    std::vector<double> done;
+    // Two jobs at 0.4 occupancy each: sum 0.8 <= 1, full speed.
+    gpu.submit({1.0, 0.4, 0, [&]() { done.push_back(eq.now()); }});
+    gpu.submit({1.0, 0.4, 1, [&]() { done.push_back(eq.now()); }});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(done[0], 1.0, 1e-9);
+    EXPECT_NEAR(done[1], 1.0, 1e-9);
+}
+
+TEST(GpuMps, OversubscribedJobsShareProportionally)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    GpuResource gpu(eq, spec, true);
+    std::vector<double> done;
+    // Two full-occupancy jobs: each runs at half speed.
+    gpu.submit({1.0, 1.0, 0, [&]() { done.push_back(eq.now()); }});
+    gpu.submit({1.0, 1.0, 1, [&]() { done.push_back(eq.now()); }});
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_NEAR(done[0], 2.0, 1e-9);
+    EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(GpuMps, LateArrivalSlowsRemainder)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    GpuResource gpu(eq, spec, true);
+    std::vector<double> done;
+    gpu.submit({1.0, 1.0, 0, [&]() { done.push_back(eq.now()); }});
+    eq.scheduleAt(0.5, [&]() {
+        gpu.submit({1.0, 1.0, 1,
+                    [&]() { done.push_back(eq.now()); }});
+    });
+    eq.run();
+    ASSERT_EQ(done.size(), 2u);
+    // First job: 0.5 solo + 0.5 remaining at half rate -> 1.5.
+    EXPECT_NEAR(done[0], 1.5, 1e-9);
+    // Second: half rate until 1.5 (0.5 done), then solo -> 2.0.
+    EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(GpuMps, ProcessLimitQueuesOverflow)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    spec.mpsMaxProcesses = 2;
+    GpuResource gpu(eq, spec, true);
+    std::vector<double> done;
+    for (int i = 0; i < 3; ++i) {
+        gpu.submit({1.0, 0.1, i,
+                    [&]() { done.push_back(eq.now()); }});
+    }
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    // First two run together, third starts after they finish.
+    EXPECT_NEAR(done[0], 1.0, 1e-9);
+    EXPECT_NEAR(done[1], 1.0, 1e-9);
+    EXPECT_NEAR(done[2], 2.0, 1e-9);
+}
+
+TEST(GpuMps, WorkDoneTracksSoloTime)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    GpuResource gpu(eq, spec, true);
+    gpu.submit({1.5, 0.7, 0, []() {}});
+    gpu.submit({0.5, 0.7, 1, []() {}});
+    eq.run();
+    EXPECT_NEAR(gpu.workDone(), 2.0, 1e-9);
+}
+
+TEST(GpuResource, NonPositiveJobFatal)
+{
+    sim::EventQueue eq;
+    gpu::GpuSpec spec;
+    GpuResource gpu(eq, spec, true);
+    EXPECT_THROW(gpu.submit({0.0, 0.5, 0, []() {}}), FatalError);
+}
+
+} // namespace
+} // namespace serve
+} // namespace djinn

@@ -1,0 +1,150 @@
+#include "serve/simulation.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace serve {
+namespace {
+
+SimConfig
+fastConfig(App app)
+{
+    SimConfig config;
+    config.app = app;
+    config.warmupTime = 0.1;
+    config.measureTime = 0.3;
+    return config;
+}
+
+TEST(Simulation, ProducesThroughputAndLatency)
+{
+    SimConfig config = fastConfig(App::POS);
+    config.batch = 8;
+    SimResult result = runServingSim(config);
+    EXPECT_GT(result.throughputQps, 0.0);
+    EXPECT_GT(result.meanLatency, 0.0);
+    EXPECT_GE(result.p99Latency, result.medianLatency);
+    EXPECT_GT(result.completedQueries, 0u);
+}
+
+TEST(Simulation, Deterministic)
+{
+    SimConfig config = fastConfig(App::IMC);
+    config.batch = 4;
+    SimResult a = runServingSim(config);
+    SimResult b = runServingSim(config);
+    EXPECT_DOUBLE_EQ(a.throughputQps, b.throughputQps);
+    EXPECT_DOUBLE_EQ(a.meanLatency, b.meanLatency);
+}
+
+TEST(Simulation, LittlesLawHolds)
+{
+    // Closed loop with N clients: N = X * R (within discretization).
+    SimConfig config = fastConfig(App::POS);
+    config.batch = 16;
+    config.clientBatches = 2;
+    SimResult result = runServingSim(config);
+    double population = 2.0 * 16.0;
+    EXPECT_NEAR(result.throughputQps * result.meanLatency,
+                population, population * 0.25);
+}
+
+TEST(Simulation, MoreGpusMoreThroughputForComputeHeavyApp)
+{
+    SimConfig config = fastConfig(App::IMC);
+    config.batch = 16;
+    config.instancesPerGpu = 4;
+    config.gpuCount = 1;
+    double one = runServingSim(config).throughputQps;
+    config.gpuCount = 4;
+    double four = runServingSim(config).throughputQps;
+    EXPECT_GT(four, 3.0 * one);
+}
+
+TEST(Simulation, UnlimitedLinkNeverSlower)
+{
+    SimConfig limited = fastConfig(App::CHK);
+    limited.batch = 64;
+    limited.instancesPerGpu = 4;
+    limited.gpuCount = 8;
+    SimConfig unlimited = limited;
+    unlimited.hostLink = gpu::unlimitedLink();
+    EXPECT_GE(runServingSim(unlimited).throughputQps,
+              0.95 * runServingSim(limited).throughputQps);
+}
+
+TEST(Simulation, GpuUtilizationBounded)
+{
+    SimConfig config = fastConfig(App::ASR);
+    config.batch = 2;
+    config.instancesPerGpu = 4;
+    SimResult result = runServingSim(config);
+    EXPECT_GT(result.gpuUtilization, 0.3);
+    EXPECT_LE(result.gpuUtilization, 1.05);
+}
+
+TEST(Simulation, HostLinkUtilizationTracksTraffic)
+{
+    SimConfig config = fastConfig(App::POS);
+    config.batch = 64;
+    config.instancesPerGpu = 4;
+    config.gpuCount = 8;
+    SimResult result = runServingSim(config);
+    // NLP at 8 GPUs saturates the host link (the Fig 11 plateau).
+    EXPECT_GT(result.hostLinkUtilization, 0.8);
+    double expected_bytes = result.throughputQps *
+        (appSpec(App::POS).inputBytes +
+         appSpec(App::POS).outputBytes);
+    EXPECT_NEAR(result.hostLinkBytesPerSec, expected_bytes,
+                expected_bytes * 0.1);
+}
+
+TEST(Simulation, LatencyGrowsWithBatchPastSaturation)
+{
+    SimConfig small = fastConfig(App::POS);
+    small.batch = 8;
+    SimConfig large = fastConfig(App::POS);
+    large.batch = 256;
+    EXPECT_GT(runServingSim(large).meanLatency,
+              runServingSim(small).meanLatency);
+}
+
+TEST(Simulation, InvalidConfigFatal)
+{
+    SimConfig config = fastConfig(App::IMC);
+    config.batch = 0;
+    EXPECT_THROW(runServingSim(config), FatalError);
+    config.batch = 1;
+    config.gpuCount = 0;
+    EXPECT_THROW(runServingSim(config), FatalError);
+    config.gpuCount = 1;
+    config.instancesPerGpu = -1;
+    EXPECT_THROW(runServingSim(config), FatalError);
+}
+
+TEST(Simulation, SharedNetworkCachesInstance)
+{
+    const nn::Network &a = sharedNetwork(nn::zoo::Model::SennaPos);
+    const nn::Network &b = sharedNetwork(nn::zoo::Model::SennaPos);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Simulation, CpuQueryTimeScalesWithWork)
+{
+    gpu::CpuSpec cpu;
+    // ASR (548 x 30M-param rows) dwarfs POS (28 x 180K rows).
+    EXPECT_GT(cpuQueryTime(App::ASR, cpu),
+              100.0 * cpuQueryTime(App::POS, cpu));
+}
+
+TEST(Simulation, DefaultHostLinkIsDualPcie3)
+{
+    SimConfig config;
+    EXPECT_NEAR(config.hostLink.peakBandwidth, 2 * 15.75e9, 1e6);
+}
+
+} // namespace
+} // namespace serve
+} // namespace djinn

@@ -1,0 +1,99 @@
+#include "serve/tuner.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace serve {
+namespace {
+
+SimConfig
+fastBase()
+{
+    SimConfig config;
+    config.warmupTime = 0.1;
+    config.measureTime = 0.5;
+    return config;
+}
+
+TEST(Tuner, NlpTunesToLargeBatch)
+{
+    TunerResult result = tuneBatchSize(App::POS, fastBase());
+    // The paper lands on 64; accept the 32-128 neighbourhood.
+    EXPECT_GE(result.batch, 32);
+    EXPECT_LE(result.batch, 128);
+}
+
+TEST(Tuner, AsrTunesToTinyBatch)
+{
+    TunerResult result = tuneBatchSize(App::ASR, fastBase());
+    EXPECT_LE(result.batch, 2); // paper: 2
+}
+
+TEST(Tuner, FaceTunesToTinyBatch)
+{
+    TunerResult result = tuneBatchSize(App::FACE, fastBase());
+    EXPECT_LE(result.batch, 4); // paper: 2
+}
+
+TEST(Tuner, SweepCoversAllCandidates)
+{
+    TunerOptions options;
+    options.candidates = {1, 4, 16};
+    TunerResult result = tuneBatchSize(App::DIG, fastBase(),
+                                       options);
+    ASSERT_EQ(result.sweep.size(), 3u);
+    EXPECT_EQ(result.sweep[0].batch, 1);
+    EXPECT_EQ(result.sweep[2].batch, 16);
+    for (const auto &point : result.sweep)
+        EXPECT_GT(point.throughputQps, 0.0);
+}
+
+TEST(Tuner, ChosenBatchIsAdmissible)
+{
+    TunerResult result = tuneBatchSize(App::IMC, fastBase());
+    for (const auto &point : result.sweep) {
+        if (point.batch == result.batch) {
+            EXPECT_TRUE(point.admissible);
+        }
+    }
+}
+
+TEST(Tuner, TightLatencyBudgetForcesSmallBatch)
+{
+    TunerOptions strict;
+    strict.latencySlack = 1.1;
+    TunerResult result = tuneBatchSize(App::POS, fastBase(),
+                                       strict);
+    EXPECT_LE(result.batch, 4);
+}
+
+TEST(Tuner, LooseThroughputFractionPrefersSmallerBatch)
+{
+    TunerOptions loose;
+    loose.throughputFraction = 0.3;
+    TunerResult relaxed = tuneBatchSize(App::POS, fastBase(),
+                                        loose);
+    TunerOptions tight;
+    tight.throughputFraction = 0.95;
+    TunerResult greedy = tuneBatchSize(App::POS, fastBase(),
+                                       tight);
+    EXPECT_LE(relaxed.batch, greedy.batch);
+}
+
+TEST(Tuner, InvalidOptionsFatal)
+{
+    TunerOptions empty;
+    empty.candidates.clear();
+    EXPECT_THROW(tuneBatchSize(App::IMC, fastBase(), empty),
+                 FatalError);
+    TunerOptions unsorted;
+    unsorted.candidates = {4, 1};
+    EXPECT_THROW(tuneBatchSize(App::IMC, fastBase(), unsorted),
+                 FatalError);
+}
+
+} // namespace
+} // namespace serve
+} // namespace djinn

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Randomized property test for the event queue: thousands of
+ * interleaved schedule/cancel operations checked against a naive
+ * reference model (a sorted list).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "sim/event_queue.hh"
+
+namespace djinn {
+namespace sim {
+namespace {
+
+struct Fired {
+    int tag;
+    double time;
+};
+
+class EventQueueRandomized : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EventQueueRandomized, MatchesReferenceModel)
+{
+    Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+    EventQueue eq;
+
+    // Reference: (time, seq, tag) of live events, fired in
+    // (time, seq) order.
+    struct RefEvent {
+        double time;
+        uint64_t seq;
+        int tag;
+    };
+    std::vector<RefEvent> reference;
+    std::map<int, EventId> live_ids;
+    std::vector<Fired> fired;
+    uint64_t seq = 0;
+    int next_tag = 0;
+
+    const int ops = 2000;
+    for (int op = 0; op < ops; ++op) {
+        double roll = rng.uniform();
+        if (roll < 0.7 || live_ids.empty()) {
+            double when = rng.uniform(0.0, 1000.0);
+            int tag = next_tag++;
+            EventId id = eq.scheduleAt(
+                when, [tag, &fired, &eq]() {
+                    fired.push_back({tag, eq.now()});
+                });
+            reference.push_back({when, seq++, tag});
+            live_ids[tag] = id;
+        } else {
+            // Cancel a uniformly chosen live event.
+            auto it = live_ids.begin();
+            std::advance(it, static_cast<long>(rng.uniformInt(
+                0, static_cast<int64_t>(live_ids.size()) - 1)));
+            ASSERT_TRUE(eq.cancel(it->second));
+            int tag = it->first;
+            reference.erase(
+                std::find_if(reference.begin(), reference.end(),
+                             [tag](const RefEvent &e) {
+                                 return e.tag == tag;
+                             }));
+            live_ids.erase(it);
+        }
+    }
+
+    eq.run();
+
+    std::stable_sort(reference.begin(), reference.end(),
+                     [](const RefEvent &a, const RefEvent &b) {
+                         if (a.time != b.time)
+                             return a.time < b.time;
+                         return a.seq < b.seq;
+                     });
+
+    ASSERT_EQ(fired.size(), reference.size());
+    for (size_t i = 0; i < fired.size(); ++i) {
+        EXPECT_EQ(fired[i].tag, reference[i].tag) << "at " << i;
+        EXPECT_DOUBLE_EQ(fired[i].time, reference[i].time);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(EventQueueRandomized, CancellationDuringRun)
+{
+    // Events cancel other events while the queue drains.
+    Rng rng(99);
+    EventQueue eq;
+    std::vector<EventId> ids;
+    std::vector<int> fired;
+    for (int i = 0; i < 200; ++i) {
+        int tag = i;
+        ids.push_back(eq.scheduleAt(
+            static_cast<double>(i),
+            [tag, &fired]() { fired.push_back(tag); }));
+    }
+    // Event 10 cancels all even events above 10.
+    eq.scheduleAt(10.5, [&eq, &ids]() {
+        for (size_t i = 12; i < ids.size(); i += 2)
+            eq.cancel(ids[i]);
+    });
+    eq.run();
+    // 0..10 all fired; beyond that only odd tags.
+    for (int tag : fired) {
+        if (tag > 10) {
+            EXPECT_EQ(tag % 2, 1) << tag;
+        }
+    }
+    EXPECT_EQ(fired.size(), 11u + 95u); // 0..10 plus odd 11..199
+}
+
+} // namespace
+} // namespace sim
+} // namespace djinn

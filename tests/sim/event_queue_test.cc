@@ -1,0 +1,174 @@
+#include "sim/event_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace sim {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_DOUBLE_EQ(eq.now(), 0.0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(3.0, [&]() { order.push_back(3); });
+    eq.scheduleAt(1.0, [&]() { order.push_back(1); });
+    eq.scheduleAt(2.0, [&]() { order.push_back(2); });
+    eq.run();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, TiesFireFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(1.0, [&, i]() { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue eq;
+    double fired_at = -1.0;
+    eq.scheduleAt(5.0, [&]() {
+        eq.scheduleAfter(2.0, [&]() { fired_at = eq.now(); });
+    });
+    eq.run();
+    EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.scheduleAt(1.0, [&]() { fired = true; });
+    EXPECT_TRUE(eq.cancel(id));
+    eq.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIsNoop)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.cancel(9999));
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.scheduleAt(1.0, []() {});
+    EXPECT_TRUE(eq.cancel(id));
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse)
+{
+    EventQueue eq;
+    EventId id = eq.scheduleAt(1.0, []() {});
+    eq.run();
+    EXPECT_FALSE(eq.cancel(id));
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue eq;
+    EventId a = eq.scheduleAt(1.0, []() {});
+    eq.scheduleAt(2.0, []() {});
+    EXPECT_EQ(eq.pendingCount(), 2u);
+    eq.cancel(a);
+    EXPECT_EQ(eq.pendingCount(), 1u);
+    eq.run();
+    EXPECT_EQ(eq.pendingCount(), 0u);
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(1.0, [&]() { ++fired; });
+    eq.scheduleAt(5.0, [&]() { ++fired; });
+    eq.run(2.0);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(10.0);
+    EXPECT_DOUBLE_EQ(eq.now(), 10.0);
+}
+
+TEST(EventQueue, ReentrantSchedulingChain)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 100)
+            eq.scheduleAfter(0.5, chain);
+    };
+    eq.scheduleAfter(0.5, chain);
+    eq.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_DOUBLE_EQ(eq.now(), 50.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, FiredCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAt(i, []() {});
+    eq.run();
+    EXPECT_EQ(eq.firedCount(), 5u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(5.0, []() {});
+    eq.run();
+    EXPECT_DEATH(eq.scheduleAt(1.0, []() {}), "before now");
+}
+
+TEST(EventQueue, NegativeDelayPanics)
+{
+    EventQueue eq;
+    EXPECT_DEATH(eq.scheduleAfter(-1.0, []() {}),
+                 "negative delay");
+}
+
+TEST(EventQueue, CancelInsideCallbackOfSameTime)
+{
+    EventQueue eq;
+    bool second_fired = false;
+    EventId second = 0;
+    eq.scheduleAt(1.0, [&]() { eq.cancel(second); });
+    second = eq.scheduleAt(1.0, [&]() { second_fired = true; });
+    eq.run();
+    EXPECT_FALSE(second_fired);
+}
+
+} // namespace
+} // namespace sim
+} // namespace djinn

@@ -1,0 +1,159 @@
+#include "sim/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace djinn {
+namespace sim {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyDefaults)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, MeanAndVariance)
+{
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_EQ(a.count(), 8u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_NEAR(a.variance(), 4.0, 1e-12);
+    EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+}
+
+TEST(Accumulator, MinMaxSum)
+{
+    Accumulator a;
+    a.add(3.0);
+    a.add(-1.0);
+    a.add(10.0);
+    EXPECT_DOUBLE_EQ(a.min(), -1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(Accumulator, SingleSample)
+{
+    Accumulator a;
+    a.add(7.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 7.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(Accumulator, ResetClears)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Distribution, EmptyQuantilesZero)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Distribution, ExactQuantiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 100.0);
+    EXPECT_NEAR(d.median(), 50.5, 1e-9);
+    EXPECT_NEAR(d.quantile(0.99), 99.01, 1e-9);
+    EXPECT_NEAR(d.quantile(0.0), 1.0, 1e-9);
+    EXPECT_NEAR(d.quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(Distribution, QuantileClampsOutOfRange)
+{
+    Distribution d;
+    d.add(5.0);
+    d.add(10.0);
+    EXPECT_DOUBLE_EQ(d.quantile(-1.0), 5.0);
+    EXPECT_DOUBLE_EQ(d.quantile(2.0), 10.0);
+}
+
+TEST(Distribution, MeanMatches)
+{
+    Distribution d;
+    d.add(2.0);
+    d.add(4.0);
+    d.add(9.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Distribution, InterleavedAddAndQuantile)
+{
+    Distribution d;
+    d.add(3.0);
+    EXPECT_DOUBLE_EQ(d.median(), 3.0);
+    d.add(1.0);
+    EXPECT_DOUBLE_EQ(d.median(), 2.0);
+    d.add(2.0);
+    EXPECT_DOUBLE_EQ(d.median(), 2.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.add(1.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(StatRegistry, SetGetHas)
+{
+    StatRegistry reg;
+    reg.set("qps", 120.5);
+    EXPECT_TRUE(reg.has("qps"));
+    EXPECT_FALSE(reg.has("latency"));
+    EXPECT_DOUBLE_EQ(reg.get("qps"), 120.5);
+}
+
+TEST(StatRegistry, OverwriteKeepsLatest)
+{
+    StatRegistry reg;
+    reg.set("x", 1.0);
+    reg.set("x", 2.0);
+    EXPECT_DOUBLE_EQ(reg.get("x"), 2.0);
+    EXPECT_EQ(reg.all().size(), 1u);
+}
+
+TEST(StatRegistry, DumpSortedByName)
+{
+    StatRegistry reg;
+    reg.set("b", 2.0);
+    reg.set("a", 1.0);
+    std::string dump = reg.dump();
+    EXPECT_LT(dump.find("a 1"), dump.find("b 2"));
+}
+
+} // namespace
+} // namespace sim
+} // namespace djinn

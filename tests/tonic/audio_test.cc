@@ -1,0 +1,185 @@
+#include "tonic/audio.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+namespace {
+
+TEST(Synthesize, UtteranceLengthMatchesDuration)
+{
+    Rng rng(1);
+    auto samples = synthesizeUtterance(1.5, rng);
+    EXPECT_EQ(samples.size(), 24000u);
+}
+
+TEST(Synthesize, UtteranceDeterministicPerSeed)
+{
+    Rng a(4), b(4);
+    auto sa = synthesizeUtterance(0.2, a);
+    auto sb = synthesizeUtterance(0.2, b);
+    ASSERT_EQ(sa.size(), sb.size());
+    for (size_t i = 0; i < sa.size(); ++i)
+        ASSERT_FLOAT_EQ(sa[i], sb[i]);
+}
+
+TEST(Synthesize, UtteranceBounded)
+{
+    Rng rng(2);
+    auto samples = synthesizeUtterance(1.0, rng);
+    for (float s : samples)
+        ASSERT_LT(std::fabs(s), 2.0f);
+}
+
+TEST(Synthesize, NonPositiveDurationFatal)
+{
+    Rng rng(1);
+    EXPECT_THROW(synthesizeUtterance(0.0, rng), FatalError);
+}
+
+TEST(FrameCount, StandardWindows)
+{
+    FeatureConfig config;
+    // 1 second at 16 kHz, 25 ms frames, 10 ms shift: 98 frames.
+    EXPECT_EQ(frameCount(16000, config), 98);
+    // Shorter than a frame: none.
+    EXPECT_EQ(frameCount(100, config), 0);
+    // Exactly one frame.
+    EXPECT_EQ(frameCount(400, config), 1);
+}
+
+TEST(Filterbank, OutputGeometry)
+{
+    FeatureConfig config;
+    Rng rng(3);
+    auto samples = synthesizeUtterance(0.5, rng);
+    nn::Tensor features = filterbankFeatures(samples, config);
+    EXPECT_EQ(features.shape().n(),
+              frameCount(static_cast<int64_t>(samples.size()),
+                         config));
+    EXPECT_EQ(features.shape().c(), config.melBins);
+}
+
+TEST(Filterbank, FeaturesFiniteAndVarying)
+{
+    FeatureConfig config;
+    Rng rng(5);
+    auto samples = synthesizeUtterance(0.3, rng);
+    nn::Tensor features = filterbankFeatures(samples, config);
+    double lo = 1e30, hi = -1e30;
+    for (int64_t i = 0; i < features.elems(); ++i) {
+        ASSERT_TRUE(std::isfinite(features[i]));
+        lo = std::min(lo, static_cast<double>(features[i]));
+        hi = std::max(hi, static_cast<double>(features[i]));
+    }
+    EXPECT_GT(hi - lo, 1.0);
+}
+
+TEST(Filterbank, SilenceGivesLowEnergy)
+{
+    FeatureConfig config;
+    std::vector<float> silence(8000, 0.0f);
+    Rng rng(5);
+    auto speech = synthesizeUtterance(0.5, rng);
+    nn::Tensor fs = filterbankFeatures(silence, config);
+    nn::Tensor fv = filterbankFeatures(speech, config);
+    EXPECT_LT(fs.sum() / fs.elems(), fv.sum() / fv.elems());
+}
+
+TEST(Filterbank, ToneActivatesMatchingBand)
+{
+    FeatureConfig config;
+    // A pure 1 kHz tone: the most energetic mel bin for the tone
+    // should sit below the most energetic bin of a 4 kHz tone.
+    auto tone = [&](double freq) {
+        std::vector<float> s(8000);
+        for (size_t i = 0; i < s.size(); ++i) {
+            s[i] = static_cast<float>(
+                0.5 * std::sin(2 * M_PI * freq * i / 16000.0));
+        }
+        nn::Tensor f = filterbankFeatures(s, config);
+        // Use the middle frame.
+        int64_t frame = f.shape().n() / 2;
+        int64_t best = 0;
+        for (int64_t m = 1; m < config.melBins; ++m) {
+            if (f.at(frame, m, 0, 0) > f.at(frame, best, 0, 0))
+                best = m;
+        }
+        return best;
+    };
+    EXPECT_LT(tone(500.0), tone(4000.0));
+}
+
+TEST(Filterbank, TooShortUtteranceFatal)
+{
+    FeatureConfig config;
+    std::vector<float> tiny(10, 0.0f);
+    EXPECT_THROW(filterbankFeatures(tiny, config), FatalError);
+}
+
+TEST(Splice, WidthAndCenterCopy)
+{
+    nn::Tensor features(nn::Shape(10, 8));
+    for (int64_t f = 0; f < 10; ++f) {
+        for (int64_t d = 0; d < 8; ++d)
+            features.at(f, d, 0, 0) = static_cast<float>(f * 100 +
+                                                         d);
+    }
+    nn::Tensor spliced = spliceFrames(features, 2);
+    EXPECT_EQ(spliced.shape(), nn::Shape(10, 40));
+    // Center slot (offset 2) of frame 5 holds frame 5.
+    for (int64_t d = 0; d < 8; ++d)
+        EXPECT_FLOAT_EQ(spliced.sample(5)[2 * 8 + d],
+                        features.at(5, d, 0, 0));
+    // Left-most slot of frame 5 holds frame 3.
+    for (int64_t d = 0; d < 8; ++d)
+        EXPECT_FLOAT_EQ(spliced.sample(5)[d],
+                        features.at(3, d, 0, 0));
+}
+
+TEST(Splice, EdgesClampToFirstAndLastFrames)
+{
+    nn::Tensor features(nn::Shape(4, 2));
+    for (int64_t f = 0; f < 4; ++f) {
+        features.at(f, 0, 0, 0) = static_cast<float>(f);
+        features.at(f, 1, 0, 0) = static_cast<float>(f);
+    }
+    nn::Tensor spliced = spliceFrames(features, 3);
+    // Frame 0's left context slots all clamp to frame 0.
+    for (int64_t slot = 0; slot < 3; ++slot)
+        EXPECT_FLOAT_EQ(spliced.sample(0)[slot * 2], 0.0f);
+    // Frame 3's right context slots all clamp to frame 3.
+    for (int64_t slot = 4; slot < 7; ++slot)
+        EXPECT_FLOAT_EQ(spliced.sample(3)[slot * 2], 3.0f);
+}
+
+TEST(Splice, KaldiGeometryYields440Features)
+{
+    FeatureConfig config;
+    Rng rng(6);
+    auto samples = synthesizeUtterance(0.5, rng);
+    nn::Tensor features = filterbankFeatures(samples, config);
+    nn::Tensor spliced = spliceFrames(features,
+                                      config.spliceContext);
+    // 11-frame splice of 40 mel bins = the Kaldi net's 440 inputs.
+    EXPECT_EQ(spliced.shape().sampleElems(), 440);
+}
+
+TEST(Splice, PaperQueryShape548Frames)
+{
+    // Table 3: one ASR query carries 548 feature vectors, which is
+    // about 5.5 seconds of audio at a 10 ms shift.
+    FeatureConfig config;
+    int64_t samples_needed = static_cast<int64_t>(
+        (547 * config.frameShift + config.frameLength) *
+        config.sampleRate);
+    EXPECT_EQ(frameCount(samples_needed, config), 548);
+}
+
+} // namespace
+} // namespace tonic
+} // namespace djinn

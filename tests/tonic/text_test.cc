@@ -1,0 +1,187 @@
+#include "tonic/text.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+namespace {
+
+TEST(Tokenize, WordsAndPunctuation)
+{
+    auto tokens = tokenize("The server answers, quickly.");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0], "the");
+    EXPECT_EQ(tokens[1], "server");
+    EXPECT_EQ(tokens[2], "answers");
+    EXPECT_EQ(tokens[3], ",");
+    EXPECT_EQ(tokens[4], "quickly");
+    EXPECT_EQ(tokens[5], ".");
+}
+
+TEST(Tokenize, LowerCases)
+{
+    auto tokens = tokenize("Paris LONDON");
+    EXPECT_EQ(tokens[0], "paris");
+    EXPECT_EQ(tokens[1], "london");
+}
+
+TEST(Tokenize, ApostrophesAndHyphensKeptInWord)
+{
+    auto tokens = tokenize("don't over-think");
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0], "don't");
+    EXPECT_EQ(tokens[1], "over-think");
+}
+
+TEST(Tokenize, EmptyInput)
+{
+    EXPECT_TRUE(tokenize("").empty());
+    EXPECT_TRUE(tokenize("   ").empty());
+}
+
+TEST(Embed, DeterministicPerToken)
+{
+    auto a = embedToken("server", 50);
+    auto b = embedToken("server", 50);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Embed, CaseInsensitive)
+{
+    EXPECT_EQ(embedToken("Server", 50), embedToken("server", 50));
+}
+
+TEST(Embed, DifferentTokensDiffer)
+{
+    EXPECT_NE(embedToken("server", 50), embedToken("client", 50));
+}
+
+TEST(Embed, UnitVarianceApproximately)
+{
+    auto v = embedToken("warehouse", 500);
+    double sq = 0.0;
+    for (float x : v)
+        sq += x * x;
+    EXPECT_NEAR(sq / 500.0, 1.0, 0.25);
+}
+
+TEST(WindowFeatures, GeometryMatchesSennaInput)
+{
+    TextConfig config;
+    auto tokens = tokenize(synthesizeSentence(28, 1));
+    nn::Tensor features = windowFeatures(tokens, config);
+    EXPECT_EQ(features.shape().n(),
+              static_cast<int64_t>(tokens.size()));
+    // 5-token window x 50 dims = the SENNA nets' 250 inputs.
+    EXPECT_EQ(features.shape().sampleElems(), 250);
+}
+
+TEST(WindowFeatures, CenterSlotHoldsTokenEmbedding)
+{
+    TextConfig config;
+    std::vector<std::string> tokens{"alpha", "beta", "gamma"};
+    nn::Tensor features = windowFeatures(tokens, config);
+    auto beta = embedToken("beta", config.embeddingDim);
+    const float *row = features.sample(1);
+    for (int64_t i = 0; i < config.embeddingDim; ++i) {
+        EXPECT_FLOAT_EQ(
+            row[config.windowContext * config.embeddingDim + i],
+            beta[i]);
+    }
+}
+
+TEST(WindowFeatures, NeighborSlotsShiftProperly)
+{
+    TextConfig config;
+    std::vector<std::string> tokens{"alpha", "beta", "gamma"};
+    nn::Tensor features = windowFeatures(tokens, config);
+    auto alpha = embedToken("alpha", config.embeddingDim);
+    // In row 1 (beta), the slot one left of center holds alpha.
+    const float *row = features.sample(1);
+    int64_t slot = config.windowContext - 1;
+    for (int64_t i = 0; i < config.embeddingDim; ++i)
+        EXPECT_FLOAT_EQ(row[slot * config.embeddingDim + i],
+                        alpha[i]);
+}
+
+TEST(WindowFeatures, EdgesUsePadding)
+{
+    TextConfig config;
+    std::vector<std::string> tokens{"only"};
+    nn::Tensor features = windowFeatures(tokens, config);
+    auto pad = embedToken("<pad>", config.embeddingDim);
+    const float *row = features.sample(0);
+    // Slot 0 (two left of center) must be padding.
+    for (int64_t i = 0; i < config.embeddingDim; ++i)
+        EXPECT_FLOAT_EQ(row[i], pad[i]);
+}
+
+TEST(WindowFeatures, TagsChangeFeatures)
+{
+    TextConfig config;
+    std::vector<std::string> tokens{"a", "b", "c"};
+    std::vector<int> tags0{0, 0, 0};
+    std::vector<int> tags1{0, 5, 0};
+    nn::Tensor f0 = windowFeaturesWithTags(tokens, tags0, config);
+    nn::Tensor f1 = windowFeaturesWithTags(tokens, tags1, config);
+    bool differs = false;
+    for (int64_t i = 0; i < f0.elems(); ++i) {
+        if (f0[i] != f1[i])
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(WindowFeatures, ZeroTagsEqualsPlainFeatures)
+{
+    TextConfig config;
+    std::vector<std::string> tokens{"a", "b"};
+    std::vector<int> zeros{0, 0};
+    nn::Tensor plain = windowFeatures(tokens, config);
+    nn::Tensor tagged = windowFeaturesWithTags(tokens, zeros,
+                                               config);
+    for (int64_t i = 0; i < plain.elems(); ++i)
+        EXPECT_FLOAT_EQ(plain[i], tagged[i]);
+}
+
+TEST(WindowFeatures, EmptyTokensFatal)
+{
+    TextConfig config;
+    std::vector<std::string> none;
+    EXPECT_THROW(windowFeatures(none, config), FatalError);
+}
+
+TEST(WindowFeatures, TagCountMismatchFatal)
+{
+    TextConfig config;
+    std::vector<std::string> tokens{"a", "b"};
+    std::vector<int> tags{1};
+    EXPECT_THROW(windowFeaturesWithTags(tokens, tags, config),
+                 FatalError);
+}
+
+TEST(SynthesizeSentence, WordCountRespected)
+{
+    auto tokens = tokenize(synthesizeSentence(28, 3));
+    // 28 words plus the final period token.
+    EXPECT_EQ(tokens.size(), 29u);
+}
+
+TEST(SynthesizeSentence, DeterministicPerSeed)
+{
+    EXPECT_EQ(synthesizeSentence(10, 5), synthesizeSentence(10, 5));
+    EXPECT_NE(synthesizeSentence(10, 5), synthesizeSentence(10, 6));
+}
+
+TEST(SynthesizeSentence, NonPositiveFatal)
+{
+    EXPECT_THROW(synthesizeSentence(0, 1), FatalError);
+}
+
+} // namespace
+} // namespace tonic
+} // namespace djinn

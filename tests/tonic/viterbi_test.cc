@@ -1,0 +1,113 @@
+#include "tonic/viterbi.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace tonic {
+namespace {
+
+nn::Tensor
+scores(std::initializer_list<std::initializer_list<float>> rows)
+{
+    int64_t steps = static_cast<int64_t>(rows.size());
+    int64_t states =
+        static_cast<int64_t>(rows.begin()->size());
+    nn::Tensor t(nn::Shape(steps, states));
+    int64_t s = 0;
+    for (const auto &row : rows) {
+        int64_t j = 0;
+        for (float v : row)
+            t.at(s, j++, 0, 0) = v;
+        ++s;
+    }
+    return t;
+}
+
+TEST(Viterbi, FlatTransitionsPickArgmaxPerStep)
+{
+    auto sc = scores({{1, 5, 0}, {7, 1, 0}, {0, 1, 9}});
+    std::vector<float> flat(9, 0.0f);
+    auto path = viterbiDecode(sc, flat);
+    EXPECT_EQ(path, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Viterbi, SelfLoopBonusSmoothsPath)
+{
+    // Without bias: path flips 0,1,0. With a strong self-loop
+    // bonus, staying in state 0 wins overall.
+    auto sc = scores({{5, 0}, {4, 5}, {5, 0}});
+    auto flat = selfLoopTransitions(2, 0.0f);
+    EXPECT_EQ(viterbiDecode(sc, flat),
+              (std::vector<int>{0, 1, 0}));
+    auto sticky = selfLoopTransitions(2, 3.0f);
+    EXPECT_EQ(viterbiDecode(sc, sticky),
+              (std::vector<int>{0, 0, 0}));
+}
+
+TEST(Viterbi, TransitionsCanForbidMoves)
+{
+    // Forbid 0 -> 1 entirely; the best path must route via state 2.
+    auto sc = scores({{10, 0, 0}, {0, 10, 5}});
+    std::vector<float> trans(9, 0.0f);
+    trans[0 * 3 + 1] = -1e9f;
+    auto path = viterbiDecode(sc, trans);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path[0], 0);
+    EXPECT_EQ(path[1], 2);
+}
+
+TEST(Viterbi, SingleStepIsArgmax)
+{
+    auto sc = scores({{0.1f, 0.7f, 0.2f}});
+    std::vector<float> flat(9, 0.0f);
+    EXPECT_EQ(viterbiDecode(sc, flat), (std::vector<int>{1}));
+}
+
+TEST(Viterbi, GlobalOptimumBeatsGreedy)
+{
+    // Greedy picks state 1 at step 0, but the transition out of 1
+    // is costly; the optimal path sacrifices step 0.
+    auto sc = scores({{4, 5}, {0, 10}});
+    std::vector<float> trans(4, 0.0f);
+    trans[1 * 2 + 1] = -20.0f; // staying in 1 is bad
+    trans[0 * 2 + 1] = 0.0f;
+    auto path = viterbiDecode(sc, trans);
+    EXPECT_EQ(path, (std::vector<int>{0, 1}));
+}
+
+TEST(Viterbi, WrongTransitionSizeFatal)
+{
+    auto sc = scores({{1, 2}});
+    std::vector<float> wrong(3, 0.0f);
+    EXPECT_THROW(viterbiDecode(sc, wrong), FatalError);
+}
+
+TEST(SelfLoopTransitions, DiagonalOnly)
+{
+    auto t = selfLoopTransitions(3, 2.5f);
+    ASSERT_EQ(t.size(), 9u);
+    for (int64_t i = 0; i < 3; ++i) {
+        for (int64_t j = 0; j < 3; ++j) {
+            EXPECT_FLOAT_EQ(t[i * 3 + j], i == j ? 2.5f : 0.0f);
+        }
+    }
+}
+
+TEST(CollapseRuns, RemovesConsecutiveDuplicates)
+{
+    EXPECT_EQ(collapseRuns({1, 1, 2, 2, 2, 1, 3, 3}),
+              (std::vector<int>{1, 2, 1, 3}));
+}
+
+TEST(CollapseRuns, EmptyAndSingle)
+{
+    EXPECT_TRUE(collapseRuns({}).empty());
+    EXPECT_EQ(collapseRuns({5}), (std::vector<int>{5}));
+    EXPECT_EQ(collapseRuns({5, 5, 5}), (std::vector<int>{5}));
+}
+
+} // namespace
+} // namespace tonic
+} // namespace djinn

@@ -1,0 +1,66 @@
+#include "wsc/bandwidth.hh"
+
+#include <gtest/gtest.h>
+
+#include "gpu/link.hh"
+
+namespace djinn {
+namespace wsc {
+namespace {
+
+using serve::App;
+
+TEST(Bandwidth, LinearInGpuCount)
+{
+    double one = bandwidthRequirement(App::POS, 1);
+    double eight = bandwidthRequirement(App::POS, 8);
+    EXPECT_NEAR(eight, 8.0 * one, one * 0.01);
+}
+
+TEST(Bandwidth, Fig13NlpExceedsPcieV3ByEightGpus)
+{
+    // The paper's central bandwidth finding: NLP at 8 GPUs needs
+    // more than a PCIe v3 x16 pipe can carry.
+    double pcie = gpu::pcieV3().peakBandwidth;
+    for (App app : {App::POS, App::CHK, App::NER}) {
+        EXPECT_GT(bandwidthRequirement(app, 8), pcie)
+            << serve::appName(app);
+    }
+}
+
+TEST(Bandwidth, Fig13ComputeHeavyStaysModest)
+{
+    // "The theoretical throughput can be achieved by a network with
+    // a bandwidth of at least 4GB/s" for IMC/DIG/FACE/ASR; allow
+    // a generous ceiling well under the NLP demands.
+    for (App app : {App::IMC, App::FACE, App::ASR}) {
+        EXPECT_LT(bandwidthRequirement(app, 8), 8e9)
+            << serve::appName(app);
+    }
+}
+
+TEST(Bandwidth, NlpFarExceeds10GbE)
+{
+    double tengbe = gpu::ethernet10G().peakBandwidth;
+    EXPECT_GT(bandwidthRequirement(App::POS, 1), tengbe);
+}
+
+TEST(Bandwidth, IngressAtMostTotalRequirement)
+{
+    for (App app : serve::allApps()) {
+        EXPECT_LE(ingressRequirement(app, 4),
+                  bandwidthRequirement(app, 4) + 1e-6)
+            << serve::appName(app);
+    }
+}
+
+TEST(Bandwidth, AsrEgressDominatesItsIngress)
+{
+    // ASR returns 548 probability vectors, larger than its input.
+    EXPECT_GT(bandwidthRequirement(App::ASR, 1),
+              ingressRequirement(App::ASR, 1));
+}
+
+} // namespace
+} // namespace wsc
+} // namespace djinn

@@ -1,0 +1,79 @@
+#include "wsc/capacity.hh"
+
+#include <gtest/gtest.h>
+
+#include "serve/simulation.hh"
+#include "wsc/network_config.hh"
+
+namespace djinn {
+namespace wsc {
+namespace {
+
+using serve::App;
+
+TEST(CpuCapacity, ComponentsConsistent)
+{
+    for (App app : serve::allApps()) {
+        CpuCapacity cap = cpuCapacity(app);
+        EXPECT_GT(cap.dnnTime, 0.0) << serve::appName(app);
+        EXPECT_GE(cap.prePostTime, 0.0);
+        EXPECT_NEAR(cap.coreQps,
+                    1.0 / (cap.dnnTime + cap.prePostTime), 1e-9);
+    }
+}
+
+TEST(CpuCapacity, MatchesCpuQueryTime)
+{
+    gpu::CpuSpec spec;
+    CpuCapacity cap = cpuCapacity(App::IMC, spec);
+    EXPECT_DOUBLE_EQ(cap.dnnTime,
+                     serve::cpuQueryTime(App::IMC, spec));
+}
+
+TEST(CpuCapacity, AsrHeaviestPrePost)
+{
+    double asr = cpuCapacity(App::ASR).prePostTime;
+    for (App app : serve::allApps()) {
+        if (app != App::ASR) {
+            EXPECT_GT(asr, cpuCapacity(app).prePostTime);
+        }
+    }
+}
+
+TEST(GpuServerQps, ScalesWithGpus)
+{
+    auto link = pcie3With10GbE().hostLink;
+    double one = gpuServerQps(App::IMC, link, 1);
+    double four = gpuServerQps(App::IMC, link, 4);
+    EXPECT_GT(four, 3.0 * one);
+}
+
+TEST(GpuServerQps, CachedCallsAgree)
+{
+    auto link = pcie3With10GbE().hostLink;
+    EXPECT_DOUBLE_EQ(gpuServerQps(App::POS, link, 2),
+                     gpuServerQps(App::POS, link, 2));
+}
+
+TEST(GpuServerQps, NlpBandwidthBoundUnderNarrowLink)
+{
+    auto narrow = gpu::ethernet10G(4); // 4 GB/s
+    auto wide = gpu::unlimitedLink();
+    double capped = gpuServerQps(App::POS, narrow, 4);
+    double free_qps = gpuServerQps(App::POS, wide, 4);
+    EXPECT_LT(capped, 0.5 * free_qps);
+}
+
+TEST(GpuPeakQps, AtLeastConstrainedThroughput)
+{
+    auto link = pcie3With10GbE().hostLink;
+    for (App app : {App::POS, App::IMC}) {
+        EXPECT_GE(gpuPeakQps(app) * 1.05,
+                  gpuServerQps(app, link, 1))
+            << serve::appName(app);
+    }
+}
+
+} // namespace
+} // namespace wsc
+} // namespace djinn

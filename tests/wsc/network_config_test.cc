@@ -1,0 +1,63 @@
+#include "wsc/network_config.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace wsc {
+namespace {
+
+TEST(NetworkConfig, BaselineMatchesPaperFootnote)
+{
+    NetworkConfig config = pcie3With10GbE();
+    // 16 x 10GbE at 80% yields 16 GB/s ingest (footnote 1).
+    EXPECT_DOUBLE_EQ(config.disaggIngest.effectiveBandwidth(),
+                     16e9);
+    EXPECT_EQ(config.nicCount, 16);
+    EXPECT_DOUBLE_EQ(config.nicUnitCost, 750.0);
+    EXPECT_DOUBLE_EQ(config.serverPremium, 0.0);
+}
+
+TEST(NetworkConfig, Pcie4Uses9Teamed40GbE)
+{
+    NetworkConfig config = pcie4With40GbE();
+    EXPECT_EQ(config.nicCount, 9);
+    // 9 x 40GbE at 80% = 36 GB/s, enough to saturate PCIe v4
+    // (31.75 GB/s peak, Section 6.4).
+    EXPECT_GT(config.disaggIngest.effectiveBandwidth(),
+              0.8 * 31.75e9);
+}
+
+TEST(NetworkConfig, QpiUses8Teamed400GbE)
+{
+    NetworkConfig config = qpiWith400GbE();
+    EXPECT_EQ(config.nicCount, 8);
+    EXPECT_DOUBLE_EQ(config.hostLink.peakBandwidth, 307.2e9);
+}
+
+TEST(NetworkConfig, BandwidthStrictlyIncreasesAcrossGenerations)
+{
+    auto configs = allNetworkConfigs();
+    ASSERT_EQ(configs.size(), 3u);
+    for (size_t i = 1; i < configs.size(); ++i) {
+        EXPECT_GT(configs[i].hostLink.effectiveBandwidth(),
+                  configs[i - 1].hostLink.effectiveBandwidth());
+        EXPECT_GT(configs[i].disaggIngest.effectiveBandwidth(),
+                  configs[i - 1].disaggIngest.effectiveBandwidth());
+    }
+}
+
+TEST(NetworkConfig, CostsIncreaseAcrossGenerations)
+{
+    auto configs = allNetworkConfigs();
+    for (size_t i = 1; i < configs.size(); ++i) {
+        EXPECT_GT(configs[i].nicUnitCost * configs[i].nicCount,
+                  configs[i - 1].nicUnitCost *
+                      configs[i - 1].nicCount);
+        EXPECT_GE(configs[i].serverPremium,
+                  configs[i - 1].serverPremium);
+    }
+}
+
+} // namespace
+} // namespace wsc
+} // namespace djinn

@@ -1,0 +1,141 @@
+#include "wsc/tco_params.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace wsc {
+namespace {
+
+TEST(TcoParams, Table4Defaults)
+{
+    TcoParams p;
+    EXPECT_DOUBLE_EQ(p.gpuServerCost, 6864.0);
+    EXPECT_DOUBLE_EQ(p.gpuCost, 3314.0);
+    EXPECT_DOUBLE_EQ(p.wimpyServerCost, 1716.0);
+    EXPECT_DOUBLE_EQ(p.nicCost, 750.0);
+    EXPECT_DOUBLE_EQ(p.wscCapexPerWatt, 10.0);
+    EXPECT_DOUBLE_EQ(p.opexPerWattMonth, 0.04);
+    EXPECT_DOUBLE_EQ(p.pue, 1.1);
+    EXPECT_DOUBLE_EQ(p.electricityPerKwh, 0.067);
+    EXPECT_DOUBLE_EQ(p.interestRate, 0.08);
+    EXPECT_DOUBLE_EQ(p.lifetimeMonths, 36.0);
+    EXPECT_DOUBLE_EQ(p.maintenanceRate, 0.05);
+}
+
+TEST(FinancedCost, ZeroPrincipalFree)
+{
+    TcoParams p;
+    EXPECT_DOUBLE_EQ(financedCost(0.0, p), 0.0);
+}
+
+TEST(FinancedCost, InterestAddsRoughly13Percent)
+{
+    // 8% annual over 36 months adds ~12.8% total interest.
+    TcoParams p;
+    double paid = financedCost(10000.0, p);
+    EXPECT_GT(paid, 11000.0);
+    EXPECT_LT(paid, 11700.0);
+}
+
+TEST(FinancedCost, ZeroInterestPaysPrincipal)
+{
+    TcoParams p;
+    p.interestRate = 0.0;
+    EXPECT_DOUBLE_EQ(financedCost(5000.0, p), 5000.0);
+}
+
+TEST(FinancedCost, LinearInPrincipal)
+{
+    TcoParams p;
+    EXPECT_NEAR(financedCost(2000.0, p),
+                2.0 * financedCost(1000.0, p), 1e-6);
+}
+
+TEST(ComputeTco, EmptyFleetCostsNothing)
+{
+    TcoParams p;
+    FleetInventory fleet;
+    EXPECT_DOUBLE_EQ(computeTco(fleet, p).total(), 0.0);
+}
+
+TEST(ComputeTco, SingleCpuServerBreakdown)
+{
+    TcoParams p;
+    FleetInventory fleet;
+    fleet.beefyServers = 1.0;
+    TcoBreakdown tco = computeTco(fleet, p);
+    // Server capex financed.
+    EXPECT_NEAR(tco.servers, financedCost(6864.0, p), 1e-6);
+    EXPECT_DOUBLE_EQ(tco.gpus, 0.0);
+    EXPECT_DOUBLE_EQ(tco.network, 0.0);
+    // Facility: $10/W x 300 W x 1.1 PUE, financed.
+    EXPECT_NEAR(tco.facility, financedCost(3300.0, p), 1e-6);
+    // Power: 330 W over 36 months of 730 h at $0.067/kWh.
+    EXPECT_NEAR(tco.power, 0.330 * 36 * 730 * 0.067, 1e-6);
+    EXPECT_GT(tco.operations, 0.0);
+}
+
+TEST(ComputeTco, GpusAddTheirOwnCostAndPower)
+{
+    TcoParams p;
+    FleetInventory bare;
+    bare.beefyServers = 1.0;
+    FleetInventory loaded = bare;
+    loaded.gpus = 12.0;
+    TcoBreakdown a = computeTco(bare, p);
+    TcoBreakdown b = computeTco(loaded, p);
+    EXPECT_NEAR(b.gpus, financedCost(12 * 3314.0, p), 1e-6);
+    // 12 x 240 W of GPUs dominate the power delta.
+    EXPECT_GT(b.power, 5.0 * a.power);
+    EXPECT_GT(b.facility, 5.0 * a.facility);
+}
+
+TEST(ComputeTco, NicsBilledAsNetwork)
+{
+    TcoParams p;
+    FleetInventory fleet;
+    fleet.nicUnits = 16.0;
+    TcoBreakdown tco = computeTco(fleet, p);
+    EXPECT_NEAR(tco.network, financedCost(16 * 750.0, p), 1e-6);
+}
+
+TEST(ComputeTco, InterconnectPremiumInServerBucket)
+{
+    TcoParams p;
+    FleetInventory fleet;
+    fleet.beefyServers = 1.0;
+    FleetInventory premium = fleet;
+    premium.interconnectPremium = 2500.0;
+    EXPECT_NEAR(computeTco(premium, p).servers -
+                    computeTco(fleet, p).servers,
+                financedCost(2500.0, p), 1e-6);
+}
+
+TEST(ComputeTco, TotalSumsComponents)
+{
+    TcoParams p;
+    FleetInventory fleet;
+    fleet.beefyServers = 3;
+    fleet.wimpyServers = 2;
+    fleet.gpus = 8;
+    fleet.nicUnits = 20;
+    TcoBreakdown tco = computeTco(fleet, p);
+    EXPECT_NEAR(tco.total(),
+                tco.servers + tco.gpus + tco.network +
+                    tco.facility + tco.power + tco.operations,
+                1e-9);
+}
+
+TEST(ComputeTco, WimpyServersCheaperThanBeefy)
+{
+    TcoParams p;
+    FleetInventory beefy, wimpy;
+    beefy.beefyServers = 1;
+    wimpy.wimpyServers = 1;
+    EXPECT_LT(computeTco(wimpy, p).total(),
+              computeTco(beefy, p).total());
+}
+
+} // namespace
+} // namespace wsc
+} // namespace djinn

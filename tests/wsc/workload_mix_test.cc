@@ -1,0 +1,49 @@
+#include "wsc/workload_mix.hh"
+
+#include <gtest/gtest.h>
+
+namespace djinn {
+namespace wsc {
+namespace {
+
+TEST(WorkloadMix, Table5Composition)
+{
+    EXPECT_EQ(mixApps(Mix::Mixed).size(), 7u);
+    EXPECT_EQ(mixApps(Mix::Image).size(), 3u);
+    EXPECT_EQ(mixApps(Mix::Nlp).size(), 3u);
+}
+
+TEST(WorkloadMix, ImageMixContents)
+{
+    const auto &apps = mixApps(Mix::Image);
+    EXPECT_EQ(apps[0], serve::App::IMC);
+    EXPECT_EQ(apps[1], serve::App::DIG);
+    EXPECT_EQ(apps[2], serve::App::FACE);
+}
+
+TEST(WorkloadMix, NlpMixContents)
+{
+    const auto &apps = mixApps(Mix::Nlp);
+    EXPECT_EQ(apps[0], serve::App::POS);
+    EXPECT_EQ(apps[1], serve::App::CHK);
+    EXPECT_EQ(apps[2], serve::App::NER);
+}
+
+TEST(WorkloadMix, Names)
+{
+    EXPECT_STREQ(mixName(Mix::Mixed), "MIXED");
+    EXPECT_STREQ(mixName(Mix::Image), "IMAGE");
+    EXPECT_STREQ(mixName(Mix::Nlp), "NLP");
+}
+
+TEST(WorkloadMix, AllMixesOrder)
+{
+    const auto &mixes = allMixes();
+    ASSERT_EQ(mixes.size(), 3u);
+    EXPECT_EQ(mixes[0], Mix::Mixed);
+    EXPECT_EQ(mixes[2], Mix::Nlp);
+}
+
+} // namespace
+} // namespace wsc
+} // namespace djinn

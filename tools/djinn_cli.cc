@@ -1,0 +1,151 @@
+/**
+ * @file
+ * djinn_cli - command-line client for a running DjiNN server.
+ *
+ * Usage:
+ *   djinn_cli HOST PORT ping
+ *   djinn_cli HOST PORT list
+ *   djinn_cli HOST PORT infer MODEL ROWS [payload.f32]
+ *
+ * For `infer`, the payload file holds raw little-endian float32
+ * data (rows x model-input elements); without a file, a
+ * deterministic random payload is generated. The top prediction of
+ * every row is printed.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/djinn_client.hh"
+
+using namespace djinn;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: djinn_cli HOST PORT ping|list|stats|infer "
+                 "[MODEL ROWS [payload.f32]]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    std::string host = argv[1];
+    uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+    std::string command = argv[3];
+
+    core::DjinnClient client;
+    Status connected = client.connect(host, port);
+    if (!connected.isOk()) {
+        std::fprintf(stderr, "connect failed: %s\n",
+                     connected.toString().c_str());
+        return 1;
+    }
+
+    if (command == "ping") {
+        Status s = client.ping();
+        std::printf("%s\n", s.isOk() ? "pong" :
+                            s.toString().c_str());
+        return s.isOk() ? 0 : 1;
+    }
+    if (command == "list") {
+        auto models = client.listModels();
+        if (!models.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         models.status().toString().c_str());
+            return 1;
+        }
+        for (const auto &name : models.value())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (command == "stats") {
+        auto stats = client.serverStats();
+        if (!stats.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         stats.status().toString().c_str());
+            return 1;
+        }
+        std::printf("%-16s %10s %12s %12s\n", "model", "requests",
+                    "rows", "mean(ms)");
+        for (const auto &s : stats.value()) {
+            std::printf("%-16s %10llu %12llu %12.3f\n",
+                        s.model.c_str(),
+                        static_cast<unsigned long long>(s.requests),
+                        static_cast<unsigned long long>(s.rows),
+                        s.meanServiceMs);
+        }
+        return 0;
+    }
+    if (command != "infer" || argc < 6)
+        return usage();
+
+    std::string model = argv[4];
+    int64_t rows = std::atoll(argv[5]);
+    if (rows <= 0) {
+        std::fprintf(stderr, "rows must be positive\n");
+        return 2;
+    }
+
+    std::vector<float> payload;
+    if (argc > 6) {
+        std::ifstream is(argv[6], std::ios::binary);
+        if (!is) {
+            std::fprintf(stderr, "cannot open %s\n", argv[6]);
+            return 1;
+        }
+        std::vector<char> raw((std::istreambuf_iterator<char>(is)),
+                              std::istreambuf_iterator<char>());
+        payload.resize(raw.size() / sizeof(float));
+        std::memcpy(payload.data(), raw.data(),
+                    payload.size() * sizeof(float));
+    } else {
+        auto info = client.describeModel(model);
+        if (!info.isOk()) {
+            std::fprintf(stderr, "describe failed: %s\n",
+                         info.status().toString().c_str());
+            return 1;
+        }
+        int64_t elems = info.value().inputElems();
+        Rng rng(7);
+        payload.resize(static_cast<size_t>(rows * elems));
+        for (auto &v : payload)
+            v = static_cast<float>(rng.gaussian(0.0, 1.0));
+        std::printf("generated random payload: %lld rows x %lld "
+                    "floats\n", static_cast<long long>(rows),
+                    static_cast<long long>(elems));
+    }
+
+    auto result = client.infer(model, rows, payload);
+    if (!result.isOk()) {
+        std::fprintf(stderr, "infer failed: %s\n",
+                     result.status().toString().c_str());
+        return 1;
+    }
+    const auto &output = result.value();
+    int64_t out_elems = static_cast<int64_t>(output.size()) / rows;
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *base = output.data() + r * out_elems;
+        int64_t best = std::max_element(base, base + out_elems) -
+                       base;
+        std::printf("row %lld: class %lld (score %.4f of %lld "
+                    "outputs)\n", static_cast<long long>(r),
+                    static_cast<long long>(best), base[best],
+                    static_cast<long long>(out_elems));
+    }
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * djinnd - the standalone DjiNN service daemon.
+ *
+ * Loads a set of models into memory once, then serves inference
+ * requests over TCP until interrupted (paper Section 3.1).
+ *
+ * Usage:
+ *   djinnd [--port N] [--models m1,m2,...|all] [--batching]
+ *          [--batch-size N] [--batch-delay-us N] [--seed N]
+ *          [--netdef FILE --weights FILE]...
+ *
+ * Zoo model names: alexnet mnist deepface kaldi_asr senna_pos
+ * senna_chk senna_ner. Custom models load from a netdef text file
+ * plus an optional .djw weight file.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "core/djinn_server.hh"
+#include "tonic/apps.hh"
+
+using namespace djinn;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: djinnd [--port N] [--models m1,m2|all]\n"
+                 "              [--batching] [--batch-size N] "
+                 "[--batch-delay-us N]\n"
+                 "              [--seed N] [--netdef F --weights "
+                 "F]...\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::ServerConfig config;
+    config.port = 5555; // the historical DjiNN default port
+    std::vector<std::string> model_names{"mnist", "senna_pos"};
+    std::vector<std::pair<std::string, std::string>> custom;
+    uint64_t seed = 42;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", what);
+                usage();
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--port") {
+            config.port =
+                static_cast<uint16_t>(std::atoi(next("--port")));
+        } else if (arg == "--models") {
+            std::string list = next("--models");
+            if (list == "all") {
+                model_names.clear();
+                for (auto model : nn::zoo::allModels())
+                    model_names.push_back(nn::zoo::modelName(model));
+            } else {
+                model_names = split(list, ',');
+            }
+        } else if (arg == "--batching") {
+            config.batching = true;
+        } else if (arg == "--batch-size") {
+            config.batchOptions.maxQueries =
+                std::atoll(next("--batch-size"));
+        } else if (arg == "--batch-delay-us") {
+            config.batchOptions.maxDelay =
+                std::atof(next("--batch-delay-us")) * 1e-6;
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--netdef") {
+            custom.emplace_back(next("--netdef"), "");
+        } else if (arg == "--weights") {
+            if (custom.empty()) {
+                std::fprintf(stderr,
+                             "--weights needs a prior --netdef\n");
+                return 2;
+            }
+            custom.back().second = next("--weights");
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n",
+                         arg.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    core::ModelRegistry registry;
+    for (const std::string &name : model_names) {
+        try {
+            nn::zoo::Model model = nn::zoo::modelFromName(name);
+            std::printf("loading zoo model %s...\n", name.c_str());
+            Status s = registry.addZooModel(model, seed);
+            if (!s.isOk()) {
+                std::fprintf(stderr, "cannot load '%s': %s\n",
+                             name.c_str(), s.toString().c_str());
+                return 1;
+            }
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
+    for (const auto &[netdef, weights] : custom) {
+        std::printf("loading custom model from %s...\n",
+                    netdef.c_str());
+        Status s = registry.loadFromFiles(netdef, weights);
+        if (!s.isOk()) {
+            std::fprintf(stderr, "cannot load '%s': %s\n",
+                         netdef.c_str(), s.toString().c_str());
+            return 1;
+        }
+    }
+    std::printf("%zu models resident (%.0f MiB, shared read-only)\n",
+                registry.size(),
+                registry.totalWeightBytes() / (1024.0 * 1024.0));
+
+    core::DjinnServer server(registry, config);
+    Status started = server.start();
+    if (!started.isOk()) {
+        std::fprintf(stderr, "cannot start: %s\n",
+                     started.toString().c_str());
+        return 1;
+    }
+    std::printf("djinnd listening on %s:%u (batching %s)\n",
+                config.bindAddress.c_str(), server.port(),
+                config.batching ? "on" : "off");
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop)
+        ::pause();
+
+    std::printf("shutting down after %lu requests\n",
+                static_cast<unsigned long>(server.requestsServed()));
+    server.stop();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * export_models - write the zoo's network definitions (and
+ * optionally their deterministic weights) to disk, in the formats
+ * djinnd loads with --netdef/--weights. The paper ships its
+ * models the same way: configuration plus trained parameters.
+ *
+ * Usage: export_models [--dir DIR] [--weights] [--seed N]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+#include "nn/serialize.hh"
+#include "nn/zoo.hh"
+
+using namespace djinn;
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = "models";
+    bool weights = false;
+    uint64_t seed = 42;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--dir" && i + 1 < argc) {
+            dir = argv[++i];
+        } else if (arg == "--weights") {
+            weights = true;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 10);
+        } else {
+            std::fprintf(stderr,
+                         "usage: export_models [--dir DIR] "
+                         "[--weights] [--seed N]\n");
+            return 2;
+        }
+    }
+
+    for (nn::zoo::Model model : nn::zoo::allModels()) {
+        std::string name = nn::zoo::modelName(model);
+        std::string def_path = dir + "/" + name + ".def";
+        std::ofstream os(def_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         def_path.c_str());
+            return 1;
+        }
+        os << nn::zoo::netDef(model);
+        os.close();
+        std::printf("wrote %s\n", def_path.c_str());
+
+        if (weights) {
+            auto net = nn::zoo::build(model, seed);
+            std::string djw_path = dir + "/" + name + ".djw";
+            Status s = nn::saveWeights(*net, djw_path);
+            if (!s.isOk()) {
+                std::fprintf(stderr, "cannot write %s: %s\n",
+                             djw_path.c_str(),
+                             s.toString().c_str());
+                return 1;
+            }
+            std::printf("wrote %s (%.1f MiB)\n", djw_path.c_str(),
+                        net->weightBytes() / (1024.0 * 1024.0));
+        }
+    }
+    return 0;
+}
