@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_nn.dir/gemm.cc.o"
+  "CMakeFiles/djinn_nn.dir/gemm.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/init.cc.o"
+  "CMakeFiles/djinn_nn.dir/init.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layer.cc.o"
+  "CMakeFiles/djinn_nn.dir/layer.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/activation.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/activation.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/convolution.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/convolution.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/inner_product.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/inner_product.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/locally_connected.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/locally_connected.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/lrn.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/lrn.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/pooling.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/pooling.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/layers/softmax.cc.o"
+  "CMakeFiles/djinn_nn.dir/layers/softmax.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/net_def.cc.o"
+  "CMakeFiles/djinn_nn.dir/net_def.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/network.cc.o"
+  "CMakeFiles/djinn_nn.dir/network.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/serialize.cc.o"
+  "CMakeFiles/djinn_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/tensor.cc.o"
+  "CMakeFiles/djinn_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/djinn_nn.dir/zoo.cc.o"
+  "CMakeFiles/djinn_nn.dir/zoo.cc.o.d"
+  "libdjinn_nn.a"
+  "libdjinn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
