@@ -1,17 +1,32 @@
 /**
  * @file
  * Google-benchmark microbenchmarks for the service machinery: wire
- * protocol encode/decode, the batching executor, and the
+ * protocol encode/decode, the batching executor, the telemetry hot
+ * path (histogram record, registry lookup, trace spans), and the
  * discrete-event queue that powers the serving simulator.
+ *
+ * After the benchmarks run, a short live-service session (real TCP
+ * server + clients, batching on) and one serving-simulator
+ * experiment are recorded into a telemetry registry, and the
+ * merged snapshot is printed as JSON — the format BENCH_*.json
+ * trajectories capture.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+#include <vector>
+
 #include "core/batcher.hh"
+#include "core/djinn_client.hh"
+#include "core/djinn_server.hh"
 #include "core/protocol.hh"
 #include "nn/init.hh"
 #include "nn/net_def.hh"
+#include "serve/telemetry.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/trace.hh"
 
 using namespace djinn;
 
@@ -99,6 +114,127 @@ BM_EventQueueChurn(benchmark::State &state)
 
 BENCHMARK(BM_EventQueueChurn)->Unit(benchmark::kMicrosecond);
 
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    telemetry::LogHistogram hist;
+    double v = 1e-6;
+    for (auto _ : state) {
+        hist.record(v);
+        v = v < 1.0 ? v * 1.7 : 1e-6;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_RegistryCounterHot(benchmark::State &state)
+{
+    telemetry::MetricRegistry registry;
+    // The hot path caches the reference; only the first call pays
+    // the lookup mutex.
+    telemetry::Counter &counter =
+        registry.counter("bench_total", {{"model", "tiny"}});
+    for (auto _ : state)
+        counter.inc();
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_RegistryCounterHot);
+
+void
+BM_RegistryCounterLookup(benchmark::State &state)
+{
+    telemetry::MetricRegistry registry;
+    for (auto _ : state)
+        registry.counter("bench_total", {{"model", "tiny"}}).inc();
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_RegistryCounterLookup);
+
+void
+BM_TraceSpan(benchmark::State &state)
+{
+    telemetry::MetricRegistry registry;
+    telemetry::RequestTrace trace(registry, "tiny");
+    for (auto _ : state) {
+        auto span = trace.span(telemetry::Phase::Forward);
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_TraceSpan);
+
+/**
+ * Drive a real loopback DjiNN server with batching on, then return
+ * its telemetry snapshot: per-model counters plus decode /
+ * queue-wait / forward / encode histograms.
+ */
+std::vector<telemetry::MetricSample>
+liveServiceSnapshot()
+{
+    core::ModelRegistry registry;
+    auto net = nn::parseNetDefOrDie(
+        "name tiny\ninput 1 4 4\nlayer fc fc out 8\n");
+    nn::initializeWeights(*net, 3);
+    (void)registry.add(std::move(net));
+
+    core::ServerConfig config;
+    config.batching = true;
+    config.batchOptions.maxQueries = 8;
+    config.batchOptions.maxDelay = 200e-6;
+    core::DjinnServer server(registry, config);
+    if (!server.start().isOk())
+        return {};
+
+    constexpr int threads = 4;
+    constexpr int per_thread = 64;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&server]() {
+            core::DjinnClient client;
+            if (!client.connect("127.0.0.1", server.port()).isOk())
+                return;
+            std::vector<float> payload(16, 0.5f);
+            for (int i = 0; i < per_thread; ++i)
+                (void)client.infer("tiny", 1, payload);
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    server.stop();
+    return server.metrics().snapshot();
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Registry snapshot emission: live service path + one simulated
+    // experiment, merged into one JSON document on stdout.
+    std::vector<telemetry::MetricSample> samples =
+        liveServiceSnapshot();
+
+    telemetry::MetricRegistry sim_registry;
+    serve::SimConfig sim;
+    sim.batch = 16;
+    sim.warmupTime = 0.05;
+    sim.measureTime = 0.25;
+    serve::recordSimResult(sim_registry, "batch=16,1gpu", sim,
+                           serve::runServingSim(sim));
+    for (auto &sample : sim_registry.snapshot())
+        samples.push_back(std::move(sample));
+
+    std::fputs(telemetry::renderJson(samples).c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification: full configure + build + test, plus source
+# lints. Run before every commit.
+set -e
+cd "$(dirname "$0")/.."
+
+# Lint: ad-hoc instrumentation is not allowed on the service path.
+# Timing belongs in src/telemetry (RequestTrace spans / histograms),
+# console output in common/logging. strprintf() is fine: the \b
+# boundary only matches bare printf-family calls.
+bad=$(grep -rnE '\bprintf\(|\bfprintf\(|gettimeofday|clock_gettime' \
+    src/core/ || true)
+if [ -n "$bad" ]; then
+    echo "lint: ad-hoc printf/timing in src/core;" \
+         "use src/telemetry instead:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+cmake -B build -S . && cmake --build build -j && \
+    cd build && ctest --output-on-failure -j "$(nproc)"
+echo "check_build: OK"

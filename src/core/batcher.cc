@@ -4,13 +4,15 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "telemetry/trace.hh"
 
 namespace djinn {
 namespace core {
 
 BatchingExecutor::BatchingExecutor(const ModelRegistry &registry,
-                                   const BatchOptions &options)
-    : registry_(registry), options_(options)
+                                   const BatchOptions &options,
+                                   telemetry::MetricRegistry *metrics)
+    : registry_(registry), options_(options), metrics_(metrics)
 {
     if (options.maxQueries <= 0)
         fatal("BatchingExecutor: maxQueries must be positive");
@@ -54,6 +56,30 @@ BatchingExecutor::queueFor(const std::string &model, Status &error)
     }
     auto queue = std::make_unique<ModelQueue>();
     queue->network = std::move(network);
+    if (metrics_) {
+        using telemetry::Phase;
+        const telemetry::LabelMap model_label{{"model", model}};
+        queue->queueWaitHist = &metrics_->histogram(
+            telemetry::phaseMetricName,
+            {{"model", model},
+             {"phase", telemetry::phaseName(Phase::QueueWait)}});
+        queue->forwardHist = &metrics_->histogram(
+            telemetry::phaseMetricName,
+            {{"model", model},
+             {"phase", telemetry::phaseName(Phase::Forward)}});
+        // Batch sizes are small integers; linear-ish buckets from 1
+        // to 64k rows at 2x resolution.
+        telemetry::HistogramOptions rows_opts;
+        rows_opts.firstBound = 1.0;
+        rows_opts.growth = 2.0;
+        rows_opts.bucketCount = 16;
+        queue->batchRowsHist = &metrics_->histogram(
+            "djinn_batch_rows", model_label, rows_opts);
+        queue->depthGauge = &metrics_->gauge(
+            "djinn_batch_queue_depth", model_label);
+        queue->batchesCounter = &metrics_->counter(
+            "djinn_batches_total", model_label);
+    }
     ModelQueue *raw = queue.get();
     raw->dispatcher = std::thread([this, raw]() {
         dispatchLoop(raw);
@@ -92,7 +118,12 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
     {
         std::lock_guard<std::mutex> lock(queue->mutex);
         queue->pending.push_back({rows, std::move(data),
-                                  std::move(promise)});
+                                  std::move(promise),
+                                  std::chrono::steady_clock::now()});
+        if (queue->depthGauge) {
+            queue->depthGauge->set(
+                static_cast<double>(queue->pending.size()));
+        }
         queue->cv.notify_all();
     }
     return future;
@@ -134,9 +165,22 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
                                         take));
             queue->pending.erase(queue->pending.begin(),
                                  queue->pending.begin() + take);
+            if (queue->depthGauge) {
+                queue->depthGauge->set(
+                    static_cast<double>(queue->pending.size()));
+            }
         }
         if (batch.empty())
             continue;
+
+        auto dispatch_time = std::chrono::steady_clock::now();
+        if (queue->queueWaitHist) {
+            for (const auto &p : batch) {
+                queue->queueWaitHist->record(
+                    std::chrono::duration<double>(
+                        dispatch_time - p.enqueued).count());
+            }
+        }
 
         const nn::Network &net = *queue->network;
         int64_t total_rows = 0;
@@ -154,6 +198,15 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
 
         nn::Tensor output = net.forward(input);
         int64_t out_elems = net.outputShape().sampleElems();
+
+        if (queue->forwardHist) {
+            queue->forwardHist->record(std::chrono::duration<double>(
+                std::chrono::steady_clock::now() -
+                dispatch_time).count());
+            queue->batchRowsHist->record(
+                static_cast<double>(total_rows));
+            queue->batchesCounter->inc();
+        }
 
         // Count before fulfilling the promises: a caller must never
         // observe a resolved future with stale counters.

@@ -9,6 +9,7 @@
 #define DJINN_CORE_BATCHER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -20,6 +21,7 @@
 
 #include "common/status.hh"
 #include "core/model_registry.hh"
+#include "telemetry/metrics.hh"
 
 namespace djinn {
 namespace core {
@@ -53,9 +55,14 @@ class BatchingExecutor
     /**
      * @param registry the shared model registry.
      * @param options batching policy.
+     * @param metrics optional telemetry destination; when set, the
+     *        executor records per-model queue-wait and forward-pass
+     *        histograms, per-pass batch sizes, and the live queue
+     *        depth. Must outlive the executor.
      */
     BatchingExecutor(const ModelRegistry &registry,
-                     const BatchOptions &options);
+                     const BatchOptions &options,
+                     telemetry::MetricRegistry *metrics = nullptr);
 
     /** Stops dispatcher threads and fails queued queries. */
     ~BatchingExecutor();
@@ -84,6 +91,7 @@ class BatchingExecutor
         int64_t rows;
         std::vector<float> data;
         std::promise<InferenceResult> promise;
+        std::chrono::steady_clock::time_point enqueued;
     };
 
     struct ModelQueue {
@@ -93,6 +101,15 @@ class BatchingExecutor
         std::shared_ptr<const nn::Network> network;
         std::thread dispatcher;
         bool stopping = false;
+
+        // Cached telemetry instruments (null when telemetry is
+        // off); resolved once at queue creation so the hot path
+        // never takes the registry lookup mutex.
+        telemetry::LogHistogram *queueWaitHist = nullptr;
+        telemetry::LogHistogram *forwardHist = nullptr;
+        telemetry::LogHistogram *batchRowsHist = nullptr;
+        telemetry::Gauge *depthGauge = nullptr;
+        telemetry::Counter *batchesCounter = nullptr;
     };
 
     void dispatchLoop(ModelQueue *queue);
@@ -101,6 +118,7 @@ class BatchingExecutor
 
     const ModelRegistry &registry_;
     BatchOptions options_;
+    telemetry::MetricRegistry *metrics_;
 
     std::mutex mapMutex_;
     std::map<std::string, std::unique_ptr<ModelQueue>> queues_;

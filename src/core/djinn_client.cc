@@ -183,6 +183,22 @@ DjinnClient::serverStats()
     return out;
 }
 
+Result<std::string>
+DjinnClient::metricsExposition(const std::string &format)
+{
+    Request request;
+    request.type = RequestType::Metrics;
+    request.model = format;
+    auto response = roundTrip(request);
+    if (!response.isOk())
+        return response.status();
+    if (response.value().status == WireStatus::BadRequest)
+        return Status::invalidArgument(response.value().message);
+    if (response.value().status != WireStatus::Ok)
+        return Status::internal(response.value().message);
+    return std::string(response.value().message);
+}
+
 Status
 DjinnClient::ping()
 {

@@ -88,6 +88,17 @@ class DjinnClient
     /** Fetch the server's per-model service statistics. */
     Result<std::vector<ModelStats>> serverStats();
 
+    /**
+     * Fetch the server's full telemetry exposition.
+     *
+     * @param format "" or "prometheus" for the text exposition,
+     *        "json" for JSON.
+     * @return the raw exposition payload. The text form parses
+     *         with telemetry::parseExposition().
+     */
+    Result<std::string> metricsExposition(
+        const std::string &format = "");
+
     /** Round-trip liveness check. */
     Status ping();
 

@@ -9,12 +9,42 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "telemetry/exposition.hh"
 
 namespace djinn {
 namespace core {
+
+namespace {
+
+// Registry metric families the server maintains (documented in
+// DESIGN.md "Telemetry").
+const char *const requestsTotalName = "djinn_requests_total";
+const char *const rowsTotalName = "djinn_rows_total";
+const char *const errorsTotalName = "djinn_request_errors_total";
+const char *const connectionsTotalName = "djinn_connections_total";
+
+/** Wire-status label for the error counter. */
+const char *
+errorReason(WireStatus status)
+{
+    switch (status) {
+      case WireStatus::UnknownModel:
+        return "unknown_model";
+      case WireStatus::BadRequest:
+        return "bad_request";
+      case WireStatus::ServerError:
+        return "server_error";
+      case WireStatus::Ok:
+        break;
+    }
+    return "ok";
+}
+
+} // namespace
 
 DjinnServer::DjinnServer(const ModelRegistry &registry,
                          const ServerConfig &config)
@@ -22,7 +52,7 @@ DjinnServer::DjinnServer(const ModelRegistry &registry,
 {
     if (config_.batching) {
         batcher_ = std::make_unique<BatchingExecutor>(
-            registry_, config_.batchOptions);
+            registry_, config_.batchOptions, &metrics_);
     }
 }
 
@@ -92,17 +122,24 @@ DjinnServer::stop()
             acceptor_.join();
         return;
     }
-    // Closing the listening socket unblocks accept().
-    if (listenFd_ >= 0) {
+    // Shutting the listening socket down unblocks accept(). The fd
+    // is closed only after the acceptor has been joined: closing it
+    // here would let the kernel reuse the number for a connection
+    // socket while accept() may still reference it.
+    if (listenFd_ >= 0)
         ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (listenFd_ >= 0) {
         ::close(listenFd_);
         listenFd_ = -1;
     }
-    if (acceptor_.joinable())
-        acceptor_.join();
-    // Unblock workers parked in read() on idle connections. Fds in
-    // the registry are guaranteed not yet closed (workers remove
-    // theirs under the same lock before closing).
+    // The acceptor has exited, and it registered every accepted fd
+    // in activeFds_ before spawning the fd's worker (draining late
+    // accepts itself), so this pass is guaranteed to reach every
+    // live connection: no worker can stay parked in read(). Fds in
+    // the set are not yet closed (workers remove theirs under the
+    // same lock before closing).
     {
         std::lock_guard<std::mutex> lock(connMutex_);
         for (int fd : activeFds_)
@@ -127,12 +164,28 @@ DjinnServer::acceptLoop()
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            // Listening socket was closed during stop().
+            // Listening socket was shut down during stop().
             break;
+        }
+        if (!running_.load()) {
+            // Accepted in the window between stop() flipping
+            // running_ and the listen-socket shutdown taking
+            // effect: drain it here instead of leaking a
+            // connection thread.
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+            continue;
         }
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         accepted_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.counter(connectionsTotalName).inc();
+        // Register the fd before the worker exists so a concurrent
+        // stop() always finds it in activeFds_.
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            activeFds_.insert(fd);
+        }
         std::lock_guard<std::mutex> lock(workersMutex_);
         workers_.emplace_back([this, fd]() { serveConnection(fd); });
     }
@@ -141,24 +194,51 @@ DjinnServer::acceptLoop()
 void
 DjinnServer::serveConnection(int fd)
 {
-    {
-        std::lock_guard<std::mutex> lock(connMutex_);
-        activeFds_.insert(fd);
-    }
+    using Clock = std::chrono::steady_clock;
     FrameIo io(fd);
     while (running_.load()) {
         auto frame = io.readFrame();
         if (!frame.isOk())
             break; // Peer closed or protocol failure; drop quietly.
+
+        auto decode_start = Clock::now();
         auto request = decodeRequest(frame.value());
+        double decode_seconds = std::chrono::duration<double>(
+            Clock::now() - decode_start).count();
+
+        // Phase tracing covers inference requests; control verbs
+        // (ping/list/stats/...) are not load and would only add
+        // label noise.
+        std::optional<telemetry::RequestTrace> trace;
+        if (request.isOk() &&
+            request.value().type == RequestType::Inference) {
+            trace.emplace(metrics_, request.value().model);
+            trace->record(telemetry::Phase::Decode, decode_seconds);
+        }
+
         Response response;
         if (!request.isOk()) {
             response.status = WireStatus::BadRequest;
             response.message = request.status().toString();
         } else {
-            response = handleRequest(request.value());
+            response = handleRequest(request.value(),
+                                     trace ? &*trace : nullptr);
         }
-        Status s = io.writeFrame(encodeResponse(response));
+        if (response.status != WireStatus::Ok) {
+            metrics_
+                .counter(errorsTotalName,
+                         {{"reason", errorReason(response.status)}})
+                .inc();
+        }
+
+        std::vector<uint8_t> wire;
+        if (trace) {
+            auto span = trace->span(telemetry::Phase::Encode);
+            wire = encodeResponse(response);
+        } else {
+            wire = encodeResponse(response);
+        }
+        Status s = io.writeFrame(wire);
         if (!s.isOk())
             break;
     }
@@ -170,7 +250,8 @@ DjinnServer::serveConnection(int fd)
 }
 
 Response
-DjinnServer::handleRequest(const Request &request)
+DjinnServer::handleRequest(const Request &request,
+                           telemetry::RequestTrace *trace)
 {
     Response response;
     switch (request.type) {
@@ -217,39 +298,78 @@ DjinnServer::handleRequest(const Request &request)
             response.message = lines;
             return response;
         }
+      case RequestType::Metrics:
+        {
+            // The model field selects the exposition format.
+            std::string format = toLower(request.model);
+            auto samples = metrics_.snapshot();
+            if (format.empty() || format == "prometheus") {
+                response.message =
+                    telemetry::renderPrometheus(samples);
+            } else if (format == "json") {
+                response.message = telemetry::renderJson(samples);
+            } else {
+                response.status = WireStatus::BadRequest;
+                response.message = "unknown metrics format '" +
+                                   request.model + "'";
+            }
+            return response;
+        }
       case RequestType::Inference:
-        return handleInference(request);
+        return handleInference(request, trace);
     }
     response.status = WireStatus::BadRequest;
     response.message = "unknown request type";
     return response;
 }
 
-void
-DjinnServer::recordService(const std::string &model, uint64_t rows,
-                           double seconds)
-{
-    std::lock_guard<std::mutex> lock(statsMutex_);
-    ModelStats &s = stats_[model];
-    s.model = model;
-    ++s.requests;
-    s.rows += rows;
-    s.serviceSeconds += seconds;
-}
-
 std::vector<DjinnServer::ModelStats>
 DjinnServer::stats() const
 {
-    std::lock_guard<std::mutex> lock(statsMutex_);
+    // A view over the telemetry registry: models enter the result
+    // once they have a successful request recorded.
+    std::map<std::string, ModelStats> by_model;
+    auto samples = metrics_.snapshot();
+    for (const telemetry::MetricSample &sample : samples) {
+        auto model_it = sample.labels.find("model");
+        if (model_it == sample.labels.end())
+            continue;
+        const std::string &model = model_it->second;
+        if (sample.name == requestsTotalName) {
+            by_model[model].requests =
+                static_cast<uint64_t>(sample.value);
+        } else if (sample.name == rowsTotalName) {
+            by_model[model].rows =
+                static_cast<uint64_t>(sample.value);
+        } else if (sample.name == telemetry::phaseMetricName) {
+            auto phase_it = sample.labels.find("phase");
+            if (phase_it == sample.labels.end() ||
+                phase_it->second !=
+                    telemetry::phaseName(
+                        telemetry::Phase::Service)) {
+                continue;
+            }
+            ModelStats &s = by_model[model];
+            s.serviceSeconds = sample.histogram.sum;
+            s.p50ServiceMs = sample.histogram.quantile(0.5) * 1e3;
+            s.p95ServiceMs = sample.histogram.quantile(0.95) * 1e3;
+            s.p99ServiceMs = sample.histogram.quantile(0.99) * 1e3;
+        }
+    }
     std::vector<ModelStats> out;
-    out.reserve(stats_.size());
-    for (const auto &[name, s] : stats_)
-        out.push_back(s);
+    out.reserve(by_model.size());
+    for (auto &[model, s] : by_model) {
+        if (s.requests == 0)
+            continue; // never served successfully; phase noise only
+        s.model = model;
+        out.push_back(std::move(s));
+    }
     return out;
 }
 
 Response
-DjinnServer::handleInference(const Request &request)
+DjinnServer::handleInference(const Request &request,
+                             telemetry::RequestTrace *trace)
 {
     Response response;
     auto network = registry_.find(request.model);
@@ -276,6 +396,8 @@ DjinnServer::handleInference(const Request &request)
     auto start = std::chrono::steady_clock::now();
     try {
         if (batcher_) {
+            // The batching executor records the queue-wait and
+            // (per-pass) forward phases itself.
             auto future = batcher_->submit(request.model, rows,
                                            request.payload);
             InferenceResult result = future.get();
@@ -289,7 +411,12 @@ DjinnServer::handleInference(const Request &request)
             nn::Tensor input(network->inputShape().withBatch(rows));
             std::memcpy(input.data(), request.payload.data(),
                         request.payload.size() * sizeof(float));
+            std::optional<telemetry::RequestTrace::Span> span;
+            if (trace)
+                span.emplace(*trace, telemetry::Phase::Forward);
             nn::Tensor output = network->forward(input);
+            if (span)
+                span->stop();
             response.payload.assign(output.data(),
                                     output.data() + output.elems());
         }
@@ -300,7 +427,12 @@ DjinnServer::handleInference(const Request &request)
     }
     double seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
-    recordService(request.model, rows, seconds);
+    if (trace)
+        trace->record(telemetry::Phase::Service, seconds);
+    telemetry::LabelMap model_label{{"model", request.model}};
+    metrics_.counter(requestsTotalName, model_label).inc();
+    metrics_.counter(rowsTotalName, model_label)
+        .inc(static_cast<uint64_t>(rows));
     requests_.fetch_add(1, std::memory_order_relaxed);
     return response;
 }

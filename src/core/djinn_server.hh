@@ -25,6 +25,8 @@
 #include "core/batcher.hh"
 #include "core/model_registry.hh"
 #include "core/protocol.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 
 namespace djinn {
 namespace core {
@@ -85,25 +87,52 @@ class DjinnServer
     /** Connections accepted so far. */
     uint64_t connectionsAccepted() const { return accepted_.load(); }
 
-    /** Per-model service counters. */
+    /**
+     * Per-model service counters: a view over the telemetry
+     * registry (the `djinn_requests_total` / `djinn_rows_total`
+     * counters and the `djinn_phase_seconds{phase="service"}`
+     * histogram).
+     */
     struct ModelStats {
         std::string model;
         uint64_t requests = 0;
         uint64_t rows = 0;
         double serviceSeconds = 0.0;
+
+        /** Service-time percentiles, milliseconds. */
+        double p50ServiceMs = 0.0;
+        double p95ServiceMs = 0.0;
+        double p99ServiceMs = 0.0;
     };
 
-    /** Snapshot of the per-model counters, sorted by model name. */
+    /**
+     * Snapshot of the per-model counters, sorted by model name.
+     * Models appear once they have served a successful request.
+     */
     std::vector<ModelStats> stats() const;
+
+    /**
+     * The server's telemetry registry: request counters, phase
+     * (decode / queue_wait / forward / encode / service)
+     * histograms, batching instruments. See DESIGN.md "Telemetry".
+     */
+    telemetry::MetricRegistry &metrics() { return metrics_; }
+    const telemetry::MetricRegistry &metrics() const
+    {
+        return metrics_;
+    }
 
   private:
     void acceptLoop();
     void serveConnection(int fd);
-    Response handleRequest(const Request &request);
-    Response handleInference(const Request &request);
+    Response handleRequest(const Request &request,
+                           telemetry::RequestTrace *trace);
+    Response handleInference(const Request &request,
+                             telemetry::RequestTrace *trace);
 
     const ModelRegistry &registry_;
     ServerConfig config_;
+    telemetry::MetricRegistry metrics_;
     std::unique_ptr<BatchingExecutor> batcher_;
 
     int listenFd_ = -1;
@@ -115,14 +144,10 @@ class DjinnServer
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> accepted_{0};
 
-    void recordService(const std::string &model, uint64_t rows,
-                       double seconds);
-
-    mutable std::mutex statsMutex_;
-    std::map<std::string, ModelStats> stats_;
-
-    // Live connection sockets; stop() shuts them down to unblock
-    // workers parked in read().
+    // Live connection sockets. The acceptor registers every
+    // accepted fd here *before* spawning its worker, so stop() can
+    // always shut the socket down: no fd is ever in flight but
+    // untracked. Workers deregister and close their fd on exit.
     std::mutex connMutex_;
     std::set<int> activeFds_;
 };

@@ -169,6 +169,7 @@ decodeRequest(const std::vector<uint8_t> &data)
       case static_cast<uint16_t>(RequestType::Ping):
       case static_cast<uint16_t>(RequestType::Describe):
       case static_cast<uint16_t>(RequestType::Stats):
+      case static_cast<uint16_t>(RequestType::Metrics):
         request.type = static_cast<RequestType>(type);
         break;
       default:

@@ -39,6 +39,13 @@ enum class RequestType : uint16_t {
     Describe = 4,
     /** Report per-model service statistics. */
     Stats = 5,
+
+    /**
+     * Report the full telemetry exposition. The request's model
+     * field selects the format: "" or "prometheus" for the text
+     * exposition, "json" for JSON.
+     */
+    Metrics = 6,
 };
 
 /** Response status codes on the wire. */

@@ -1,0 +1,40 @@
+#include "serve/telemetry.hh"
+
+namespace djinn {
+namespace serve {
+
+void
+recordSimResult(telemetry::MetricRegistry &registry,
+                const std::string &scenario,
+                const SimConfig &config, const SimResult &result)
+{
+    const telemetry::LabelMap base{{"app", appName(config.app)},
+                                   {"scenario", scenario}};
+    auto set = [&](const char *name, double value) {
+        registry.gauge(name, base).set(value);
+    };
+    auto latency = [&](const char *stat, double value) {
+        telemetry::LabelMap labels = base;
+        labels["stat"] = stat;
+        registry.gauge("djinn_sim_latency_seconds", labels)
+            .set(value);
+    };
+
+    set("djinn_sim_throughput_qps", result.throughputQps);
+    latency("mean", result.meanLatency);
+    latency("p50", result.medianLatency);
+    latency("p95", result.p95Latency);
+    latency("p99", result.p99Latency);
+    set("djinn_sim_completed_queries",
+        static_cast<double>(result.completedQueries));
+    set("djinn_sim_gpu_occupancy", result.gpuOccupancy);
+    set("djinn_sim_gpu_utilization", result.gpuUtilization);
+    set("djinn_sim_host_link_utilization",
+        result.hostLinkUtilization);
+    set("djinn_sim_host_link_bytes_per_sec",
+        result.hostLinkBytesPerSec);
+    set("djinn_sim_energy_joules_per_query", result.energyPerQuery);
+}
+
+} // namespace serve
+} // namespace djinn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Bridge from the serving simulator to the telemetry subsystem:
+ * records a SimResult into a MetricRegistry so simulated
+ * experiments and the live DjiNN service expose their numbers in
+ * the same metric families and exposition formats (the benchmark
+ * harness dumps them as JSON for BENCH_*.json trajectories).
+ */
+
+#ifndef DJINN_SERVE_TELEMETRY_HH
+#define DJINN_SERVE_TELEMETRY_HH
+
+#include <string>
+
+#include "serve/simulation.hh"
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace serve {
+
+/**
+ * Record one serving experiment into @p registry as gauges under
+ * `djinn_sim_*`, labeled {app, scenario}:
+ * throughput_qps, latency_seconds (mean/p50/p95/p99 variants),
+ * gpu_occupancy, gpu_utilization, host_link_utilization,
+ * energy_joules_per_query, completed_queries.
+ *
+ * @param registry destination registry.
+ * @param scenario experiment tag, e.g. "batch=16,mps=4".
+ * @param config the experiment's configuration (labels the app).
+ * @param result the measured experiment.
+ */
+void recordSimResult(telemetry::MetricRegistry &registry,
+                     const std::string &scenario,
+                     const SimConfig &config,
+                     const SimResult &result);
+
+} // namespace serve
+} // namespace djinn
+
+#endif // DJINN_SERVE_TELEMETRY_HH

@@ -1,0 +1,249 @@
+#include "telemetry/exposition.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace djinn {
+namespace telemetry {
+
+namespace {
+
+/** Format a double compactly but loss-tolerantly for exposition. */
+std::string
+num(double v)
+{
+    if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+        std::abs(v) < 1e15) {
+        return strprintf("%lld",
+                         static_cast<long long>(v));
+    }
+    return strprintf("%.9g", v);
+}
+
+/** Render `name{labels}` with one extra label appended. */
+std::string
+idWith(const MetricSample &sample, const std::string &key,
+       const std::string &value)
+{
+    LabelMap labels = sample.labels;
+    labels[key] = value;
+    return renderMetricId(sample.name, labels);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+quantileLabel(double q)
+{
+    std::string s = strprintf("%g", q);
+    return s;
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const std::vector<MetricSample> &samples)
+{
+    std::string out;
+    std::string last_family;
+    for (const MetricSample &sample : samples) {
+        if (sample.name != last_family) {
+            last_family = sample.name;
+            const char *type =
+                sample.kind == MetricKind::Counter ? "counter" :
+                sample.kind == MetricKind::Gauge ? "gauge" :
+                "summary";
+            out += "# TYPE " + sample.name + " " + type + "\n";
+        }
+        switch (sample.kind) {
+          case MetricKind::Counter:
+          case MetricKind::Gauge:
+            out += renderMetricId(sample.name, sample.labels) + " " +
+                   num(sample.value) + "\n";
+            break;
+          case MetricKind::Histogram:
+            {
+                const HistogramSnapshot &h = sample.histogram;
+                for (double q : exportedQuantiles) {
+                    out += idWith(sample, "quantile",
+                                  quantileLabel(q)) +
+                           " " + num(h.quantile(q)) + "\n";
+                }
+                out += renderMetricId(sample.name + "_count",
+                                      sample.labels) +
+                       " " + num(static_cast<double>(h.count)) + "\n";
+                out += renderMetricId(sample.name + "_sum",
+                                      sample.labels) +
+                       " " + num(h.sum) + "\n";
+                out += renderMetricId(sample.name + "_min",
+                                      sample.labels) +
+                       " " + num(h.min) + "\n";
+                out += renderMetricId(sample.name + "_max",
+                                      sample.labels) +
+                       " " + num(h.max) + "\n";
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+renderJson(const std::vector<MetricSample> &samples)
+{
+    std::string out = "{\n  \"metrics\": [\n";
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const MetricSample &sample = samples[i];
+        out += "    {\"name\": \"" + jsonEscape(sample.name) + "\"";
+        if (!sample.labels.empty()) {
+            out += ", \"labels\": {";
+            bool first = true;
+            for (const auto &[k, v] : sample.labels) {
+                if (!first)
+                    out += ", ";
+                first = false;
+                out += "\"" + jsonEscape(k) + "\": \"" +
+                       jsonEscape(v) + "\"";
+            }
+            out += "}";
+        }
+        switch (sample.kind) {
+          case MetricKind::Counter:
+            out += ", \"kind\": \"counter\", \"value\": " +
+                   num(sample.value);
+            break;
+          case MetricKind::Gauge:
+            out += ", \"kind\": \"gauge\", \"value\": " +
+                   num(sample.value);
+            break;
+          case MetricKind::Histogram:
+            {
+                const HistogramSnapshot &h = sample.histogram;
+                out += ", \"kind\": \"histogram\"";
+                out += ", \"count\": " +
+                       num(static_cast<double>(h.count));
+                out += ", \"sum\": " + num(h.sum);
+                out += ", \"min\": " + num(h.min);
+                out += ", \"max\": " + num(h.max);
+                out += ", \"mean\": " + num(h.mean());
+                for (double q : exportedQuantiles) {
+                    out += strprintf(", \"p%g\": ", q * 100) +
+                           num(h.quantile(q));
+                }
+            }
+            break;
+        }
+        out += i + 1 < samples.size() ? "},\n" : "}\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+Result<std::vector<ExpositionSample>>
+parseExposition(const std::string &text)
+{
+    std::vector<ExpositionSample> out;
+    for (std::string_view raw : split(text, '\n')) {
+        std::string_view line = trim(raw);
+        if (line.empty() || line.front() == '#')
+            continue;
+
+        ExpositionSample sample;
+        size_t space = line.rfind(' ');
+        if (space == std::string_view::npos) {
+            return Status::protocolError(
+                "exposition line without value: '" +
+                std::string(line) + "'");
+        }
+        if (!parseDouble(trim(line.substr(space + 1)),
+                         sample.value)) {
+            return Status::protocolError(
+                "bad exposition value in '" + std::string(line) +
+                "'");
+        }
+        std::string_view id = trim(line.substr(0, space));
+
+        size_t brace = id.find('{');
+        if (brace == std::string_view::npos) {
+            sample.name = std::string(id);
+        } else {
+            if (id.back() != '}') {
+                return Status::protocolError(
+                    "unterminated label set in '" +
+                    std::string(line) + "'");
+            }
+            sample.name = std::string(id.substr(0, brace));
+            std::string_view body =
+                id.substr(brace + 1, id.size() - brace - 2);
+            for (std::string_view item : split(body, ',')) {
+                if (trim(item).empty())
+                    continue;
+                size_t eq = item.find('=');
+                if (eq == std::string_view::npos) {
+                    return Status::protocolError(
+                        "bad label in '" + std::string(line) + "'");
+                }
+                std::string_view key = trim(item.substr(0, eq));
+                std::string_view val = trim(item.substr(eq + 1));
+                if (val.size() < 2 || val.front() != '"' ||
+                    val.back() != '"') {
+                    return Status::protocolError(
+                        "unquoted label value in '" +
+                        std::string(line) + "'");
+                }
+                sample.labels[std::string(key)] =
+                    std::string(val.substr(1, val.size() - 2));
+            }
+        }
+        if (sample.name.empty()) {
+            return Status::protocolError(
+                "empty metric name in '" + std::string(line) + "'");
+        }
+        out.push_back(std::move(sample));
+    }
+    return out;
+}
+
+Result<double>
+findSample(const std::vector<ExpositionSample> &samples,
+           const std::string &name, const LabelMap &labels)
+{
+    for (const ExpositionSample &sample : samples) {
+        if (sample.name == name && sample.labels == labels)
+            return sample.value;
+    }
+    return Status::notFound("no sample '" +
+                            renderMetricId(name, labels) + "'");
+}
+
+} // namespace telemetry
+} // namespace djinn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Exporters for MetricRegistry snapshots: a Prometheus-style text
+ * exposition (served by the DjiNN `Metrics` wire verb and scraped
+ * by djinn_cli) and a JSON rendering (consumed by the benchmark
+ * harness for BENCH_*.json trajectories), plus a parser for the
+ * text format so clients and tests can read expositions back.
+ *
+ * Histograms are exported summary-style: `<name>_count`,
+ * `<name>_sum`, `<name>_min`, `<name>_max`, and one
+ * `<name>{quantile="..."}` sample per exported quantile
+ * (0.5, 0.95, 0.99).
+ */
+
+#ifndef DJINN_TELEMETRY_EXPOSITION_HH
+#define DJINN_TELEMETRY_EXPOSITION_HH
+
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace telemetry {
+
+/** Quantiles every exported histogram reports. */
+inline constexpr double exportedQuantiles[] = {0.5, 0.95, 0.99};
+
+/** Render a snapshot in the Prometheus text format. */
+std::string renderPrometheus(
+    const std::vector<MetricSample> &samples);
+
+/** Render a snapshot as a JSON object. */
+std::string renderJson(const std::vector<MetricSample> &samples);
+
+/** One `name{labels} value` line of a parsed text exposition. */
+struct ExpositionSample {
+    std::string name;
+    LabelMap labels;
+    double value = 0.0;
+};
+
+/**
+ * Parse a Prometheus-style text exposition produced by
+ * renderPrometheus (comment lines are skipped).
+ *
+ * @return the samples, or a ProtocolError for malformed input.
+ */
+Result<std::vector<ExpositionSample>> parseExposition(
+    const std::string &text);
+
+/**
+ * Find one sample by exact name and label match.
+ *
+ * @return the value, or a NotFound status.
+ */
+Result<double> findSample(
+    const std::vector<ExpositionSample> &samples,
+    const std::string &name, const LabelMap &labels = {});
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_EXPOSITION_HH

@@ -1,0 +1,219 @@
+#include "telemetry/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace telemetry {
+
+namespace {
+
+/** CAS loop: out += x on an atomic double. */
+void
+atomicAdd(std::atomic<double> &out, double x)
+{
+    double cur = out.load(std::memory_order_relaxed);
+    while (!out.compare_exchange_weak(cur, cur + x,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+/** CAS loop: out = min(out, x) on an atomic double. */
+void
+atomicMin(std::atomic<double> &out, double x)
+{
+    double cur = out.load(std::memory_order_relaxed);
+    while (x < cur &&
+           !out.compare_exchange_weak(cur, x,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+/** CAS loop: out = max(out, x) on an atomic double. */
+void
+atomicMax(std::atomic<double> &out, double x)
+{
+    double cur = out.load(std::memory_order_relaxed);
+    while (x > cur &&
+           !out.compare_exchange_weak(cur, x,
+                                      std::memory_order_relaxed)) {
+    }
+}
+
+double
+boundOf(const HistogramOptions &options, int i)
+{
+    if (i < 0)
+        return -std::numeric_limits<double>::infinity();
+    if (i >= options.bucketCount)
+        return std::numeric_limits<double>::infinity();
+    return options.firstBound * std::pow(options.growth, i);
+}
+
+/** Shared quantile walk over a finished bucket array. */
+double
+quantileOf(const HistogramOptions &options,
+           const std::vector<uint64_t> &buckets, uint64_t count,
+           double min, double max, double q)
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+
+    // Rank of the requested order statistic, 1-based.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    rank = std::clamp<uint64_t>(rank, 1, count);
+
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i] == 0)
+            continue;
+        if (seen + buckets[i] < rank) {
+            seen += buckets[i];
+            continue;
+        }
+        // Interpolate inside the covering bucket. The overflow
+        // bucket has no finite upper bound; use the observed max.
+        double lo = boundOf(options, static_cast<int>(i) - 1);
+        double hi = boundOf(options, static_cast<int>(i));
+        if (!std::isfinite(lo) || lo < min)
+            lo = min;
+        if (!std::isfinite(hi) || hi > max)
+            hi = max;
+        double frac = (static_cast<double>(rank - seen) - 0.5) /
+                      static_cast<double>(buckets[i]);
+        double v = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        return std::clamp(v, min, max);
+    }
+    return max;
+}
+
+} // namespace
+
+double
+HistogramSnapshot::mean() const
+{
+    return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    return quantileOf(options, buckets, count, min, max, q);
+}
+
+double
+HistogramSnapshot::bucketUpperBound(int i) const
+{
+    return boundOf(options, i);
+}
+
+LogHistogram::LogHistogram(const HistogramOptions &options)
+    : options_(options),
+      buckets_(static_cast<size_t>(options.bucketCount) + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity())
+{
+    if (options_.bucketCount < 1)
+        fatal("LogHistogram: bucketCount must be >= 1");
+    if (options_.growth <= 1.0)
+        fatal("LogHistogram: growth must be > 1");
+    if (options_.firstBound <= 0.0)
+        fatal("LogHistogram: firstBound must be positive");
+}
+
+int
+LogHistogram::bucketIndex(double value) const
+{
+    if (!(value > options_.firstBound))
+        return 0;
+    // log-based guess, then repair floating-point drift so the
+    // invariant bound(i-1) < value <= bound(i) holds exactly.
+    double guess = std::log(value / options_.firstBound) /
+                   std::log(options_.growth);
+    int idx = static_cast<int>(std::ceil(guess - 1e-9));
+    idx = std::clamp(idx, 0, options_.bucketCount);
+    while (idx > 0 && value <= bucketUpperBound(idx - 1))
+        --idx;
+    while (idx < options_.bucketCount && value > bucketUpperBound(idx))
+        ++idx;
+    return idx;
+}
+
+double
+LogHistogram::bucketUpperBound(int i) const
+{
+    return boundOf(options_, i);
+}
+
+void
+LogHistogram::record(double value)
+{
+    buckets_[static_cast<size_t>(bucketIndex(value))].fetch_add(
+        1, std::memory_order_relaxed);
+    atomicAdd(sum_, value);
+    atomicMin(min_, value);
+    atomicMax(max_, value);
+    // Publish count last so a reader that sees count == n can see at
+    // least n bucket increments.
+    count_.fetch_add(1, std::memory_order_release);
+}
+
+uint64_t
+LogHistogram::count() const
+{
+    return count_.load(std::memory_order_acquire);
+}
+
+double
+LogHistogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+double
+LogHistogram::min() const
+{
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+LogHistogram::max() const
+{
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+LogHistogram::mean() const
+{
+    uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+HistogramSnapshot
+LogHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    snap.options = options_;
+    snap.count = count();
+    snap.sum = sum();
+    snap.min = min();
+    snap.max = max();
+    snap.buckets.resize(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    return snap;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    return snapshot().quantile(q);
+}
+
+} // namespace telemetry
+} // namespace djinn

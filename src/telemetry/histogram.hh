@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A thread-safe, log-bucketed latency histogram. Samples land in
+ * geometrically growing buckets so five decades of latency (1us to
+ * 100s) fit in ~50 fixed-size counters; quantiles (p50/p95/p99) are
+ * extracted by interpolating inside the covering bucket, clamped to
+ * the exact observed min/max. Recording is lock-free (atomic bucket
+ * increments), so the service hot path pays a few nanoseconds per
+ * sample.
+ */
+
+#ifndef DJINN_TELEMETRY_HISTOGRAM_HH
+#define DJINN_TELEMETRY_HISTOGRAM_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace djinn {
+namespace telemetry {
+
+/** Bucket layout of a LogHistogram. */
+struct HistogramOptions {
+    /**
+     * Inclusive upper bound of the first bucket. Samples at or
+     * below this value (including zero) land in bucket 0.
+     */
+    double firstBound = 1e-6;
+
+    /** Geometric growth factor between bucket bounds; > 1. */
+    double growth = 2.0;
+
+    /**
+     * Finite buckets. One extra overflow bucket (upper bound
+     * +infinity) is always appended. The default spans 1us to
+     * ~140s at 2x resolution.
+     */
+    int bucketCount = 48;
+};
+
+/**
+ * An immutable copy of a histogram's state, safe to carry across
+ * threads and cheap to query repeatedly.
+ */
+struct HistogramSnapshot {
+    /** The source histogram's bucket layout. */
+    HistogramOptions options;
+
+    /** Per-bucket counts; size bucketCount + 1 (overflow last). */
+    std::vector<uint64_t> buckets;
+
+    /** Total samples recorded. */
+    uint64_t count = 0;
+
+    /** Sum of all samples. */
+    double sum = 0.0;
+
+    /** Smallest sample; 0 when empty. */
+    double min = 0.0;
+
+    /** Largest sample; 0 when empty. */
+    double max = 0.0;
+
+    /** Mean sample; 0 when empty. */
+    double mean() const;
+
+    /**
+     * Approximate quantile: locates the covering bucket by
+     * cumulative count and interpolates linearly inside it, then
+     * clamps to [min, max]. Exact for 0- and 1-sample histograms.
+     *
+     * @param q quantile in [0, 1]; e.g. 0.5, 0.95, 0.99.
+     */
+    double quantile(double q) const;
+
+    /** Inclusive upper bound of bucket @p i (+inf for overflow). */
+    double bucketUpperBound(int i) const;
+};
+
+/**
+ * The live histogram. record() is wait-free on x86-64 (atomic
+ * fetch-adds plus CAS loops for sum/min/max); readers take a
+ * consistent-enough snapshot without stopping writers.
+ */
+class LogHistogram
+{
+  public:
+    explicit LogHistogram(const HistogramOptions &options = {});
+
+    LogHistogram(const LogHistogram &) = delete;
+    LogHistogram &operator=(const LogHistogram &) = delete;
+
+    /** Record one sample. Thread-safe. */
+    void record(double value);
+
+    /** Total samples recorded. */
+    uint64_t count() const;
+
+    /** Sum of all samples. */
+    double sum() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const;
+
+    /** Largest sample; 0 when empty. */
+    double max() const;
+
+    /** Mean sample; 0 when empty. */
+    double mean() const;
+
+    /** See HistogramSnapshot::quantile. */
+    double quantile(double q) const;
+
+    /** Copy the current state for offline querying. */
+    HistogramSnapshot snapshot() const;
+
+    /** The bucket a sample of @p value lands in. */
+    int bucketIndex(double value) const;
+
+    /** Inclusive upper bound of bucket @p i (+inf for overflow). */
+    double bucketUpperBound(int i) const;
+
+    /** The configured bucket layout. */
+    const HistogramOptions &options() const { return options_; }
+
+  private:
+    HistogramOptions options_;
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+
+    // Seeded with +/-inf; accessors report 0 while count_ is zero.
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+};
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_HISTOGRAM_HH

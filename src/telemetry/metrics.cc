@@ -1,0 +1,124 @@
+#include "telemetry/metrics.hh"
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace telemetry {
+
+void
+Gauge::add(double delta)
+{
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+MetricRegistry::Entry &
+MetricRegistry::entryFor(const std::string &name,
+                         const LabelMap &labels, MetricKind kind,
+                         const HistogramOptions *options)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = entries_.try_emplace({name, labels});
+    Entry &entry = it->second;
+    if (!inserted) {
+        if (entry.kind != kind) {
+            fatal("metric '%s' already registered with a different "
+                  "kind", renderMetricId(name, labels).c_str());
+        }
+        return entry;
+    }
+    entry.kind = kind;
+    switch (kind) {
+      case MetricKind::Counter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::Gauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::Histogram:
+        entry.histogram = std::make_unique<LogHistogram>(
+            options ? *options : HistogramOptions{});
+        break;
+    }
+    return entry;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name,
+                        const LabelMap &labels)
+{
+    return *entryFor(name, labels, MetricKind::Counter, nullptr)
+        .counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name, const LabelMap &labels)
+{
+    return *entryFor(name, labels, MetricKind::Gauge, nullptr).gauge;
+}
+
+LogHistogram &
+MetricRegistry::histogram(const std::string &name,
+                          const LabelMap &labels,
+                          const HistogramOptions &options)
+{
+    return *entryFor(name, labels, MetricKind::Histogram, &options)
+        .histogram;
+}
+
+std::vector<MetricSample>
+MetricRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSample> out;
+    out.reserve(entries_.size());
+    for (const auto &[key, entry] : entries_) {
+        MetricSample sample;
+        sample.name = key.first;
+        sample.labels = key.second;
+        sample.kind = entry.kind;
+        switch (entry.kind) {
+          case MetricKind::Counter:
+            sample.value =
+                static_cast<double>(entry.counter->value());
+            break;
+          case MetricKind::Gauge:
+            sample.value = entry.gauge->value();
+            break;
+          case MetricKind::Histogram:
+            sample.histogram = entry.histogram->snapshot();
+            break;
+        }
+        out.push_back(std::move(sample));
+    }
+    return out;
+}
+
+size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::string
+renderMetricId(const std::string &name, const LabelMap &labels)
+{
+    if (labels.empty())
+        return name;
+    std::string out = name + "{";
+    bool first = true;
+    for (const auto &[k, v] : labels) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += k + "=\"" + v + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+} // namespace telemetry
+} // namespace djinn

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The telemetry metrics registry: named, optionally labeled
+ * counters, gauges, and latency histograms shared by every
+ * component on the DjiNN service path. Metric objects are created
+ * on first use and live as long as the registry, so hot paths can
+ * cache the returned references and update them lock-free.
+ *
+ * Naming follows the Prometheus convention: snake_case metric
+ * families with unit suffixes (`djinn_request_seconds`), refined by
+ * label sets (`{model="mnist", phase="forward"}`).
+ */
+
+#ifndef DJINN_TELEMETRY_METRICS_HH
+#define DJINN_TELEMETRY_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/histogram.hh"
+
+namespace djinn {
+namespace telemetry {
+
+/** A metric's label set, e.g. {model: mnist, phase: forward}. */
+using LabelMap = std::map<std::string, std::string>;
+
+/** A monotonically increasing count. Thread-safe. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    /** Add @p n to the count. */
+    void
+    inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current count. */
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** A settable instantaneous value (queue depth, bytes resident). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    Gauge(const Gauge &) = delete;
+    Gauge &operator=(const Gauge &) = delete;
+
+    /** Replace the value. */
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Adjust the value by @p delta (may be negative). */
+    void add(double delta);
+
+    /** Current value. */
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** What a registry entry is. */
+enum class MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/** One metric's state, as captured by MetricRegistry::snapshot(). */
+struct MetricSample {
+    /** Metric family name. */
+    std::string name;
+
+    /** Label set (may be empty). */
+    LabelMap labels;
+
+    /** Which of the value fields is meaningful. */
+    MetricKind kind = MetricKind::Counter;
+
+    /** Counter or gauge value. */
+    double value = 0.0;
+
+    /** Histogram state when kind == Histogram. */
+    HistogramSnapshot histogram;
+};
+
+/**
+ * The registry. Lookup takes a mutex; the returned references are
+ * stable for the registry's lifetime and update lock-free. A name
+ * must keep one kind: re-registering `foo` as a different kind is a
+ * fatal() user error.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Find or create a counter. */
+    Counter &counter(const std::string &name,
+                     const LabelMap &labels = {});
+
+    /** Find or create a gauge. */
+    Gauge &gauge(const std::string &name, const LabelMap &labels = {});
+
+    /**
+     * Find or create a histogram. @p options applies only on
+     * creation; later calls return the existing histogram as-is.
+     */
+    LogHistogram &histogram(const std::string &name,
+                            const LabelMap &labels = {},
+                            const HistogramOptions &options = {});
+
+    /** All metrics, sorted by (name, labels). */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Number of registered metrics. */
+    size_t size() const;
+
+  private:
+    struct Entry {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LogHistogram> histogram;
+    };
+
+    using Key = std::pair<std::string, LabelMap>;
+
+    Entry &entryFor(const std::string &name, const LabelMap &labels,
+                    MetricKind kind, const HistogramOptions *options);
+
+    mutable std::mutex mutex_;
+    std::map<Key, Entry> entries_;
+};
+
+/**
+ * Render one metric identity as `name{k="v",...}` (no braces when
+ * the label set is empty), the form used by both exposition formats
+ * and the parser.
+ */
+std::string renderMetricId(const std::string &name,
+                           const LabelMap &labels);
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_METRICS_HH

@@ -1,0 +1,57 @@
+#include "telemetry/trace.hh"
+
+namespace djinn {
+namespace telemetry {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Decode:
+        return "decode";
+      case Phase::QueueWait:
+        return "queue_wait";
+      case Phase::Forward:
+        return "forward";
+      case Phase::Encode:
+        return "encode";
+      case Phase::Service:
+        return "service";
+    }
+    return "unknown";
+}
+
+RequestTrace::RequestTrace(MetricRegistry &registry,
+                           std::string model)
+    : registry_(registry), model_(std::move(model))
+{
+    registry_.gauge(inflightMetricName).add(1.0);
+}
+
+RequestTrace::~RequestTrace()
+{
+    registry_.gauge(inflightMetricName).add(-1.0);
+}
+
+void
+RequestTrace::record(Phase phase, double seconds)
+{
+    registry_
+        .histogram(phaseMetricName,
+                   {{"model", model_}, {"phase", phaseName(phase)}})
+        .record(seconds);
+}
+
+void
+RequestTrace::Span::stop()
+{
+    if (done_)
+        return;
+    done_ = true;
+    double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start_).count();
+    trace_.record(phase_, seconds);
+}
+
+} // namespace telemetry
+} // namespace djinn

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Request tracing: decomposes one DjiNN request into timed phases
+ * (decode -> batch-queue wait -> forward pass -> encode, plus the
+ * end-to-end service span) and records each phase into the metric
+ * registry's per-model `djinn_phase_seconds` histograms. Spans are
+ * RAII scopes around the phase's code; a trace also maintains the
+ * `djinn_inflight_requests` gauge.
+ */
+
+#ifndef DJINN_TELEMETRY_TRACE_HH
+#define DJINN_TELEMETRY_TRACE_HH
+
+#include <chrono>
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace telemetry {
+
+/** The phases a request passes through on the service path. */
+enum class Phase {
+    /** Wire-frame to Request decode. */
+    Decode,
+
+    /** Waiting in the batching queue for peers or the dispatcher. */
+    QueueWait,
+
+    /** The (possibly batched) DNN forward pass. */
+    Forward,
+
+    /** Response to wire-frame encode. */
+    Encode,
+
+    /** End-to-end request handling (all of the above). */
+    Service,
+};
+
+/** Stable lowercase label for a phase ("queue_wait", ...). */
+const char *phaseName(Phase phase);
+
+/** Metric family every phase histogram records under. */
+inline const char *const phaseMetricName = "djinn_phase_seconds";
+
+/** Gauge tracking requests currently being handled. */
+inline const char *const inflightMetricName =
+    "djinn_inflight_requests";
+
+/**
+ * One request's trace. Construct when a request enters the service
+ * path; phases recorded through it land in
+ * `djinn_phase_seconds{model=..., phase=...}`.
+ */
+class RequestTrace
+{
+  public:
+    /**
+     * @param registry destination for phase samples.
+     * @param model target model; may be set later, once decoded.
+     */
+    explicit RequestTrace(MetricRegistry &registry,
+                          std::string model = "");
+
+    /** Decrements the in-flight gauge. */
+    ~RequestTrace();
+
+    RequestTrace(const RequestTrace &) = delete;
+    RequestTrace &operator=(const RequestTrace &) = delete;
+
+    /** Set the model label (known only after decode). */
+    void setModel(std::string model) { model_ = std::move(model); }
+
+    /** The current model label. */
+    const std::string &model() const { return model_; }
+
+    /** Record @p seconds spent in @p phase. */
+    void record(Phase phase, double seconds);
+
+    /** RAII scope that times a phase and records it on exit. */
+    class Span
+    {
+      public:
+        Span(RequestTrace &trace, Phase phase)
+            : trace_(trace), phase_(phase),
+              start_(std::chrono::steady_clock::now())
+        {}
+
+        /** Records the elapsed time unless stop() already did. */
+        ~Span()
+        {
+            stop();
+        }
+
+        Span(const Span &) = delete;
+        Span &operator=(const Span &) = delete;
+
+        /** Record now; the destructor becomes a no-op. */
+        void stop();
+
+      private:
+        RequestTrace &trace_;
+        Phase phase_;
+        std::chrono::steady_clock::time_point start_;
+        bool done_ = false;
+    };
+
+    /** Open a timed span for @p phase. */
+    Span span(Phase phase) { return Span(*this, phase); }
+
+  private:
+    MetricRegistry &registry_;
+    std::string model_;
+};
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_TRACE_HH

@@ -15,6 +15,7 @@
 #include "core/djinn_client.hh"
 #include "nn/init.hh"
 #include "nn/net_def.hh"
+#include "telemetry/exposition.hh"
 
 namespace djinn {
 namespace core {
@@ -374,6 +375,147 @@ TEST_F(ServerTest, ClientInferWithoutConnectFails)
     DjinnClient client;
     auto result = client.infer("tiny", 1, {1, 2, 3, 4});
     EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+}
+
+TEST_F(ServerTest, MetricsExpositionRoundTrip)
+{
+    // The full telemetry story over the wire: a batching server
+    // handles traffic, the client fetches the Prometheus exposition
+    // via the Metrics verb, parses it, and the numbers agree with
+    // the server-local stats() view.
+    ServerConfig config;
+    config.batching = true;
+    config.batchOptions.maxQueries = 4;
+    config.batchOptions.maxDelay = 200e-6;
+    startServer(config);
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    for (int i = 0; i < 6; ++i)
+        ASSERT_TRUE(client.infer("tiny", 2, std::vector<float>(
+            8, 0.5f)).isOk());
+
+    auto text = client.metricsExposition();
+    ASSERT_TRUE(text.isOk()) << text.status().toString();
+    auto parsed = telemetry::parseExposition(text.value());
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    const auto &samples = parsed.value();
+
+    auto requests = telemetry::findSample(
+        samples, "djinn_requests_total", {{"model", "tiny"}});
+    ASSERT_TRUE(requests.isOk());
+    EXPECT_DOUBLE_EQ(requests.value(), 6.0);
+
+    auto rows = telemetry::findSample(
+        samples, "djinn_rows_total", {{"model", "tiny"}});
+    ASSERT_TRUE(rows.isOk());
+    EXPECT_DOUBLE_EQ(rows.value(), 12.0);
+
+    // Batching phases made it into the exposition with quantiles.
+    auto wait_count = telemetry::findSample(
+        samples, "djinn_phase_seconds_count",
+        {{"model", "tiny"}, {"phase", "queue_wait"}});
+    ASSERT_TRUE(wait_count.isOk());
+    EXPECT_DOUBLE_EQ(wait_count.value(), 6.0);
+    auto forward_p95 = telemetry::findSample(
+        samples, "djinn_phase_seconds",
+        {{"model", "tiny"}, {"phase", "forward"},
+         {"quantile", "0.95"}});
+    ASSERT_TRUE(forward_p95.isOk());
+    EXPECT_GE(forward_p95.value(), 0.0);
+
+    // stats() is a view over the same registry.
+    auto local = server_->stats();
+    ASSERT_EQ(local.size(), 1u);
+    EXPECT_EQ(local[0].model, "tiny");
+    EXPECT_EQ(local[0].requests, 6u);
+    EXPECT_EQ(local[0].rows, 12u);
+    EXPECT_GE(local[0].p50ServiceMs, 0.0);
+    EXPECT_GE(local[0].p95ServiceMs, local[0].p50ServiceMs);
+    EXPECT_GE(local[0].p99ServiceMs, local[0].p95ServiceMs);
+    auto service_count = telemetry::findSample(
+        samples, "djinn_phase_seconds_count",
+        {{"model", "tiny"}, {"phase", "service"}});
+    ASSERT_TRUE(service_count.isOk());
+    EXPECT_DOUBLE_EQ(service_count.value(), 6.0);
+}
+
+TEST_F(ServerTest, MetricsJsonFormat)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    ASSERT_TRUE(client.infer("tiny", 1, std::vector<float>(
+        4, 0.5f)).isOk());
+    auto json = client.metricsExposition("json");
+    ASSERT_TRUE(json.isOk()) << json.status().toString();
+    EXPECT_NE(json.value().find("\"djinn_requests_total\""),
+              std::string::npos);
+    EXPECT_NE(json.value().find("\"metrics\""), std::string::npos);
+}
+
+TEST_F(ServerTest, MetricsBadFormatRejected)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    auto result = client.metricsExposition("xml");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST_F(ServerTest, MetricsCountErrorsByReason)
+{
+    startServer();
+    DjinnClient client;
+    ASSERT_TRUE(connect(client).isOk());
+    (void)client.infer("missing", 1, {1, 2, 3, 4});
+    (void)client.infer("tiny", 1, {1.0f}); // wrong payload size
+    auto text = client.metricsExposition();
+    ASSERT_TRUE(text.isOk());
+    auto parsed = telemetry::parseExposition(text.value());
+    ASSERT_TRUE(parsed.isOk());
+    auto unknown = telemetry::findSample(
+        parsed.value(), "djinn_request_errors_total",
+        {{"reason", "unknown_model"}});
+    ASSERT_TRUE(unknown.isOk());
+    EXPECT_DOUBLE_EQ(unknown.value(), 1.0);
+    auto bad = telemetry::findSample(
+        parsed.value(), "djinn_request_errors_total",
+        {{"reason", "bad_request"}});
+    ASSERT_TRUE(bad.isOk());
+    EXPECT_DOUBLE_EQ(bad.value(), 1.0);
+}
+
+TEST_F(ServerTest, StopDuringConnectionChurn)
+{
+    // Regression: connections accepted between shutdown(listenFd_)
+    // and the acceptor noticing !running_ used to leak their worker
+    // threads past stop(). Hammer the acceptor from several threads
+    // while stopping; stop() must still return promptly with every
+    // connection drained.
+    startServer();
+    std::atomic<bool> done{false};
+    std::vector<std::thread> churners;
+    for (int t = 0; t < 4; ++t) {
+        churners.emplace_back([this, &done]() {
+            while (!done.load()) {
+                DjinnClient client;
+                if (connect(client).isOk())
+                    (void)client.ping();
+            }
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    auto start = std::chrono::steady_clock::now();
+    server_->stop();
+    double seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+    done.store(true);
+    for (auto &c : churners)
+        c.join();
+    EXPECT_LT(seconds, 2.0);
+    EXPECT_FALSE(server_->running());
 }
 
 } // namespace

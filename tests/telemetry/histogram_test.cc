@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the log-bucketed telemetry histogram: bucket
+ * boundary placement, percentile extraction on degenerate and
+ * heavy-tailed distributions, and concurrent recording.
+ */
+
+#include "telemetry/histogram.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace telemetry {
+namespace {
+
+TEST(LogHistogramTest, BucketBoundariesArePowersOfGrowth)
+{
+    HistogramOptions options;
+    options.firstBound = 1.0;
+    options.growth = 2.0;
+    options.bucketCount = 8;
+    LogHistogram hist(options);
+
+    EXPECT_DOUBLE_EQ(hist.bucketUpperBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(hist.bucketUpperBound(1), 2.0);
+    EXPECT_DOUBLE_EQ(hist.bucketUpperBound(2), 4.0);
+    EXPECT_DOUBLE_EQ(hist.bucketUpperBound(7), 128.0);
+    EXPECT_TRUE(std::isinf(hist.bucketUpperBound(8)));
+}
+
+TEST(LogHistogramTest, BucketIndexRespectsInclusiveUpperBounds)
+{
+    HistogramOptions options;
+    options.firstBound = 1.0;
+    options.growth = 2.0;
+    options.bucketCount = 8;
+    LogHistogram hist(options);
+
+    // Bucket i holds bound(i-1) < v <= bound(i).
+    EXPECT_EQ(hist.bucketIndex(0.0), 0);
+    EXPECT_EQ(hist.bucketIndex(-3.0), 0);
+    EXPECT_EQ(hist.bucketIndex(0.5), 0);
+    EXPECT_EQ(hist.bucketIndex(1.0), 0);
+    EXPECT_EQ(hist.bucketIndex(1.0001), 1);
+    EXPECT_EQ(hist.bucketIndex(2.0), 1);
+    EXPECT_EQ(hist.bucketIndex(2.0001), 2);
+    EXPECT_EQ(hist.bucketIndex(4.0), 2);
+    EXPECT_EQ(hist.bucketIndex(128.0), 7);
+    // Anything past the last finite bound lands in overflow.
+    EXPECT_EQ(hist.bucketIndex(129.0), 8);
+    EXPECT_EQ(hist.bucketIndex(1e300), 8);
+}
+
+TEST(LogHistogramTest, BucketIndexStableAcrossDecades)
+{
+    // The log-based index must agree with the bound invariant for
+    // every bucket of the default latency layout.
+    LogHistogram hist;
+    for (int i = 0; i < hist.options().bucketCount; ++i) {
+        double bound = hist.bucketUpperBound(i);
+        EXPECT_EQ(hist.bucketIndex(bound), i) << "at bound " << i;
+        EXPECT_EQ(hist.bucketIndex(bound * 1.0000001), i + 1)
+            << "just past bound " << i;
+    }
+}
+
+TEST(LogHistogramTest, RejectsBadLayouts)
+{
+    HistogramOptions options;
+    options.bucketCount = 0;
+    EXPECT_THROW(LogHistogram{options}, FatalError);
+    options = HistogramOptions{};
+    options.growth = 1.0;
+    EXPECT_THROW(LogHistogram{options}, FatalError);
+    options = HistogramOptions{};
+    options.firstBound = 0.0;
+    EXPECT_THROW(LogHistogram{options}, FatalError);
+}
+
+TEST(LogHistogramTest, EmptyHistogramIsAllZero)
+{
+    LogHistogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.99), 0.0);
+}
+
+TEST(LogHistogramTest, SingleSampleQuantilesAreExact)
+{
+    LogHistogram hist;
+    hist.record(3.7e-3);
+    EXPECT_EQ(hist.count(), 1u);
+    // Min/max clamping makes every quantile exact with one sample.
+    EXPECT_DOUBLE_EQ(hist.quantile(0.0), 3.7e-3);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.5), 3.7e-3);
+    EXPECT_DOUBLE_EQ(hist.quantile(0.99), 3.7e-3);
+    EXPECT_DOUBLE_EQ(hist.quantile(1.0), 3.7e-3);
+    EXPECT_DOUBLE_EQ(hist.min(), 3.7e-3);
+    EXPECT_DOUBLE_EQ(hist.max(), 3.7e-3);
+    EXPECT_DOUBLE_EQ(hist.mean(), 3.7e-3);
+}
+
+TEST(LogHistogramTest, HeavyTailPercentiles)
+{
+    // 990 fast samples at ~1ms, 10 stragglers at ~1s: p50 must stay
+    // near the body, p99 must reach into the tail, max is exact.
+    LogHistogram hist;
+    for (int i = 0; i < 990; ++i)
+        hist.record(1e-3);
+    for (int i = 0; i < 10; ++i)
+        hist.record(1.0);
+    EXPECT_EQ(hist.count(), 1000u);
+
+    double p50 = hist.quantile(0.5);
+    EXPECT_GE(p50, 0.5e-3);
+    EXPECT_LE(p50, 2e-3); // within the 2x bucket of the body
+
+    double p99 = hist.quantile(0.99);
+    EXPECT_LE(p99, 2e-3); // rank 990 is still a fast sample
+
+    double p995 = hist.quantile(0.995);
+    EXPECT_GE(p995, 0.5); // rank 995 is a straggler
+
+    EXPECT_DOUBLE_EQ(hist.max(), 1.0);
+    EXPECT_DOUBLE_EQ(hist.min(), 1e-3);
+    EXPECT_NEAR(hist.sum(), 990 * 1e-3 + 10.0, 1e-9);
+}
+
+TEST(LogHistogramTest, QuantilesAreMonotonic)
+{
+    LogHistogram hist;
+    for (int i = 1; i <= 1000; ++i)
+        hist.record(i * 1e-5);
+    double prev = -1.0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        double v = hist.quantile(q);
+        EXPECT_GE(v, prev) << "at q=" << q;
+        prev = v;
+    }
+}
+
+TEST(LogHistogramTest, OverflowSamplesReportObservedMax)
+{
+    HistogramOptions options;
+    options.firstBound = 1.0;
+    options.growth = 2.0;
+    options.bucketCount = 4; // finite range caps at 16
+    LogHistogram hist(options);
+    hist.record(1000.0);
+    hist.record(2000.0);
+    // The overflow bucket interpolates over [observed min, observed
+    // max], never the meaningless finite cap.
+    double p99 = hist.quantile(0.99);
+    EXPECT_GE(p99, 1000.0);
+    EXPECT_LE(p99, 2000.0);
+    EXPECT_DOUBLE_EQ(hist.max(), 2000.0);
+}
+
+TEST(LogHistogramTest, ConcurrentRecordingFromEightThreads)
+{
+    constexpr int threads = 8;
+    constexpr int per_thread = 20000;
+    LogHistogram hist;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&hist, t]() {
+            for (int i = 0; i < per_thread; ++i) {
+                // Spread samples across several buckets per thread.
+                hist.record(1e-5 * (1 + (i + t) % 16));
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(hist.count(),
+              static_cast<uint64_t>(threads) * per_thread);
+    // Every recorded sample must be present in some bucket.
+    auto snap = hist.snapshot();
+    uint64_t bucket_total = 0;
+    for (uint64_t c : snap.buckets)
+        bucket_total += c;
+    EXPECT_EQ(bucket_total, hist.count());
+    EXPECT_DOUBLE_EQ(hist.min(), 1e-5);
+    EXPECT_DOUBLE_EQ(hist.max(), 16e-5);
+    // The atomic-CAS sum must equal the exact arithmetic total.
+    double expected_sum = 0.0;
+    for (int t = 0; t < threads; ++t) {
+        for (int i = 0; i < per_thread; ++i)
+            expected_sum += 1e-5 * (1 + (i + t) % 16);
+    }
+    EXPECT_NEAR(hist.sum(), expected_sum, expected_sum * 1e-9);
+}
+
+TEST(LogHistogramTest, SnapshotMatchesLiveQueries)
+{
+    LogHistogram hist;
+    for (int i = 1; i <= 100; ++i)
+        hist.record(i * 1e-4);
+    auto snap = hist.snapshot();
+    EXPECT_EQ(snap.count, hist.count());
+    EXPECT_DOUBLE_EQ(snap.sum, hist.sum());
+    EXPECT_DOUBLE_EQ(snap.min, hist.min());
+    EXPECT_DOUBLE_EQ(snap.max, hist.max());
+    EXPECT_DOUBLE_EQ(snap.quantile(0.95), hist.quantile(0.95));
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace djinn

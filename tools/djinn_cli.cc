@@ -5,7 +5,13 @@
  * Usage:
  *   djinn_cli HOST PORT ping
  *   djinn_cli HOST PORT list
+ *   djinn_cli HOST PORT stats
+ *   djinn_cli HOST PORT metrics [prometheus|json]
  *   djinn_cli HOST PORT infer MODEL ROWS [payload.f32]
+ *
+ * `metrics` prints the server's full telemetry exposition:
+ * per-model request counters and decode / queue-wait / forward /
+ * encode latency histograms with p50/p95/p99.
  *
  * For `infer`, the payload file holds raw little-endian float32
  * data (rows x model-input elements); without a file, a
@@ -32,8 +38,11 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: djinn_cli HOST PORT ping|list|stats|infer "
-                 "[MODEL ROWS [payload.f32]]\n");
+                 "usage: djinn_cli HOST PORT "
+                 "ping|list|stats|metrics|infer "
+                 "[MODEL ROWS [payload.f32]]\n"
+                 "       metrics takes an optional format: "
+                 "prometheus (default) or json\n");
     return 2;
 }
 
@@ -89,6 +98,17 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(s.rows),
                         s.meanServiceMs);
         }
+        return 0;
+    }
+    if (command == "metrics") {
+        std::string format = argc > 4 ? argv[4] : "";
+        auto exposition = client.metricsExposition(format);
+        if (!exposition.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         exposition.status().toString().c_str());
+            return 1;
+        }
+        std::fputs(exposition.value().c_str(), stdout);
         return 0;
     }
     if (command != "infer" || argc < 6)

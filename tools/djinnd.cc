@@ -8,7 +8,13 @@
  * Usage:
  *   djinnd [--port N] [--models m1,m2,...|all] [--batching]
  *          [--batch-size N] [--batch-delay-us N] [--seed N]
+ *          [--metrics-dump] [--metrics-dump-json]
  *          [--netdef FILE --weights FILE]...
+ *
+ * --metrics-dump prints the full telemetry exposition (Prometheus
+ * text; --metrics-dump-json for JSON) to stdout at shutdown. A
+ * running daemon serves the same exposition to clients via the
+ * Metrics wire verb (`djinn_cli HOST PORT metrics`).
  *
  * Zoo model names: alexnet mnist deepface kaldi_asr senna_pos
  * senna_chk senna_ner. Custom models load from a netdef text file
@@ -24,6 +30,7 @@
 
 #include "common/strings.hh"
 #include "core/djinn_server.hh"
+#include "telemetry/exposition.hh"
 #include "tonic/apps.hh"
 
 using namespace djinn;
@@ -45,8 +52,9 @@ usage()
                  "usage: djinnd [--port N] [--models m1,m2|all]\n"
                  "              [--batching] [--batch-size N] "
                  "[--batch-delay-us N]\n"
-                 "              [--seed N] [--netdef F --weights "
-                 "F]...\n");
+                 "              [--seed N] [--metrics-dump] "
+                 "[--metrics-dump-json]\n"
+                 "              [--netdef F --weights F]...\n");
 }
 
 } // namespace
@@ -59,6 +67,8 @@ main(int argc, char **argv)
     std::vector<std::string> model_names{"mnist", "senna_pos"};
     std::vector<std::pair<std::string, std::string>> custom;
     uint64_t seed = 42;
+    bool metrics_dump = false;
+    bool metrics_json = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -92,6 +102,11 @@ main(int argc, char **argv)
                 std::atof(next("--batch-delay-us")) * 1e-6;
         } else if (arg == "--seed") {
             seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--metrics-dump") {
+            metrics_dump = true;
+        } else if (arg == "--metrics-dump-json") {
+            metrics_dump = true;
+            metrics_json = true;
         } else if (arg == "--netdef") {
             custom.emplace_back(next("--netdef"), "");
         } else if (arg == "--weights") {
@@ -161,5 +176,13 @@ main(int argc, char **argv)
     std::printf("shutting down after %lu requests\n",
                 static_cast<unsigned long>(server.requestsServed()));
     server.stop();
+    if (metrics_dump) {
+        auto samples = server.metrics().snapshot();
+        std::fputs(metrics_json
+                       ? telemetry::renderJson(samples).c_str()
+                       : telemetry::renderPrometheus(samples)
+                             .c_str(),
+                   stdout);
+    }
     return 0;
 }
