@@ -6,8 +6,10 @@
  * discrete-event queue that powers the serving simulator.
  *
  * After the benchmarks run, a short live-service session (real TCP
- * server + clients, batching on) and one serving-simulator
- * experiment are recorded into a telemetry registry, and the
+ * server + clients, batching on), one serving-simulator
+ * experiment, and a per-layer forward profile of every zoo model
+ * (wall time, FLOPs, and activation bytes per layer, via
+ * nn::ProfileSink) are recorded into a telemetry registry, and the
  * merged snapshot is printed as JSON — the format BENCH_*.json
  * trajectories capture.
  */
@@ -23,6 +25,8 @@
 #include "core/protocol.hh"
 #include "nn/init.hh"
 #include "nn/net_def.hh"
+#include "nn/profile.hh"
+#include "nn/zoo.hh"
 #include "serve/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/exposition.hh"
@@ -209,6 +213,39 @@ liveServiceSnapshot()
     return server.metrics().snapshot();
 }
 
+/**
+ * One profiled single-row forward pass per zoo model, recorded as
+ * per-layer gauges: djinn_layer_forward_seconds, djinn_layer_flops,
+ * and djinn_layer_activation_bytes, labeled {model, layer, kind}.
+ */
+void
+recordZooLayerProfiles(telemetry::MetricRegistry &registry)
+{
+    for (nn::zoo::Model model : nn::zoo::allModels()) {
+        nn::NetworkPtr net = nn::zoo::build(model, 42);
+        nn::Tensor input(net->inputShape().withBatch(1));
+        for (int64_t i = 0; i < input.elems(); ++i)
+            input.data()[i] = 0.25f;
+
+        nn::VectorProfileSink sink;
+        (void)net->forward(input, &sink);
+
+        const std::string name = nn::zoo::modelName(model);
+        for (const nn::LayerProfile &p : sink.profiles()) {
+            telemetry::LabelMap labels{
+                {"model", name},
+                {"layer", p.name},
+                {"kind", nn::layerKindName(p.kind)}};
+            registry.gauge("djinn_layer_forward_seconds", labels)
+                .set(p.seconds);
+            registry.gauge("djinn_layer_flops", labels)
+                .set(static_cast<double>(p.flops));
+            registry.gauge("djinn_layer_activation_bytes", labels)
+                .set(static_cast<double>(p.activationBytes));
+        }
+    }
+}
+
 } // namespace
 
 int
@@ -233,6 +270,11 @@ main(int argc, char **argv)
     serve::recordSimResult(sim_registry, "batch=16,1gpu", sim,
                            serve::runServingSim(sim));
     for (auto &sample : sim_registry.snapshot())
+        samples.push_back(std::move(sample));
+
+    telemetry::MetricRegistry layer_registry;
+    recordZooLayerProfiles(layer_registry);
+    for (auto &sample : layer_registry.snapshot())
         samples.push_back(std::move(sample));
 
     std::fputs(telemetry::renderJson(samples).c_str(), stdout);

@@ -19,4 +19,22 @@ fi
 
 cmake -B build -S . && cmake --build build -j && \
     cd build && ctest --output-on-failure -j "$(nproc)"
+cd ..
+
+# Smoke test the observability surface: boot a real daemon with the
+# HTTP endpoint and let scrape_check validate /healthz, /metrics
+# (must parse as Prometheus exposition), and /trace.
+http_port=19164
+./build/tools/djinnd --port 19163 --http-port "$http_port" \
+    --models mnist --batching &
+djinnd_pid=$!
+trap 'kill "$djinnd_pid" 2>/dev/null || true' EXIT
+if ! ./build/tools/scrape_check 127.0.0.1 "$http_port"; then
+    echo "check_build: HTTP scrape smoke test FAILED" >&2
+    exit 1
+fi
+kill "$djinnd_pid" 2>/dev/null || true
+wait "$djinnd_pid" 2>/dev/null || true
+trap - EXIT
+
 echo "check_build: OK"

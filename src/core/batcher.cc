@@ -4,7 +4,9 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "nn/profile.hh"
 #include "telemetry/trace.hh"
+#include "telemetry/tracer.hh"
 
 namespace djinn {
 namespace core {
@@ -92,6 +94,16 @@ std::future<InferenceResult>
 BatchingExecutor::submit(const std::string &model, int64_t rows,
                          std::vector<float> data)
 {
+    return submit(model, rows, std::move(data),
+                  telemetry::TraceContext{}, 0);
+}
+
+std::future<InferenceResult>
+BatchingExecutor::submit(const std::string &model, int64_t rows,
+                         std::vector<float> data,
+                         const telemetry::TraceContext &trace,
+                         uint64_t parent_span)
+{
     std::promise<InferenceResult> promise;
     std::future<InferenceResult> future = promise.get_future();
 
@@ -117,9 +129,10 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
 
     {
         std::lock_guard<std::mutex> lock(queue->mutex);
-        queue->pending.push_back({rows, std::move(data),
-                                  std::move(promise),
-                                  std::chrono::steady_clock::now()});
+        queue->pending.push_back(
+            {rows, std::move(data), std::move(promise),
+             std::chrono::steady_clock::now(), trace, parent_span,
+             tracer_ ? telemetry::traceNowUs() : 0});
         if (queue->depthGauge) {
             queue->depthGauge->set(
                 static_cast<double>(queue->pending.size()));
@@ -187,6 +200,47 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
         for (const auto &p : batch)
             total_rows += p.rows;
 
+        // Trace when any query in the batch carries a sampled
+        // context; the batch spans link back to every such trace.
+        telemetry::Tracer *tracer = tracer_;
+        const Pending *primary = nullptr;
+        std::string trace_ids;
+        if (tracer) {
+            for (const auto &p : batch) {
+                if (!p.trace.valid() || !p.trace.sampled())
+                    continue;
+                if (!primary)
+                    primary = &p;
+                if (!trace_ids.empty())
+                    trace_ids += ",";
+                trace_ids += telemetry::traceIdToHex(
+                    p.trace.traceId);
+            }
+        }
+        const std::string track = "batch-" + net.name();
+        int64_t dispatch_us = 0;
+        if (primary) {
+            dispatch_us = telemetry::traceNowUs();
+            for (const auto &p : batch) {
+                if (!p.trace.valid() || !p.trace.sampled())
+                    continue;
+                telemetry::TraceEvent e;
+                e.name = "queue_wait";
+                e.category = "batch";
+                e.track = track;
+                e.traceId = p.trace.traceId;
+                e.spanId = tracer->nextSpanId();
+                e.parentSpanId = p.parentSpan;
+                e.startUs = p.enqueuedUs;
+                e.durationUs = dispatch_us - p.enqueuedUs;
+                e.args.emplace_back(
+                    "rows", strprintf("%lld",
+                                      static_cast<long long>(
+                                          p.rows)));
+                tracer->record(std::move(e));
+            }
+        }
+
         // Stack all queries into one combined input matrix.
         nn::Tensor input(net.inputShape().withBatch(total_rows));
         int64_t row = 0;
@@ -196,8 +250,65 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             row += p.rows;
         }
 
-        nn::Tensor output = net.forward(input);
+        nn::VectorProfileSink profile;
+        int64_t fwd_start_us =
+            primary ? telemetry::traceNowUs() : 0;
+        nn::Tensor output =
+            net.forward(input, primary ? &profile : nullptr);
         int64_t out_elems = net.outputShape().sampleElems();
+
+        if (primary) {
+            int64_t fwd_end_us = telemetry::traceNowUs();
+            uint64_t fwd_span = tracer->nextSpanId();
+            telemetry::TraceEvent fwd;
+            fwd.name = "forward";
+            fwd.category = "batch";
+            fwd.track = track;
+            fwd.traceId = primary->trace.traceId;
+            fwd.spanId = fwd_span;
+            fwd.parentSpanId = primary->parentSpan;
+            fwd.startUs = fwd_start_us;
+            fwd.durationUs = fwd_end_us - fwd_start_us;
+            fwd.args.emplace_back(
+                "batch_rows",
+                strprintf("%lld",
+                          static_cast<long long>(total_rows)));
+            fwd.args.emplace_back(
+                "queries",
+                strprintf("%zu", batch.size()));
+            fwd.args.emplace_back("trace_ids", trace_ids);
+            tracer->record(std::move(fwd));
+
+            // Lay the per-layer spans out sequentially under the
+            // forward span using their measured durations.
+            int64_t layer_start = fwd_start_us;
+            for (const auto &lp : profile.profiles()) {
+                telemetry::TraceEvent e;
+                e.name = lp.name;
+                e.category = "layer";
+                e.track = track;
+                e.traceId = primary->trace.traceId;
+                e.spanId = tracer->nextSpanId();
+                e.parentSpanId = fwd_span;
+                e.startUs = layer_start;
+                e.durationUs = static_cast<int64_t>(
+                    lp.seconds * 1e6);
+                e.args.emplace_back(
+                    "kind", nn::layerKindName(lp.kind));
+                e.args.emplace_back(
+                    "flops",
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  lp.flops)));
+                e.args.emplace_back(
+                    "activation_bytes",
+                    strprintf("%llu",
+                              static_cast<unsigned long long>(
+                                  lp.activationBytes)));
+                layer_start += e.durationUs;
+                tracer->record(std::move(e));
+            }
+        }
 
         if (queue->forwardHist) {
             queue->forwardHist->record(std::chrono::duration<double>(
@@ -220,7 +331,8 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
                 output.sample(row),
                 output.sample(row) + p.rows * out_elems);
             row += p.rows;
-            p.promise.set_value({Status::ok(), std::move(slice)});
+            p.promise.set_value(
+                {Status::ok(), std::move(slice), total_rows});
         }
     }
 }

@@ -22,6 +22,13 @@
 #include "common/status.hh"
 #include "core/model_registry.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/trace_context.hh"
+
+namespace djinn {
+namespace telemetry {
+class Tracer;
+} // namespace telemetry
+} // namespace djinn
 
 namespace djinn {
 namespace core {
@@ -42,6 +49,10 @@ struct BatchOptions {
 struct InferenceResult {
     Status status;
     std::vector<float> output;
+
+    /** Total rows of the combined forward pass that served this
+     * query (>= the query's own rows when batching took effect). */
+    int64_t batchRows = 0;
 };
 
 /**
@@ -80,6 +91,24 @@ class BatchingExecutor
                                         int64_t rows,
                                         std::vector<float> data);
 
+    /**
+     * Submit one traced query. When @p trace is valid and a tracer
+     * is attached, the dispatcher emits queue-wait, forward-pass,
+     * and per-layer spans linked back to @p trace under
+     * @p parent_span (the server-side request span).
+     */
+    std::future<InferenceResult> submit(
+        const std::string &model, int64_t rows,
+        std::vector<float> data,
+        const telemetry::TraceContext &trace,
+        uint64_t parent_span);
+
+    /**
+     * Attach a span destination. Call before serving traffic; the
+     * tracer must outlive the executor.
+     */
+    void setTracer(telemetry::Tracer *tracer) { tracer_ = tracer; }
+
     /** Number of combined forward passes executed so far. */
     uint64_t batchesExecuted() const;
 
@@ -92,6 +121,15 @@ class BatchingExecutor
         std::vector<float> data;
         std::promise<InferenceResult> promise;
         std::chrono::steady_clock::time_point enqueued;
+
+        /** Originating trace; invalid for untraced queries. */
+        telemetry::TraceContext trace;
+
+        /** Server-side request span the batch spans hang off. */
+        uint64_t parentSpan = 0;
+
+        /** Enqueue time on the tracer timeline (microseconds). */
+        int64_t enqueuedUs = 0;
     };
 
     struct ModelQueue {
@@ -119,6 +157,7 @@ class BatchingExecutor
     const ModelRegistry &registry_;
     BatchOptions options_;
     telemetry::MetricRegistry *metrics_;
+    telemetry::Tracer *tracer_ = nullptr;
 
     std::mutex mapMutex_;
     std::map<std::string, std::unique_ptr<ModelQueue>> queues_;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "common/strings.hh"
+#include "telemetry/tracer.hh"
 
 namespace djinn {
 namespace core {
@@ -84,7 +85,25 @@ DjinnClient::infer(const std::string &model, int64_t rows,
     request.model = model;
     request.rows = static_cast<uint32_t>(rows);
     request.payload = data;
+    if (tracing_) {
+        request.trace = telemetry::makeTraceContext();
+        lastTrace_ = request.trace;
+    }
+    int64_t start_us =
+        tracing_ && tracer_ ? telemetry::traceNowUs() : 0;
     auto response = roundTrip(request);
+    if (tracing_ && tracer_) {
+        telemetry::TraceEvent e;
+        e.name = "infer " + model;
+        e.category = "client";
+        e.track = "client";
+        e.traceId = request.trace.traceId;
+        e.spanId = request.trace.spanId;
+        e.startUs = start_us;
+        e.durationUs = telemetry::traceNowUs() - start_us;
+        e.args.emplace_back("model", model);
+        tracer_->record(std::move(e));
+    }
     if (!response.isOk())
         return response.status();
     const Response &r = response.value();
@@ -197,6 +216,18 @@ DjinnClient::metricsExposition(const std::string &format)
     if (response.value().status != WireStatus::Ok)
         return Status::internal(response.value().message);
     return std::string(response.value().message);
+}
+
+Result<std::string>
+DjinnClient::traceJson()
+{
+    return metricsExposition("trace");
+}
+
+Result<std::string>
+DjinnClient::requestsCsv()
+{
+    return metricsExposition("requests");
 }
 
 Status

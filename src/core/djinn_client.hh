@@ -14,6 +14,13 @@
 
 #include "common/status.hh"
 #include "core/protocol.hh"
+#include "telemetry/trace_context.hh"
+
+namespace djinn {
+namespace telemetry {
+class Tracer;
+} // namespace telemetry
+} // namespace djinn
 
 namespace djinn {
 namespace core {
@@ -102,10 +109,46 @@ class DjinnClient
     /** Round-trip liveness check. */
     Status ping();
 
+    /**
+     * Attach or detach trace propagation. When enabled, each
+     * infer() mints a fresh TraceContext, sends it on the wire
+     * (protocol version 2), and — when a tracer is attached via
+     * setTracer() — records the client-side round-trip span.
+     */
+    void setTracing(bool enabled) { tracing_ = enabled; }
+
+    /** True when infer() attaches trace contexts. */
+    bool tracing() const { return tracing_; }
+
+    /**
+     * Span destination for client-side spans. In-process tests pass
+     * the server's tracer so client and server spans share one
+     * timeline. May be null; must outlive the client.
+     */
+    void setTracer(telemetry::Tracer *tracer) { tracer_ = tracer; }
+
+    /** The trace context attached to the most recent infer(). */
+    const telemetry::TraceContext &lastTrace() const
+    {
+        return lastTrace_;
+    }
+
+    /** Fetch the server's trace ring as Chrome trace-event JSON. */
+    Result<std::string> traceJson();
+
+    /**
+     * Fetch the server's recent request summaries
+     * (trace_id,model,rows,batch_rows,service_ms CSV).
+     */
+    Result<std::string> requestsCsv();
+
   private:
     Result<Response> roundTrip(const Request &request);
 
     int fd_ = -1;
+    bool tracing_ = false;
+    telemetry::Tracer *tracer_ = nullptr;
+    telemetry::TraceContext lastTrace_;
 };
 
 } // namespace core

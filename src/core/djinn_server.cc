@@ -13,6 +13,8 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "core/http_endpoint.hh"
+#include "nn/profile.hh"
 #include "telemetry/exposition.hh"
 
 namespace djinn {
@@ -48,11 +50,14 @@ errorReason(WireStatus status)
 
 DjinnServer::DjinnServer(const ModelRegistry &registry,
                          const ServerConfig &config)
-    : registry_(registry), config_(config)
+    : registry_(registry), config_(config),
+      tracer_(config.traceCapacity)
 {
     if (config_.batching) {
         batcher_ = std::make_unique<BatchingExecutor>(
             registry_, config_.batchOptions, &metrics_);
+        if (config_.tracing)
+            batcher_->setTracer(&tracer_);
     }
 }
 
@@ -111,12 +116,36 @@ DjinnServer::start()
     acceptor_ = std::thread([this]() { acceptLoop(); });
     inform("DjiNN listening on %s:%u with %zu models",
            config_.bindAddress.c_str(), port_, registry_.size());
+
+    if (config_.tracing && config_.samplerPeriod > 0.0) {
+        sampler_ = std::make_unique<telemetry::BackgroundSampler>(
+            tracer_, metrics_, config_.samplerPeriod);
+        sampler_->start();
+    }
+    if (config_.httpPort >= 0) {
+        http_ = std::make_unique<HttpEndpoint>(metrics_, tracer_);
+        Status s = http_->start(
+            config_.bindAddress,
+            static_cast<uint16_t>(config_.httpPort));
+        if (!s.isOk()) {
+            stop();
+            return s;
+        }
+    }
     return Status::ok();
+}
+
+uint16_t
+DjinnServer::httpPort() const
+{
+    return http_ ? http_->port() : 0;
 }
 
 void
 DjinnServer::stop()
 {
+    http_.reset();
+    sampler_.reset();
     if (!running_.exchange(false)) {
         if (acceptor_.joinable())
             acceptor_.join();
@@ -201,6 +230,8 @@ DjinnServer::serveConnection(int fd)
         if (!frame.isOk())
             break; // Peer closed or protocol failure; drop quietly.
 
+        int64_t request_us =
+            config_.tracing ? telemetry::traceNowUs() : 0;
         auto decode_start = Clock::now();
         auto request = decodeRequest(frame.value());
         double decode_seconds = std::chrono::duration<double>(
@@ -216,13 +247,38 @@ DjinnServer::serveConnection(int fd)
             trace->record(telemetry::Phase::Decode, decode_seconds);
         }
 
+        // Wire-propagated trace context: sampled inference requests
+        // get a server-side span tree on this worker's track.
+        std::optional<WireSpan> wire_span;
+        if (config_.tracing && trace &&
+            request.value().trace.valid() &&
+            request.value().trace.sampled()) {
+            wire_span.emplace();
+            wire_span->trace = request.value().trace;
+            wire_span->serverSpan = tracer_.nextSpanId();
+            wire_span->track = strprintf("worker-%d", fd);
+
+            telemetry::TraceEvent e;
+            e.name = "decode";
+            e.category = "server";
+            e.track = wire_span->track;
+            e.traceId = wire_span->trace.traceId;
+            e.spanId = tracer_.nextSpanId();
+            e.parentSpanId = wire_span->serverSpan;
+            e.startUs = request_us;
+            e.durationUs =
+                static_cast<int64_t>(decode_seconds * 1e6);
+            tracer_.record(std::move(e));
+        }
+
         Response response;
         if (!request.isOk()) {
             response.status = WireStatus::BadRequest;
             response.message = request.status().toString();
         } else {
-            response = handleRequest(request.value(),
-                                     trace ? &*trace : nullptr);
+            response = handleRequest(
+                request.value(), trace ? &*trace : nullptr,
+                wire_span ? &*wire_span : nullptr);
         }
         if (response.status != WireStatus::Ok) {
             metrics_
@@ -232,11 +288,41 @@ DjinnServer::serveConnection(int fd)
         }
 
         std::vector<uint8_t> wire;
+        int64_t encode_us = wire_span ? telemetry::traceNowUs() : 0;
         if (trace) {
             auto span = trace->span(telemetry::Phase::Encode);
             wire = encodeResponse(response);
         } else {
             wire = encodeResponse(response);
+        }
+        if (wire_span) {
+            int64_t done_us = telemetry::traceNowUs();
+            telemetry::TraceEvent enc;
+            enc.name = "encode";
+            enc.category = "server";
+            enc.track = wire_span->track;
+            enc.traceId = wire_span->trace.traceId;
+            enc.spanId = tracer_.nextSpanId();
+            enc.parentSpanId = wire_span->serverSpan;
+            enc.startUs = encode_us;
+            enc.durationUs = done_us - encode_us;
+            tracer_.record(std::move(enc));
+
+            telemetry::TraceEvent req;
+            req.name = "request " + request.value().model;
+            req.category = "server";
+            req.track = wire_span->track;
+            req.traceId = wire_span->trace.traceId;
+            req.spanId = wire_span->serverSpan;
+            req.parentSpanId = wire_span->trace.spanId;
+            req.startUs = request_us;
+            req.durationUs = done_us - request_us;
+            req.args.emplace_back("model", request.value().model);
+            req.args.emplace_back(
+                "rows", strprintf("%u", request.value().rows));
+            req.args.emplace_back("status",
+                                  errorReason(response.status));
+            tracer_.record(std::move(req));
         }
         Status s = io.writeFrame(wire);
         if (!s.isOk())
@@ -251,7 +337,8 @@ DjinnServer::serveConnection(int fd)
 
 Response
 DjinnServer::handleRequest(const Request &request,
-                           telemetry::RequestTrace *trace)
+                           telemetry::RequestTrace *trace,
+                           const WireSpan *wire)
 {
     Response response;
     switch (request.type) {
@@ -308,6 +395,12 @@ DjinnServer::handleRequest(const Request &request,
                     telemetry::renderPrometheus(samples);
             } else if (format == "json") {
                 response.message = telemetry::renderJson(samples);
+            } else if (format == "trace") {
+                response.message = telemetry::renderChromeTrace(
+                    tracer_.events());
+            } else if (format == "requests") {
+                response.message = telemetry::renderRequestsCsv(
+                    tracer_.recentRequests());
             } else {
                 response.status = WireStatus::BadRequest;
                 response.message = "unknown metrics format '" +
@@ -316,7 +409,7 @@ DjinnServer::handleRequest(const Request &request,
             return response;
         }
       case RequestType::Inference:
-        return handleInference(request, trace);
+        return handleInference(request, trace, wire);
     }
     response.status = WireStatus::BadRequest;
     response.message = "unknown request type";
@@ -369,7 +462,8 @@ DjinnServer::stats() const
 
 Response
 DjinnServer::handleInference(const Request &request,
-                             telemetry::RequestTrace *trace)
+                             telemetry::RequestTrace *trace,
+                             const WireSpan *wire)
 {
     Response response;
     auto network = registry_.find(request.model);
@@ -393,13 +487,19 @@ DjinnServer::handleInference(const Request &request,
         return response;
     }
 
+    int64_t batch_rows = rows;
     auto start = std::chrono::steady_clock::now();
     try {
         if (batcher_) {
             // The batching executor records the queue-wait and
-            // (per-pass) forward phases itself.
-            auto future = batcher_->submit(request.model, rows,
-                                           request.payload);
+            // (per-pass) forward phases itself, and emits the batch
+            // and per-layer spans for traced requests.
+            auto future =
+                wire ? batcher_->submit(request.model, rows,
+                                        request.payload, wire->trace,
+                                        wire->serverSpan)
+                     : batcher_->submit(request.model, rows,
+                                        request.payload);
             InferenceResult result = future.get();
             if (!result.status.isOk()) {
                 response.status = WireStatus::ServerError;
@@ -407,6 +507,7 @@ DjinnServer::handleInference(const Request &request,
                 return response;
             }
             response.payload = std::move(result.output);
+            batch_rows = result.batchRows;
         } else {
             nn::Tensor input(network->inputShape().withBatch(rows));
             std::memcpy(input.data(), request.payload.data(),
@@ -414,9 +515,54 @@ DjinnServer::handleInference(const Request &request,
             std::optional<telemetry::RequestTrace::Span> span;
             if (trace)
                 span.emplace(*trace, telemetry::Phase::Forward);
-            nn::Tensor output = network->forward(input);
+            nn::VectorProfileSink profile;
+            int64_t fwd_start_us =
+                wire ? telemetry::traceNowUs() : 0;
+            nn::Tensor output =
+                network->forward(input, wire ? &profile : nullptr);
             if (span)
                 span->stop();
+            if (wire) {
+                int64_t fwd_end_us = telemetry::traceNowUs();
+                uint64_t fwd_span = tracer_.nextSpanId();
+                telemetry::TraceEvent fwd;
+                fwd.name = "forward";
+                fwd.category = "server";
+                fwd.track = wire->track;
+                fwd.traceId = wire->trace.traceId;
+                fwd.spanId = fwd_span;
+                fwd.parentSpanId = wire->serverSpan;
+                fwd.startUs = fwd_start_us;
+                fwd.durationUs = fwd_end_us - fwd_start_us;
+                tracer_.record(std::move(fwd));
+                int64_t layer_start = fwd_start_us;
+                for (const auto &lp : profile.profiles()) {
+                    telemetry::TraceEvent e;
+                    e.name = lp.name;
+                    e.category = "layer";
+                    e.track = wire->track;
+                    e.traceId = wire->trace.traceId;
+                    e.spanId = tracer_.nextSpanId();
+                    e.parentSpanId = fwd_span;
+                    e.startUs = layer_start;
+                    e.durationUs =
+                        static_cast<int64_t>(lp.seconds * 1e6);
+                    e.args.emplace_back(
+                        "kind", nn::layerKindName(lp.kind));
+                    e.args.emplace_back(
+                        "flops",
+                        strprintf("%llu",
+                                  static_cast<unsigned long long>(
+                                      lp.flops)));
+                    e.args.emplace_back(
+                        "activation_bytes",
+                        strprintf("%llu",
+                                  static_cast<unsigned long long>(
+                                      lp.activationBytes)));
+                    layer_start += e.durationUs;
+                    tracer_.record(std::move(e));
+                }
+            }
             response.payload.assign(output.data(),
                                     output.data() + output.elems());
         }
@@ -429,6 +575,10 @@ DjinnServer::handleInference(const Request &request,
         std::chrono::steady_clock::now() - start).count();
     if (trace)
         trace->record(telemetry::Phase::Service, seconds);
+    if (config_.tracing) {
+        tracer_.recordRequest({request.trace.traceId, request.model,
+                               rows, batch_rows, seconds * 1e3});
+    }
     telemetry::LabelMap model_label{{"model", request.model}};
     metrics_.counter(requestsTotalName, model_label).inc();
     metrics_.counter(rowsTotalName, model_label)

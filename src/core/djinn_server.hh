@@ -27,9 +27,12 @@
 #include "core/protocol.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
+#include "telemetry/tracer.hh"
 
 namespace djinn {
 namespace core {
+
+class HttpEndpoint;
 
 /** DjiNN server configuration. */
 struct ServerConfig {
@@ -47,6 +50,28 @@ struct ServerConfig {
 
     /** Cap on input rows accepted in a single request. */
     int64_t maxRowsPerRequest = 4096;
+
+    /**
+     * Record spans for sampled requests into the in-memory trace
+     * ring (DESIGN.md "End-to-end tracing").
+     */
+    bool tracing = true;
+
+    /**
+     * HTTP scrape port (/healthz, /metrics, /trace). Negative
+     * disables the endpoint; 0 picks an ephemeral port.
+     */
+    int32_t httpPort = -1;
+
+    /**
+     * Background sampler period in seconds (queue depth, RSS, and
+     * other gauges as counter tracks). Non-positive disables the
+     * sampler; it also only runs when tracing is on.
+     */
+    double samplerPeriod = 0.25;
+
+    /** Trace ring capacity, in events. */
+    size_t traceCapacity = 16384;
 };
 
 /**
@@ -122,18 +147,42 @@ class DjinnServer
         return metrics_;
     }
 
+    /**
+     * The server's span ring: request/phase/per-layer spans for
+     * sampled traced requests plus sampler counter tracks. Export
+     * with telemetry::renderChromeTrace, the Metrics wire verb
+     * ("trace" format), or GET /trace.
+     */
+    telemetry::Tracer &tracer() { return tracer_; }
+    const telemetry::Tracer &tracer() const { return tracer_; }
+
+    /** Bound HTTP scrape port; 0 when the endpoint is disabled. */
+    uint16_t httpPort() const;
+
   private:
+    /** Identity of one traced request's server-side span. */
+    struct WireSpan {
+        telemetry::TraceContext trace;
+        uint64_t serverSpan = 0;
+        std::string track;
+    };
+
     void acceptLoop();
     void serveConnection(int fd);
     Response handleRequest(const Request &request,
-                           telemetry::RequestTrace *trace);
+                           telemetry::RequestTrace *trace,
+                           const WireSpan *wire);
     Response handleInference(const Request &request,
-                             telemetry::RequestTrace *trace);
+                             telemetry::RequestTrace *trace,
+                             const WireSpan *wire);
 
     const ModelRegistry &registry_;
     ServerConfig config_;
     telemetry::MetricRegistry metrics_;
+    telemetry::Tracer tracer_;
     std::unique_ptr<BatchingExecutor> batcher_;
+    std::unique_ptr<telemetry::BackgroundSampler> sampler_;
+    std::unique_ptr<HttpEndpoint> http_;
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

@@ -1,0 +1,251 @@
+#include "core/http_endpoint.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "telemetry/exposition.hh"
+
+namespace djinn {
+namespace core {
+
+namespace {
+
+const char *
+statusText(int code)
+{
+    switch (code) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+    }
+    return "Internal Server Error";
+}
+
+} // namespace
+
+HttpEndpoint::HttpEndpoint(const telemetry::MetricRegistry &metrics,
+                           const telemetry::Tracer &tracer)
+    : metrics_(metrics), tracer_(tracer)
+{}
+
+HttpEndpoint::~HttpEndpoint()
+{
+    stop();
+}
+
+Status
+HttpEndpoint::start(const std::string &bind_address, uint16_t port)
+{
+    if (running_.load())
+        return Status::invalidArgument("endpoint already running");
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno));
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, bind_address.c_str(),
+                    &addr.sin_addr) != 1) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return Status::invalidArgument("bad bind address '" +
+                                       bind_address + "'");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        Status s = Status::ioError(std::string("bind: ") +
+                                   std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return s;
+    }
+    if (::listen(listenFd_, 16) < 0) {
+        Status s = Status::ioError(std::string("listen: ") +
+                                   std::strerror(errno));
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return s;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0) {
+        port_ = ntohs(addr.sin_port);
+    }
+
+    running_.store(true);
+    acceptor_ = std::thread([this]() { acceptLoop(); });
+    inform("HTTP scrape endpoint on %s:%u", bind_address.c_str(),
+           port_);
+    return Status::ok();
+}
+
+void
+HttpEndpoint::stop()
+{
+    if (!running_.exchange(false)) {
+        if (acceptor_.joinable())
+            acceptor_.join();
+        return;
+    }
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+HttpEndpoint::acceptLoop()
+{
+    while (running_.load()) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // Listening socket shut down by stop().
+        }
+        if (!running_.load()) {
+            ::shutdown(fd, SHUT_RDWR);
+            ::close(fd);
+            continue;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                     sizeof(one));
+        // Scrapes are short and rare; serve them serially so there
+        // is no connection-thread bookkeeping.
+        serveConnection(fd);
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+int
+HttpEndpoint::handle(const std::string &target,
+                     std::string &content_type,
+                     std::string &body) const
+{
+    std::string path = target;
+    std::string query;
+    size_t qpos = target.find('?');
+    if (qpos != std::string::npos) {
+        path = target.substr(0, qpos);
+        query = target.substr(qpos + 1);
+    }
+
+    content_type = "text/plain; charset=utf-8";
+    if (path == "/healthz") {
+        body = "ok\n";
+        return 200;
+    }
+    if (path == "/metrics") {
+        body = telemetry::renderPrometheus(metrics_.snapshot());
+        // The exposition content type Prometheus scrapers expect.
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        return 200;
+    }
+    if (path == "/trace") {
+        size_t last_n = 0;
+        for (const std::string &kv : split(query, '&')) {
+            size_t eq = kv.find('=');
+            if (eq == std::string::npos ||
+                kv.substr(0, eq) != "last")
+                continue;
+            int64_t parsed = 0;
+            if (!parseInt(kv.substr(eq + 1), parsed) ||
+                parsed < 0) {
+                body = "bad 'last' parameter\n";
+                return 400;
+            }
+            last_n = static_cast<size_t>(parsed);
+        }
+        body = telemetry::renderChromeTrace(tracer_.events(last_n));
+        content_type = "application/json";
+        return 200;
+    }
+    body = "not found\n";
+    return 404;
+}
+
+void
+HttpEndpoint::serveConnection(int fd)
+{
+    // Read until the end of the request head; scrape requests have
+    // no body.
+    std::string head;
+    char buf[2048];
+    while (head.find("\r\n\r\n") == std::string::npos &&
+           head.size() < 64 * 1024) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if (n == 0)
+            break;
+        head.append(buf, static_cast<size_t>(n));
+    }
+
+    size_t line_end = head.find("\r\n");
+    std::string request_line = line_end == std::string::npos
+                                   ? head
+                                   : head.substr(0, line_end);
+    std::vector<std::string> parts = split(request_line, ' ');
+
+    int code;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+    if (parts.size() < 2) {
+        code = 400;
+        body = "malformed request line\n";
+    } else if (parts[0] != "GET") {
+        code = 405;
+        body = "only GET is supported\n";
+    } else {
+        code = handle(parts[1], content_type, body);
+    }
+
+    std::string response = strprintf(
+        "HTTP/1.0 %d %s\r\n"
+        "Content-Type: %s\r\n"
+        "Content-Length: %zu\r\n"
+        "Connection: close\r\n"
+        "\r\n",
+        code, statusText(code), content_type.c_str(), body.size());
+    response += body;
+
+    size_t sent = 0;
+    while (sent < response.size()) {
+        ssize_t n = ::send(fd, response.data() + sent,
+                           response.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        sent += static_cast<size_t>(n);
+    }
+}
+
+} // namespace core
+} // namespace djinn

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A minimal embedded HTTP scrape endpoint so standard tooling can
+ * observe a DjiNN server without speaking the wire protocol:
+ *
+ *   GET /healthz       -> 200 "ok"
+ *   GET /metrics       -> Prometheus text exposition
+ *   GET /trace?last=N  -> Chrome trace-event JSON (last N events;
+ *                         omit for the whole ring)
+ *
+ * The endpoint serves one connection at a time with HTTP/1.0
+ * close-after-response semantics, which is all scrapers and
+ * `curl` need; it is not a general web server.
+ */
+
+#ifndef DJINN_CORE_HTTP_ENDPOINT_HH
+#define DJINN_CORE_HTTP_ENDPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/status.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/tracer.hh"
+
+namespace djinn {
+namespace core {
+
+/** Embedded observability HTTP server (see file comment). */
+class HttpEndpoint
+{
+  public:
+    /**
+     * @param metrics registry served under /metrics.
+     * @param tracer trace ring served under /trace.
+     * Both must outlive the endpoint.
+     */
+    HttpEndpoint(const telemetry::MetricRegistry &metrics,
+                 const telemetry::Tracer &tracer);
+
+    /** Stops the endpoint if still running. */
+    ~HttpEndpoint();
+
+    HttpEndpoint(const HttpEndpoint &) = delete;
+    HttpEndpoint &operator=(const HttpEndpoint &) = delete;
+
+    /**
+     * Bind and start serving.
+     *
+     * @param bind_address IPv4 address to bind.
+     * @param port TCP port; 0 picks an ephemeral port.
+     */
+    Status start(const std::string &bind_address, uint16_t port);
+
+    /** Stop serving and join the acceptor thread. */
+    void stop();
+
+    /** The bound TCP port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    /** True while the endpoint is accepting connections. */
+    bool running() const { return running_.load(); }
+
+    /**
+     * Dispatch one already-parsed request; exposed for tests.
+     *
+     * @param target the request target, e.g. "/trace?last=10".
+     * @param content_type out: the response content type.
+     * @param body out: the response body.
+     * @return the HTTP status code.
+     */
+    int handle(const std::string &target, std::string &content_type,
+               std::string &body) const;
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    const telemetry::MetricRegistry &metrics_;
+    const telemetry::Tracer &tracer_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> running_{false};
+    std::thread acceptor_;
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_HTTP_ENDPOINT_HH

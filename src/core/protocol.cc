@@ -50,6 +50,16 @@ class Reader
     explicit Reader(const std::vector<uint8_t> &data) : data_(data) {}
 
     bool
+    u8(uint8_t &v)
+    {
+        if (pos_ + 1 > data_.size())
+            return false;
+        v = data_[pos_];
+        pos_ += 1;
+        return true;
+    }
+
+    bool
     u16(uint16_t &v)
     {
         if (pos_ + 2 > data_.size())
@@ -119,10 +129,11 @@ std::vector<uint8_t>
 encodeRequest(const Request &request)
 {
     std::vector<uint8_t> out;
-    out.reserve(24 + request.model.size() +
+    bool traced = request.trace.valid();
+    out.reserve(41 + request.model.size() +
                 request.payload.size() * sizeof(float));
     putU32(out, requestMagic);
-    putU16(out, protocolVersion);
+    putU16(out, traced ? protocolVersionTraced : protocolVersion);
     putU16(out, static_cast<uint16_t>(request.type));
     putU32(out, static_cast<uint32_t>(request.model.size()));
     putBytes(out, request.model.data(), request.model.size());
@@ -130,6 +141,11 @@ encodeRequest(const Request &request)
     putU64(out, request.payload.size());
     putBytes(out, request.payload.data(),
              request.payload.size() * sizeof(float));
+    if (traced) {
+        putU64(out, request.trace.traceId);
+        putU64(out, request.trace.spanId);
+        out.push_back(request.trace.flags);
+    }
     return out;
 }
 
@@ -158,7 +174,9 @@ decodeRequest(const std::vector<uint8_t> &data)
     uint16_t version, type;
     if (!r.u32(magic) || magic != requestMagic)
         return Status::protocolError("bad request magic");
-    if (!r.u16(version) || version != protocolVersion)
+    if (!r.u16(version) ||
+        (version != protocolVersion &&
+         version != protocolVersionTraced))
         return Status::protocolError("unsupported protocol version");
     if (!r.u16(type))
         return Status::protocolError("truncated request header");
@@ -186,6 +204,12 @@ decodeRequest(const std::vector<uint8_t> &data)
                                      "header");
     if (!r.floats(request.payload, count))
         return Status::protocolError("truncated request payload");
+    if (version == protocolVersionTraced) {
+        if (!r.u64(request.trace.traceId) ||
+            !r.u64(request.trace.spanId) ||
+            !r.u8(request.trace.flags))
+            return Status::protocolError("truncated trace context");
+    }
     if (!r.atEnd())
         return Status::protocolError("trailing bytes after request");
     return request;

@@ -3,9 +3,17 @@
  * The DjiNN wire protocol: a custom framed format over TCP/IP
  * (paper Section 3.1, "Decoupled Architecture").
  *
- * Request frame:
+ * Request frame (version 1):
  *   u32 magic 'DJNR' | u16 version | u16 type | u32 model name len |
  *   name bytes | u32 rows | u64 payload float count | f32 payload[]
+ *
+ * Request frame (version 2) appends a trace-context block after the
+ * payload:
+ *   ... f32 payload[] | u64 trace id | u64 span id | u8 trace flags
+ *
+ * Clients emit version 2 only when a trace context is attached, so
+ * untraced traffic stays byte-identical to version 1 and old
+ * servers keep working; servers accept both versions.
  *
  * Response frame:
  *   u32 magic 'DJNA' | u16 version | u16 status | u32 message len |
@@ -23,12 +31,16 @@
 #include <vector>
 
 #include "common/status.hh"
+#include "telemetry/trace_context.hh"
 
 namespace djinn {
 namespace core {
 
 /** Protocol version understood by this implementation. */
 constexpr uint16_t protocolVersion = 1;
+
+/** Protocol version carrying a trailing trace-context block. */
+constexpr uint16_t protocolVersionTraced = 2;
 
 /** Request frame types. */
 enum class RequestType : uint16_t {
@@ -68,6 +80,13 @@ struct Request {
 
     /** Flat row-major input data. */
     std::vector<float> payload;
+
+    /**
+     * Distributed trace context. When valid() the request encodes
+     * as version 2 with a trailing trace block; otherwise the
+     * frame is byte-identical to version 1.
+     */
+    telemetry::TraceContext trace;
 };
 
 /** A parsed response frame. */

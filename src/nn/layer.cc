@@ -78,6 +78,23 @@ Layer::forward(const Tensor &in, Tensor &out) const
     forwardImpl(in, out);
 }
 
+uint64_t
+Layer::flopsPerSample() const
+{
+    uint64_t out_elems =
+        static_cast<uint64_t>(outputShape_.sampleElems());
+    switch (kind_) {
+      case LayerKind::Dropout:
+      case LayerKind::Flatten:
+        return 0;
+      case LayerKind::Softmax:
+        return 4 * out_elems;
+      default:
+        // ReLU/Tanh/Sigmoid/HardTanh: one op + one store pass.
+        return 2 * out_elems;
+    }
+}
+
 std::vector<const Tensor *>
 Layer::params() const
 {

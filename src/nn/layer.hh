@@ -89,6 +89,14 @@ class Layer
     /** Number of learned parameters (weights + biases). */
     virtual uint64_t paramCount() const { return 0; }
 
+    /**
+     * Useful floating point operations of one sample's forward
+     * pass, using the same counting convention as
+     * perf::analyzeNetwork so static and measured costs line up.
+     * Valid only after setup().
+     */
+    virtual uint64_t flopsPerSample() const;
+
     /** Mutable views of the learned parameter tensors. */
     virtual std::vector<Tensor *> params() { return {}; }
 

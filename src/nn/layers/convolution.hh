@@ -67,6 +67,19 @@ class ConvolutionLayer : public Layer
     int64_t pad() const { return pad_; }
     int64_t groups() const { return groups_; }
 
+    uint64_t
+    flopsPerSample() const override
+    {
+        uint64_t cols = static_cast<uint64_t>(
+            outputShape().h() * outputShape().w());
+        uint64_t patch = static_cast<uint64_t>(
+            (inputShape().c() / groups_) * kernel_ * kernel_);
+        uint64_t out_per_group =
+            static_cast<uint64_t>(outChannels_ / groups_);
+        return 2ull * static_cast<uint64_t>(groups_) *
+               out_per_group * cols * patch;
+    }
+
     /** The (out_c, in_c/groups, kh, kw) filter bank. */
     const Tensor &weights() const { return weights_; }
 

@@ -35,6 +35,13 @@ class InnerProductLayer : public Layer
     /** Flattened input length (valid after setup). */
     int64_t inputs() const { return inputs_; }
 
+    uint64_t
+    flopsPerSample() const override
+    {
+        return 2ull * static_cast<uint64_t>(inputs_) *
+               static_cast<uint64_t>(outputs_);
+    }
+
     /** The (outputs x inputs) weight matrix. */
     const Tensor &weights() const { return weights_; }
 

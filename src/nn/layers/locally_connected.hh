@@ -45,6 +45,16 @@ class LocallyConnectedLayer : public Layer
     int64_t stride() const { return stride_; }
     int64_t pad() const { return pad_; }
 
+    uint64_t
+    flopsPerSample() const override
+    {
+        uint64_t positions = static_cast<uint64_t>(
+            outChannels_ * outputShape().h() * outputShape().w());
+        uint64_t patch = static_cast<uint64_t>(
+            inputShape().c() * kernel_ * kernel_);
+        return 2ull * positions * patch;
+    }
+
   protected:
     Shape setupImpl(const Shape &input) override;
     void forwardImpl(const Tensor &in, Tensor &out) const override;

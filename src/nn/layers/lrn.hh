@@ -31,6 +31,13 @@ class LrnLayer : public Layer
 
     int64_t size() const { return size_; }
 
+    uint64_t
+    flopsPerSample() const override
+    {
+        return static_cast<uint64_t>(3 * size_ + 2) *
+               static_cast<uint64_t>(outputShape().sampleElems());
+    }
+
   protected:
     Shape setupImpl(const Shape &input) override;
     void forwardImpl(const Tensor &in, Tensor &out) const override;

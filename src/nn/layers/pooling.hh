@@ -38,6 +38,13 @@ class PoolingLayer : public Layer
     int64_t stride() const { return stride_; }
     int64_t pad() const { return pad_; }
 
+    uint64_t
+    flopsPerSample() const override
+    {
+        return static_cast<uint64_t>(kernel_ * kernel_) *
+               static_cast<uint64_t>(outputShape().sampleElems());
+    }
+
   protected:
     Shape setupImpl(const Shape &input) override;
     void forwardImpl(const Tensor &in, Tensor &out) const override;

@@ -1,8 +1,10 @@
 #include "nn/network.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "nn/profile.hh"
 
 namespace djinn {
 namespace nn {
@@ -76,14 +78,39 @@ Network::weightBytes() const
 Tensor
 Network::forward(const Tensor &in) const
 {
+    return forward(in, nullptr);
+}
+
+Tensor
+Network::forward(const Tensor &in, ProfileSink *sink) const
+{
     if (!finalized_)
         panic("network '%s': forward before finalize", name_.c_str());
+    using Clock = std::chrono::steady_clock;
     Tensor a = in;
     Tensor b;
     const Tensor *cur = &a;
     Tensor *next = &b;
     for (const auto &l : layers_) {
+        Clock::time_point start;
+        if (sink)
+            start = Clock::now();
         l->forward(*cur, *next);
+        if (sink) {
+            LayerProfile p;
+            p.name = l->name();
+            p.kind = l->kind();
+            p.seconds = std::chrono::duration<double>(
+                            Clock::now() - start)
+                            .count();
+            uint64_t batch = static_cast<uint64_t>(
+                next->shape().n());
+            p.flops = l->flopsPerSample() * batch;
+            p.activationBytes =
+                static_cast<uint64_t>(next->shape().elems()) *
+                sizeof(float);
+            sink->onLayer(p);
+        }
         if (cur == &a) {
             cur = &b;
             next = &a;

@@ -19,6 +19,8 @@
 namespace djinn {
 namespace nn {
 
+class ProfileSink;
+
 /**
  * An inference network: input geometry plus an ordered layer chain.
  * After finalize(), the network is immutable and safe to share
@@ -86,6 +88,14 @@ class Network
      * safe; scratch tensors live on the caller's stack.
      */
     Tensor forward(const Tensor &in) const;
+
+    /**
+     * Forward pass with optional per-layer profiling. When @p sink
+     * is non-null, one LayerProfile (wall time, FLOPs, activation
+     * bytes) is emitted per layer in execution order; when null the
+     * only extra cost is a pointer check per layer.
+     */
+    Tensor forward(const Tensor &in, ProfileSink *sink) const;
 
     /** Multi-line structural description (one line per layer). */
     std::string describe() const;

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-layer forward-pass profiling. A ProfileSink passed to
+ * Network::forward receives one LayerProfile per executed layer:
+ * wall time, useful FLOPs (the same counting convention as
+ * perf::analyzeNetwork, so static and measured costs line up), and
+ * activation output bytes. When no sink is attached the forward
+ * hot path pays exactly one null-pointer check per layer — no
+ * allocation, no locking, no clock reads.
+ */
+
+#ifndef DJINN_NN_PROFILE_HH
+#define DJINN_NN_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace djinn {
+namespace nn {
+
+/** One layer's measured forward cost for one batch. */
+struct LayerProfile {
+    /** Layer name within its network. */
+    std::string name;
+
+    /** Layer kind. */
+    LayerKind kind;
+
+    /** Wall time of the layer's forward pass, seconds. */
+    double seconds = 0.0;
+
+    /** Useful floating point operations for the whole batch. */
+    uint64_t flops = 0;
+
+    /** Bytes of activation output written (batch x out x 4). */
+    uint64_t activationBytes = 0;
+};
+
+/** Receiver of per-layer profiles during a forward pass. */
+class ProfileSink
+{
+  public:
+    virtual ~ProfileSink() = default;
+
+    /** Called once per layer, in execution order. */
+    virtual void onLayer(const LayerProfile &profile) = 0;
+};
+
+/** A sink that simply collects the profiles in order. */
+class VectorProfileSink : public ProfileSink
+{
+  public:
+    void
+    onLayer(const LayerProfile &profile) override
+    {
+        profiles_.push_back(profile);
+    }
+
+    /** The collected profiles, in execution order. */
+    const std::vector<LayerProfile> &
+    profiles() const
+    {
+        return profiles_;
+    }
+
+    /** Drop all collected profiles. */
+    void clear() { profiles_.clear(); }
+
+  private:
+    std::vector<LayerProfile> profiles_;
+};
+
+} // namespace nn
+} // namespace djinn
+
+#endif // DJINN_NN_PROFILE_HH

@@ -33,6 +33,15 @@ idWith(const MetricSample &sample, const std::string &key,
 }
 
 std::string
+quantileLabel(double q)
+{
+    std::string s = strprintf("%g", q);
+    return s;
+}
+
+} // namespace
+
+std::string
 jsonEscape(const std::string &s)
 {
     std::string out;
@@ -60,15 +69,6 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
-
-std::string
-quantileLabel(double q)
-{
-    std::string s = strprintf("%g", q);
-    return s;
-}
-
-} // namespace
 
 std::string
 renderPrometheus(const std::vector<MetricSample> &samples)

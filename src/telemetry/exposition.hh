@@ -31,6 +31,9 @@ inline constexpr double exportedQuantiles[] = {0.5, 0.95, 0.99};
 std::string renderPrometheus(
     const std::vector<MetricSample> &samples);
 
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
 /** Render a snapshot as a JSON object. */
 std::string renderJson(const std::vector<MetricSample> &samples);
 

@@ -1,0 +1,57 @@
+#include "telemetry/trace_context.hh"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace djinn {
+namespace telemetry {
+
+namespace {
+
+/**
+ * Process-unique id stream: a strong mixer over an atomic counter
+ * seeded once from the wall clock, so ids differ across processes
+ * but stay cheap (no locking, no device entropy) to mint.
+ */
+uint64_t
+nextId()
+{
+    static const uint64_t base = mix64(static_cast<uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch()
+            .count()));
+    static std::atomic<uint64_t> counter{1};
+    uint64_t id = mix64(
+        base ^ counter.fetch_add(1, std::memory_order_relaxed));
+    return id ? id : 1; // 0 is reserved for "no context"
+}
+
+} // namespace
+
+TraceContext
+makeTraceContext(bool sampled)
+{
+    TraceContext ctx;
+    ctx.traceId = nextId();
+    ctx.spanId = nextId();
+    ctx.flags = sampled ? traceFlagSampled : 0;
+    return ctx;
+}
+
+uint64_t
+nextGlobalSpanId()
+{
+    return nextId();
+}
+
+std::string
+traceIdToHex(uint64_t id)
+{
+    return strprintf("%016llx",
+                     static_cast<unsigned long long>(id));
+}
+
+} // namespace telemetry
+} // namespace djinn

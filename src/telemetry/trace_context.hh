@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The distributed trace context: the identity a request carries
+ * across process boundaries so every span recorded on its behalf —
+ * client round-trip, server phases, batched forward pass, per-layer
+ * compute — can be stitched back into one timeline. Modeled on the
+ * W3C trace-context/OpenTelemetry split: a 64-bit trace id names
+ * the end-to-end request, a 64-bit span id names the sender's
+ * active span (the parent of whatever the receiver records), and a
+ * flags byte carries the sampling decision.
+ */
+
+#ifndef DJINN_TELEMETRY_TRACE_CONTEXT_HH
+#define DJINN_TELEMETRY_TRACE_CONTEXT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace djinn {
+namespace telemetry {
+
+/** Bit assignments of the on-wire trace flags byte. */
+enum TraceFlags : uint8_t {
+    /** The originator elected this request for span recording. */
+    traceFlagSampled = 0x01,
+};
+
+/**
+ * A request's trace identity. Default-constructed contexts are
+ * invalid (trace id 0) and encode to nothing on the wire.
+ */
+struct TraceContext {
+    /** End-to-end request id; 0 means "no context". */
+    uint64_t traceId = 0;
+
+    /** The sender's span: parent of the receiver's root span. */
+    uint64_t spanId = 0;
+
+    /** Wire flags (sampling decision). */
+    uint8_t flags = 0;
+
+    /** True when this context names a real trace. */
+    bool valid() const { return traceId != 0; }
+
+    /** True when spans should be recorded for this request. */
+    bool sampled() const { return (flags & traceFlagSampled) != 0; }
+
+    bool operator==(const TraceContext &) const = default;
+};
+
+/**
+ * Mint a fresh context with process-unique, pseudo-random ids.
+ *
+ * @param sampled whether the new trace is elected for recording.
+ */
+TraceContext makeTraceContext(bool sampled = true);
+
+/** A fresh process-unique span id (never 0). */
+uint64_t nextGlobalSpanId();
+
+/** Render an id as fixed-width lowercase hex ("00c0ffee..."). */
+std::string traceIdToHex(uint64_t id);
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_TRACE_CONTEXT_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The trace buffer and timeline exporter behind end-to-end request
+ * tracing. Components on the service path record completed spans
+ * (client round-trip, server phases, batched forward passes,
+ * per-layer compute) and counter samples (queue depth, in-flight
+ * requests, process RSS) into a fixed-capacity ring; the buffer
+ * renders as Chrome trace-event JSON, loadable in chrome://tracing
+ * or Perfetto, with one named track per logical thread and the
+ * trace/span/parent ids attached to every event's args.
+ *
+ * All timestamps share one process-wide steady-clock epoch
+ * (`traceNowUs()`), so spans recorded by different Tracer instances
+ * in one process merge onto a single timeline.
+ */
+
+#ifndef DJINN_TELEMETRY_TRACER_HH
+#define DJINN_TELEMETRY_TRACER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace_context.hh"
+
+namespace djinn {
+namespace telemetry {
+
+/** Microseconds since the process-wide trace epoch (steady). */
+int64_t traceNowUs();
+
+/** One recorded timeline event. */
+struct TraceEvent {
+    /** Event name ("decode", "conv1", "queue_depth", ...). */
+    std::string name;
+
+    /** Coarse grouping: "client", "phase", "layer", "sampler". */
+    std::string category;
+
+    /** Track (rendered as a named Chrome thread) the event is on. */
+    std::string track;
+
+    /** Owning trace; 0 for counter samples. */
+    uint64_t traceId = 0;
+
+    /** This span's id. */
+    uint64_t spanId = 0;
+
+    /** Enclosing span's id; 0 for roots. */
+    uint64_t parentSpanId = 0;
+
+    /** Start time, traceNowUs() units. */
+    int64_t startUs = 0;
+
+    /** Span duration; ignored for counter samples. */
+    int64_t durationUs = 0;
+
+    /** True for counter samples (rendered as Chrome "C" events). */
+    bool counter = false;
+
+    /** Counter value when counter is true. */
+    double value = 0.0;
+
+    /** Extra args rendered into the event's args object. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Thread-safe fixed-capacity event ring plus a smaller ring of
+ * per-request summaries (the `djinn_cli metrics requests` view).
+ * When full, the oldest events are overwritten; dropped() counts
+ * the overwrites.
+ */
+class Tracer
+{
+  public:
+    /**
+     * @param capacity event ring size.
+     * @param requestCapacity request-summary ring size.
+     */
+    explicit Tracer(size_t capacity = 16384,
+                    size_t requestCapacity = 256);
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** A fresh span id unique within the process. */
+    uint64_t nextSpanId() { return nextGlobalSpanId(); }
+
+    /** Append one event (span or counter). */
+    void record(TraceEvent event);
+
+    /** Append a counter sample stamped with the current time. */
+    void recordCounter(const std::string &name, double value,
+                       const std::string &track = "sampler");
+
+    /**
+     * One completed request, correlated with the batch that served
+     * it. Rendered by the `requests` exposition format as CSV.
+     */
+    struct RequestSummary {
+        uint64_t traceId = 0;
+        std::string model;
+
+        /** Rows the request itself carried. */
+        int64_t rows = 0;
+
+        /** Total rows of the forward pass that served it. */
+        int64_t batchRows = 0;
+
+        /** End-to-end service time, milliseconds. */
+        double serviceMs = 0.0;
+    };
+
+    /** Append one request summary. */
+    void recordRequest(RequestSummary summary);
+
+    /**
+     * Chronological copy of the buffered events.
+     *
+     * @param last_n keep only the newest N events; 0 keeps all.
+     */
+    std::vector<TraceEvent> events(size_t last_n = 0) const;
+
+    /** Chronological copy of the request summaries. */
+    std::vector<RequestSummary> recentRequests(
+        size_t last_n = 0) const;
+
+    /** Events overwritten because the ring was full. */
+    uint64_t dropped() const;
+
+    /** Buffered event count. */
+    size_t size() const;
+
+    /** Discard all buffered events and summaries. */
+    void clear();
+
+  private:
+    const size_t capacity_;
+    const size_t requestCapacity_;
+
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    size_t head_ = 0; // next write position once the ring is full
+    uint64_t dropped_ = 0;
+    std::vector<RequestSummary> requests_;
+    size_t requestHead_ = 0;
+};
+
+/**
+ * Render events as a Chrome trace-event JSON document
+ * (`{"traceEvents": [...]}`): spans become complete ("X") events,
+ * counters become "C" events, and every distinct track gets a
+ * thread_name metadata record. Events are emitted in start-time
+ * order.
+ */
+std::string renderChromeTrace(const std::vector<TraceEvent> &events);
+
+/**
+ * Render request summaries as CSV:
+ * `trace_id,model,rows,batch_rows,service_ms` (one header line).
+ */
+std::string renderRequestsCsv(
+    const std::vector<Tracer::RequestSummary> &requests);
+
+/**
+ * Background thread that periodically samples service vitals into a
+ * tracer as counter events: every gauge in the registry (queue
+ * depths, in-flight requests) plus the process's resident set size.
+ * An optional hook lets the owner add its own samples (e.g. live
+ * connection counts).
+ */
+class BackgroundSampler
+{
+  public:
+    using Hook = std::function<void(Tracer &)>;
+
+    /**
+     * @param tracer destination buffer; must outlive the sampler.
+     * @param metrics registry whose gauges are sampled.
+     * @param period_seconds sampling interval.
+     * @param hook optional extra per-tick sampling.
+     */
+    BackgroundSampler(Tracer &tracer,
+                      const MetricRegistry &metrics,
+                      double period_seconds, Hook hook = {});
+
+    /** Stops the thread if running. */
+    ~BackgroundSampler();
+
+    BackgroundSampler(const BackgroundSampler &) = delete;
+    BackgroundSampler &operator=(const BackgroundSampler &) = delete;
+
+    /** Start sampling; no-op when already running. */
+    void start();
+
+    /** Stop and join the sampling thread. */
+    void stop();
+
+    /** Record one sample synchronously (also used per tick). */
+    void sampleOnce();
+
+  private:
+    void loop();
+
+    Tracer &tracer_;
+    const MetricRegistry &metrics_;
+    double period_;
+    Hook hook_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+/** Current process resident set size in bytes; 0 when unknown. */
+double processRssBytes();
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_TRACER_HH

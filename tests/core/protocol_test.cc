@@ -112,6 +112,85 @@ TEST(Protocol, RejectsOversizeModelName)
     EXPECT_FALSE(decodeRequest(bytes).isOk());
 }
 
+TEST(Protocol, UntracedRequestEncodesAsVersionOne)
+{
+    // Backward compatibility: a request without a trace context
+    // must emit the original v1 frame, byte for byte — an old
+    // server never sees the v2 trailer.
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f};
+    auto bytes = encodeRequest(request);
+    EXPECT_EQ(bytes[4], protocolVersion & 0xff);
+    EXPECT_EQ(bytes[5], (protocolVersion >> 8) & 0xff);
+
+    auto decoded = decodeRequest(bytes);
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_FALSE(decoded.value().trace.valid());
+}
+
+TEST(Protocol, TracedRequestRoundTripsTraceContext)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "alexnet";
+    request.rows = 1;
+    request.payload = {0.5f, 0.25f};
+    request.trace = telemetry::makeTraceContext();
+
+    auto bytes = encodeRequest(request);
+    EXPECT_EQ(bytes[4], protocolVersionTraced & 0xff);
+
+    auto decoded = decodeRequest(bytes);
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    const Request &r = decoded.value();
+    EXPECT_EQ(r.model, "alexnet");
+    ASSERT_EQ(r.payload.size(), 2u);
+    EXPECT_TRUE(r.trace.valid());
+    EXPECT_TRUE(r.trace.sampled());
+    EXPECT_EQ(r.trace.traceId, request.trace.traceId);
+    EXPECT_EQ(r.trace.spanId, request.trace.spanId);
+    EXPECT_EQ(r.trace.flags, request.trace.flags);
+}
+
+TEST(Protocol, TracedEncodingOnlyAppendsTrailer)
+{
+    // The v2 frame is the v1 frame plus 17 trailer bytes and the
+    // bumped version field — nothing else moves, so a v1 decoder's
+    // view of the shared prefix is unchanged.
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f, 2.0f};
+    auto v1 = encodeRequest(request);
+    request.trace = telemetry::makeTraceContext();
+    auto v2 = encodeRequest(request);
+
+    ASSERT_EQ(v2.size(), v1.size() + 17);
+    for (size_t i = 6; i < v1.size(); ++i)
+        EXPECT_EQ(v2[i], v1[i]) << "offset " << i;
+}
+
+TEST(Protocol, RejectsTruncatedTraceTrailer)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f};
+    request.trace = telemetry::makeTraceContext();
+    auto bytes = encodeRequest(request);
+    for (size_t drop = 1; drop <= 16; drop += 5) {
+        std::vector<uint8_t> partial(bytes.begin(),
+                                     bytes.end() - drop);
+        EXPECT_FALSE(decodeRequest(partial).isOk())
+            << "dropped " << drop;
+    }
+}
+
 TEST(Protocol, ResponseRejectsBadStatus)
 {
     auto bytes = encodeResponse(Response{});

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for per-layer forward profiling: sink ordering, FLOP
+ * counts against hand-computed values, activation byte accounting,
+ * and output equivalence of the profiled and unprofiled paths.
+ */
+
+#include "nn/profile.hh"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.hh"
+#include "nn/layers/activation.hh"
+#include "nn/layers/convolution.hh"
+#include "nn/layers/inner_product.hh"
+#include "nn/layers/pooling.hh"
+#include "nn/layers/softmax.hh"
+#include "nn/network.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+std::shared_ptr<Network>
+smallConvNet()
+{
+    // 2x8x8 input -> conv(4 filters, 3x3, pad 1) -> relu ->
+    // maxpool(2x2, stride 2) -> fc 10 -> softmax.
+    auto net = std::make_shared<Network>("prof", Shape(1, 2, 8, 8));
+    net->add(std::make_unique<ConvolutionLayer>("conv", 4, 3, 1, 1));
+    net->add(std::make_unique<ActivationLayer>("relu",
+                                               LayerKind::ReLU));
+    net->add(std::make_unique<PoolingLayer>("pool",
+                                            LayerKind::MaxPool, 2,
+                                            2));
+    net->add(std::make_unique<InnerProductLayer>("fc", 10));
+    net->add(std::make_unique<SoftmaxLayer>("prob"));
+    net->finalize();
+    initializeWeights(*net, 11);
+    return net;
+}
+
+TEST(Profile, SinkSeesEveryLayerInOrder)
+{
+    auto net = smallConvNet();
+    Tensor in(net->inputShape().withBatch(1), 0.5f);
+    VectorProfileSink sink;
+    (void)net->forward(in, &sink);
+
+    ASSERT_EQ(sink.profiles().size(), 5u);
+    const char *names[] = {"conv", "relu", "pool", "fc", "prob"};
+    LayerKind kinds[] = {LayerKind::Convolution, LayerKind::ReLU,
+                         LayerKind::MaxPool, LayerKind::InnerProduct,
+                         LayerKind::Softmax};
+    for (size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(sink.profiles()[i].name, names[i]);
+        EXPECT_EQ(sink.profiles()[i].kind, kinds[i]);
+        EXPECT_GE(sink.profiles()[i].seconds, 0.0);
+    }
+}
+
+TEST(Profile, FlopsMatchHandComputedValues)
+{
+    auto net = smallConvNet();
+    Tensor in(net->inputShape().withBatch(1), 0.5f);
+    VectorProfileSink sink;
+    (void)net->forward(in, &sink);
+    const auto &p = sink.profiles();
+    ASSERT_EQ(p.size(), 5u);
+
+    // conv: 2 * out_c * (oh*ow) * (in_c*k*k) = 2*4*64*18.
+    EXPECT_EQ(p[0].flops, 2ull * 4 * 64 * (2 * 3 * 3));
+    // relu: 2 * out_elems = 2 * 4*8*8.
+    EXPECT_EQ(p[1].flops, 2ull * 4 * 8 * 8);
+    // pool: k^2 * out_elems = 4 * 4*4*4.
+    EXPECT_EQ(p[2].flops, 4ull * 4 * 4 * 4);
+    // fc: 2 * in * out = 2 * 64 * 10.
+    EXPECT_EQ(p[3].flops, 2ull * 64 * 10);
+    // softmax: 4 * out.
+    EXPECT_EQ(p[4].flops, 4ull * 10);
+}
+
+TEST(Profile, FlopsAndBytesScaleWithBatch)
+{
+    auto net = smallConvNet();
+    Tensor in1(net->inputShape().withBatch(1), 0.5f);
+    Tensor in3(net->inputShape().withBatch(3), 0.5f);
+    VectorProfileSink s1, s3;
+    (void)net->forward(in1, &s1);
+    (void)net->forward(in3, &s3);
+    ASSERT_EQ(s1.profiles().size(), s3.profiles().size());
+    for (size_t i = 0; i < s1.profiles().size(); ++i) {
+        EXPECT_EQ(s3.profiles()[i].flops,
+                  3 * s1.profiles()[i].flops);
+        EXPECT_EQ(s3.profiles()[i].activationBytes,
+                  3 * s1.profiles()[i].activationBytes);
+    }
+}
+
+TEST(Profile, ActivationBytesAreOutputElemsTimesFour)
+{
+    auto net = smallConvNet();
+    Tensor in(net->inputShape().withBatch(2), 0.5f);
+    VectorProfileSink sink;
+    (void)net->forward(in, &sink);
+    const auto &p = sink.profiles();
+    ASSERT_EQ(p.size(), 5u);
+    // conv/relu out: 2 x 4x8x8, pool out: 2 x 4x4x4, fc/prob: 2x10.
+    EXPECT_EQ(p[0].activationBytes, 2ull * 4 * 8 * 8 * 4);
+    EXPECT_EQ(p[1].activationBytes, 2ull * 4 * 8 * 8 * 4);
+    EXPECT_EQ(p[2].activationBytes, 2ull * 4 * 4 * 4 * 4);
+    EXPECT_EQ(p[3].activationBytes, 2ull * 10 * 4);
+    EXPECT_EQ(p[4].activationBytes, 2ull * 10 * 4);
+}
+
+TEST(Profile, ProfiledForwardMatchesUnprofiled)
+{
+    auto net = smallConvNet();
+    Tensor in(net->inputShape().withBatch(2));
+    for (int64_t i = 0; i < in.elems(); ++i)
+        in.data()[i] = static_cast<float>(i % 7) * 0.125f;
+
+    Tensor plain = net->forward(in);
+    VectorProfileSink sink;
+    Tensor profiled = net->forward(in, &sink);
+    ASSERT_EQ(plain.shape(), profiled.shape());
+    for (int64_t i = 0; i < plain.elems(); ++i)
+        EXPECT_FLOAT_EQ(plain[i], profiled[i]);
+
+    // The null-sink overload is the unprofiled path.
+    Tensor null_sink = net->forward(in, nullptr);
+    for (int64_t i = 0; i < plain.elems(); ++i)
+        EXPECT_FLOAT_EQ(plain[i], null_sink[i]);
+}
+
+TEST(Profile, SinkClearResets)
+{
+    auto net = smallConvNet();
+    Tensor in(net->inputShape().withBatch(1), 0.5f);
+    VectorProfileSink sink;
+    (void)net->forward(in, &sink);
+    EXPECT_EQ(sink.profiles().size(), 5u);
+    sink.clear();
+    EXPECT_TRUE(sink.profiles().empty());
+    (void)net->forward(in, &sink);
+    EXPECT_EQ(sink.profiles().size(), 5u);
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Cross-checks the runtime per-layer profiler against the static
+ * cost model: for every zoo model, Layer::flopsPerSample() (what
+ * the profiler reports) must agree layer-for-layer with
+ * perf::analyzeNetwork's kernel FLOP counts, and a profiled
+ * forward pass must report those exact numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/profile.hh"
+#include "nn/zoo.hh"
+#include "perf/layer_cost.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+/** Profile one single-row forward pass of @p model. */
+std::vector<LayerProfile>
+profileModel(zoo::Model model)
+{
+    NetworkPtr net = zoo::build(model, 42);
+    Tensor in(net->inputShape().withBatch(1), 0.25f);
+    VectorProfileSink sink;
+    (void)net->forward(in, &sink);
+    return sink.profiles();
+}
+
+TEST(ZooProfile, FlopsMatchStaticModelForAllModels)
+{
+    for (zoo::Model model : zoo::allModels()) {
+        NetworkPtr net = zoo::build(model, 42);
+        perf::NetCost cost = perf::analyzeNetwork(*net, 1);
+        ASSERT_EQ(cost.kernels.size(), net->layerCount())
+            << zoo::modelName(model);
+        for (size_t i = 0; i < net->layerCount(); ++i) {
+            const Layer &layer = net->layer(i);
+            EXPECT_DOUBLE_EQ(
+                static_cast<double>(layer.flopsPerSample()),
+                cost.kernels[i].flops)
+                << zoo::modelName(model) << " layer "
+                << layer.name();
+        }
+    }
+}
+
+TEST(ZooProfile, AlexNetProfiledFlopsMatchLayerShapes)
+{
+    auto profiles = profileModel(zoo::Model::AlexNet);
+    ASSERT_FALSE(profiles.empty());
+
+    // conv1: 96 filters, 11x11, stride 4 over 3x227x227 -> 55x55.
+    // 2 * 96 * 55*55 * 3*11*11 = 210,830,400.
+    EXPECT_EQ(profiles[0].name, "conv1");
+    EXPECT_EQ(profiles[0].flops, 210830400ull);
+
+    // Whole net agrees with the static analyzer at batch 1.
+    NetworkPtr net = zoo::build(zoo::Model::AlexNet, 42);
+    perf::NetCost cost = perf::analyzeNetwork(*net, 1);
+    ASSERT_EQ(profiles.size(), cost.kernels.size());
+    double profiled_total = 0.0;
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        EXPECT_EQ(profiles[i].name, cost.kernels[i].layer);
+        EXPECT_DOUBLE_EQ(static_cast<double>(profiles[i].flops),
+                         cost.kernels[i].flops)
+            << profiles[i].name;
+        profiled_total += static_cast<double>(profiles[i].flops);
+    }
+    EXPECT_DOUBLE_EQ(profiled_total, cost.totalFlops());
+}
+
+TEST(ZooProfile, MnistProfiledFlopsMatchLayerShapes)
+{
+    auto profiles = profileModel(zoo::Model::Mnist);
+    ASSERT_FALSE(profiles.empty());
+
+    // conv1: 10 filters, 5x5 over 1x28x28 -> 24x24.
+    // 2 * 10 * 24*24 * 1*5*5 = 288,000.
+    EXPECT_EQ(profiles[0].name, "conv1");
+    EXPECT_EQ(profiles[0].flops, 288000ull);
+
+    NetworkPtr net = zoo::build(zoo::Model::Mnist, 42);
+    perf::NetCost cost = perf::analyzeNetwork(*net, 1);
+    ASSERT_EQ(profiles.size(), cost.kernels.size());
+    for (size_t i = 0; i < profiles.size(); ++i) {
+        EXPECT_DOUBLE_EQ(static_cast<double>(profiles[i].flops),
+                         cost.kernels[i].flops)
+            << profiles[i].name;
+    }
+}
+
+TEST(ZooProfile, ProfiledFlopsScaleLinearlyWithBatch)
+{
+    NetworkPtr net = zoo::build(zoo::Model::Mnist, 42);
+    Tensor in4(net->inputShape().withBatch(4), 0.25f);
+    VectorProfileSink sink;
+    (void)net->forward(in4, &sink);
+    perf::NetCost cost = perf::analyzeNetwork(*net, 4);
+    ASSERT_EQ(sink.profiles().size(), cost.kernels.size());
+    for (size_t i = 0; i < sink.profiles().size(); ++i) {
+        EXPECT_DOUBLE_EQ(
+            static_cast<double>(sink.profiles()[i].flops),
+            cost.kernels[i].flops)
+            << sink.profiles()[i].name;
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

@@ -6,12 +6,20 @@
  *   djinn_cli HOST PORT ping
  *   djinn_cli HOST PORT list
  *   djinn_cli HOST PORT stats
- *   djinn_cli HOST PORT metrics [prometheus|json]
+ *   djinn_cli HOST PORT metrics [prometheus|json|requests]
+ *   djinn_cli HOST PORT trace OUT.json [last_n]
  *   djinn_cli HOST PORT infer MODEL ROWS [payload.f32]
  *
  * `metrics` prints the server's full telemetry exposition:
  * per-model request counters and decode / queue-wait / forward /
- * encode latency histograms with p50/p95/p99.
+ * encode latency histograms with p50/p95/p99. The `requests`
+ * format prints the recent-request table instead: one line per
+ * request with its trace id, rows, the size of the batch that
+ * served it, and service latency.
+ *
+ * `trace` downloads the server's span ring as Chrome trace-event
+ * JSON; open the file in chrome://tracing or
+ * https://ui.perfetto.dev to see the end-to-end timeline.
  *
  * For `infer`, the payload file holds raw little-endian float32
  * data (rows x model-input elements); without a file, a
@@ -24,10 +32,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/strings.hh"
 #include "core/djinn_client.hh"
 
 using namespace djinn;
@@ -39,10 +49,12 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: djinn_cli HOST PORT "
-                 "ping|list|stats|metrics|infer "
+                 "ping|list|stats|metrics|trace|infer "
                  "[MODEL ROWS [payload.f32]]\n"
                  "       metrics takes an optional format: "
-                 "prometheus (default) or json\n");
+                 "prometheus (default), json, or requests\n"
+                 "       trace takes an output file: "
+                 "djinn_cli HOST PORT trace out.json\n");
     return 2;
 }
 
@@ -108,7 +120,52 @@ main(int argc, char **argv)
                          exposition.status().toString().c_str());
             return 1;
         }
-        std::fputs(exposition.value().c_str(), stdout);
+        if (format != "requests") {
+            std::fputs(exposition.value().c_str(), stdout);
+            return 0;
+        }
+        // Render the request CSV as a human table with trace-id
+        // and batch-size columns.
+        std::printf("%-16s %-16s %6s %10s %12s\n", "trace_id",
+                    "model", "rows", "batch_rows", "service(ms)");
+        std::istringstream lines(exposition.value());
+        std::string line;
+        std::getline(lines, line); // skip the CSV header
+        while (std::getline(lines, line)) {
+            if (line.empty())
+                continue;
+            auto fields = split(line, ',');
+            if (fields.size() != 5) {
+                std::fprintf(stderr, "malformed line '%s'\n",
+                             line.c_str());
+                return 1;
+            }
+            std::printf("%-16s %-16s %6s %10s %12s\n",
+                        fields[0].c_str(), fields[1].c_str(),
+                        fields[2].c_str(), fields[3].c_str(),
+                        fields[4].c_str());
+        }
+        return 0;
+    }
+    if (command == "trace") {
+        if (argc < 5)
+            return usage();
+        auto trace = client.traceJson();
+        if (!trace.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         trace.status().toString().c_str());
+            return 1;
+        }
+        std::ofstream os(argv[4], std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", argv[4]);
+            return 1;
+        }
+        os << trace.value();
+        std::printf("wrote %zu bytes of Chrome trace JSON to %s\n"
+                    "open in chrome://tracing or "
+                    "https://ui.perfetto.dev\n",
+                    trace.value().size(), argv[4]);
         return 0;
     }
     if (command != "infer" || argc < 6)
@@ -150,12 +207,19 @@ main(int argc, char **argv)
                     static_cast<long long>(elems));
     }
 
+    // Attach a wire trace context so the server records spans for
+    // this request; the id is printed for correlation with
+    // `metrics requests` and `trace` output.
+    client.setTracing(true);
     auto result = client.infer(model, rows, payload);
     if (!result.isOk()) {
         std::fprintf(stderr, "infer failed: %s\n",
                      result.status().toString().c_str());
         return 1;
     }
+    std::printf("trace id %s\n",
+                telemetry::traceIdToHex(
+                    client.lastTrace().traceId).c_str());
     const auto &output = result.value();
     int64_t out_elems = static_cast<int64_t>(output.size()) / rows;
     for (int64_t r = 0; r < rows; ++r) {

@@ -9,12 +9,19 @@
  *   djinnd [--port N] [--models m1,m2,...|all] [--batching]
  *          [--batch-size N] [--batch-delay-us N] [--seed N]
  *          [--metrics-dump] [--metrics-dump-json]
+ *          [--http-port N] [--no-tracing]
  *          [--netdef FILE --weights FILE]...
  *
  * --metrics-dump prints the full telemetry exposition (Prometheus
  * text; --metrics-dump-json for JSON) to stdout at shutdown. A
  * running daemon serves the same exposition to clients via the
  * Metrics wire verb (`djinn_cli HOST PORT metrics`).
+ *
+ * --http-port N starts the embedded HTTP scrape endpoint on port N
+ * (0 picks an ephemeral port): GET /healthz, GET /metrics
+ * (Prometheus text), GET /trace?last=N (Chrome trace-event JSON,
+ * loadable in chrome://tracing or https://ui.perfetto.dev).
+ * --no-tracing disables span recording for sampled requests.
  *
  * Zoo model names: alexnet mnist deepface kaldi_asr senna_pos
  * senna_chk senna_ner. Custom models load from a netdef text file
@@ -54,6 +61,7 @@ usage()
                  "[--batch-delay-us N]\n"
                  "              [--seed N] [--metrics-dump] "
                  "[--metrics-dump-json]\n"
+                 "              [--http-port N] [--no-tracing]\n"
                  "              [--netdef F --weights F]...\n");
 }
 
@@ -102,6 +110,10 @@ main(int argc, char **argv)
                 std::atof(next("--batch-delay-us")) * 1e-6;
         } else if (arg == "--seed") {
             seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--http-port") {
+            config.httpPort = std::atoi(next("--http-port"));
+        } else if (arg == "--no-tracing") {
+            config.tracing = false;
         } else if (arg == "--metrics-dump") {
             metrics_dump = true;
         } else if (arg == "--metrics-dump-json") {
@@ -167,6 +179,11 @@ main(int argc, char **argv)
     std::printf("djinnd listening on %s:%u (batching %s)\n",
                 config.bindAddress.c_str(), server.port(),
                 config.batching ? "on" : "off");
+    if (config.httpPort >= 0) {
+        std::printf("http endpoint on %s:%u "
+                    "(/healthz /metrics /trace)\n",
+                    config.bindAddress.c_str(), server.httpPort());
+    }
 
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * scrape_check - validate a DjiNN HTTP scrape endpoint.
+ *
+ * Usage:
+ *   scrape_check HOST PORT [timeout_seconds]
+ *
+ * Polls GET /healthz until the endpoint answers 200 (or the
+ * timeout elapses), then fetches /metrics and checks the body
+ * parses as a Prometheus text exposition, and fetches
+ * /trace?last=8 and checks it looks like a Chrome trace JSON
+ * document. Exits 0 when every check passes; prints the first
+ * failure and exits 1 otherwise.
+ *
+ * Exists so `scripts/check_build.sh` can smoke-test the endpoint
+ * without assuming curl is installed.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "telemetry/exposition.hh"
+
+using namespace djinn;
+
+namespace {
+
+/** One blocking HTTP/1.0 GET. Returns false on connect/io error. */
+bool
+httpGet(const std::string &host, uint16_t port,
+        const std::string &path, int &code, std::string &body)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        ::close(fd);
+        return false;
+    }
+
+    std::string request = "GET " + path + " HTTP/1.0\r\n"
+                          "Host: " + host + "\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+
+    std::string response;
+    char buf[4096];
+    while (true) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    // "HTTP/1.0 200 OK\r\n...\r\n\r\n<body>"
+    if (std::sscanf(response.c_str(), "HTTP/%*d.%*d %d", &code) != 1)
+        return false;
+    size_t sep = response.find("\r\n\r\n");
+    if (sep == std::string::npos)
+        return false;
+    body = response.substr(sep + 4);
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: scrape_check HOST PORT "
+                     "[timeout_seconds]\n");
+        return 2;
+    }
+    std::string host = argv[1];
+    uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
+    double timeout = argc > 3 ? std::atof(argv[3]) : 10.0;
+
+    // 1. /healthz with retry: the daemon may still be starting.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(timeout));
+    int code = 0;
+    std::string body;
+    bool healthy = false;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (httpGet(host, port, "/healthz", code, body) &&
+            code == 200) {
+            healthy = true;
+            break;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+    }
+    if (!healthy) {
+        std::fprintf(stderr,
+                     "FAIL: /healthz did not answer 200 within "
+                     "%.1fs\n", timeout);
+        return 1;
+    }
+    std::printf("ok: /healthz 200\n");
+
+    // 2. /metrics must parse as a Prometheus text exposition.
+    if (!httpGet(host, port, "/metrics", code, body) ||
+        code != 200) {
+        std::fprintf(stderr, "FAIL: GET /metrics -> %d\n", code);
+        return 1;
+    }
+    auto parsed = telemetry::parseExposition(body);
+    if (!parsed.isOk()) {
+        std::fprintf(stderr, "FAIL: /metrics body does not parse: "
+                     "%s\n", parsed.status().toString().c_str());
+        return 1;
+    }
+    std::printf("ok: /metrics parses (%zu samples)\n",
+                parsed.value().size());
+
+    // 3. /trace must answer Chrome trace-event JSON.
+    if (!httpGet(host, port, "/trace?last=8", code, body) ||
+        code != 200) {
+        std::fprintf(stderr, "FAIL: GET /trace -> %d\n", code);
+        return 1;
+    }
+    if (body.find("\"traceEvents\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: /trace body is not a trace document\n");
+        return 1;
+    }
+    std::printf("ok: /trace answers a trace document (%zu bytes)\n",
+                body.size());
+    return 0;
+}
