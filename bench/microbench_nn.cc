@@ -1,19 +1,37 @@
 /**
  * @file
  * Google-benchmark microbenchmarks for the inference substrate:
- * SGEMM at DNN-relevant shapes, im2col convolution, and whole
- * forward passes of the small zoo networks on the CPU path.
+ * SGEMM at DNN-relevant shapes (with a compute-pool thread sweep),
+ * im2col convolution, and whole forward passes of the small zoo
+ * networks on the CPU path.
+ *
+ * After the benchmarks run, the Table-1 GEMM shapes are re-timed
+ * directly (best-of-N wall time) at 1, 2, 4, and 8 compute threads,
+ * the reference scalar kernel (sgemm_naive) is timed at the square
+ * 512 shape as the speedup baseline, and the whole set is printed
+ * as a telemetry-registry JSON snapshot on stdout — the format
+ * BENCH_*.json trajectories capture:
+ *
+ *   djinn_gemm_gflops{shape,m,n,k,threads}   blocked kernel rate
+ *   djinn_gemm_naive_gflops{shape,...}       reference kernel rate
+ *   djinn_gemm_speedup_1t{shape="square512"} blocked / naive, 1 thread
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "nn/gemm.hh"
 #include "nn/init.hh"
 #include "nn/net_def.hh"
 #include "nn/zoo.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/metrics.hh"
 
 using namespace djinn;
 
@@ -35,6 +53,7 @@ BM_Sgemm(benchmark::State &state)
     int64_t m = state.range(0);
     int64_t n = state.range(1);
     int64_t k = state.range(2);
+    common::setComputeThreads(static_cast<int>(state.range(3)));
     auto a = randomVec(m * k, 1);
     auto b = randomVec(k * n, 2);
     std::vector<float> c(static_cast<size_t>(m * n));
@@ -43,14 +62,40 @@ BM_Sgemm(benchmark::State &state)
         benchmark::DoNotOptimize(c.data());
     }
     state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+    common::setComputeThreads(0);
 }
 
 // SENNA fc1 (28-word sentence), Kaldi hidden layer slice, AlexNet
-// fc6 tile.
+// fc6 tile; each at 1 and 4 compute threads.
 BENCHMARK(BM_Sgemm)
+    ->Args({28, 600, 250, 1})
+    ->Args({28, 600, 250, 4})
+    ->Args({64, 2048, 2048, 1})
+    ->Args({64, 2048, 2048, 4})
+    ->Args({16, 4096, 9216, 1})
+    ->Args({16, 4096, 9216, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_SgemmNaive(benchmark::State &state)
+{
+    int64_t m = state.range(0);
+    int64_t n = state.range(1);
+    int64_t k = state.range(2);
+    auto a = randomVec(m * k, 1);
+    auto b = randomVec(k * n, 2);
+    std::vector<float> c(static_cast<size_t>(m * n));
+    for (auto _ : state) {
+        nn::sgemm_naive(nn::Trans::No, nn::Trans::No, m, n, k, 1.0f,
+                        a.data(), k, b.data(), n, 0.0f, c.data(), n);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+}
+
+BENCHMARK(BM_SgemmNaive)
     ->Args({28, 600, 250})
     ->Args({64, 2048, 2048})
-    ->Args({16, 4096, 9216})
     ->Unit(benchmark::kMicrosecond);
 
 void
@@ -112,6 +157,117 @@ BM_WeightInit(benchmark::State &state)
 
 BENCHMARK(BM_WeightInit)->Unit(benchmark::kMicrosecond);
 
+// ---------------------------------------------------------------
+// Registry snapshot: direct best-of-N GFLOP/s measurements of the
+// Table-1 GEMM shapes across compute-thread counts.
+
+struct GemmShape {
+    const char *name;
+    int64_t m, n, k;
+};
+
+// Paper-relevant shapes plus the square 512 speedup yardstick.
+const GemmShape kShapes[] = {
+    {"senna_fc1", 28, 600, 250},
+    {"kaldi_hidden", 64, 2048, 2048},
+    {"alexnet_fc6", 16, 4096, 9216},
+    {"alexnet_conv1", 96, 3025, 363},
+    {"square512", 512, 512, 512},
+};
+
+/** Best-of-@p reps wall seconds for one invocation of @p fn. */
+template <typename Fn>
+double
+bestSeconds(int reps, Fn &&fn)
+{
+    using Clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = Clock::now();
+        fn();
+        double s =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (s < best)
+            best = s;
+    }
+    return best;
+}
+
+void
+recordGemmRates(telemetry::MetricRegistry &registry)
+{
+    double naive512 = 0.0;
+    double fast512 = 0.0;
+    for (const GemmShape &shape : kShapes) {
+        auto a = randomVec(shape.m * shape.k, 11);
+        auto b = randomVec(shape.k * shape.n, 12);
+        std::vector<float> c(
+            static_cast<size_t>(shape.m * shape.n));
+        double flops =
+            2.0 * shape.m * shape.n * static_cast<double>(shape.k);
+
+        telemetry::LabelMap base{
+            {"shape", shape.name},
+            {"m", std::to_string(shape.m)},
+            {"n", std::to_string(shape.n)},
+            {"k", std::to_string(shape.k)}};
+
+        for (int threads : {1, 2, 4, 8}) {
+            common::setComputeThreads(threads);
+            // Warm the pool and the pack buffers once.
+            nn::sgemm(shape.m, shape.n, shape.k, a.data(), b.data(),
+                      c.data());
+            double secs = bestSeconds(5, [&]() {
+                nn::sgemm(shape.m, shape.n, shape.k, a.data(),
+                          b.data(), c.data());
+            });
+            telemetry::LabelMap labels = base;
+            labels["threads"] = std::to_string(threads);
+            double gflops = flops / secs / 1e9;
+            registry.gauge("djinn_gemm_gflops", labels).set(gflops);
+            if (threads == 1 &&
+                std::string(shape.name) == "square512")
+                fast512 = gflops;
+        }
+        common::setComputeThreads(0);
+
+        // Reference scalar kernel, single thread by construction.
+        double naiveSecs = bestSeconds(3, [&]() {
+            nn::sgemm_naive(nn::Trans::No, nn::Trans::No, shape.m,
+                            shape.n, shape.k, 1.0f, a.data(),
+                            shape.k, b.data(), shape.n, 0.0f,
+                            c.data(), shape.n);
+        });
+        double naiveGflops = flops / naiveSecs / 1e9;
+        registry.gauge("djinn_gemm_naive_gflops", base)
+            .set(naiveGflops);
+        if (std::string(shape.name) == "square512")
+            naive512 = naiveGflops;
+    }
+    if (naive512 > 0.0) {
+        registry
+            .gauge("djinn_gemm_speedup_1t",
+                   {{"shape", "square512"}})
+            .set(fast512 / naive512);
+    }
+    registry.gauge("djinn_compute_threads_avail")
+        .set(static_cast<double>(common::computeThreads()));
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    telemetry::MetricRegistry registry;
+    recordGemmRates(registry);
+    std::fputs(telemetry::renderJson(registry.snapshot()).c_str(),
+               stdout);
+    return 0;
+}

@@ -37,4 +37,14 @@ kill "$djinnd_pid" 2>/dev/null || true
 wait "$djinnd_pid" 2>/dev/null || true
 trap - EXIT
 
+# ThreadSanitizer pass over the concurrency-heavy suites: the
+# compute pool, the threaded GEMM kernel, and the batching server.
+cmake -B build-tsan -S . -DDJINN_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j --target common_test nn_test core_test
+./build-tsan/tests/common_test \
+    --gtest_filter='ThreadPool*:ComputePool*'
+./build-tsan/tests/nn_test --gtest_filter='GemmDiff*'
+./build-tsan/tests/core_test --gtest_filter='*Batcher*:*Server*'
+
 echo "check_build: OK"

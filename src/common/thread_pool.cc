@@ -1,0 +1,214 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+namespace djinn {
+namespace common {
+
+namespace {
+
+/** Depth of pool tasks executing on this thread. */
+thread_local int tl_task_depth = 0;
+
+/** Active SerialScope count on this thread. */
+thread_local int tl_serial_depth = 0;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : size_(std::max(threads, 1))
+{
+    workers_.reserve(static_cast<size_t>(size_ - 1));
+    for (int i = 0; i < size_ - 1; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tl_task_depth > 0;
+}
+
+void
+ThreadPool::runChunk(Job *job, int64_t index)
+{
+    int64_t b = job->begin + index * job->chunk;
+    int64_t e = std::min(b + job->chunk, job->end);
+    ++tl_task_depth;
+    bool skip;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        skip = job->failed;
+    }
+    try {
+        if (!skip)
+            (*job->body)(b, e);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job->failed) {
+            job->failed = true;
+            job->error = std::current_exception();
+        }
+    }
+    --tl_task_depth;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (++job->done == job->chunks)
+        job->doneCv.notify_all();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [this]() { return stop_ || !jobs_.empty(); });
+        if (stop_)
+            return;
+        Job *job = jobs_.front();
+        int64_t index = job->next++;
+        if (job->next >= job->chunks)
+            jobs_.pop_front();
+        lock.unlock();
+        runChunk(job, index);
+        lock.lock();
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const std::function<void(int64_t, int64_t)>
+                            &body)
+{
+    if (end <= begin)
+        return;
+    int64_t range = end - begin;
+    if (grain < 1)
+        grain = 1;
+    if (size_ == 1 || range <= grain || tl_task_depth > 0 ||
+        tl_serial_depth > 0) {
+        body(begin, end);
+        return;
+    }
+
+    // Over-decompose modestly (4 chunks per executor) so uneven
+    // chunk costs still balance without work stealing.
+    int64_t chunk = std::max(
+        grain, (range + size_ * 4 - 1) / (size_ * 4));
+    Job job;
+    job.body = &body;
+    job.begin = begin;
+    job.end = end;
+    job.chunk = chunk;
+    job.chunks = (range + chunk - 1) / chunk;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jobs_.push_back(&job);
+    }
+    workCv_.notify_all();
+
+    // The caller participates, claiming chunks from its own job.
+    for (;;) {
+        int64_t index;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (job.next >= job.chunks)
+                break;
+            index = job.next++;
+            if (job.next >= job.chunks) {
+                auto it = std::find(jobs_.begin(), jobs_.end(),
+                                    &job);
+                if (it != jobs_.end())
+                    jobs_.erase(it);
+            }
+        }
+        runChunk(&job, index);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    job.doneCv.wait(lock,
+                    [&job]() { return job.done == job.chunks; });
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+SerialScope::SerialScope()
+{
+    ++tl_serial_depth;
+}
+
+SerialScope::~SerialScope()
+{
+    --tl_serial_depth;
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested = 0; ///< explicit setComputeThreads value; 0 = auto
+
+int
+autoThreads()
+{
+    if (const char *env = std::getenv("DJINN_COMPUTE_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return std::min(v, 256);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(std::min(hw, 256u)) : 1;
+}
+
+int
+resolveThreads()
+{
+    return g_requested > 0 ? g_requested : autoThreads();
+}
+
+} // namespace
+
+ThreadPool &
+computePool()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    if (!g_pool)
+        g_pool = std::make_unique<ThreadPool>(resolveThreads());
+    return *g_pool;
+}
+
+int
+computeThreads()
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    return g_pool ? g_pool->size() : resolveThreads();
+}
+
+void
+setComputeThreads(int threads)
+{
+    std::lock_guard<std::mutex> lock(g_pool_mutex);
+    g_requested = threads > 0 ? threads : 0;
+    int want = resolveThreads();
+    if (g_pool && g_pool->size() == want)
+        return;
+    g_pool.reset();
+    g_pool = std::make_unique<ThreadPool>(want);
+}
+
+} // namespace common
+} // namespace djinn

@@ -13,6 +13,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "common/thread_pool.hh"
 #include "core/http_endpoint.hh"
 #include "nn/profile.hh"
 #include "telemetry/exposition.hh"
@@ -71,6 +72,14 @@ DjinnServer::start()
 {
     if (running_.load())
         return Status::invalidArgument("server already running");
+
+    // Size the shared compute pool before the first forward pass;
+    // 0 keeps the automatic choice (DJINN_COMPUTE_THREADS
+    // environment variable, then hardware concurrency).
+    if (config_.computeThreads > 0)
+        common::setComputeThreads(config_.computeThreads);
+    metrics_.gauge("djinn_compute_threads")
+        .set(static_cast<double>(common::computeThreads()));
 
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)

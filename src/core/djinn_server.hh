@@ -52,6 +52,15 @@ struct ServerConfig {
     int64_t maxRowsPerRequest = 4096;
 
     /**
+     * Intra-layer compute pool size applied at start() (the
+     * `djinnd --compute-threads` flag). 0 keeps the automatic
+     * choice: the DJINN_COMPUTE_THREADS environment variable if
+     * set, otherwise the hardware concurrency. Exported as the
+     * `djinn_compute_threads` gauge.
+     */
+    int computeThreads = 0;
+
+    /**
      * Record spans for sampled requests into the in-memory trace
      * ring (DESIGN.md "End-to-end tracing").
      */

@@ -4,6 +4,20 @@
  * inference (the role ATLAS plays in the paper's CPU baseline).
  *
  * C = alpha * op(A) * op(B) + beta * C, row-major storage.
+ *
+ * Two implementations live here:
+ *
+ *  - sgemm: the production kernel — packed A/B panels, cache
+ *    blocking (KC x MC), an 8x8 register-tiled microkernel written
+ *    so the compiler vectorizes it, and row-partitioned execution
+ *    across the shared common::computePool(). Its reduction order
+ *    is fixed (ascending k within fixed-size blocks), so results
+ *    are bit-identical across runs and across thread counts
+ *    (DESIGN.md §8).
+ *
+ *  - sgemm_naive: the original scalar reference kernel, kept for
+ *    differential testing and as the benchmark baseline. Never
+ *    threaded.
  */
 
 #ifndef DJINN_NN_GEMM_HH
@@ -27,9 +41,10 @@ enum class Trans {
  * flags. Leading dimensions are the row strides of the matrices *as
  * stored* (so A is lda-strided regardless of transA).
  *
- * The implementation is cache-blocked with a small register tile;
- * correctness is the priority, with performance adequate for the
- * functional service and tests.
+ * Runs on the shared compute pool when the problem is large enough
+ * (see common::setComputeThreads / DJINN_COMPUTE_THREADS); output
+ * bits do not depend on the pool size. n == 1 takes a dedicated
+ * matrix-vector fast path.
  */
 void sgemm(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
            int64_t k, float alpha, const float *a, int64_t lda,
@@ -41,7 +56,19 @@ void sgemm(int64_t m, int64_t n, int64_t k, const float *a,
            const float *b, float *c);
 
 /**
+ * Reference SGEMM: the original single-threaded scalar kernel
+ * (cache-blocked saxpy loops). Used by the differential test
+ * battery and as the microbenchmark baseline; not a hot path.
+ */
+void sgemm_naive(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+                 int64_t k, float alpha, const float *a, int64_t lda,
+                 const float *b, int64_t ldb, float beta, float *c,
+                 int64_t ldc);
+
+/**
  * Matrix-vector multiply y = A * x with A stored row-major (m x n).
+ * Routed through sgemm's n == 1 fast path, so it inherits the
+ * kernel's threading and determinism guarantees.
  */
 void sgemv(int64_t m, int64_t n, const float *a, const float *x,
            float *y);

@@ -1,0 +1,116 @@
+#include "nn/gemm.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace nn {
+
+namespace {
+
+/** Fetch op(A)[i][j] given the storage and transpose flag. */
+inline float
+fetch(const float *a, int64_t lda, Trans trans, int64_t i, int64_t j)
+{
+    return trans == Trans::No ? a[i * lda + j] : a[j * lda + i];
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Reference kernel (the original scalar implementation), kept for
+// differential testing and benchmarking.
+// ---------------------------------------------------------------
+
+namespace {
+
+constexpr int64_t naiveBlockM = 64;
+constexpr int64_t naiveBlockN = 256;
+constexpr int64_t naiveBlockK = 256;
+
+/**
+ * Inner kernel over one cache block with A packed contiguously and
+ * B accessed in row-major panels, accumulating into C.
+ */
+void
+naiveBlockKernel(int64_t mb, int64_t nb, int64_t kb, float alpha,
+                 const float *a_pack, const float *b, int64_t ldb,
+                 Trans trans_b, int64_t k0, int64_t n0, float *c,
+                 int64_t ldc, int64_t i0)
+{
+    for (int64_t i = 0; i < mb; ++i) {
+        const float *a_row = a_pack + i * kb;
+        float *c_row = c + (i0 + i) * ldc + n0;
+        for (int64_t p = 0; p < kb; ++p) {
+            float av = alpha * a_row[p];
+            if (av == 0.0f)
+                continue;
+            if (trans_b == Trans::No) {
+                const float *b_row = b + (k0 + p) * ldb + n0;
+                for (int64_t j = 0; j < nb; ++j)
+                    c_row[j] += av * b_row[j];
+            } else {
+                for (int64_t j = 0; j < nb; ++j)
+                    c_row[j] += av * b[(n0 + j) * ldb + (k0 + p)];
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+sgemm_naive(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+            int64_t k, float alpha, const float *a, int64_t lda,
+            const float *b, int64_t ldb, float beta, float *c,
+            int64_t ldc)
+{
+    if (m < 0 || n < 0 || k < 0)
+        fatal("sgemm_naive: negative dimension m=%ld n=%ld k=%ld", m,
+              n, k);
+    if (m == 0 || n == 0)
+        return;
+
+    // Scale C by beta first.
+    for (int64_t i = 0; i < m; ++i) {
+        float *c_row = c + i * ldc;
+        if (beta == 0.0f) {
+            std::memset(c_row, 0, static_cast<size_t>(n) *
+                        sizeof(float));
+        } else if (beta != 1.0f) {
+            for (int64_t j = 0; j < n; ++j)
+                c_row[j] *= beta;
+        }
+    }
+    if (k == 0 || alpha == 0.0f)
+        return;
+
+    std::vector<float> a_pack(static_cast<size_t>(naiveBlockM) *
+                              naiveBlockK);
+
+    for (int64_t k0 = 0; k0 < k; k0 += naiveBlockK) {
+        int64_t kb = std::min(naiveBlockK, k - k0);
+        for (int64_t i0 = 0; i0 < m; i0 += naiveBlockM) {
+            int64_t mb = std::min(naiveBlockM, m - i0);
+            // Pack the op(A) block contiguously (mb x kb).
+            for (int64_t i = 0; i < mb; ++i) {
+                for (int64_t p = 0; p < kb; ++p) {
+                    a_pack[i * kb + p] =
+                        fetch(a, lda, trans_a, i0 + i, k0 + p);
+                }
+            }
+            for (int64_t n0 = 0; n0 < n; n0 += naiveBlockN) {
+                int64_t nb = std::min(naiveBlockN, n - n0);
+                naiveBlockKernel(mb, nb, kb, alpha, a_pack.data(), b,
+                                 ldb, trans_b, k0, n0, c, ldc, i0);
+            }
+        }
+    }
+}
+
+
+} // namespace nn
+} // namespace djinn

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "nn/gemm.hh"
 
 namespace djinn {
@@ -148,34 +149,44 @@ ConvolutionLayer::forwardImpl(const Tensor &in, Tensor &out) const
     int64_t cols = os.h() * os.w();
     int64_t patch = in_per_group * kernel_ * kernel_;
 
-    std::vector<float> col_buf(static_cast<size_t>(patch) * cols);
-
-    for (int64_t n = 0; n < in.shape().n(); ++n) {
-        const float *src = in.sample(n);
-        float *dst = out.sample(n);
-        for (int64_t g = 0; g < groups_; ++g) {
-            const float *src_g =
-                src + g * in_per_group * is.h() * is.w();
-            float *dst_g = dst + g * out_per_group * cols;
-            im2col(src_g, in_per_group, is.h(), is.w(), kernel_,
-                   kernel_, pad_, stride_, col_buf.data());
-            // dst_g[out_per_group x cols] =
-            //     W_g[out_per_group x patch] * col[patch x cols]
-            const float *w_g = weights_.data() +
-                               g * out_per_group * patch;
-            sgemm(Trans::No, Trans::No, out_per_group, cols, patch,
-                  1.0f, w_g, patch, col_buf.data(), cols, 0.0f, dst_g,
-                  cols);
-        }
-        if (hasBias_) {
-            const float *b = bias_.data();
-            for (int64_t c = 0; c < outChannels_; ++c) {
-                float *plane = dst + c * cols;
-                for (int64_t i = 0; i < cols; ++i)
-                    plane[i] += b[c];
+    // Batch images are partitioned across the compute pool; each
+    // worker keeps its own im2col scratch. For batch 1 the loop
+    // runs inline and the GEMM itself parallelizes instead (nested
+    // parallelFor calls run serially, so the two levels compose).
+    common::computePool().parallelFor(
+        0, in.shape().n(), 1, [&](int64_t n0, int64_t n1) {
+            static thread_local std::vector<float> col_tls;
+            std::vector<float> &col_buf = col_tls;
+            col_buf.resize(static_cast<size_t>(patch) * cols);
+            for (int64_t n = n0; n < n1; ++n) {
+                const float *src = in.sample(n);
+                float *dst = out.sample(n);
+                for (int64_t g = 0; g < groups_; ++g) {
+                    const float *src_g =
+                        src + g * in_per_group * is.h() * is.w();
+                    float *dst_g = dst + g * out_per_group * cols;
+                    im2col(src_g, in_per_group, is.h(), is.w(),
+                           kernel_, kernel_, pad_, stride_,
+                           col_buf.data());
+                    // dst_g[out_per_group x cols] =
+                    //     W_g[out_per_group x patch] *
+                    //     col[patch x cols]
+                    const float *w_g = weights_.data() +
+                                       g * out_per_group * patch;
+                    sgemm(Trans::No, Trans::No, out_per_group, cols,
+                          patch, 1.0f, w_g, patch, col_buf.data(),
+                          cols, 0.0f, dst_g, cols);
+                }
+                if (hasBias_) {
+                    const float *b = bias_.data();
+                    for (int64_t c = 0; c < outChannels_; ++c) {
+                        float *plane = dst + c * cols;
+                        for (int64_t i = 0; i < cols; ++i)
+                            plane[i] += b[c];
+                    }
+                }
             }
-        }
-    }
+        });
 }
 
 } // namespace nn

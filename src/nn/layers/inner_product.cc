@@ -1,6 +1,9 @@
 #include "nn/layers/inner_product.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "nn/gemm.hh"
 
 namespace djinn {
@@ -48,17 +51,23 @@ void
 InnerProductLayer::forwardImpl(const Tensor &in, Tensor &out) const
 {
     int64_t batch = in.shape().n();
-    // out[N x outputs] = in[N x inputs] * W^T[inputs x outputs]
+    // out[N x outputs] = in[N x inputs] * W^T[inputs x outputs].
+    // The GEMM partitions its own rows across the compute pool.
     sgemm(Trans::No, Trans::Yes, batch, outputs_, inputs_, 1.0f,
           in.data(), inputs_, weights_.data(), inputs_, 0.0f,
           out.data(), outputs_);
     if (hasBias_) {
         const float *b = bias_.data();
-        for (int64_t n = 0; n < batch; ++n) {
-            float *row = out.sample(n);
-            for (int64_t o = 0; o < outputs_; ++o)
-                row[o] += b[o];
-        }
+        int64_t grain = std::max<int64_t>(
+            1, 16384 / std::max<int64_t>(outputs_, 1));
+        common::computePool().parallelFor(
+            0, batch, grain, [&](int64_t n0, int64_t n1) {
+                for (int64_t n = n0; n < n1; ++n) {
+                    float *row = out.sample(n);
+                    for (int64_t o = 0; o < outputs_; ++o)
+                        row[o] += b[o];
+                }
+            });
     }
 }
 

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace djinn {
 namespace nn {
@@ -50,8 +51,14 @@ PoolingLayer::forwardImpl(const Tensor &in, Tensor &out) const
     const Shape &os = outputShape();
     bool is_max = kind() == LayerKind::MaxPool;
 
-    for (int64_t n = 0; n < in.shape().n(); ++n) {
-        for (int64_t c = 0; c < is.c(); ++c) {
+    // Each (sample, channel) plane is independent; partition the
+    // flattened plane index across the compute pool.
+    int64_t planes = in.shape().n() * is.c();
+    common::computePool().parallelFor(
+        0, planes, 4, [&](int64_t p0, int64_t p1) {
+        for (int64_t pi = p0; pi < p1; ++pi) {
+            int64_t n = pi / is.c();
+            int64_t c = pi % is.c();
             const float *plane =
                 in.sample(n) + c * is.h() * is.w();
             float *dst = out.sample(n) + c * os.h() * os.w();
@@ -85,7 +92,7 @@ PoolingLayer::forwardImpl(const Tensor &in, Tensor &out) const
                 }
             }
         }
-    }
+    });
 }
 
 } // namespace nn

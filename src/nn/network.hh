@@ -8,6 +8,7 @@
 #ifndef DJINN_NN_NETWORK_HH
 #define DJINN_NN_NETWORK_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -97,6 +98,25 @@ class Network
      */
     Tensor forward(const Tensor &in, ProfileSink *sink) const;
 
+    /**
+     * Run option: whether forward() may use the shared compute
+     * pool for intra-layer parallelism (on by default). Turning it
+     * off pins each forward pass to its calling thread — useful
+     * when a server already saturates cores with concurrent
+     * requests. Output bits are identical either way (DESIGN.md
+     * §8). May be toggled at any time, including after finalize().
+     */
+    void setParallel(bool on)
+    {
+        parallel_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Whether forward() may use the shared compute pool. */
+    bool parallel() const
+    {
+        return parallel_.load(std::memory_order_relaxed);
+    }
+
     /** Multi-line structural description (one line per layer). */
     std::string describe() const;
 
@@ -106,6 +126,7 @@ class Network
     Shape tailShape_;
     std::vector<LayerPtr> layers_;
     bool finalized_ = false;
+    std::atomic<bool> parallel_{true};
 };
 
 using NetworkPtr = std::shared_ptr<Network>;

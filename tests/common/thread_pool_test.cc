@@ -1,0 +1,196 @@
+#include "common/thread_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace djinn {
+namespace common {
+namespace {
+
+/** Restores the global pool to its automatic size on scope exit. */
+struct PoolSizeGuard {
+    ~PoolSizeGuard() { setComputeThreads(0); }
+};
+
+/**
+ * parallelFor must visit every index exactly once, whatever the
+ * range/grain/pool-size combination.
+ */
+void
+expectExactCoverage(ThreadPool &pool, int64_t begin, int64_t end,
+                    int64_t grain)
+{
+    std::vector<std::atomic<int>> hits(
+        static_cast<size_t>(std::max<int64_t>(end - begin, 0)));
+    pool.parallelFor(begin, end, grain,
+                     [&](int64_t b, int64_t e) {
+                         ASSERT_LE(begin, b);
+                         ASSERT_LE(b, e);
+                         ASSERT_LE(e, end);
+                         for (int64_t i = b; i < e; ++i)
+                             hits[static_cast<size_t>(i - begin)]
+                                 .fetch_add(1);
+                     });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SizeClampedToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    ThreadPool pool4(4);
+    EXPECT_EQ(pool4.size(), 4);
+}
+
+TEST(ThreadPool, EmptyAndReversedRangesAreNoOps)
+{
+    ThreadPool pool(4);
+    int calls = 0;
+    pool.parallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+    pool.parallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+    pool.parallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, SingletonRangeRunsInlineOnce)
+{
+    ThreadPool pool(4);
+    std::thread::id caller = std::this_thread::get_id();
+    int calls = 0;
+    pool.parallelFor(3, 4, 1, [&](int64_t b, int64_t e) {
+        EXPECT_EQ(b, 3);
+        EXPECT_EQ(e, 4);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, CoversOddRanges)
+{
+    for (int threads : {1, 2, 3, 8}) {
+        ThreadPool pool(threads);
+        expectExactCoverage(pool, 0, 1, 1);
+        expectExactCoverage(pool, 0, 7, 2);
+        expectExactCoverage(pool, -13, 12, 3);
+        expectExactCoverage(pool, 0, 1000, 1);
+        expectExactCoverage(pool, 5, 1029, 64);
+        expectExactCoverage(pool, 0, 3, 100); // grain > range
+    }
+}
+
+TEST(ThreadPool, NestedCallRunsInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> total{0};
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    pool.parallelFor(0, 8, 1, [&](int64_t b, int64_t e) {
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        std::thread::id outer = std::this_thread::get_id();
+        // The nested call must execute serially on this thread.
+        pool.parallelFor(0, 100, 1, [&](int64_t nb, int64_t ne) {
+            EXPECT_EQ(std::this_thread::get_id(), outer);
+            total.fetch_add((ne - nb) * (e - b));
+        });
+    });
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPool, SerialScopeForcesInline)
+{
+    ThreadPool pool(4);
+    std::thread::id caller = std::this_thread::get_id();
+    SerialScope serial;
+    int calls = 0;
+    pool.parallelFor(0, 1000, 1, [&](int64_t b, int64_t e) {
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 1000);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++calls;
+    });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(0, 64, 1,
+                         [](int64_t b, int64_t) {
+                             if (b == 0)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The pool must stay usable after a failed job.
+    expectExactCoverage(pool, 0, 100, 1);
+}
+
+TEST(ThreadPool, ManyTaskChurn)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    for (int round = 0; round < 500; ++round) {
+        pool.parallelFor(0, 17 + round % 5, 1,
+                         [&](int64_t b, int64_t e) {
+                             for (int64_t i = b; i < e; ++i)
+                                 sum.fetch_add(i);
+                         });
+    }
+    int64_t expected = 0;
+    for (int round = 0; round < 500; ++round) {
+        int64_t n = 17 + round % 5;
+        expected += n * (n - 1) / 2;
+    }
+    EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPool, ConcurrentCallersShareWorkers)
+{
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < 4; ++t) {
+        callers.emplace_back([&]() {
+            for (int round = 0; round < 100; ++round) {
+                pool.parallelFor(0, 64, 1,
+                                 [&](int64_t b, int64_t e) {
+                                     sum.fetch_add(e - b);
+                                 });
+            }
+        });
+    }
+    for (auto &c : callers)
+        c.join();
+    EXPECT_EQ(sum.load(), 4 * 100 * 64);
+}
+
+TEST(ComputePool, SetComputeThreadsResizes)
+{
+    PoolSizeGuard guard;
+    setComputeThreads(3);
+    EXPECT_EQ(computeThreads(), 3);
+    EXPECT_EQ(computePool().size(), 3);
+    setComputeThreads(1);
+    EXPECT_EQ(computeThreads(), 1);
+    expectExactCoverage(computePool(), 0, 50, 1);
+}
+
+TEST(ComputePool, AutomaticSizeIsPositive)
+{
+    PoolSizeGuard guard;
+    setComputeThreads(0);
+    EXPECT_GE(computeThreads(), 1);
+}
+
+} // namespace
+} // namespace common
+} // namespace djinn

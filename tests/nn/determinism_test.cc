@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Determinism regression: the forward pass of every zoo network
+ * must be bit-identical across runs and across compute-thread
+ * counts. The committed golden checksums additionally pin the
+ * numerics against accidental kernel changes: the GEMM core is
+ * compiled with -ffp-contract=off and fixes its reduction order, so
+ * these values are stable across rebuilds and across machines with
+ * the same libm.
+ *
+ * If a checksum changes *intentionally* (e.g. a deliberate kernel
+ * reblocking), rerun this test and update the table below with the
+ * printed values — that is a reviewable numerics change, which is
+ * the point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/thread_pool.hh"
+#include "nn/tensor.hh"
+#include "nn/zoo.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+/** Restores the global pool to its automatic size on scope exit. */
+struct PoolSizeGuard {
+    ~PoolSizeGuard() { common::setComputeThreads(0); }
+};
+
+/** FNV-1a over the float bit patterns of a tensor. */
+uint64_t
+bitChecksum(const Tensor &t)
+{
+    uint64_t h = 1469598103934665603ULL;
+    const float *data = t.data();
+    int64_t elems = t.shape().elems();
+    for (int64_t e = 0; e < elems; ++e) {
+        uint32_t bits;
+        std::memcpy(&bits, &data[e], sizeof(bits));
+        for (int i = 0; i < 4; ++i) {
+            h ^= (bits >> (8 * i)) & 0xffu;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+/** A deterministic, sample-varying input batch. */
+Tensor
+testInput(const Network &net, int64_t batch)
+{
+    Tensor in(net.inputShape().withBatch(batch));
+    float *data = in.data();
+    int64_t elems = in.shape().elems();
+    // Low-discrepancy fill in [-1, 1): cheap, reproducible, and not
+    // constant across pixels or samples.
+    uint64_t state = 0x243f6a8885a308d3ULL;
+    for (int64_t e = 0; e < elems; ++e) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        data[e] = static_cast<float>(
+                      static_cast<uint32_t>(state >> 40)) /
+                      8388608.0f -
+                  1.0f;
+    }
+    return in;
+}
+
+/**
+ * Golden output checksums for seed 42, batch 2, the testInput()
+ * fill above. Computed once and committed; see the file comment for
+ * the update procedure.
+ */
+const std::map<std::string, uint64_t> kGolden = {
+    {"alexnet", 0xf4815ca21ec919daULL},
+    {"mnist", 0x211f0f470da91a94ULL},
+    {"deepface", 0x900b69d4762626aaULL},
+    {"kaldi_asr", 0x97072a72c3445e62ULL},
+    {"senna_pos", 0x2527cede646cf47dULL},
+    {"senna_chk", 0x4b847f5e8d3edb78ULL},
+    {"senna_ner", 0x87ab2d3e7c55bcf0ULL},
+};
+
+TEST(Determinism, ZooForwardBitIdenticalAcrossRunsAndThreads)
+{
+    PoolSizeGuard guard;
+    bool goldenMismatch = false;
+    for (zoo::Model model : zoo::allModels()) {
+        std::string name = zoo::modelName(model);
+        SCOPED_TRACE(name);
+        NetworkPtr net = zoo::build(model, 42);
+        Tensor in = testInput(*net, 2);
+
+        // Two runs at the same thread count: run-to-run stability.
+        common::setComputeThreads(2);
+        uint64_t sum = bitChecksum(net->forward(in));
+        EXPECT_EQ(bitChecksum(net->forward(in)), sum)
+            << name << ": forward pass is not run-to-run stable";
+
+        // Across thread counts: the fixed reduction order must make
+        // the output independent of the pool size.
+        for (int threads : {1, 8}) {
+            common::setComputeThreads(threads);
+            EXPECT_EQ(bitChecksum(net->forward(in)), sum)
+                << name << ": output depends on thread count "
+                << threads;
+        }
+
+        // With the parallel run option off entirely.
+        net->setParallel(false);
+        EXPECT_EQ(bitChecksum(net->forward(in)), sum)
+            << name << ": setParallel(false) changes the output";
+        net->setParallel(true);
+
+        auto it = kGolden.find(name);
+        ASSERT_NE(it, kGolden.end()) << "no golden for " << name;
+        if (sum != it->second) {
+            goldenMismatch = true;
+            ADD_FAILURE()
+                << name << ": golden checksum mismatch, got 0x"
+                << std::hex << sum << " want 0x" << it->second
+                << " (update kGolden if this change is intended)";
+        }
+    }
+    if (goldenMismatch) {
+        // Print the full refreshed table for easy copy-paste.
+        std::string table;
+        common::setComputeThreads(1);
+        for (zoo::Model model : zoo::allModels()) {
+            NetworkPtr net = zoo::build(model, 42);
+            Tensor in = testInput(*net, 2);
+            char line[96];
+            std::snprintf(line, sizeof(line),
+                          "    {\"%s\", 0x%016llxULL},\n",
+                          zoo::modelName(model),
+                          static_cast<unsigned long long>(
+                              bitChecksum(net->forward(in))));
+            table += line;
+        }
+        ADD_FAILURE() << "refreshed golden table:\n" << table;
+    }
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

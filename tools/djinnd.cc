@@ -8,6 +8,7 @@
  * Usage:
  *   djinnd [--port N] [--models m1,m2,...|all] [--batching]
  *          [--batch-size N] [--batch-delay-us N] [--seed N]
+ *          [--compute-threads N]
  *          [--metrics-dump] [--metrics-dump-json]
  *          [--http-port N] [--no-tracing]
  *          [--netdef FILE --weights FILE]...
@@ -16,6 +17,12 @@
  * text; --metrics-dump-json for JSON) to stdout at shutdown. A
  * running daemon serves the same exposition to clients via the
  * Metrics wire verb (`djinn_cli HOST PORT metrics`).
+ *
+ * --compute-threads N sizes the shared intra-layer compute pool
+ * (threaded GEMM and layer partitioning, DESIGN.md §8). Unset, the
+ * DJINN_COMPUTE_THREADS environment variable applies, then the
+ * hardware concurrency. Inference output bits are identical at
+ * every setting.
  *
  * --http-port N starts the embedded HTTP scrape endpoint on port N
  * (0 picks an ephemeral port): GET /healthz, GET /metrics
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "common/strings.hh"
+#include "common/thread_pool.hh"
 #include "core/djinn_server.hh"
 #include "telemetry/exposition.hh"
 #include "tonic/apps.hh"
@@ -59,6 +67,7 @@ usage()
                  "usage: djinnd [--port N] [--models m1,m2|all]\n"
                  "              [--batching] [--batch-size N] "
                  "[--batch-delay-us N]\n"
+                 "              [--compute-threads N]\n"
                  "              [--seed N] [--metrics-dump] "
                  "[--metrics-dump-json]\n"
                  "              [--http-port N] [--no-tracing]\n"
@@ -110,6 +119,9 @@ main(int argc, char **argv)
                 std::atof(next("--batch-delay-us")) * 1e-6;
         } else if (arg == "--seed") {
             seed = std::strtoull(next("--seed"), nullptr, 10);
+        } else if (arg == "--compute-threads") {
+            config.computeThreads =
+                std::atoi(next("--compute-threads"));
         } else if (arg == "--http-port") {
             config.httpPort = std::atoi(next("--http-port"));
         } else if (arg == "--no-tracing") {
@@ -176,9 +188,11 @@ main(int argc, char **argv)
                      started.toString().c_str());
         return 1;
     }
-    std::printf("djinnd listening on %s:%u (batching %s)\n",
+    std::printf("djinnd listening on %s:%u (batching %s, "
+                "%d compute threads)\n",
                 config.bindAddress.c_str(), server.port(),
-                config.batching ? "on" : "off");
+                config.batching ? "on" : "off",
+                common::computeThreads());
     if (config.httpPort >= 0) {
         std::printf("http endpoint on %s:%u "
                     "(/healthz /metrics /trace)\n",
