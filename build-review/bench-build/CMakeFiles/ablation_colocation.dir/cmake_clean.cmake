@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_colocation"
+  "../bench/ablation_colocation.pdb"
+  "CMakeFiles/ablation_colocation.dir/ablation_colocation.cc.o"
+  "CMakeFiles/ablation_colocation.dir/ablation_colocation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

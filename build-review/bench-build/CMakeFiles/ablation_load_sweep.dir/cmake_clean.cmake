@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_load_sweep"
+  "../bench/ablation_load_sweep.pdb"
+  "CMakeFiles/ablation_load_sweep.dir/ablation_load_sweep.cc.o"
+  "CMakeFiles/ablation_load_sweep.dir/ablation_load_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

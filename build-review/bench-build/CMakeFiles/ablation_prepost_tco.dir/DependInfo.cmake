@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_prepost_tco.cc" "bench-build/CMakeFiles/ablation_prepost_tco.dir/ablation_prepost_tco.cc.o" "gcc" "bench-build/CMakeFiles/ablation_prepost_tco.dir/ablation_prepost_tco.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/wsc/CMakeFiles/djinn_wsc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tonic/CMakeFiles/djinn_tonic.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/djinn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/serve/CMakeFiles/djinn_serve.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gpu/CMakeFiles/djinn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/perf/CMakeFiles/djinn_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/djinn_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/djinn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/djinn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/djinn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prepost_tco"
+  "../bench/ablation_prepost_tco.pdb"
+  "CMakeFiles/ablation_prepost_tco.dir/ablation_prepost_tco.cc.o"
+  "CMakeFiles/ablation_prepost_tco.dir/ablation_prepost_tco.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prepost_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tail_latency"
+  "../bench/ablation_tail_latency.pdb"
+  "CMakeFiles/ablation_tail_latency.dir/ablation_tail_latency.cc.o"
+  "CMakeFiles/ablation_tail_latency.dir/ablation_tail_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_cycle_breakdown"
+  "../bench/fig04_cycle_breakdown.pdb"
+  "CMakeFiles/fig04_cycle_breakdown.dir/fig04_cycle_breakdown.cc.o"
+  "CMakeFiles/fig04_cycle_breakdown.dir/fig04_cycle_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cycle_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_gpu_vs_cpu"
+  "../bench/fig05_gpu_vs_cpu.pdb"
+  "CMakeFiles/fig05_gpu_vs_cpu.dir/fig05_gpu_vs_cpu.cc.o"
+  "CMakeFiles/fig05_gpu_vs_cpu.dir/fig05_gpu_vs_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_gpu_vs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

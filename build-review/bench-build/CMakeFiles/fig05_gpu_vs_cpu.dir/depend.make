@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_gpu_vs_cpu.
+# This may be replaced when dependencies are built.

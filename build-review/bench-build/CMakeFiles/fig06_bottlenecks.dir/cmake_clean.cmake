@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_bottlenecks"
+  "../bench/fig06_bottlenecks.pdb"
+  "CMakeFiles/fig06_bottlenecks.dir/fig06_bottlenecks.cc.o"
+  "CMakeFiles/fig06_bottlenecks.dir/fig06_bottlenecks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_batching"
+  "../bench/fig07_batching.pdb"
+  "CMakeFiles/fig07_batching.dir/fig07_batching.cc.o"
+  "CMakeFiles/fig07_batching.dir/fig07_batching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_mps_throughput"
+  "../bench/fig08_mps_throughput.pdb"
+  "CMakeFiles/fig08_mps_throughput.dir/fig08_mps_throughput.cc.o"
+  "CMakeFiles/fig08_mps_throughput.dir/fig08_mps_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_mps_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_mps_latency"
+  "../bench/fig09_mps_latency.pdb"
+  "CMakeFiles/fig09_mps_latency.dir/fig09_mps_latency.cc.o"
+  "CMakeFiles/fig09_mps_latency.dir/fig09_mps_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mps_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

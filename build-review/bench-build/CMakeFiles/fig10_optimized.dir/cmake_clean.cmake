@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_optimized"
+  "../bench/fig10_optimized.pdb"
+  "CMakeFiles/fig10_optimized.dir/fig10_optimized.cc.o"
+  "CMakeFiles/fig10_optimized.dir/fig10_optimized.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_scaling_nopcie"
+  "../bench/fig12_scaling_nopcie.pdb"
+  "CMakeFiles/fig12_scaling_nopcie.dir/fig12_scaling_nopcie.cc.o"
+  "CMakeFiles/fig12_scaling_nopcie.dir/fig12_scaling_nopcie.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_scaling_nopcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

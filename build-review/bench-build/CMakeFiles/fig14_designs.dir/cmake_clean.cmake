@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_designs"
+  "../bench/fig14_designs.pdb"
+  "CMakeFiles/fig14_designs.dir/fig14_designs.cc.o"
+  "CMakeFiles/fig14_designs.dir/fig14_designs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

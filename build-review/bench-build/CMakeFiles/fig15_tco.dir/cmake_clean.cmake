@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_tco"
+  "../bench/fig15_tco.pdb"
+  "CMakeFiles/fig15_tco.dir/fig15_tco.cc.o"
+  "CMakeFiles/fig15_tco.dir/fig15_tco.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_networks"
+  "../bench/fig16_networks.pdb"
+  "CMakeFiles/fig16_networks.dir/fig16_networks.cc.o"
+  "CMakeFiles/fig16_networks.dir/fig16_networks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_nn"
+  "../bench/microbench_nn.pdb"
+  "CMakeFiles/microbench_nn.dir/microbench_nn.cc.o"
+  "CMakeFiles/microbench_nn.dir/microbench_nn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

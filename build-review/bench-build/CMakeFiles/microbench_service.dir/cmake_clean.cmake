@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench_service"
+  "../bench/microbench_service.pdb"
+  "CMakeFiles/microbench_service.dir/microbench_service.cc.o"
+  "CMakeFiles/microbench_service.dir/microbench_service.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_networks"
+  "../bench/table1_networks.pdb"
+  "CMakeFiles/table1_networks.dir/table1_networks.cc.o"
+  "CMakeFiles/table1_networks.dir/table1_networks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_service"
+  "../bench/table3_service.pdb"
+  "CMakeFiles/table3_service.dir/table3_service.cc.o"
+  "CMakeFiles/table3_service.dir/table3_service.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

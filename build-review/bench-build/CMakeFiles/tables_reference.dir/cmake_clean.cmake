@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tables_reference"
+  "../bench/tables_reference.pdb"
+  "CMakeFiles/tables_reference.dir/tables_reference.cc.o"
+  "CMakeFiles/tables_reference.dir/tables_reference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

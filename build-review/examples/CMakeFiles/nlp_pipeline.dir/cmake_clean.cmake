@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlp_pipeline.dir/nlp_pipeline.cpp.o"
+  "CMakeFiles/nlp_pipeline.dir/nlp_pipeline.cpp.o.d"
+  "nlp_pipeline"
+  "nlp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_simulator.dir/serving_simulator.cpp.o"
+  "CMakeFiles/serving_simulator.dir/serving_simulator.cpp.o.d"
+  "serving_simulator"
+  "serving_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

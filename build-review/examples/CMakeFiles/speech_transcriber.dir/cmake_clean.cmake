@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_transcriber.dir/speech_transcriber.cpp.o"
+  "CMakeFiles/speech_transcriber.dir/speech_transcriber.cpp.o.d"
+  "speech_transcriber"
+  "speech_transcriber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_transcriber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

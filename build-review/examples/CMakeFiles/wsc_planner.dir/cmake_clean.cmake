@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_planner.dir/wsc_planner.cpp.o"
+  "CMakeFiles/wsc_planner.dir/wsc_planner.cpp.o.d"
+  "wsc_planner"
+  "wsc_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("telemetry")
+subdirs("sim")
+subdirs("nn")
+subdirs("train")
+subdirs("perf")
+subdirs("gpu")
+subdirs("serve")
+subdirs("core")
+subdirs("tonic")
+subdirs("wsc")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_common.dir/logging.cc.o"
+  "CMakeFiles/djinn_common.dir/logging.cc.o.d"
+  "CMakeFiles/djinn_common.dir/rng.cc.o"
+  "CMakeFiles/djinn_common.dir/rng.cc.o.d"
+  "CMakeFiles/djinn_common.dir/status.cc.o"
+  "CMakeFiles/djinn_common.dir/status.cc.o.d"
+  "CMakeFiles/djinn_common.dir/strings.cc.o"
+  "CMakeFiles/djinn_common.dir/strings.cc.o.d"
+  "CMakeFiles/djinn_common.dir/thread_pool.cc.o"
+  "CMakeFiles/djinn_common.dir/thread_pool.cc.o.d"
+  "libdjinn_common.a"
+  "libdjinn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batcher.cc" "src/core/CMakeFiles/djinn_core.dir/batcher.cc.o" "gcc" "src/core/CMakeFiles/djinn_core.dir/batcher.cc.o.d"
+  "/root/repo/src/core/djinn_client.cc" "src/core/CMakeFiles/djinn_core.dir/djinn_client.cc.o" "gcc" "src/core/CMakeFiles/djinn_core.dir/djinn_client.cc.o.d"
+  "/root/repo/src/core/djinn_server.cc" "src/core/CMakeFiles/djinn_core.dir/djinn_server.cc.o" "gcc" "src/core/CMakeFiles/djinn_core.dir/djinn_server.cc.o.d"
+  "/root/repo/src/core/http_endpoint.cc" "src/core/CMakeFiles/djinn_core.dir/http_endpoint.cc.o" "gcc" "src/core/CMakeFiles/djinn_core.dir/http_endpoint.cc.o.d"
+  "/root/repo/src/core/model_registry.cc" "src/core/CMakeFiles/djinn_core.dir/model_registry.cc.o" "gcc" "src/core/CMakeFiles/djinn_core.dir/model_registry.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/djinn_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/djinn_core.dir/protocol.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/djinn_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/djinn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/djinn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_core.dir/batcher.cc.o"
+  "CMakeFiles/djinn_core.dir/batcher.cc.o.d"
+  "CMakeFiles/djinn_core.dir/djinn_client.cc.o"
+  "CMakeFiles/djinn_core.dir/djinn_client.cc.o.d"
+  "CMakeFiles/djinn_core.dir/djinn_server.cc.o"
+  "CMakeFiles/djinn_core.dir/djinn_server.cc.o.d"
+  "CMakeFiles/djinn_core.dir/http_endpoint.cc.o"
+  "CMakeFiles/djinn_core.dir/http_endpoint.cc.o.d"
+  "CMakeFiles/djinn_core.dir/model_registry.cc.o"
+  "CMakeFiles/djinn_core.dir/model_registry.cc.o.d"
+  "CMakeFiles/djinn_core.dir/protocol.cc.o"
+  "CMakeFiles/djinn_core.dir/protocol.cc.o.d"
+  "libdjinn_core.a"
+  "libdjinn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

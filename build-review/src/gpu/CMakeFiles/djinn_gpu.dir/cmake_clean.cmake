@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_gpu.dir/gpu_model.cc.o"
+  "CMakeFiles/djinn_gpu.dir/gpu_model.cc.o.d"
+  "CMakeFiles/djinn_gpu.dir/kernel_model.cc.o"
+  "CMakeFiles/djinn_gpu.dir/kernel_model.cc.o.d"
+  "CMakeFiles/djinn_gpu.dir/link.cc.o"
+  "CMakeFiles/djinn_gpu.dir/link.cc.o.d"
+  "libdjinn_gpu.a"
+  "libdjinn_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdjinn_gpu.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gemm.cc" "src/nn/CMakeFiles/djinn_nn.dir/gemm.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/gemm.cc.o.d"
+  "/root/repo/src/nn/gemm_naive.cc" "src/nn/CMakeFiles/djinn_nn.dir/gemm_naive.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/gemm_naive.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/djinn_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/djinn_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/layers/activation.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/activation.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/activation.cc.o.d"
+  "/root/repo/src/nn/layers/convolution.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/convolution.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/convolution.cc.o.d"
+  "/root/repo/src/nn/layers/inner_product.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/inner_product.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/inner_product.cc.o.d"
+  "/root/repo/src/nn/layers/locally_connected.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/locally_connected.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/locally_connected.cc.o.d"
+  "/root/repo/src/nn/layers/lrn.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/lrn.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/lrn.cc.o.d"
+  "/root/repo/src/nn/layers/pooling.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/pooling.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/pooling.cc.o.d"
+  "/root/repo/src/nn/layers/softmax.cc" "src/nn/CMakeFiles/djinn_nn.dir/layers/softmax.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/layers/softmax.cc.o.d"
+  "/root/repo/src/nn/net_def.cc" "src/nn/CMakeFiles/djinn_nn.dir/net_def.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/net_def.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/djinn_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/djinn_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/djinn_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/nn/CMakeFiles/djinn_nn.dir/zoo.cc.o" "gcc" "src/nn/CMakeFiles/djinn_nn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/djinn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_perf.dir/layer_cost.cc.o"
+  "CMakeFiles/djinn_perf.dir/layer_cost.cc.o.d"
+  "libdjinn_perf.a"
+  "libdjinn_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

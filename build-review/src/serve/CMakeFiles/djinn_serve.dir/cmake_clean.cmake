@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_serve.dir/app.cc.o"
+  "CMakeFiles/djinn_serve.dir/app.cc.o.d"
+  "CMakeFiles/djinn_serve.dir/resources.cc.o"
+  "CMakeFiles/djinn_serve.dir/resources.cc.o.d"
+  "CMakeFiles/djinn_serve.dir/simulation.cc.o"
+  "CMakeFiles/djinn_serve.dir/simulation.cc.o.d"
+  "CMakeFiles/djinn_serve.dir/telemetry.cc.o"
+  "CMakeFiles/djinn_serve.dir/telemetry.cc.o.d"
+  "CMakeFiles/djinn_serve.dir/tuner.cc.o"
+  "CMakeFiles/djinn_serve.dir/tuner.cc.o.d"
+  "libdjinn_serve.a"
+  "libdjinn_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_sim.dir/event_queue.cc.o"
+  "CMakeFiles/djinn_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/djinn_sim.dir/stats.cc.o"
+  "CMakeFiles/djinn_sim.dir/stats.cc.o.d"
+  "libdjinn_sim.a"
+  "libdjinn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_telemetry.dir/exposition.cc.o"
+  "CMakeFiles/djinn_telemetry.dir/exposition.cc.o.d"
+  "CMakeFiles/djinn_telemetry.dir/histogram.cc.o"
+  "CMakeFiles/djinn_telemetry.dir/histogram.cc.o.d"
+  "CMakeFiles/djinn_telemetry.dir/metrics.cc.o"
+  "CMakeFiles/djinn_telemetry.dir/metrics.cc.o.d"
+  "CMakeFiles/djinn_telemetry.dir/trace.cc.o"
+  "CMakeFiles/djinn_telemetry.dir/trace.cc.o.d"
+  "CMakeFiles/djinn_telemetry.dir/trace_context.cc.o"
+  "CMakeFiles/djinn_telemetry.dir/trace_context.cc.o.d"
+  "CMakeFiles/djinn_telemetry.dir/tracer.cc.o"
+  "CMakeFiles/djinn_telemetry.dir/tracer.cc.o.d"
+  "libdjinn_telemetry.a"
+  "libdjinn_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tonic/apps.cc" "src/tonic/CMakeFiles/djinn_tonic.dir/apps.cc.o" "gcc" "src/tonic/CMakeFiles/djinn_tonic.dir/apps.cc.o.d"
+  "/root/repo/src/tonic/audio.cc" "src/tonic/CMakeFiles/djinn_tonic.dir/audio.cc.o" "gcc" "src/tonic/CMakeFiles/djinn_tonic.dir/audio.cc.o.d"
+  "/root/repo/src/tonic/image.cc" "src/tonic/CMakeFiles/djinn_tonic.dir/image.cc.o" "gcc" "src/tonic/CMakeFiles/djinn_tonic.dir/image.cc.o.d"
+  "/root/repo/src/tonic/labels.cc" "src/tonic/CMakeFiles/djinn_tonic.dir/labels.cc.o" "gcc" "src/tonic/CMakeFiles/djinn_tonic.dir/labels.cc.o.d"
+  "/root/repo/src/tonic/text.cc" "src/tonic/CMakeFiles/djinn_tonic.dir/text.cc.o" "gcc" "src/tonic/CMakeFiles/djinn_tonic.dir/text.cc.o.d"
+  "/root/repo/src/tonic/viterbi.cc" "src/tonic/CMakeFiles/djinn_tonic.dir/viterbi.cc.o" "gcc" "src/tonic/CMakeFiles/djinn_tonic.dir/viterbi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/djinn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/djinn_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/djinn_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/djinn_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_tonic.dir/apps.cc.o"
+  "CMakeFiles/djinn_tonic.dir/apps.cc.o.d"
+  "CMakeFiles/djinn_tonic.dir/audio.cc.o"
+  "CMakeFiles/djinn_tonic.dir/audio.cc.o.d"
+  "CMakeFiles/djinn_tonic.dir/image.cc.o"
+  "CMakeFiles/djinn_tonic.dir/image.cc.o.d"
+  "CMakeFiles/djinn_tonic.dir/labels.cc.o"
+  "CMakeFiles/djinn_tonic.dir/labels.cc.o.d"
+  "CMakeFiles/djinn_tonic.dir/text.cc.o"
+  "CMakeFiles/djinn_tonic.dir/text.cc.o.d"
+  "CMakeFiles/djinn_tonic.dir/viterbi.cc.o"
+  "CMakeFiles/djinn_tonic.dir/viterbi.cc.o.d"
+  "libdjinn_tonic.a"
+  "libdjinn_tonic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_tonic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

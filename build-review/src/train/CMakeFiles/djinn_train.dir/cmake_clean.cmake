@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_train.dir/sgd.cc.o"
+  "CMakeFiles/djinn_train.dir/sgd.cc.o.d"
+  "libdjinn_train.a"
+  "libdjinn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsc/bandwidth.cc" "src/wsc/CMakeFiles/djinn_wsc.dir/bandwidth.cc.o" "gcc" "src/wsc/CMakeFiles/djinn_wsc.dir/bandwidth.cc.o.d"
+  "/root/repo/src/wsc/capacity.cc" "src/wsc/CMakeFiles/djinn_wsc.dir/capacity.cc.o" "gcc" "src/wsc/CMakeFiles/djinn_wsc.dir/capacity.cc.o.d"
+  "/root/repo/src/wsc/designs.cc" "src/wsc/CMakeFiles/djinn_wsc.dir/designs.cc.o" "gcc" "src/wsc/CMakeFiles/djinn_wsc.dir/designs.cc.o.d"
+  "/root/repo/src/wsc/network_config.cc" "src/wsc/CMakeFiles/djinn_wsc.dir/network_config.cc.o" "gcc" "src/wsc/CMakeFiles/djinn_wsc.dir/network_config.cc.o.d"
+  "/root/repo/src/wsc/tco_params.cc" "src/wsc/CMakeFiles/djinn_wsc.dir/tco_params.cc.o" "gcc" "src/wsc/CMakeFiles/djinn_wsc.dir/tco_params.cc.o.d"
+  "/root/repo/src/wsc/workload_mix.cc" "src/wsc/CMakeFiles/djinn_wsc.dir/workload_mix.cc.o" "gcc" "src/wsc/CMakeFiles/djinn_wsc.dir/workload_mix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/serve/CMakeFiles/djinn_serve.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/gpu/CMakeFiles/djinn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/djinn_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/perf/CMakeFiles/djinn_perf.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/djinn_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/djinn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/djinn_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_wsc.dir/bandwidth.cc.o"
+  "CMakeFiles/djinn_wsc.dir/bandwidth.cc.o.d"
+  "CMakeFiles/djinn_wsc.dir/capacity.cc.o"
+  "CMakeFiles/djinn_wsc.dir/capacity.cc.o.d"
+  "CMakeFiles/djinn_wsc.dir/designs.cc.o"
+  "CMakeFiles/djinn_wsc.dir/designs.cc.o.d"
+  "CMakeFiles/djinn_wsc.dir/network_config.cc.o"
+  "CMakeFiles/djinn_wsc.dir/network_config.cc.o.d"
+  "CMakeFiles/djinn_wsc.dir/tco_params.cc.o"
+  "CMakeFiles/djinn_wsc.dir/tco_params.cc.o.d"
+  "CMakeFiles/djinn_wsc.dir/workload_mix.cc.o"
+  "CMakeFiles/djinn_wsc.dir/workload_mix.cc.o.d"
+  "libdjinn_wsc.a"
+  "libdjinn_wsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_wsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

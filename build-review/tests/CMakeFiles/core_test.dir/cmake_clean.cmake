@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/batcher_test.cc.o"
+  "CMakeFiles/core_test.dir/core/batcher_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/protocol_property_test.cc.o"
+  "CMakeFiles/core_test.dir/core/protocol_property_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/protocol_test.cc.o"
+  "CMakeFiles/core_test.dir/core/protocol_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/registry_test.cc.o"
+  "CMakeFiles/core_test.dir/core/registry_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/server_test.cc.o"
+  "CMakeFiles/core_test.dir/core/server_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tracing_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tracing_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_test.dir/gpu/gpu_model_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/gpu_model_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/kernel_model_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/kernel_model_test.cc.o.d"
+  "CMakeFiles/gpu_test.dir/gpu/link_test.cc.o"
+  "CMakeFiles/gpu_test.dir/gpu/link_test.cc.o.d"
+  "gpu_test"
+  "gpu_test.pdb"
+  "gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

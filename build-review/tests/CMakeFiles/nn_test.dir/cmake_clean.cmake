@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/gemm_diff_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/gemm_diff_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/gemm_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/gemm_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/net_def_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/net_def_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/network_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/network_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/profile_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/profile_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/property_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/property_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cc.o.d"
+  "nn_test"
+  "nn_test.pdb"
+  "nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_test.dir/serve/app_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/app_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/mixed_sim_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/mixed_sim_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/resources_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/resources_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/simulation_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/simulation_test.cc.o.d"
+  "CMakeFiles/serve_test.dir/serve/tuner_test.cc.o"
+  "CMakeFiles/serve_test.dir/serve/tuner_test.cc.o.d"
+  "serve_test"
+  "serve_test.pdb"
+  "serve_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_test.dir/telemetry/histogram_test.cc.o"
+  "CMakeFiles/telemetry_test.dir/telemetry/histogram_test.cc.o.d"
+  "CMakeFiles/telemetry_test.dir/telemetry/metrics_test.cc.o"
+  "CMakeFiles/telemetry_test.dir/telemetry/metrics_test.cc.o.d"
+  "CMakeFiles/telemetry_test.dir/telemetry/tracer_test.cc.o"
+  "CMakeFiles/telemetry_test.dir/telemetry/tracer_test.cc.o.d"
+  "telemetry_test"
+  "telemetry_test.pdb"
+  "telemetry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

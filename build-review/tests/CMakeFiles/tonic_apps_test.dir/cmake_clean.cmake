@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tonic_apps_test.dir/tonic/apps_test.cc.o"
+  "CMakeFiles/tonic_apps_test.dir/tonic/apps_test.cc.o.d"
+  "tonic_apps_test"
+  "tonic_apps_test.pdb"
+  "tonic_apps_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tonic_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tonic_test.dir/tonic/audio_test.cc.o"
+  "CMakeFiles/tonic_test.dir/tonic/audio_test.cc.o.d"
+  "CMakeFiles/tonic_test.dir/tonic/image_test.cc.o"
+  "CMakeFiles/tonic_test.dir/tonic/image_test.cc.o.d"
+  "CMakeFiles/tonic_test.dir/tonic/text_test.cc.o"
+  "CMakeFiles/tonic_test.dir/tonic/text_test.cc.o.d"
+  "CMakeFiles/tonic_test.dir/tonic/viterbi_test.cc.o"
+  "CMakeFiles/tonic_test.dir/tonic/viterbi_test.cc.o.d"
+  "tonic_test"
+  "tonic_test.pdb"
+  "tonic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tonic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_test.dir/wsc/bandwidth_test.cc.o"
+  "CMakeFiles/wsc_test.dir/wsc/bandwidth_test.cc.o.d"
+  "CMakeFiles/wsc_test.dir/wsc/capacity_test.cc.o"
+  "CMakeFiles/wsc_test.dir/wsc/capacity_test.cc.o.d"
+  "CMakeFiles/wsc_test.dir/wsc/designs_test.cc.o"
+  "CMakeFiles/wsc_test.dir/wsc/designs_test.cc.o.d"
+  "CMakeFiles/wsc_test.dir/wsc/network_config_test.cc.o"
+  "CMakeFiles/wsc_test.dir/wsc/network_config_test.cc.o.d"
+  "CMakeFiles/wsc_test.dir/wsc/tco_params_test.cc.o"
+  "CMakeFiles/wsc_test.dir/wsc/tco_params_test.cc.o.d"
+  "CMakeFiles/wsc_test.dir/wsc/workload_mix_test.cc.o"
+  "CMakeFiles/wsc_test.dir/wsc/workload_mix_test.cc.o.d"
+  "wsc_test"
+  "wsc_test.pdb"
+  "wsc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

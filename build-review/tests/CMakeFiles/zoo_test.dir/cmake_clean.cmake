@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zoo_test.dir/nn/determinism_test.cc.o"
+  "CMakeFiles/zoo_test.dir/nn/determinism_test.cc.o.d"
+  "CMakeFiles/zoo_test.dir/nn/zoo_profile_test.cc.o"
+  "CMakeFiles/zoo_test.dir/nn/zoo_profile_test.cc.o.d"
+  "CMakeFiles/zoo_test.dir/nn/zoo_test.cc.o"
+  "CMakeFiles/zoo_test.dir/nn/zoo_test.cc.o.d"
+  "zoo_test"
+  "zoo_test.pdb"
+  "zoo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sim_test[1]_include.cmake")
+include("/root/repo/build-review/tests/nn_test[1]_include.cmake")
+include("/root/repo/build-review/tests/zoo_test[1]_include.cmake")
+include("/root/repo/build-review/tests/train_test[1]_include.cmake")
+include("/root/repo/build-review/tests/perf_test[1]_include.cmake")
+include("/root/repo/build-review/tests/gpu_test[1]_include.cmake")
+include("/root/repo/build-review/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/serve_test[1]_include.cmake")
+include("/root/repo/build-review/tests/telemetry_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tonic_test[1]_include.cmake")
+include("/root/repo/build-review/tests/tonic_apps_test[1]_include.cmake")
+include("/root/repo/build-review/tests/wsc_test[1]_include.cmake")

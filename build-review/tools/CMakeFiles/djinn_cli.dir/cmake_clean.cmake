@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinn_cli.dir/djinn_cli.cc.o"
+  "CMakeFiles/djinn_cli.dir/djinn_cli.cc.o.d"
+  "djinn_cli"
+  "djinn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

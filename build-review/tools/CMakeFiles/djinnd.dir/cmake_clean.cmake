@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/djinnd.dir/djinnd.cc.o"
+  "CMakeFiles/djinnd.dir/djinnd.cc.o.d"
+  "djinnd"
+  "djinnd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/djinnd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_models.dir/export_models.cc.o"
+  "CMakeFiles/export_models.dir/export_models.cc.o.d"
+  "export_models"
+  "export_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/scrape_check.cc" "tools/CMakeFiles/scrape_check.dir/scrape_check.cc.o" "gcc" "tools/CMakeFiles/scrape_check.dir/scrape_check.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/telemetry/CMakeFiles/djinn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/djinn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

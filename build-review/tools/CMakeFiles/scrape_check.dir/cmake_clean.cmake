@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrape_check.dir/scrape_check.cc.o"
+  "CMakeFiles/scrape_check.dir/scrape_check.cc.o.d"
+  "scrape_check"
+  "scrape_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrape_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
