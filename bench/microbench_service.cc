@@ -22,6 +22,7 @@
 #include "core/batcher.hh"
 #include "core/djinn_client.hh"
 #include "core/djinn_server.hh"
+#include "core/perf_sink.hh"
 #include "core/protocol.hh"
 #include "nn/init.hh"
 #include "nn/net_def.hh"
@@ -30,6 +31,7 @@
 #include "serve/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/exposition.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/trace.hh"
 
 using namespace djinn;
@@ -217,21 +219,28 @@ liveServiceSnapshot()
  * One profiled single-row forward pass per zoo model, recorded as
  * per-layer gauges: djinn_layer_forward_seconds, djinn_layer_flops,
  * and djinn_layer_activation_bytes, labeled {model, layer, kind}.
+ * With hardware counters available the cycle-accounting columns
+ * ride along — djinn_layer_cycles always (wall nanoseconds in the
+ * clock-only fallback, like djinn_phase_cycles), plus
+ * djinn_layer_instructions and djinn_layer_ipc when real.
  */
 void
 recordZooLayerProfiles(telemetry::MetricRegistry &registry)
 {
+    registry.gauge(telemetry::perfAvailableMetricName)
+        .set(telemetry::perfCountersAvailable() ? 1.0 : 0.0);
     for (nn::zoo::Model model : nn::zoo::allModels()) {
         nn::NetworkPtr net = nn::zoo::build(model, 42);
         nn::Tensor input(net->inputShape().withBatch(1));
         for (int64_t i = 0; i < input.elems(); ++i)
             input.data()[i] = 0.25f;
 
-        nn::VectorProfileSink sink;
+        core::CountingProfileSink sink;
         (void)net->forward(input, &sink);
 
         const std::string name = nn::zoo::modelName(model);
-        for (const nn::LayerProfile &p : sink.profiles()) {
+        for (size_t i = 0; i < sink.profiles().size(); ++i) {
+            const nn::LayerProfile &p = sink.profiles()[i];
             telemetry::LabelMap labels{
                 {"model", name},
                 {"layer", p.name},
@@ -242,6 +251,17 @@ recordZooLayerProfiles(telemetry::MetricRegistry &registry)
                 .set(static_cast<double>(p.flops));
             registry.gauge("djinn_layer_activation_bytes", labels)
                 .set(static_cast<double>(p.activationBytes));
+            if (i >= sink.deltas().size())
+                continue;
+            const telemetry::CounterDelta &d = sink.deltas()[i];
+            registry.gauge("djinn_layer_cycles", labels)
+                .set(static_cast<double>(d.work()));
+            if (d.hardware) {
+                registry.gauge("djinn_layer_instructions", labels)
+                    .set(static_cast<double>(d.instructions));
+                registry.gauge("djinn_layer_ipc", labels)
+                    .set(d.ipc());
+            }
         }
     }
 }

@@ -17,16 +17,39 @@ if [ -n "$bad" ]; then
     exit 1
 fi
 
+# Lint: metric families must be snake_case and registered in the
+# committed allowlist, so a rename or a typo'd name breaks the
+# build instead of silently orphaning a dashboard.
+used=$(grep -rhoE '"djinn_[A-Za-z0-9_]*"' src/ tools/ bench/ \
+    | tr -d '"' | sort -u)
+listed=$(grep -v '^#' scripts/metric_allowlist.txt | sort -u)
+bad=$(printf '%s\n' "$used" | grep -vE '^djinn_[a-z0-9_]+$' || true)
+if [ -n "$bad" ]; then
+    echo "lint: metric names must be snake_case:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+drift=$(printf '%s\n%s\n' "$used" "$listed" | sort | uniq -u || true)
+if [ -n "$drift" ]; then
+    echo "lint: metric names out of sync with" \
+         "scripts/metric_allowlist.txt:" >&2
+    echo "$drift" >&2
+    exit 1
+fi
+
 cmake -B build -S . && cmake --build build -j && \
     cd build && ctest --output-on-failure -j "$(nproc)"
 cd ..
 
 # Smoke test the observability surface: boot a real daemon with the
 # HTTP endpoint and let scrape_check validate /healthz, /metrics
-# (must parse as Prometheus exposition), and /trace.
+# (must parse as Prometheus exposition), /trace, and /profile.
+# --profile-hz arms the sampling profiler so the /profile scrape
+# exercises the live path (scrape_check accepts 503 where signal
+# timers are restricted).
 http_port=19164
 ./build/tools/djinnd --port 19163 --http-port "$http_port" \
-    --models mnist --batching &
+    --models mnist --batching --profile-hz 199 &
 djinnd_pid=$!
 trap 'kill "$djinnd_pid" 2>/dev/null || true' EXIT
 if ! ./build/tools/scrape_check 127.0.0.1 "$http_port"; then

@@ -1,7 +1,11 @@
 #include "common/thread_pool.hh"
 
+#include <pthread.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 
 namespace djinn {
@@ -15,14 +19,40 @@ thread_local int tl_task_depth = 0;
 /** Active SerialScope count on this thread. */
 thread_local int tl_serial_depth = 0;
 
+// Plain zero-initialized storage (no dynamic thread_local ctor) so
+// a signal handler can read it at any point in a thread's life.
+thread_local char tl_thread_name[16] = {0};
+
 } // namespace
+
+void
+setCurrentThreadName(const char *name)
+{
+    std::snprintf(tl_thread_name, sizeof(tl_thread_name), "%s",
+                  name ? name : "");
+#ifdef __linux__
+    ::pthread_setname_np(::pthread_self(), tl_thread_name);
+#endif
+}
+
+const char *
+currentThreadName()
+{
+    return tl_thread_name;
+}
 
 ThreadPool::ThreadPool(int threads)
     : size_(std::max(threads, 1))
 {
     workers_.reserve(static_cast<size_t>(size_ - 1));
-    for (int i = 0; i < size_ - 1; ++i)
-        workers_.emplace_back([this]() { workerLoop(); });
+    for (int i = 0; i < size_ - 1; ++i) {
+        workers_.emplace_back([this, i]() {
+            char name[16];
+            std::snprintf(name, sizeof(name), "compute-%d", i);
+            setCurrentThreadName(name);
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -48,6 +78,7 @@ ThreadPool::runChunk(Job *job, int64_t index)
     int64_t b = job->begin + index * job->chunk;
     int64_t e = std::min(b + job->chunk, job->end);
     ++tl_task_depth;
+    active_.fetch_add(1, std::memory_order_relaxed);
     bool skip;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -63,6 +94,7 @@ ThreadPool::runChunk(Job *job, int64_t index)
             job->error = std::current_exception();
         }
     }
+    active_.fetch_sub(1, std::memory_order_relaxed);
     --tl_task_depth;
     std::lock_guard<std::mutex> lock(mutex_);
     if (++job->done == job->chunks)

@@ -13,6 +13,7 @@
 #ifndef DJINN_COMMON_THREAD_POOL_HH
 #define DJINN_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -79,6 +80,17 @@ class ThreadPool
      */
     static bool inParallelRegion();
 
+    /**
+     * Executors currently running a chunk (workers plus
+     * participating callers). A saturation signal: equal to size()
+     * while the pool is fully busy, 0 when idle. Sampled by the
+     * server's BackgroundSampler into `djinn_compute_pool_busy`.
+     */
+    int activeWorkers() const
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Job {
         const std::function<void(int64_t, int64_t)> *body = nullptr;
@@ -102,6 +114,7 @@ class ThreadPool
     std::condition_variable workCv_;
     std::deque<Job *> jobs_;
     bool stop_ = false;
+    std::atomic<int> active_{0};
 };
 
 /**
@@ -137,6 +150,24 @@ int computeThreads();
  * parallelFor calls — configure at startup or between runs.
  */
 void setComputeThreads(int threads);
+
+/**
+ * Register a name for the calling thread, visible to tooling two
+ * ways: as the pthread name (top, /proc) and as the root frame of
+ * the thread's stacks in the sampling profiler's collapsed
+ * output. Pool workers self-register as "compute-N"; the server
+ * names its acceptor, connection workers, and batch dispatchers.
+ * Truncated to 15 characters (the pthread limit).
+ */
+void setCurrentThreadName(const char *name);
+
+/**
+ * The name registered by setCurrentThreadName on this thread, or
+ * "" when it never registered. Async-signal-safe (a plain
+ * thread-local array read), which is why the profiler's SIGPROF
+ * handler may call it.
+ */
+const char *currentThreadName();
 
 } // namespace common
 } // namespace djinn

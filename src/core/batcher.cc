@@ -4,7 +4,10 @@
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "core/perf_sink.hh"
 #include "nn/profile.hh"
+#include "telemetry/perf_counters.hh"
 #include "telemetry/trace.hh"
 #include "telemetry/tracer.hh"
 
@@ -79,8 +82,21 @@ BatchingExecutor::queueFor(const std::string &model, Status &error)
             "djinn_batch_rows", model_label, rows_opts);
         queue->depthGauge = &metrics_->gauge(
             "djinn_batch_queue_depth", model_label);
+        queue->occupancyGauge = &metrics_->gauge(
+            "djinn_batch_occupancy", model_label);
         queue->batchesCounter = &metrics_->counter(
             "djinn_batches_total", model_label);
+        const telemetry::LabelMap forward_label{
+            {"model", model},
+            {"phase", telemetry::phaseName(Phase::Forward)}};
+        queue->forwardCyclesHist = &metrics_->histogram(
+            telemetry::phaseCyclesMetricName, forward_label);
+        queue->forwardInstructionsHist = &metrics_->histogram(
+            telemetry::phaseInstructionsMetricName, forward_label);
+        queue->forwardIpcHist = &metrics_->histogram(
+            telemetry::phaseIpcMetricName, forward_label);
+        queue->forwardCacheMissHist = &metrics_->histogram(
+            telemetry::phaseCacheMissMetricName, forward_label);
     }
     ModelQueue *raw = queue.get();
     raw->dispatcher = std::thread([this, raw]() {
@@ -133,6 +149,7 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
             {rows, std::move(data), std::move(promise),
              std::chrono::steady_clock::now(), trace, parent_span,
              tracer_ ? telemetry::traceNowUs() : 0});
+        pendingTotal_.fetch_add(1, std::memory_order_relaxed);
         if (queue->depthGauge) {
             queue->depthGauge->set(
                 static_cast<double>(queue->pending.size()));
@@ -145,6 +162,8 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
 void
 BatchingExecutor::dispatchLoop(ModelQueue *queue)
 {
+    common::setCurrentThreadName(
+        ("batch-" + queue->network->name()).c_str());
     using Clock = std::chrono::steady_clock;
     const auto max_delay = std::chrono::duration_cast<
         Clock::duration>(std::chrono::duration<double>(
@@ -178,6 +197,7 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
                                         take));
             queue->pending.erase(queue->pending.begin(),
                                  queue->pending.begin() + take);
+            pendingTotal_.fetch_sub(take, std::memory_order_relaxed);
             if (queue->depthGauge) {
                 queue->depthGauge->set(
                     static_cast<double>(queue->pending.size()));
@@ -250,11 +270,14 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             row += p.rows;
         }
 
-        nn::VectorProfileSink profile;
+        CountingProfileSink profile;
         int64_t fwd_start_us =
             primary ? telemetry::traceNowUs() : 0;
+        telemetry::CounterScope forward_scope;
         nn::Tensor output =
             net.forward(input, primary ? &profile : nullptr);
+        const telemetry::CounterDelta &forward_delta =
+            forward_scope.stop();
         int64_t out_elems = net.outputShape().sampleElems();
 
         if (primary) {
@@ -282,7 +305,8 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             // Lay the per-layer spans out sequentially under the
             // forward span using their measured durations.
             int64_t layer_start = fwd_start_us;
-            for (const auto &lp : profile.profiles()) {
+            for (size_t i = 0; i < profile.profiles().size(); ++i) {
+                const nn::LayerProfile &lp = profile.profiles()[i];
                 telemetry::TraceEvent e;
                 e.name = lp.name;
                 e.category = "layer";
@@ -305,6 +329,23 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
                     strprintf("%llu",
                               static_cast<unsigned long long>(
                                   lp.activationBytes)));
+                if (i < profile.deltas().size() &&
+                    profile.deltas()[i].hardware) {
+                    const telemetry::CounterDelta &d =
+                        profile.deltas()[i];
+                    e.args.emplace_back(
+                        "cycles",
+                        strprintf("%llu",
+                                  static_cast<unsigned long long>(
+                                      d.cycles)));
+                    e.args.emplace_back(
+                        "instructions",
+                        strprintf("%llu",
+                                  static_cast<unsigned long long>(
+                                      d.instructions)));
+                    e.args.emplace_back(
+                        "ipc", strprintf("%.3f", d.ipc()));
+                }
                 layer_start += e.durationUs;
                 tracer->record(std::move(e));
             }
@@ -317,6 +358,18 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             queue->batchRowsHist->record(
                 static_cast<double>(total_rows));
             queue->batchesCounter->inc();
+            queue->occupancyGauge->set(
+                static_cast<double>(batch.size()) /
+                static_cast<double>(options_.maxQueries));
+            queue->forwardCyclesHist->record(
+                static_cast<double>(forward_delta.work()));
+            if (forward_delta.hardware) {
+                queue->forwardInstructionsHist->record(
+                    static_cast<double>(forward_delta.instructions));
+                queue->forwardIpcHist->record(forward_delta.ipc());
+                queue->forwardCacheMissHist->record(
+                    static_cast<double>(forward_delta.cacheMisses));
+            }
         }
 
         // Count before fulfilling the promises: a caller must never

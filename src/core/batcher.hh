@@ -115,6 +115,18 @@ class BatchingExecutor
     /** Number of queries served so far. */
     uint64_t queriesServed() const;
 
+    /**
+     * Queries currently queued across every model, for the
+     * background sampler's `djinn_batch_queue_depth_total` gauge.
+     * Maintained atomically on the submit/dispatch path so reading
+     * it never takes a queue mutex.
+     */
+    int64_t
+    queueDepthTotal() const
+    {
+        return pendingTotal_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Pending {
         int64_t rows;
@@ -147,7 +159,16 @@ class BatchingExecutor
         telemetry::LogHistogram *forwardHist = nullptr;
         telemetry::LogHistogram *batchRowsHist = nullptr;
         telemetry::Gauge *depthGauge = nullptr;
+        telemetry::Gauge *occupancyGauge = nullptr;
         telemetry::Counter *batchesCounter = nullptr;
+
+        // Cycle accounting for the pass's forward phase, recorded
+        // on the dispatcher thread (the thread that burns the
+        // cycles; see DESIGN.md "Cycle accounting").
+        telemetry::LogHistogram *forwardCyclesHist = nullptr;
+        telemetry::LogHistogram *forwardInstructionsHist = nullptr;
+        telemetry::LogHistogram *forwardIpcHist = nullptr;
+        telemetry::LogHistogram *forwardCacheMissHist = nullptr;
     };
 
     void dispatchLoop(ModelQueue *queue);
@@ -165,6 +186,7 @@ class BatchingExecutor
 
     std::atomic<uint64_t> batches_{0};
     std::atomic<uint64_t> queries_{0};
+    std::atomic<int64_t> pendingTotal_{0};
 };
 
 } // namespace core

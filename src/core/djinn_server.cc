@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 
@@ -15,8 +16,11 @@
 #include "common/strings.hh"
 #include "common/thread_pool.hh"
 #include "core/http_endpoint.hh"
+#include "core/perf_sink.hh"
 #include "nn/profile.hh"
 #include "telemetry/exposition.hh"
+#include "telemetry/perf_counters.hh"
+#include "telemetry/profiler.hh"
 
 namespace djinn {
 namespace core {
@@ -60,6 +64,13 @@ DjinnServer::DjinnServer(const ModelRegistry &registry,
         if (config_.tracing)
             batcher_->setTracer(&tracer_);
     }
+    if (config_.sloTargetSeconds > 0.0) {
+        telemetry::SloOptions slo_opts;
+        slo_opts.defaultTargetSeconds = config_.sloTargetSeconds;
+        slo_opts.objective = config_.sloObjective;
+        slo_ = std::make_unique<telemetry::SloTracker>(metrics_,
+                                                       slo_opts);
+    }
 }
 
 DjinnServer::~DjinnServer()
@@ -80,6 +91,25 @@ DjinnServer::start()
         common::setComputeThreads(config_.computeThreads);
     metrics_.gauge("djinn_compute_threads")
         .set(static_cast<double>(common::computeThreads()));
+
+    // Probe hardware counter availability once and export it: the
+    // gauge tells scrapers whether djinn_phase_cycles carries
+    // cycles (1) or fallback wall nanoseconds (0).
+    metrics_.gauge(telemetry::perfAvailableMetricName)
+        .set(telemetry::perfCountersAvailable() ? 1.0 : 0.0);
+
+    if (config_.profileHz > 0) {
+        Status prof =
+            telemetry::Profiler::instance().start(config_.profileHz);
+        if (prof.isOk()) {
+            profilerStarted_ = true;
+            inform("sampling profiler on at %d Hz",
+                   telemetry::Profiler::instance().hz());
+        } else {
+            inform("sampling profiler unavailable: %s",
+                   prof.toString().c_str());
+        }
+    }
 
     listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listenFd_ < 0)
@@ -127,8 +157,25 @@ DjinnServer::start()
            config_.bindAddress.c_str(), port_, registry_.size());
 
     if (config_.tracing && config_.samplerPeriod > 0.0) {
+        // All saturation signals flow through this one sampling
+        // path: the update hook refreshes the gauges whose sources
+        // are not registry-backed (compute-pool busy count,
+        // aggregate batcher backlog, SLO burn rates), then the
+        // sweep exports every gauge as a counter track.
         sampler_ = std::make_unique<telemetry::BackgroundSampler>(
-            tracer_, metrics_, config_.samplerPeriod);
+            tracer_, metrics_, config_.samplerPeriod,
+            telemetry::BackgroundSampler::Hook{}, [this]() {
+                common::ThreadPool &pool = common::computePool();
+                metrics_.gauge("djinn_compute_pool_busy")
+                    .set(static_cast<double>(pool.activeWorkers()));
+                if (batcher_) {
+                    metrics_.gauge("djinn_batch_queue_depth_total")
+                        .set(static_cast<double>(
+                            batcher_->queueDepthTotal()));
+                }
+                if (slo_)
+                    slo_->updateBurnRates();
+            });
         sampler_->start();
     }
     if (config_.httpPort >= 0) {
@@ -155,6 +202,10 @@ DjinnServer::stop()
 {
     http_.reset();
     sampler_.reset();
+    if (profilerStarted_) {
+        telemetry::Profiler::instance().stop();
+        profilerStarted_ = false;
+    }
     if (!running_.exchange(false)) {
         if (acceptor_.joinable())
             acceptor_.join();
@@ -233,16 +284,26 @@ void
 DjinnServer::serveConnection(int fd)
 {
     using Clock = std::chrono::steady_clock;
+    common::setCurrentThreadName(
+        strprintf("worker-%d", fd).c_str());
     FrameIo io(fd);
     while (running_.load()) {
         auto frame = io.readFrame();
         if (!frame.isOk())
             break; // Peer closed or protocol failure; drop quietly.
 
+        // The request span for cycle accounting runs from here
+        // (frame in hand, before decode) to just after encode; the
+        // per-phase deltas below are its constituents.
+        auto request_begin = telemetry::threadCounterSet().snapshot();
+
         int64_t request_us =
             config_.tracing ? telemetry::traceNowUs() : 0;
         auto decode_start = Clock::now();
+        telemetry::CounterScope decode_scope;
         auto request = decodeRequest(frame.value());
+        const telemetry::CounterDelta &decode_delta =
+            decode_scope.stop();
         double decode_seconds = std::chrono::duration<double>(
             Clock::now() - decode_start).count();
 
@@ -254,6 +315,8 @@ DjinnServer::serveConnection(int fd)
             request.value().type == RequestType::Inference) {
             trace.emplace(metrics_, request.value().model);
             trace->record(telemetry::Phase::Decode, decode_seconds);
+            trace->recordWork(telemetry::Phase::Decode,
+                              decode_delta);
         }
 
         // Wire-propagated trace context: sampled inference requests
@@ -300,9 +363,17 @@ DjinnServer::serveConnection(int fd)
         int64_t encode_us = wire_span ? telemetry::traceNowUs() : 0;
         if (trace) {
             auto span = trace->span(telemetry::Phase::Encode);
+            telemetry::CounterScope encode_scope;
             wire = encodeResponse(response);
+            trace->recordWork(telemetry::Phase::Encode,
+                              encode_scope.stop());
         } else {
             wire = encodeResponse(response);
+        }
+        if (trace) {
+            trace->recordRequestWork(telemetry::CounterSet::delta(
+                request_begin,
+                telemetry::threadCounterSet().snapshot()));
         }
         if (wire_span) {
             int64_t done_us = telemetry::traceNowUs();
@@ -410,6 +481,22 @@ DjinnServer::handleRequest(const Request &request,
             } else if (format == "requests") {
                 response.message = telemetry::renderRequestsCsv(
                     tracer_.recentRequests());
+            } else if (format == "profile" ||
+                       format.rfind("profile:", 0) == 0) {
+                // "profile" samples for one second; "profile:N"
+                // for N seconds. Returns collapsed stacks.
+                double window = 1.0;
+                if (format.size() > 8)
+                    window = std::atof(format.c_str() + 8);
+                auto collapsed =
+                    telemetry::Profiler::instance().collect(window);
+                if (!collapsed.isOk()) {
+                    response.status = WireStatus::ServerError;
+                    response.message =
+                        collapsed.status().toString();
+                } else {
+                    response.message = collapsed.value();
+                }
             } else {
                 response.status = WireStatus::BadRequest;
                 response.message = "unknown metrics format '" +
@@ -502,7 +589,13 @@ DjinnServer::handleInference(const Request &request,
         if (batcher_) {
             // The batching executor records the queue-wait and
             // (per-pass) forward phases itself, and emits the batch
-            // and per-layer spans for traced requests.
+            // and per-layer spans for traced requests. Cycle
+            // accounting: the worker's blocked span (submit to
+            // resolution) is this request's queue_wait work — near
+            // zero cycles while parked, honestly reflecting that
+            // waiting burns no CPU — while the pass's forward
+            // cycles are recorded per batch by the dispatcher.
+            telemetry::CounterScope wait_scope;
             auto future =
                 wire ? batcher_->submit(request.model, rows,
                                         request.payload, wire->trace,
@@ -510,6 +603,10 @@ DjinnServer::handleInference(const Request &request,
                      : batcher_->submit(request.model, rows,
                                         request.payload);
             InferenceResult result = future.get();
+            if (trace) {
+                trace->recordWork(telemetry::Phase::QueueWait,
+                                  wait_scope.stop());
+            }
             if (!result.status.isOk()) {
                 response.status = WireStatus::ServerError;
                 response.message = result.status.toString();
@@ -524,13 +621,20 @@ DjinnServer::handleInference(const Request &request,
             std::optional<telemetry::RequestTrace::Span> span;
             if (trace)
                 span.emplace(*trace, telemetry::Phase::Forward);
-            nn::VectorProfileSink profile;
+            CountingProfileSink profile;
             int64_t fwd_start_us =
                 wire ? telemetry::traceNowUs() : 0;
+            telemetry::CounterScope forward_scope;
             nn::Tensor output =
                 network->forward(input, wire ? &profile : nullptr);
+            const telemetry::CounterDelta &forward_delta =
+                forward_scope.stop();
             if (span)
                 span->stop();
+            if (trace) {
+                trace->recordWork(telemetry::Phase::Forward,
+                                  forward_delta);
+            }
             if (wire) {
                 int64_t fwd_end_us = telemetry::traceNowUs();
                 uint64_t fwd_span = tracer_.nextSpanId();
@@ -545,7 +649,10 @@ DjinnServer::handleInference(const Request &request,
                 fwd.durationUs = fwd_end_us - fwd_start_us;
                 tracer_.record(std::move(fwd));
                 int64_t layer_start = fwd_start_us;
-                for (const auto &lp : profile.profiles()) {
+                for (size_t i = 0; i < profile.profiles().size();
+                     ++i) {
+                    const nn::LayerProfile &lp =
+                        profile.profiles()[i];
                     telemetry::TraceEvent e;
                     e.name = lp.name;
                     e.category = "layer";
@@ -568,6 +675,25 @@ DjinnServer::handleInference(const Request &request,
                         strprintf("%llu",
                                   static_cast<unsigned long long>(
                                       lp.activationBytes)));
+                    if (i < profile.deltas().size() &&
+                        profile.deltas()[i].hardware) {
+                        const telemetry::CounterDelta &d =
+                            profile.deltas()[i];
+                        e.args.emplace_back(
+                            "cycles",
+                            strprintf(
+                                "%llu",
+                                static_cast<unsigned long long>(
+                                    d.cycles)));
+                        e.args.emplace_back(
+                            "instructions",
+                            strprintf(
+                                "%llu",
+                                static_cast<unsigned long long>(
+                                    d.instructions)));
+                        e.args.emplace_back(
+                            "ipc", strprintf("%.3f", d.ipc()));
+                    }
                     layer_start += e.durationUs;
                     tracer_.record(std::move(e));
                 }
@@ -584,6 +710,8 @@ DjinnServer::handleInference(const Request &request,
         std::chrono::steady_clock::now() - start).count();
     if (trace)
         trace->record(telemetry::Phase::Service, seconds);
+    if (slo_)
+        slo_->record(request.model, seconds);
     if (config_.tracing) {
         tracer_.recordRequest({request.trace.traceId, request.model,
                                rows, batch_rows, seconds * 1e3});

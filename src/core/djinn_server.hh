@@ -26,6 +26,7 @@
 #include "core/model_registry.hh"
 #include "core/protocol.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/slo.hh"
 #include "telemetry/trace.hh"
 #include "telemetry/tracer.hh"
 
@@ -81,6 +82,23 @@ struct ServerConfig {
 
     /** Trace ring capacity, in events. */
     size_t traceCapacity = 16384;
+
+    /**
+     * Continuous sampling-profiler rate in samples per consumed
+     * CPU-second (`djinnd --profile-hz`). 0 leaves the profiler
+     * off; `/profile?seconds=N` still works via a temporary
+     * window. Started at start(), stopped at stop().
+     */
+    int profileHz = 0;
+
+    /**
+     * Default per-model latency SLO target, seconds
+     * (`djinnd --slo-ms`). Non-positive disables SLO tracking.
+     */
+    double sloTargetSeconds = 0.050;
+
+    /** SLO availability objective (error budget 1 - objective). */
+    double sloObjective = 0.99;
 };
 
 /**
@@ -165,6 +183,13 @@ class DjinnServer
     telemetry::Tracer &tracer() { return tracer_; }
     const telemetry::Tracer &tracer() const { return tracer_; }
 
+    /**
+     * The server's SLO tracker (good/bad counters and burn-rate
+     * gauges over the telemetry registry); null when SLO tracking
+     * is disabled. Valid after construction.
+     */
+    telemetry::SloTracker *slo() { return slo_.get(); }
+
     /** Bound HTTP scrape port; 0 when the endpoint is disabled. */
     uint16_t httpPort() const;
 
@@ -190,8 +215,10 @@ class DjinnServer
     telemetry::MetricRegistry metrics_;
     telemetry::Tracer tracer_;
     std::unique_ptr<BatchingExecutor> batcher_;
+    std::unique_ptr<telemetry::SloTracker> slo_;
     std::unique_ptr<telemetry::BackgroundSampler> sampler_;
     std::unique_ptr<HttpEndpoint> http_;
+    bool profilerStarted_ = false;
 
     int listenFd_ = -1;
     uint16_t port_ = 0;

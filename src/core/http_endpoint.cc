@@ -12,6 +12,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "telemetry/exposition.hh"
+#include "telemetry/profiler.hh"
 
 namespace djinn {
 namespace core {
@@ -26,6 +27,7 @@ statusText(int code)
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
+      case 503: return "Service Unavailable";
     }
     return "Internal Server Error";
 }
@@ -180,6 +182,33 @@ HttpEndpoint::handle(const std::string &target,
         }
         body = telemetry::renderChromeTrace(tracer_.events(last_n));
         content_type = "application/json";
+        return 200;
+    }
+    if (path == "/profile") {
+        // Collapsed-stack sampling window; feed the output straight
+        // to flamegraph.pl. ?seconds=N bounds the window (default 1,
+        // max 60).
+        double seconds = 1.0;
+        for (const std::string &kv : split(query, '&')) {
+            size_t eq = kv.find('=');
+            if (eq == std::string::npos ||
+                kv.substr(0, eq) != "seconds")
+                continue;
+            int64_t parsed = 0;
+            if (!parseInt(kv.substr(eq + 1), parsed) ||
+                parsed <= 0 || parsed > 60) {
+                body = "bad 'seconds' parameter\n";
+                return 400;
+            }
+            seconds = static_cast<double>(parsed);
+        }
+        auto collapsed =
+            telemetry::Profiler::instance().collect(seconds);
+        if (!collapsed.isOk()) {
+            body = collapsed.status().toString() + "\n";
+            return 503;
+        }
+        body = collapsed.value();
         return 200;
     }
     body = "not found\n";

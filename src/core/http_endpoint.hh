@@ -3,10 +3,14 @@
  * A minimal embedded HTTP scrape endpoint so standard tooling can
  * observe a DjiNN server without speaking the wire protocol:
  *
- *   GET /healthz       -> 200 "ok"
- *   GET /metrics       -> Prometheus text exposition
- *   GET /trace?last=N  -> Chrome trace-event JSON (last N events;
- *                         omit for the whole ring)
+ *   GET /healthz            -> 200 "ok"
+ *   GET /metrics            -> Prometheus text exposition
+ *   GET /trace?last=N       -> Chrome trace-event JSON (last N
+ *                              events; omit for the whole ring)
+ *   GET /profile?seconds=N  -> collapsed stacks from an N-second
+ *                              sampling window (flamegraph.pl
+ *                              input; 503 when the profiler cannot
+ *                              run)
  *
  * The endpoint serves one connection at a time with HTTP/1.0
  * close-after-response semantics, which is all scrapers and

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A ProfileSink that augments per-layer wall profiles with
+ * hardware counter deltas: onLayerStart snapshots the executing
+ * thread's perf group, onLayer closes the delta, so a profiled
+ * forward pass yields cycles / instructions / IPC / cache misses
+ * per layer alongside the usual seconds and FLOPs. Deltas are
+ * parallel to profiles() by index. With counters unavailable the
+ * deltas degrade to clock-only (hardware == false) and consumers
+ * fall back to wall time, exactly like the phase accounting.
+ *
+ * Counter caveat (DESIGN.md "Cycle accounting"): the perf group
+ * counts the thread running the forward pass. Work the compute
+ * pool's workers do on behalf of a layer is attributed to the
+ * sampling profiler's stacks, not to this sink's deltas — the
+ * caller participates in every parallelFor, so the deltas remain a
+ * consistent (per-thread) share of each layer's cost.
+ */
+
+#ifndef DJINN_CORE_PERF_SINK_HH
+#define DJINN_CORE_PERF_SINK_HH
+
+#include <vector>
+
+#include "nn/profile.hh"
+#include "telemetry/perf_counters.hh"
+
+namespace djinn {
+namespace core {
+
+/** VectorProfileSink plus per-layer counter deltas. */
+class CountingProfileSink : public nn::VectorProfileSink
+{
+  public:
+    void
+    onLayerStart(const std::string &, nn::LayerKind) override
+    {
+        begin_ = telemetry::threadCounterSet().snapshot();
+    }
+
+    void
+    onLayer(const nn::LayerProfile &profile) override
+    {
+        deltas_.push_back(telemetry::CounterSet::delta(
+            begin_, telemetry::threadCounterSet().snapshot()));
+        nn::VectorProfileSink::onLayer(profile);
+    }
+
+    /** Counter movement per layer, parallel to profiles(). */
+    const std::vector<telemetry::CounterDelta> &
+    deltas() const
+    {
+        return deltas_;
+    }
+
+    /** Sum of the per-layer deltas (the forward pass's total). */
+    telemetry::CounterDelta
+    total() const
+    {
+        telemetry::CounterDelta sum;
+        for (const auto &d : deltas_)
+            sum.add(d);
+        return sum;
+    }
+
+  private:
+    telemetry::CounterSet::Snapshot begin_;
+    std::vector<telemetry::CounterDelta> deltas_;
+};
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_PERF_SINK_HH

@@ -100,8 +100,10 @@ Network::forward(const Tensor &in, ProfileSink *sink) const
     Tensor *next = &b;
     for (const auto &l : layers_) {
         Clock::time_point start;
-        if (sink)
+        if (sink) {
+            sink->onLayerStart(l->name(), l->kind());
             start = Clock::now();
+        }
         l->forward(*cur, *next);
         if (sink) {
             LayerProfile p;

@@ -45,6 +45,19 @@ class ProfileSink
   public:
     virtual ~ProfileSink() = default;
 
+    /**
+     * Called immediately before each layer executes, so sinks can
+     * snapshot counters the layer's work will move (the cycle
+     * accounting layer pairs this with onLayer to get per-layer
+     * hardware deltas). Default: nothing.
+     */
+    virtual void
+    onLayerStart(const std::string &name, LayerKind kind)
+    {
+        (void)name;
+        (void)kind;
+    }
+
     /** Called once per layer, in execution order. */
     virtual void onLayer(const LayerProfile &profile) = 0;
 };

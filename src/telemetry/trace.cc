@@ -43,6 +43,35 @@ RequestTrace::record(Phase phase, double seconds)
 }
 
 void
+RequestTrace::recordWork(Phase phase, const CounterDelta &delta)
+{
+    const LabelMap labels{{"model", model_},
+                          {"phase", phaseName(phase)}};
+    registry_.histogram(phaseCyclesMetricName, labels)
+        .record(static_cast<double>(delta.work()));
+    if (!delta.hardware)
+        return;
+    registry_.histogram(phaseInstructionsMetricName, labels)
+        .record(static_cast<double>(delta.instructions));
+    registry_.histogram(phaseIpcMetricName, labels)
+        .record(delta.ipc());
+    registry_.histogram(phaseCacheMissMetricName, labels)
+        .record(static_cast<double>(delta.cacheMisses));
+}
+
+void
+RequestTrace::recordRequestWork(const CounterDelta &delta)
+{
+    const LabelMap labels{{"model", model_}};
+    registry_.histogram(requestCyclesMetricName, labels)
+        .record(static_cast<double>(delta.work()));
+    if (delta.hardware) {
+        registry_.histogram(requestIpcMetricName, labels)
+            .record(delta.ipc());
+    }
+}
+
+void
 RequestTrace::Span::stop()
 {
     if (done_)

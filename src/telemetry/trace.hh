@@ -15,6 +15,7 @@
 #include <string>
 
 #include "telemetry/metrics.hh"
+#include "telemetry/perf_counters.hh"
 
 namespace djinn {
 namespace telemetry {
@@ -42,6 +43,34 @@ const char *phaseName(Phase phase);
 
 /** Metric family every phase histogram records under. */
 inline const char *const phaseMetricName = "djinn_phase_seconds";
+
+/**
+ * Per-phase cycle accounting (the Figure-4 breakdown). Carries CPU
+ * cycles when `djinn_perf_counters_available` is 1, wall
+ * nanoseconds otherwise — either way the phase shares of one
+ * request sum to ~100% of its `djinn_request_cycles` span.
+ */
+inline const char *const phaseCyclesMetricName =
+    "djinn_phase_cycles";
+
+/** Per-phase instructions retired (hardware counters only). */
+inline const char *const phaseInstructionsMetricName =
+    "djinn_phase_instructions";
+
+/** Per-phase instructions-per-cycle (hardware counters only). */
+inline const char *const phaseIpcMetricName = "djinn_phase_ipc";
+
+/** Per-phase cache misses (hardware counters only). */
+inline const char *const phaseCacheMissMetricName =
+    "djinn_phase_cache_misses";
+
+/** Whole-request work (same unit rule as djinn_phase_cycles). */
+inline const char *const requestCyclesMetricName =
+    "djinn_request_cycles";
+
+/** Whole-request IPC (hardware counters only). */
+inline const char *const requestIpcMetricName =
+    "djinn_request_ipc";
 
 /** Gauge tracking requests currently being handled. */
 inline const char *const inflightMetricName =
@@ -76,6 +105,20 @@ class RequestTrace
 
     /** Record @p seconds spent in @p phase. */
     void record(Phase phase, double seconds);
+
+    /**
+     * Record a counter delta for @p phase: work (cycles or
+     * fallback nanoseconds) always, plus instructions / IPC /
+     * cache misses when the delta came from hardware counters.
+     */
+    void recordWork(Phase phase, const CounterDelta &delta);
+
+    /**
+     * Record the whole request span's delta (readFrame-to-encode
+     * on the worker thread), the denominator the per-phase shares
+     * are measured against.
+     */
+    void recordRequestWork(const CounterDelta &delta);
 
     /** RAII scope that times a phase and records it on exit. */
     class Span

@@ -262,10 +262,10 @@ processRssBytes()
 BackgroundSampler::BackgroundSampler(Tracer &tracer,
                                      const MetricRegistry &metrics,
                                      double period_seconds,
-                                     Hook hook)
+                                     Hook hook, UpdateHook update)
     : tracer_(tracer), metrics_(metrics),
       period_(period_seconds > 0 ? period_seconds : 0.01),
-      hook_(std::move(hook))
+      hook_(std::move(hook)), update_(std::move(update))
 {}
 
 BackgroundSampler::~BackgroundSampler()
@@ -302,6 +302,10 @@ BackgroundSampler::stop()
 void
 BackgroundSampler::sampleOnce()
 {
+    // Refresh gauges whose source is not registry-backed first, so
+    // the sweep below exports them on this same tick.
+    if (update_)
+        update_();
     for (const MetricSample &sample : metrics_.snapshot()) {
         if (sample.kind != MetricKind::Gauge)
             continue;

@@ -172,24 +172,34 @@ std::string renderRequestsCsv(
 /**
  * Background thread that periodically samples service vitals into a
  * tracer as counter events: every gauge in the registry (queue
- * depths, in-flight requests) plus the process's resident set size.
- * An optional hook lets the owner add its own samples (e.g. live
- * connection counts).
+ * depths, batch occupancy, in-flight requests, SLO burn rates)
+ * plus the process's resident set size. Two optional hooks: an
+ * update hook runs *before* the gauge sweep so owners can refresh
+ * gauges whose source is not registry-backed (compute-pool
+ * active-thread count, aggregate batcher queue depth, burn-rate
+ * recomputation) and have them exported on the same tick — the
+ * single sampling path for every saturation signal — and a record
+ * hook runs after the sweep for direct extra samples.
  */
 class BackgroundSampler
 {
   public:
     using Hook = std::function<void(Tracer &)>;
 
+    /** Pre-sweep gauge refresh callback. */
+    using UpdateHook = std::function<void()>;
+
     /**
      * @param tracer destination buffer; must outlive the sampler.
      * @param metrics registry whose gauges are sampled.
      * @param period_seconds sampling interval.
-     * @param hook optional extra per-tick sampling.
+     * @param hook optional extra per-tick sampling (post-sweep).
+     * @param update optional gauge refresh run before each sweep.
      */
     BackgroundSampler(Tracer &tracer,
                       const MetricRegistry &metrics,
-                      double period_seconds, Hook hook = {});
+                      double period_seconds, Hook hook = {},
+                      UpdateHook update = {});
 
     /** Stops the thread if running. */
     ~BackgroundSampler();
@@ -213,6 +223,7 @@ class BackgroundSampler
     const MetricRegistry &metrics_;
     double period_;
     Hook hook_;
+    UpdateHook update_;
 
     std::mutex mutex_;
     std::condition_variable cv_;

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SLO tracker tests: good/bad classification against per-model
+ * targets, burn-rate arithmetic (bad fraction over the rolling
+ * window divided by the error budget), window expiry via an
+ * injected clock, and the registry families the tracker maintains.
+ */
+
+#include "telemetry/slo.hh"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace telemetry {
+namespace {
+
+/** Counter/gauge value for (name, model), or -1 when absent. */
+double
+sampleValue(const MetricRegistry &registry, const char *name,
+            const std::string &model)
+{
+    for (const MetricSample &s : registry.snapshot()) {
+        if (s.name == name && s.labels.count("model") &&
+            s.labels.at("model") == model) {
+            return s.value;
+        }
+    }
+    return -1.0;
+}
+
+TEST(SloTrackerTest, ClassifiesAgainstDefaultTarget)
+{
+    MetricRegistry registry;
+    SloOptions options;
+    options.defaultTargetSeconds = 0.050;
+    double now = 0.0;
+    SloTracker slo(registry, options, [&]() { return now; });
+
+    slo.record("alexnet", 0.010); // within target
+    slo.record("alexnet", 0.050); // exactly at target counts good
+    slo.record("alexnet", 0.200); // blown
+
+    EXPECT_EQ(sampleValue(registry, sloGoodMetricName, "alexnet"),
+              2.0);
+    EXPECT_EQ(sampleValue(registry, sloBadMetricName, "alexnet"),
+              1.0);
+    EXPECT_EQ(
+        sampleValue(registry, sloTargetMetricName, "alexnet"),
+        0.050);
+}
+
+TEST(SloTrackerTest, PerModelTargetOverride)
+{
+    MetricRegistry registry;
+    double now = 0.0;
+    SloTracker slo(registry, {}, [&]() { return now; });
+
+    EXPECT_DOUBLE_EQ(slo.target("asr"), 0.050);
+    slo.setTarget("asr", 0.500);
+    EXPECT_DOUBLE_EQ(slo.target("asr"), 0.500);
+    EXPECT_EQ(sampleValue(registry, sloTargetMetricName, "asr"),
+              0.500);
+
+    slo.record("asr", 0.300); // bad under default, good under 500ms
+    EXPECT_EQ(sampleValue(registry, sloGoodMetricName, "asr"), 1.0);
+    EXPECT_EQ(sampleValue(registry, sloBadMetricName, "asr"), 0.0);
+}
+
+TEST(SloTrackerTest, BurnRateIsBadFractionOverErrorBudget)
+{
+    MetricRegistry registry;
+    SloOptions options;
+    options.objective = 0.99; // error budget 0.01
+    double now = 0.0;
+    SloTracker slo(registry, options, [&]() { return now; });
+
+    // 1 bad of 10 -> bad fraction 0.1 -> burn rate 0.1/0.01 = 10.
+    for (int i = 0; i < 9; ++i)
+        slo.record("m", 0.001);
+    slo.record("m", 9.0);
+    EXPECT_NEAR(slo.burnRate("m"), 10.0, 1e-9);
+
+    slo.updateBurnRates();
+    EXPECT_NEAR(sampleValue(registry, sloBurnRateMetricName, "m"),
+                10.0, 1e-9);
+}
+
+TEST(SloTrackerTest, AllGoodBurnsNothing)
+{
+    MetricRegistry registry;
+    double now = 0.0;
+    SloTracker slo(registry, {}, [&]() { return now; });
+    for (int i = 0; i < 5; ++i)
+        slo.record("m", 0.001);
+    EXPECT_DOUBLE_EQ(slo.burnRate("m"), 0.0);
+    EXPECT_DOUBLE_EQ(slo.burnRate("never-served"), 0.0);
+}
+
+TEST(SloTrackerTest, WindowExpiryForgetsOldFailures)
+{
+    MetricRegistry registry;
+    SloOptions options;
+    options.windowSeconds = 10.0;
+    double now = 0.0;
+    SloTracker slo(registry, options, [&]() { return now; });
+
+    slo.record("m", 9.0); // bad at t=0
+    EXPECT_GT(slo.burnRate("m"), 0.0);
+
+    // Still inside the window: the failure keeps burning.
+    now = 5.0;
+    EXPECT_GT(slo.burnRate("m"), 0.0);
+
+    // Window slides past it: rate drops to zero even though the
+    // monotonic bad counter keeps its value.
+    now = 11.0;
+    slo.updateBurnRates();
+    EXPECT_DOUBLE_EQ(slo.burnRate("m"), 0.0);
+    EXPECT_DOUBLE_EQ(
+        sampleValue(registry, sloBurnRateMetricName, "m"), 0.0);
+    EXPECT_EQ(sampleValue(registry, sloBadMetricName, "m"), 1.0);
+}
+
+TEST(SloTrackerTest, MixedTrafficAcrossSecondsAggregates)
+{
+    MetricRegistry registry;
+    SloOptions options;
+    options.objective = 0.90; // budget 0.1
+    options.windowSeconds = 60.0;
+    double now = 0.0;
+    SloTracker slo(registry, options, [&]() { return now; });
+
+    // Spread traffic over several one-second buckets.
+    for (int second = 0; second < 4; ++second) {
+        now = second;
+        for (int i = 0; i < 4; ++i)
+            slo.record("m", 0.001);
+        slo.record("m", 9.0);
+    }
+    // 4 bad of 20 -> fraction 0.2 -> burn rate 2.
+    now = 4.0;
+    EXPECT_DOUBLE_EQ(slo.burnRate("m"), 2.0);
+}
+
+TEST(SloTrackerTest, ModelsTrackIndependently)
+{
+    MetricRegistry registry;
+    double now = 0.0;
+    SloTracker slo(registry, {}, [&]() { return now; });
+    slo.record("good-model", 0.001);
+    slo.record("bad-model", 9.0);
+    EXPECT_DOUBLE_EQ(slo.burnRate("good-model"), 0.0);
+    EXPECT_GT(slo.burnRate("bad-model"), 0.0);
+}
+
+} // namespace
+} // namespace telemetry
+} // namespace djinn

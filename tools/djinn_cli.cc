@@ -8,6 +8,7 @@
  *   djinn_cli HOST PORT stats
  *   djinn_cli HOST PORT metrics [prometheus|json|requests]
  *   djinn_cli HOST PORT trace OUT.json [last_n]
+ *   djinn_cli HOST PORT profile [SECONDS] [OUT.txt]
  *   djinn_cli HOST PORT infer MODEL ROWS [payload.f32]
  *
  * `metrics` prints the server's full telemetry exposition:
@@ -20,6 +21,10 @@
  * `trace` downloads the server's span ring as Chrome trace-event
  * JSON; open the file in chrome://tracing or
  * https://ui.perfetto.dev to see the end-to-end timeline.
+ *
+ * `profile` samples the server's call stacks for SECONDS (default
+ * 1) and prints collapsed stacks — `flamegraph.pl` input — to
+ * stdout, or to OUT.txt when given. See README "Flamegraphs".
  *
  * For `infer`, the payload file holds raw little-endian float32
  * data (rows x model-input elements); without a file, a
@@ -49,12 +54,15 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: djinn_cli HOST PORT "
-                 "ping|list|stats|metrics|trace|infer "
+                 "ping|list|stats|metrics|trace|profile|infer "
                  "[MODEL ROWS [payload.f32]]\n"
                  "       metrics takes an optional format: "
                  "prometheus (default), json, or requests\n"
                  "       trace takes an output file: "
-                 "djinn_cli HOST PORT trace out.json\n");
+                 "djinn_cli HOST PORT trace out.json\n"
+                 "       profile takes an optional window and "
+                 "output file: djinn_cli HOST PORT profile "
+                 "[SECONDS] [out.txt]\n");
     return 2;
 }
 
@@ -144,6 +152,41 @@ main(int argc, char **argv)
                         fields[0].c_str(), fields[1].c_str(),
                         fields[2].c_str(), fields[3].c_str(),
                         fields[4].c_str());
+        }
+        return 0;
+    }
+    if (command == "profile") {
+        // The Metrics verb's "profile:N" format runs an N-second
+        // sampling window server-side and returns collapsed stacks.
+        int seconds = 1;
+        if (argc > 4) {
+            seconds = std::atoi(argv[4]);
+            if (seconds <= 0 || seconds > 60) {
+                std::fprintf(stderr,
+                             "SECONDS must be in 1..60\n");
+                return 2;
+            }
+        }
+        auto collapsed = client.metricsExposition(
+            strprintf("profile:%d", seconds));
+        if (!collapsed.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         collapsed.status().toString().c_str());
+            return 1;
+        }
+        if (argc > 5) {
+            std::ofstream os(argv[5], std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot write %s\n", argv[5]);
+                return 1;
+            }
+            os << collapsed.value();
+            std::printf("wrote %zu bytes of collapsed stacks to "
+                        "%s\nrender with: flamegraph.pl %s > "
+                        "profile.svg\n",
+                        collapsed.value().size(), argv[5], argv[5]);
+        } else {
+            std::fputs(collapsed.value().c_str(), stdout);
         }
         return 0;
     }

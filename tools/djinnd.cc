@@ -11,6 +11,7 @@
  *          [--compute-threads N]
  *          [--metrics-dump] [--metrics-dump-json]
  *          [--http-port N] [--no-tracing]
+ *          [--profile-hz N] [--slo-ms X]
  *          [--netdef FILE --weights FILE]...
  *
  * --metrics-dump prints the full telemetry exposition (Prometheus
@@ -27,8 +28,15 @@
  * --http-port N starts the embedded HTTP scrape endpoint on port N
  * (0 picks an ephemeral port): GET /healthz, GET /metrics
  * (Prometheus text), GET /trace?last=N (Chrome trace-event JSON,
- * loadable in chrome://tracing or https://ui.perfetto.dev).
+ * loadable in chrome://tracing or https://ui.perfetto.dev), and
+ * GET /profile?seconds=N (collapsed stacks for flamegraph.pl).
  * --no-tracing disables span recording for sampled requests.
+ *
+ * --profile-hz N runs the continuous sampling profiler at N samples
+ * per consumed CPU-second (off by default; /profile still works via
+ * a temporary window). --slo-ms X sets the per-model latency SLO
+ * target driving the djinn_slo_* good/bad counters and burn-rate
+ * gauges (default 50 ms; 0 disables SLO tracking).
  *
  * Zoo model names: alexnet mnist deepface kaldi_asr senna_pos
  * senna_chk senna_ner. Custom models load from a netdef text file
@@ -71,6 +79,7 @@ usage()
                  "              [--seed N] [--metrics-dump] "
                  "[--metrics-dump-json]\n"
                  "              [--http-port N] [--no-tracing]\n"
+                 "              [--profile-hz N] [--slo-ms X]\n"
                  "              [--netdef F --weights F]...\n");
 }
 
@@ -126,6 +135,11 @@ main(int argc, char **argv)
             config.httpPort = std::atoi(next("--http-port"));
         } else if (arg == "--no-tracing") {
             config.tracing = false;
+        } else if (arg == "--profile-hz") {
+            config.profileHz = std::atoi(next("--profile-hz"));
+        } else if (arg == "--slo-ms") {
+            config.sloTargetSeconds =
+                std::atof(next("--slo-ms")) * 1e-3;
         } else if (arg == "--metrics-dump") {
             metrics_dump = true;
         } else if (arg == "--metrics-dump-json") {
@@ -195,7 +209,7 @@ main(int argc, char **argv)
                 common::computeThreads());
     if (config.httpPort >= 0) {
         std::printf("http endpoint on %s:%u "
-                    "(/healthz /metrics /trace)\n",
+                    "(/healthz /metrics /trace /profile)\n",
                     config.bindAddress.c_str(), server.httpPort());
     }
 

@@ -7,10 +7,13 @@
  *
  * Polls GET /healthz until the endpoint answers 200 (or the
  * timeout elapses), then fetches /metrics and checks the body
- * parses as a Prometheus text exposition, and fetches
- * /trace?last=8 and checks it looks like a Chrome trace JSON
- * document. Exits 0 when every check passes; prints the first
- * failure and exits 1 otherwise.
+ * parses as a Prometheus text exposition, fetches /trace?last=8
+ * and checks it looks like a Chrome trace JSON document, and
+ * fetches /profile?seconds=1 and checks the body is collapsed
+ * stacks ("frame;frame;... count" lines — empty allowed on idle
+ * servers, 503 allowed where profiling signals are restricted).
+ * Exits 0 when every check passes; prints the first failure and
+ * exits 1 otherwise.
  *
  * Exists so `scripts/check_build.sh` can smoke-test the endpoint
  * without assuming curl is installed.
@@ -162,5 +165,43 @@ main(int argc, char **argv)
     }
     std::printf("ok: /trace answers a trace document (%zu bytes)\n",
                 body.size());
+
+    // 4. /profile must answer collapsed stacks (or a clean 503
+    // where the profiler cannot arm its timer). Every non-empty
+    // line ends in " <count>"; an idle server may return nothing.
+    if (!httpGet(host, port, "/profile?seconds=1", code, body)) {
+        std::fprintf(stderr, "FAIL: GET /profile io error\n");
+        return 1;
+    }
+    if (code == 503) {
+        std::printf("ok: /profile 503 (profiler unavailable)\n");
+        return 0;
+    }
+    if (code != 200) {
+        std::fprintf(stderr, "FAIL: GET /profile -> %d\n", code);
+        return 1;
+    }
+    size_t stacks = 0;
+    size_t pos = 0;
+    while (pos < body.size()) {
+        size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        std::string line = body.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        size_t space = line.rfind(' ');
+        if (space == std::string::npos ||
+            std::atoll(line.c_str() + space + 1) <= 0) {
+            std::fprintf(stderr,
+                         "FAIL: /profile line not collapsed-stack "
+                         "format: '%s'\n", line.c_str());
+            return 1;
+        }
+        ++stacks;
+    }
+    std::printf("ok: /profile answers %zu collapsed stacks\n",
+                stacks);
     return 0;
 }
