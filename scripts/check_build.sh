@@ -60,14 +60,39 @@ kill "$djinnd_pid" 2>/dev/null || true
 wait "$djinnd_pid" 2>/dev/null || true
 trap - EXIT
 
+# Robustness battery (DESIGN.md §10): fault-injection, timeout,
+# retry, backpressure, and drain suites in release mode. The TSan
+# stage below re-runs most of them; the fd-exhaustion AcceptLoop
+# test runs only here (starving the fd table starves TSan itself).
+./build/tests/core_test --gtest_filter=\
+'FrameIo*:FaultSpec*:Retry*:Robustness*:AcceptLoop*:HttpTimeout*'
+
+# Fault-injection smoke at the daemon level: DJINN_FAULT must be
+# honored from the environment, and slow-read degrades throughput
+# without corrupting frames, so the control plane still answers.
+DJINN_FAULT=slow-read ./build/tools/djinnd --port 19165 \
+    --models mnist &
+fault_pid=$!
+trap 'kill "$fault_pid" 2>/dev/null || true' EXIT
+sleep 1
+if ! ./build/tools/djinn_cli 127.0.0.1 19165 list; then
+    echo "check_build: fault-injection smoke FAILED" >&2
+    exit 1
+fi
+kill "$fault_pid" 2>/dev/null || true
+wait "$fault_pid" 2>/dev/null || true
+trap - EXIT
+
 # ThreadSanitizer pass over the concurrency-heavy suites: the
-# compute pool, the threaded GEMM kernel, and the batching server.
+# compute pool, the threaded GEMM kernel, the batching server, and
+# the request-lifecycle robustness battery.
 cmake -B build-tsan -S . -DDJINN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j --target common_test nn_test core_test
 ./build-tsan/tests/common_test \
     --gtest_filter='ThreadPool*:ComputePool*'
 ./build-tsan/tests/nn_test --gtest_filter='GemmDiff*'
-./build-tsan/tests/core_test --gtest_filter='*Batcher*:*Server*'
+./build-tsan/tests/core_test \
+    --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*'
 
 echo "check_build: OK"

@@ -13,6 +13,8 @@ statusCodeName(StatusCode code)
       case StatusCode::Internal: return "Internal";
       case StatusCode::ProtocolError: return "ProtocolError";
       case StatusCode::IoError: return "IoError";
+      case StatusCode::Overloaded: return "Overloaded";
+      case StatusCode::DeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
 }

@@ -25,6 +25,12 @@ enum class StatusCode {
     Internal,
     ProtocolError,
     IoError,
+
+    /** Load was shed: queue full, admission refused, or draining. */
+    Overloaded,
+
+    /** A deadline or I/O timeout expired before completion. */
+    DeadlineExceeded,
 };
 
 /** Printable name of a status code. */
@@ -88,6 +94,20 @@ class Status
     ioError(std::string msg)
     {
         return Status(StatusCode::IoError, std::move(msg));
+    }
+
+    /** Factory for an Overloaded error. */
+    static Status
+    overloaded(std::string msg)
+    {
+        return Status(StatusCode::Overloaded, std::move(msg));
+    }
+
+    /** Factory for a DeadlineExceeded error. */
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return Status(StatusCode::DeadlineExceeded, std::move(msg));
     }
 
     /** True when this status represents success. */

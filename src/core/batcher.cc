@@ -23,6 +23,9 @@ BatchingExecutor::BatchingExecutor(const ModelRegistry &registry,
         fatal("BatchingExecutor: maxQueries must be positive");
     if (options.maxDelay < 0.0)
         fatal("BatchingExecutor: maxDelay must be non-negative");
+    if (options.maxQueueDepth < 0)
+        fatal("BatchingExecutor: maxQueueDepth must be "
+              "non-negative");
 }
 
 BatchingExecutor::~BatchingExecutor()
@@ -97,6 +100,12 @@ BatchingExecutor::queueFor(const std::string &model, Status &error)
             telemetry::phaseIpcMetricName, forward_label);
         queue->forwardCacheMissHist = &metrics_->histogram(
             telemetry::phaseCacheMissMetricName, forward_label);
+        queue->shedQueueFullCounter = &metrics_->counter(
+            "djinn_shed_total",
+            {{"model", model}, {"reason", "queue_full"}});
+        queue->shedDeadlineCounter = &metrics_->counter(
+            "djinn_shed_total",
+            {{"model", model}, {"reason", "deadline"}});
     }
     ModelQueue *raw = queue.get();
     raw->dispatcher = std::thread([this, raw]() {
@@ -108,17 +117,17 @@ BatchingExecutor::queueFor(const std::string &model, Status &error)
 
 std::future<InferenceResult>
 BatchingExecutor::submit(const std::string &model, int64_t rows,
-                         std::vector<float> data)
+                         std::vector<float> data, Deadline deadline)
 {
     return submit(model, rows, std::move(data),
-                  telemetry::TraceContext{}, 0);
+                  telemetry::TraceContext{}, 0, deadline);
 }
 
 std::future<InferenceResult>
 BatchingExecutor::submit(const std::string &model, int64_t rows,
                          std::vector<float> data,
                          const telemetry::TraceContext &trace,
-                         uint64_t parent_span)
+                         uint64_t parent_span, Deadline deadline)
 {
     std::promise<InferenceResult> promise;
     std::future<InferenceResult> future = promise.get_future();
@@ -145,10 +154,27 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
 
     {
         std::lock_guard<std::mutex> lock(queue->mutex);
+        // Admission control: reject at enqueue instead of queueing
+        // without bound. The caller sees Overloaded and may retry
+        // after backoff; the query was never executed.
+        if (static_cast<int64_t>(queue->pending.size()) >=
+            options_.queueDepthCap()) {
+            shedQueueFull_.fetch_add(1, std::memory_order_relaxed);
+            if (queue->shedQueueFullCounter)
+                queue->shedQueueFullCounter->inc();
+            promise.set_value(
+                {Status::overloaded(strprintf(
+                     "model '%s' queue full (%lld queued)",
+                     model.c_str(),
+                     static_cast<long long>(
+                         queue->pending.size()))),
+                 {}});
+            return future;
+        }
         queue->pending.push_back(
             {rows, std::move(data), std::move(promise),
              std::chrono::steady_clock::now(), trace, parent_span,
-             tracer_ ? telemetry::traceNowUs() : 0});
+             tracer_ ? telemetry::traceNowUs() : 0, deadline});
         pendingTotal_.fetch_add(1, std::memory_order_relaxed);
         if (queue->depthGauge) {
             queue->depthGauge->set(
@@ -202,6 +228,35 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
                 queue->depthGauge->set(
                     static_cast<double>(queue->pending.size()));
             }
+        }
+        if (batch.empty())
+            continue;
+
+        // Deadline enforcement at dequeue: shed expired queries
+        // BEFORE the forward pass. Spending a batch slot on an
+        // answer nobody is waiting for wastes compute exactly when
+        // the service is most behind.
+        {
+            auto now = std::chrono::steady_clock::now();
+            size_t kept = 0;
+            for (size_t i = 0; i < batch.size(); ++i) {
+                if (batch[i].deadline <= now) {
+                    shedDeadline_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (queue->shedDeadlineCounter)
+                        queue->shedDeadlineCounter->inc();
+                    batch[i].promise.set_value(
+                        {Status::deadlineExceeded(
+                             "deadline expired before forward "
+                             "pass"),
+                         {}});
+                    continue;
+                }
+                if (kept != i)
+                    batch[kept] = std::move(batch[i]);
+                ++kept;
+            }
+            batch.resize(kept);
         }
         if (batch.empty())
             continue;

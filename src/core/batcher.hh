@@ -43,6 +43,21 @@ struct BatchOptions {
      * never stranded waiting for peers. Seconds.
      */
     double maxDelay = 2e-3;
+
+    /**
+     * Admission control: cap on queued queries per model. A submit
+     * against a full queue is rejected immediately with an
+     * Overloaded status instead of growing the queue without
+     * bound. 0 derives the cap as 4 x maxQueries.
+     */
+    int64_t maxQueueDepth = 0;
+
+    /** The effective per-model queue cap. */
+    int64_t
+    queueDepthCap() const
+    {
+        return maxQueueDepth > 0 ? maxQueueDepth : 4 * maxQueries;
+    }
 };
 
 /** Result of one batched query. */
@@ -82,14 +97,34 @@ class BatchingExecutor
     BatchingExecutor &operator=(const BatchingExecutor &) = delete;
 
     /**
+     * Absolute per-query deadline on the steady clock; max() means
+     * no deadline.
+     */
+    using Deadline = std::chrono::steady_clock::time_point;
+
+    /** The no-deadline sentinel. */
+    static constexpr Deadline
+    noDeadline()
+    {
+        return Deadline::max();
+    }
+
+    /**
      * Submit one query: @p rows inputs for @p model, flattened into
      * @p data (rows x sample elements).
      *
+     * Admission control applies: a submit against a full queue
+     * resolves immediately with an Overloaded status (the query is
+     * never executed). A query whose @p deadline has passed when
+     * its batch is assembled is shed before the forward pass with
+     * a DeadlineExceeded status.
+     *
      * @return a future resolving to the query's output rows.
      */
-    std::future<InferenceResult> submit(const std::string &model,
-                                        int64_t rows,
-                                        std::vector<float> data);
+    std::future<InferenceResult> submit(
+        const std::string &model, int64_t rows,
+        std::vector<float> data,
+        Deadline deadline = noDeadline());
 
     /**
      * Submit one traced query. When @p trace is valid and a tracer
@@ -101,7 +136,8 @@ class BatchingExecutor
         const std::string &model, int64_t rows,
         std::vector<float> data,
         const telemetry::TraceContext &trace,
-        uint64_t parent_span);
+        uint64_t parent_span,
+        Deadline deadline = noDeadline());
 
     /**
      * Attach a span destination. Call before serving traffic; the
@@ -114,6 +150,20 @@ class BatchingExecutor
 
     /** Number of queries served so far. */
     uint64_t queriesServed() const;
+
+    /** Queries rejected at enqueue because the queue was full. */
+    uint64_t
+    queueFullSheds() const
+    {
+        return shedQueueFull_.load(std::memory_order_relaxed);
+    }
+
+    /** Queries shed at dequeue because their deadline expired. */
+    uint64_t
+    deadlineSheds() const
+    {
+        return shedDeadline_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Queries currently queued across every model, for the
@@ -142,6 +192,9 @@ class BatchingExecutor
 
         /** Enqueue time on the tracer timeline (microseconds). */
         int64_t enqueuedUs = 0;
+
+        /** Absolute deadline; max() when the query has none. */
+        Deadline deadline = Deadline::max();
     };
 
     struct ModelQueue {
@@ -169,6 +222,10 @@ class BatchingExecutor
         telemetry::LogHistogram *forwardInstructionsHist = nullptr;
         telemetry::LogHistogram *forwardIpcHist = nullptr;
         telemetry::LogHistogram *forwardCacheMissHist = nullptr;
+
+        // Shed accounting (djinn_shed_total{model,reason}).
+        telemetry::Counter *shedQueueFullCounter = nullptr;
+        telemetry::Counter *shedDeadlineCounter = nullptr;
     };
 
     void dispatchLoop(ModelQueue *queue);
@@ -187,6 +244,8 @@ class BatchingExecutor
     std::atomic<uint64_t> batches_{0};
     std::atomic<uint64_t> queries_{0};
     std::atomic<int64_t> pendingTotal_{0};
+    std::atomic<uint64_t> shedQueueFull_{0};
+    std::atomic<uint64_t> shedDeadline_{0};
 };
 
 } // namespace core

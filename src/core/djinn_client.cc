@@ -1,15 +1,20 @@
 #include "core/djinn_client.hh"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "common/strings.hh"
 #include "telemetry/tracer.hh"
@@ -39,8 +44,50 @@ DjinnClient::connect(const std::string &host, uint16_t port)
         return Status::invalidArgument("bad host address '" + host +
                                        "'");
     }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) < 0) {
+    if (connectTimeoutSeconds_ > 0.0) {
+        // Bounded connect: start non-blocking, poll for the
+        // handshake, then restore blocking mode for FrameIo.
+        int flags = ::fcntl(fd, F_GETFL, 0);
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+        int rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr));
+        if (rc < 0 && errno != EINPROGRESS) {
+            Status s = Status::ioError(std::string("connect: ") +
+                                       std::strerror(errno));
+            ::close(fd);
+            return s;
+        }
+        if (rc < 0) {
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLOUT;
+            int timeout_ms = static_cast<int>(
+                std::ceil(connectTimeoutSeconds_ * 1e3));
+            int ready;
+            do {
+                ready = ::poll(&pfd, 1, timeout_ms);
+            } while (ready < 0 && errno == EINTR);
+            if (ready == 0) {
+                ::close(fd);
+                return Status::deadlineExceeded(
+                    "connect timed out");
+            }
+            int err = 0;
+            socklen_t err_len = sizeof(err);
+            if (ready < 0 ||
+                ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err,
+                             &err_len) < 0 ||
+                err != 0) {
+                Status s = Status::ioError(
+                    std::string("connect: ") +
+                    std::strerror(err ? err : errno));
+                ::close(fd);
+                return s;
+            }
+        }
+        ::fcntl(fd, F_SETFL, flags);
+    } else if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)) < 0) {
         Status s = Status::ioError(std::string("connect: ") +
                                    std::strerror(errno));
         ::close(fd);
@@ -49,6 +96,8 @@ DjinnClient::connect(const std::string &host, uint16_t port)
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     fd_ = fd;
+    host_ = host;
+    port_ = port;
     return Status::ok();
 }
 
@@ -62,14 +111,27 @@ DjinnClient::disconnect()
 }
 
 Result<Response>
-DjinnClient::roundTrip(const Request &request)
+DjinnClient::roundTrip(const Request &request, FailureStage *stage)
 {
+    if (stage)
+        *stage = FailureStage::Connect;
     if (fd_ < 0)
         return Status::unavailable("not connected");
     FrameIo io(fd_);
+    if (requestTimeoutSeconds_ > 0.0) {
+        io.setTimeout(requestTimeoutSeconds_);
+        // The client's idle wait IS the request round trip, so the
+        // same budget bounds the response's first byte.
+        io.setIdleTimeout(requestTimeoutSeconds_);
+    }
+    io.setFaults(faults_);
+    if (stage)
+        *stage = FailureStage::Send;
     Status s = io.writeFrame(encodeRequest(request));
     if (!s.isOk())
         return s;
+    if (stage)
+        *stage = FailureStage::Receive;
     auto frame = io.readFrame();
     if (!frame.isOk())
         return frame.status();
@@ -85,23 +147,60 @@ DjinnClient::infer(const std::string &model, int64_t rows,
     request.model = model;
     request.rows = static_cast<uint32_t>(rows);
     request.payload = data;
-    if (tracing_) {
-        request.trace = telemetry::makeTraceContext();
-        lastTrace_ = request.trace;
+    request.deadlineMs = deadlineMs_;
+
+    for (int attempt = 0;; ++attempt) {
+        if (tracing_) {
+            // A fresh context per attempt: each try is its own
+            // server-side span tree.
+            request.trace = telemetry::makeTraceContext();
+            lastTrace_ = request.trace;
+        }
+        FailureStage stage = FailureStage::Connect;
+        auto result = inferOnce(request, &stage);
+        if (result.isOk() ||
+            !retryableFailure(result.status(), stage) ||
+            attempt + 1 >= retryPolicy_.maxAttempts) {
+            return result;
+        }
+        ++retries_;
+        double backoff =
+            retryBackoffSeconds(retryPolicy_, attempt, retryRng_);
+        if (backoff > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(backoff)));
+        }
+        // A connect/send failure leaves the connection unusable;
+        // reconnect to the remembered address before the retry. A
+        // failed reconnect falls through to the next attempt's
+        // "not connected" (Unavailable at Connect stage), which
+        // keeps retrying until the attempt budget runs out.
+        if (fd_ < 0 || stage != FailureStage::Receive) {
+            disconnect();
+            if (!host_.empty())
+                connect(host_, port_);
+        }
     }
+}
+
+Result<std::vector<float>>
+DjinnClient::inferOnce(const Request &request, FailureStage *stage)
+{
     int64_t start_us =
         tracing_ && tracer_ ? telemetry::traceNowUs() : 0;
-    auto response = roundTrip(request);
+    auto response = roundTrip(request, stage);
     if (tracing_ && tracer_) {
         telemetry::TraceEvent e;
-        e.name = "infer " + model;
+        e.name = "infer " + request.model;
         e.category = "client";
         e.track = "client";
         e.traceId = request.trace.traceId;
         e.spanId = request.trace.spanId;
         e.startUs = start_us;
         e.durationUs = telemetry::traceNowUs() - start_us;
-        e.args.emplace_back("model", model);
+        e.args.emplace_back("model", request.model);
         tracer_->record(std::move(e));
     }
     if (!response.isOk())
@@ -113,6 +212,10 @@ DjinnClient::infer(const std::string &model, int64_t rows,
             return Status::notFound(r.message);
           case WireStatus::BadRequest:
             return Status::invalidArgument(r.message);
+          case WireStatus::Overloaded:
+            return Status::overloaded(r.message);
+          case WireStatus::DeadlineExceeded:
+            return Status::deadlineExceeded(r.message);
           default:
             return Status::internal(r.message);
         }

@@ -12,8 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/status.hh"
 #include "core/protocol.hh"
+#include "core/retry.hh"
 #include "telemetry/trace_context.hh"
 
 namespace djinn {
@@ -41,12 +43,63 @@ class DjinnClient
     DjinnClient &operator=(const DjinnClient &) = delete;
 
     /**
-     * Connect to a DjiNN server.
+     * Connect to a DjiNN server. The address is remembered so a
+     * retrying infer() can reconnect after a dropped connection.
      *
      * @param host IPv4 address ("127.0.0.1").
      * @param port TCP port.
      */
     Status connect(const std::string &host, uint16_t port);
+
+    /**
+     * Bound connection establishment to @p seconds; <= 0 (the
+     * default) blocks until the kernel gives up. Expiry surfaces
+     * as DeadlineExceeded.
+     */
+    void setConnectTimeout(double seconds)
+    {
+        connectTimeoutSeconds_ = seconds;
+    }
+
+    /**
+     * Bound each request round-trip: the request write, the wait
+     * for the response's first byte, and the response transfer
+     * are each limited to @p seconds. <= 0 (the default) blocks
+     * indefinitely — the pre-robustness behaviour.
+     */
+    void setRequestTimeout(double seconds)
+    {
+        requestTimeoutSeconds_ = seconds;
+    }
+
+    /**
+     * Retry schedule for infer() (core/retry.hh). Only failures
+     * that provably did not execute are retried: Overloaded
+     * responses and transient connect/send failures. The client
+     * default is single-shot (maxAttempts 1); pass a policy to
+     * opt in.
+     */
+    void setRetryPolicy(const RetryPolicy &policy)
+    {
+        retryPolicy_ = policy;
+    }
+
+    /** Reseed the backoff jitter stream (deterministic tests). */
+    void setRetrySeed(uint64_t seed) { retryRng_ = Rng(seed); }
+
+    /** Retries performed by infer() so far. */
+    uint64_t retriesPerformed() const { return retries_; }
+
+    /**
+     * Attach a deadline budget (milliseconds) to subsequent
+     * infer() requests; the frame then encodes as protocol
+     * version 3 and the server sheds the request once the budget
+     * expires. 0 (the default) sends no deadline.
+     */
+    void setDeadlineMs(uint32_t ms) { deadlineMs_ = ms; }
+
+    /** Inject faults on this client's stream (core/fault.hh). */
+    void setFaults(uint32_t mask) { faults_ = mask; }
 
     /** Close the connection. */
     void disconnect();
@@ -143,12 +196,33 @@ class DjinnClient
     Result<std::string> requestsCsv();
 
   private:
-    Result<Response> roundTrip(const Request &request);
+    /**
+     * One request/response exchange. On failure @p stage (when
+     * non-null) reports how far the exchange got, for retry
+     * classification.
+     */
+    Result<Response> roundTrip(const Request &request,
+                               FailureStage *stage = nullptr);
+
+    /** One infer attempt; @p stage as for roundTrip(). */
+    Result<std::vector<float>> inferOnce(const Request &request,
+                                         FailureStage *stage);
 
     int fd_ = -1;
     bool tracing_ = false;
     telemetry::Tracer *tracer_ = nullptr;
     telemetry::TraceContext lastTrace_;
+
+    std::string host_;
+    uint16_t port_ = 0;
+    double connectTimeoutSeconds_ = 0.0;
+    double requestTimeoutSeconds_ = 0.0;
+    uint32_t deadlineMs_ = 0;
+    uint32_t faults_ = 0;
+    /** Single-shot by default; setRetryPolicy() opts in. */
+    RetryPolicy retryPolicy_{/*maxAttempts=*/1};
+    Rng retryRng_{0x646a696e6eULL};
+    uint64_t retries_ = 0;
 };
 
 } // namespace core

@@ -15,6 +15,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "common/thread_pool.hh"
+#include "core/fault.hh"
 #include "core/http_endpoint.hh"
 #include "core/perf_sink.hh"
 #include "nn/profile.hh"
@@ -33,6 +34,10 @@ const char *const requestsTotalName = "djinn_requests_total";
 const char *const rowsTotalName = "djinn_rows_total";
 const char *const errorsTotalName = "djinn_request_errors_total";
 const char *const connectionsTotalName = "djinn_connections_total";
+const char *const acceptErrorsName = "djinn_accept_errors";
+const char *const protocolErrorsName = "djinn_protocol_errors";
+const char *const ioTimeoutsName = "djinn_io_timeouts_total";
+const char *const shedTotalName = "djinn_shed_total";
 
 /** Wire-status label for the error counter. */
 const char *
@@ -45,10 +50,38 @@ errorReason(WireStatus status)
         return "bad_request";
       case WireStatus::ServerError:
         return "server_error";
+      case WireStatus::Overloaded:
+        return "overloaded";
+      case WireStatus::DeadlineExceeded:
+        return "deadline_exceeded";
       case WireStatus::Ok:
         break;
     }
     return "ok";
+}
+
+/** Bucket a ProtocolError message into the `reason` label of
+ * djinn_protocol_errors. */
+const char *
+protocolErrorReason(const std::string &message)
+{
+    if (message.find("too large") != std::string::npos)
+        return "oversize";
+    if (message.find("truncated") != std::string::npos)
+        return "truncated";
+    if (message.find("trailing bytes") != std::string::npos)
+        return "trailing_bytes";
+    return "malformed";
+}
+
+/** Accept() errnos worth retrying: transient resource exhaustion
+ * or a connection that died in the backlog. */
+bool
+acceptErrnoTransient(int err)
+{
+    return err == EMFILE || err == ENFILE || err == ENOBUFS ||
+           err == ENOMEM || err == ECONNABORTED || err == EAGAIN ||
+           err == EWOULDBLOCK || err == EPROTO;
 }
 
 } // namespace
@@ -70,6 +103,16 @@ DjinnServer::DjinnServer(const ModelRegistry &registry,
         slo_opts.objective = config_.sloObjective;
         slo_ = std::make_unique<telemetry::SloTracker>(metrics_,
                                                        slo_opts);
+    }
+    if (!config_.faultSpec.empty()) {
+        std::string error;
+        faultMask_ = parseFaultSpec(config_.faultSpec, &error);
+        if (!error.empty())
+            inform("ignoring unknown fault(s): %s", error.c_str());
+        if (faultMask_ != FaultNone) {
+            inform("FAULT INJECTION ACTIVE: %s",
+                   config_.faultSpec.c_str());
+        }
     }
 }
 
@@ -223,6 +266,28 @@ DjinnServer::stop()
         ::close(listenFd_);
         listenFd_ = -1;
     }
+    // Graceful drain: wait (bounded) for in-flight requests to
+    // finish and flush their responses before cutting connections.
+    // Workers observe running_ false and reject any request that
+    // arrives during the drain with an Overloaded response; they
+    // increment inflight_ BEFORE re-checking running_, so a request
+    // whose frame was read just as running_ flipped is either
+    // counted here (and drained) or rejected — never silently
+    // dropped mid-execution.
+    if (config_.drainTimeoutSeconds > 0.0) {
+        draining_.store(true);
+        auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                config_.drainTimeoutSeconds));
+        while (inflight_.load() > 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+        draining_.store(false);
+    }
     // The acceptor has exited, and it registered every accepted fd
     // in activeFds_ before spawning the fd's worker (draining late
     // accepts itself), so this pass is guaranteed to reach every
@@ -234,15 +299,40 @@ DjinnServer::stop()
         for (int fd : activeFds_)
             ::shutdown(fd, SHUT_RDWR);
     }
-    std::vector<std::thread> workers;
+    std::vector<WorkerSlot> workers;
     {
         std::lock_guard<std::mutex> lock(workersMutex_);
         workers.swap(workers_);
     }
     for (auto &w : workers) {
-        if (w.joinable())
-            w.join();
+        if (w.thread.joinable())
+            w.thread.join();
     }
+}
+
+size_t
+DjinnServer::workerCount() const
+{
+    std::lock_guard<std::mutex> lock(workersMutex_);
+    return workers_.size();
+}
+
+void
+DjinnServer::reapWorkersLocked()
+{
+    size_t kept = 0;
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        if (workers_[i].done->load(std::memory_order_acquire)) {
+            // The done flag is the worker's last act, so the join
+            // below finds a finished thread and returns at once.
+            workers_[i].thread.join();
+            continue;
+        }
+        if (kept != i)
+            workers_[kept] = std::move(workers_[i]);
+        ++kept;
+    }
+    workers_.resize(kept);
 }
 
 void
@@ -253,7 +343,24 @@ DjinnServer::acceptLoop()
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            // Listening socket was shut down during stop().
+            if (!running_.load())
+                break; // Listening socket shut down by stop().
+            // A transient accept failure (fd exhaustion, a
+            // connection that died in the backlog, memory
+            // pressure) must not kill the acceptor: the pending
+            // backlog would strand and the server would serve
+            // nothing ever again while appearing healthy. Count
+            // it, back off briefly so a full fd table isn't a
+            // busy-loop, and keep accepting.
+            int err = errno;
+            metrics_.counter(acceptErrorsName).inc();
+            if (acceptErrnoTransient(err)) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                continue;
+            }
+            inform("accept: %s; acceptor exiting",
+                   std::strerror(err));
             break;
         }
         if (!running_.load()) {
@@ -276,7 +383,19 @@ DjinnServer::acceptLoop()
             activeFds_.insert(fd);
         }
         std::lock_guard<std::mutex> lock(workersMutex_);
-        workers_.emplace_back([this, fd]() { serveConnection(fd); });
+        // Reap finished workers before adding one: the registry
+        // stays proportional to live connections instead of
+        // growing by one joinable-but-dead thread per connection
+        // ever accepted (unbounded under connection churn).
+        reapWorkersLocked();
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        WorkerSlot slot;
+        slot.done = done;
+        slot.thread = std::thread([this, fd, done]() {
+            serveConnection(fd);
+            done->store(true, std::memory_order_release);
+        });
+        workers_.push_back(std::move(slot));
     }
 }
 
@@ -287,10 +406,56 @@ DjinnServer::serveConnection(int fd)
     common::setCurrentThreadName(
         strprintf("worker-%d", fd).c_str());
     FrameIo io(fd);
+    if (config_.ioTimeoutSeconds > 0.0)
+        io.setTimeout(config_.ioTimeoutSeconds);
+    io.setFaults(faultMask_);
     while (running_.load()) {
         auto frame = io.readFrame();
-        if (!frame.isOk())
-            break; // Peer closed or protocol failure; drop quietly.
+        if (!frame.isOk()) {
+            // Classify before dropping the connection: a stalled
+            // or trickling peer shows up in djinn_io_timeouts_total,
+            // a truncated or oversized frame in
+            // djinn_protocol_errors; a clean close stays quiet.
+            StatusCode code = frame.status().code();
+            if (code == StatusCode::DeadlineExceeded) {
+                metrics_.counter(ioTimeoutsName, {{"op", "read"}})
+                    .inc();
+            } else if (code == StatusCode::ProtocolError) {
+                metrics_
+                    .counter(protocolErrorsName,
+                             {{"reason",
+                               protocolErrorReason(
+                                   frame.status().message())}})
+                    .inc();
+            }
+            break;
+        }
+
+        // Anchor the request's deadline budget at frame arrival,
+        // before decode: queueing and decode time spend from the
+        // same budget the client measures against.
+        auto arrival = Clock::now();
+
+        // Drain/shutdown admission: count the request in-flight
+        // BEFORE re-checking running_. stop() flips running_ and
+        // then waits for inflight_ to reach zero, so a frame read
+        // concurrently with stop() is either rejected here with
+        // Overloaded (safe for the client to retry elsewhere) or
+        // drained to a full response — never abandoned mid-way.
+        inflight_.fetch_add(1, std::memory_order_acq_rel);
+        if (!running_.load()) {
+            Response rejected;
+            rejected.status = WireStatus::Overloaded;
+            rejected.message = "server draining";
+            metrics_
+                .counter(errorsTotalName,
+                         {{"reason",
+                           errorReason(rejected.status)}})
+                .inc();
+            io.writeFrame(encodeResponse(rejected));
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            break;
+        }
 
         // The request span for cycle accounting runs from here
         // (frame in hand, before decode) to just after encode; the
@@ -347,10 +512,22 @@ DjinnServer::serveConnection(int fd)
         if (!request.isOk()) {
             response.status = WireStatus::BadRequest;
             response.message = request.status().toString();
+            metrics_
+                .counter(protocolErrorsName,
+                         {{"reason", protocolErrorReason(
+                               request.status().message())}})
+                .inc();
         } else {
+            // A zero budget means no deadline; otherwise the
+            // relative budget is anchored at frame arrival.
+            auto deadline = BatchingExecutor::noDeadline();
+            if (request.value().deadlineMs > 0) {
+                deadline = arrival + std::chrono::milliseconds(
+                                         request.value().deadlineMs);
+            }
             response = handleRequest(
                 request.value(), trace ? &*trace : nullptr,
-                wire_span ? &*wire_span : nullptr);
+                wire_span ? &*wire_span : nullptr, deadline);
         }
         if (response.status != WireStatus::Ok) {
             metrics_
@@ -405,8 +582,14 @@ DjinnServer::serveConnection(int fd)
             tracer_.record(std::move(req));
         }
         Status s = io.writeFrame(wire);
-        if (!s.isOk())
+        inflight_.fetch_sub(1, std::memory_order_acq_rel);
+        if (!s.isOk()) {
+            if (s.code() == StatusCode::DeadlineExceeded) {
+                metrics_.counter(ioTimeoutsName, {{"op", "write"}})
+                    .inc();
+            }
             break;
+        }
     }
     {
         std::lock_guard<std::mutex> lock(connMutex_);
@@ -418,7 +601,9 @@ DjinnServer::serveConnection(int fd)
 Response
 DjinnServer::handleRequest(const Request &request,
                            telemetry::RequestTrace *trace,
-                           const WireSpan *wire)
+                           const WireSpan *wire,
+                           std::chrono::steady_clock::time_point
+                               deadline)
 {
     Response response;
     switch (request.type) {
@@ -505,7 +690,7 @@ DjinnServer::handleRequest(const Request &request,
             return response;
         }
       case RequestType::Inference:
-        return handleInference(request, trace, wire);
+        return handleInference(request, trace, wire, deadline);
     }
     response.status = WireStatus::BadRequest;
     response.message = "unknown request type";
@@ -559,7 +744,9 @@ DjinnServer::stats() const
 Response
 DjinnServer::handleInference(const Request &request,
                              telemetry::RequestTrace *trace,
-                             const WireSpan *wire)
+                             const WireSpan *wire,
+                             std::chrono::steady_clock::time_point
+                                 deadline)
 {
     Response response;
     auto network = registry_.find(request.model);
@@ -599,22 +786,48 @@ DjinnServer::handleInference(const Request &request,
             auto future =
                 wire ? batcher_->submit(request.model, rows,
                                         request.payload, wire->trace,
-                                        wire->serverSpan)
+                                        wire->serverSpan, deadline)
                      : batcher_->submit(request.model, rows,
-                                        request.payload);
+                                        request.payload, deadline);
             InferenceResult result = future.get();
             if (trace) {
                 trace->recordWork(telemetry::Phase::QueueWait,
                                   wait_scope.stop());
             }
             if (!result.status.isOk()) {
-                response.status = WireStatus::ServerError;
-                response.message = result.status.toString();
+                // Admission and deadline sheds keep their own wire
+                // statuses so clients can tell "retry after
+                // backoff" (Overloaded — never executed) from a
+                // genuine failure.
+                if (result.status.code() == StatusCode::Overloaded)
+                    response.status = WireStatus::Overloaded;
+                else if (result.status.code() ==
+                         StatusCode::DeadlineExceeded)
+                    response.status = WireStatus::DeadlineExceeded;
+                else
+                    response.status = WireStatus::ServerError;
+                response.message = result.status.message();
                 return response;
             }
             response.payload = std::move(result.output);
             batch_rows = result.batchRows;
         } else {
+            // Without the batcher there is no dequeue point, so
+            // enforce the deadline here: shed before the forward
+            // pass rather than burn a full pass on a result the
+            // client has already written off.
+            if (deadline != BatchingExecutor::noDeadline() &&
+                std::chrono::steady_clock::now() >= deadline) {
+                metrics_
+                    .counter(shedTotalName,
+                             {{"model", request.model},
+                              {"reason", "deadline"}})
+                    .inc();
+                response.status = WireStatus::DeadlineExceeded;
+                response.message =
+                    "deadline expired before forward pass";
+                return response;
+            }
             nn::Tensor input(network->inputShape().withBatch(rows));
             std::memcpy(input.data(), request.payload.data(),
                         request.payload.size() * sizeof(float));

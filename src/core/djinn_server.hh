@@ -53,6 +53,35 @@ struct ServerConfig {
     int64_t maxRowsPerRequest = 4096;
 
     /**
+     * Per-connection frame I/O timeout, seconds (`djinnd
+     * --io-timeout-ms`). Once a peer starts sending a frame it
+     * must deliver the whole thing within this budget, and a
+     * response write must complete within it; expiry drops the
+     * connection and counts in `djinn_io_timeouts_total`. An idle
+     * connection between requests is unaffected. <= 0 disables
+     * (reads/writes may then block forever — the pre-robustness
+     * behaviour).
+     */
+    double ioTimeoutSeconds = 10.0;
+
+    /**
+     * Graceful-drain budget for stop(), seconds (`djinnd
+     * --drain-timeout-ms`): how long stop() waits for in-flight
+     * requests to finish (and their responses to flush) before
+     * cutting connections. Requests arriving during the drain are
+     * rejected with an Overloaded status. <= 0 skips the drain
+     * phase and cuts connections immediately.
+     */
+    double drainTimeoutSeconds = 5.0;
+
+    /**
+     * Fault-injection spec applied to every connection's server
+     * side (core/fault.hh; `djinnd --fault` / DJINN_FAULT). Empty
+     * disables. Test/drill use only.
+     */
+    std::string faultSpec;
+
+    /**
      * Intra-layer compute pool size applied at start() (the
      * `djinnd --compute-threads` flag). 0 keeps the automatic
      * choice: the DJINN_COMPUTE_THREADS environment variable if
@@ -124,7 +153,12 @@ class DjinnServer
     /** Bind, listen, and start accepting connections. */
     Status start();
 
-    /** Stop accepting, close connections, join all threads. */
+    /**
+     * Stop the server: stop accepting, drain in-flight requests
+     * (bounded by ServerConfig::drainTimeoutSeconds; new requests
+     * are rejected with Overloaded while draining), then close
+     * connections and join all threads.
+     */
     void stop();
 
     /** The bound TCP port (valid after start()). */
@@ -138,6 +172,22 @@ class DjinnServer
 
     /** Connections accepted so far. */
     uint64_t connectionsAccepted() const { return accepted_.load(); }
+
+    /**
+     * Live worker-thread registry size: connections being served
+     * plus finished workers not yet reaped (the acceptor reaps on
+     * every accept, so this stays bounded under connection churn
+     * instead of growing by one thread per connection ever
+     * accepted).
+     */
+    size_t workerCount() const;
+
+    /** Requests currently being processed (frame read, response
+     * not yet written). Drained by stop(). */
+    int64_t inflight() const { return inflight_.load(); }
+
+    /** True while stop() is draining in-flight requests. */
+    bool draining() const { return draining_.load(); }
 
     /**
      * Per-model service counters: a view over the telemetry
@@ -203,12 +253,21 @@ class DjinnServer
 
     void acceptLoop();
     void serveConnection(int fd);
+
+    /** Join workers whose connections have finished; caller holds
+     * workersMutex_. */
+    void reapWorkersLocked();
+
     Response handleRequest(const Request &request,
                            telemetry::RequestTrace *trace,
-                           const WireSpan *wire);
+                           const WireSpan *wire,
+                           std::chrono::steady_clock::time_point
+                               deadline);
     Response handleInference(const Request &request,
                              telemetry::RequestTrace *trace,
-                             const WireSpan *wire);
+                             const WireSpan *wire,
+                             std::chrono::steady_clock::time_point
+                                 deadline);
 
     const ModelRegistry &registry_;
     ServerConfig config_;
@@ -220,12 +279,25 @@ class DjinnServer
     std::unique_ptr<HttpEndpoint> http_;
     bool profilerStarted_ = false;
 
+    /** Parsed ServerConfig::faultSpec (core/fault.hh bitmask). */
+    uint32_t faultMask_ = 0;
+
     int listenFd_ = -1;
     uint16_t port_ = 0;
     std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+    std::atomic<int64_t> inflight_{0};
     std::thread acceptor_;
-    std::mutex workersMutex_;
-    std::vector<std::thread> workers_;
+
+    /** One entry per live (or not-yet-reaped) connection worker.
+     * The done flag is the worker's last store before exit, so a
+     * joiner observing it true joins a finished thread. */
+    struct WorkerSlot {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    mutable std::mutex workersMutex_;
+    std::vector<WorkerSlot> workers_;
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> accepted_{0};
 

@@ -1,0 +1,37 @@
+#include "core/fault.hh"
+
+#include "common/strings.hh"
+
+namespace djinn {
+namespace core {
+
+uint32_t
+parseFaultSpec(const std::string &spec, std::string *error)
+{
+    uint32_t mask = FaultNone;
+    for (const std::string &name : split(spec, ',')) {
+        if (name.empty()) {
+            continue;
+        } else if (name == "slow-read") {
+            mask |= FaultSlowRead;
+        } else if (name == "stall-after-header") {
+            mask |= FaultStallAfterHeader;
+        } else if (name == "mid-frame-close") {
+            mask |= FaultMidFrameClose;
+        } else if (error) {
+            if (!error->empty())
+                *error += ", ";
+            *error += "unknown fault '" + name + "'";
+        }
+    }
+    return mask;
+}
+
+const char *
+faultSpecHelp()
+{
+    return "slow-read, stall-after-header, mid-frame-close";
+}
+
+} // namespace core
+} // namespace djinn

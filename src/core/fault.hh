@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fault injection for the robustness test battery and for manual
+ * overload drills against a live daemon (DESIGN.md "Overload &
+ * failure handling").
+ *
+ * A fault spec is a comma-separated list of fault names. Parsed
+ * specs become a bitmask that is plumbed explicitly into the I/O
+ * layer (FrameIo::setFaults, DjinnClient::setFaultSpec, djinnd
+ * --fault / DJINN_FAULT), so an in-process test can misbehave on
+ * one side of a connection without contaminating the other.
+ *
+ * Supported faults:
+ *   slow-read        read one byte at a time with a short sleep
+ *                    between chunks (slowloris reader)
+ *   stall-after-header
+ *                    writeFrame sends only the 4-byte length prefix
+ *                    and reports success; the peer is left parked
+ *                    mid-frame (stalled peer)
+ *   mid-frame-close  writeFrame sends roughly half the frame, then
+ *                    shuts the socket down (abrupt peer death)
+ */
+
+#ifndef DJINN_CORE_FAULT_HH
+#define DJINN_CORE_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace djinn {
+namespace core {
+
+/** Fault bits for FrameIo::setFaults. */
+enum FaultBit : uint32_t {
+    FaultNone = 0,
+    FaultSlowRead = 1u << 0,
+    FaultStallAfterHeader = 1u << 1,
+    FaultMidFrameClose = 1u << 2,
+};
+
+/**
+ * Parse a comma-separated fault spec ("slow-read,mid-frame-close")
+ * into a fault bitmask. Unknown names are reported through
+ * @p error and skipped; an empty spec parses to FaultNone.
+ */
+uint32_t parseFaultSpec(const std::string &spec, std::string *error);
+
+/** The fault names parseFaultSpec accepts, for usage text. */
+const char *faultSpecHelp();
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_FAULT_HH

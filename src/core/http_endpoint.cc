@@ -6,7 +6,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 
 #include "common/logging.hh"
@@ -27,6 +30,7 @@ statusText(int code)
       case 400: return "Bad Request";
       case 404: return "Not Found";
       case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
       case 503: return "Service Unavailable";
     }
     return "Internal Server Error";
@@ -34,7 +38,7 @@ statusText(int code)
 
 } // namespace
 
-HttpEndpoint::HttpEndpoint(const telemetry::MetricRegistry &metrics,
+HttpEndpoint::HttpEndpoint(telemetry::MetricRegistry &metrics,
                            const telemetry::Tracer &tracer)
     : metrics_(metrics), tracer_(tracer)
 {}
@@ -133,6 +137,20 @@ HttpEndpoint::acceptLoop()
         int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                      sizeof(one));
+        // The endpoint is single-threaded, so a scraper that
+        // trickles or stalls its request would block every later
+        // scrape (slowloris). Kernel socket timeouts bound each
+        // read and write; serveConnection answers expiry with 408.
+        if (ioTimeoutSeconds_ > 0.0) {
+            timeval tv{};
+            tv.tv_sec = static_cast<time_t>(ioTimeoutSeconds_);
+            tv.tv_usec = static_cast<suseconds_t>(
+                std::lround((ioTimeoutSeconds_ - tv.tv_sec) * 1e6));
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof(tv));
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv,
+                         sizeof(tv));
+        }
         // Scrapes are short and rare; serve them serially so there
         // is no connection-thread bookkeeping.
         serveConnection(fd);
@@ -220,6 +238,7 @@ HttpEndpoint::serveConnection(int fd)
 {
     // Read until the end of the request head; scrape requests have
     // no body.
+    bool timed_out = false;
     std::string head;
     char buf[2048];
     while (head.find("\r\n\r\n") == std::string::npos &&
@@ -228,11 +247,30 @@ HttpEndpoint::serveConnection(int fd)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_RCVTIMEO expired: the client stalled.
+                timed_out = true;
+                break;
+            }
             return;
         }
         if (n == 0)
             break;
         head.append(buf, static_cast<size_t>(n));
+    }
+    if (timed_out) {
+        metrics_.counter("djinn_http_timeouts_total").inc();
+        std::string body = "request timed out\n";
+        std::string response = strprintf(
+            "HTTP/1.0 408 %s\r\n"
+            "Content-Type: text/plain; charset=utf-8\r\n"
+            "Content-Length: %zu\r\n"
+            "Connection: close\r\n"
+            "\r\n",
+            statusText(408), body.size());
+        response += body;
+        ::send(fd, response.data(), response.size(), MSG_NOSIGNAL);
+        return;
     }
 
     size_t line_end = head.find("\r\n");
@@ -270,6 +308,11 @@ HttpEndpoint::serveConnection(int fd)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                // SO_SNDTIMEO expired: the client stopped reading
+                // its response. Drop it rather than stall scrapes.
+                metrics_.counter("djinn_http_timeouts_total").inc();
+            }
             return;
         }
         sent += static_cast<size_t>(n);

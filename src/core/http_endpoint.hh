@@ -37,11 +37,13 @@ class HttpEndpoint
 {
   public:
     /**
-     * @param metrics registry served under /metrics.
+     * @param metrics registry served under /metrics (non-const:
+     *        the endpoint also counts its own I/O timeouts there,
+     *        as `djinn_http_timeouts_total`).
      * @param tracer trace ring served under /trace.
      * Both must outlive the endpoint.
      */
-    HttpEndpoint(const telemetry::MetricRegistry &metrics,
+    HttpEndpoint(telemetry::MetricRegistry &metrics,
                  const telemetry::Tracer &tracer);
 
     /** Stops the endpoint if still running. */
@@ -68,6 +70,18 @@ class HttpEndpoint
     bool running() const { return running_.load(); }
 
     /**
+     * Per-connection socket I/O timeout, seconds (SO_RCVTIMEO /
+     * SO_SNDTIMEO on accepted fds). A scraper that stalls its
+     * request gets 408 instead of parking the single-threaded
+     * acceptor forever (slowloris). Call before start(); <= 0
+     * disables. Default 5 seconds.
+     */
+    void setIoTimeout(double seconds)
+    {
+        ioTimeoutSeconds_ = seconds;
+    }
+
+    /**
      * Dispatch one already-parsed request; exposed for tests.
      *
      * @param target the request target, e.g. "/trace?last=10".
@@ -82,9 +96,10 @@ class HttpEndpoint
     void acceptLoop();
     void serveConnection(int fd);
 
-    const telemetry::MetricRegistry &metrics_;
+    telemetry::MetricRegistry &metrics_;
     const telemetry::Tracer &tracer_;
 
+    double ioTimeoutSeconds_ = 5.0;
     int listenFd_ = -1;
     uint16_t port_ = 0;
     std::atomic<bool> running_{false};

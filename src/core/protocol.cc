@@ -1,11 +1,17 @@
 #include "core/protocol.hh"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
+
+#include "core/fault.hh"
 
 namespace djinn {
 namespace core {
@@ -130,10 +136,14 @@ encodeRequest(const Request &request)
 {
     std::vector<uint8_t> out;
     bool traced = request.trace.valid();
-    out.reserve(41 + request.model.size() +
+    bool deadlined = request.deadlineMs > 0;
+    uint16_t version = deadlined ? protocolVersionDeadline
+                       : traced  ? protocolVersionTraced
+                                 : protocolVersion;
+    out.reserve(45 + request.model.size() +
                 request.payload.size() * sizeof(float));
     putU32(out, requestMagic);
-    putU16(out, traced ? protocolVersionTraced : protocolVersion);
+    putU16(out, version);
     putU16(out, static_cast<uint16_t>(request.type));
     putU32(out, static_cast<uint32_t>(request.model.size()));
     putBytes(out, request.model.data(), request.model.size());
@@ -141,11 +151,16 @@ encodeRequest(const Request &request)
     putU64(out, request.payload.size());
     putBytes(out, request.payload.data(),
              request.payload.size() * sizeof(float));
-    if (traced) {
+    if (traced || deadlined) {
+        // The v3 frame always carries the trace block (all-zero
+        // when untraced) so the deadline block sits at a fixed
+        // offset from the payload.
         putU64(out, request.trace.traceId);
         putU64(out, request.trace.spanId);
         out.push_back(request.trace.flags);
     }
+    if (deadlined)
+        putU32(out, request.deadlineMs);
     return out;
 }
 
@@ -176,7 +191,8 @@ decodeRequest(const std::vector<uint8_t> &data)
         return Status::protocolError("bad request magic");
     if (!r.u16(version) ||
         (version != protocolVersion &&
-         version != protocolVersionTraced))
+         version != protocolVersionTraced &&
+         version != protocolVersionDeadline))
         return Status::protocolError("unsupported protocol version");
     if (!r.u16(type))
         return Status::protocolError("truncated request header");
@@ -204,11 +220,15 @@ decodeRequest(const std::vector<uint8_t> &data)
                                      "header");
     if (!r.floats(request.payload, count))
         return Status::protocolError("truncated request payload");
-    if (version == protocolVersionTraced) {
+    if (version >= protocolVersionTraced) {
         if (!r.u64(request.trace.traceId) ||
             !r.u64(request.trace.spanId) ||
             !r.u8(request.trace.flags))
             return Status::protocolError("truncated trace context");
+    }
+    if (version >= protocolVersionDeadline) {
+        if (!r.u32(request.deadlineMs))
+            return Status::protocolError("truncated deadline block");
     }
     if (!r.atEnd())
         return Status::protocolError("trailing bytes after request");
@@ -225,7 +245,8 @@ decodeResponse(const std::vector<uint8_t> &data)
         return Status::protocolError("bad response magic");
     if (!r.u16(version) || version != protocolVersion)
         return Status::protocolError("unsupported protocol version");
-    if (!r.u16(status) || status > 3)
+    if (!r.u16(status) ||
+        status > static_cast<uint16_t>(WireStatus::DeadlineExceeded))
         return Status::protocolError("bad response status");
     Response response;
     response.status = static_cast<WireStatus>(status);
@@ -245,18 +266,70 @@ decodeResponse(const std::vector<uint8_t> &data)
     return response;
 }
 
+namespace {
+
+/**
+ * Wait for @p events on @p fd for up to @p seconds (negative waits
+ * indefinitely). DeadlineExceeded on expiry.
+ */
+Status
+waitFd(int fd, short events, double seconds)
+{
+    for (;;) {
+        struct pollfd p;
+        p.fd = fd;
+        p.events = events;
+        p.revents = 0;
+        int timeout_ms =
+            seconds < 0.0
+                ? -1
+                : static_cast<int>(std::ceil(seconds * 1e3));
+        int n = ::poll(&p, 1, timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::ioError(std::string("poll: ") +
+                                   std::strerror(errno));
+        }
+        if (n == 0)
+            return Status::deadlineExceeded("I/O timeout");
+        return Status::ok();
+    }
+}
+
+} // namespace
+
 Status
 FrameIo::writeFrame(const std::vector<uint8_t> &frame)
 {
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point start = Clock::now();
     uint8_t header[4];
     uint32_t len = static_cast<uint32_t>(frame.size());
     for (int i = 0; i < 4; ++i)
         header[i] = static_cast<uint8_t>((len >> (8 * i)) & 0xff);
 
-    auto write_all = [this](const uint8_t *data,
-                            size_t size) -> Status {
+    // The transfer timeout bounds the whole frame write, armed at
+    // call entry: a peer that stops draining its receive window
+    // cannot park this thread past the budget.
+    auto write_all = [&](const uint8_t *data,
+                         size_t size) -> Status {
         size_t sent = 0;
         while (sent < size) {
+            if (timeout_ > 0.0) {
+                double remaining =
+                    timeout_ - std::chrono::duration<double>(
+                                   Clock::now() - start).count();
+                if (remaining <= 0.0)
+                    return Status::deadlineExceeded(
+                        "frame write timed out");
+                Status w = waitFd(fd_, POLLOUT, remaining);
+                if (!w.isOk())
+                    return w.code() == StatusCode::DeadlineExceeded
+                               ? Status::deadlineExceeded(
+                                     "frame write timed out")
+                               : w;
+            }
             // MSG_NOSIGNAL: a peer that hung up must surface as
             // EPIPE, not a process-killing SIGPIPE.
             ssize_t n = ::send(fd_, data + sent, size - sent,
@@ -275,24 +348,83 @@ FrameIo::writeFrame(const std::vector<uint8_t> &frame)
     Status s = write_all(header, sizeof(header));
     if (!s.isOk())
         return s;
+    if (faults_ & FaultStallAfterHeader) {
+        // Leave the peer parked mid-frame: the length prefix
+        // promises a body that never comes.
+        return Status::ok();
+    }
+    if (faults_ & FaultMidFrameClose) {
+        (void)write_all(frame.data(), frame.size() / 2);
+        ::shutdown(fd_, SHUT_RDWR);
+        return Status::ioError("fault: closed mid-frame");
+    }
     return write_all(frame.data(), frame.size());
 }
 
 Result<std::vector<uint8_t>>
 FrameIo::readFrame(uint32_t max_bytes)
 {
-    auto read_all = [this](uint8_t *data, size_t size) -> Status {
+    using Clock = std::chrono::steady_clock;
+    // The transfer timeout arms at the frame's first byte: an idle
+    // connection is not stalled, but once a peer starts a frame it
+    // must deliver the whole thing within the budget (defeats
+    // slowloris trickling as well as outright stalls).
+    Clock::time_point armed{};
+    bool transfer_started = false;
+
+    auto read_all = [&](uint8_t *data, size_t size) -> Status {
         size_t got = 0;
         while (got < size) {
-            ssize_t n = ::read(fd_, data + got, size - got);
+            if (!transfer_started) {
+                if (idleTimeout_ > 0.0) {
+                    Status w = waitFd(fd_, POLLIN, idleTimeout_);
+                    if (!w.isOk())
+                        return w.code() ==
+                                       StatusCode::DeadlineExceeded
+                                   ? Status::deadlineExceeded(
+                                         "idle read timed out")
+                                   : w;
+                }
+            } else if (timeout_ > 0.0) {
+                double remaining =
+                    timeout_ - std::chrono::duration<double>(
+                                   Clock::now() - armed).count();
+                if (remaining <= 0.0)
+                    return Status::deadlineExceeded(
+                        "frame read timed out");
+                Status w = waitFd(fd_, POLLIN, remaining);
+                if (!w.isOk())
+                    return w.code() == StatusCode::DeadlineExceeded
+                               ? Status::deadlineExceeded(
+                                     "frame read timed out")
+                               : w;
+            }
+            size_t want = size - got;
+            if (faults_ & FaultSlowRead) {
+                want = 1;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+            ssize_t n = ::read(fd_, data + got, want);
             if (n < 0) {
                 if (errno == EINTR)
                     continue;
                 return Status::ioError(
                     std::string("read: ") + std::strerror(errno));
             }
-            if (n == 0)
+            if (n == 0) {
+                // A close before any byte of the frame is a normal
+                // end of stream; a close mid-frame is a truncation
+                // the server should count as a protocol error.
+                if (transfer_started)
+                    return Status::protocolError(
+                        "truncated frame: peer closed mid-frame");
                 return Status::ioError("connection closed");
+            }
+            if (!transfer_started) {
+                transfer_started = true;
+                armed = Clock::now();
+            }
             got += static_cast<size_t>(n);
         }
         return Status::ok();

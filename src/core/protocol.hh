@@ -11,9 +11,16 @@
  * payload:
  *   ... f32 payload[] | u64 trace id | u64 span id | u8 trace flags
  *
- * Clients emit version 2 only when a trace context is attached, so
- * untraced traffic stays byte-identical to version 1 and old
- * servers keep working; servers accept both versions.
+ * Request frame (version 3) appends a deadline block after the
+ * trace-context block:
+ *   ... u8 trace flags | u32 deadline budget (milliseconds)
+ *
+ * Clients emit the lowest version that carries what the request
+ * needs: version 2 only when a trace context is attached, version 3
+ * only when a deadline budget is attached (the trace block is then
+ * always present, all-zero when untraced). Untraced, undeadlined
+ * traffic stays byte-identical to version 1 and old servers keep
+ * working; servers accept all three versions.
  *
  * Response frame:
  *   u32 magic 'DJNA' | u16 version | u16 status | u32 message len |
@@ -42,6 +49,9 @@ constexpr uint16_t protocolVersion = 1;
 /** Protocol version carrying a trailing trace-context block. */
 constexpr uint16_t protocolVersionTraced = 2;
 
+/** Protocol version carrying trace-context and deadline blocks. */
+constexpr uint16_t protocolVersionDeadline = 3;
+
 /** Request frame types. */
 enum class RequestType : uint16_t {
     Inference = 1,
@@ -66,6 +76,14 @@ enum class WireStatus : uint16_t {
     UnknownModel = 1,
     BadRequest = 2,
     ServerError = 3,
+
+    /** Load shed: admission refused (queue full or draining). The
+     * request was NOT executed; retrying after backoff is safe. */
+    Overloaded = 4,
+
+    /** The request's deadline budget expired before the forward
+     * pass ran; the request was shed without being executed. */
+    DeadlineExceeded = 5,
 };
 
 /** A parsed request frame. */
@@ -87,6 +105,15 @@ struct Request {
      * frame is byte-identical to version 1.
      */
     telemetry::TraceContext trace;
+
+    /**
+     * Per-request deadline budget in milliseconds; 0 means no
+     * deadline. Non-zero budgets encode as version 3. The budget is
+     * relative (a duration, not a wall-clock instant) so client and
+     * server clocks need not agree; the server anchors it at frame
+     * arrival and sheds the request once the budget expires.
+     */
+    uint32_t deadlineMs = 0;
 };
 
 /** A parsed response frame. */
@@ -122,12 +149,37 @@ Result<Response> decodeResponse(const std::vector<uint8_t> &data);
  * the wire are preceded by a u32 byte length. Writes use
  * MSG_NOSIGNAL so a hung-up peer surfaces as an IoError instead of
  * SIGPIPE.
+ *
+ * Timeouts are enforced with poll() so a stalled peer can never
+ * park the calling thread forever:
+ *  - the transfer timeout bounds one whole frame transfer, armed
+ *    at the first byte for reads (an idle connection that has sent
+ *    nothing is not "stalled") and at call entry for writes;
+ *  - the idle timeout additionally bounds the wait for a frame's
+ *    first byte (clients use it as the request round-trip bound;
+ *    servers leave it off so keep-alive connections may idle).
+ * Expiry surfaces as StatusCode::DeadlineExceeded.
  */
 class FrameIo
 {
   public:
     /** @param fd an open, connected stream socket. */
     explicit FrameIo(int fd) : fd_(fd) {}
+
+    /**
+     * Bound one frame transfer (see class comment) to
+     * @p seconds; <= 0 restores fully blocking behaviour.
+     */
+    void setTimeout(double seconds) { timeout_ = seconds; }
+
+    /**
+     * Bound the wait for a frame's first byte to @p seconds;
+     * <= 0 (the default) waits indefinitely.
+     */
+    void setIdleTimeout(double seconds) { idleTimeout_ = seconds; }
+
+    /** Inject faults on this stream (core/fault.hh bitmask). */
+    void setFaults(uint32_t mask) { faults_ = mask; }
 
     /** Write one length-prefixed frame. */
     Status writeFrame(const std::vector<uint8_t> &frame);
@@ -136,12 +188,20 @@ class FrameIo
      * Read one length-prefixed frame.
      *
      * @param max_bytes reject frames larger than this.
+     *
+     * On failure the status code distinguishes: ProtocolError for
+     * an oversized or truncated frame (the peer closed mid-frame),
+     * DeadlineExceeded for a timeout, IoError for a clean close
+     * before any byte of the frame or a socket error.
      */
     Result<std::vector<uint8_t>> readFrame(
         uint32_t max_bytes = 256u << 20);
 
   private:
     int fd_;
+    double timeout_ = 0.0;
+    double idleTimeout_ = 0.0;
+    uint32_t faults_ = 0;
 };
 
 } // namespace core

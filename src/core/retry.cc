@@ -1,0 +1,50 @@
+#include "core/retry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace djinn {
+namespace core {
+
+bool
+retryableFailure(const Status &status, FailureStage stage)
+{
+    if (status.isOk())
+        return false;
+    // An Overloaded response is an explicit not-executed signal,
+    // wherever it surfaced.
+    if (status.code() == StatusCode::Overloaded)
+        return true;
+    switch (stage) {
+      case FailureStage::Connect:
+      case FailureStage::Send:
+        // The server cannot have executed the request; retry the
+        // transient failure classes only. Anything else (protocol
+        // error, invalid argument) would just fail again.
+        return status.code() == StatusCode::IoError ||
+               status.code() == StatusCode::DeadlineExceeded ||
+               status.code() == StatusCode::Unavailable;
+      case FailureStage::Receive:
+        // Ambiguous: the request was fully sent and may have been
+        // executed. Never retried.
+        return false;
+    }
+    return false;
+}
+
+double
+retryBackoffSeconds(const RetryPolicy &policy, int attempt, Rng &rng)
+{
+    double base = policy.initialBackoffSeconds *
+                  std::pow(policy.backoffMultiplier,
+                           static_cast<double>(attempt));
+    base = std::min(base, policy.maxBackoffSeconds);
+    double jitter = std::clamp(policy.jitterFraction, 0.0, 1.0);
+    // Scale into [1 - jitter, 1]: jitter only ever shortens the
+    // wait, so maxBackoffSeconds stays a true upper bound.
+    double factor = 1.0 - jitter * rng.uniform();
+    return std::max(0.0, base * factor);
+}
+
+} // namespace core
+} // namespace djinn

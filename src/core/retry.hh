@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Client-side retry policy: capped jittered exponential backoff
+ * plus the classification rule deciding which failures are safe to
+ * retry at all.
+ *
+ * The safety rule follows the wire protocol's execution guarantee:
+ *  - An Overloaded response means the server explicitly did NOT
+ *    execute the request (admission refused or draining), so a
+ *    retry can never double-execute. Always retryable.
+ *  - A connect or request-send failure means the server cannot
+ *    have decoded a complete frame, so it cannot have executed the
+ *    request. Retryable when the failure is transient (I/O error
+ *    or timeout).
+ *  - A failure AFTER the request was fully sent is ambiguous: the
+ *    server may have executed the request and the response was
+ *    lost. Never retried — for inference a double execution wastes
+ *    a forward pass and double-counts every server metric.
+ */
+
+#ifndef DJINN_CORE_RETRY_HH
+#define DJINN_CORE_RETRY_HH
+
+#include "common/rng.hh"
+#include "common/status.hh"
+
+namespace djinn {
+namespace core {
+
+/** Where in the request round-trip an attempt failed. */
+enum class FailureStage {
+    /** No connection was established. */
+    Connect,
+
+    /** The request frame write failed: the server cannot have
+     * received (and so cannot have executed) the request. */
+    Send,
+
+    /** The response read failed after a fully-sent request:
+     * execution state is unknown. */
+    Receive,
+};
+
+/** Retry schedule: capped exponential backoff with jitter. */
+struct RetryPolicy {
+    /** Total attempts, including the first; 1 disables retries. */
+    int maxAttempts = 3;
+
+    /** Backoff before the first retry, seconds. */
+    double initialBackoffSeconds = 0.010;
+
+    /** Backoff growth factor per retry. */
+    double backoffMultiplier = 2.0;
+
+    /** Backoff cap, seconds (applied before jitter). */
+    double maxBackoffSeconds = 1.0;
+
+    /**
+     * Jitter: each backoff is scaled by a uniform factor in
+     * [1 - jitterFraction, 1], de-synchronizing clients that were
+     * all shed by the same overload spike. 0 disables jitter; must
+     * be in [0, 1].
+     */
+    double jitterFraction = 0.5;
+};
+
+/**
+ * True when a failed attempt is safe AND useful to retry under the
+ * classification rule above.
+ *
+ * @param status the attempt's failure status.
+ * @param stage where the round-trip failed. For a decoded error
+ *        response (e.g. Overloaded), pass Receive: the response
+ *        arrived, and classification is by status code alone.
+ */
+bool retryableFailure(const Status &status, FailureStage stage);
+
+/**
+ * The backoff before retry number @p attempt (0 = first retry),
+ * in seconds: min(initial * multiplier^attempt, cap) scaled by a
+ * jitter factor drawn from @p rng. Deterministic for a given rng
+ * state.
+ */
+double retryBackoffSeconds(const RetryPolicy &policy, int attempt,
+                           Rng &rng);
+
+} // namespace core
+} // namespace djinn
+
+#endif // DJINN_CORE_RETRY_HH

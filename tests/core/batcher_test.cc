@@ -163,6 +163,88 @@ TEST_F(BatcherTest, InvalidOptionsFatal)
     options.maxQueries = 4;
     options.maxDelay = -1.0;
     EXPECT_THROW(BatchingExecutor(registry_, options), FatalError);
+    options.maxDelay = 1e-3;
+    options.maxQueueDepth = -1;
+    EXPECT_THROW(BatchingExecutor(registry_, options), FatalError);
+}
+
+TEST_F(BatcherTest, QueueDepthCapDerivesFromBatchSize)
+{
+    BatchOptions options;
+    options.maxQueries = 16;
+    EXPECT_EQ(options.queueDepthCap(), 64);
+    options.maxQueueDepth = 5;
+    EXPECT_EQ(options.queueDepthCap(), 5);
+}
+
+TEST_F(BatcherTest, FullQueueShedsWithOverloaded)
+{
+    // Admission control: with dispatch stalled inside its
+    // wait-for-peers window (giant maxDelay, giant batch size),
+    // rapid submits keep the queue populated, so the D+1st..Nth
+    // submits must be rejected immediately with Overloaded rather
+    // than growing the queue without bound.
+    BatchOptions options;
+    options.maxQueries = 64;   // never fills a batch in this test
+    options.maxDelay = 0.5;    // dispatcher waits for peers
+    options.maxQueueDepth = 4; // cap D
+    BatchingExecutor executor(registry_, options);
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 12; ++i)
+        futures.push_back(executor.submit("tiny", 1, {1, 2, 3, 4}));
+
+    int ok = 0, overloaded = 0;
+    for (auto &f : futures) {
+        InferenceResult result = f.get();
+        if (result.status.isOk())
+            ++ok;
+        else if (result.status.code() == StatusCode::Overloaded)
+            ++overloaded;
+    }
+    // The dispatcher may drain a query from the queue between two
+    // submits, so a few extra admissions are possible; the bulk of
+    // the burst must still shed.
+    EXPECT_GE(overloaded, 4) << ok << " ok";
+    EXPECT_GE(ok, 4);
+    EXPECT_EQ(ok + overloaded, 12);
+    EXPECT_EQ(executor.queueFullSheds(),
+              static_cast<uint64_t>(overloaded));
+}
+
+TEST_F(BatcherTest, ExpiredDeadlineShedsBeforeForward)
+{
+    // A query whose deadline has already passed when its batch is
+    // assembled must be shed with DeadlineExceeded, not computed.
+    BatchOptions options;
+    options.maxQueries = 4;
+    options.maxDelay = 20e-3;
+    BatchingExecutor executor(registry_, options);
+
+    auto past = std::chrono::steady_clock::now() -
+                std::chrono::milliseconds(1);
+    auto expired = executor.submit("tiny", 1, {1, 2, 3, 4}, past);
+    InferenceResult result = expired.get();
+    EXPECT_EQ(result.status.code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(executor.deadlineSheds(), 1u);
+
+    // A live query in the same queue still completes.
+    auto live = executor.submit("tiny", 1, {1, 2, 3, 4});
+    EXPECT_TRUE(live.get().status.isOk());
+}
+
+TEST_F(BatcherTest, FutureDeadlineDoesNotShed)
+{
+    BatchOptions options;
+    options.maxQueries = 4;
+    options.maxDelay = 1e-3;
+    BatchingExecutor executor(registry_, options);
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(30);
+    auto result =
+        executor.submit("tiny", 1, {1, 2, 3, 4}, deadline).get();
+    EXPECT_TRUE(result.status.isOk());
+    EXPECT_EQ(executor.deadlineSheds(), 0u);
 }
 
 } // namespace

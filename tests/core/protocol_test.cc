@@ -191,6 +191,122 @@ TEST(Protocol, RejectsTruncatedTraceTrailer)
     }
 }
 
+TEST(Protocol, DeadlineRequestRoundTrips)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "alexnet";
+    request.rows = 1;
+    request.payload = {0.5f};
+    request.deadlineMs = 250;
+
+    auto bytes = encodeRequest(request);
+    EXPECT_EQ(bytes[4], protocolVersionDeadline & 0xff);
+
+    auto decoded = decodeRequest(bytes);
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    EXPECT_EQ(decoded.value().deadlineMs, 250u);
+    // The v3 trace block is present but all-zero for an untraced
+    // request, and must not decode as a valid context.
+    EXPECT_FALSE(decoded.value().trace.valid());
+}
+
+TEST(Protocol, DeadlineAndTraceRoundTripTogether)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f};
+    request.trace = telemetry::makeTraceContext();
+    request.deadlineMs = 75;
+
+    auto decoded = decodeRequest(encodeRequest(request));
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    EXPECT_EQ(decoded.value().deadlineMs, 75u);
+    EXPECT_TRUE(decoded.value().trace.valid());
+    EXPECT_EQ(decoded.value().trace.traceId,
+              request.trace.traceId);
+}
+
+TEST(Protocol, DeadlineEncodingOnlyAppendsTrailer)
+{
+    // The v3 frame is the v2 frame plus the 4-byte deadline block
+    // and the bumped version field: a v1/v2 decoder's view of the
+    // shared prefix is unchanged (back-compat battery across the
+    // three versions).
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f, 2.0f};
+    auto v1 = encodeRequest(request);
+    request.trace = telemetry::makeTraceContext();
+    auto v2 = encodeRequest(request);
+    request.deadlineMs = 1000;
+    auto v3 = encodeRequest(request);
+
+    ASSERT_EQ(v2.size(), v1.size() + 17);
+    ASSERT_EQ(v3.size(), v2.size() + 4);
+    for (size_t i = 6; i < v1.size(); ++i)
+        EXPECT_EQ(v3[i], v1[i]) << "offset " << i;
+    for (size_t i = 6; i < v2.size(); ++i)
+        EXPECT_EQ(v3[i], v2[i]) << "offset " << i;
+}
+
+TEST(Protocol, ZeroDeadlineStaysVersionOne)
+{
+    // No deadline and no trace must keep the frame byte-identical
+    // to v1 so old servers keep working.
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f};
+    request.deadlineMs = 0;
+    auto bytes = encodeRequest(request);
+    EXPECT_EQ(bytes[4], protocolVersion & 0xff);
+}
+
+TEST(Protocol, RejectsTruncatedDeadlineBlock)
+{
+    Request request;
+    request.type = RequestType::Inference;
+    request.model = "m";
+    request.rows = 1;
+    request.payload = {1.0f};
+    request.deadlineMs = 42;
+    auto bytes = encodeRequest(request);
+    for (size_t drop = 1; drop <= 4; ++drop) {
+        std::vector<uint8_t> partial(bytes.begin(),
+                                     bytes.end() - drop);
+        EXPECT_FALSE(decodeRequest(partial).isOk())
+            << "dropped " << drop;
+    }
+}
+
+TEST(Protocol, OverloadedResponseRoundTrips)
+{
+    Response response;
+    response.status = WireStatus::Overloaded;
+    response.message = "model 'm' queue full (64 queued)";
+    auto decoded = decodeResponse(encodeResponse(response));
+    ASSERT_TRUE(decoded.isOk()) << decoded.status().toString();
+    EXPECT_EQ(decoded.value().status, WireStatus::Overloaded);
+    EXPECT_EQ(decoded.value().message, response.message);
+}
+
+TEST(Protocol, DeadlineExceededResponseRoundTrips)
+{
+    Response response;
+    response.status = WireStatus::DeadlineExceeded;
+    response.message = "deadline expired before forward pass";
+    auto decoded = decodeResponse(encodeResponse(response));
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_EQ(decoded.value().status,
+              WireStatus::DeadlineExceeded);
+}
+
 TEST(Protocol, ResponseRejectsBadStatus)
 {
     auto bytes = encodeResponse(Response{});

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Retry-policy unit tests: backoff bounds, jitter determinism
+ * under a seeded generator, and the never-retry-ambiguous
+ * classification rule.
+ */
+
+#include "core/retry.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace djinn {
+namespace core {
+namespace {
+
+TEST(RetryBackoff, GrowsExponentiallyWithoutJitter)
+{
+    RetryPolicy policy;
+    policy.initialBackoffSeconds = 0.010;
+    policy.backoffMultiplier = 2.0;
+    policy.maxBackoffSeconds = 1.0;
+    policy.jitterFraction = 0.0;
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, 0, rng), 0.010);
+    EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, 1, rng), 0.020);
+    EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, 2, rng), 0.040);
+    EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, 3, rng), 0.080);
+}
+
+TEST(RetryBackoff, CapsAtMaxBackoff)
+{
+    RetryPolicy policy;
+    policy.initialBackoffSeconds = 0.010;
+    policy.backoffMultiplier = 2.0;
+    policy.maxBackoffSeconds = 0.100;
+    policy.jitterFraction = 0.0;
+    Rng rng(1);
+    // 0.010 * 2^10 = 10.24s, far past the cap.
+    EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, 10, rng), 0.100);
+    EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, 50, rng), 0.100);
+}
+
+TEST(RetryBackoff, JitterStaysWithinBounds)
+{
+    RetryPolicy policy;
+    policy.initialBackoffSeconds = 0.010;
+    policy.backoffMultiplier = 2.0;
+    policy.maxBackoffSeconds = 1.0;
+    policy.jitterFraction = 0.5;
+    Rng rng(7);
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        double base = std::min(
+            policy.initialBackoffSeconds *
+                std::pow(policy.backoffMultiplier, attempt),
+            policy.maxBackoffSeconds);
+        for (int i = 0; i < 32; ++i) {
+            double b = retryBackoffSeconds(policy, attempt, rng);
+            EXPECT_LE(b, base) << "attempt " << attempt;
+            EXPECT_GE(b, base * 0.5) << "attempt " << attempt;
+        }
+    }
+}
+
+TEST(RetryBackoff, JitterDeterministicUnderSeed)
+{
+    RetryPolicy policy;
+    Rng a(42), b(42);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        EXPECT_DOUBLE_EQ(retryBackoffSeconds(policy, attempt, a),
+                         retryBackoffSeconds(policy, attempt, b));
+    }
+    // A different seed produces a different jitter stream.
+    Rng c(43);
+    std::vector<double> from_a, from_c;
+    Rng a2(42);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        from_a.push_back(retryBackoffSeconds(policy, attempt, a2));
+        from_c.push_back(retryBackoffSeconds(policy, attempt, c));
+    }
+    EXPECT_NE(from_a, from_c);
+}
+
+TEST(RetryClassification, OverloadedAlwaysRetryable)
+{
+    Status s = Status::overloaded("queue full");
+    EXPECT_TRUE(retryableFailure(s, FailureStage::Connect));
+    EXPECT_TRUE(retryableFailure(s, FailureStage::Send));
+    EXPECT_TRUE(retryableFailure(s, FailureStage::Receive));
+}
+
+TEST(RetryClassification, TransientConnectAndSendRetryable)
+{
+    EXPECT_TRUE(retryableFailure(Status::ioError("refused"),
+                                 FailureStage::Connect));
+    EXPECT_TRUE(retryableFailure(
+        Status::deadlineExceeded("connect timed out"),
+        FailureStage::Connect));
+    EXPECT_TRUE(retryableFailure(Status::ioError("broken pipe"),
+                                 FailureStage::Send));
+    EXPECT_TRUE(retryableFailure(
+        Status::unavailable("not connected"),
+        FailureStage::Connect));
+}
+
+TEST(RetryClassification, MidStreamFailureNeverRetried)
+{
+    // The request was fully sent; the server may have executed it.
+    EXPECT_FALSE(retryableFailure(Status::ioError("reset"),
+                                  FailureStage::Receive));
+    EXPECT_FALSE(retryableFailure(
+        Status::deadlineExceeded("frame read timed out"),
+        FailureStage::Receive));
+    EXPECT_FALSE(retryableFailure(
+        Status::protocolError("truncated frame"),
+        FailureStage::Receive));
+}
+
+TEST(RetryClassification, PermanentFailuresNeverRetried)
+{
+    EXPECT_FALSE(retryableFailure(Status::invalidArgument("bad"),
+                                  FailureStage::Send));
+    EXPECT_FALSE(retryableFailure(Status::protocolError("bad"),
+                                  FailureStage::Send));
+    EXPECT_FALSE(retryableFailure(Status::notFound("no model"),
+                                  FailureStage::Receive));
+    EXPECT_FALSE(retryableFailure(Status::ok(),
+                                  FailureStage::Receive));
+}
+
+} // namespace
+} // namespace core
+} // namespace djinn

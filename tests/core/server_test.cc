@@ -507,6 +507,20 @@ TEST_F(ServerTest, StopDuringConnectionChurn)
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 
+    // Regression: workers_ used to keep one entry per connection
+    // ever accepted (the acceptor never reaped finished threads),
+    // growing without bound under churn. The registry must stay
+    // proportional to the live connections (4 churners, each one
+    // connection at a time), far below the accept count.
+    uint64_t accepted = server_->connectionsAccepted();
+    size_t workers = server_->workerCount();
+    EXPECT_GE(accepted, 16u) << "churn produced too few "
+                                "connections for the bound "
+                                "to be meaningful";
+    EXPECT_LE(workers, 16u)
+        << "worker registry grew with accept count (" << accepted
+        << " accepted)";
+
     auto start = std::chrono::steady_clock::now();
     server_->stop();
     double seconds = std::chrono::duration<double>(

@@ -3,13 +3,24 @@
  * djinn_cli - command-line client for a running DjiNN server.
  *
  * Usage:
- *   djinn_cli HOST PORT ping
- *   djinn_cli HOST PORT list
- *   djinn_cli HOST PORT stats
- *   djinn_cli HOST PORT metrics [prometheus|json|requests]
- *   djinn_cli HOST PORT trace OUT.json [last_n]
- *   djinn_cli HOST PORT profile [SECONDS] [OUT.txt]
- *   djinn_cli HOST PORT infer MODEL ROWS [payload.f32]
+ *   djinn_cli [--timeout-ms N] [--retries N] [--deadline-ms N]
+ *             HOST PORT ping
+ *   djinn_cli ... HOST PORT list
+ *   djinn_cli ... HOST PORT stats
+ *   djinn_cli ... HOST PORT metrics [prometheus|json|requests]
+ *   djinn_cli ... HOST PORT trace OUT.json [last_n]
+ *   djinn_cli ... HOST PORT profile [SECONDS] [OUT.txt]
+ *   djinn_cli ... HOST PORT infer MODEL ROWS [payload.f32]
+ *
+ * --timeout-ms N bounds connection establishment and each request
+ * round-trip (0, the default, blocks indefinitely). --retries N
+ * allows up to N retries of an infer that failed safely — an
+ * Overloaded shed or a transient connect/send failure — with
+ * capped jittered exponential backoff; ambiguous mid-stream
+ * failures are never retried. --deadline-ms N attaches a deadline
+ * budget to infer requests (protocol v3): the server sheds the
+ * request once the budget expires instead of computing a result
+ * the caller stopped waiting for.
  *
  * `metrics` prints the server's full telemetry exposition:
  * per-model request counters and decode / queue-wait / forward /
@@ -53,7 +64,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: djinn_cli HOST PORT "
+                 "usage: djinn_cli [--timeout-ms N] [--retries N] "
+                 "[--deadline-ms N] HOST PORT "
                  "ping|list|stats|metrics|trace|profile|infer "
                  "[MODEL ROWS [payload.f32]]\n"
                  "       metrics takes an optional format: "
@@ -71,13 +83,45 @@ usage()
 int
 main(int argc, char **argv)
 {
-    if (argc < 4)
+    double timeout_ms = 0.0;
+    int retries = 0;
+    uint32_t deadline_ms = 0;
+    int argi = 1;
+    while (argi < argc && argv[argi][0] == '-') {
+        std::string arg = argv[argi];
+        if (argi + 1 >= argc)
+            return usage();
+        if (arg == "--timeout-ms") {
+            timeout_ms = std::atof(argv[++argi]);
+        } else if (arg == "--retries") {
+            retries = std::atoi(argv[++argi]);
+        } else if (arg == "--deadline-ms") {
+            deadline_ms =
+                static_cast<uint32_t>(std::atoi(argv[++argi]));
+        } else {
+            return usage();
+        }
+        ++argi;
+    }
+    if (argc - argi < 3)
         return usage();
-    std::string host = argv[1];
-    uint16_t port = static_cast<uint16_t>(std::atoi(argv[2]));
-    std::string command = argv[3];
+    std::string host = argv[argi];
+    uint16_t port = static_cast<uint16_t>(std::atoi(argv[argi + 1]));
+    std::string command = argv[argi + 2];
+    argv += argi - 1; // re-base so argv[4] is the first operand
+    argc -= argi - 1;
 
     core::DjinnClient client;
+    if (timeout_ms > 0.0) {
+        client.setConnectTimeout(timeout_ms * 1e-3);
+        client.setRequestTimeout(timeout_ms * 1e-3);
+    }
+    if (retries > 0) {
+        core::RetryPolicy policy;
+        policy.maxAttempts = retries + 1;
+        client.setRetryPolicy(policy);
+    }
+    client.setDeadlineMs(deadline_ms);
     Status connected = client.connect(host, port);
     if (!connected.isOk()) {
         std::fprintf(stderr, "connect failed: %s\n",

@@ -8,6 +8,8 @@
  * Usage:
  *   djinnd [--port N] [--models m1,m2,...|all] [--batching]
  *          [--batch-size N] [--batch-delay-us N] [--seed N]
+ *          [--max-queue-depth N] [--io-timeout-ms N]
+ *          [--drain-timeout-ms N] [--fault SPEC]
  *          [--compute-threads N]
  *          [--metrics-dump] [--metrics-dump-json]
  *          [--http-port N] [--no-tracing]
@@ -37,6 +39,16 @@
  * a temporary window). --slo-ms X sets the per-model latency SLO
  * target driving the djinn_slo_* good/bad counters and burn-rate
  * gauges (default 50 ms; 0 disables SLO tracking).
+ *
+ * Overload & failure handling (DESIGN.md §10): --max-queue-depth N
+ * caps each model's batch queue (0 derives 4 x batch size; excess
+ * submits are rejected with an Overloaded response the client may
+ * retry). --io-timeout-ms N bounds each connection's frame
+ * transfers (default 10000; 0 disables). --drain-timeout-ms N
+ * bounds the graceful drain at shutdown (default 5000). --fault
+ * SPEC (or the DJINN_FAULT environment variable) injects protocol
+ * faults for robustness drills: a comma list of slow-read,
+ * stall-after-header, mid-frame-close.
  *
  * Zoo model names: alexnet mnist deepface kaldi_asr senna_pos
  * senna_chk senna_ner. Custom models load from a netdef text file
@@ -75,6 +87,10 @@ usage()
                  "usage: djinnd [--port N] [--models m1,m2|all]\n"
                  "              [--batching] [--batch-size N] "
                  "[--batch-delay-us N]\n"
+                 "              [--max-queue-depth N] "
+                 "[--io-timeout-ms N]\n"
+                 "              [--drain-timeout-ms N] "
+                 "[--fault SPEC]\n"
                  "              [--compute-threads N]\n"
                  "              [--seed N] [--metrics-dump] "
                  "[--metrics-dump-json]\n"
@@ -126,6 +142,17 @@ main(int argc, char **argv)
         } else if (arg == "--batch-delay-us") {
             config.batchOptions.maxDelay =
                 std::atof(next("--batch-delay-us")) * 1e-6;
+        } else if (arg == "--max-queue-depth") {
+            config.batchOptions.maxQueueDepth =
+                std::atoll(next("--max-queue-depth"));
+        } else if (arg == "--io-timeout-ms") {
+            config.ioTimeoutSeconds =
+                std::atof(next("--io-timeout-ms")) * 1e-3;
+        } else if (arg == "--drain-timeout-ms") {
+            config.drainTimeoutSeconds =
+                std::atof(next("--drain-timeout-ms")) * 1e-3;
+        } else if (arg == "--fault") {
+            config.faultSpec = next("--fault");
         } else if (arg == "--seed") {
             seed = std::strtoull(next("--seed"), nullptr, 10);
         } else if (arg == "--compute-threads") {
@@ -163,6 +190,15 @@ main(int argc, char **argv)
             usage();
             return 2;
         }
+    }
+
+    // The DJINN_FAULT environment variable seeds the fault spec so
+    // drills can misconfigure a stock deployment without editing
+    // its command line; an explicit --fault wins.
+    if (config.faultSpec.empty()) {
+        const char *env_fault = std::getenv("DJINN_FAULT");
+        if (env_fault)
+            config.faultSpec = env_fault;
     }
 
     core::ModelRegistry registry;
