@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Ablation (extension beyond the paper): cluster-scale routing and
+ * admission policy frontier, and its consequence for warehouse
+ * provisioning.
+ *
+ * Part 1 replays the same synthetic diurnal Tonic-mix trace
+ * through every front-end policy at increasing load and reports
+ * goodput, shed rate, and tail latency. Queue-blind round-robin
+ * collapses first; deadline-aware JSQ / power-of-two shed
+ * infeasible requests at the front end and keep the tail bounded.
+ *
+ * Part 2 re-provisions the paper's Figure 14/15 GPU designs with
+ * the tail-aware capacity oracle (max load meeting a p99 SLO under
+ * deadline-aware JSQ, measured by cluster-sim probes) next to the
+ * closed-form mean-throughput oracle, showing what tail SLOs cost
+ * in servers and TCO.
+ */
+
+#include <cmath>
+
+#include "bench_util.hh"
+#include "cluster/simulator.hh"
+#include "cluster/workload.hh"
+#include "serve/app.hh"
+#include "wsc/designs.hh"
+#include "wsc/tail_capacity.hh"
+
+using namespace djinn;
+using namespace djinn::bench;
+
+namespace {
+
+/** Sustainable throughput of the test cluster, probed at heavy
+ * overload with JSQ (admission control caps the damage). */
+double
+clusterCapacityQps(const cluster::ClusterConfig &base)
+{
+    cluster::WorkloadSpec probe;
+    probe.apps = serve::allApps();
+    probe.meanRate = 50000.0;
+    probe.durationSeconds = 2.0;
+    probe.seed = 9;
+    cluster::ClusterConfig config = base;
+    config.policy = cluster::RoutePolicy::JoinShortestQueue;
+    config.deadlineSeconds = 0.0;
+    config.retryShedRequests = false;
+    return cluster::runClusterSim(
+        config, cluster::generateTrace(probe)).throughputQps;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation", "Cluster routing policies and tail-aware "
+                       "provisioning");
+
+    cluster::ClusterConfig base;
+    base.nodeCount = 8;
+    base.node.gpus = 1;
+    base.deadlineSeconds = 0.250;
+    base.sampleInterval = 0.0;
+    base.seed = 17;
+    // Heterogeneous fleet: half the nodes run at a third speed
+    // (older GPUs, co-located interference). Queue-blind policies
+    // keep feeding the stragglers anyway.
+    base.speedFactors = {1.0, 1.0, 1.0, 1.0,
+                         0.35, 0.35, 0.35, 0.35};
+
+    double capacity = clusterCapacityQps(base);
+    std::printf("cluster: %d nodes x %d GPU (half at 0.35x speed), "
+                "capacity ~%.0f qps, SLO %.0f ms\n\n",
+                base.nodeCount, base.node.gpus, capacity,
+                1e3 * base.deadlineSeconds);
+
+    for (double load : {0.7, 1.0, 1.3}) {
+        cluster::WorkloadSpec workload;
+        workload.apps = serve::allApps();
+        workload.process = cluster::ArrivalProcess::Diurnal;
+        workload.meanRate = load * capacity;
+        workload.durationSeconds = 20.0;
+        workload.seed = 17;
+        cluster::ClusterTrace trace =
+            cluster::generateTrace(workload);
+
+        std::printf("offered load %.1fx capacity (%s, %.0f qps "
+                    "mean):\n", load,
+                    cluster::arrivalProcessName(workload.process),
+                    workload.meanRate);
+        row({"policy", "goodput", "shed%", "p50 ms", "p99 ms"});
+        for (cluster::RoutePolicy policy :
+             cluster::allRoutePolicies()) {
+            cluster::ClusterConfig config = base;
+            config.policy = policy;
+            cluster::ClusterResult result =
+                cluster::runClusterSim(config, trace);
+            row({cluster::routePolicyName(policy),
+                 num(result.throughputQps, 0),
+                 num(100.0 * result.lostFraction(), 1),
+                 num(1e3 * result.latency.p50, 1),
+                 num(1e3 * result.latency.p99, 1)});
+        }
+        std::printf("\n");
+    }
+    std::printf("Deadline-aware placement (jsq-d/po2-d) sheds "
+                "work it cannot finish in\ntime at the front end, "
+                "so at overload its p99 stays near the SLO while\n"
+                "queue-blind round-robin lets every queue grow "
+                "until latency is set by\nthe admission limit, "
+                "not the deadline.\n\n");
+
+    // Part 2: what tail SLOs cost at warehouse scale.
+    banner("Ablation", "Tail-aware WSC provisioning vs "
+                       "closed-form throughput");
+    wsc::TailCapacityConfig tail;
+    tail.probeNodes = 2;
+    tail.simSeconds = 2.0;
+    tail.searchIterations = 8;
+
+    wsc::DesignConfig closed;
+    wsc::DesignConfig tail_aware;
+    tail_aware.serverQpsFn = wsc::tailAwareQpsFn(tail);
+
+    const wsc::Mix mix = wsc::Mix::Mixed;
+    const double fraction = 0.7;
+    std::printf("MIXED workload, 70%% DNN, p99 SLO = %.0fx tuned-"
+                "batch service time,\npolicy %s, %s arrivals "
+                "(%.0fx bursts %.0f%% of the time), shed cap "
+                "%.1f%%\n\n",
+                tail.sloMultiplier,
+                cluster::routePolicyName(tail.policy),
+                cluster::arrivalProcessName(tail.process),
+                tail.burstMultiplier, 100.0 * tail.burstFraction,
+                100.0 * tail.maxShedFraction);
+    row({"Design", "oracle", "servers", "GPUs", "TCO $M",
+         "vs CPU"}, 18);
+    double cpu_tco = wsc::provision(wsc::Design::CpuOnly, mix,
+                                    fraction, closed).tco.total();
+    for (wsc::Design design :
+         {wsc::Design::IntegratedGpu,
+          wsc::Design::DisaggregatedGpu}) {
+        auto mean = wsc::provision(design, mix, fraction, closed);
+        auto slo = wsc::provision(design, mix, fraction,
+                                  tail_aware);
+        row({wsc::designName(design), "mean-tput",
+             num(mean.fleet.beefyServers + mean.fleet.wimpyServers,
+                 0),
+             num(mean.fleet.gpus, 0),
+             num(mean.tco.total() / 1e6, 2),
+             num(cpu_tco / mean.tco.total(), 1) + "x"}, 18);
+        row({"", "tail-aware",
+             num(slo.fleet.beefyServers + slo.fleet.wimpyServers,
+                 0),
+             num(slo.fleet.gpus, 0),
+             num(slo.tco.total() / 1e6, 2),
+             num(cpu_tco / slo.tco.total(), 1) + "x"}, 18);
+    }
+    std::printf("\nA fleet sized to mean throughput has no "
+                "headroom for bursts: while a\nburst exceeds "
+                "capacity the backlog's drain time blows through "
+                "p99, so\nthe tail-aware oracle admits only the "
+                "load whose bursts still drain\nwithin the SLO. "
+                "The tail-aware fleet is larger and the GPU "
+                "designs'\nTCO advantage over CPU-only shrinks "
+                "but does not disappear.\n\n");
+    return 0;
+}

@@ -4,17 +4,89 @@
  * co-located on one DjiNN GPU server via MPS - the deployment the
  * paper's "open Brain" vision implies - versus each service
  * running alone. Reports per-service throughput retention.
+ *
+ * With `--policy rr|jsq|po2|jsq-d|po2-d` the same co-located mix
+ * is instead replayed at cluster scale: a small fleet of DjiNN
+ * servers behind the chosen front-end routing policy serves an
+ * open-loop trace of the full suite, showing how the single-server
+ * consolidation story composes with cluster-level placement.
  */
 
+#include <cstring>
+
 #include "bench_util.hh"
+#include "cluster/simulator.hh"
+#include "cluster/workload.hh"
 #include "serve/simulation.hh"
 
 using namespace djinn;
 using namespace djinn::bench;
 
+namespace {
+
+/** The cluster-scale replay behind --policy. */
 int
-main()
+replayThroughPolicy(const char *policy_name)
 {
+    cluster::RoutePolicy policy =
+        cluster::routePolicyFromName(policy_name);
+    banner("Ablation",
+           "Co-located Tonic mix replayed at cluster scale");
+
+    cluster::ClusterConfig config;
+    config.nodeCount = 4;
+    config.node.gpus = 1;
+    config.policy = policy;
+    config.deadlineSeconds = 0.250;
+    config.sampleInterval = 0.0;
+    config.seed = 23;
+
+    cluster::WorkloadSpec workload;
+    workload.apps = serve::allApps();
+    workload.process = cluster::ArrivalProcess::Mmpp;
+    workload.meanRate = 2500.0;
+    workload.durationSeconds = 20.0;
+    workload.seed = 23;
+
+    cluster::ClusterResult result = cluster::runClusterSim(
+        config, cluster::generateTrace(workload));
+
+    std::printf("%d nodes, policy %s, %s arrivals at %.0f qps, "
+                "SLO %.0f ms\n\n",
+                config.nodeCount,
+                cluster::routePolicyName(policy),
+                cluster::arrivalProcessName(workload.process),
+                workload.meanRate, 1e3 * config.deadlineSeconds);
+    row({"App", "offered", "served", "p50 ms", "p99 ms"});
+    for (const cluster::AppClusterStats &app : result.apps) {
+        row({serve::appName(app.app),
+             num(static_cast<double>(app.offered), 0),
+             num(static_cast<double>(app.completed), 0),
+             num(1e3 * app.latency.p50, 1),
+             num(1e3 * app.latency.p99, 1)});
+    }
+    std::printf("\ncluster goodput %.0f qps, shed %.1f%%, "
+                "p99 %.1f ms, occupancy %.2f\n\n",
+                result.throughputQps,
+                100.0 * result.lostFraction(),
+                1e3 * result.latency.p99, result.occupancy);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 3 && std::strcmp(argv[1], "--policy") == 0)
+        return replayThroughPolicy(argv[2]);
+    if (argc != 1) {
+        std::fprintf(stderr, "usage: %s [--policy "
+                             "rr|jsq|po2|jsq-d|po2-d]\n",
+                     argv[0]);
+        return 2;
+    }
+
     banner("Ablation",
            "Co-locating all seven services on one GPU (MPS)");
 

@@ -17,6 +17,20 @@ if [ -n "$bad" ]; then
     exit 1
 fi
 
+# Lint: the simulators guarantee bit-identical replays from a
+# seed, so wall-clock time and unseeded randomness are banned in
+# src/sim and src/cluster (common/rng's seeded generators and the
+# event queue's virtual clock are the only time/chance sources).
+bad=$(grep -rnE \
+    'std::random_device|system_clock|steady_clock|gettimeofday|clock_gettime|\btime\(' \
+    src/sim/ src/cluster/ || true)
+if [ -n "$bad" ]; then
+    echo "lint: wall clock / unseeded randomness in simulator" \
+         "sources; use common/rng and sim::EventQueue time:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
 # Lint: metric families must be snake_case and registered in the
 # committed allowlist, so a rename or a typo'd name breaks the
 # build instead of silently orphaning a dashboard.
@@ -83,16 +97,38 @@ kill "$fault_pid" 2>/dev/null || true
 wait "$fault_pid" 2>/dev/null || true
 trap - EXIT
 
+# Cluster-simulator determinism smoke: the same seed must produce
+# byte-identical JSON (trace hash, percentiles, time series) on
+# repeated runs of the real binary, not just inside one process.
+cluster_args="--nodes 8 --policy jsq-d --workload mmpp \
+    --rate 4000 --duration 5 --seed 42 --json"
+./build/tools/cluster_sim $cluster_args > /tmp/djinn_cluster_a.json
+./build/tools/cluster_sim $cluster_args > /tmp/djinn_cluster_b.json
+if ! cmp -s /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json; then
+    echo "check_build: cluster_sim determinism smoke FAILED" >&2
+    diff /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json >&2 \
+        || true
+    exit 1
+fi
+rm -f /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json
+
 # ThreadSanitizer pass over the concurrency-heavy suites: the
 # compute pool, the threaded GEMM kernel, the batching server, and
 # the request-lifecycle robustness battery.
 cmake -B build-tsan -S . -DDJINN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build build-tsan -j --target common_test nn_test core_test
+cmake --build build-tsan -j --target common_test nn_test core_test \
+    cluster_test
 ./build-tsan/tests/common_test \
     --gtest_filter='ThreadPool*:ComputePool*'
 ./build-tsan/tests/nn_test --gtest_filter='GemmDiff*'
 ./build-tsan/tests/core_test \
     --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*'
+# The cluster simulator is single-threaded by design, but its
+# results flow through the lock-free telemetry histograms; the
+# determinism and policy suites double as a TSan check of that
+# read path.
+./build-tsan/tests/cluster_test \
+    --gtest_filter='ClusterSim*:Policy*'
 
 echo "check_build: OK"

@@ -1,0 +1,210 @@
+#include "cluster/node.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace cluster {
+
+ClusterNode::ClusterNode(sim::EventQueue &eq, int id,
+                         const NodeSpec &spec, ServiceModel service,
+                         CompleteFn onComplete,
+                         DeadlineShedFn onDeadlineShed)
+    : eq_(eq), id_(id), spec_(spec), service_(std::move(service)),
+      onComplete_(std::move(onComplete)),
+      onDeadlineShed_(std::move(onDeadlineShed)),
+      freeGpus_(spec.gpus)
+{
+    if (spec_.gpus <= 0)
+        fatal("ClusterNode: gpus must be positive");
+    if (spec_.queueLimit <= 0)
+        fatal("ClusterNode: queueLimit must be positive");
+    if (spec_.speedFactor <= 0.0)
+        fatal("ClusterNode: speedFactor must be positive");
+    if (!service_)
+        fatal("ClusterNode: service model must be set");
+}
+
+int64_t
+ClusterNode::effectiveMaxBatch(serve::App app) const
+{
+    if (spec_.maxBatch > 0)
+        return spec_.maxBatch;
+    return serve::appSpec(app).tunedBatch;
+}
+
+bool
+ClusterNode::enqueue(const Request &request)
+{
+    if (totalQueued_ >= spec_.queueLimit)
+        return false;
+
+    auto [it, inserted] = queues_.try_emplace(request.app);
+    if (inserted)
+        order_.push_back(request.app);
+    AppQueue &aq = it->second;
+    aq.queue.push_back(request);
+    ++totalQueued_;
+    maxQueued_ = std::max(maxQueued_, totalQueued_);
+
+    if (static_cast<int64_t>(aq.queue.size()) >=
+        effectiveMaxBatch(request.app)) {
+        if (aq.timer != sim::InvalidEventId) {
+            eq_.cancel(aq.timer);
+            aq.timer = sim::InvalidEventId;
+        }
+        aq.ready = true;
+        pump();
+    } else if (!aq.ready && aq.timer == sim::InvalidEventId) {
+        if (spec_.batchTimeout <= 0.0) {
+            aq.ready = true;
+            pump();
+        } else {
+            serve::App app = request.app;
+            aq.timer = eq_.scheduleAfter(
+                spec_.batchTimeout,
+                [this, app]() { onTimer(app); });
+        }
+    }
+    return true;
+}
+
+NodeView
+ClusterNode::view() const
+{
+    NodeView view;
+    view.queuedQueries = totalQueued_;
+    view.inService = inService_;
+    view.queueLimit = spec_.queueLimit;
+    // Optimistic before the first completion (ewma 0): deadline
+    // policies then behave like their non-deadline variants until
+    // the node has calibrated itself.
+    view.estimatedLatency =
+        ewmaQuerySeconds_ *
+        static_cast<double>(totalQueued_ + inService_ + 1) /
+        static_cast<double>(spec_.gpus);
+    return view;
+}
+
+void
+ClusterNode::onTimer(serve::App app)
+{
+    AppQueue &aq = queues_[app];
+    aq.timer = sim::InvalidEventId;
+    aq.ready = true;
+    pump();
+}
+
+bool
+ClusterNode::dispatchable(const AppQueue &aq, serve::App app) const
+{
+    if (aq.queue.empty())
+        return false;
+    return aq.ready || static_cast<int64_t>(aq.queue.size()) >=
+                           effectiveMaxBatch(app);
+}
+
+void
+ClusterNode::pump()
+{
+    while (freeGpus_ > 0 && !order_.empty()) {
+        bool found = false;
+        for (size_t probe = 0; probe < order_.size(); ++probe) {
+            size_t i = (cursor_ + probe) % order_.size();
+            serve::App app = order_[i];
+            if (dispatchable(queues_[app], app)) {
+                cursor_ = (i + 1) % order_.size();
+                dispatch(app);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return;
+    }
+}
+
+void
+ClusterNode::dispatch(serve::App app)
+{
+    AppQueue &aq = queues_[app];
+    int64_t limit = effectiveMaxBatch(app);
+    double now = eq_.now();
+
+    // Deadline enforcement at dequeue, before the forward pass:
+    // queries whose budget already expired are shed, not computed.
+    std::vector<Request> batch;
+    while (!aq.queue.empty() &&
+           static_cast<int64_t>(batch.size()) < limit) {
+        Request request = aq.queue.front();
+        aq.queue.pop_front();
+        --totalQueued_;
+        if (request.deadline < now)
+            onDeadlineShed_(request);
+        else
+            batch.push_back(request);
+    }
+
+    // Rebuild the queue's batching state for what remains.
+    if (aq.timer != sim::InvalidEventId) {
+        eq_.cancel(aq.timer);
+        aq.timer = sim::InvalidEventId;
+    }
+    if (aq.queue.empty()) {
+        aq.ready = false;
+    } else if (static_cast<int64_t>(aq.queue.size()) < limit) {
+        aq.ready = false;
+        if (spec_.batchTimeout <= 0.0) {
+            aq.ready = true;
+        } else {
+            aq.timer = eq_.scheduleAfter(
+                spec_.batchTimeout,
+                [this, app]() { onTimer(app); });
+        }
+    }
+    // else: still a full batch waiting; ready stays true.
+
+    if (batch.empty())
+        return;
+
+    int64_t queries = static_cast<int64_t>(batch.size());
+    double service_time =
+        service_(app, queries) / spec_.speedFactor;
+    if (service_time < 0.0)
+        fatal("ClusterNode: negative service time");
+
+    --freeGpus_;
+    inService_ += queries;
+    busySeconds_ += service_time;
+    ++batches_;
+    dispatched_ += static_cast<uint64_t>(queries);
+
+    eq_.scheduleAfter(
+        service_time,
+        [this, b = std::move(batch), service_time]() mutable {
+            onBatchDone(std::move(b), service_time);
+        });
+}
+
+void
+ClusterNode::onBatchDone(std::vector<Request> batch,
+                         double serviceTime)
+{
+    int64_t queries = static_cast<int64_t>(batch.size());
+    for (const Request &request : batch)
+        onComplete_(request, queries);
+    inService_ -= queries;
+    ++freeGpus_;
+
+    double per_query = serviceTime / static_cast<double>(queries);
+    ewmaQuerySeconds_ =
+        ewmaQuerySeconds_ == 0.0
+            ? per_query
+            : 0.8 * ewmaQuerySeconds_ + 0.2 * per_query;
+    pump();
+}
+
+} // namespace cluster
+} // namespace djinn

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * One simulated DjiNN server node: per-application batch queues
+ * with a bounded admission limit, DjiNN-style batch formation
+ * (dispatch at maxBatch queries or after a batch timeout), a pool
+ * of parallel GPU executors, and deadline enforcement at batch
+ * dequeue — the PR 5 lifecycle semantics (shed `Overloaded` at
+ * enqueue, `DeadlineExceeded` before the forward pass) transplanted
+ * into the discrete-event world.
+ */
+
+#ifndef DJINN_CLUSTER_NODE_HH
+#define DJINN_CLUSTER_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "cluster/policy.hh"
+#include "serve/app.hh"
+#include "sim/event_queue.hh"
+
+namespace djinn {
+namespace cluster {
+
+/**
+ * Seconds one node needs to serve a batch of @p queries of @p app
+ * (host prep + transfers + GPU forward, pipeline-collapsed). Must
+ * be deterministic per (app, queries) for reproducible runs;
+ * stochastic models used in queueing-theory tests may keep their
+ * own seeded generator, which the single-threaded simulator calls
+ * in a deterministic order.
+ */
+using ServiceModel =
+    std::function<double(serve::App app, int64_t queries)>;
+
+/** Static shape of one node. */
+struct NodeSpec {
+    /** Parallel GPU executors. */
+    int gpus = 1;
+
+    /** Admission cap on queued (not yet executing) queries. */
+    int64_t queueLimit = 256;
+
+    /**
+     * Queries per dispatched batch; 0 uses each app's tuned batch
+     * (Table 3).
+     */
+    int64_t maxBatch = 0;
+
+    /**
+     * Seconds a partial batch waits before dispatching anyway
+     * (the BatchingExecutor's maxDelay). <= 0 dispatches
+     * immediately.
+     */
+    double batchTimeout = 2e-3;
+
+    /** Relative node speed; 2.0 serves twice as fast. */
+    double speedFactor = 1.0;
+};
+
+/** One simulated server. Single-threaded, driven by the event
+ * queue. */
+class ClusterNode
+{
+  public:
+    /** One routed request. */
+    struct Request {
+        /** Trace index; stable across retries. */
+        uint64_t id = 0;
+
+        /** Target application. */
+        serve::App app = serve::App::IMC;
+
+        /** First front-end arrival (latency baseline), seconds. */
+        double firstArrival = 0.0;
+
+        /** Absolute deadline; effectively none by default. */
+        double deadline = 1e300;
+    };
+
+    /** Called once per query when its batch completes. */
+    using CompleteFn =
+        std::function<void(const Request &, int64_t batchQueries)>;
+
+    /** Called when a queued query is dropped at dequeue because
+     * its deadline already passed. */
+    using DeadlineShedFn = std::function<void(const Request &)>;
+
+    ClusterNode(sim::EventQueue &eq, int id, const NodeSpec &spec,
+                ServiceModel service, CompleteFn onComplete,
+                DeadlineShedFn onDeadlineShed);
+
+    ClusterNode(const ClusterNode &) = delete;
+    ClusterNode &operator=(const ClusterNode &) = delete;
+
+    /**
+     * Admit one query.
+     *
+     * @return false when the queue is at its limit (the caller
+     *         sheds Overloaded).
+     */
+    bool enqueue(const Request &request);
+
+    /** The router's view of this node. */
+    NodeView view() const;
+
+    /** Queries waiting in batch queues. */
+    int64_t queuedQueries() const { return totalQueued_; }
+
+    /** Queries currently executing. */
+    int64_t inService() const { return inService_; }
+
+    /** Largest queued-query count ever observed. */
+    int64_t maxQueuedQueries() const { return maxQueued_; }
+
+    /** Cumulative GPU-busy seconds across executors. */
+    double busySeconds() const { return busySeconds_; }
+
+    /** Batches dispatched. */
+    uint64_t batchesDispatched() const { return batches_; }
+
+    /** Queries dispatched into batches. */
+    uint64_t queriesDispatched() const { return dispatched_; }
+
+    /** Node id (index in the cluster). */
+    int id() const { return id_; }
+
+  private:
+    struct AppQueue {
+        std::deque<Request> queue;
+        sim::EventId timer = sim::InvalidEventId;
+
+        /** True once the batch timeout fired (or the queue hit
+         * maxBatch): dispatch as soon as an executor frees. */
+        bool ready = false;
+    };
+
+    int64_t effectiveMaxBatch(serve::App app) const;
+    void onTimer(serve::App app);
+    void pump();
+    bool dispatchable(const AppQueue &aq, serve::App app) const;
+    void dispatch(serve::App app);
+    void onBatchDone(std::vector<Request> batch, double serviceTime);
+
+    sim::EventQueue &eq_;
+    int id_;
+    NodeSpec spec_;
+    ServiceModel service_;
+    CompleteFn onComplete_;
+    DeadlineShedFn onDeadlineShed_;
+
+    std::map<serve::App, AppQueue> queues_;
+    std::vector<serve::App> order_;  ///< apps in first-seen order
+    size_t cursor_ = 0;              ///< round-robin scan start
+
+    int freeGpus_;
+    int64_t totalQueued_ = 0;
+    int64_t inService_ = 0;
+    int64_t maxQueued_ = 0;
+    double busySeconds_ = 0.0;
+    uint64_t batches_ = 0;
+    uint64_t dispatched_ = 0;
+
+    /** Smoothed seconds per query actually observed (EWMA); 0
+     * until the first batch completes. */
+    double ewmaQuerySeconds_ = 0.0;
+};
+
+} // namespace cluster
+} // namespace djinn
+
+#endif // DJINN_CLUSTER_NODE_HH

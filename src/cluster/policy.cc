@@ -1,0 +1,206 @@
+#include "cluster/policy.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace djinn {
+namespace cluster {
+
+const char *
+routePolicyName(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::RoundRobin: return "rr";
+      case RoutePolicy::JoinShortestQueue: return "jsq";
+      case RoutePolicy::PowerOfTwo: return "po2";
+      case RoutePolicy::DeadlineJsq: return "jsq-d";
+      case RoutePolicy::DeadlinePo2: return "po2-d";
+    }
+    return "unknown";
+}
+
+RoutePolicy
+routePolicyFromName(const std::string &name)
+{
+    if (name == "rr")
+        return RoutePolicy::RoundRobin;
+    if (name == "jsq")
+        return RoutePolicy::JoinShortestQueue;
+    if (name == "po2")
+        return RoutePolicy::PowerOfTwo;
+    if (name == "jsq-d")
+        return RoutePolicy::DeadlineJsq;
+    if (name == "po2-d")
+        return RoutePolicy::DeadlinePo2;
+    fatal("unknown routing policy '%s' (want rr, jsq, po2, jsq-d, "
+          "or po2-d)", name.c_str());
+}
+
+const std::vector<RoutePolicy> &
+allRoutePolicies()
+{
+    static const std::vector<RoutePolicy> policies = {
+        RoutePolicy::RoundRobin, RoutePolicy::JoinShortestQueue,
+        RoutePolicy::PowerOfTwo, RoutePolicy::DeadlineJsq,
+        RoutePolicy::DeadlinePo2,
+    };
+    return policies;
+}
+
+namespace {
+
+class RoundRobinRouter : public Router
+{
+  public:
+    int
+    route(const std::vector<NodeView> &views, double, Rng &) override
+    {
+        // Queue-blind: the chosen node sheds if it is full, which
+        // is exactly what makes round-robin fall behind at high
+        // load.
+        int pick = static_cast<int>(next_++ % views.size());
+        return views[pick].admits() ? pick : RouteShedOverload;
+    }
+
+  private:
+    uint64_t next_ = 0;
+};
+
+/** Pick the admitting view with the fewest queued queries. */
+int
+shortestOf(const std::vector<NodeView> &views,
+           const std::vector<int> &candidates)
+{
+    int best = RouteShedOverload;
+    int64_t best_depth = std::numeric_limits<int64_t>::max();
+    for (int i : candidates) {
+        const NodeView &view = views[i];
+        if (!view.admits())
+            continue;
+        int64_t depth = view.queuedQueries + view.inService;
+        if (depth < best_depth) {
+            best = i;
+            best_depth = depth;
+        }
+    }
+    return best;
+}
+
+/** Pick the admitting, feasible view with the least estimated
+ * latency; RouteShedDeadline when slack rules every one out. */
+int
+feasibleFastestOf(const std::vector<NodeView> &views,
+                  const std::vector<int> &candidates, double slack)
+{
+    int best = RouteShedOverload;
+    double best_latency = std::numeric_limits<double>::infinity();
+    bool any_admits = false;
+    for (int i : candidates) {
+        const NodeView &view = views[i];
+        if (!view.admits())
+            continue;
+        any_admits = true;
+        if (view.estimatedLatency > slack)
+            continue;
+        if (view.estimatedLatency < best_latency) {
+            best = i;
+            best_latency = view.estimatedLatency;
+        }
+    }
+    if (best == RouteShedOverload && any_admits)
+        return RouteShedDeadline;
+    return best;
+}
+
+std::vector<int>
+allIndices(size_t n)
+{
+    std::vector<int> out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<int>(i);
+    return out;
+}
+
+/** Two distinct indices sampled uniformly. */
+std::vector<int>
+twoChoices(size_t n, Rng &rng)
+{
+    if (n < 2)
+        return allIndices(n);
+    int64_t a = rng.uniformInt(0, static_cast<int64_t>(n) - 1);
+    int64_t b = rng.uniformInt(0, static_cast<int64_t>(n) - 2);
+    if (b >= a)
+        ++b;
+    return {static_cast<int>(a), static_cast<int>(b)};
+}
+
+class JsqRouter : public Router
+{
+  public:
+    int
+    route(const std::vector<NodeView> &views, double, Rng &) override
+    {
+        return shortestOf(views, allIndices(views.size()));
+    }
+};
+
+class Po2Router : public Router
+{
+  public:
+    int
+    route(const std::vector<NodeView> &views, double,
+          Rng &rng) override
+    {
+        return shortestOf(views, twoChoices(views.size(), rng));
+    }
+};
+
+class DeadlineJsqRouter : public Router
+{
+  public:
+    int
+    route(const std::vector<NodeView> &views, double slack,
+          Rng &) override
+    {
+        return feasibleFastestOf(views, allIndices(views.size()),
+                                 slack);
+    }
+};
+
+class DeadlinePo2Router : public Router
+{
+  public:
+    int
+    route(const std::vector<NodeView> &views, double slack,
+          Rng &rng) override
+    {
+        return feasibleFastestOf(views,
+                                 twoChoices(views.size(), rng),
+                                 slack);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Router>
+makeRouter(RoutePolicy policy)
+{
+    switch (policy) {
+      case RoutePolicy::RoundRobin:
+        return std::make_unique<RoundRobinRouter>();
+      case RoutePolicy::JoinShortestQueue:
+        return std::make_unique<JsqRouter>();
+      case RoutePolicy::PowerOfTwo:
+        return std::make_unique<Po2Router>();
+      case RoutePolicy::DeadlineJsq:
+        return std::make_unique<DeadlineJsqRouter>();
+      case RoutePolicy::DeadlinePo2:
+        return std::make_unique<DeadlinePo2Router>();
+    }
+    panic("makeRouter: unknown policy %d",
+          static_cast<int>(policy));
+}
+
+} // namespace cluster
+} // namespace djinn

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Pluggable front-end routing and admission policies for the
+ * cluster simulator: round-robin (queue-blind), join-shortest-
+ * queue, power-of-two-choices, and deadline-aware variants that
+ * shed a request at the front end when no candidate node can meet
+ * its deadline (reusing the PR 5 semantics: an early shed is an
+ * explicit non-execution, so it is the safe place to refuse work).
+ */
+
+#ifndef DJINN_CLUSTER_POLICY_HH
+#define DJINN_CLUSTER_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace djinn {
+namespace cluster {
+
+/** The routing policies the simulator compares. */
+enum class RoutePolicy {
+    /** Queue-blind round-robin (the paper's implicit front end). */
+    RoundRobin,
+
+    /** Join the node with the fewest queued queries. */
+    JoinShortestQueue,
+
+    /** Sample two distinct nodes, join the shorter queue. */
+    PowerOfTwo,
+
+    /** JSQ by estimated wait; shed when the deadline is
+     * infeasible on every node. */
+    DeadlineJsq,
+
+    /** Power-of-two by estimated wait; shed when the deadline is
+     * infeasible on both sampled nodes. */
+    DeadlinePo2,
+};
+
+/** Short policy name ("rr", "jsq", "po2", "jsq-d", "po2-d"). */
+const char *routePolicyName(RoutePolicy policy);
+
+/** Parse a policy name; fatal() on unknown. */
+RoutePolicy routePolicyFromName(const std::string &name);
+
+/** All policies in comparison order. */
+const std::vector<RoutePolicy> &allRoutePolicies();
+
+/** What a router sees of one node when placing a request. */
+struct NodeView {
+    /** Queries waiting in the node's batch queues. */
+    int64_t queuedQueries = 0;
+
+    /** Queries currently being executed. */
+    int64_t inService = 0;
+
+    /** Admission cap on queuedQueries. */
+    int64_t queueLimit = 0;
+
+    /**
+     * Estimated seconds until a newly enqueued query completes:
+     * (queued + in-service + 1) x the node's smoothed per-query
+     * service time, over its parallel executors.
+     */
+    double estimatedLatency = 0.0;
+
+    /** True when the node would admit one more query. */
+    bool
+    admits() const
+    {
+        return queuedQueries < queueLimit;
+    }
+};
+
+/** Router verdicts that are not node indices. */
+constexpr int RouteShedOverload = -1;  ///< every candidate full
+constexpr int RouteShedDeadline = -2;  ///< deadline infeasible
+
+/**
+ * A routing policy. Stateful (round-robin cursors); one instance
+ * per simulation. Implementations must be deterministic given the
+ * Rng stream.
+ */
+class Router
+{
+  public:
+    virtual ~Router() = default;
+
+    /**
+     * Pick a node for a request.
+     *
+     * @param views one entry per node, in node order.
+     * @param slack seconds until the request's deadline
+     *        (infinity when it has none).
+     * @param rng the simulation's routing stream.
+     * @return a node index, or RouteShedOverload /
+     *         RouteShedDeadline.
+     */
+    virtual int route(const std::vector<NodeView> &views,
+                      double slack, Rng &rng) = 0;
+};
+
+/** Construct the router implementing @p policy. */
+std::unique_ptr<Router> makeRouter(RoutePolicy policy);
+
+} // namespace cluster
+} // namespace djinn
+
+#endif // DJINN_CLUSTER_POLICY_HH

@@ -1,0 +1,107 @@
+#include "cluster/telemetry.hh"
+
+#include <cstdio>
+
+namespace djinn {
+namespace cluster {
+
+void
+recordClusterResult(telemetry::MetricRegistry &registry,
+                    const std::string &scenario,
+                    const ClusterConfig &config,
+                    const ClusterResult &result, bool includeSeries)
+{
+    const telemetry::LabelMap base{
+        {"policy", routePolicyName(config.policy)},
+        {"scenario", scenario}};
+    auto set = [&](const char *name, double value) {
+        registry.gauge(name, base).set(value);
+    };
+    auto latency = [&](const char *name,
+                       const LatencySummary &summary,
+                       telemetry::LabelMap labels) {
+        auto stat = [&](const char *which, double value) {
+            labels["stat"] = which;
+            registry.gauge(name, labels).set(value);
+        };
+        stat("mean", summary.mean);
+        stat("p50", summary.p50);
+        stat("p95", summary.p95);
+        stat("p99", summary.p99);
+        stat("p999", summary.p999);
+    };
+
+    set("djinn_cluster_offered_qps", result.offeredQps);
+    set("djinn_cluster_throughput_qps", result.throughputQps);
+    set("djinn_cluster_offered_requests",
+        static_cast<double>(result.offered));
+    set("djinn_cluster_completed_requests",
+        static_cast<double>(result.completed));
+    set("djinn_cluster_lost_requests",
+        static_cast<double>(result.lost));
+    set("djinn_cluster_retries",
+        static_cast<double>(result.retries));
+    set("djinn_cluster_batches",
+        static_cast<double>(result.batches));
+    set("djinn_cluster_mean_batch_queries",
+        result.meanBatchQueries);
+    set("djinn_cluster_occupancy", result.occupancy);
+    set("djinn_cluster_duration_seconds", result.duration);
+    set("djinn_cluster_events",
+        static_cast<double>(result.eventsFired));
+    set("djinn_cluster_trace_hash",
+        static_cast<double>(result.traceHash));
+
+    {
+        telemetry::LabelMap labels = base;
+        labels["reason"] = "overload";
+        registry.gauge("djinn_cluster_shed_requests", labels)
+            .set(static_cast<double>(result.shedOverload));
+        labels["reason"] = "deadline";
+        registry.gauge("djinn_cluster_shed_requests", labels)
+            .set(static_cast<double>(result.shedDeadline));
+    }
+    {
+        telemetry::LabelMap labels = base;
+        labels["stat"] = "mean";
+        registry.gauge("djinn_cluster_queue_depth", labels)
+            .set(result.meanQueueDepth);
+        labels["stat"] = "max_node";
+        registry.gauge("djinn_cluster_queue_depth", labels)
+            .set(static_cast<double>(result.maxNodeQueueDepth));
+    }
+
+    latency("djinn_cluster_latency_seconds", result.latency, base);
+
+    for (const AppClusterStats &app : result.apps) {
+        telemetry::LabelMap labels = base;
+        labels["app"] = serve::appName(app.app);
+        registry.gauge("djinn_cluster_app_throughput_qps", labels)
+            .set(app.throughputQps);
+        registry
+            .gauge("djinn_cluster_app_completed_requests", labels)
+            .set(static_cast<double>(app.completed));
+        latency("djinn_cluster_app_latency_seconds", app.latency,
+                labels);
+    }
+
+    if (!includeSeries)
+        return;
+    for (const TimeSample &sample : result.series) {
+        char t[32];
+        std::snprintf(t, sizeof(t), "%.3f", sample.t);
+        telemetry::LabelMap labels = base;
+        labels["t"] = t;
+        registry.gauge("djinn_cluster_series_queued", labels)
+            .set(static_cast<double>(sample.queuedQueries));
+        registry.gauge("djinn_cluster_series_in_service", labels)
+            .set(static_cast<double>(sample.inService));
+        registry.gauge("djinn_cluster_series_completed", labels)
+            .set(static_cast<double>(sample.completed));
+        registry.gauge("djinn_cluster_series_shed", labels)
+            .set(static_cast<double>(sample.shed));
+    }
+}
+
+} // namespace cluster
+} // namespace djinn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bridge from the cluster simulator to the telemetry subsystem:
+ * records a ClusterResult into a MetricRegistry under the
+ * `djinn_cluster_*` families, so policy sweeps and capacity probes
+ * land in the same exposition formats (and microbench JSON schema)
+ * as the single-server experiments.
+ */
+
+#ifndef DJINN_CLUSTER_TELEMETRY_HH
+#define DJINN_CLUSTER_TELEMETRY_HH
+
+#include <string>
+
+#include "cluster/simulator.hh"
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace cluster {
+
+/**
+ * Record one cluster experiment into @p registry as gauges under
+ * `djinn_cluster_*`, labeled {policy, scenario} (plus {stat} for
+ * latency quantiles, {reason} for sheds, {app} for the per-app
+ * breakdown, and {t} for time-series points).
+ *
+ * @param registry destination registry.
+ * @param scenario experiment tag, e.g. "nodes=16,rate=12000".
+ * @param config the experiment's configuration (labels the
+ *        policy).
+ * @param result the simulated experiment.
+ * @param includeSeries also record the sampled time series (one
+ *        gauge per sample point; off by default to bound metric
+ *        cardinality).
+ */
+void recordClusterResult(telemetry::MetricRegistry &registry,
+                         const std::string &scenario,
+                         const ClusterConfig &config,
+                         const ClusterResult &result,
+                         bool includeSeries = false);
+
+} // namespace cluster
+} // namespace djinn
+
+#endif // DJINN_CLUSTER_TELEMETRY_HH

@@ -1,0 +1,174 @@
+#include "cluster/workload.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace djinn {
+namespace cluster {
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::Diurnal: return "diurnal";
+      case ArrivalProcess::Mmpp: return "mmpp";
+    }
+    return "unknown";
+}
+
+ArrivalProcess
+arrivalProcessFromName(const std::string &name)
+{
+    if (name == "poisson")
+        return ArrivalProcess::Poisson;
+    if (name == "diurnal")
+        return ArrivalProcess::Diurnal;
+    if (name == "mmpp")
+        return ArrivalProcess::Mmpp;
+    fatal("unknown arrival process '%s' (want poisson, diurnal, "
+          "or mmpp)", name.c_str());
+}
+
+double
+offeredRateAt(const WorkloadSpec &spec, double t)
+{
+    if (spec.process != ArrivalProcess::Diurnal)
+        return spec.meanRate;
+    double phase = 2.0 * M_PI * t / spec.diurnalPeriodSeconds;
+    // Trough at t = 0 so every trace starts from light load.
+    return spec.meanRate *
+           (1.0 - spec.diurnalAmplitude * std::cos(phase));
+}
+
+namespace {
+
+void
+checkSpec(const WorkloadSpec &spec)
+{
+    if (spec.apps.empty())
+        fatal("generateTrace: spec.apps is empty");
+    if (spec.meanRate <= 0.0)
+        fatal("generateTrace: meanRate must be positive");
+    if (spec.durationSeconds <= 0.0)
+        fatal("generateTrace: durationSeconds must be positive");
+    if (spec.diurnalAmplitude < 0.0 || spec.diurnalAmplitude >= 1.0)
+        fatal("generateTrace: diurnalAmplitude must be in [0, 1)");
+    if (spec.burstMultiplier <= 1.0)
+        fatal("generateTrace: burstMultiplier must exceed 1");
+    if (spec.burstFraction <= 0.0 || spec.burstFraction >= 1.0)
+        fatal("generateTrace: burstFraction must be in (0, 1)");
+}
+
+/** Draw the request's app i.i.d. with even shares. */
+serve::App
+drawApp(const WorkloadSpec &spec, Rng &rng)
+{
+    size_t i = static_cast<size_t>(rng.uniformInt(
+        0, static_cast<int64_t>(spec.apps.size()) - 1));
+    return spec.apps[i];
+}
+
+void
+generatePoisson(const WorkloadSpec &spec, Rng &arrivals, Rng &apps,
+                ClusterTrace &out)
+{
+    double t = arrivals.exponential(spec.meanRate);
+    while (t < spec.durationSeconds) {
+        out.push_back({t, drawApp(spec, apps)});
+        if (spec.maxRequests && out.size() >= spec.maxRequests)
+            return;
+        t += arrivals.exponential(spec.meanRate);
+    }
+}
+
+/** Nonhomogeneous Poisson by thinning at the peak rate. */
+void
+generateDiurnal(const WorkloadSpec &spec, Rng &arrivals, Rng &apps,
+                ClusterTrace &out)
+{
+    double peak = spec.meanRate * (1.0 + spec.diurnalAmplitude);
+    double t = 0.0;
+    while (true) {
+        t += arrivals.exponential(peak);
+        if (t >= spec.durationSeconds)
+            return;
+        if (arrivals.uniform() * peak > offeredRateAt(spec, t))
+            continue;
+        out.push_back({t, drawApp(spec, apps)});
+        if (spec.maxRequests && out.size() >= spec.maxRequests)
+            return;
+    }
+}
+
+void
+generateMmpp(const WorkloadSpec &spec, Rng &arrivals, Rng &apps,
+             ClusterTrace &out)
+{
+    // Pick the base rate so the long-run mean equals meanRate:
+    // mean = (1 - f) * base + f * base * multiplier.
+    double base = spec.meanRate /
+                  (1.0 - spec.burstFraction +
+                   spec.burstFraction * spec.burstMultiplier);
+    double dwell_burst = spec.burstCycleSeconds * spec.burstFraction;
+    double dwell_base =
+        spec.burstCycleSeconds * (1.0 - spec.burstFraction);
+
+    bool bursting = false;
+    double t = 0.0;
+    double state_end = arrivals.exponential(1.0 / dwell_base);
+    while (t < spec.durationSeconds) {
+        double rate = bursting ? base * spec.burstMultiplier : base;
+        double next = t + arrivals.exponential(rate);
+        if (next >= state_end) {
+            // No arrival before the state flips; restart the
+            // memoryless draw from the transition instant.
+            t = state_end;
+            bursting = !bursting;
+            state_end = t + arrivals.exponential(
+                1.0 / (bursting ? dwell_burst : dwell_base));
+            continue;
+        }
+        t = next;
+        if (t >= spec.durationSeconds)
+            return;
+        out.push_back({t, drawApp(spec, apps)});
+        if (spec.maxRequests && out.size() >= spec.maxRequests)
+            return;
+    }
+}
+
+} // namespace
+
+ClusterTrace
+generateTrace(const WorkloadSpec &spec)
+{
+    checkSpec(spec);
+    // Independent streams so changing the app mix never perturbs
+    // the arrival instants (and vice versa).
+    Rng root(spec.seed);
+    Rng arrivals = root.split(1);
+    Rng apps = root.split(2);
+
+    ClusterTrace out;
+    out.reserve(static_cast<size_t>(
+        std::min<double>(spec.meanRate * spec.durationSeconds * 1.1,
+                         1e8)));
+    switch (spec.process) {
+      case ArrivalProcess::Poisson:
+        generatePoisson(spec, arrivals, apps, out);
+        break;
+      case ArrivalProcess::Diurnal:
+        generateDiurnal(spec, arrivals, apps, out);
+        break;
+      case ArrivalProcess::Mmpp:
+        generateMmpp(spec, arrivals, apps, out);
+        break;
+    }
+    return out;
+}
+
+} // namespace cluster
+} // namespace djinn

@@ -1,6 +1,7 @@
 #include "serve/simulation.hh"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -56,11 +57,20 @@ struct Query {
     double issueTime;
 };
 
-/** Per-tenant measurement sink. */
+/**
+ * Per-tenant measurement sink. Latency goes through the telemetry
+ * log-bucketed histogram — the one percentile implementation shared
+ * with the live service and the cluster simulator. Non-movable
+ * (atomic buckets), so instances live in a deque.
+ */
 struct TenantStats {
+    explicit TenantStats(App a)
+        : app(a), latency(sim::latencyHistogramOptions())
+    {}
+
     App app;
     uint64_t completed = 0;
-    sim::Distribution latency;
+    telemetry::LogHistogram latency;
 };
 
 /** Everything shared by the instances of one simulation run. */
@@ -78,7 +88,7 @@ struct SimState {
         profiles;
 
     bool measuring = false;
-    std::vector<TenantStats> tenants;
+    std::deque<TenantStats> tenants;
     double gpuWorkAtStart = 0.0;
     double linkBytesAtStart = 0.0;
     double linkBusyAtStart = 0.0;
@@ -206,7 +216,7 @@ class Instance
         for (const Query &q : batch_) {
             if (state_.measuring) {
                 ++stats.completed;
-                stats.latency.add(now - q.issueTime);
+                stats.latency.record(now - q.issueTime);
             }
         }
         size_t finished = batch_.size();
@@ -322,7 +332,7 @@ runSim(const SimConfig &config,
     int total_instances = 0;
     for (size_t t = 0; t < tenants.size(); ++t) {
         const TenantConfig &tenant = tenants[t];
-        state.tenants.push_back({tenant.app, 0, {}});
+        state.tenants.emplace_back(tenant.app);
         for (int i = 0; i < tenant.instances; ++i) {
             instances.push_back(std::make_unique<Instance>(
                 state, id++, *state.gpus[gpu_rr % config.gpuCount],
@@ -416,7 +426,7 @@ runServingSim(const SimConfig &config)
     bool closed = config.loadMode == LoadMode::Closed;
     std::vector<std::unique_ptr<Instance>> instances;
     std::vector<Instance *> raw;
-    state.tenants.push_back({config.app, 0, {}});
+    state.tenants.emplace_back(config.app);
     int id = 0;
     for (int g = 0; g < config.gpuCount; ++g) {
         for (int i = 0; i < config.instancesPerGpu; ++i) {
@@ -464,7 +474,7 @@ runServingSim(const SimConfig &config)
     result.meanLatency = stats.latency.mean();
     result.p99Latency = stats.latency.quantile(0.99);
     result.p95Latency = stats.latency.quantile(0.95);
-    result.medianLatency = stats.latency.median();
+    result.medianLatency = stats.latency.quantile(0.5);
     result.gpuOccupancy = state.profileFor(
         spec.model,
         config.batch * spec.samplesPerQuery).occupancy;

@@ -13,8 +13,20 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/histogram.hh"
+
 namespace djinn {
 namespace sim {
+
+/**
+ * The bucket layout every latency histogram in the repo shares: the
+ * telemetry log-bucketed histogram at ~4% resolution from 1us to
+ * beyond 1000s. Simulators and the live server record latency
+ * through telemetry::LogHistogram with these options, so there is
+ * exactly one percentile codepath repo-wide; sim::Distribution
+ * remains available as the exact (sample-storing) oracle for tests.
+ */
+telemetry::HistogramOptions latencyHistogramOptions();
 
 /** A monotonically increasing named count. */
 class Counter

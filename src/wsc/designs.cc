@@ -52,6 +52,17 @@ serviceTarget(serve::App app, Mix mix, double dnn_fraction,
            config.perfMultiplier;
 }
 
+/** The capacity oracle: the config's override, or the closed-form
+ * mean-throughput measurement. */
+double
+serverQps(const DesignConfig &config, serve::App app,
+          const gpu::LinkSpec &link, int gpu_count)
+{
+    if (config.serverQpsFn)
+        return config.serverQpsFn(app, link, gpu_count);
+    return gpuServerQps(app, link, gpu_count);
+}
+
 /** NICs needed to carry @p bytes_per_sec of egress, at least one. */
 double
 nicsForTraffic(double bytes_per_sec)
@@ -88,7 +99,7 @@ planDisaggServer(serve::App app, const DesignConfig &config)
 {
     const serve::AppSpec &spec = serve::appSpec(app);
     gpu::LinkSpec chassis = disaggChassisLink(config.network);
-    double per_gpu = gpuServerQps(app, chassis, 1);
+    double per_gpu = serverQps(config, app, chassis, 1);
     double ingest_qps = chassis.effectiveBandwidth() /
                         (spec.inputBytes + spec.outputBytes);
 
@@ -99,7 +110,8 @@ planDisaggServer(serve::App app, const DesignConfig &config)
     plan.gpusPerServer = static_cast<int>(std::clamp<double>(
         std::floor(ingest_qps / per_gpu), 1.0,
         static_cast<double>(config.maxGpusPerDisaggServer)));
-    plan.serverQps = gpuServerQps(app, chassis, plan.gpusPerServer);
+    plan.serverQps = serverQps(config, app, chassis,
+                               plan.gpusPerServer);
     return plan;
 }
 
@@ -144,8 +156,8 @@ provision(Design design, Mix mix, double dnn_fraction,
 
           case Design::IntegratedGpu:
             {
-                double server_qps = gpuServerQps(
-                    app, config.network.hostLink,
+                double server_qps = serverQps(
+                    config, app, config.network.hostLink,
                     config.gpusPerIntegratedServer);
                 if (config.accountPrePost) {
                     // The same server's cores must also keep up

@@ -10,6 +10,7 @@
 #ifndef DJINN_WSC_DESIGNS_HH
 #define DJINN_WSC_DESIGNS_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,14 @@
 
 namespace djinn {
 namespace wsc {
+
+/**
+ * A server-capacity oracle: sustainable DNN QPS of one GPU server
+ * of @p gpu_count GPUs behind @p host_link serving @p app. The
+ * default oracle is wsc::gpuServerQps (mean throughput).
+ */
+using ServerQpsFn = std::function<double(
+    serve::App app, const gpu::LinkSpec &host_link, int gpu_count)>;
 
 /** The WSC organizations of Figure 14. */
 enum class Design {
@@ -70,6 +79,16 @@ struct DesignConfig {
      * pre/post-processing compresses the TCO gains.
      */
     bool accountPrePost = false;
+
+    /**
+     * Optional capacity-oracle override. Empty keeps the
+     * closed-form mean-throughput oracle (gpuServerQps); the
+     * tail-aware mode (wsc/tail_capacity) plugs in a cluster-sim
+     * probe here so GPU designs are sized by the largest load that
+     * still meets a p99 latency SLO under a routing policy, not by
+     * mean throughput.
+     */
+    ServerQpsFn serverQpsFn;
 };
 
 /** One provisioned design. */

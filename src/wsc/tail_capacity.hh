@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tail-aware capacity: the largest sustained load one GPU server
+ * meets while keeping p99 latency under a deadline SLO and shedding
+ * almost nothing, measured by probing the cluster simulator
+ * (src/cluster) instead of the closed-form mean-throughput oracle.
+ * Plugged into DesignConfig::serverQpsFn, it re-provisions the
+ * paper's Figure 14-16 designs for tail latency: a fleet sized by
+ * mean throughput has no headroom for bursts, and while a burst
+ * exceeds capacity the backlog's drain time blows through p99 — so
+ * tail-aware fleets buy more servers, and the TCO comparison
+ * shifts.
+ */
+
+#ifndef DJINN_WSC_TAIL_CAPACITY_HH
+#define DJINN_WSC_TAIL_CAPACITY_HH
+
+#include <cstdint>
+
+#include "cluster/policy.hh"
+#include "cluster/workload.hh"
+#include "gpu/link.hh"
+#include "serve/app.hh"
+#include "wsc/designs.hh"
+
+namespace djinn {
+namespace wsc {
+
+/** How the tail-aware capacity probe runs. */
+struct TailCapacityConfig {
+    /**
+     * The p99 SLO, expressed as a multiple of the app's calibrated
+     * tuned-batch service time (so every app gets a deadline
+     * proportional to its own work, the way Section 5.1 tunes
+     * batch sizes per app).
+     */
+    double sloMultiplier = 5.0;
+
+    /** Largest tolerated fraction of offered requests lost. */
+    double maxShedFraction = 0.01;
+
+    /**
+     * Routing policy the probe (and so the capacity claim)
+     * assumes. The probe attaches no per-request deadlines — the
+     * SLO is judged against the measured p99, not enforced by
+     * shedding — so deadline-aware policies behave like their
+     * estimated-latency variants here.
+     */
+    cluster::RoutePolicy policy =
+        cluster::RoutePolicy::JoinShortestQueue;
+
+    /**
+     * Arrival process the probe offers. Defaults to the bursty
+     * MMPP: a multi-GPU DjiNN server under smooth Poisson load has
+     * almost no queueing tail below saturation (thousands of
+     * queries/s of service capacity against a multi-millisecond
+     * SLO), so smooth-load tail capacity is within a percent of
+     * mean throughput. What actually forces warehouse headroom is
+     * burstiness — during a burst the instantaneous rate exceeds
+     * capacity and the backlog's drain time blows through p99.
+     */
+    cluster::ArrivalProcess process =
+        cluster::ArrivalProcess::Mmpp;
+
+    /** MMPP burst-state rate multiplier (> 1). */
+    double burstMultiplier = 4.0;
+
+    /** MMPP long-run fraction of time spent bursting, (0, 1). */
+    double burstFraction = 0.1;
+
+    /** Nodes in the probe cluster; small keeps probes fast while
+     * still exercising the router. */
+    int probeNodes = 2;
+
+    /** Simulated seconds of Poisson load per probe. */
+    double simSeconds = 5.0;
+
+    /** Binary-search iterations (each runs one probe). */
+    int searchIterations = 12;
+
+    /** Seed for the probe workloads. */
+    uint64_t seed = 1;
+};
+
+/** The p99 SLO the probe holds @p app to, seconds. */
+double tailSloSeconds(serve::App app, const gpu::LinkSpec &link,
+                      const TailCapacityConfig &config);
+
+/**
+ * Max per-server QPS of @p app meeting the tail SLO under the
+ * configured policy, found by binary search over offered load with
+ * cluster-sim probes. Cached per (app, link, gpus, config knobs);
+ * deterministic.
+ */
+double tailAwareServerQps(serve::App app,
+                          const gpu::LinkSpec &host_link,
+                          int gpu_count,
+                          const TailCapacityConfig &config);
+
+/**
+ * The capacity oracle for DesignConfig::serverQpsFn: tail-aware
+ * provisioning in one line,
+ * `config.serverQpsFn = tailAwareQpsFn(tailConfig);`.
+ */
+ServerQpsFn tailAwareQpsFn(const TailCapacityConfig &config);
+
+} // namespace wsc
+} // namespace djinn
+
+#endif // DJINN_WSC_TAIL_CAPACITY_HH

@@ -1,0 +1,163 @@
+#include "cluster/policy.hh"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hh"
+
+namespace djinn {
+namespace cluster {
+namespace {
+
+constexpr double NoDeadline =
+    std::numeric_limits<double>::infinity();
+
+NodeView
+view(int64_t queued, int64_t in_service, int64_t limit,
+     double latency)
+{
+    NodeView v;
+    v.queuedQueries = queued;
+    v.inService = in_service;
+    v.queueLimit = limit;
+    v.estimatedLatency = latency;
+    return v;
+}
+
+TEST(Policy, NamesRoundTrip)
+{
+    for (RoutePolicy policy : allRoutePolicies()) {
+        EXPECT_EQ(routePolicyFromName(routePolicyName(policy)),
+                  policy);
+    }
+    EXPECT_EQ(allRoutePolicies().size(), 5u);
+}
+
+TEST(Policy, RoundRobinCyclesBlindly)
+{
+    auto router = makeRouter(RoutePolicy::RoundRobin);
+    Rng rng(1);
+    // Unequal queues; round-robin ignores them.
+    std::vector<NodeView> views = {view(9, 1, 10, 1.0),
+                                   view(0, 0, 10, 0.1),
+                                   view(5, 1, 10, 0.5)};
+    EXPECT_EQ(router->route(views, NoDeadline, rng), 0);
+    EXPECT_EQ(router->route(views, NoDeadline, rng), 1);
+    EXPECT_EQ(router->route(views, NoDeadline, rng), 2);
+    EXPECT_EQ(router->route(views, NoDeadline, rng), 0);
+}
+
+TEST(Policy, RoundRobinShedsOnFullPick)
+{
+    auto router = makeRouter(RoutePolicy::RoundRobin);
+    Rng rng(1);
+    std::vector<NodeView> views = {view(10, 0, 10, 1.0),
+                                   view(0, 0, 10, 0.1)};
+    // First pick lands on the full node and sheds instead of
+    // falling through to the idle one.
+    EXPECT_EQ(router->route(views, NoDeadline, rng),
+              RouteShedOverload);
+    EXPECT_EQ(router->route(views, NoDeadline, rng), 1);
+}
+
+TEST(Policy, JsqPicksLeastLoadedAdmittingNode)
+{
+    auto router = makeRouter(RoutePolicy::JoinShortestQueue);
+    Rng rng(1);
+    std::vector<NodeView> views = {view(3, 1, 10, 1.0),
+                                   view(0, 0, 0, 0.0),
+                                   view(1, 1, 10, 0.2)};
+    // Node 1 is shortest but admits nothing (limit 0).
+    EXPECT_EQ(router->route(views, NoDeadline, rng), 2);
+}
+
+TEST(Policy, JsqShedsWhenEveryNodeIsFull)
+{
+    auto router = makeRouter(RoutePolicy::JoinShortestQueue);
+    Rng rng(1);
+    std::vector<NodeView> views = {view(4, 0, 4, 1.0),
+                                   view(2, 0, 2, 1.0)};
+    EXPECT_EQ(router->route(views, NoDeadline, rng),
+              RouteShedOverload);
+}
+
+TEST(Policy, PowerOfTwoPicksShorterOfItsSamples)
+{
+    auto router = makeRouter(RoutePolicy::PowerOfTwo);
+    Rng rng(42);
+    // One empty node among loaded ones: po2 must always return an
+    // index no deeper than the deepest of any two distinct
+    // samples, and with both samples distinct it can never pick
+    // the deepest node when a shallower one is sampled.
+    std::vector<NodeView> views = {view(8, 0, 10, 1.0),
+                                   view(4, 0, 10, 0.5),
+                                   view(0, 0, 10, 0.1)};
+    for (int i = 0; i < 64; ++i) {
+        int pick = router->route(views, NoDeadline, rng);
+        ASSERT_GE(pick, 0);
+        ASSERT_LT(pick, 3);
+    }
+    // Deterministic under a fixed seed.
+    Rng a(7);
+    Rng b(7);
+    auto ra = makeRouter(RoutePolicy::PowerOfTwo);
+    auto rb = makeRouter(RoutePolicy::PowerOfTwo);
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(ra->route(views, NoDeadline, a),
+                  rb->route(views, NoDeadline, b));
+}
+
+TEST(Policy, DeadlineJsqPicksFastestFeasible)
+{
+    auto router = makeRouter(RoutePolicy::DeadlineJsq);
+    Rng rng(1);
+    std::vector<NodeView> views = {view(9, 1, 20, 0.9),
+                                   view(2, 1, 20, 0.3),
+                                   view(5, 1, 20, 0.6)};
+    // All feasible at slack 1.0: fastest estimate wins.
+    EXPECT_EQ(router->route(views, 1.0, rng), 1);
+    // Slack 0.5 rules out nodes 0 and 2.
+    EXPECT_EQ(router->route(views, 0.5, rng), 1);
+}
+
+TEST(Policy, DeadlineJsqShedsInfeasibleDeadline)
+{
+    auto router = makeRouter(RoutePolicy::DeadlineJsq);
+    Rng rng(1);
+    std::vector<NodeView> views = {view(9, 1, 20, 0.9),
+                                   view(2, 1, 20, 0.3)};
+    // Admitting nodes exist but none meets the slack: a deadline
+    // shed, not an overload shed.
+    EXPECT_EQ(router->route(views, 0.1, rng), RouteShedDeadline);
+
+    // With every node full the verdict is overload again.
+    std::vector<NodeView> full = {view(20, 1, 20, 0.9),
+                                  view(20, 1, 20, 0.3)};
+    EXPECT_EQ(router->route(full, 0.1, rng), RouteShedOverload);
+}
+
+TEST(Policy, DeadlinePo2ShedsOnlyWhenSamplesAreInfeasible)
+{
+    auto router = makeRouter(RoutePolicy::DeadlinePo2);
+    Rng rng(3);
+    std::vector<NodeView> views = {view(1, 1, 20, 0.2),
+                                   view(1, 1, 20, 0.2),
+                                   view(1, 1, 20, 0.2)};
+    // Identical feasible views: any sample pair works.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_GE(router->route(views, 1.0, rng), 0);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(router->route(views, 0.1, rng),
+                  RouteShedDeadline);
+}
+
+TEST(Policy, AdmitsIsStrictLimit)
+{
+    EXPECT_TRUE(view(9, 0, 10, 0.0).admits());
+    EXPECT_FALSE(view(10, 0, 10, 0.0).admits());
+}
+
+} // namespace
+} // namespace cluster
+} // namespace djinn

@@ -1,0 +1,147 @@
+#include "cluster/workload.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace djinn {
+namespace cluster {
+namespace {
+
+WorkloadSpec
+baseSpec(ArrivalProcess process)
+{
+    WorkloadSpec spec;
+    spec.apps = {serve::App::IMC, serve::App::ASR};
+    spec.process = process;
+    spec.meanRate = 2000.0;
+    spec.durationSeconds = 20.0;
+    spec.seed = 7;
+    return spec;
+}
+
+TEST(Workload, NamesRoundTrip)
+{
+    for (ArrivalProcess process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Diurnal,
+          ArrivalProcess::Mmpp}) {
+        EXPECT_EQ(arrivalProcessFromName(
+                      arrivalProcessName(process)),
+                  process);
+    }
+}
+
+TEST(Workload, TracesAreSortedAndInWindow)
+{
+    for (ArrivalProcess process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Diurnal,
+          ArrivalProcess::Mmpp}) {
+        WorkloadSpec spec = baseSpec(process);
+        ClusterTrace trace = generateTrace(spec);
+        ASSERT_FALSE(trace.empty());
+        EXPECT_TRUE(std::is_sorted(
+            trace.begin(), trace.end(),
+            [](const TraceRequest &a, const TraceRequest &b) {
+                return a.arrival < b.arrival;
+            }));
+        EXPECT_GE(trace.front().arrival, 0.0);
+        EXPECT_LE(trace.back().arrival, spec.durationSeconds);
+    }
+}
+
+TEST(Workload, MeanRateIsRespected)
+{
+    for (ArrivalProcess process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Diurnal,
+          ArrivalProcess::Mmpp}) {
+        WorkloadSpec spec = baseSpec(process);
+        ClusterTrace trace = generateTrace(spec);
+        double rate = static_cast<double>(trace.size()) /
+                      spec.durationSeconds;
+        // MMPP dwell draws make the realized rate noisier than
+        // Poisson's ~1/sqrt(40000); 15% covers all three.
+        EXPECT_NEAR(rate, spec.meanRate, 0.15 * spec.meanRate)
+            << arrivalProcessName(process);
+    }
+}
+
+TEST(Workload, AppsComeFromTheSpec)
+{
+    WorkloadSpec spec = baseSpec(ArrivalProcess::Poisson);
+    ClusterTrace trace = generateTrace(spec);
+    uint64_t imc = 0;
+    for (const TraceRequest &request : trace) {
+        ASSERT_TRUE(request.app == serve::App::IMC ||
+                    request.app == serve::App::ASR);
+        imc += request.app == serve::App::IMC;
+    }
+    // Even split within a loose binomial band.
+    double fraction =
+        static_cast<double>(imc) / static_cast<double>(trace.size());
+    EXPECT_NEAR(fraction, 0.5, 0.05);
+}
+
+TEST(Workload, SameSeedSameTraceDifferentSeedDiffers)
+{
+    WorkloadSpec spec = baseSpec(ArrivalProcess::Mmpp);
+    ClusterTrace a = generateTrace(spec);
+    ClusterTrace b = generateTrace(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].app, b[i].app);
+    }
+
+    spec.seed = 8;
+    ClusterTrace c = generateTrace(spec);
+    bool differs = c.size() != a.size();
+    for (size_t i = 0; !differs && i < a.size(); ++i)
+        differs = a[i].arrival != c[i].arrival;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, MaxRequestsCapsTheTrace)
+{
+    WorkloadSpec spec = baseSpec(ArrivalProcess::Poisson);
+    spec.maxRequests = 100;
+    EXPECT_EQ(generateTrace(spec).size(), 100u);
+}
+
+TEST(Workload, DiurnalRateSweepsAroundTheMean)
+{
+    WorkloadSpec spec = baseSpec(ArrivalProcess::Diurnal);
+    spec.diurnalPeriodSeconds = 20.0;
+    spec.diurnalAmplitude = 0.8;
+    // Trough at t = 0, peak half a period later.
+    EXPECT_NEAR(offeredRateAt(spec, 0.0),
+                spec.meanRate * (1.0 - spec.diurnalAmplitude),
+                1e-6 * spec.meanRate);
+    EXPECT_NEAR(offeredRateAt(spec, 10.0),
+                spec.meanRate * (1.0 + spec.diurnalAmplitude),
+                1e-6 * spec.meanRate);
+
+    // The generated trace is denser around the peak than the
+    // trough.
+    ClusterTrace trace = generateTrace(spec);
+    uint64_t peak = 0;
+    uint64_t trough = 0;
+    for (const TraceRequest &request : trace) {
+        double phase =
+            std::fmod(request.arrival, spec.diurnalPeriodSeconds);
+        trough += phase < 5.0 || phase >= 15.0;
+        peak += phase >= 5.0 && phase < 15.0;
+    }
+    EXPECT_GT(peak, 2 * trough);
+}
+
+TEST(Workload, PoissonOfferedRateIsFlat)
+{
+    WorkloadSpec spec = baseSpec(ArrivalProcess::Poisson);
+    EXPECT_DOUBLE_EQ(offeredRateAt(spec, 0.0), spec.meanRate);
+    EXPECT_DOUBLE_EQ(offeredRateAt(spec, 11.5), spec.meanRate);
+}
+
+} // namespace
+} // namespace cluster
+} // namespace djinn

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The percentile-unification regression: every latency percentile
+ * in the repo flows through telemetry::LogHistogram with the
+ * sim::latencyHistogramOptions() bucket layout. This locks the
+ * shared layout's resolution against the exact sample-storing
+ * sim::Distribution oracle, so a layout change that degrades
+ * percentile accuracy fails here rather than silently skewing
+ * every simulator and server report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "sim/stats.hh"
+#include "telemetry/histogram.hh"
+
+namespace djinn {
+namespace sim {
+namespace {
+
+TEST(PercentileUnification, LayoutCoversMicrosecondsToMinutes)
+{
+    telemetry::HistogramOptions options = latencyHistogramOptions();
+    EXPECT_LE(options.firstBound, 1e-6);
+    // Growth factor bounds the relative quantile error per bucket.
+    EXPECT_LE(options.growth, 1.05);
+    EXPECT_GT(options.growth, 1.0);
+    // Top bound must exceed any latency a simulation can report.
+    double top = options.firstBound *
+                 std::pow(options.growth, options.bucketCount - 1);
+    EXPECT_GT(top, 1000.0);
+}
+
+TEST(PercentileUnification, HistogramAgreesWithExactOracle)
+{
+    telemetry::LogHistogram histogram(latencyHistogramOptions());
+    Distribution oracle;
+
+    // A long-tailed latency-like distribution spanning ~4 decades:
+    // lognormal body plus an exponential tail.
+    Rng rng(2026);
+    for (int i = 0; i < 200000; ++i) {
+        double sample =
+            1e-3 * std::exp(rng.gaussian(0.0, 1.0)) +
+            rng.exponential(200.0);
+        histogram.record(sample);
+        oracle.add(sample);
+    }
+
+    telemetry::HistogramSnapshot snapshot = histogram.snapshot();
+    ASSERT_EQ(snapshot.count, oracle.count());
+    for (double q : {0.50, 0.90, 0.95, 0.99, 0.999}) {
+        double exact = oracle.quantile(q);
+        double bucketed = snapshot.quantile(q);
+        // One 4% bucket of slack either side.
+        EXPECT_NEAR(bucketed, exact, 0.05 * exact)
+            << "quantile " << q;
+    }
+}
+
+TEST(PercentileUnification, ExtremesLandInRange)
+{
+    telemetry::LogHistogram histogram(latencyHistogramOptions());
+    // Below the first bound and beyond the last: both must clamp,
+    // not crash or vanish.
+    histogram.record(1e-9);
+    histogram.record(1e6);
+    telemetry::HistogramSnapshot snapshot = histogram.snapshot();
+    EXPECT_EQ(snapshot.count, 2u);
+    EXPECT_GT(snapshot.quantile(0.99), 1.0);
+}
+
+} // namespace
+} // namespace sim
+} // namespace djinn

@@ -1,0 +1,101 @@
+#include "wsc/tail_capacity.hh"
+
+#include <gtest/gtest.h>
+
+#include "wsc/capacity.hh"
+#include "wsc/network_config.hh"
+
+namespace djinn {
+namespace wsc {
+namespace {
+
+/** Small, fast probe configuration for tests. */
+TailCapacityConfig
+testConfig()
+{
+    TailCapacityConfig config;
+    config.probeNodes = 2;
+    config.simSeconds = 1.0;
+    config.searchIterations = 5;
+    return config;
+}
+
+TEST(TailCapacity, SloScalesWithTheMultiplier)
+{
+    DesignConfig design;
+    TailCapacityConfig config = testConfig();
+    double slo5 = tailSloSeconds(serve::App::IMC,
+                                 design.network.hostLink, config);
+    EXPECT_GT(slo5, 0.0);
+    config.sloMultiplier = 10.0;
+    double slo10 = tailSloSeconds(serve::App::IMC,
+                                  design.network.hostLink, config);
+    EXPECT_NEAR(slo10, 2.0 * slo5, 1e-9);
+}
+
+TEST(TailCapacity, TailAwareCapacityIsPositiveAndBelowMean)
+{
+    DesignConfig design;
+    TailCapacityConfig config = testConfig();
+    const int gpus = 2;
+    for (serve::App app : {serve::App::IMC, serve::App::ASR}) {
+        double mean =
+            gpuServerQps(app, design.network.hostLink, gpus);
+        double tail = tailAwareServerQps(
+            app, design.network.hostLink, gpus, config);
+        EXPECT_GT(tail, 0.0) << serve::appName(app);
+        EXPECT_LE(tail, mean) << serve::appName(app);
+        // Bursty arrivals must cost real headroom, not a rounding
+        // error: the probe's 4x bursts make saturation infeasible.
+        EXPECT_LT(tail, 0.99 * mean) << serve::appName(app);
+    }
+}
+
+TEST(TailCapacity, DeterministicAcrossEqualConfigs)
+{
+    DesignConfig design;
+    const int gpus = 2;
+    // Two distinct config objects with equal knobs: the probe is
+    // seeded and the cache keys on values, so results are
+    // bit-equal.
+    double a = tailAwareServerQps(serve::App::IMC,
+                                  design.network.hostLink, gpus,
+                                  testConfig());
+    double b = tailAwareServerQps(serve::App::IMC,
+                                  design.network.hostLink, gpus,
+                                  testConfig());
+    EXPECT_EQ(a, b);
+}
+
+TEST(TailCapacity, SmoothArrivalsLeaveMoreCapacityThanBursty)
+{
+    DesignConfig design;
+    const int gpus = 2;
+    TailCapacityConfig bursty = testConfig();
+    TailCapacityConfig smooth = testConfig();
+    smooth.process = cluster::ArrivalProcess::Poisson;
+    double with_bursts = tailAwareServerQps(
+        serve::App::IMC, design.network.hostLink, gpus, bursty);
+    double without = tailAwareServerQps(
+        serve::App::IMC, design.network.hostLink, gpus, smooth);
+    EXPECT_GT(without, with_bursts);
+}
+
+TEST(TailCapacity, PlugsIntoProvisioningAsAnOracle)
+{
+    TailCapacityConfig config = testConfig();
+    DesignConfig closed;
+    DesignConfig tail;
+    tail.serverQpsFn = tailAwareQpsFn(config);
+    auto mean_fleet = provision(Design::DisaggregatedGpu,
+                                Mix::Mixed, 0.7, closed);
+    auto tail_fleet = provision(Design::DisaggregatedGpu,
+                                Mix::Mixed, 0.7, tail);
+    // Lower per-server capacity can only grow the fleet.
+    EXPECT_GT(tail_fleet.fleet.gpus, mean_fleet.fleet.gpus);
+    EXPECT_GE(tail_fleet.tco.total(), mean_fleet.tco.total());
+}
+
+} // namespace
+} // namespace wsc
+} // namespace djinn
