@@ -23,6 +23,7 @@
 #include "cluster/simulator.hh"
 #include "cluster/workload.hh"
 #include "serve/app.hh"
+#include "telemetry/attribution.hh"
 #include "wsc/designs.hh"
 #include "wsc/tail_capacity.hh"
 
@@ -89,18 +90,30 @@ main()
                     "mean):\n", load,
                     cluster::arrivalProcessName(workload.process),
                     workload.meanRate);
-        row({"policy", "goodput", "shed%", "p50 ms", "p99 ms"});
+        row({"policy", "goodput", "shed%", "p50 ms", "p99 ms",
+             "p99 blame"});
         for (cluster::RoutePolicy policy :
              cluster::allRoutePolicies()) {
             cluster::ClusterConfig config = base;
             config.policy = policy;
             cluster::ClusterResult result =
                 cluster::runClusterSim(config, trace);
+            // Flight-record attribution: which phase the p99
+            // cohort's excess latency comes from under this policy.
+            telemetry::TailReport report = telemetry::attributeTail(
+                result.flightRecords, 99.0);
+            std::string blame = "-";
+            if (!report.dominant.empty() &&
+                !report.contributors.empty()) {
+                blame = report.dominant + " " +
+                        num(100.0 * report.contributors[0].share,
+                            0) + "%";
+            }
             row({cluster::routePolicyName(policy),
                  num(result.throughputQps, 0),
                  num(100.0 * result.lostFraction(), 1),
                  num(1e3 * result.latency.p50, 1),
-                 num(1e3 * result.latency.p99, 1)});
+                 num(1e3 * result.latency.p99, 1), blame});
         }
         std::printf("\n");
     }
@@ -109,7 +122,11 @@ main()
                 "so at overload its p99 stays near the SLO while\n"
                 "queue-blind round-robin lets every queue grow "
                 "until latency is set by\nthe admission limit, "
-                "not the deadline.\n\n");
+                "not the deadline. The blame column comes from\n"
+                "flight-record attribution (the /debug/tail "
+                "engine): under queue-blind\npolicies the p99 "
+                "excess is queue wait on the straggler nodes, not\n"
+                "forward-pass time.\n\n");
 
     // Part 2: what tail SLOs cost at warehouse scale.
     banner("Ablation", "Tail-aware WSC provisioning vs "

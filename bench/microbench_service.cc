@@ -31,6 +31,7 @@
 #include "serve/telemetry.hh"
 #include "sim/event_queue.hh"
 #include "telemetry/exposition.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/perf_counters.hh"
 #include "telemetry/trace.hh"
 
@@ -100,7 +101,46 @@ BM_BatcherThroughput(benchmark::State &state)
 BENCHMARK(BM_BatcherThroughput)
     ->Arg(1)
     ->Arg(16)
+    ->Arg(64)
     ->Unit(benchmark::kMicrosecond);
+
+void
+BM_FlightRecorderRecord(benchmark::State &state)
+{
+    // Per-request cost of the always-on flight recorder (ring
+    // publish + reservoir threshold check): must stay far below 1%
+    // of even a trivial request's service time.
+    telemetry::FlightRecorder recorder(4096, 256);
+    telemetry::FlightRecord record;
+    record.setModel("tiny");
+    record.forwardSeconds = 50e-6;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        record.traceId = ++i;
+        record.totalSeconds = 1e-4 + 1e-9 * double(i % 1000);
+        benchmark::DoNotOptimize(recorder.record(record));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_FlightRecorderRecord);
+
+void
+BM_HistogramRecordWithExemplar(benchmark::State &state)
+{
+    telemetry::HistogramOptions options;
+    options.exemplars = true;
+    telemetry::LogHistogram hist(options);
+    double v = 1e-6;
+    uint64_t i = 0;
+    for (auto _ : state) {
+        hist.record(v, ++i, i);
+        v = v < 1.0 ? v * 1.7 : 1e-6;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_HistogramRecordWithExemplar);
 
 void
 BM_EventQueueChurn(benchmark::State &state)

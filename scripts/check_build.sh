@@ -33,7 +33,12 @@ fi
 
 # Lint: metric families must be snake_case and registered in the
 # committed allowlist, so a rename or a typo'd name breaks the
-# build instead of silently orphaning a dashboard.
+# build instead of silently orphaning a dashboard. The allowlist
+# itself must stay sorted (binary-search friendly, diff stable).
+if ! grep -v '^#' scripts/metric_allowlist.txt | sort -c; then
+    echo "lint: scripts/metric_allowlist.txt is not sorted" >&2
+    exit 1
+fi
 used=$(grep -rhoE '"djinn_[A-Za-z0-9_]*"' src/ tools/ bench/ \
     | tr -d '"' | sort -u)
 listed=$(grep -v '^#' scripts/metric_allowlist.txt | sort -u)
@@ -66,8 +71,39 @@ http_port=19164
     --models mnist --batching --profile-hz 199 &
 djinnd_pid=$!
 trap 'kill "$djinnd_pid" 2>/dev/null || true' EXIT
+
+# Put some inference load through the daemon first so the flight
+# recorder has records and djinn_request_seconds has exemplar-
+# bearing buckets for scrape_check's OpenMetrics and /debug/tail
+# checks to validate against.
+tries=0
+until ./build/tools/djinn_cli --timeout-ms 2000 127.0.0.1 19163 \
+    ping > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+        echo "check_build: djinnd did not come up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+for _ in 1 2 3 4 5 6 7 8; do
+    if ! ./build/tools/djinn_cli 127.0.0.1 19163 infer mnist 4 \
+        > /dev/null; then
+        echo "check_build: smoke inference FAILED" >&2
+        exit 1
+    fi
+done
+
 if ! ./build/tools/scrape_check 127.0.0.1 "$http_port"; then
     echo "check_build: HTTP scrape smoke test FAILED" >&2
+    exit 1
+fi
+
+# Tail attribution smoke under that load: the CLI's `tail` verb
+# must answer a report naming a dominant contributor.
+if ! ./build/tools/djinn_cli 127.0.0.1 19163 tail 90 \
+    | grep -q "tail attribution"; then
+    echo "check_build: djinn_cli tail smoke FAILED" >&2
     exit 1
 fi
 kill "$djinnd_pid" 2>/dev/null || true
@@ -98,8 +134,9 @@ wait "$fault_pid" 2>/dev/null || true
 trap - EXIT
 
 # Cluster-simulator determinism smoke: the same seed must produce
-# byte-identical JSON (trace hash, percentiles, time series) on
-# repeated runs of the real binary, not just inside one process.
+# byte-identical JSON (trace hash, percentiles, time series, and
+# the flight-record tail attribution) on repeated runs of the real
+# binary, not just inside one process.
 cluster_args="--nodes 8 --policy jsq-d --workload mmpp \
     --rate 4000 --duration 5 --seed 42 --json"
 ./build/tools/cluster_sim $cluster_args > /tmp/djinn_cluster_a.json
@@ -110,6 +147,10 @@ if ! cmp -s /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json; then
         || true
     exit 1
 fi
+if ! grep -q djinn_tail_dominant /tmp/djinn_cluster_a.json; then
+    echo "check_build: cluster_sim JSON lacks tail attribution" >&2
+    exit 1
+fi
 rm -f /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json
 
 # ThreadSanitizer pass over the concurrency-heavy suites: the
@@ -118,12 +159,17 @@ rm -f /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json
 cmake -B build-tsan -S . -DDJINN_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j --target common_test nn_test core_test \
-    cluster_test
+    cluster_test telemetry_test
 ./build-tsan/tests/common_test \
     --gtest_filter='ThreadPool*:ComputePool*'
 ./build-tsan/tests/nn_test --gtest_filter='GemmDiff*'
 ./build-tsan/tests/core_test \
     --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*'
+# The flight recorder's seqlock ring and the histogram exemplar
+# slots are lock-free multi-writer structures; their stress tests
+# are only meaningful under TSan.
+./build-tsan/tests/telemetry_test \
+    --gtest_filter='FlightRecorder*:*Exemplar*'
 # The cluster simulator is single-threaded by design, but its
 # results flow through the lock-free telemetry histograms; the
 # determinism and policy suites double as a TSan check of that

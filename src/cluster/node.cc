@@ -45,7 +45,10 @@ ClusterNode::enqueue(const Request &request)
     if (inserted)
         order_.push_back(request.app);
     AppQueue &aq = it->second;
-    aq.queue.push_back(request);
+    Request admitted = request;
+    admitted.admitTime = eq_.now();
+    admitted.admitDepth = totalQueued_;
+    aq.queue.push_back(admitted);
     ++totalQueued_;
     maxQueued_ = std::max(maxQueued_, totalQueued_);
 
@@ -183,18 +186,24 @@ ClusterNode::dispatch(serve::App app)
 
     eq_.scheduleAfter(
         service_time,
-        [this, b = std::move(batch), service_time]() mutable {
-            onBatchDone(std::move(b), service_time);
+        [this, b = std::move(batch), service_time, now]() mutable {
+            onBatchDone(std::move(b), service_time, now);
         });
 }
 
 void
 ClusterNode::onBatchDone(std::vector<Request> batch,
-                         double serviceTime)
+                         double serviceTime, double dispatchTime)
 {
     int64_t queries = static_cast<int64_t>(batch.size());
-    for (const Request &request : batch)
-        onComplete_(request, queries);
+    Served served;
+    served.batchQueries = queries;
+    served.serviceSeconds = serviceTime;
+    served.dispatchTime = dispatchTime;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        served.batchPosition = static_cast<int64_t>(i);
+        onComplete_(batch[i], served);
+    }
     inService_ -= queries;
     ++freeGpus_;
 

@@ -79,11 +79,38 @@ class ClusterNode
 
         /** Absolute deadline; effectively none by default. */
         double deadline = 1e300;
+
+        /** Retry attempts before this admission (router-stamped). */
+        int32_t attempt = 0;
+
+        /** Simulation time this attempt was admitted; stamped by
+         * enqueue(). */
+        double admitTime = 0.0;
+
+        /** Queued queries observed at admission, before this one
+         * joined; stamped by enqueue(). */
+        int64_t admitDepth = 0;
+    };
+
+    /** Batch context delivered with each completion — the flight-
+     * record fields only the serving node knows. */
+    struct Served {
+        /** Queries combined into the serving batch. */
+        int64_t batchQueries = 0;
+
+        /** This query's position within the batch. */
+        int64_t batchPosition = 0;
+
+        /** The batch's service time, seconds. */
+        double serviceSeconds = 0.0;
+
+        /** Simulation time the batch was dispatched. */
+        double dispatchTime = 0.0;
     };
 
     /** Called once per query when its batch completes. */
     using CompleteFn =
-        std::function<void(const Request &, int64_t batchQueries)>;
+        std::function<void(const Request &, const Served &)>;
 
     /** Called when a queued query is dropped at dequeue because
      * its deadline already passed. */
@@ -143,7 +170,8 @@ class ClusterNode
     void pump();
     bool dispatchable(const AppQueue &aq, serve::App app) const;
     void dispatch(serve::App app);
-    void onBatchDone(std::vector<Request> batch, double serviceTime);
+    void onBatchDone(std::vector<Request> batch, double serviceTime,
+                     double dispatchTime);
 
     sim::EventQueue &eq_;
     int id_;

@@ -176,7 +176,15 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
         trace.empty() ? 0.0 : trace.back().arrival;
 
     TraceHasher hasher;
-    telemetry::LogHistogram latency(sim::latencyHistogramOptions());
+    // The latency histogram carries per-bucket exemplars resolving
+    // into the flight recorder, exactly like the live server's
+    // djinn_request_seconds.
+    telemetry::HistogramOptions latency_options =
+        sim::latencyHistogramOptions();
+    latency_options.exemplars = true;
+    telemetry::LogHistogram latency(latency_options);
+    telemetry::FlightRecorder recorder(config.flightCapacity,
+                                       config.flightReservoir);
     std::map<serve::App, PerApp> per_app;
     std::vector<serve::App> app_order;
 
@@ -188,13 +196,42 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
         return it->second;
     };
 
+    // Seed a flight record with what the front end knows; node-side
+    // fields land at completion. trace_id is the 1-based trace
+    // index (0 means "untraced" in the record schema).
+    auto flightBase = [&](const ClusterNode::Request &request) {
+        telemetry::FlightRecord flight;
+        flight.traceId = request.id + 1;
+        flight.timestampUs =
+            static_cast<int64_t>(std::llround(eq.now() * 1e6));
+        flight.setModel(serve::appName(request.app));
+        flight.totalSeconds = eq.now() - request.firstArrival;
+        flight.rows = 1;
+        flight.retries = request.attempt;
+        flight.admitQueueDepth =
+            static_cast<int32_t>(request.admitDepth);
+        return flight;
+    };
+
     // Completion / deadline-shed plumbing shared by all nodes.
     uint64_t batch_queries_total = 0;
     auto onComplete = [&](const ClusterNode::Request &request,
-                          int64_t) {
+                          const ClusterNode::Served &served) {
         double sojourn = eq.now() - request.firstArrival;
         ++result.completed;
-        latency.record(sojourn);
+        telemetry::FlightRecord flight = flightBase(request);
+        flight.queueWaitSeconds =
+            served.dispatchTime - request.admitTime;
+        flight.forwardSeconds = served.serviceSeconds;
+        flight.retryWaitSeconds =
+            request.admitTime - request.firstArrival;
+        flight.batchQueries =
+            static_cast<int32_t>(served.batchQueries);
+        flight.batchRows = static_cast<int32_t>(served.batchQueries);
+        flight.batchPosition =
+            static_cast<int32_t>(served.batchPosition);
+        uint64_t record_ref = recorder.record(flight);
+        latency.record(sojourn, flight.traceId, record_ref);
         PerApp &stats = appStats(request.app);
         ++stats.completed;
         stats.latency.record(sojourn);
@@ -205,6 +242,12 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
     auto onDeadlineShed = [&](const ClusterNode::Request &request) {
         ++result.shedDeadline;
         ++result.lost;
+        telemetry::FlightRecord flight = flightBase(request);
+        flight.outcome = telemetry::FlightOutcome::ShedDeadline;
+        flight.queueWaitSeconds = eq.now() - request.admitTime;
+        flight.retryWaitSeconds =
+            request.admitTime - request.firstArrival;
+        recorder.record(flight);
         hasher.u64(TagShedDeadline);
         hasher.u64(request.id);
         hasher.f64(eq.now());
@@ -256,6 +299,13 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
                 // (core::retryableFailure on DeadlineExceeded).
                 ++result.shedDeadline;
                 ++result.lost;
+                telemetry::FlightRecord flight =
+                    flightBase(request);
+                flight.outcome =
+                    telemetry::FlightOutcome::ShedDeadline;
+                flight.retryWaitSeconds =
+                    eq.now() - request.firstArrival;
+                recorder.record(flight);
                 hasher.u64(TagShedDeadline);
                 hasher.u64(request.id);
                 hasher.f64(eq.now());
@@ -280,6 +330,13 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
                 attempt + 1 < config.retry.maxAttempts;
             if (!retryable) {
                 ++result.lost;
+                telemetry::FlightRecord flight =
+                    flightBase(request);
+                flight.outcome =
+                    telemetry::FlightOutcome::ShedQueueFull;
+                flight.retryWaitSeconds =
+                    eq.now() - request.firstArrival;
+                recorder.record(flight);
                 return;
             }
 
@@ -290,6 +347,7 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
             hasher.u64(request.id);
             hasher.f64(backoff);
             ClusterNode::Request again = request;
+            again.attempt = attempt + 1;
             eq.scheduleAfter(backoff, [&submit, again, attempt]() {
                 submit(again, attempt + 1);
             });
@@ -392,6 +450,7 @@ runClusterSim(const ClusterConfig &config, const ClusterTrace &trace)
 
     result.latencyHistogram = latency.snapshot();
     result.latency = summarize(result.latencyHistogram);
+    result.flightRecords = recorder.snapshot();
     result.series = std::move(series);
 
     for (serve::App app : app_order) {

@@ -28,6 +28,7 @@
 #include "cluster/workload.hh"
 #include "core/retry.hh"
 #include "gpu/link.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/histogram.hh"
 
 namespace djinn {
@@ -79,6 +80,17 @@ struct ClusterConfig {
 
     /** Seed for routing and retry-jitter streams. */
     uint64_t seed = 1;
+
+    /**
+     * Flight-recorder ring capacity: per-request records kept for
+     * tail attribution (the server's recorder transplanted into
+     * virtual time). The ring holds the most recent requests; the
+     * reservoir below keeps the slowest across wraps.
+     */
+    size_t flightCapacity = 4096;
+
+    /** Flight-recorder tail-reservoir capacity; 0 disables. */
+    size_t flightReservoir = 256;
 };
 
 /** One point of the sampled time series. */
@@ -158,8 +170,19 @@ struct ClusterResult {
     int64_t maxNodeQueueDepth = 0;
 
     /** End-to-end latency (first arrival to completion),
-     * log-bucketed. */
+     * log-bucketed, with per-bucket exemplars whose `record` refs
+     * index into flightRecords by seq. */
     telemetry::HistogramSnapshot latencyHistogram;
+
+    /**
+     * Per-request flight records (ring + tail reservoir at drain
+     * time): the same schema the live server writes, assembled from
+     * virtual time — queue wait, forward, retry inflation, batch
+     * context, admission depth, and shed outcomes. Feed to
+     * telemetry::attributeTail to explain this run's p99.
+     * Deterministic for a fixed (config, trace).
+     */
+    std::vector<telemetry::FlightRecord> flightRecords;
 
     /** Quantiles of latencyHistogram. */
     LatencySummary latency;

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "telemetry/attribution.hh"
+
 namespace djinn {
 namespace cluster {
 
@@ -72,6 +74,13 @@ recordClusterResult(telemetry::MetricRegistry &registry,
     }
 
     latency("djinn_cluster_latency_seconds", result.latency, base);
+
+    // Tail attribution through the identical engine the live
+    // server's /debug/tail uses, labeled with policy/scenario so a
+    // sweep shows *why* each policy's p99 differs.
+    telemetry::recordTailReport(
+        registry, telemetry::attributeTail(result.flightRecords, 99.0),
+        base);
 
     for (const AppClusterStats &app : result.apps) {
         telemetry::LabelMap labels = base;

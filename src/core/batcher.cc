@@ -83,6 +83,11 @@ BatchingExecutor::queueFor(const std::string &model, Status &error)
         rows_opts.bucketCount = 16;
         queue->batchRowsHist = &metrics_->histogram(
             "djinn_batch_rows", model_label, rows_opts);
+        // Admit-time queue depth, sampled per request at enqueue:
+        // the background-sampler gauge aliases bursts shorter than
+        // its interval; this histogram does not.
+        queue->admitDepthHist = &metrics_->histogram(
+            "djinn_admit_queue_depth", model_label, rows_opts);
         queue->depthGauge = &metrics_->gauge(
             "djinn_batch_queue_depth", model_label);
         queue->occupancyGauge = &metrics_->gauge(
@@ -171,11 +176,17 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
                  {}});
             return future;
         }
+        int64_t admit_depth =
+            static_cast<int64_t>(queue->pending.size());
         queue->pending.push_back(
             {rows, std::move(data), std::move(promise),
              std::chrono::steady_clock::now(), trace, parent_span,
-             tracer_ ? telemetry::traceNowUs() : 0, deadline});
+             tracer_ ? telemetry::traceNowUs() : 0, deadline,
+             admit_depth});
         pendingTotal_.fetch_add(1, std::memory_order_relaxed);
+        if (queue->admitDepthHist)
+            queue->admitDepthHist->record(
+                static_cast<double>(admit_depth));
         if (queue->depthGauge) {
             queue->depthGauge->set(
                 static_cast<double>(queue->pending.size()));
@@ -406,10 +417,11 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             }
         }
 
+        double forward_seconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - dispatch_time)
+                .count();
         if (queue->forwardHist) {
-            queue->forwardHist->record(std::chrono::duration<double>(
-                std::chrono::steady_clock::now() -
-                dispatch_time).count());
+            queue->forwardHist->record(forward_seconds);
             queue->batchRowsHist->record(
                 static_cast<double>(total_rows));
             queue->batchesCounter->inc();
@@ -432,15 +444,28 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
         batches_.fetch_add(1, std::memory_order_relaxed);
         queries_.fetch_add(batch.size(), std::memory_order_relaxed);
 
-        // Scatter results back to their queries.
+        // Scatter results back to their queries, each annotated
+        // with its own view of the batch (position, queue wait,
+        // admit depth) for the flight recorder.
         row = 0;
-        for (auto &p : batch) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+            Pending &p = batch[i];
             std::vector<float> slice(
                 output.sample(row),
                 output.sample(row) + p.rows * out_elems);
             row += p.rows;
-            p.promise.set_value(
-                {Status::ok(), std::move(slice), total_rows});
+            InferenceResult result{Status::ok(), std::move(slice),
+                                   total_rows};
+            result.batchQueries =
+                static_cast<int64_t>(batch.size());
+            result.batchPosition = static_cast<int64_t>(i);
+            result.admitQueueDepth = p.admitDepth;
+            result.queueWaitSeconds =
+                std::chrono::duration<double>(dispatch_time -
+                                              p.enqueued)
+                    .count();
+            result.forwardSeconds = forward_seconds;
+            p.promise.set_value(std::move(result));
         }
     }
 }

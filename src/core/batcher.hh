@@ -68,6 +68,23 @@ struct InferenceResult {
     /** Total rows of the combined forward pass that served this
      * query (>= the query's own rows when batching took effect). */
     int64_t batchRows = 0;
+
+    /** Queries combined into the serving batch. */
+    int64_t batchQueries = 0;
+
+    /** This query's position within the serving batch. */
+    int64_t batchPosition = 0;
+
+    /** Queue depth observed at enqueue, before this query joined
+     * (sampled per request, so bursts shorter than the background
+     * sampler interval still show in tail attribution). */
+    int64_t admitQueueDepth = 0;
+
+    /** Seconds this query waited between enqueue and dispatch. */
+    double queueWaitSeconds = 0.0;
+
+    /** Seconds of the combined forward pass that served it. */
+    double forwardSeconds = 0.0;
 };
 
 /**
@@ -195,6 +212,9 @@ class BatchingExecutor
 
         /** Absolute deadline; max() when the query has none. */
         Deadline deadline = Deadline::max();
+
+        /** Queue depth seen at enqueue, before this query joined. */
+        int64_t admitDepth = 0;
     };
 
     struct ModelQueue {
@@ -211,6 +231,7 @@ class BatchingExecutor
         telemetry::LogHistogram *queueWaitHist = nullptr;
         telemetry::LogHistogram *forwardHist = nullptr;
         telemetry::LogHistogram *batchRowsHist = nullptr;
+        telemetry::LogHistogram *admitDepthHist = nullptr;
         telemetry::Gauge *depthGauge = nullptr;
         telemetry::Gauge *occupancyGauge = nullptr;
         telemetry::Counter *batchesCounter = nullptr;

@@ -19,6 +19,7 @@
 #include "core/http_endpoint.hh"
 #include "core/perf_sink.hh"
 #include "nn/profile.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/exposition.hh"
 #include "telemetry/perf_counters.hh"
 #include "telemetry/profiler.hh"
@@ -84,12 +85,30 @@ acceptErrnoTransient(int err)
            err == EWOULDBLOCK || err == EPROTO;
 }
 
+/** Flight-record outcome for a finished inference response. */
+telemetry::FlightOutcome
+flightOutcomeOf(WireStatus status)
+{
+    switch (status) {
+      case WireStatus::Ok:
+        return telemetry::FlightOutcome::Ok;
+      case WireStatus::Overloaded:
+        return telemetry::FlightOutcome::ShedQueueFull;
+      case WireStatus::DeadlineExceeded:
+        return telemetry::FlightOutcome::ShedDeadline;
+      default:
+        return telemetry::FlightOutcome::Error;
+    }
+}
+
 } // namespace
 
 DjinnServer::DjinnServer(const ModelRegistry &registry,
                          const ServerConfig &config)
     : registry_(registry), config_(config),
-      tracer_(config.traceCapacity)
+      tracer_(config.traceCapacity),
+      flightRecorder_(config.flightCapacity, config.flightReservoir,
+                      &metrics_)
 {
     if (config_.batching) {
         batcher_ = std::make_unique<BatchingExecutor>(
@@ -223,6 +242,7 @@ DjinnServer::start()
     }
     if (config_.httpPort >= 0) {
         http_ = std::make_unique<HttpEndpoint>(metrics_, tracer_);
+        http_->setFlightRecorder(&flightRecorder_);
         Status s = http_->start(
             config_.bindAddress,
             static_cast<uint16_t>(config_.httpPort));
@@ -436,6 +456,11 @@ DjinnServer::serveConnection(int fd)
         // same budget the client measures against.
         auto arrival = Clock::now();
 
+        // Frame-ingest time (first byte to complete frame): a
+        // trickling peer inflates this and nothing else, so the
+        // flight recorder can finger it as a tail contributor.
+        double read_seconds = io.lastReadSeconds();
+
         // Drain/shutdown admission: count the request in-flight
         // BEFORE re-checking running_. stop() flips running_ and
         // then waits for inflight_ to reach zero, so a frame read
@@ -509,6 +534,7 @@ DjinnServer::serveConnection(int fd)
         }
 
         Response response;
+        telemetry::FlightRecord flight;
         if (!request.isOk()) {
             response.status = WireStatus::BadRequest;
             response.message = request.status().toString();
@@ -527,7 +553,8 @@ DjinnServer::serveConnection(int fd)
             }
             response = handleRequest(
                 request.value(), trace ? &*trace : nullptr,
-                wire_span ? &*wire_span : nullptr, deadline);
+                wire_span ? &*wire_span : nullptr, deadline,
+                trace ? &flight : nullptr);
         }
         if (response.status != WireStatus::Ok) {
             metrics_
@@ -538,6 +565,7 @@ DjinnServer::serveConnection(int fd)
 
         std::vector<uint8_t> wire;
         int64_t encode_us = wire_span ? telemetry::traceNowUs() : 0;
+        auto encode_start = Clock::now();
         if (trace) {
             auto span = trace->span(telemetry::Phase::Encode);
             telemetry::CounterScope encode_scope;
@@ -547,10 +575,45 @@ DjinnServer::serveConnection(int fd)
         } else {
             wire = encodeResponse(response);
         }
+        double encode_seconds = std::chrono::duration<double>(
+            Clock::now() - encode_start).count();
         if (trace) {
-            trace->recordRequestWork(telemetry::CounterSet::delta(
-                request_begin,
-                telemetry::threadCounterSet().snapshot()));
+            telemetry::CounterDelta request_delta =
+                telemetry::CounterSet::delta(
+                    request_begin,
+                    telemetry::threadCounterSet().snapshot());
+            trace->recordRequestWork(request_delta);
+
+            // Complete and publish the flight record: the phases
+            // handleInference could not see (frame read, decode,
+            // encode), the end-to-end total, the outcome, and the
+            // whole-request perf-counter deltas. The exemplar on
+            // djinn_request_seconds points the record's bucket at
+            // this concrete request.
+            flight.traceId = request.value().trace.traceId;
+            flight.timestampUs = telemetry::traceNowUs();
+            flight.readSeconds = read_seconds;
+            flight.decodeSeconds = decode_seconds;
+            flight.encodeSeconds = encode_seconds;
+            flight.totalSeconds =
+                read_seconds + std::chrono::duration<double>(
+                                   Clock::now() - arrival)
+                                   .count();
+            flight.outcome = flightOutcomeOf(response.status);
+            flight.hardware = request_delta.hardware;
+            flight.cycles = request_delta.cycles;
+            flight.instructions = request_delta.instructions;
+            flight.cacheMisses = request_delta.cacheMisses;
+            uint64_t record_ref = flightRecorder_.record(flight);
+
+            telemetry::HistogramOptions request_opts;
+            request_opts.exemplars = true;
+            metrics_
+                .histogram(telemetry::requestSecondsMetricName,
+                           {{"model", request.value().model}},
+                           request_opts)
+                .record(flight.totalSeconds, flight.traceId,
+                        record_ref);
         }
         if (wire_span) {
             int64_t done_us = telemetry::traceNowUs();
@@ -603,7 +666,8 @@ DjinnServer::handleRequest(const Request &request,
                            telemetry::RequestTrace *trace,
                            const WireSpan *wire,
                            std::chrono::steady_clock::time_point
-                               deadline)
+                               deadline,
+                           telemetry::FlightRecord *flight)
 {
     Response response;
     switch (request.type) {
@@ -666,6 +730,20 @@ DjinnServer::handleRequest(const Request &request,
             } else if (format == "requests") {
                 response.message = telemetry::renderRequestsCsv(
                     tracer_.recentRequests());
+            } else if (format == "tail" ||
+                       format.rfind("tail:", 0) == 0) {
+                // "tail" attributes p99; "tail:N" percentile N.
+                // One fleet-wide report, then one per model.
+                double pct = 99.0;
+                if (format.size() > 5)
+                    pct = std::atof(format.c_str() + 5);
+                auto records = flightRecorder_.snapshot();
+                std::string out = telemetry::renderTailReport(
+                    telemetry::attributeTail(records, pct));
+                for (const telemetry::TailReport &report :
+                     telemetry::attributeTailByModel(records, pct))
+                    out += telemetry::renderTailReport(report);
+                response.message = out;
             } else if (format == "profile" ||
                        format.rfind("profile:", 0) == 0) {
                 // "profile" samples for one second; "profile:N"
@@ -690,7 +768,8 @@ DjinnServer::handleRequest(const Request &request,
             return response;
         }
       case RequestType::Inference:
-        return handleInference(request, trace, wire, deadline);
+        return handleInference(request, trace, wire, deadline,
+                               flight);
     }
     response.status = WireStatus::BadRequest;
     response.message = "unknown request type";
@@ -746,9 +825,14 @@ DjinnServer::handleInference(const Request &request,
                              telemetry::RequestTrace *trace,
                              const WireSpan *wire,
                              std::chrono::steady_clock::time_point
-                                 deadline)
+                                 deadline,
+                             telemetry::FlightRecord *flight)
 {
     Response response;
+    if (flight) {
+        flight->setModel(request.model);
+        flight->rows = request.rows;
+    }
     auto network = registry_.find(request.model);
     if (!network) {
         response.status = WireStatus::UnknownModel;
@@ -794,6 +878,18 @@ DjinnServer::handleInference(const Request &request,
                 trace->recordWork(telemetry::Phase::QueueWait,
                                   wait_scope.stop());
             }
+            if (flight) {
+                flight->queueWaitSeconds = result.queueWaitSeconds;
+                flight->forwardSeconds = result.forwardSeconds;
+                flight->batchQueries =
+                    static_cast<int32_t>(result.batchQueries);
+                flight->batchRows =
+                    static_cast<int32_t>(result.batchRows);
+                flight->batchPosition =
+                    static_cast<int32_t>(result.batchPosition);
+                flight->admitQueueDepth =
+                    static_cast<int32_t>(result.admitQueueDepth);
+            }
             if (!result.status.isOk()) {
                 // Admission and deadline sheds keep their own wire
                 // statuses so clients can tell "retry after
@@ -837,11 +933,22 @@ DjinnServer::handleInference(const Request &request,
             CountingProfileSink profile;
             int64_t fwd_start_us =
                 wire ? telemetry::traceNowUs() : 0;
+            auto fwd_clock_start = std::chrono::steady_clock::now();
             telemetry::CounterScope forward_scope;
             nn::Tensor output =
                 network->forward(input, wire ? &profile : nullptr);
             const telemetry::CounterDelta &forward_delta =
                 forward_scope.stop();
+            if (flight) {
+                flight->forwardSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        fwd_clock_start)
+                        .count();
+                flight->batchQueries = 1;
+                flight->batchRows = static_cast<int32_t>(rows);
+                flight->batchPosition = 0;
+            }
             if (span)
                 span->stop();
             if (trace) {

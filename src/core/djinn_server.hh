@@ -25,6 +25,7 @@
 #include "core/batcher.hh"
 #include "core/model_registry.hh"
 #include "core/protocol.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/slo.hh"
 #include "telemetry/trace.hh"
@@ -128,6 +129,19 @@ struct ServerConfig {
 
     /** SLO availability objective (error budget 1 - objective). */
     double sloObjective = 0.99;
+
+    /**
+     * Flight-recorder ring capacity in per-request records (the
+     * always-on tail-latency recorder; DESIGN.md "Tail attribution
+     * & flight recorder"). Must be positive.
+     */
+    size_t flightCapacity = 4096;
+
+    /**
+     * Flight-recorder tail-reservoir capacity: the slowest requests
+     * kept across ring wraps. 0 disables the reservoir.
+     */
+    size_t flightReservoir = 256;
 };
 
 /**
@@ -243,6 +257,21 @@ class DjinnServer
     /** Bound HTTP scrape port; 0 when the endpoint is disabled. */
     uint16_t httpPort() const;
 
+    /**
+     * The always-on per-request flight recorder: phase breakdowns,
+     * batch context, and outcomes for every inference request, with
+     * tail-biased retention. Queried by /debug/tail, /debug/flight,
+     * and the `tail` Metrics-verb format.
+     */
+    telemetry::FlightRecorder &flightRecorder()
+    {
+        return flightRecorder_;
+    }
+    const telemetry::FlightRecorder &flightRecorder() const
+    {
+        return flightRecorder_;
+    }
+
   private:
     /** Identity of one traced request's server-side span. */
     struct WireSpan {
@@ -262,17 +291,20 @@ class DjinnServer
                            telemetry::RequestTrace *trace,
                            const WireSpan *wire,
                            std::chrono::steady_clock::time_point
-                               deadline);
+                               deadline,
+                           telemetry::FlightRecord *flight);
     Response handleInference(const Request &request,
                              telemetry::RequestTrace *trace,
                              const WireSpan *wire,
                              std::chrono::steady_clock::time_point
-                                 deadline);
+                                 deadline,
+                             telemetry::FlightRecord *flight);
 
     const ModelRegistry &registry_;
     ServerConfig config_;
     telemetry::MetricRegistry metrics_;
     telemetry::Tracer tracer_;
+    telemetry::FlightRecorder flightRecorder_;
     std::unique_ptr<BatchingExecutor> batcher_;
     std::unique_ptr<telemetry::SloTracker> slo_;
     std::unique_ptr<telemetry::BackgroundSampler> sampler_;

@@ -8,12 +8,15 @@
 
 #include <sys/time.h>
 
+#include <cctype>
 #include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/exposition.hh"
 #include "telemetry/profiler.hh"
 
@@ -34,6 +37,45 @@ statusText(int code)
       case 503: return "Service Unavailable";
     }
     return "Internal Server Error";
+}
+
+/** The value of `key` in an &-joined query string ("" if absent). */
+std::string
+queryParam(const std::string &query, const std::string &key)
+{
+    for (const std::string &kv : split(query, '&')) {
+        size_t eq = kv.find('=');
+        if (eq != std::string::npos && kv.substr(0, eq) == key)
+            return kv.substr(eq + 1);
+    }
+    return std::string();
+}
+
+/** Case-insensitively pull one header's value out of a raw request
+ * head ("" if absent). */
+std::string
+headerValue(const std::string &head, const std::string &name)
+{
+    for (const std::string &line : split(head, '\n')) {
+        if (line.size() < name.size() + 1)
+            continue;
+        size_t i = 0;
+        for (; i < name.size(); ++i)
+            if (std::tolower(static_cast<unsigned char>(line[i])) !=
+                std::tolower(static_cast<unsigned char>(name[i])))
+                break;
+        if (i < name.size() || line[i] != ':')
+            continue;
+        std::string value = line.substr(i + 1);
+        while (!value.empty() &&
+               (value.front() == ' ' || value.front() == '\t'))
+            value.erase(value.begin());
+        while (!value.empty() &&
+               (value.back() == '\r' || value.back() == ' '))
+            value.pop_back();
+        return value;
+    }
+    return std::string();
 }
 
 } // namespace
@@ -161,6 +203,7 @@ HttpEndpoint::acceptLoop()
 
 int
 HttpEndpoint::handle(const std::string &target,
+                     const std::string &accept,
                      std::string &content_type,
                      std::string &body) const
 {
@@ -178,9 +221,96 @@ HttpEndpoint::handle(const std::string &target,
         return 200;
     }
     if (path == "/metrics") {
+        // Content negotiation: a scraper that asks for OpenMetrics
+        // gets the exemplar-bearing rendering; everyone else gets
+        // the plain Prometheus text unchanged, byte for byte.
+        // Media types are case-insensitive (RFC 9110 §8.3.1).
+        std::string accept_lower = accept;
+        for (char &c : accept_lower)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (accept_lower.find("application/openmetrics-text") !=
+            std::string::npos) {
+            body = telemetry::renderOpenMetrics(metrics_.snapshot());
+            content_type = telemetry::openMetricsContentType;
+            return 200;
+        }
         body = telemetry::renderPrometheus(metrics_.snapshot());
         // The exposition content type Prometheus scrapers expect.
         content_type = "text/plain; version=0.0.4; charset=utf-8";
+        return 200;
+    }
+    if (path == "/debug/tail") {
+        if (!flightRecorder_) {
+            body = "no flight recorder attached\n";
+            return 503;
+        }
+        double pct = 99.0;
+        std::string pct_arg = queryParam(query, "pct");
+        if (!pct_arg.empty()) {
+            pct = std::atof(pct_arg.c_str());
+            if (!(pct > 0.0 && pct < 100.0)) {
+                body = "bad 'pct' parameter\n";
+                return 400;
+            }
+        }
+        std::string model = queryParam(query, "model");
+        std::vector<telemetry::FlightRecord> records =
+            flightRecorder_->snapshot();
+        body = "{\"fleet\": ";
+        body += telemetry::renderTailReportJson(
+            telemetry::attributeTail(records, pct, model));
+        body += ", \"models\": [";
+        bool first = true;
+        for (const telemetry::TailReport &report :
+             telemetry::attributeTailByModel(records, pct)) {
+            if (!model.empty() && report.model != model)
+                continue;
+            if (!first)
+                body += ", ";
+            first = false;
+            body += telemetry::renderTailReportJson(report);
+        }
+        body += "]}\n";
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/debug/flight") {
+        if (!flightRecorder_) {
+            body = "no flight recorder attached\n";
+            return 503;
+        }
+        telemetry::FlightRecord record;
+        bool found = false;
+        std::string ref = queryParam(query, "record");
+        std::string trace_arg = queryParam(query, "trace_id");
+        if (!ref.empty()) {
+            int64_t seq = 0;
+            if (!parseInt(ref, seq) || seq < 0) {
+                body = "bad 'record' parameter\n";
+                return 400;
+            }
+            found = flightRecorder_->find(
+                static_cast<uint64_t>(seq), record);
+        } else if (!trace_arg.empty()) {
+            char *end = nullptr;
+            uint64_t trace_id =
+                std::strtoull(trace_arg.c_str(), &end, 16);
+            if (end == trace_arg.c_str() || *end != '\0') {
+                body = "bad 'trace_id' parameter\n";
+                return 400;
+            }
+            found = flightRecorder_->findByTraceId(trace_id, record);
+        } else {
+            body = "need 'record' or 'trace_id' parameter\n";
+            return 400;
+        }
+        if (!found) {
+            body = "record not found (evicted or never recorded)\n";
+            return 404;
+        }
+        body = telemetry::renderFlightRecordJson(record) + "\n";
+        content_type = "application/json";
         return 200;
     }
     if (path == "/trace") {
@@ -289,7 +419,8 @@ HttpEndpoint::serveConnection(int fd)
         code = 405;
         body = "only GET is supported\n";
     } else {
-        code = handle(parts[1], content_type, body);
+        code = handle(parts[1], headerValue(head, "accept"),
+                      content_type, body);
     }
 
     std::string response = strprintf(

@@ -4,13 +4,24 @@
  * observe a DjiNN server without speaking the wire protocol:
  *
  *   GET /healthz            -> 200 "ok"
- *   GET /metrics            -> Prometheus text exposition
+ *   GET /metrics            -> Prometheus text exposition; with
+ *                              `Accept: application/openmetrics-text`
+ *                              the OpenMetrics rendering instead
+ *                              (histogram buckets with exemplars)
  *   GET /trace?last=N       -> Chrome trace-event JSON (last N
  *                              events; omit for the whole ring)
  *   GET /profile?seconds=N  -> collapsed stacks from an N-second
  *                              sampling window (flamegraph.pl
  *                              input; 503 when the profiler cannot
  *                              run)
+ *   GET /debug/tail?model=M&pct=P
+ *                           -> tail-attribution JSON: which phase
+ *                              (read/decode/queue_wait/forward/
+ *                              encode) the pP cohort's excess
+ *                              latency comes from, per model
+ *   GET /debug/flight?record=N (or ?trace_id=HEX)
+ *                           -> one flight record as JSON; resolves
+ *                              /metrics exemplar refs
  *
  * The endpoint serves one connection at a time with HTTP/1.0
  * close-after-response semantics, which is all scrapers and
@@ -26,6 +37,7 @@
 #include <thread>
 
 #include "common/status.hh"
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/tracer.hh"
 
@@ -82,15 +94,37 @@ class HttpEndpoint
     }
 
     /**
+     * Attach the flight recorder behind /debug/tail and
+     * /debug/flight. Call before start(); must outlive the
+     * endpoint. Without one those routes answer 503.
+     */
+    void setFlightRecorder(
+        const telemetry::FlightRecorder *recorder)
+    {
+        flightRecorder_ = recorder;
+    }
+
+    /**
      * Dispatch one already-parsed request; exposed for tests.
      *
      * @param target the request target, e.g. "/trace?last=10".
+     * @param accept the request's Accept header value (may be
+     *        empty): `application/openmetrics-text` selects the
+     *        exemplar-bearing OpenMetrics rendering of /metrics.
      * @param content_type out: the response content type.
      * @param body out: the response body.
      * @return the HTTP status code.
      */
-    int handle(const std::string &target, std::string &content_type,
-               std::string &body) const;
+    int handle(const std::string &target, const std::string &accept,
+               std::string &content_type, std::string &body) const;
+
+    /** Dispatch with an empty Accept header. */
+    int
+    handle(const std::string &target, std::string &content_type,
+           std::string &body) const
+    {
+        return handle(target, std::string(), content_type, body);
+    }
 
   private:
     void acceptLoop();
@@ -98,6 +132,7 @@ class HttpEndpoint
 
     telemetry::MetricRegistry &metrics_;
     const telemetry::Tracer &tracer_;
+    const telemetry::FlightRecorder *flightRecorder_ = nullptr;
 
     double ioTimeoutSeconds_ = 5.0;
     int listenFd_ = -1;

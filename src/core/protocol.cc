@@ -445,6 +445,11 @@ FrameIo::readFrame(uint32_t max_bytes)
         if (!s.isOk())
             return s;
     }
+    lastReadSeconds_ =
+        transfer_started
+            ? std::chrono::duration<double>(Clock::now() - armed)
+                  .count()
+            : 0.0;
     return frame;
 }
 

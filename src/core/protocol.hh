@@ -197,11 +197,22 @@ class FrameIo
     Result<std::vector<uint8_t>> readFrame(
         uint32_t max_bytes = 256u << 20);
 
+    /**
+     * Wall seconds the last successful readFrame() spent ingesting
+     * its frame, measured from the first byte (the same instant
+     * that arms the transfer timeout) to frame completion. Feeds
+     * the flight recorder's `read` phase, where a trickling peer
+     * (e.g. the slow-read fault) shows up as tail latency that no
+     * server-side phase explains.
+     */
+    double lastReadSeconds() const { return lastReadSeconds_; }
+
   private:
     int fd_;
     double timeout_ = 0.0;
     double idleTimeout_ = 0.0;
     uint32_t faults_ = 0;
+    double lastReadSeconds_ = 0.0;
 };
 
 } // namespace core

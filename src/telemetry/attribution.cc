@@ -1,0 +1,289 @@
+#include "telemetry/attribution.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.hh"
+#include "telemetry/exposition.hh"
+
+namespace djinn {
+namespace telemetry {
+
+namespace {
+
+/** The phases attribution decomposes a request's latency into. */
+struct PhaseField {
+    const char *name;
+    double FlightRecord::*field;
+};
+
+constexpr PhaseField phaseFields[] = {
+    {"read", &FlightRecord::readSeconds},
+    {"decode", &FlightRecord::decodeSeconds},
+    {"queue_wait", &FlightRecord::queueWaitSeconds},
+    {"forward", &FlightRecord::forwardSeconds},
+    {"encode", &FlightRecord::encodeSeconds},
+    {"retry_wait", &FlightRecord::retryWaitSeconds},
+};
+
+/** Exact order statistic of a sorted ascending vector. */
+double
+percentileOf(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    rank = std::clamp<uint64_t>(rank, 1, sorted.size());
+    return sorted[rank - 1];
+}
+
+/** Mean of a member over a cohort; 0 for an empty cohort. */
+template <typename T>
+double
+meanOf(const std::vector<const FlightRecord *> &cohort,
+       T FlightRecord::*field)
+{
+    if (cohort.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const FlightRecord *record : cohort)
+        sum += static_cast<double>(record->*field);
+    return sum / static_cast<double>(cohort.size());
+}
+
+std::string
+modelLabel(const TailReport &report)
+{
+    return report.model.empty() ? "all" : report.model;
+}
+
+} // namespace
+
+TailReport
+attributeTail(const std::vector<FlightRecord> &records, double pct,
+              const std::string &model)
+{
+    TailReport report;
+    report.model = model;
+    report.pct = std::clamp(pct, 50.0, 100.0);
+
+    // Completed requests only: shed requests never executed the
+    // phases being attributed.
+    std::vector<const FlightRecord *> eligible;
+    eligible.reserve(records.size());
+    for (const FlightRecord &record : records) {
+        if (record.outcome != FlightOutcome::Ok)
+            continue;
+        if (!model.empty() && record.modelName() != model)
+            continue;
+        eligible.push_back(&record);
+    }
+    report.records = eligible.size();
+    if (eligible.empty())
+        return report;
+
+    std::vector<double> totals;
+    totals.reserve(eligible.size());
+    for (const FlightRecord *record : eligible)
+        totals.push_back(record->totalSeconds);
+    std::sort(totals.begin(), totals.end());
+
+    report.thresholdSeconds = percentileOf(totals, report.pct / 100);
+    double median = percentileOf(totals, 0.5);
+
+    std::vector<const FlightRecord *> tail, baseline;
+    for (const FlightRecord *record : eligible) {
+        if (record->totalSeconds >= report.thresholdSeconds)
+            tail.push_back(record);
+        if (record->totalSeconds <= median)
+            baseline.push_back(record);
+    }
+    report.tailCount = tail.size();
+    report.baselineCount = baseline.size();
+    report.tailMeanSeconds = meanOf(tail, &FlightRecord::totalSeconds);
+    report.baselineMeanSeconds =
+        meanOf(baseline, &FlightRecord::totalSeconds);
+
+    double totalExcess = 0.0;
+    for (const PhaseField &phase : phaseFields) {
+        TailContributor contributor;
+        contributor.phase = phase.name;
+        contributor.tailMeanSeconds = meanOf(tail, phase.field);
+        contributor.baselineMeanSeconds =
+            meanOf(baseline, phase.field);
+        contributor.excessSeconds =
+            std::max(0.0, contributor.tailMeanSeconds -
+                              contributor.baselineMeanSeconds);
+        totalExcess += contributor.excessSeconds;
+        report.contributors.push_back(std::move(contributor));
+    }
+    for (TailContributor &contributor : report.contributors)
+        contributor.share = totalExcess > 0.0
+                                ? contributor.excessSeconds /
+                                      totalExcess
+                                : 0.0;
+    std::stable_sort(report.contributors.begin(),
+                     report.contributors.end(),
+                     [](const TailContributor &a,
+                        const TailContributor &b) {
+                         return a.excessSeconds > b.excessSeconds;
+                     });
+    if (totalExcess > 0.0)
+        report.dominant = report.contributors.front().phase;
+
+    report.tailMeanBatchPosition =
+        meanOf(tail, &FlightRecord::batchPosition);
+    report.baselineMeanBatchPosition =
+        meanOf(baseline, &FlightRecord::batchPosition);
+    report.tailMeanBatchQueries =
+        meanOf(tail, &FlightRecord::batchQueries);
+    report.baselineMeanBatchQueries =
+        meanOf(baseline, &FlightRecord::batchQueries);
+    report.tailMeanAdmitDepth =
+        meanOf(tail, &FlightRecord::admitQueueDepth);
+    report.baselineMeanAdmitDepth =
+        meanOf(baseline, &FlightRecord::admitQueueDepth);
+    report.tailMeanRetries = meanOf(tail, &FlightRecord::retries);
+    report.baselineMeanRetries =
+        meanOf(baseline, &FlightRecord::retries);
+    return report;
+}
+
+std::vector<TailReport>
+attributeTailByModel(const std::vector<FlightRecord> &records,
+                     double pct)
+{
+    std::set<std::string> models;
+    for (const FlightRecord &record : records)
+        if (record.outcome == FlightOutcome::Ok)
+            models.insert(record.modelName());
+
+    std::vector<TailReport> reports;
+    reports.reserve(models.size());
+    for (const std::string &model : models)
+        reports.push_back(attributeTail(records, pct, model));
+    return reports;
+}
+
+std::string
+renderTailReport(const TailReport &report)
+{
+    std::string out = strprintf(
+        "tail attribution: model=%s pct=%g records=%llu\n",
+        modelLabel(report).c_str(), report.pct,
+        static_cast<unsigned long long>(report.records));
+    if (report.records == 0)
+        return out + "  (no completed requests recorded)\n";
+    out += strprintf(
+        "  threshold p%g: %.6fs | tail n=%llu mean %.6fs | "
+        "baseline n=%llu mean %.6fs\n",
+        report.pct, report.thresholdSeconds,
+        static_cast<unsigned long long>(report.tailCount),
+        report.tailMeanSeconds,
+        static_cast<unsigned long long>(report.baselineCount),
+        report.baselineMeanSeconds);
+    out += strprintf("  dominant contributor: %s\n",
+                     report.dominant.empty() ? "(none)"
+                                             : report.dominant.c_str());
+    out += "  phase        tail_mean    base_mean    excess     "
+           "share\n";
+    for (const TailContributor &contributor : report.contributors) {
+        out += strprintf("  %-11s %10.6fs %10.6fs %9.6fs %6.1f%%\n",
+                         contributor.phase.c_str(),
+                         contributor.tailMeanSeconds,
+                         contributor.baselineMeanSeconds,
+                         contributor.excessSeconds,
+                         contributor.share * 100);
+    }
+    out += strprintf(
+        "  cohorts (tail vs base): batch_position %.2f vs %.2f | "
+        "batch_queries %.2f vs %.2f | admit_depth %.2f vs %.2f | "
+        "retries %.2f vs %.2f\n",
+        report.tailMeanBatchPosition,
+        report.baselineMeanBatchPosition,
+        report.tailMeanBatchQueries, report.baselineMeanBatchQueries,
+        report.tailMeanAdmitDepth, report.baselineMeanAdmitDepth,
+        report.tailMeanRetries, report.baselineMeanRetries);
+    return out;
+}
+
+std::string
+renderTailReportJson(const TailReport &report)
+{
+    std::string out = "{";
+    out += "\"model\": \"" + jsonEscape(modelLabel(report)) + "\"";
+    out += strprintf(", \"pct\": %g", report.pct);
+    out += strprintf(", \"records\": %llu",
+                     static_cast<unsigned long long>(report.records));
+    out += strprintf(", \"threshold_seconds\": %.9g",
+                     report.thresholdSeconds);
+    out += strprintf(", \"tail_count\": %llu",
+                     static_cast<unsigned long long>(
+                         report.tailCount));
+    out += strprintf(", \"baseline_count\": %llu",
+                     static_cast<unsigned long long>(
+                         report.baselineCount));
+    out += strprintf(", \"tail_mean_seconds\": %.9g",
+                     report.tailMeanSeconds);
+    out += strprintf(", \"baseline_mean_seconds\": %.9g",
+                     report.baselineMeanSeconds);
+    out += ", \"dominant\": \"" + jsonEscape(report.dominant) + "\"";
+    out += ", \"contributors\": [";
+    for (size_t i = 0; i < report.contributors.size(); ++i) {
+        const TailContributor &contributor = report.contributors[i];
+        if (i)
+            out += ", ";
+        out += "{\"phase\": \"" + jsonEscape(contributor.phase) +
+               "\"";
+        out += strprintf(", \"tail_mean_seconds\": %.9g",
+                         contributor.tailMeanSeconds);
+        out += strprintf(", \"baseline_mean_seconds\": %.9g",
+                         contributor.baselineMeanSeconds);
+        out += strprintf(", \"excess_seconds\": %.9g",
+                         contributor.excessSeconds);
+        out += strprintf(", \"share\": %.9g}", contributor.share);
+    }
+    out += "]";
+    out += strprintf(
+        ", \"cohorts\": {\"batch_position\": [%.9g, %.9g]"
+        ", \"batch_queries\": [%.9g, %.9g]"
+        ", \"admit_depth\": [%.9g, %.9g]"
+        ", \"retries\": [%.9g, %.9g]}",
+        report.tailMeanBatchPosition,
+        report.baselineMeanBatchPosition,
+        report.tailMeanBatchQueries, report.baselineMeanBatchQueries,
+        report.tailMeanAdmitDepth, report.baselineMeanAdmitDepth,
+        report.tailMeanRetries, report.baselineMeanRetries);
+    out += "}";
+    return out;
+}
+
+void
+recordTailReport(MetricRegistry &registry, const TailReport &report,
+                 const LabelMap &extraLabels)
+{
+    LabelMap base = extraLabels;
+    base["model"] = modelLabel(report);
+
+    registry.gauge("djinn_tail_threshold_seconds", base)
+        .set(report.thresholdSeconds);
+    for (const TailContributor &contributor : report.contributors) {
+        LabelMap labels = base;
+        labels["phase"] = contributor.phase;
+        registry.gauge("djinn_tail_excess_seconds", labels)
+            .set(contributor.excessSeconds);
+        registry.gauge("djinn_tail_share", labels)
+            .set(contributor.share);
+        LabelMap dominant = base;
+        dominant["contributor"] = contributor.phase;
+        registry.gauge("djinn_tail_dominant", dominant)
+            .set(contributor.phase == report.dominant ? 1.0 : 0.0);
+    }
+}
+
+} // namespace telemetry
+} // namespace djinn

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tail-latency attribution over flight-recorder records: compare
+ * the slowest cohort of requests (at or above a chosen percentile
+ * of end-to-end latency) against the p50-and-faster baseline and
+ * report where the extra time went — frame read, decode, queue
+ * wait, forward, encode, or retry inflation — per model, with the
+ * supporting cohort statistics (batch position, admit-time queue
+ * depth, retry counts). The engine is pure arithmetic over record
+ * vectors, so the live server's /debug/tail endpoint and the
+ * deterministic cluster simulator share it verbatim.
+ */
+
+#ifndef DJINN_TELEMETRY_ATTRIBUTION_HH
+#define DJINN_TELEMETRY_ATTRIBUTION_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/flight_recorder.hh"
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace telemetry {
+
+/** One phase's contribution to the tail/baseline latency gap. */
+struct TailContributor {
+    /** Phase name: read, decode, queue_wait, forward, encode, or
+     * retry_wait. */
+    std::string phase;
+
+    /** Mean seconds this phase took in the tail cohort. */
+    double tailMeanSeconds = 0.0;
+
+    /** Mean seconds this phase took in the baseline cohort. */
+    double baselineMeanSeconds = 0.0;
+
+    /** max(0, tail mean - baseline mean): the phase's share of the
+     * slowdown in absolute seconds. */
+    double excessSeconds = 0.0;
+
+    /** excessSeconds / sum of all positive excesses; [0, 1]. */
+    double share = 0.0;
+};
+
+/** The attribution verdict for one model (or the whole fleet). */
+struct TailReport {
+    /** Model filter applied; empty means all records. */
+    std::string model;
+
+    /** The tail percentile analysed (e.g. 99 for p99). */
+    double pct = 99.0;
+
+    /** Records considered after the model filter. */
+    uint64_t records = 0;
+
+    /** The pct-th percentile of end-to-end latency: the tail
+     * cohort's admission threshold. */
+    double thresholdSeconds = 0.0;
+
+    /** Requests at or above the threshold. */
+    uint64_t tailCount = 0;
+
+    /** Requests at or below the median (the comparison cohort). */
+    uint64_t baselineCount = 0;
+
+    /** Mean end-to-end seconds, tail cohort. */
+    double tailMeanSeconds = 0.0;
+
+    /** Mean end-to-end seconds, baseline cohort. */
+    double baselineMeanSeconds = 0.0;
+
+    /** Per-phase breakdown, sorted by excessSeconds descending. */
+    std::vector<TailContributor> contributors;
+
+    /** contributors.front().phase when the report is conclusive
+     * (some phase shows positive excess); empty otherwise. */
+    std::string dominant;
+
+    /** Supporting cohort statistics: tail vs baseline means. */
+    double tailMeanBatchPosition = 0.0;
+    double baselineMeanBatchPosition = 0.0;
+    double tailMeanBatchQueries = 0.0;
+    double baselineMeanBatchQueries = 0.0;
+    double tailMeanAdmitDepth = 0.0;
+    double baselineMeanAdmitDepth = 0.0;
+    double tailMeanRetries = 0.0;
+    double baselineMeanRetries = 0.0;
+};
+
+/**
+ * Attribute the tail of @p records.
+ *
+ * @param records completed-request flight records (shed requests
+ *        are excluded from cohorts: they have no phase breakdown).
+ * @param pct tail percentile in (50, 100]; clamped.
+ * @param model keep only records of this model; empty keeps all.
+ */
+TailReport attributeTail(const std::vector<FlightRecord> &records,
+                         double pct, const std::string &model = "");
+
+/**
+ * One report per distinct model present in @p records, sorted by
+ * model name (deterministic), plus no aggregate entry — callers
+ * wanting the fleet-wide view use attributeTail directly.
+ */
+std::vector<TailReport> attributeTailByModel(
+    const std::vector<FlightRecord> &records, double pct);
+
+/** Render a report as human-readable text (djinn_cli tail). */
+std::string renderTailReport(const TailReport &report);
+
+/** Render a report as a JSON object (the /debug/tail payload). */
+std::string renderTailReportJson(const TailReport &report);
+
+/**
+ * Publish a report into @p registry as `djinn_tail_*` gauges:
+ * threshold, per-phase excess and share, and a one-hot
+ * `djinn_tail_dominant{contributor=...}` marker. @p extraLabels is
+ * merged into every gauge's label set (the cluster simulator adds
+ * policy/scenario labels this way).
+ */
+void recordTailReport(MetricRegistry &registry,
+                      const TailReport &report,
+                      const LabelMap &extraLabels = {});
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_ATTRIBUTION_HH

@@ -39,6 +39,22 @@ quantileLabel(double q)
     return s;
 }
 
+/** Render an exemplar suffix: ` # {trace_id="...",record="N"} v`.
+ * The trace_id label is omitted for untraced requests; the record
+ * ref always resolves through /debug/flight?record=N. */
+std::string
+exemplarSuffix(const Exemplar &ex)
+{
+    std::string labels;
+    if (ex.traceId != 0)
+        labels += strprintf("trace_id=\"%016llx\",",
+                            static_cast<unsigned long long>(
+                                ex.traceId));
+    labels += strprintf("record=\"%llu\"",
+                        static_cast<unsigned long long>(ex.ref));
+    return " # {" + labels + "} " + num(ex.value);
+}
+
 } // namespace
 
 std::string
@@ -118,6 +134,69 @@ renderPrometheus(const std::vector<MetricSample> &samples)
 }
 
 std::string
+renderOpenMetrics(const std::vector<MetricSample> &samples)
+{
+    std::string out;
+    std::string last_family;
+    for (const MetricSample &sample : samples) {
+        if (sample.name != last_family) {
+            last_family = sample.name;
+            const char *type =
+                sample.kind == MetricKind::Counter ? "counter" :
+                sample.kind == MetricKind::Gauge ? "gauge" :
+                "histogram";
+            out += "# TYPE " + sample.name + " " + type + "\n";
+        }
+        switch (sample.kind) {
+          case MetricKind::Counter:
+          case MetricKind::Gauge:
+            out += renderMetricId(sample.name, sample.labels) + " " +
+                   num(sample.value) + "\n";
+            break;
+          case MetricKind::Histogram:
+            {
+                const HistogramSnapshot &h = sample.histogram;
+                // Cumulative buckets; trailing all-zero finite
+                // buckets collapse into the mandatory +Inf line.
+                size_t last_used = 0;
+                for (size_t i = 0; i < h.buckets.size(); ++i)
+                    if (h.buckets[i] != 0)
+                        last_used = i;
+                uint64_t cumulative = 0;
+                for (size_t i = 0; i < h.buckets.size(); ++i) {
+                    cumulative += h.buckets[i];
+                    bool overflow = i + 1 == h.buckets.size();
+                    if (i > last_used && !overflow)
+                        continue;
+                    std::string le =
+                        overflow ? "+Inf"
+                                 : num(h.bucketUpperBound(
+                                       static_cast<int>(i)));
+                    LabelMap labels = sample.labels;
+                    labels["le"] = le;
+                    out += renderMetricId(sample.name + "_bucket",
+                                          labels) +
+                           " " + num(static_cast<double>(cumulative));
+                    if (i < h.exemplars.size() &&
+                        h.exemplars[i].valid)
+                        out += exemplarSuffix(h.exemplars[i]);
+                    out += "\n";
+                }
+                out += renderMetricId(sample.name + "_count",
+                                      sample.labels) +
+                       " " + num(static_cast<double>(h.count)) + "\n";
+                out += renderMetricId(sample.name + "_sum",
+                                      sample.labels) +
+                       " " + num(h.sum) + "\n";
+            }
+            break;
+        }
+    }
+    out += "# EOF\n";
+    return out;
+}
+
+std::string
 renderJson(const std::vector<MetricSample> &samples)
 {
     std::string out = "{\n  \"metrics\": [\n";
@@ -176,6 +255,12 @@ parseExposition(const std::string &text)
         std::string_view line = trim(raw);
         if (line.empty() || line.front() == '#')
             continue;
+
+        // OpenMetrics exemplar suffixes ride after " # "; the
+        // sample itself is everything before it.
+        size_t exemplar = line.find(" # ");
+        if (exemplar != std::string_view::npos)
+            line = trim(line.substr(0, exemplar));
 
         ExpositionSample sample;
         size_t space = line.rfind(' ');

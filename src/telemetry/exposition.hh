@@ -31,6 +31,24 @@ inline constexpr double exportedQuantiles[] = {0.5, 0.95, 0.99};
 std::string renderPrometheus(
     const std::vector<MetricSample> &samples);
 
+/**
+ * Content type of the OpenMetrics rendering, returned by /metrics
+ * when the scraper sends `Accept: application/openmetrics-text`.
+ */
+inline const char *const openMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/**
+ * Render a snapshot in the OpenMetrics text format: histograms
+ * become cumulative `_bucket{le="..."}` series carrying per-bucket
+ * exemplars (`... # {trace_id="...",record="..."} value`) that
+ * resolve to flight-recorder records, and the exposition ends with
+ * the mandatory `# EOF` terminator. Counters and gauges render as
+ * in the Prometheus format.
+ */
+std::string renderOpenMetrics(
+    const std::vector<MetricSample> &samples);
+
 /** Escape a string for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 
@@ -46,7 +64,8 @@ struct ExpositionSample {
 
 /**
  * Parse a Prometheus-style text exposition produced by
- * renderPrometheus (comment lines are skipped).
+ * renderPrometheus (comment lines are skipped). OpenMetrics output
+ * also parses: exemplar suffixes (` # {...} value`) are ignored.
  *
  * @return the samples, or a ProtocolError for malformed input.
  */

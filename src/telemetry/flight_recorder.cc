@@ -1,0 +1,268 @@
+#include "telemetry/flight_recorder.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/strings.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace telemetry {
+
+namespace {
+
+/** Stable stamp for a record sequence: even, non-zero. */
+uint64_t stableStamp(uint64_t seq) { return 2 * (seq + 1); }
+
+/** Write-in-progress stamp for a record sequence: odd. */
+uint64_t busyStamp(uint64_t seq) { return 2 * (seq + 1) + 1; }
+
+/** The record sequence a stamp refers to (stable or busy). */
+uint64_t stampSeq(uint64_t stamp) { return stamp / 2 - 1; }
+
+/** Min-heap order on total latency, so the root is the fastest
+ * retained record — the one a slower candidate evicts. */
+bool slower(const FlightRecord &a, const FlightRecord &b)
+{
+    return a.totalSeconds > b.totalSeconds;
+}
+
+} // namespace
+
+const char *flightOutcomeName(FlightOutcome outcome)
+{
+    switch (outcome) {
+    case FlightOutcome::Ok: return "ok";
+    case FlightOutcome::ShedQueueFull: return "shed_queue_full";
+    case FlightOutcome::ShedDeadline: return "shed_deadline";
+    case FlightOutcome::Error: return "error";
+    }
+    return "unknown";
+}
+
+void FlightRecord::setModel(const std::string &name)
+{
+    size_t n = std::min(name.size(), sizeof(model) - 1);
+    std::memcpy(model, name.data(), n);
+    model[n] = '\0';
+}
+
+std::string FlightRecord::modelName() const
+{
+    return std::string(model,
+                       strnlen(model, sizeof(model)));
+}
+
+FlightRecorder::FlightRecorder(size_t capacity,
+                               size_t reservoirCapacity,
+                               MetricRegistry *metrics)
+    : slots_(std::max<size_t>(capacity, 1)),
+      reservoirCapacity_(reservoirCapacity)
+{
+    reservoir_.reserve(reservoirCapacity_);
+    if (metrics)
+        recordsCounter_ = &metrics->counter("djinn_tail_records_total");
+}
+
+uint64_t FlightRecorder::record(const FlightRecord &record)
+{
+    uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+
+    FlightRecord stamped = record;
+    stamped.seq = seq;
+
+    uint64_t words[recordWords] = {};
+    std::memcpy(words, &stamped, sizeof(stamped));
+
+    Slot &slot = slots_[seq % slots_.size()];
+
+    // Claim the slot: CAS the stamp from any stable (even) value to
+    // our busy marker. Only the claim owner touches the words, so
+    // two writers lapped onto the same slot never race on data.
+    // The newer sequence wins; the older one abandons the ring (its
+    // record can still reach the tail reservoir below).
+    bool published = false;
+    uint64_t current = slot.stamp.load(std::memory_order_relaxed);
+    for (int spin = 0; spin < 1024; ++spin) {
+        if (current & 1) {
+            // Another writer is mid-publish on this slot.
+            if (stampSeq(current) > seq)
+                break; // superseded: a newer record owns the slot
+            current = slot.stamp.load(std::memory_order_relaxed);
+            continue; // older writer finishing; wait it out
+        }
+        if (current != 0 && stampSeq(current) >= seq)
+            break; // slot already holds a newer record
+        if (slot.stamp.compare_exchange_weak(
+                current, busyStamp(seq), std::memory_order_acq_rel,
+                std::memory_order_relaxed)) {
+            for (size_t i = 0; i < recordWords; ++i)
+                slot.words[i].store(words[i],
+                                    std::memory_order_relaxed);
+            slot.stamp.store(stableStamp(seq),
+                             std::memory_order_release);
+            published = true;
+            break;
+        }
+    }
+    (void)published;
+
+    offerTail(stamped);
+    if (recordsCounter_)
+        recordsCounter_->inc();
+    return seq;
+}
+
+uint64_t FlightRecorder::recordCount() const
+{
+    return next_.load(std::memory_order_relaxed);
+}
+
+bool FlightRecorder::readSlot(const Slot &slot,
+                              FlightRecord &out) const
+{
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        uint64_t before = slot.stamp.load(std::memory_order_acquire);
+        if (before == 0 || (before & 1))
+            return false; // empty, or write in progress
+        uint64_t words[recordWords];
+        for (size_t i = 0; i < recordWords; ++i)
+            words[i] = slot.words[i].load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        uint64_t after = slot.stamp.load(std::memory_order_relaxed);
+        if (before == after) {
+            std::memcpy(&out, words, sizeof(out));
+            return true;
+        }
+    }
+    return false;
+}
+
+void FlightRecorder::offerTail(const FlightRecord &record)
+{
+    if (reservoirCapacity_ == 0)
+        return;
+    if (reservoir_.size() >= reservoirCapacity_ &&
+        record.totalSeconds <=
+            tailThreshold_.load(std::memory_order_relaxed))
+        return;
+
+    std::lock_guard<std::mutex> lock(reservoirMutex_);
+    if (reservoir_.size() >= reservoirCapacity_) {
+        if (record.totalSeconds <= reservoir_.front().totalSeconds)
+            return;
+        std::pop_heap(reservoir_.begin(), reservoir_.end(), slower);
+        reservoir_.back() = record;
+    } else {
+        reservoir_.push_back(record);
+    }
+    std::push_heap(reservoir_.begin(), reservoir_.end(), slower);
+    if (reservoir_.size() >= reservoirCapacity_)
+        tailThreshold_.store(reservoir_.front().totalSeconds,
+                             std::memory_order_relaxed);
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const
+{
+    std::vector<FlightRecord> out;
+    out.reserve(slots_.size() + reservoirCapacity_);
+    for (const Slot &slot : slots_) {
+        FlightRecord record;
+        if (readSlot(slot, record))
+            out.push_back(record);
+    }
+    {
+        std::lock_guard<std::mutex> lock(reservoirMutex_);
+        out.insert(out.end(), reservoir_.begin(), reservoir_.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightRecord &a, const FlightRecord &b) {
+                  return a.seq < b.seq;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const FlightRecord &a,
+                             const FlightRecord &b) {
+                              return a.seq == b.seq;
+                          }),
+              out.end());
+    return out;
+}
+
+bool FlightRecorder::find(uint64_t seq, FlightRecord &out) const
+{
+    for (const FlightRecord &record : snapshot())
+        if (record.seq == seq) {
+            out = record;
+            return true;
+        }
+    return false;
+}
+
+std::string
+renderFlightRecordJson(const FlightRecord &record)
+{
+    std::string out = "{";
+    out += strprintf("\"seq\": %llu",
+                     static_cast<unsigned long long>(record.seq));
+    if (record.traceId != 0)
+        out += strprintf(", \"trace_id\": \"%016llx\"",
+                         static_cast<unsigned long long>(
+                             record.traceId));
+    out += strprintf(", \"timestamp_us\": %lld",
+                     static_cast<long long>(record.timestampUs));
+    out += ", \"model\": \"" + jsonEscape(record.modelName()) + "\"";
+    out += std::string(", \"outcome\": \"") +
+           flightOutcomeName(record.outcome) + "\"";
+    out += strprintf(", \"total_seconds\": %.9g",
+                     record.totalSeconds);
+    out += strprintf(", \"read_seconds\": %.9g",
+                     record.readSeconds);
+    out += strprintf(", \"decode_seconds\": %.9g",
+                     record.decodeSeconds);
+    out += strprintf(", \"queue_wait_seconds\": %.9g",
+                     record.queueWaitSeconds);
+    out += strprintf(", \"forward_seconds\": %.9g",
+                     record.forwardSeconds);
+    out += strprintf(", \"encode_seconds\": %.9g",
+                     record.encodeSeconds);
+    out += strprintf(", \"retry_wait_seconds\": %.9g",
+                     record.retryWaitSeconds);
+    out += strprintf(", \"rows\": %d", record.rows);
+    out += strprintf(", \"batch_queries\": %d",
+                     record.batchQueries);
+    out += strprintf(", \"batch_rows\": %d", record.batchRows);
+    out += strprintf(", \"batch_position\": %d",
+                     record.batchPosition);
+    out += strprintf(", \"admit_queue_depth\": %d",
+                     record.admitQueueDepth);
+    out += strprintf(", \"retries\": %d", record.retries);
+    out += strprintf(", \"hardware\": %s",
+                     record.hardware ? "true" : "false");
+    out += strprintf(", \"cycles\": %llu",
+                     static_cast<unsigned long long>(record.cycles));
+    out += strprintf(", \"instructions\": %llu",
+                     static_cast<unsigned long long>(
+                         record.instructions));
+    out += strprintf(", \"cache_misses\": %llu}",
+                     static_cast<unsigned long long>(
+                         record.cacheMisses));
+    return out;
+}
+
+bool FlightRecorder::findByTraceId(uint64_t traceId,
+                                   FlightRecord &out) const
+{
+    if (traceId == 0)
+        return false;
+    bool found = false;
+    for (const FlightRecord &record : snapshot())
+        if (record.traceId == traceId) {
+            out = record;
+            found = true; // keep scanning: newest seq wins
+        }
+    return found;
+}
+
+} // namespace telemetry
+} // namespace djinn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "common/logging.hh"
@@ -115,6 +116,7 @@ HistogramSnapshot::bucketUpperBound(int i) const
 LogHistogram::LogHistogram(const HistogramOptions &options)
     : options_(options),
       buckets_(static_cast<size_t>(options.bucketCount) + 1),
+      exemplars_(options.exemplars ? buckets_.size() : 0),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity())
 {
@@ -163,6 +165,68 @@ LogHistogram::record(double value)
     count_.fetch_add(1, std::memory_order_release);
 }
 
+void
+LogHistogram::record(double value, uint64_t traceId, uint64_t ref)
+{
+    size_t bucket = static_cast<size_t>(bucketIndex(value));
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    if (!exemplars_.empty())
+        writeExemplar(bucket, value, traceId, ref);
+    atomicAdd(sum_, value);
+    atomicMin(min_, value);
+    atomicMax(max_, value);
+    count_.fetch_add(1, std::memory_order_release);
+}
+
+void
+LogHistogram::writeExemplar(size_t bucket, double value,
+                            uint64_t traceId, uint64_t ref)
+{
+    ExemplarSlot &slot = exemplars_[bucket];
+    // Most-recent-wins, best effort: if another writer holds the
+    // slot mid-update, its sample is as recent as ours — drop.
+    uint64_t stamp = slot.stamp.load(std::memory_order_relaxed);
+    if (stamp & 1)
+        return;
+    if (!slot.stamp.compare_exchange_strong(
+            stamp, stamp + 1, std::memory_order_acq_rel,
+            std::memory_order_relaxed))
+        return;
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    slot.traceId.store(traceId, std::memory_order_relaxed);
+    slot.ref.store(ref, std::memory_order_relaxed);
+    slot.valueBits.store(bits, std::memory_order_relaxed);
+    slot.stamp.store(stamp + 2, std::memory_order_release);
+}
+
+bool
+LogHistogram::readExemplar(size_t bucket, Exemplar &out) const
+{
+    const ExemplarSlot &slot = exemplars_[bucket];
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        uint64_t before = slot.stamp.load(std::memory_order_acquire);
+        if (before == 0)
+            return false; // never written
+        if (before & 1)
+            continue; // mid-update; retry
+        uint64_t traceId =
+            slot.traceId.load(std::memory_order_relaxed);
+        uint64_t ref = slot.ref.load(std::memory_order_relaxed);
+        uint64_t bits =
+            slot.valueBits.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.stamp.load(std::memory_order_relaxed) != before)
+            continue;
+        out.valid = true;
+        out.traceId = traceId;
+        out.ref = ref;
+        std::memcpy(&out.value, &bits, sizeof(out.value));
+        return true;
+    }
+    return false;
+}
+
 uint64_t
 LogHistogram::count() const
 {
@@ -206,6 +270,11 @@ LogHistogram::snapshot() const
     snap.buckets.resize(buckets_.size());
     for (size_t i = 0; i < buckets_.size(); ++i)
         snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    if (!exemplars_.empty()) {
+        snap.exemplars.resize(buckets_.size());
+        for (size_t i = 0; i < buckets_.size(); ++i)
+            readExemplar(i, snap.exemplars[i]);
+    }
     return snap;
 }
 

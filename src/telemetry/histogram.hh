@@ -36,6 +36,34 @@ struct HistogramOptions {
      * ~140s at 2x resolution.
      */
     int bucketCount = 48;
+
+    /**
+     * Keep a per-bucket exemplar: the most recent sample's trace id
+     * and flight-record ref, exposed through the OpenMetrics
+     * rendering so a hot bucket resolves to a concrete request.
+     * Off by default; only samples recorded through the
+     * three-argument record() refresh exemplars.
+     */
+    bool exemplars = false;
+};
+
+/**
+ * The most recent sample attributed to one histogram bucket: enough
+ * to walk from a bucket count to the flight record of a request
+ * that landed there.
+ */
+struct Exemplar {
+    /** False until the bucket has seen an attributed sample. */
+    bool valid = false;
+
+    /** Wire trace id of the sample's request; 0 when untraced. */
+    uint64_t traceId = 0;
+
+    /** Flight-recorder sequence number of the sample's record. */
+    uint64_t ref = 0;
+
+    /** The sample value itself. */
+    double value = 0.0;
 };
 
 /**
@@ -60,6 +88,12 @@ struct HistogramSnapshot {
 
     /** Largest sample; 0 when empty. */
     double max = 0.0;
+
+    /**
+     * Per-bucket exemplars, aligned with buckets. Empty unless the
+     * source histogram was created with options.exemplars.
+     */
+    std::vector<Exemplar> exemplars;
 
     /** Mean sample; 0 when empty. */
     double mean() const;
@@ -93,6 +127,16 @@ class LogHistogram
     /** Record one sample. Thread-safe. */
     void record(double value);
 
+    /**
+     * Record one sample and refresh its bucket's exemplar (when
+     * options.exemplars is on; otherwise identical to the
+     * one-argument form). Thread-safe.
+     *
+     * @param traceId wire trace id of the request; 0 when untraced.
+     * @param ref flight-recorder sequence of the request's record.
+     */
+    void record(double value, uint64_t traceId, uint64_t ref);
+
     /** Total samples recorded. */
     uint64_t count() const;
 
@@ -124,8 +168,23 @@ class LogHistogram
     const HistogramOptions &options() const { return options_; }
 
   private:
+    // Per-bucket exemplar storage: a seqlock stamp (0 never
+    // written, odd mid-update, even published) keeps the three
+    // fields mutually consistent without a lock.
+    struct ExemplarSlot {
+        std::atomic<uint64_t> stamp{0};
+        std::atomic<uint64_t> traceId{0};
+        std::atomic<uint64_t> ref{0};
+        std::atomic<uint64_t> valueBits{0};
+    };
+
+    void writeExemplar(size_t bucket, double value, uint64_t traceId,
+                       uint64_t ref);
+    bool readExemplar(size_t bucket, Exemplar &out) const;
+
     HistogramOptions options_;
     std::vector<std::atomic<uint64_t>> buckets_;
+    std::vector<ExemplarSlot> exemplars_;
     std::atomic<uint64_t> count_{0};
     std::atomic<double> sum_{0.0};
 

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tail-attribution engine tests: cohort selection, per-phase
+ * excess accounting, dominant-contributor identification, model
+ * filtering, the renderings, and the metric publication.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/attribution.hh"
+#include "telemetry/metrics.hh"
+
+using namespace djinn;
+using namespace djinn::telemetry;
+
+namespace {
+
+/** A fast request: all phases cheap. */
+FlightRecord
+fastRecord(const std::string &model, double forward)
+{
+    FlightRecord record;
+    record.setModel(model);
+    record.decodeSeconds = 0.0001;
+    record.queueWaitSeconds = 0.0002;
+    record.forwardSeconds = forward;
+    record.encodeSeconds = 0.0001;
+    record.totalSeconds = record.decodeSeconds +
+                          record.queueWaitSeconds +
+                          record.forwardSeconds +
+                          record.encodeSeconds;
+    return record;
+}
+
+/** A slow request whose extra time is queue wait. */
+FlightRecord
+queuedRecord(const std::string &model, double queueWait)
+{
+    FlightRecord record = fastRecord(model, 0.002);
+    record.queueWaitSeconds = queueWait;
+    record.totalSeconds = record.decodeSeconds + queueWait +
+                          record.forwardSeconds +
+                          record.encodeSeconds;
+    return record;
+}
+
+} // namespace
+
+TEST(Attribution, EmptyRecordsYieldEmptyReport)
+{
+    TailReport report = attributeTail({}, 99.0);
+    EXPECT_EQ(report.records, 0u);
+    EXPECT_TRUE(report.dominant.empty());
+    EXPECT_NE(renderTailReport(report).find("no completed"),
+              std::string::npos);
+}
+
+TEST(Attribution, QueueWaitDominatesWhenTailIsQueued)
+{
+    std::vector<FlightRecord> records;
+    for (int i = 0; i < 95; ++i)
+        records.push_back(fastRecord("mnist", 0.002));
+    for (int i = 0; i < 5; ++i)
+        records.push_back(queuedRecord("mnist", 0.100));
+
+    // ceil(0.96 * 100) = rank 96: the threshold order statistic
+    // lands on the first queued record, so the tail cohort is
+    // exactly the five queued requests.
+    TailReport report = attributeTail(records, 96.0);
+    EXPECT_EQ(report.records, 100u);
+    EXPECT_EQ(report.dominant, "queue_wait");
+    ASSERT_FALSE(report.contributors.empty());
+    EXPECT_EQ(report.contributors[0].phase, "queue_wait");
+    EXPECT_GT(report.contributors[0].share, 0.9);
+    EXPECT_GT(report.thresholdSeconds, 0.05);
+    EXPECT_GT(report.tailMeanSeconds, report.baselineMeanSeconds);
+}
+
+TEST(Attribution, ShedRecordsAreExcluded)
+{
+    std::vector<FlightRecord> records;
+    for (int i = 0; i < 10; ++i)
+        records.push_back(fastRecord("mnist", 0.002));
+    FlightRecord shed = queuedRecord("mnist", 10.0);
+    shed.outcome = FlightOutcome::ShedDeadline;
+    records.push_back(shed);
+
+    TailReport report = attributeTail(records, 99.0);
+    EXPECT_EQ(report.records, 10u);
+    EXPECT_LT(report.thresholdSeconds, 0.01);
+}
+
+TEST(Attribution, ModelFilterAndPerModelReports)
+{
+    std::vector<FlightRecord> records;
+    for (int i = 0; i < 20; ++i)
+        records.push_back(fastRecord("mnist", 0.002));
+    for (int i = 0; i < 20; ++i)
+        records.push_back(queuedRecord("vgg", 0.050));
+
+    TailReport mnist = attributeTail(records, 99.0, "mnist");
+    EXPECT_EQ(mnist.records, 20u);
+    TailReport vgg = attributeTail(records, 99.0, "vgg");
+    EXPECT_EQ(vgg.records, 20u);
+    EXPECT_GT(vgg.thresholdSeconds, mnist.thresholdSeconds);
+
+    std::vector<TailReport> reports =
+        attributeTailByModel(records, 99.0);
+    ASSERT_EQ(reports.size(), 2u);
+    // Sorted by model name.
+    EXPECT_EQ(reports[0].model, "mnist");
+    EXPECT_EQ(reports[1].model, "vgg");
+}
+
+TEST(Attribution, RetryInflationIsItsOwnContributor)
+{
+    std::vector<FlightRecord> records;
+    for (int i = 0; i < 50; ++i)
+        records.push_back(fastRecord("mnist", 0.002));
+    for (int i = 0; i < 2; ++i) {
+        FlightRecord record = fastRecord("mnist", 0.002);
+        record.retryWaitSeconds = 0.200;
+        record.retries = 3;
+        record.totalSeconds += record.retryWaitSeconds;
+        records.push_back(record);
+    }
+
+    TailReport report = attributeTail(records, 96.0);
+    EXPECT_EQ(report.dominant, "retry_wait");
+    EXPECT_GT(report.tailMeanRetries, report.baselineMeanRetries);
+}
+
+TEST(Attribution, RenderingsCarryTheVerdict)
+{
+    std::vector<FlightRecord> records;
+    for (int i = 0; i < 30; ++i)
+        records.push_back(fastRecord("mnist", 0.002));
+    for (int i = 0; i < 2; ++i)
+        records.push_back(queuedRecord("mnist", 0.080));
+    TailReport report = attributeTail(records, 93.0);
+
+    std::string text = renderTailReport(report);
+    EXPECT_NE(text.find("tail attribution: model=all pct=93"),
+              std::string::npos);
+    EXPECT_NE(text.find("dominant contributor: queue_wait"),
+              std::string::npos);
+
+    std::string json = renderTailReportJson(report);
+    EXPECT_NE(json.find("\"dominant\": \"queue_wait\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"contributors\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"threshold_seconds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cohorts\""), std::string::npos);
+}
+
+TEST(Attribution, PublishesGaugesWithExtraLabels)
+{
+    std::vector<FlightRecord> records;
+    for (int i = 0; i < 30; ++i)
+        records.push_back(fastRecord("mnist", 0.002));
+    records.push_back(queuedRecord("mnist", 0.080));
+    TailReport report = attributeTail(records, 95.0);
+
+    MetricRegistry registry;
+    recordTailReport(registry, report, {{"policy", "jsq"}});
+
+    LabelMap threshold_labels{{"model", "all"}, {"policy", "jsq"}};
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("djinn_tail_threshold_seconds",
+                       threshold_labels)
+            .value(),
+        report.thresholdSeconds);
+
+    LabelMap dominant_labels{{"model", "all"},
+                             {"policy", "jsq"},
+                             {"contributor", "queue_wait"}};
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("djinn_tail_dominant", dominant_labels)
+            .value(),
+        1.0);
+    LabelMap other_labels{{"model", "all"},
+                          {"policy", "jsq"},
+                          {"contributor", "forward"}};
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("djinn_tail_dominant", other_labels).value(),
+        0.0);
+}

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <thread>
 #include <vector>
@@ -213,6 +214,125 @@ TEST(LogHistogramTest, SnapshotMatchesLiveQueries)
     EXPECT_DOUBLE_EQ(snap.min, hist.min());
     EXPECT_DOUBLE_EQ(snap.max, hist.max());
     EXPECT_DOUBLE_EQ(snap.quantile(0.95), hist.quantile(0.95));
+}
+
+TEST(HistogramExemplarTest, DisabledByDefault)
+{
+    LogHistogram hist;
+    hist.record(1e-3, /*traceId=*/42, /*ref=*/7);
+    auto snap = hist.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    // No exemplar storage unless opted in: snapshots stay lean and
+    // the plain Prometheus rendering stays byte-stable.
+    EXPECT_TRUE(snap.exemplars.empty());
+}
+
+TEST(HistogramExemplarTest, RecordAttachesExemplarToBucket)
+{
+    HistogramOptions options;
+    options.firstBound = 1e-3;
+    options.growth = 2.0;
+    options.bucketCount = 4;
+    options.exemplars = true;
+    LogHistogram hist(options);
+
+    hist.record(1.5e-3, /*traceId=*/0xabc, /*ref=*/17);
+    auto snap = hist.snapshot();
+    ASSERT_EQ(snap.exemplars.size(), snap.buckets.size());
+
+    int bucket = hist.bucketIndex(1.5e-3);
+    ASSERT_GE(bucket, 0);
+    const Exemplar &ex = snap.exemplars[size_t(bucket)];
+    EXPECT_TRUE(ex.valid);
+    EXPECT_EQ(ex.traceId, 0xabcu);
+    EXPECT_EQ(ex.ref, 17u);
+    EXPECT_DOUBLE_EQ(ex.value, 1.5e-3);
+
+    // Untouched buckets carry no exemplar.
+    for (size_t i = 0; i < snap.exemplars.size(); ++i)
+        if (i != size_t(bucket))
+            EXPECT_FALSE(snap.exemplars[i].valid);
+}
+
+TEST(HistogramExemplarTest, MostRecentObservationWins)
+{
+    HistogramOptions options;
+    options.exemplars = true;
+    LogHistogram hist(options);
+
+    hist.record(2e-3, 1, 100);
+    hist.record(2e-3, 2, 200); // same bucket, newer request
+    auto snap = hist.snapshot();
+    int bucket = hist.bucketIndex(2e-3);
+    const Exemplar &ex = snap.exemplars[size_t(bucket)];
+    EXPECT_TRUE(ex.valid);
+    EXPECT_EQ(ex.traceId, 2u);
+    EXPECT_EQ(ex.ref, 200u);
+}
+
+TEST(HistogramExemplarTest, TwoArgRecordLeavesExemplarIntact)
+{
+    HistogramOptions options;
+    options.exemplars = true;
+    LogHistogram hist(options);
+
+    hist.record(2e-3, 9, 90);
+    hist.record(2e-3); // untraced observation, no exemplar refresh
+    auto snap = hist.snapshot();
+    int bucket = hist.bucketIndex(2e-3);
+    EXPECT_EQ(snap.buckets[size_t(bucket)], 2u);
+    EXPECT_TRUE(snap.exemplars[size_t(bucket)].valid);
+    EXPECT_EQ(snap.exemplars[size_t(bucket)].traceId, 9u);
+}
+
+TEST(HistogramExemplarTest, ConcurrentWritersNeverTearSlots)
+{
+    // Hammer one histogram from many threads with exemplar-bearing
+    // observations; a snapshotting reader must only ever see
+    // (traceId, ref, value) triples written together. Runs under
+    // TSan via scripts/check_build.sh.
+    HistogramOptions options;
+    options.exemplars = true;
+    LogHistogram hist(options);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::thread reader([&]() {
+        while (!stop.load()) {
+            auto snap = hist.snapshot();
+            for (const Exemplar &ex : snap.exemplars) {
+                if (!ex.valid)
+                    continue;
+                // Writers keep ref == traceId * 10 and value
+                // derived from traceId; any mismatch is a torn
+                // read slipping past the seqlock.
+                if (ex.ref != ex.traceId * 10)
+                    torn.fetch_add(1);
+            }
+        }
+    });
+
+    constexpr int kWriters = 4;
+    constexpr int kPerWriter = 50000;
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w]() {
+            for (int i = 0; i < kPerWriter; ++i) {
+                uint64_t trace_id =
+                    uint64_t(w) * kPerWriter + uint64_t(i) + 1;
+                double value =
+                    1e-6 * double(1 + ((w * 7 + i) % 1000));
+                hist.record(value, trace_id, trace_id * 10);
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    stop.store(true);
+    reader.join();
+
+    EXPECT_EQ(torn.load(), 0);
+    EXPECT_EQ(hist.count(), uint64_t(kWriters) * kPerWriter);
 }
 
 } // namespace

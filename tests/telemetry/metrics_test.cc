@@ -299,6 +299,115 @@ TEST(PhaseNameTest, StableLabels)
     EXPECT_STREQ(phaseName(Phase::Service), "service");
 }
 
+TEST(ExpositionTest, OpenMetricsRendersCumulativeBucketsAndEof)
+{
+    MetricRegistry registry;
+    HistogramOptions options;
+    options.firstBound = 1e-3;
+    options.growth = 2.0;
+    options.bucketCount = 4;
+    LogHistogram &hist = registry.histogram(
+        "djinn_request_seconds", {{"model", "mnist"}}, options);
+    hist.record(0.5e-3);  // bucket 0 (le 1e-3)
+    hist.record(1.5e-3);  // bucket 1 (le 2e-3)
+    hist.record(1.5e-3);
+
+    std::string text = renderOpenMetrics(registry.snapshot());
+    EXPECT_NE(
+        text.find("# TYPE djinn_request_seconds histogram"),
+        std::string::npos);
+    // Cumulative counts per le bound.
+    EXPECT_NE(text.find("le=\"0.001\"", 0), std::string::npos);
+    EXPECT_NE(text.find("le=\"0.002\"", 0), std::string::npos);
+    // Trailing empty finite buckets collapse into mandatory +Inf.
+    EXPECT_EQ(text.find("le=\"0.004\""), std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+    auto parsed = parseExposition(text);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    auto inf = findSample(parsed.value(),
+                          "djinn_request_seconds_bucket",
+                          {{"le", "+Inf"}, {"model", "mnist"}});
+    ASSERT_TRUE(inf.isOk());
+    EXPECT_DOUBLE_EQ(inf.value(), 3.0);
+    auto first = findSample(parsed.value(),
+                            "djinn_request_seconds_bucket",
+                            {{"le", "0.001"}, {"model", "mnist"}});
+    ASSERT_TRUE(first.isOk());
+    EXPECT_DOUBLE_EQ(first.value(), 1.0);
+    EXPECT_NE(text.find("djinn_request_seconds_count"),
+              std::string::npos);
+    EXPECT_NE(text.find("djinn_request_seconds_sum"),
+              std::string::npos);
+    // The spec-mandated terminator, exactly at the end.
+    ASSERT_GE(text.size(), 6u);
+    EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST(ExpositionTest, OpenMetricsCarriesExemplars)
+{
+    MetricRegistry registry;
+    HistogramOptions options;
+    options.firstBound = 1e-3;
+    options.growth = 2.0;
+    options.bucketCount = 4;
+    options.exemplars = true;
+    LogHistogram &hist = registry.histogram(
+        "djinn_request_seconds", {{"model", "mnist"}}, options);
+    hist.record(1.5e-3, /*traceId=*/0xabcd, /*ref=*/17);
+    hist.record(0.5e-3, /*traceId=*/0, /*ref=*/4);
+
+    std::string text = renderOpenMetrics(registry.snapshot());
+    // Traced request: trace_id label plus flight-record ref.
+    EXPECT_NE(
+        text.find(" # {trace_id=\"000000000000abcd\","
+                  "record=\"17\"} 0.0015"),
+        std::string::npos);
+    // Untraced request: trace_id omitted, ref still present.
+    EXPECT_NE(text.find(" # {record=\"4\"} 0.0005"),
+              std::string::npos);
+
+    // The parser must tolerate exemplar suffixes.
+    auto parsed = parseExposition(text);
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    auto count = findSample(parsed.value(),
+                            "djinn_request_seconds_count",
+                            {{"model", "mnist"}});
+    ASSERT_TRUE(count.isOk());
+    EXPECT_DOUBLE_EQ(count.value(), 2.0);
+}
+
+TEST(ExpositionTest, PrometheusRenderingStaysFreeOfOpenMetrics)
+{
+    // The plain Prometheus rendering must not change when exemplar
+    // collection is enabled: same bytes, no exemplar markers, no
+    // EOF terminator, no _bucket series.
+    MetricRegistry plain;
+    MetricRegistry enabled;
+    HistogramOptions with_exemplars;
+    with_exemplars.exemplars = true;
+    for (int i = 0; i < 50; ++i) {
+        plain.histogram("djinn_request_seconds").record(i * 1e-4);
+        enabled
+            .histogram("djinn_request_seconds", {}, with_exemplars)
+            .record(i * 1e-4, uint64_t(i + 1), uint64_t(i));
+    }
+    std::string a = renderPrometheus(plain.snapshot());
+    std::string b = renderPrometheus(enabled.snapshot());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b.find(" # "), std::string::npos);
+    EXPECT_EQ(b.find("# EOF"), std::string::npos);
+    EXPECT_EQ(b.find("_bucket"), std::string::npos);
+}
+
+TEST(ExpositionTest, OpenMetricsContentTypeConstant)
+{
+    EXPECT_EQ(std::string(openMetricsContentType)
+                  .find("application/openmetrics-text"),
+              0u);
+    EXPECT_NE(std::string(openMetricsContentType).find("version="),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace telemetry
 } // namespace djinn

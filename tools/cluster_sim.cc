@@ -37,6 +37,7 @@
 #include "common/logging.hh"
 #include "common/strings.hh"
 #include "serve/app.hh"
+#include "telemetry/attribution.hh"
 #include "telemetry/exposition.hh"
 
 using namespace djinn;
@@ -217,5 +218,13 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(app.completed),
                     1e3 * app.latency.p50, 1e3 * app.latency.p99);
     }
+
+    // Why is the p99 what it is? Same attribution engine as the
+    // live server's /debug/tail, over this run's flight records.
+    std::printf("\n%s",
+                telemetry::renderTailReport(telemetry::attributeTail(
+                                                result.flightRecords,
+                                                99.0))
+                    .c_str());
     return 0;
 }

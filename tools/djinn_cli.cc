@@ -8,6 +8,7 @@
  *   djinn_cli ... HOST PORT list
  *   djinn_cli ... HOST PORT stats
  *   djinn_cli ... HOST PORT metrics [prometheus|json|requests]
+ *   djinn_cli ... HOST PORT tail [PCT]
  *   djinn_cli ... HOST PORT trace OUT.json [last_n]
  *   djinn_cli ... HOST PORT profile [SECONDS] [OUT.txt]
  *   djinn_cli ... HOST PORT infer MODEL ROWS [payload.f32]
@@ -28,6 +29,13 @@
  * format prints the recent-request table instead: one line per
  * request with its trace id, rows, the size of the batch that
  * served it, and service latency.
+ *
+ * `tail` asks the server's flight recorder where tail latency
+ * comes from: it compares the pPCT-slowest requests (default p99)
+ * against the p50-and-faster baseline and prints the per-phase
+ * excess — queue wait vs forward vs read/decode/encode — fleet-wide
+ * and per model. See DESIGN.md "Tail attribution & flight
+ * recorder".
  *
  * `trace` downloads the server's span ring as Chrome trace-event
  * JSON; open the file in chrome://tracing or
@@ -66,10 +74,12 @@ usage()
     std::fprintf(stderr,
                  "usage: djinn_cli [--timeout-ms N] [--retries N] "
                  "[--deadline-ms N] HOST PORT "
-                 "ping|list|stats|metrics|trace|profile|infer "
+                 "ping|list|stats|metrics|tail|trace|profile|infer "
                  "[MODEL ROWS [payload.f32]]\n"
                  "       metrics takes an optional format: "
                  "prometheus (default), json, or requests\n"
+                 "       tail takes an optional percentile: "
+                 "djinn_cli HOST PORT tail [PCT] (default 99)\n"
                  "       trace takes an output file: "
                  "djinn_cli HOST PORT trace out.json\n"
                  "       profile takes an optional window and "
@@ -197,6 +207,27 @@ main(int argc, char **argv)
                         fields[2].c_str(), fields[3].c_str(),
                         fields[4].c_str());
         }
+        return 0;
+    }
+    if (command == "tail") {
+        // The Metrics verb's "tail:PCT" format runs the server-side
+        // tail attribution over the flight recorder.
+        double pct = 99.0;
+        if (argc > 4) {
+            pct = std::atof(argv[4]);
+            if (!(pct > 0.0 && pct < 100.0)) {
+                std::fprintf(stderr, "PCT must be in (0, 100)\n");
+                return 2;
+            }
+        }
+        auto report =
+            client.metricsExposition(strprintf("tail:%g", pct));
+        if (!report.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         report.status().toString().c_str());
+            return 1;
+        }
+        std::fputs(report.value().c_str(), stdout);
         return 0;
     }
     if (command == "profile") {

@@ -12,8 +12,14 @@
  * fetches /profile?seconds=1 and checks the body is collapsed
  * stacks ("frame;frame;... count" lines — empty allowed on idle
  * servers, 503 allowed where profiling signals are restricted).
- * Exits 0 when every check passes; prints the first failure and
- * exits 1 otherwise.
+ * Then it exercises content negotiation: /metrics with `Accept:
+ * application/openmetrics-text` must answer the OpenMetrics
+ * content type, terminate with `# EOF`, carry only well-formed
+ * `# {...} value` exemplar suffixes, and still parse; the plain
+ * Prometheus rendering must stay free of exemplar/OpenMetrics
+ * markers (byte-stable with exemplars off). Finally /debug/tail
+ * must answer attribution JSON. Exits 0 when every check passes;
+ * prints the first failure and exits 1 otherwise.
  *
  * Exists so `scripts/check_build.sh` can smoke-test the endpoint
  * without assuming curl is installed.
@@ -38,10 +44,17 @@ using namespace djinn;
 
 namespace {
 
-/** One blocking HTTP/1.0 GET. Returns false on connect/io error. */
+/**
+ * One blocking HTTP/1.0 GET. Returns false on connect/io error.
+ * @p accept, when non-empty, is sent as the Accept header;
+ * @p content_type, when non-null, receives the response's
+ * Content-Type value ("" if the header is missing).
+ */
 bool
 httpGet(const std::string &host, uint16_t port,
-        const std::string &path, int &code, std::string &body)
+        const std::string &path, int &code, std::string &body,
+        const std::string &accept = std::string(),
+        std::string *content_type = nullptr)
 {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
@@ -57,7 +70,10 @@ httpGet(const std::string &host, uint16_t port,
     }
 
     std::string request = "GET " + path + " HTTP/1.0\r\n"
-                          "Host: " + host + "\r\n\r\n";
+                          "Host: " + host + "\r\n";
+    if (!accept.empty())
+        request += "Accept: " + accept + "\r\n";
+    request += "\r\n";
     size_t sent = 0;
     while (sent < request.size()) {
         ssize_t n = ::send(fd, request.data() + sent,
@@ -93,8 +109,69 @@ httpGet(const std::string &host, uint16_t port,
     size_t sep = response.find("\r\n\r\n");
     if (sep == std::string::npos)
         return false;
+    if (content_type) {
+        content_type->clear();
+        std::string head = response.substr(0, sep);
+        size_t at = head.find("Content-Type:");
+        if (at != std::string::npos) {
+            at += std::strlen("Content-Type:");
+            size_t end = head.find("\r\n", at);
+            while (at < end && head[at] == ' ')
+                ++at;
+            *content_type = head.substr(at, end - at);
+        }
+    }
     body = response.substr(sep + 4);
     return true;
+}
+
+/**
+ * Check every exemplar suffix in an OpenMetrics body: a line
+ * containing " # " must be a `_bucket` sample whose suffix is
+ * `{label="value",...} <number>`. Returns the number of exemplars
+ * seen, or -1 with a diagnostic on malformed syntax.
+ */
+long
+checkExemplarSyntax(const std::string &body)
+{
+    long exemplars = 0;
+    size_t pos = 0;
+    while (pos < body.size()) {
+        size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        std::string line = body.substr(pos, eol - pos);
+        pos = eol + 1;
+        size_t hash = line.find(" # ");
+        if (hash == std::string::npos)
+            continue;
+        if (line.find("_bucket{") == std::string::npos) {
+            std::fprintf(stderr,
+                         "FAIL: exemplar on a non-bucket line: "
+                         "'%s'\n", line.c_str());
+            return -1;
+        }
+        std::string suffix = line.substr(hash + 3);
+        size_t close = suffix.rfind('}');
+        if (suffix.empty() || suffix[0] != '{' ||
+            close == std::string::npos || close + 1 >= suffix.size() ||
+            suffix[close + 1] != ' ') {
+            std::fprintf(stderr,
+                         "FAIL: malformed exemplar suffix: '%s'\n",
+                         line.c_str());
+            return -1;
+        }
+        char *end = nullptr;
+        std::strtod(suffix.c_str() + close + 2, &end);
+        if (end == suffix.c_str() + close + 2) {
+            std::fprintf(stderr,
+                         "FAIL: exemplar without a value: '%s'\n",
+                         line.c_str());
+            return -1;
+        }
+        ++exemplars;
+    }
+    return exemplars;
 }
 
 } // namespace
@@ -175,33 +252,115 @@ main(int argc, char **argv)
     }
     if (code == 503) {
         std::printf("ok: /profile 503 (profiler unavailable)\n");
-        return 0;
-    }
-    if (code != 200) {
+    } else if (code != 200) {
         std::fprintf(stderr, "FAIL: GET /profile -> %d\n", code);
         return 1;
-    }
-    size_t stacks = 0;
-    size_t pos = 0;
-    while (pos < body.size()) {
-        size_t eol = body.find('\n', pos);
-        if (eol == std::string::npos)
-            eol = body.size();
-        std::string line = body.substr(pos, eol - pos);
-        pos = eol + 1;
-        if (line.empty())
-            continue;
-        size_t space = line.rfind(' ');
-        if (space == std::string::npos ||
-            std::atoll(line.c_str() + space + 1) <= 0) {
-            std::fprintf(stderr,
-                         "FAIL: /profile line not collapsed-stack "
-                         "format: '%s'\n", line.c_str());
-            return 1;
+    } else {
+        size_t stacks = 0;
+        size_t pos = 0;
+        while (pos < body.size()) {
+            size_t eol = body.find('\n', pos);
+            if (eol == std::string::npos)
+                eol = body.size();
+            std::string line = body.substr(pos, eol - pos);
+            pos = eol + 1;
+            if (line.empty())
+                continue;
+            size_t space = line.rfind(' ');
+            if (space == std::string::npos ||
+                std::atoll(line.c_str() + space + 1) <= 0) {
+                std::fprintf(stderr,
+                             "FAIL: /profile line not "
+                             "collapsed-stack format: '%s'\n",
+                             line.c_str());
+                return 1;
+            }
+            ++stacks;
         }
-        ++stacks;
+        std::printf("ok: /profile answers %zu collapsed stacks\n",
+                    stacks);
     }
-    std::printf("ok: /profile answers %zu collapsed stacks\n",
-                stacks);
+
+    // 5. Content negotiation: Accept: application/openmetrics-text
+    // must select the OpenMetrics rendering — right content type,
+    // `# EOF` terminator, well-formed exemplar suffixes, and a body
+    // the tolerant exposition parser still accepts.
+    std::string content_type;
+    if (!httpGet(host, port, "/metrics", code, body,
+                 "application/openmetrics-text", &content_type) ||
+        code != 200) {
+        std::fprintf(stderr,
+                     "FAIL: GET /metrics (openmetrics) -> %d\n",
+                     code);
+        return 1;
+    }
+    if (content_type.find("application/openmetrics-text") ==
+        std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: openmetrics negotiation answered "
+                     "content type '%s'\n", content_type.c_str());
+        return 1;
+    }
+    if (body.size() < 6 ||
+        body.compare(body.size() - 6, 6, "# EOF\n") != 0) {
+        std::fprintf(stderr,
+                     "FAIL: openmetrics body lacks the # EOF "
+                     "terminator\n");
+        return 1;
+    }
+    long exemplars = checkExemplarSyntax(body);
+    if (exemplars < 0)
+        return 1;
+    auto om_parsed = telemetry::parseExposition(body);
+    if (!om_parsed.isOk()) {
+        std::fprintf(stderr,
+                     "FAIL: openmetrics body does not parse: %s\n",
+                     om_parsed.status().toString().c_str());
+        return 1;
+    }
+    std::printf("ok: /metrics openmetrics negotiation (%ld "
+                "exemplars)\n", exemplars);
+
+    // 6. The plain Prometheus rendering must be untouched by the
+    // exemplar machinery: no exemplar markers, no OpenMetrics
+    // terminator, and the plain content type.
+    if (!httpGet(host, port, "/metrics", code, body, "text/plain",
+                 &content_type) ||
+        code != 200) {
+        std::fprintf(stderr, "FAIL: GET /metrics (plain) -> %d\n",
+                     code);
+        return 1;
+    }
+    if (content_type.find("text/plain") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: plain scrape answered content type "
+                     "'%s'\n", content_type.c_str());
+        return 1;
+    }
+    if (body.find(" # ") != std::string::npos ||
+        body.find("# EOF") != std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: plain Prometheus output carries "
+                     "OpenMetrics markers\n");
+        return 1;
+    }
+    std::printf("ok: /metrics plain output free of exemplar "
+                "markers\n");
+
+    // 7. /debug/tail must answer attribution JSON.
+    if (!httpGet(host, port, "/debug/tail", code, body,
+                 std::string(), &content_type) ||
+        code != 200) {
+        std::fprintf(stderr, "FAIL: GET /debug/tail -> %d\n", code);
+        return 1;
+    }
+    if (body.find("\"fleet\"") == std::string::npos ||
+        body.find("\"models\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: /debug/tail body is not an attribution "
+                     "document\n");
+        return 1;
+    }
+    std::printf("ok: /debug/tail answers attribution JSON\n");
     return 0;
 }
