@@ -6,21 +6,28 @@
  * networks on the CPU path.
  *
  * After the benchmarks run, the Table-1 GEMM shapes are re-timed
- * directly (best-of-N wall time) at 1, 2, 4, and 8 compute threads,
- * the reference scalar kernel (sgemm_naive) is timed at the square
- * 512 shape as the speedup baseline, and the whole set is printed
- * as a telemetry-registry JSON snapshot on stdout — the format
+ * directly (best-of-N wall time) at 1, 2, 4, and 8 compute threads
+ * for each compute precision (f32, bf16, int8; DESIGN.md §14), the
+ * reference scalar kernel (sgemm_naive) is timed at the square 512
+ * shape as the speedup baseline, and the whole set is printed as a
+ * telemetry-registry JSON snapshot on stdout — the format
  * BENCH_*.json trajectories capture:
  *
- *   djinn_gemm_gflops{shape,m,n,k,threads}   blocked kernel rate
+ *   djinn_gemm_gflops{shape,m,n,k,threads,precision}  kernel rate
  *   djinn_gemm_naive_gflops{shape,...}       reference kernel rate
  *   djinn_gemm_speedup_1t{shape="square512"} blocked / naive, 1 thread
+ *
+ * int8 timings count the activation-side quantize+pack (weights are
+ * pre-quantized once, as a server would hold them).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -212,24 +219,73 @@ recordGemmRates(telemetry::MetricRegistry &registry)
             {"n", std::to_string(shape.n)},
             {"k", std::to_string(shape.k)}};
 
-        for (int threads : {1, 2, 4, 8}) {
-            common::setComputeThreads(threads);
-            // Warm the pool and the pack buffers once.
-            nn::sgemm(shape.m, shape.n, shape.k, a.data(), b.data(),
-                      c.data());
-            double secs = bestSeconds(5, [&]() {
-                nn::sgemm(shape.m, shape.n, shape.k, a.data(),
-                          b.data(), c.data());
-            });
-            telemetry::LabelMap labels = base;
-            labels["threads"] = std::to_string(threads);
-            double gflops = flops / secs / 1e9;
-            registry.gauge("djinn_gemm_gflops", labels).set(gflops);
-            if (threads == 1 &&
-                std::string(shape.name) == "square512")
-                fast512 = gflops;
+        // int8 operands: weights (B) pre-quantized per output
+        // column, activations (A) quantized inside the timed call —
+        // the serving cost split.
+        std::vector<int8_t> b8(b.size());
+        std::vector<float> b_scales(static_cast<size_t>(shape.n));
+        for (int64_t j = 0; j < shape.n; ++j) {
+            float col_max = 0.0f;
+            for (int64_t p = 0; p < shape.k; ++p)
+                col_max = std::max(
+                    col_max, std::fabs(b[p * shape.n + j]));
+            nn::QuantParams wq = nn::QuantParams::symmetricS8(
+                col_max);
+            b_scales[static_cast<size_t>(j)] = wq.scale;
+            for (int64_t p = 0; p < shape.k; ++p)
+                b8[p * shape.n + j] = static_cast<int8_t>(
+                    wq.quantize(b[p * shape.n + j]));
         }
-        common::setComputeThreads(0);
+        float a_lo, a_hi;
+        nn::minMax(a.data(), static_cast<int64_t>(a.size()), &a_lo,
+                   &a_hi);
+        nn::QuantParams aq = nn::QuantParams::affineU8(a_lo, a_hi);
+
+        struct PrecisionRun {
+            const char *name;
+            std::function<void()> run;
+        };
+        const PrecisionRun runs[] = {
+            {"f32",
+             [&]() {
+                 nn::sgemm(shape.m, shape.n, shape.k, a.data(),
+                           b.data(), c.data());
+             }},
+            {"bf16",
+             [&]() {
+                 nn::gemm_bf16(nn::Trans::No, nn::Trans::No, shape.m,
+                               shape.n, shape.k, 1.0f, a.data(),
+                               shape.k, b.data(), shape.n, 0.0f,
+                               c.data(), shape.n);
+             }},
+            {"int8",
+             [&]() {
+                 nn::gemm_s8(nn::Trans::No, nn::Trans::No, shape.m,
+                             shape.n, shape.k, 1.0f, a.data(),
+                             shape.k, aq, b8.data(), shape.n,
+                             b_scales.data(), 0.0f, c.data(),
+                             shape.n);
+             }},
+        };
+        for (const PrecisionRun &pr : runs) {
+            for (int threads : {1, 2, 4, 8}) {
+                common::setComputeThreads(threads);
+                // Warm the pool and the pack buffers once.
+                pr.run();
+                double secs = bestSeconds(5, pr.run);
+                telemetry::LabelMap labels = base;
+                labels["threads"] = std::to_string(threads);
+                labels["precision"] = pr.name;
+                double gflops = flops / secs / 1e9;
+                registry.gauge("djinn_gemm_gflops", labels)
+                    .set(gflops);
+                if (threads == 1 &&
+                    std::string(pr.name) == "f32" &&
+                    std::string(shape.name) == "square512")
+                    fast512 = gflops;
+            }
+            common::setComputeThreads(0);
+        }
 
         // Reference scalar kernel, single thread by construction.
         double naiveSecs = bestSeconds(3, [&]() {

@@ -153,6 +153,45 @@ if ! grep -q djinn_tail_dominant /tmp/djinn_cluster_a.json; then
 fi
 rm -f /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json
 
+# Quantization battery (DESIGN.md §14), three parts. First the
+# microbenchmark's registry snapshot: int8 must actually be faster
+# than f32 at the square 512 shape on one thread, or the low-
+# precision path has regressed into pointless accuracy loss.
+# (--benchmark_filter skips the google-benchmark suites; the GEMM
+# rate snapshot always runs.)
+./build/bench/microbench_nn --benchmark_filter='^$' \
+    > /tmp/djinn_microbench.json
+gflops() {
+    grep '"djinn_gemm_gflops"' /tmp/djinn_microbench.json \
+        | grep '"shape": "square512"' \
+        | grep "\"precision\": \"$1\"" \
+        | grep '"threads": "1"' \
+        | sed -E 's/.*"value": ([0-9.eE+-]+).*/\1/'
+}
+int8_rate=$(gflops int8)
+f32_rate=$(gflops f32)
+if [ -z "$int8_rate" ] || [ -z "$f32_rate" ]; then
+    echo "check_build: microbench JSON lacks precision-labeled" \
+         "djinn_gemm_gflops samples" >&2
+    exit 1
+fi
+if ! awk -v i="$int8_rate" -v f="$f32_rate" \
+    'BEGIN { exit !(i + 0 >= f + 0) }'; then
+    echo "check_build: int8 512^3 GEMM ($int8_rate GF) slower" \
+         "than f32 ($f32_rate GF)" >&2
+    exit 1
+fi
+rm -f /tmp/djinn_microbench.json
+
+# Second, the differential battery and quantization property tests
+# under AddressSanitizer + UBSan: the packed kernels index raw
+# panel buffers with hand-rolled arithmetic, exactly where a
+# fuzzy-but-passing out-of-bounds read would hide.
+cmake -B build-asan -S . -DDJINN_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-asan -j --target nn_test
+./build-asan/tests/nn_test --gtest_filter='GemmDiff*:Quant*'
+
 # ThreadSanitizer pass over the concurrency-heavy suites: the
 # compute pool, the threaded GEMM kernel, the batching server, and
 # the request-lifecycle robustness battery.
@@ -162,7 +201,10 @@ cmake --build build-tsan -j --target common_test nn_test core_test \
     cluster_test telemetry_test
 ./build-tsan/tests/common_test \
     --gtest_filter='ThreadPool*:ComputePool*'
-./build-tsan/tests/nn_test --gtest_filter='GemmDiff*'
+# GemmDiff* covers the f32, bf16, and int8 batteries (all three
+# run the threaded driver); Quant* rides along for the scalar
+# primitives.
+./build-tsan/tests/nn_test --gtest_filter='GemmDiff*:Quant*'
 ./build-tsan/tests/core_test \
     --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*'
 # The flight recorder's seqlock ring and the histogram exemplar

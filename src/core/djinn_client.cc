@@ -253,16 +253,22 @@ DjinnClient::describeModel(const std::string &model)
         return Status::notFound(r.message);
     if (r.status != WireStatus::Ok)
         return Status::internal(r.message);
-    // Parse "input=CxHxW output=N".
+    // Parse "input=CxHxW output=N [precision=P]"; the precision
+    // field is absent from pre-quantization servers.
     ModelInfo info;
-    if (std::sscanf(r.message.c_str(),
-                    "input=%" SCNd64 "x%" SCNd64 "x%" SCNd64
-                    " output=%" SCNd64,
-                    &info.channels, &info.height, &info.width,
-                    &info.outputs) != 4) {
+    char precision[16];
+    int fields = std::sscanf(
+        r.message.c_str(),
+        "input=%" SCNd64 "x%" SCNd64 "x%" SCNd64
+        " output=%" SCNd64 " precision=%15s",
+        &info.channels, &info.height, &info.width, &info.outputs,
+        precision);
+    if (fields < 4) {
         return Status::protocolError("malformed describe reply '" +
                                      r.message + "'");
     }
+    if (fields == 5)
+        info.precision = precision;
     return info;
 }
 

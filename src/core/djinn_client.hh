@@ -125,6 +125,12 @@ class DjinnClient
         int64_t height = 0;
         int64_t width = 0;
         int64_t outputs = 0;
+        /**
+         * The model's serving compute precision ("f32", "bf16",
+         * "int8"). Servers predating the field omit it; it then
+         * defaults to f32.
+         */
+        std::string precision = "f32";
 
         /** Floats per input row. */
         int64_t

@@ -160,6 +160,36 @@ DjinnServer::start()
     metrics_.gauge(telemetry::perfAvailableMetricName)
         .set(telemetry::perfCountersAvailable() ? 1.0 : 0.0);
 
+    // Validate declared per-model precisions against what the
+    // registry actually holds, then export every model's serving
+    // precision so scrapers can see mixed-precision deployments.
+    for (const auto &[model, precision] : config_.modelPrecisions) {
+        auto network = registry_.find(model);
+        if (!network) {
+            return Status::invalidArgument(
+                "precision configured for unknown model '" + model +
+                "'");
+        }
+        if (network->precision() != precision) {
+            return Status::invalidArgument(strprintf(
+                "model '%s' was built at precision %s but is "
+                "configured for %s", model.c_str(),
+                nn::precisionName(network->precision()),
+                nn::precisionName(precision)));
+        }
+    }
+    for (const std::string &model : registry_.modelNames()) {
+        auto network = registry_.find(model);
+        if (!network)
+            continue;
+        metrics_
+            .gauge("djinn_model_precision",
+                   {{"model", model},
+                    {"precision",
+                     nn::precisionName(network->precision())}})
+            .set(1.0);
+    }
+
     if (config_.profileHz > 0) {
         Status prof =
             telemetry::Profiler::instance().start(config_.profileHz);
@@ -688,12 +718,13 @@ DjinnServer::handleRequest(const Request &request,
             }
             const nn::Shape &in = network->inputShape();
             response.message = strprintf(
-                "input=%lldx%lldx%lld output=%lld",
+                "input=%lldx%lldx%lld output=%lld precision=%s",
                 static_cast<long long>(in.c()),
                 static_cast<long long>(in.h()),
                 static_cast<long long>(in.w()),
                 static_cast<long long>(
-                    network->outputShape().sampleElems()));
+                    network->outputShape().sampleElems()),
+                nn::precisionName(network->precision()));
             return response;
         }
       case RequestType::Stats:

@@ -142,6 +142,18 @@ struct ServerConfig {
      * kept across ring wraps. 0 disables the reservoir.
      */
     size_t flightReservoir = 256;
+
+    /**
+     * Declared per-model serving precisions (`djinnd --precision
+     * <model>=int8|bf16|f32`). The registry's networks are lowered
+     * when they are built; this map is the deployment's declared
+     * intent, validated against the registry at start() — a model
+     * listed here that is missing or was built at a different
+     * precision fails startup instead of silently serving the
+     * wrong numerics. Every registered model's actual precision is
+     * exported as the `djinn_model_precision` gauge regardless.
+     */
+    std::map<std::string, nn::Precision> modelPrecisions;
 };
 
 /**

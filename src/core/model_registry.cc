@@ -28,9 +28,10 @@ ModelRegistry::add(nn::NetworkPtr network)
 }
 
 Status
-ModelRegistry::addZooModel(nn::zoo::Model model, uint64_t seed)
+ModelRegistry::addZooModel(nn::zoo::Model model, uint64_t seed,
+                           nn::Precision precision)
 {
-    return add(nn::zoo::build(model, seed));
+    return add(nn::zoo::build(model, precision, seed));
 }
 
 Status

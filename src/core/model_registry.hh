@@ -42,8 +42,11 @@ class ModelRegistry
      *
      * @param model which zoo network.
      * @param seed weight initialization seed.
+     * @param precision numeric precision to lower the model to
+     *        (int8 is calibrated on the zoo calibration batch).
      */
-    Status addZooModel(nn::zoo::Model model, uint64_t seed = 42);
+    Status addZooModel(nn::zoo::Model model, uint64_t seed = 42,
+                       nn::Precision precision = nn::Precision::F32);
 
     /**
      * Load a model from a netdef file and optional weight file.

@@ -25,6 +25,8 @@
 
 #include <cstdint>
 
+#include "nn/quant.hh"
+
 namespace djinn {
 namespace nn {
 
@@ -72,6 +74,62 @@ void sgemm_naive(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
  */
 void sgemv(int64_t m, int64_t n, const float *a, const float *x,
            float *y);
+
+// ---------------------------------------------------------------
+// Low-precision kernels (DESIGN.md §14). Same blocking, packing,
+// and row-ownership structure as sgemm; both are bit-identical
+// across runs and thread counts per precision.
+// ---------------------------------------------------------------
+
+/**
+ * bf16 GEMM: C = alpha * op(A) * op(B) + beta * C where A and B are
+ * rounded to bfloat16 (round-to-nearest-even) as they are packed
+ * into panels. Accumulation stays f32 in the same fixed order as
+ * sgemm, so the result is deterministic on every host; the error
+ * against sgemm is bounded by the bf16 unit roundoff (2^-8 relative
+ * per operand, so ~k * 2^-8 per dot product).
+ */
+void gemm_bf16(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+               int64_t k, float alpha, const float *a, int64_t lda,
+               const float *b, int64_t ldb, float beta, float *c,
+               int64_t ldc);
+
+/**
+ * int8 GEMM, activations on the left (the fully connected layer
+ * orientation): C = alpha * deq(q(A) * Bq) + beta * C.
+ *
+ * op(A) (m x k, f32) is quantized to unsigned 8-bit codes with the
+ * per-tensor affine mapping @p aq as it is packed; @p b holds
+ * pre-quantized signed 8-bit weight codes in the same storage
+ * layout sgemm expects of B (ldb-strided, trans_b applies), with
+ * symmetric per-output-channel scales @p b_scales — one per column
+ * j of op(B). Accumulation is exact int32 (AVX-512 VNNI vpdpbusd
+ * when available, a bit-identical scalar loop otherwise); the
+ * zero-point correction and scale/dequant happen once per output
+ * element on store. Requires k <= 1 << 16 so the int32 accumulators
+ * cannot overflow.
+ */
+void gemm_s8(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+             int64_t k, float alpha, const float *a, int64_t lda,
+             const QuantParams &aq, const int8_t *b, int64_t ldb,
+             const float *b_scales, float beta, float *c,
+             int64_t ldc);
+
+/**
+ * int8 GEMM, weights on the left (the convolution orientation):
+ * C = alpha * deq(Aq * q(B)) + beta * C.
+ *
+ * op(A) (m x k) holds pre-quantized signed 8-bit weight codes with
+ * symmetric per-output-channel scales @p a_scales — one per row i
+ * of op(A); op(B) (k x n, f32) is quantized per tensor with the
+ * affine signed-8 mapping @p bq as it is packed. Same accumulation
+ * and determinism guarantees as gemm_s8.
+ */
+void gemm_s8_wl(Trans trans_a, Trans trans_b, int64_t m, int64_t n,
+                int64_t k, float alpha, const int8_t *a, int64_t lda,
+                const float *a_scales, const float *b, int64_t ldb,
+                const QuantParams &bq, float beta, float *c,
+                int64_t ldc);
 
 } // namespace nn
 } // namespace djinn

@@ -78,6 +78,20 @@ Layer::forward(const Tensor &in, Tensor &out) const
     forwardImpl(in, out);
 }
 
+void
+Layer::setPrecision(Precision p, LayerQuant q)
+{
+    if (!isSetUp_)
+        panic("layer '%s': setPrecision before setup", name_.c_str());
+    if (!supportsPrecision(p)) {
+        fatal("layer '%s' (%s) does not support precision %s",
+              name_.c_str(), layerKindName(kind_), precisionName(p));
+    }
+    precision_ = p;
+    quant_ = std::move(q);
+    onPrecisionChanged();
+}
+
 uint64_t
 Layer::flopsPerSample() const
 {
@@ -105,11 +119,15 @@ Layer::params() const
 std::string
 Layer::describe() const
 {
-    return strprintf("%s (%s): %s -> %s, %lu params", name_.c_str(),
-                     layerKindName(kind_),
-                     inputShape_.toString().c_str(),
-                     outputShape_.toString().c_str(),
-                     static_cast<unsigned long>(paramCount()));
+    std::string s =
+        strprintf("%s (%s): %s -> %s, %lu params", name_.c_str(),
+                  layerKindName(kind_),
+                  inputShape_.toString().c_str(),
+                  outputShape_.toString().c_str(),
+                  static_cast<unsigned long>(paramCount()));
+    if (precision_ != Precision::F32)
+        s += strprintf(" [%s]", precisionName(precision_));
+    return s;
 }
 
 } // namespace nn

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "nn/quant.hh"
 #include "nn/tensor.hh"
 
 namespace djinn {
@@ -106,6 +107,44 @@ class Layer
     /** One-line human-readable description. */
     virtual std::string describe() const;
 
+    /** Numeric precision this layer executes at (F32 until lowered). */
+    Precision precision() const { return precision_; }
+
+    /** Quantization state installed by setPrecision (int8 only). */
+    const LayerQuant &quant() const { return quant_; }
+
+    /** Whether the layer kind can execute at @p p. */
+    virtual bool
+    supportsPrecision(Precision p) const
+    {
+        return p == Precision::F32;
+    }
+
+    /**
+     * Lower the layer to precision @p p. For Int8, @p q supplies the
+     * per-tensor activation mapping and the symmetric per-output-
+     * channel weight scales; empty weight scales are derived from
+     * the current weights (deterministically), so serialized scale
+     * sets and freshly derived ones produce the same codes. fatal()
+     * if the layer does not support @p p. Must be called between
+     * setup() and the first forward(); not thread safe against
+     * concurrent forward() calls.
+     */
+    void setPrecision(Precision p, LayerQuant q = {});
+
+    /**
+     * Compute the int8 LayerQuant for this layer given a calibration
+     * batch of its *inputs* (the activation mapping covers the
+     * batch's min/max; weight scales come from the current weights).
+     * Returns an empty LayerQuant for layers with no int8 lowering.
+     */
+    virtual LayerQuant
+    calibrate(const Tensor &in) const
+    {
+        (void)in;
+        return {};
+    }
+
   protected:
     /** Compute the output sample shape and allocate parameters. */
     virtual Shape setupImpl(const Shape &input) = 0;
@@ -113,12 +152,24 @@ class Layer
     /** Layer-specific forward pass; shapes already validated. */
     virtual void forwardImpl(const Tensor &in, Tensor &out) const = 0;
 
+    /**
+     * Hook run by setPrecision after precision_/quant_ are set:
+     * derive cached precision-dependent state (e.g. int8 weight
+     * codes) and fill in empty weight scales.
+     */
+    virtual void onPrecisionChanged() {}
+
+    /** Mutable quant state for onPrecisionChanged overrides. */
+    LayerQuant &mutableQuant() { return quant_; }
+
   private:
     std::string name_;
     LayerKind kind_;
     Shape inputShape_;
     Shape outputShape_;
     bool isSetUp_ = false;
+    Precision precision_ = Precision::F32;
+    LayerQuant quant_;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

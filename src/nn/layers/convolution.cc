@@ -139,6 +139,63 @@ ConvolutionLayer::params()
     return out;
 }
 
+LayerQuant
+ConvolutionLayer::calibrate(const Tensor &in) const
+{
+    LayerQuant q;
+    float lo, hi;
+    minMax(in.data(), in.elems(), &lo, &hi);
+    // The quantized operand is the im2col buffer: input values plus
+    // zero padding. affineS8 widens the range to include 0, so the
+    // input min/max covers the padded columns too. Activations ride
+    // the signed side here because the weights take the unsigned
+    // (left) slot of the u8 x s8 kernel.
+    q.act = QuantParams::affineS8(lo, hi);
+    int64_t per_filter = weights_.elems() / outChannels_;
+    q.weightScales.resize(static_cast<size_t>(outChannels_));
+    for (int64_t o = 0; o < outChannels_; ++o) {
+        q.weightScales[static_cast<size_t>(o)] =
+            QuantParams::symmetricS8(
+                maxAbs(weights_.data() + o * per_filter, per_filter))
+                .scale;
+    }
+    return q;
+}
+
+void
+ConvolutionLayer::onPrecisionChanged()
+{
+    if (precision() != Precision::Int8) {
+        weights8_.clear();
+        return;
+    }
+    LayerQuant &q = mutableQuant();
+    int64_t per_filter = weights_.elems() / outChannels_;
+    if (q.weightScales.empty()) {
+        q.weightScales.resize(static_cast<size_t>(outChannels_));
+        for (int64_t o = 0; o < outChannels_; ++o) {
+            q.weightScales[static_cast<size_t>(o)] =
+                QuantParams::symmetricS8(
+                    maxAbs(weights_.data() + o * per_filter,
+                           per_filter))
+                    .scale;
+        }
+    }
+    if (q.weightScales.size() != static_cast<size_t>(outChannels_)) {
+        fatal("conv layer '%s': %zu weight scales for %ld filters",
+              name().c_str(), q.weightScales.size(), outChannels_);
+    }
+    weights8_.resize(static_cast<size_t>(weights_.elems()));
+    for (int64_t o = 0; o < outChannels_; ++o) {
+        QuantParams wq;
+        wq.scale = q.weightScales[static_cast<size_t>(o)];
+        const float *w = weights_.data() + o * per_filter;
+        int8_t *w8 = weights8_.data() + o * per_filter;
+        for (int64_t i = 0; i < per_filter; ++i)
+            w8[i] = static_cast<int8_t>(wq.quantize(w[i]));
+    }
+}
+
 void
 ConvolutionLayer::forwardImpl(const Tensor &in, Tensor &out) const
 {
@@ -171,11 +228,36 @@ ConvolutionLayer::forwardImpl(const Tensor &in, Tensor &out) const
                     // dst_g[out_per_group x cols] =
                     //     W_g[out_per_group x patch] *
                     //     col[patch x cols]
-                    const float *w_g = weights_.data() +
-                                       g * out_per_group * patch;
-                    sgemm(Trans::No, Trans::No, out_per_group, cols,
-                          patch, 1.0f, w_g, patch, col_buf.data(),
-                          cols, 0.0f, dst_g, cols);
+                    switch (precision()) {
+                      case Precision::Int8:
+                        gemm_s8_wl(
+                            Trans::No, Trans::No, out_per_group,
+                            cols, patch, 1.0f,
+                            weights8_.data() +
+                                g * out_per_group * patch,
+                            patch,
+                            quant().weightScales.data() +
+                                g * out_per_group,
+                            col_buf.data(), cols, quant().act, 0.0f,
+                            dst_g, cols);
+                        break;
+                      case Precision::Bf16:
+                        gemm_bf16(Trans::No, Trans::No,
+                                  out_per_group, cols, patch, 1.0f,
+                                  weights_.data() +
+                                      g * out_per_group * patch,
+                                  patch, col_buf.data(), cols, 0.0f,
+                                  dst_g, cols);
+                        break;
+                      case Precision::F32:
+                        sgemm(Trans::No, Trans::No, out_per_group,
+                              cols, patch, 1.0f,
+                              weights_.data() +
+                                  g * out_per_group * patch,
+                              patch, col_buf.data(), cols, 0.0f,
+                              dst_g, cols);
+                        break;
+                    }
                 }
                 if (hasBias_) {
                     const float *b = bias_.data();

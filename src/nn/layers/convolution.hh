@@ -83,9 +83,20 @@ class ConvolutionLayer : public Layer
     /** The (out_c, in_c/groups, kh, kw) filter bank. */
     const Tensor &weights() const { return weights_; }
 
+    /** Convolution lowers to bf16 (storage rounding) and int8. */
+    bool
+    supportsPrecision(Precision p) const override
+    {
+        (void)p;
+        return true;
+    }
+
+    LayerQuant calibrate(const Tensor &in) const override;
+
   protected:
     Shape setupImpl(const Shape &input) override;
     void forwardImpl(const Tensor &in, Tensor &out) const override;
+    void onPrecisionChanged() override;
 
   private:
     int64_t outChannels_;
@@ -96,6 +107,9 @@ class ConvolutionLayer : public Layer
     bool hasBias_;
     Tensor weights_;
     Tensor bias_;
+
+    /** int8 filter codes (same layout), rebuilt on lowering. */
+    std::vector<int8_t> weights8_;
 };
 
 } // namespace nn

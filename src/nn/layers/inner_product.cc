@@ -47,15 +47,83 @@ InnerProductLayer::params()
     return out;
 }
 
+LayerQuant
+InnerProductLayer::calibrate(const Tensor &in) const
+{
+    LayerQuant q;
+    float lo, hi;
+    minMax(in.data(), in.elems(), &lo, &hi);
+    // Activations ride the unsigned side of the u8 x s8 kernel.
+    q.act = QuantParams::affineU8(lo, hi);
+    q.weightScales.resize(static_cast<size_t>(outputs_));
+    for (int64_t o = 0; o < outputs_; ++o) {
+        q.weightScales[static_cast<size_t>(o)] =
+            QuantParams::symmetricS8(
+                maxAbs(weights_.data() + o * inputs_, inputs_))
+                .scale;
+    }
+    return q;
+}
+
+void
+InnerProductLayer::onPrecisionChanged()
+{
+    if (precision() != Precision::Int8) {
+        weights8_.clear();
+        return;
+    }
+    LayerQuant &q = mutableQuant();
+    if (q.weightScales.empty()) {
+        // Derive per-output-channel scales from the weights; the
+        // derivation is deterministic so it matches serialized sets.
+        q.weightScales.resize(static_cast<size_t>(outputs_));
+        for (int64_t o = 0; o < outputs_; ++o) {
+            q.weightScales[static_cast<size_t>(o)] =
+                QuantParams::symmetricS8(
+                    maxAbs(weights_.data() + o * inputs_, inputs_))
+                    .scale;
+        }
+    }
+    if (q.weightScales.size() != static_cast<size_t>(outputs_)) {
+        fatal("fc layer '%s': %zu weight scales for %ld outputs",
+              name().c_str(), q.weightScales.size(), outputs_);
+    }
+    weights8_.resize(static_cast<size_t>(outputs_) * inputs_);
+    for (int64_t o = 0; o < outputs_; ++o) {
+        QuantParams wq;
+        wq.scale = q.weightScales[static_cast<size_t>(o)];
+        const float *w = weights_.data() + o * inputs_;
+        int8_t *w8 = weights8_.data() + o * inputs_;
+        for (int64_t i = 0; i < inputs_; ++i)
+            w8[i] = static_cast<int8_t>(wq.quantize(w[i]));
+    }
+}
+
 void
 InnerProductLayer::forwardImpl(const Tensor &in, Tensor &out) const
 {
     int64_t batch = in.shape().n();
     // out[N x outputs] = in[N x inputs] * W^T[inputs x outputs].
     // The GEMM partitions its own rows across the compute pool.
-    sgemm(Trans::No, Trans::Yes, batch, outputs_, inputs_, 1.0f,
-          in.data(), inputs_, weights_.data(), inputs_, 0.0f,
-          out.data(), outputs_);
+    switch (precision()) {
+      case Precision::Int8:
+        gemm_s8(Trans::No, Trans::Yes, batch, outputs_, inputs_,
+                1.0f, in.data(), inputs_, quant().act,
+                weights8_.data(), inputs_,
+                quant().weightScales.data(), 0.0f, out.data(),
+                outputs_);
+        break;
+      case Precision::Bf16:
+        gemm_bf16(Trans::No, Trans::Yes, batch, outputs_, inputs_,
+                  1.0f, in.data(), inputs_, weights_.data(),
+                  inputs_, 0.0f, out.data(), outputs_);
+        break;
+      case Precision::F32:
+        sgemm(Trans::No, Trans::Yes, batch, outputs_, inputs_, 1.0f,
+              in.data(), inputs_, weights_.data(), inputs_, 0.0f,
+              out.data(), outputs_);
+        break;
+    }
     if (hasBias_) {
         const float *b = bias_.data();
         int64_t grain = std::max<int64_t>(

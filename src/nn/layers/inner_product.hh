@@ -48,9 +48,20 @@ class InnerProductLayer : public Layer
     /** The bias vector; empty when bias is disabled. */
     const Tensor &bias() const { return bias_; }
 
+    /** FC lowers to bf16 (storage rounding) and int8. */
+    bool
+    supportsPrecision(Precision p) const override
+    {
+        (void)p;
+        return true;
+    }
+
+    LayerQuant calibrate(const Tensor &in) const override;
+
   protected:
     Shape setupImpl(const Shape &input) override;
     void forwardImpl(const Tensor &in, Tensor &out) const override;
+    void onPrecisionChanged() override;
 
   private:
     int64_t outputs_;
@@ -58,6 +69,9 @@ class InnerProductLayer : public Layer
     int64_t inputs_ = 0;
     Tensor weights_;
     Tensor bias_;
+
+    /** int8 weight codes (outputs x inputs), rebuilt on lowering. */
+    std::vector<int8_t> weights8_;
 };
 
 } // namespace nn

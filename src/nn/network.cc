@@ -77,6 +77,64 @@ Network::weightBytes() const
     return paramCount() * sizeof(float);
 }
 
+void
+Network::quantize(Precision precision, const Tensor &calib)
+{
+    if (!finalized_)
+        panic("network '%s': quantize before finalize", name_.c_str());
+    if (precision != Precision::Int8) {
+        for (auto &l : layers_) {
+            if (l->supportsPrecision(precision))
+                l->setPrecision(precision);
+        }
+        precision_ = precision;
+        return;
+    }
+    const Shape &cs = calib.shape();
+    if (cs.n() <= 0 || cs.c() != inputShape_.c() ||
+        cs.h() != inputShape_.h() || cs.w() != inputShape_.w()) {
+        fatal("network '%s': calibration batch %s does not match "
+              "input %s", name_.c_str(), cs.toString().c_str(),
+              inputShape_.toString().c_str());
+    }
+    // Calibrate layer by layer: lower each layer first, then run
+    // the calibration batch through it, so downstream layers see
+    // the quantized activation distribution.
+    Tensor cur = calib;
+    Tensor next;
+    for (auto &l : layers_) {
+        if (l->supportsPrecision(Precision::Int8))
+            l->setPrecision(Precision::Int8, l->calibrate(cur));
+        l->forward(cur, next);
+        std::swap(cur, next);
+    }
+    precision_ = Precision::Int8;
+}
+
+void
+Network::applyQuantization(Precision precision,
+                           const std::vector<LayerQuant> &layerQuant)
+{
+    if (!finalized_)
+        panic("network '%s': applyQuantization before finalize",
+              name_.c_str());
+    if (layerQuant.size() != layers_.size()) {
+        fatal("network '%s': %zu quant entries for %zu layers",
+              name_.c_str(), layerQuant.size(), layers_.size());
+    }
+    for (size_t i = 0; i < layers_.size(); ++i) {
+        Layer &l = *layers_[i];
+        if (!l.supportsPrecision(precision))
+            continue;
+        if (precision == Precision::Int8 &&
+            layerQuant[i].weightScales.empty()) {
+            continue; // layer was not quantized when saved
+        }
+        l.setPrecision(precision, layerQuant[i]);
+    }
+    precision_ = precision;
+}
+
 Tensor
 Network::forward(const Tensor &in) const
 {
@@ -136,7 +194,10 @@ Network::describe() const
 {
     std::ostringstream os;
     os << "network " << name_ << " input "
-       << inputShape_.toString() << "\n";
+       << inputShape_.toString();
+    if (precision_ != Precision::F32)
+        os << " precision " << precisionName(precision_);
+    os << "\n";
     for (const auto &l : layers_)
         os << "  " << l->describe() << "\n";
     os << "  total params: " << paramCount() << " ("

@@ -117,6 +117,34 @@ class Network
         return parallel_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * The precision the network was lowered to (F32 by default).
+     * Individual layers without a lowered implementation (locally
+     * connected, LRN, activations) stay f32 even when this reports
+     * Bf16 or Int8.
+     */
+    Precision precision() const { return precision_; }
+
+    /**
+     * Lower the network to @p precision. For Int8 the activation
+     * mappings are calibrated from @p calib (shape
+     * inputShape().withBatch(N)): layers are visited in order, each
+     * calibrated on the activations its *already-lowered*
+     * predecessors produce, so calibration sees the same
+     * distribution inference will. Bf16 needs no calibration
+     * (@p calib may be empty). Requires finalize(); not thread safe
+     * against concurrent forward() calls.
+     */
+    void quantize(Precision precision, const Tensor &calib);
+
+    /**
+     * Apply previously serialized quantization state: one LayerQuant
+     * per layer, in layer order. For Int8 a layer with empty weight
+     * scales is left at f32 (it was not quantized when saved).
+     */
+    void applyQuantization(Precision precision,
+                           const std::vector<LayerQuant> &layerQuant);
+
     /** Multi-line structural description (one line per layer). */
     std::string describe() const;
 
@@ -126,6 +154,7 @@ class Network
     Shape tailShape_;
     std::vector<LayerPtr> layers_;
     bool finalized_ = false;
+    Precision precision_ = Precision::F32;
     std::atomic<bool> parallel_{true};
 };
 

@@ -13,6 +13,18 @@ namespace {
 
 constexpr char magic[4] = {'D', 'J', 'W', '1'};
 
+/**
+ * Optional quantization trailer appended after the layer section
+ * when the network was lowered (DESIGN.md §14): magic "QNT1", u32
+ * precision, then per layer the activation mapping (f32 scale, i32
+ * zero point, i32 qmin, i32 qmax) and u64 weight-scale count plus
+ * f32 scales. int8 weight *codes* are not stored — requantizing the
+ * f32 weights with these scales is deterministic, so the scales
+ * alone reproduce the exact lowered model. Files without the
+ * trailer load as f32 (the seed format).
+ */
+constexpr char quantMagic[4] = {'Q', 'N', 'T', '1'};
+
 void
 writeU32(std::ostream &os, uint32_t v)
 {
@@ -63,6 +75,23 @@ saveWeights(const Network &net, const std::string &path)
             os.write(reinterpret_cast<const char *>(t->data()),
                      static_cast<std::streamsize>(
                          t->elems() * sizeof(float)));
+        }
+    }
+    if (net.precision() != Precision::F32) {
+        os.write(quantMagic, sizeof(quantMagic));
+        writeU32(os, static_cast<uint32_t>(net.precision()));
+        for (size_t i = 0; i < net.layerCount(); ++i) {
+            const LayerQuant &q = net.layer(i).quant();
+            os.write(reinterpret_cast<const char *>(&q.act.scale),
+                     sizeof(float));
+            writeU32(os, static_cast<uint32_t>(q.act.zeroPoint));
+            writeU32(os, static_cast<uint32_t>(q.act.qmin));
+            writeU32(os, static_cast<uint32_t>(q.act.qmax));
+            writeU64(os, q.weightScales.size());
+            os.write(reinterpret_cast<const char *>(
+                         q.weightScales.data()),
+                     static_cast<std::streamsize>(
+                         q.weightScales.size() * sizeof(float)));
         }
     }
     if (!os)
@@ -131,6 +160,44 @@ loadWeights(Network &net, const std::string &path)
                 return Status::protocolError("truncated weight file");
         }
     }
+
+    // Optional quantization trailer; plain EOF means an f32 file.
+    char quant_tag[4];
+    is.read(quant_tag, sizeof(quant_tag));
+    if (!is)
+        return Status::ok();
+    if (std::memcmp(quant_tag, quantMagic, sizeof(quantMagic)) != 0)
+        return Status::protocolError(
+            "'" + path + "' has trailing bytes that are not a QNT1 "
+            "quantization section");
+    uint32_t prec_raw;
+    if (!readU32(is, prec_raw) ||
+        prec_raw > static_cast<uint32_t>(Precision::Int8))
+        return Status::protocolError("bad precision in QNT1 section");
+    Precision precision = static_cast<Precision>(prec_raw);
+    std::vector<LayerQuant> layer_quant(net.layerCount());
+    for (size_t i = 0; i < net.layerCount(); ++i) {
+        LayerQuant &q = layer_quant[i];
+        uint32_t zp, qmin, qmax;
+        is.read(reinterpret_cast<char *>(&q.act.scale),
+                sizeof(float));
+        if (!is || !readU32(is, zp) || !readU32(is, qmin) ||
+            !readU32(is, qmax))
+            return Status::protocolError("truncated QNT1 section");
+        q.act.zeroPoint = static_cast<int32_t>(zp);
+        q.act.qmin = static_cast<int32_t>(qmin);
+        q.act.qmax = static_cast<int32_t>(qmax);
+        uint64_t nscales;
+        if (!readU64(is, nscales) || nscales > (1ull << 32))
+            return Status::protocolError("truncated QNT1 section");
+        q.weightScales.resize(static_cast<size_t>(nscales));
+        is.read(reinterpret_cast<char *>(q.weightScales.data()),
+                static_cast<std::streamsize>(nscales *
+                                             sizeof(float)));
+        if (!is)
+            return Status::protocolError("truncated QNT1 section");
+    }
+    net.applyQuantization(precision, layer_quant);
     return Status::ok();
 }
 

@@ -6,7 +6,10 @@
  *
  * Format: magic "DJW1", u32 layer count, then per layer: u32 name
  * length, name bytes, u32 param tensor count, and per tensor u64
- * element count followed by raw little-endian fp32 data.
+ * element count followed by raw little-endian fp32 data. Lowered
+ * networks (DESIGN.md §14) append a "QNT1" trailer carrying the
+ * precision and per-layer quantization state; files without the
+ * trailer load as f32.
  */
 
 #ifndef DJINN_NN_SERIALIZE_HH

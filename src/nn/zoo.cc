@@ -157,6 +157,35 @@ build(Model model, uint64_t seed)
     return net;
 }
 
+NetworkPtr
+build(Model model, Precision precision, uint64_t seed)
+{
+    auto net = build(model, seed);
+    if (precision != Precision::F32)
+        net->quantize(precision, calibrationBatch(*net));
+    return net;
+}
+
+Tensor
+calibrationBatch(const Network &net, int64_t batch)
+{
+    Tensor t(net.inputShape().withBatch(batch));
+    // FNV-1a of the name keys the stream; the LCG step matches the
+    // committed determinism-test input generator so the calibration
+    // distribution is the inference distribution.
+    uint64_t state = 0xcbf29ce484222325ull;
+    for (char c : net.name())
+        state = (state ^ static_cast<uint8_t>(c)) * 0x100000001b3ull;
+    float *d = t.data();
+    for (int64_t i = 0; i < t.elems(); ++i) {
+        state = state * 6364136223846793005ull +
+                1442695040888963407ull;
+        d[i] = static_cast<float>((state >> 33) % 2000) / 1000.0f -
+               1.0f;
+    }
+    return t;
+}
+
 std::vector<Model>
 allModels()
 {

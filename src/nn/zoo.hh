@@ -52,6 +52,21 @@ std::string netDef(Model model);
  */
 NetworkPtr build(Model model, uint64_t seed = 42);
 
+/**
+ * Build a model and lower it to @p precision. Int8 activation
+ * mappings are calibrated on calibrationBatch(); f32 is a plain
+ * build.
+ */
+NetworkPtr build(Model model, Precision precision,
+                 uint64_t seed = 42);
+
+/**
+ * The committed calibration set for @p net: a small deterministic
+ * batch of inputs drawn from an LCG stream keyed by the network's
+ * name, so every build of a model calibrates on identical bytes.
+ */
+Tensor calibrationBatch(const Network &net, int64_t batch = 4);
+
 /** All models, in Table-1 order. */
 std::vector<Model> allModels();
 

@@ -143,7 +143,11 @@ void FlightRecorder::offerTail(const FlightRecord &record)
 {
     if (reservoirCapacity_ == 0)
         return;
-    if (reservoir_.size() >= reservoirCapacity_ &&
+    // Lock-free pre-check on the cached full flag + threshold only:
+    // reservoir_ itself (including its size) is guarded by the
+    // mutex, and a stale flag or threshold merely sends a borderline
+    // record through the locked path, which re-checks exactly.
+    if (reservoirFull_.load(std::memory_order_relaxed) &&
         record.totalSeconds <=
             tailThreshold_.load(std::memory_order_relaxed))
         return;
@@ -158,9 +162,11 @@ void FlightRecorder::offerTail(const FlightRecord &record)
         reservoir_.push_back(record);
     }
     std::push_heap(reservoir_.begin(), reservoir_.end(), slower);
-    if (reservoir_.size() >= reservoirCapacity_)
+    if (reservoir_.size() >= reservoirCapacity_) {
         tailThreshold_.store(reservoir_.front().totalSeconds,
                              std::memory_order_relaxed);
+        reservoirFull_.store(true, std::memory_order_relaxed);
+    }
 }
 
 std::vector<FlightRecord> FlightRecorder::snapshot() const

@@ -186,10 +186,13 @@ class FlightRecorder
     std::vector<Slot> slots_;
     std::atomic<uint64_t> next_{0};
 
-    // Tail reservoir: keep-K-slowest by totalSeconds. threshold_
-    // caches the reservoir's current minimum so the hot path can
+    // Tail reservoir: keep-K-slowest by totalSeconds. full_ and
+    // threshold_ cache the reservoir's state (the vector itself is
+    // mutex-guarded, so the lock-free pre-check must not touch it);
+    // threshold_ caches the current minimum so the hot path can
     // reject non-tail records with one relaxed load.
     size_t reservoirCapacity_;
+    std::atomic<bool> reservoirFull_{false};
     std::atomic<double> tailThreshold_{0.0};
     mutable std::mutex reservoirMutex_;
     std::vector<FlightRecord> reservoir_;

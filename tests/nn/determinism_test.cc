@@ -87,6 +87,35 @@ const std::map<std::string, uint64_t> kGolden = {
     {"senna_ner", 0x87ab2d3e7c55bcf0ULL},
 };
 
+/**
+ * Golden output checksums for the quantized zoo (DESIGN.md §14):
+ * same seed/batch/input as kGolden, lowered with zoo::build(model,
+ * precision). bf16 only reorders operand storage bits and int8
+ * accumulates in integers, so both are bit-stable across thread
+ * counts, runs, and machines; the committed values pin the
+ * quantization scheme (calibration batch, scale derivation, rounding)
+ * against accidental change.
+ */
+const std::map<std::string, uint64_t> kGoldenBf16 = {
+    {"alexnet", 0x1f59275baaac37e5ULL},
+    {"mnist", 0x9fc978b5732128a3ULL},
+    {"deepface", 0xcd8f630eb9d14cebULL},
+    {"kaldi_asr", 0xd5a3277eae4abd74ULL},
+    {"senna_pos", 0xfa2eefc14ab5985bULL},
+    {"senna_chk", 0x899ed9e8482cf5afULL},
+    {"senna_ner", 0x1f29660b604c16b9ULL},
+};
+
+const std::map<std::string, uint64_t> kGoldenInt8 = {
+    {"alexnet", 0xa9444c34c64ef463ULL},
+    {"mnist", 0x7ebbe47425989e02ULL},
+    {"deepface", 0x302869f22f18e802ULL},
+    {"kaldi_asr", 0xc7110d9fbfeb3ae2ULL},
+    {"senna_pos", 0xb8e9082b4fbbf014ULL},
+    {"senna_chk", 0xcc8d8ae03f050b25ULL},
+    {"senna_ner", 0x3a33aef0a26f9deaULL},
+};
+
 TEST(Determinism, ZooForwardBitIdenticalAcrossRunsAndThreads)
 {
     PoolSizeGuard guard;
@@ -144,6 +173,91 @@ TEST(Determinism, ZooForwardBitIdenticalAcrossRunsAndThreads)
             table += line;
         }
         ADD_FAILURE() << "refreshed golden table:\n" << table;
+    }
+}
+
+TEST(Determinism, QuantizedZooForwardBitIdenticalAcrossRunsAndThreads)
+{
+    PoolSizeGuard guard;
+    struct PrecisionGolden {
+        Precision precision;
+        const std::map<std::string, uint64_t> *golden;
+    };
+    const PrecisionGolden tables[] = {
+        {Precision::Bf16, &kGoldenBf16},
+        {Precision::Int8, &kGoldenInt8},
+    };
+    for (const PrecisionGolden &t : tables) {
+        bool goldenMismatch = false;
+        const char *prec = precisionName(t.precision);
+        for (zoo::Model model : zoo::allModels()) {
+            std::string name = zoo::modelName(model);
+            SCOPED_TRACE(name + "/" + prec);
+            // Calibration itself must be thread-count independent
+            // for the weights/scales to be reproducible; build under
+            // one pool size, forward under others.
+            common::setComputeThreads(2);
+            NetworkPtr net = zoo::build(model, t.precision, 42);
+            ASSERT_EQ(net->precision(), t.precision);
+            Tensor in = testInput(*net, 2);
+
+            uint64_t sum = bitChecksum(net->forward(in));
+            EXPECT_EQ(bitChecksum(net->forward(in)), sum)
+                << name << "/" << prec
+                << ": forward pass is not run-to-run stable";
+
+            for (int threads : {1, 8}) {
+                common::setComputeThreads(threads);
+                EXPECT_EQ(bitChecksum(net->forward(in)), sum)
+                    << name << "/" << prec
+                    << ": output depends on thread count " << threads;
+            }
+
+            // With the parallel run option off entirely.
+            net->setParallel(false);
+            EXPECT_EQ(bitChecksum(net->forward(in)), sum)
+                << name << "/" << prec
+                << ": setParallel(false) changes the output";
+            net->setParallel(true);
+
+            // A rebuilt network reproduces the same bits: the
+            // calibration pipeline has no hidden state.
+            common::setComputeThreads(1);
+            NetworkPtr again = zoo::build(model, t.precision, 42);
+            EXPECT_EQ(bitChecksum(again->forward(in)), sum)
+                << name << "/" << prec
+                << ": rebuild does not reproduce the output";
+
+            auto it = t.golden->find(name);
+            ASSERT_NE(it, t.golden->end())
+                << "no golden for " << name << "/" << prec;
+            if (sum != it->second) {
+                goldenMismatch = true;
+                ADD_FAILURE()
+                    << name << "/" << prec
+                    << ": golden checksum mismatch, got 0x"
+                    << std::hex << sum << " want 0x" << it->second
+                    << " (update the table if this change is "
+                       "intended)";
+            }
+        }
+        if (goldenMismatch) {
+            std::string table;
+            common::setComputeThreads(1);
+            for (zoo::Model model : zoo::allModels()) {
+                NetworkPtr net = zoo::build(model, t.precision, 42);
+                Tensor in = testInput(*net, 2);
+                char line[96];
+                std::snprintf(line, sizeof(line),
+                              "    {\"%s\", 0x%016llxULL},\n",
+                              zoo::modelName(model),
+                              static_cast<unsigned long long>(
+                                  bitChecksum(net->forward(in))));
+                table += line;
+            }
+            ADD_FAILURE() << "refreshed " << prec
+                          << " golden table:\n" << table;
+        }
     }
 }
 

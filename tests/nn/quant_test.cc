@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Property-based tests for the scalar quantization primitives
+ * (nn/quant.hh): quantize/dequantize round trips stay within half a
+ * quantization step, real zero is always exactly representable, and
+ * the bf16 rounding helpers implement round-to-nearest-even. Edge
+ * cases — all-zero tensors, single-value tensors, denormal-adjacent
+ * magnitudes, and ±FLT_MAX — are exercised explicitly alongside the
+ * random sweeps.
+ */
+
+#include "nn/quant.hh"
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace djinn {
+namespace nn {
+namespace {
+
+/**
+ * Round-trip bound: a value inside the calibrated range maps to a
+ * code at most half a step away, and the dequant multiply adds at
+ * most a couple of ulps on top.
+ */
+float
+stepBound(const QuantParams &p)
+{
+    return 0.5f * p.scale * (1.0f + 4.0f * FLT_EPSILON);
+}
+
+void
+checkRoundTrip(const QuantParams &p, float lo, float hi,
+               const std::vector<float> &values)
+{
+    for (float x : values) {
+        if (x < lo || x > hi)
+            continue;
+        int32_t q = p.quantize(x);
+        ASSERT_GE(q, p.qmin) << "x=" << x;
+        ASSERT_LE(q, p.qmax) << "x=" << x;
+        float back = p.dequantize(q);
+        ASSERT_NEAR(back, x, stepBound(p))
+            << "x=" << x << " q=" << q << " scale=" << p.scale
+            << " zp=" << p.zeroPoint;
+    }
+}
+
+TEST(Quant, ZeroPointIsExactForAllMappings)
+{
+    djinn::Rng rng(0x5eed);
+    for (int trial = 0; trial < 200; ++trial) {
+        float a = static_cast<float>(rng.uniform(-100.0, 100.0));
+        float b = static_cast<float>(rng.uniform(-100.0, 100.0));
+        float lo = std::min(a, b);
+        float hi = std::max(a, b);
+        for (const QuantParams &p :
+             {QuantParams::affineU8(lo, hi),
+              QuantParams::affineS8(lo, hi),
+              QuantParams::symmetricS8(std::max(std::fabs(lo),
+                                                std::fabs(hi)))}) {
+            SCOPED_TRACE(testing::Message()
+                         << "lo=" << lo << " hi=" << hi
+                         << " scale=" << p.scale
+                         << " zp=" << p.zeroPoint);
+            // Real zero maps to the zero point and back to exact 0:
+            // padding and sparse activations must not drift.
+            ASSERT_EQ(p.quantize(0.0f), p.zeroPoint);
+            ASSERT_EQ(p.dequantize(p.zeroPoint), 0.0f);
+            ASSERT_GE(p.zeroPoint, p.qmin);
+            ASSERT_LE(p.zeroPoint, p.qmax);
+        }
+    }
+}
+
+TEST(Quant, PerTensorRoundTripWithinHalfStep)
+{
+    djinn::Rng rng(0xabcd);
+    for (int trial = 0; trial < 100; ++trial) {
+        float a = static_cast<float>(rng.uniform(-50.0, 50.0));
+        float b = static_cast<float>(rng.uniform(-50.0, 50.0));
+        float lo = std::min(a, b);
+        float hi = std::max(a, b);
+        std::vector<float> values(256);
+        for (float &v : values) {
+            v = static_cast<float>(
+                rng.uniform(static_cast<double>(lo),
+                            static_cast<double>(hi)));
+        }
+        values.push_back(lo);
+        values.push_back(hi);
+        values.push_back(0.0f);
+        // The affine factories widen the range to include zero.
+        float wlo = std::min(lo, 0.0f);
+        float whi = std::max(hi, 0.0f);
+        checkRoundTrip(QuantParams::affineU8(lo, hi), wlo, whi,
+                       values);
+        checkRoundTrip(QuantParams::affineS8(lo, hi), wlo, whi,
+                       values);
+    }
+}
+
+TEST(Quant, PerChannelSymmetricRoundTripWithinHalfStep)
+{
+    djinn::Rng rng(0x77);
+    // Per-output-channel weight quantization: each channel gets its
+    // own symmetric scale from its own max magnitude.
+    for (int channel = 0; channel < 64; ++channel) {
+        double mag = std::pow(10.0, rng.uniform(-3.0, 3.0));
+        std::vector<float> w(128);
+        for (float &x : w)
+            x = static_cast<float>(rng.uniform(-mag, mag));
+        float m = maxAbs(w.data(), static_cast<int64_t>(w.size()));
+        QuantParams p = QuantParams::symmetricS8(m);
+        ASSERT_EQ(p.zeroPoint, 0);
+        checkRoundTrip(p, -m, m, w);
+        // Symmetric mapping: negation of the input negates the code.
+        for (float x : w)
+            ASSERT_EQ(p.quantize(-x), -p.quantize(x)) << "x=" << x;
+    }
+}
+
+TEST(Quant, AllZeroTensorIsWellDefined)
+{
+    std::vector<float> zeros(64, 0.0f);
+    float lo, hi;
+    minMax(zeros.data(), 64, &lo, &hi);
+    ASSERT_EQ(lo, 0.0f);
+    ASSERT_EQ(hi, 0.0f);
+    for (const QuantParams &p :
+         {QuantParams::affineU8(lo, hi), QuantParams::affineS8(lo, hi),
+          QuantParams::symmetricS8(maxAbs(zeros.data(), 64))}) {
+        ASSERT_EQ(p.scale, 1.0f); // degenerate range falls back
+        ASSERT_EQ(p.quantize(0.0f), p.zeroPoint);
+        ASSERT_EQ(p.dequantize(p.quantize(0.0f)), 0.0f);
+    }
+}
+
+TEST(Quant, SingleValueTensorRoundTrips)
+{
+    for (float v : {4.2f, -3.0f, 1e-3f, 2048.0f}) {
+        QuantParams p = QuantParams::affineS8(v, v);
+        // Range widened to [min(v,0), max(v,0)]; the endpoint must
+        // round-trip within half a step.
+        ASSERT_NEAR(p.dequantize(p.quantize(v)), v, stepBound(p))
+            << "v=" << v;
+        ASSERT_EQ(p.dequantize(p.quantize(0.0f)), 0.0f);
+        QuantParams s = QuantParams::symmetricS8(std::fabs(v));
+        ASSERT_NEAR(s.dequantize(s.quantize(v)), v, stepBound(s))
+            << "v=" << v;
+    }
+}
+
+TEST(Quant, DenormalAdjacentMagnitudes)
+{
+    // Tiny but normal magnitudes must not divide to inf/NaN or
+    // collapse the scale to zero.
+    for (float m : {FLT_MIN, 4.0f * FLT_MIN, 1e-30f, 1e-20f}) {
+        QuantParams p = QuantParams::symmetricS8(m);
+        ASSERT_GT(p.scale, 0.0f);
+        ASSERT_TRUE(std::isfinite(p.scale));
+        ASSERT_EQ(p.quantize(m), 127);
+        ASSERT_EQ(p.quantize(-m), -127);
+        ASSERT_NEAR(p.dequantize(p.quantize(m)), m, stepBound(p));
+        ASSERT_EQ(p.dequantize(p.quantize(0.0f)), 0.0f);
+    }
+}
+
+TEST(Quant, MaxMagnitudeDoesNotOverflow)
+{
+    for (float m : {FLT_MAX, 0.5f * FLT_MAX}) {
+        QuantParams p = QuantParams::symmetricS8(m);
+        ASSERT_TRUE(std::isfinite(p.scale));
+        ASSERT_EQ(p.quantize(m), 127);
+        ASSERT_EQ(p.quantize(-m), -127);
+        ASSERT_EQ(p.quantize(2.0f * m), 127);   // +inf clamps
+        ASSERT_EQ(p.quantize(-2.0f * m), -127); // -inf clamps
+        ASSERT_NEAR(p.dequantize(127), m, stepBound(p));
+
+        QuantParams u = QuantParams::affineU8(-m, m);
+        ASSERT_TRUE(std::isfinite(u.scale));
+        int32_t q = u.quantize(m);
+        ASSERT_GE(q, u.qmin);
+        ASSERT_LE(q, u.qmax);
+    }
+}
+
+TEST(Quant, QuantizeClampsOutOfRange)
+{
+    QuantParams p = QuantParams::affineU8(-1.0f, 1.0f);
+    ASSERT_EQ(p.quantize(100.0f), p.qmax);
+    ASSERT_EQ(p.quantize(-100.0f), p.qmin);
+    QuantParams s = QuantParams::symmetricS8(1.0f);
+    ASSERT_EQ(s.quantize(5.0f), 127);
+    ASSERT_EQ(s.quantize(-5.0f), -127); // never the -128 code
+}
+
+TEST(Quant, Bf16RoundTripAndIdempotence)
+{
+    djinn::Rng rng(0xbf16);
+    for (int trial = 0; trial < 2000; ++trial) {
+        float x = static_cast<float>(
+            rng.uniform(-1e6, 1e6));
+        float r = bf16Round(x);
+        // Storage rounding: relative error bounded by the bf16 unit
+        // roundoff, and rounding is idempotent.
+        ASSERT_LE(std::fabs(r - x),
+                  std::fabs(x) * (1.0f / 256.0f))
+            << "x=" << x;
+        ASSERT_EQ(bf16Round(r), r);
+        ASSERT_EQ(floatFromBf16(bf16FromFloat(r)), r);
+    }
+    // Exact values survive: powers of two, zero, small integers.
+    for (float x : {0.0f, -0.0f, 1.0f, -2.0f, 0.5f, 96.0f, -128.0f})
+        ASSERT_EQ(bf16Round(x), x);
+    // Round-to-nearest-even at the halfway point: 1 + 2^-9 is
+    // exactly between 1.0 and the next bf16 (1 + 2^-8); ties go to
+    // the even mantissa (1.0).
+    ASSERT_EQ(bf16Round(1.0f + 0.001953125f), 1.0f);
+    ASSERT_EQ(bf16Round(1.0f + 3.0f * 0.001953125f),
+              1.0f + 2.0f * 0.00390625f);
+    // NaN stays NaN (quieted), infinities survive.
+    ASSERT_TRUE(std::isnan(bf16Round(std::nanf(""))));
+    ASSERT_EQ(bf16Round(INFINITY), INFINITY);
+    ASSERT_EQ(bf16Round(-INFINITY), -INFINITY);
+}
+
+TEST(Quant, PrecisionNamesRoundTrip)
+{
+    for (Precision p :
+         {Precision::F32, Precision::Bf16, Precision::Int8})
+        ASSERT_EQ(precisionFromName(precisionName(p)), p);
+    ASSERT_EQ(precisionFromName("fp32"), Precision::F32);
+    ASSERT_EQ(precisionFromName("bfloat16"), Precision::Bf16);
+    ASSERT_EQ(precisionFromName("s8"), Precision::Int8);
+}
+
+TEST(Quant, MinMaxAndMaxAbs)
+{
+    std::vector<float> v{-3.0f, 0.5f, 2.0f, -0.25f};
+    float lo, hi;
+    minMax(v.data(), 4, &lo, &hi);
+    ASSERT_EQ(lo, -3.0f);
+    ASSERT_EQ(hi, 2.0f);
+    ASSERT_EQ(maxAbs(v.data(), 4), 3.0f);
+    minMax(v.data(), 0, &lo, &hi);
+    ASSERT_EQ(lo, 0.0f);
+    ASSERT_EQ(hi, 0.0f);
+    ASSERT_EQ(maxAbs(v.data(), 0), 0.0f);
+}
+
+} // namespace
+} // namespace nn
+} // namespace djinn

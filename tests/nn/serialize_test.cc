@@ -150,6 +150,78 @@ TEST_F(SerializeTest, ElementCountMismatchRejected)
     EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
 }
 
+TEST_F(SerializeTest, QuantizationTrailerRoundTrips)
+{
+    for (Precision p : {Precision::Bf16, Precision::Int8}) {
+        SCOPED_TRACE(precisionName(p));
+        auto src = makeNet(31);
+        Tensor calib(Shape(2, 1, 4, 4), 0.25f);
+        src->quantize(p, calib);
+        ASSERT_EQ(src->precision(), p);
+        ASSERT_TRUE(saveWeights(*src, path_).isOk());
+
+        // An f32 load target picks up the QNT1 trailer: precision,
+        // activation mappings, and weight scales all restored.
+        auto dst = makeNet(77);
+        ASSERT_TRUE(loadWeights(*dst, path_).isOk());
+        ASSERT_EQ(dst->precision(), p);
+        for (size_t l = 0; l < src->layerCount(); ++l) {
+            ASSERT_EQ(dst->layer(l).precision(),
+                      src->layer(l).precision())
+                << "layer " << l;
+            ASSERT_TRUE(dst->layer(l).quant().act ==
+                        src->layer(l).quant().act)
+                << "layer " << l;
+            ASSERT_EQ(dst->layer(l).quant().weightScales,
+                      src->layer(l).quant().weightScales)
+                << "layer " << l;
+        }
+
+        Tensor in(Shape(1, 1, 4, 4), 0.3f);
+        Tensor a = src->forward(in);
+        Tensor b = dst->forward(in);
+        for (int64_t i = 0; i < a.elems(); ++i)
+            EXPECT_EQ(a[i], b[i]) << "output diverges at " << i;
+    }
+}
+
+TEST_F(SerializeTest, PlainFileLoadsIntoF32)
+{
+    // A pre-quantization .djw (no trailer) must keep loading, and
+    // leave the target at f32.
+    auto src = makeNet(8);
+    ASSERT_TRUE(saveWeights(*src, path_).isOk());
+    auto dst = makeNet(9);
+    ASSERT_TRUE(loadWeights(*dst, path_).isOk());
+    EXPECT_EQ(dst->precision(), Precision::F32);
+}
+
+TEST_F(SerializeTest, CorruptQuantTrailerRejected)
+{
+    auto src = makeNet(13);
+    Tensor calib(Shape(2, 1, 4, 4), 0.25f);
+    src->quantize(Precision::Int8, calib);
+    ASSERT_TRUE(saveWeights(*src, path_).isOk());
+
+    // Flip the trailer tag: trailing garbage must not be silently
+    // ignored as "no trailer".
+    std::ifstream is(path_, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    is.close();
+    size_t tag = data.rfind("QNT1");
+    ASSERT_NE(tag, std::string::npos);
+    data[tag] = 'X';
+    std::ofstream os(path_, std::ios::binary | std::ios::trunc);
+    os.write(data.data(),
+             static_cast<std::streamsize>(data.size()));
+    os.close();
+
+    auto dst = makeNet(13);
+    Status s = loadWeights(*dst, path_);
+    EXPECT_EQ(s.code(), StatusCode::ProtocolError);
+}
+
 } // namespace
 } // namespace nn
 } // namespace djinn

@@ -8,6 +8,7 @@
  * Usage:
  *   djinnd [--port N] [--models m1,m2,...|all] [--batching]
  *          [--batch-size N] [--batch-delay-us N] [--seed N]
+ *          [--precision m=int8|bf16|f32[,m=...]]
  *          [--max-queue-depth N] [--io-timeout-ms N]
  *          [--drain-timeout-ms N] [--fault SPEC]
  *          [--compute-threads N]
@@ -20,6 +21,14 @@
  * text; --metrics-dump-json for JSON) to stdout at shutdown. A
  * running daemon serves the same exposition to clients via the
  * Metrics wire verb (`djinn_cli HOST PORT metrics`).
+ *
+ * --precision lowers named zoo models for serving (DESIGN.md §14):
+ * a comma list of model=precision pairs, e.g.
+ * `--precision mnist=int8,senna_pos=bf16`. int8 models are
+ * post-training quantized against the committed calibration batch;
+ * unlisted models serve f32. Each model's serving precision is
+ * visible in the Describe response and the `djinn_model_precision`
+ * gauge.
  *
  * --compute-threads N sizes the shared intra-layer compute pool
  * (threaded GEMM and layer partitioning, DESIGN.md §8). Unset, the
@@ -85,6 +94,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: djinnd [--port N] [--models m1,m2|all]\n"
+                 "              [--precision m=int8|bf16|f32[,...]]\n"
                  "              [--batching] [--batch-size N] "
                  "[--batch-delay-us N]\n"
                  "              [--max-queue-depth N] "
@@ -153,6 +163,24 @@ main(int argc, char **argv)
                 std::atof(next("--drain-timeout-ms")) * 1e-3;
         } else if (arg == "--fault") {
             config.faultSpec = next("--fault");
+        } else if (arg == "--precision") {
+            for (const std::string &pair :
+                 split(next("--precision"), ',')) {
+                size_t eq = pair.find('=');
+                if (eq == std::string::npos || eq == 0) {
+                    std::fprintf(stderr,
+                                 "--precision wants model=prec "
+                                 "pairs, got '%s'\n", pair.c_str());
+                    return 2;
+                }
+                try {
+                    config.modelPrecisions[pair.substr(0, eq)] =
+                        nn::precisionFromName(pair.substr(eq + 1));
+                } catch (const FatalError &e) {
+                    std::fprintf(stderr, "%s\n", e.what());
+                    return 2;
+                }
+            }
         } else if (arg == "--seed") {
             seed = std::strtoull(next("--seed"), nullptr, 10);
         } else if (arg == "--compute-threads") {
@@ -205,8 +233,13 @@ main(int argc, char **argv)
     for (const std::string &name : model_names) {
         try {
             nn::zoo::Model model = nn::zoo::modelFromName(name);
-            std::printf("loading zoo model %s...\n", name.c_str());
-            Status s = registry.addZooModel(model, seed);
+            nn::Precision precision = nn::Precision::F32;
+            auto it = config.modelPrecisions.find(name);
+            if (it != config.modelPrecisions.end())
+                precision = it->second;
+            std::printf("loading zoo model %s (%s)...\n",
+                        name.c_str(), nn::precisionName(precision));
+            Status s = registry.addZooModel(model, seed, precision);
             if (!s.isOk()) {
                 std::fprintf(stderr, "cannot load '%s': %s\n",
                              name.c_str(), s.toString().c_str());
