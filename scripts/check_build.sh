@@ -106,6 +106,20 @@ if ! ./build/tools/djinn_cli 127.0.0.1 19163 tail 90 \
     echo "check_build: djinn_cli tail smoke FAILED" >&2
     exit 1
 fi
+
+# Live dashboard e2e: `djinn_cli top` must render per-model series
+# computed from the daemon's time-series store over the wire. Two
+# frames through the non-tty path (plain text, no escape codes).
+if ! ./build/tools/djinn_cli --frames 2 --interval-ms 100 \
+    127.0.0.1 19163 top | grep -q "djinn top"; then
+    echo "check_build: djinn_cli top smoke FAILED" >&2
+    exit 1
+fi
+if ! ./build/tools/djinn_cli --frames 1 127.0.0.1 19163 top \
+    | grep -q "mnist"; then
+    echo "check_build: djinn_cli top lacks per-model row" >&2
+    exit 1
+fi
 kill "$djinnd_pid" 2>/dev/null || true
 wait "$djinnd_pid" 2>/dev/null || true
 trap - EXIT
@@ -152,6 +166,25 @@ if ! grep -q djinn_tail_dominant /tmp/djinn_cluster_a.json; then
     exit 1
 fi
 rm -f /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json
+
+# Perf-regression harness smoke (DESIGN.md §15): two back-to-back
+# quick runs of bench_suite must compare clean (the noise-aware
+# thresholds absorb run-to-run jitter; the cluster stage is
+# bit-identical by construction), and the comparator's built-in
+# self-test proves it fails on an injected regression of each
+# class.
+./build/bench/bench_suite --quick --out /tmp/djinn_bench_a.json
+./build/bench/bench_suite --quick --out /tmp/djinn_bench_b.json
+if ! ./build/bench/bench_compare /tmp/djinn_bench_a.json \
+    /tmp/djinn_bench_b.json; then
+    echo "check_build: bench_suite self-comparison FAILED" >&2
+    exit 1
+fi
+if ! ./build/bench/bench_compare --self-test; then
+    echo "check_build: bench_compare self-test FAILED" >&2
+    exit 1
+fi
+rm -f /tmp/djinn_bench_a.json /tmp/djinn_bench_b.json
 
 # Quantization battery (DESIGN.md §14), three parts. First the
 # microbenchmark's registry snapshot: int8 must actually be faster
@@ -206,12 +239,14 @@ cmake --build build-tsan -j --target common_test nn_test core_test \
 # primitives.
 ./build-tsan/tests/nn_test --gtest_filter='GemmDiff*:Quant*'
 ./build-tsan/tests/core_test \
-    --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*'
+    --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*:*Observability*'
 # The flight recorder's seqlock ring and the histogram exemplar
 # slots are lock-free multi-writer structures; their stress tests
 # are only meaningful under TSan.
+# TimeSeries/Health ride along: the store's sample path runs on
+# the sampler thread while queries and the health monitor read it.
 ./build-tsan/tests/telemetry_test \
-    --gtest_filter='FlightRecorder*:*Exemplar*'
+    --gtest_filter='FlightRecorder*:*Exemplar*:TimeSeries*:Health*'
 # The cluster simulator is single-threaded by design, but its
 # results flow through the lock-free telemetry histograms; the
 # determinism and policy suites double as a TSan check of that

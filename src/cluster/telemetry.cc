@@ -112,5 +112,42 @@ recordClusterResult(telemetry::MetricRegistry &registry,
     }
 }
 
+void
+feedTimeSeries(telemetry::MetricRegistry &registry,
+               telemetry::TimeSeriesStore &store,
+               const std::string &scenario,
+               const ClusterResult &result)
+{
+    // The same families the live sampler records, so HealthMonitor
+    // rules read simulated history unchanged. Counters are
+    // cumulative in the TimeSample already; feed deltas.
+    telemetry::Counter &completed = registry.counter(
+        "djinn_requests_total", {{"model", scenario}});
+    telemetry::Counter &shed = registry.counter(
+        "djinn_shed_total",
+        {{"model", scenario}, {"reason", "sim"}});
+    telemetry::Gauge &depth =
+        registry.gauge("djinn_batch_queue_depth_total");
+    telemetry::Gauge &busy =
+        registry.gauge("djinn_compute_pool_busy");
+
+    uint64_t lastCompleted = 0;
+    uint64_t lastShed = 0;
+    for (const TimeSample &sample : result.series) {
+        const uint64_t completedNow =
+            static_cast<uint64_t>(sample.completed);
+        const uint64_t shedNow = static_cast<uint64_t>(sample.shed);
+        if (completedNow > lastCompleted)
+            completed.inc(completedNow - lastCompleted);
+        if (shedNow > lastShed)
+            shed.inc(shedNow - lastShed);
+        lastCompleted = completedNow;
+        lastShed = shedNow;
+        depth.set(static_cast<double>(sample.queuedQueries));
+        busy.set(static_cast<double>(sample.inService));
+        store.sample(sample.t);
+    }
+}
+
 } // namespace cluster
 } // namespace djinn

@@ -14,6 +14,7 @@
 
 #include "cluster/simulator.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/timeseries.hh"
 
 namespace djinn {
 namespace cluster {
@@ -38,6 +39,24 @@ void recordClusterResult(telemetry::MetricRegistry &registry,
                          const ClusterConfig &config,
                          const ClusterResult &result,
                          bool includeSeries = false);
+
+/**
+ * Replay a simulated experiment's sampled time series into a
+ * TimeSeriesStore at virtual time, through the same metric
+ * families the live server's sampler feeds (requests/shed totals,
+ * aggregate queue depth, pool busy). A HealthMonitor evaluated at
+ * the sample instants then grades the simulated scenario with the
+ * exact rules that guard production — and, because the simulator
+ * is deterministic, with bit-identical verdicts across runs.
+ *
+ * @p registry must be the registry @p store samples (the counters
+ * fed here live in it); use a dedicated registry per replay so
+ * live server metrics do not mix in.
+ */
+void feedTimeSeries(telemetry::MetricRegistry &registry,
+                    telemetry::TimeSeriesStore &store,
+                    const std::string &scenario,
+                    const ClusterResult &result);
 
 } // namespace cluster
 } // namespace djinn

@@ -20,6 +20,8 @@
 #include "core/perf_sink.hh"
 #include "nn/profile.hh"
 #include "telemetry/attribution.hh"
+#include "telemetry/build_info.hh"
+#include "telemetry/dashboard.hh"
 #include "telemetry/exposition.hh"
 #include "telemetry/perf_counters.hh"
 #include "telemetry/profiler.hh"
@@ -154,6 +156,11 @@ DjinnServer::start()
     metrics_.gauge("djinn_compute_threads")
         .set(static_cast<double>(common::computeThreads()));
 
+    // Provenance gauges (djinn_build_info, djinn_start_time_seconds)
+    // plus the trace-clock start time that backs /healthz uptime.
+    telemetry::exportBuildInfo(metrics_);
+    startTraceSeconds_ = telemetry::traceNowUs() * 1e-6;
+
     // Probe hardware counter availability once and export it: the
     // gauge tells scrapers whether djinn_phase_cycles carries
     // cycles (1) or fallback wall nanoseconds (0).
@@ -249,6 +256,18 @@ DjinnServer::start()
            config_.bindAddress.c_str(), port_, registry_.size());
 
     if (config_.tracing && config_.samplerPeriod > 0.0) {
+        // The continuous layer rides the sampler: every tick first
+        // refreshes derived gauges (update hook), then sweeps the
+        // tracer's counter tracks, then (post-sweep hook) appends
+        // one time-series slot and re-evaluates health. Recreated
+        // on every start() so a restarted server gets fresh
+        // history.
+        telemetry::TimeSeriesOptions ts_opts;
+        ts_opts.capacity = config_.timeseriesCapacity;
+        timeseries_ = std::make_unique<telemetry::TimeSeriesStore>(
+            metrics_, ts_opts);
+        health_ = std::make_unique<telemetry::HealthMonitor>(
+            *timeseries_, metrics_, config_.healthOptions);
         // All saturation signals flow through this one sampling
         // path: the update hook refreshes the gauges whose sources
         // are not registry-backed (compute-pool busy count,
@@ -256,7 +275,11 @@ DjinnServer::start()
         // sweep exports every gauge as a counter track.
         sampler_ = std::make_unique<telemetry::BackgroundSampler>(
             tracer_, metrics_, config_.samplerPeriod,
-            telemetry::BackgroundSampler::Hook{}, [this]() {
+            [this](telemetry::Tracer &) {
+                timeseries_->sample(telemetry::traceNowUs() * 1e-6);
+                health_->tick();
+            },
+            [this]() {
                 common::ThreadPool &pool = common::computePool();
                 metrics_.gauge("djinn_compute_pool_busy")
                     .set(static_cast<double>(pool.activeWorkers()));
@@ -273,6 +296,9 @@ DjinnServer::start()
     if (config_.httpPort >= 0) {
         http_ = std::make_unique<HttpEndpoint>(metrics_, tracer_);
         http_->setFlightRecorder(&flightRecorder_);
+        http_->setTimeSeriesStore(timeseries_.get());
+        http_->setHealthMonitor(health_.get());
+        http_->setStartTime(startTraceSeconds_);
         Status s = http_->start(
             config_.bindAddress,
             static_cast<uint16_t>(config_.httpPort));
@@ -293,6 +319,13 @@ DjinnServer::httpPort() const
 void
 DjinnServer::stop()
 {
+    // Flag the drain before tearing the sampler down so the last
+    // health ticks (and any concurrent /healthz evaluation) know
+    // the stall they may observe is intentional. The store and
+    // monitor themselves survive stop() for post-mortem queries;
+    // start() replaces them.
+    if (health_)
+        health_->setDraining(true);
     http_.reset();
     sampler_.reset();
     if (profilerStarted_) {
@@ -790,6 +823,69 @@ DjinnServer::handleRequest(const Request &request,
                         collapsed.status().toString();
                 } else {
                     response.message = collapsed.value();
+                }
+            } else if (format == "health") {
+                if (!health_) {
+                    response.status = WireStatus::ServerError;
+                    response.message =
+                        "health monitor disabled (tracing or "
+                        "sampler off)";
+                } else {
+                    double uptime = startTraceSeconds_ >= 0
+                        ? telemetry::traceNowUs() * 1e-6
+                            - startTraceSeconds_
+                        : -1.0;
+                    response.message = telemetry::renderHealthJson(
+                        health_->evaluateNow(), uptime);
+                }
+            } else if (format == "top" ||
+                       format.rfind("top:", 0) == 0) {
+                // "top" renders the 60 s dashboard; "top:W" a W-
+                // second window. Backs `djinn_cli top`.
+                if (!timeseries_) {
+                    response.status = WireStatus::ServerError;
+                    response.message =
+                        "time-series store disabled (tracing or "
+                        "sampler off)";
+                } else {
+                    telemetry::DashboardOptions dash;
+                    if (format.size() > 4) {
+                        double w = std::atof(format.c_str() + 4);
+                        if (w > 0)
+                            dash.windowSeconds = w;
+                    }
+                    response.message = telemetry::renderTopDashboard(
+                        *timeseries_, health_.get(), dash);
+                }
+            } else if (format.rfind("series:", 0) == 0) {
+                // "series:<metric>" or "series:<metric>:<window>".
+                if (!timeseries_) {
+                    response.status = WireStatus::ServerError;
+                    response.message =
+                        "time-series store disabled (tracing or "
+                        "sampler off)";
+                } else {
+                    telemetry::TimeSeriesStore::Window window;
+                    std::string spec = request.model.substr(7);
+                    size_t colon = spec.find(':');
+                    if (colon != std::string::npos) {
+                        double w =
+                            std::atof(spec.c_str() + colon + 1);
+                        if (w > 0)
+                            window.seconds = w;
+                        spec = spec.substr(0, colon);
+                    }
+                    window.name = spec;
+                    if (window.name.empty()) {
+                        response.status = WireStatus::BadRequest;
+                        response.message =
+                            "series spec needs a metric name";
+                    } else {
+                        response.message =
+                            telemetry::renderTimeSeriesJson(
+                                *timeseries_, window)
+                            + "\n";
+                    }
                 }
             } else {
                 response.status = WireStatus::BadRequest;

@@ -26,8 +26,10 @@
 #include "core/model_registry.hh"
 #include "core/protocol.hh"
 #include "telemetry/flight_recorder.hh"
+#include "telemetry/health.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/slo.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/trace.hh"
 #include "telemetry/tracer.hh"
 
@@ -142,6 +144,17 @@ struct ServerConfig {
      * kept across ring wraps. 0 disables the reservoir.
      */
     size_t flightReservoir = 256;
+
+    /**
+     * Time-series store retention, in sampler-period slots
+     * (`djinnd --timeseries-cap`). With the default 0.25 s sampler
+     * period, 600 slots keep 2.5 minutes of history. The store
+     * only runs when tracing and the sampler are on.
+     */
+    size_t timeseriesCapacity = 600;
+
+    /** Health-rule thresholds for the watchdog over the store. */
+    telemetry::HealthOptions healthOptions;
 
     /**
      * Declared per-model serving precisions (`djinnd --precision
@@ -284,6 +297,26 @@ class DjinnServer
         return flightRecorder_;
     }
 
+    /**
+     * The continuous time-series store over the registry, fed by
+     * the background sampler; null when tracing or the sampler is
+     * disabled. Stays queryable after stop() so post-mortem reads
+     * of the final history work.
+     */
+    const telemetry::TimeSeriesStore *timeSeries() const
+    {
+        return timeseries_.get();
+    }
+
+    /**
+     * The health watchdog over the store; null when the store is.
+     * Its verdict backs /healthz and the `health` Metrics verb.
+     */
+    const telemetry::HealthMonitor *health() const
+    {
+        return health_.get();
+    }
+
   private:
     /** Identity of one traced request's server-side span. */
     struct WireSpan {
@@ -319,8 +352,11 @@ class DjinnServer
     telemetry::FlightRecorder flightRecorder_;
     std::unique_ptr<BatchingExecutor> batcher_;
     std::unique_ptr<telemetry::SloTracker> slo_;
+    std::unique_ptr<telemetry::TimeSeriesStore> timeseries_;
+    std::unique_ptr<telemetry::HealthMonitor> health_;
     std::unique_ptr<telemetry::BackgroundSampler> sampler_;
     std::unique_ptr<HttpEndpoint> http_;
+    double startTraceSeconds_ = -1.0;
     bool profilerStarted_ = false;
 
     /** Parsed ServerConfig::faultSpec (core/fault.hh bitmask). */

@@ -39,6 +39,27 @@ statusText(int code)
     return "Internal Server Error";
 }
 
+/**
+ * Fill the response for an error: every debug/observability error
+ * answers the same JSON shape so scripted clients need one parser.
+ */
+int
+jsonError(int code, const std::string &message,
+          std::string &content_type, std::string &body)
+{
+    content_type = "application/json";
+    body = "{\"error\": \"" + telemetry::jsonEscape(message)
+        + "\", \"status\": " + std::to_string(code) + "}\n";
+    return code;
+}
+
+/**
+ * Upper bound for `last=`-style count parameters: large enough for
+ * any real ring, small enough that a hostile value cannot ask for
+ * an absurd reservation.
+ */
+constexpr int64_t maxCountParam = 10 * 1000 * 1000;
+
 /** The value of `key` in an &-joined query string ("" if absent). */
 std::string
 queryParam(const std::string &query, const std::string &key)
@@ -217,8 +238,25 @@ HttpEndpoint::handle(const std::string &target,
 
     content_type = "text/plain; charset=utf-8";
     if (path == "/healthz") {
-        body = "ok\n";
-        return 200;
+        if (!health_) {
+            // No monitor (tracing off): the legacy liveness probe.
+            body = "ok\n";
+            return 200;
+        }
+        const telemetry::HealthVerdict verdict =
+            health_->evaluateNow();
+        double uptime = -1.0;
+        if (startTraceSeconds_ >= 0) {
+            uptime =
+                telemetry::traceNowUs() * 1e-6 - startTraceSeconds_;
+        }
+        body = telemetry::renderHealthJson(verdict, uptime);
+        content_type = "application/json";
+        // Degraded still answers 200: load balancers should only
+        // eject a replica that is actually unhealthy.
+        return verdict.level == telemetry::HealthLevel::Unhealthy
+            ? 503
+            : 200;
     }
     if (path == "/metrics") {
         // Content negotiation: a scraper that asks for OpenMetrics
@@ -242,16 +280,17 @@ HttpEndpoint::handle(const std::string &target,
     }
     if (path == "/debug/tail") {
         if (!flightRecorder_) {
-            body = "no flight recorder attached\n";
-            return 503;
+            return jsonError(503, "no flight recorder attached",
+                             content_type, body);
         }
         double pct = 99.0;
         std::string pct_arg = queryParam(query, "pct");
         if (!pct_arg.empty()) {
             pct = std::atof(pct_arg.c_str());
             if (!(pct > 0.0 && pct < 100.0)) {
-                body = "bad 'pct' parameter\n";
-                return 400;
+                return jsonError(
+                    400, "bad 'pct' parameter (want 0 < pct < 100)",
+                    content_type, body);
             }
         }
         std::string model = queryParam(query, "model");
@@ -277,8 +316,8 @@ HttpEndpoint::handle(const std::string &target,
     }
     if (path == "/debug/flight") {
         if (!flightRecorder_) {
-            body = "no flight recorder attached\n";
-            return 503;
+            return jsonError(503, "no flight recorder attached",
+                             content_type, body);
         }
         telemetry::FlightRecord record;
         bool found = false;
@@ -287,8 +326,8 @@ HttpEndpoint::handle(const std::string &target,
         if (!ref.empty()) {
             int64_t seq = 0;
             if (!parseInt(ref, seq) || seq < 0) {
-                body = "bad 'record' parameter\n";
-                return 400;
+                return jsonError(400, "bad 'record' parameter",
+                                 content_type, body);
             }
             found = flightRecorder_->find(
                 static_cast<uint64_t>(seq), record);
@@ -297,17 +336,19 @@ HttpEndpoint::handle(const std::string &target,
             uint64_t trace_id =
                 std::strtoull(trace_arg.c_str(), &end, 16);
             if (end == trace_arg.c_str() || *end != '\0') {
-                body = "bad 'trace_id' parameter\n";
-                return 400;
+                return jsonError(400, "bad 'trace_id' parameter",
+                                 content_type, body);
             }
             found = flightRecorder_->findByTraceId(trace_id, record);
         } else {
-            body = "need 'record' or 'trace_id' parameter\n";
-            return 400;
+            return jsonError(400,
+                             "need 'record' or 'trace_id' parameter",
+                             content_type, body);
         }
         if (!found) {
-            body = "record not found (evicted or never recorded)\n";
-            return 404;
+            return jsonError(
+                404, "record not found (evicted or never recorded)",
+                content_type, body);
         }
         body = telemetry::renderFlightRecordJson(record) + "\n";
         content_type = "application/json";
@@ -322,13 +363,59 @@ HttpEndpoint::handle(const std::string &target,
                 continue;
             int64_t parsed = 0;
             if (!parseInt(kv.substr(eq + 1), parsed) ||
-                parsed < 0) {
-                body = "bad 'last' parameter\n";
-                return 400;
+                parsed < 0 || parsed > maxCountParam) {
+                return jsonError(400,
+                                 "bad 'last' parameter (want 0 <= "
+                                 "last <= 10000000)",
+                                 content_type, body);
             }
             last_n = static_cast<size_t>(parsed);
         }
         body = telemetry::renderChromeTrace(tracer_.events(last_n));
+        content_type = "application/json";
+        return 200;
+    }
+    if (path == "/debug/timeseries") {
+        if (!timeseries_) {
+            return jsonError(503, "no time-series store attached",
+                             content_type, body);
+        }
+        telemetry::TimeSeriesStore::Window window;
+        window.name = queryParam(query, "metric");
+        if (window.name.empty()) {
+            return jsonError(400, "need 'metric' parameter",
+                             content_type, body);
+        }
+        std::string window_arg = queryParam(query, "window");
+        if (!window_arg.empty()) {
+            window.seconds = std::atof(window_arg.c_str());
+            if (!(window.seconds > 0.0)
+                || window.seconds > 86400.0) {
+                return jsonError(400,
+                                 "bad 'window' parameter (want 0 < "
+                                 "window <= 86400 seconds)",
+                                 content_type, body);
+            }
+        }
+        double step = 0.0;
+        std::string step_arg = queryParam(query, "step");
+        if (!step_arg.empty()) {
+            step = std::atof(step_arg.c_str());
+            if (!(step >= 0.0) || step > 86400.0) {
+                return jsonError(400,
+                                 "bad 'step' parameter (want 0 <= "
+                                 "step <= 86400 seconds)",
+                                 content_type, body);
+            }
+        }
+        if (timeseries_->trackIds(window.name).empty()) {
+            return jsonError(
+                404, "unknown metric '" + window.name + "'",
+                content_type, body);
+        }
+        body = telemetry::renderTimeSeriesJson(*timeseries_, window,
+                                               step)
+            + "\n";
         content_type = "application/json";
         return 200;
     }
@@ -345,22 +432,24 @@ HttpEndpoint::handle(const std::string &target,
             int64_t parsed = 0;
             if (!parseInt(kv.substr(eq + 1), parsed) ||
                 parsed <= 0 || parsed > 60) {
-                body = "bad 'seconds' parameter\n";
-                return 400;
+                return jsonError(
+                    400,
+                    "bad 'seconds' parameter (want 1 <= seconds "
+                    "<= 60)",
+                    content_type, body);
             }
             seconds = static_cast<double>(parsed);
         }
         auto collapsed =
             telemetry::Profiler::instance().collect(seconds);
         if (!collapsed.isOk()) {
-            body = collapsed.status().toString() + "\n";
-            return 503;
+            return jsonError(503, collapsed.status().toString(),
+                             content_type, body);
         }
         body = collapsed.value();
         return 200;
     }
-    body = "not found\n";
-    return 404;
+    return jsonError(404, "not found: " + path, content_type, body);
 }
 
 void

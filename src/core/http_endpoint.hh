@@ -3,7 +3,10 @@
  * A minimal embedded HTTP scrape endpoint so standard tooling can
  * observe a DjiNN server without speaking the wire protocol:
  *
- *   GET /healthz            -> 200 "ok"
+ *   GET /healthz            -> 200 "ok"; with a HealthMonitor
+ *                              attached, a structured JSON verdict
+ *                              instead (status/uptime/reasons; 503
+ *                              only when unhealthy)
  *   GET /metrics            -> Prometheus text exposition; with
  *                              `Accept: application/openmetrics-text`
  *                              the OpenMetrics rendering instead
@@ -22,6 +25,15 @@
  *   GET /debug/flight?record=N (or ?trace_id=HEX)
  *                           -> one flight record as JSON; resolves
  *                              /metrics exemplar refs
+ *   GET /debug/timeseries?metric=M&window=W&step=S
+ *                           -> windowed per-track series of one
+ *                              metric family from the in-process
+ *                              TimeSeriesStore, as JSON
+ *
+ * Error responses carry a consistent JSON body
+ * (`{"error": ..., "status": N}`) with 400 for malformed
+ * parameters, 404 for unknown routes or missing data, and 503 for
+ * a subsystem that is not attached.
  *
  * The endpoint serves one connection at a time with HTTP/1.0
  * close-after-response semantics, which is all scrapers and
@@ -38,7 +50,9 @@
 
 #include "common/status.hh"
 #include "telemetry/flight_recorder.hh"
+#include "telemetry/health.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/timeseries.hh"
 #include "telemetry/tracer.hh"
 
 namespace djinn {
@@ -105,6 +119,35 @@ class HttpEndpoint
     }
 
     /**
+     * Attach the time-series store behind /debug/timeseries. Call
+     * before start(); must outlive the endpoint. Without one the
+     * route answers 503.
+     */
+    void setTimeSeriesStore(const telemetry::TimeSeriesStore *store)
+    {
+        timeseries_ = store;
+    }
+
+    /**
+     * Attach the health monitor: /healthz upgrades from the plain
+     * "ok" to the structured JSON verdict. Call before start();
+     * must outlive the endpoint.
+     */
+    void setHealthMonitor(const telemetry::HealthMonitor *monitor)
+    {
+        health_ = monitor;
+    }
+
+    /**
+     * Server start time on the trace clock (traceNowUs()-seconds),
+     * used to report uptime in /healthz. Negative omits uptime.
+     */
+    void setStartTime(double traceSeconds)
+    {
+        startTraceSeconds_ = traceSeconds;
+    }
+
+    /**
      * Dispatch one already-parsed request; exposed for tests.
      *
      * @param target the request target, e.g. "/trace?last=10".
@@ -133,6 +176,9 @@ class HttpEndpoint
     telemetry::MetricRegistry &metrics_;
     const telemetry::Tracer &tracer_;
     const telemetry::FlightRecorder *flightRecorder_ = nullptr;
+    const telemetry::TimeSeriesStore *timeseries_ = nullptr;
+    const telemetry::HealthMonitor *health_ = nullptr;
+    double startTraceSeconds_ = -1.0;
 
     double ioTimeoutSeconds_ = 5.0;
     int listenFd_ = -1;

@@ -1,0 +1,60 @@
+#include "telemetry/build_info.hh"
+
+#include <ctime>
+
+namespace djinn {
+namespace telemetry {
+
+std::string
+buildVersion()
+{
+#ifdef DJINN_VERSION
+    return DJINN_VERSION;
+#else
+    return "dev";
+#endif
+}
+
+std::string
+buildCompiler()
+{
+#ifdef __VERSION__
+    return __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+buildIsa()
+{
+#if defined(__AVX512F__)
+    return "avx512";
+#elif defined(__AVX2__)
+    return "avx2";
+#elif defined(__AVX__)
+    return "avx";
+#elif defined(__SSE2__) || defined(__x86_64__)
+    return "sse2";
+#elif defined(__aarch64__)
+    return "neon";
+#else
+    return "generic";
+#endif
+}
+
+void
+exportBuildInfo(MetricRegistry &registry)
+{
+    registry
+        .gauge("djinn_build_info",
+               {{"version", buildVersion()},
+                {"compiler", buildCompiler()},
+                {"isa", buildIsa()}})
+        .set(1.0);
+    registry.gauge("djinn_start_time_seconds")
+        .set(static_cast<double>(std::time(nullptr)));
+}
+
+} // namespace telemetry
+} // namespace djinn

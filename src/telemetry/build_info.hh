@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Build/provenance info gauges, the Prometheus `_info` idiom: a
+ * constant-1 `djinn_build_info{version, compiler, isa}` gauge whose
+ * labels carry the interesting data, plus `djinn_start_time_seconds`
+ * (unix time, set once at export). Joining on these in a dashboard
+ * answers "which build is this fleet running and since when" —
+ * and the bench harness embeds the same triplet so a BENCH JSON is
+ * attributable to a binary.
+ */
+
+#ifndef DJINN_TELEMETRY_BUILD_INFO_HH
+#define DJINN_TELEMETRY_BUILD_INFO_HH
+
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace djinn {
+namespace telemetry {
+
+/** Version string: the DJINN_VERSION compile definition, else
+ * "dev". */
+std::string buildVersion();
+
+/** Compiler identification (__VERSION__). */
+std::string buildCompiler();
+
+/** Widest ISA the binary was compiled for (avx512/avx2/...). */
+std::string buildIsa();
+
+/**
+ * Register djinn_build_info{version,compiler,isa} = 1 and set
+ * djinn_start_time_seconds to the current unix time. Idempotent
+ * apart from refreshing the start time; the server calls it once
+ * per start().
+ */
+void exportBuildInfo(MetricRegistry &registry);
+
+} // namespace telemetry
+} // namespace djinn
+
+#endif // DJINN_TELEMETRY_BUILD_INFO_HH

@@ -161,6 +161,26 @@ class LogHistogram
     /** The bucket a sample of @p value lands in. */
     int bucketIndex(double value) const;
 
+    /** Buckets held, including the overflow bucket. */
+    int
+    bucketCountTotal() const
+    {
+        return static_cast<int>(buckets_.size());
+    }
+
+    /**
+     * Lock- and allocation-free read of one bucket's count
+     * (0 <= i < bucketCountTotal()). The TimeSeriesStore's sample
+     * path reads every bucket through this instead of snapshot(),
+     * which allocates.
+     */
+    uint64_t
+    bucketValue(int i) const
+    {
+        return buckets_[static_cast<size_t>(i)].load(
+            std::memory_order_relaxed);
+    }
+
     /** Inclusive upper bound of bucket @p i (+inf for overflow). */
     double bucketUpperBound(int i) const;
 

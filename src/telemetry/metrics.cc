@@ -96,6 +96,23 @@ MetricRegistry::snapshot() const
     return out;
 }
 
+void
+MetricRegistry::forEach(
+    const std::function<void(const MetricRef &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[key, entry] : entries_) {
+        MetricRef ref;
+        ref.name = &key.first;
+        ref.labels = &key.second;
+        ref.kind = entry.kind;
+        ref.counter = entry.counter.get();
+        ref.gauge = entry.gauge.get();
+        ref.histogram = entry.histogram.get();
+        fn(ref);
+    }
+}
+
 size_t
 MetricRegistry::size() const
 {

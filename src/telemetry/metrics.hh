@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -113,6 +114,21 @@ struct MetricSample {
 };
 
 /**
+ * A borrowed, stable view of one registry entry (see
+ * MetricRegistry::forEach). Entries are never removed, so the
+ * pointers stay valid for the registry's lifetime; exactly one of
+ * counter/gauge/histogram is non-null, per kind.
+ */
+struct MetricRef {
+    const std::string *name = nullptr;
+    const LabelMap *labels = nullptr;
+    MetricKind kind = MetricKind::Counter;
+    const Counter *counter = nullptr;
+    const Gauge *gauge = nullptr;
+    const LogHistogram *histogram = nullptr;
+};
+
+/**
  * The registry. Lookup takes a mutex; the returned references are
  * stable for the registry's lifetime and update lock-free. A name
  * must keep one kind: re-registering `foo` as a different kind is a
@@ -143,6 +159,17 @@ class MetricRegistry
 
     /** All metrics, sorted by (name, labels). */
     std::vector<MetricSample> snapshot() const;
+
+    /**
+     * Visit every entry in (name, labels) order under the registry
+     * lock, handing the visitor stable pointers to the live metric
+     * objects (no copies). The TimeSeriesStore uses this to cache
+     * direct instrument pointers so its periodic sample path never
+     * touches the lock or allocates. Do not register new metrics
+     * from inside the visitor.
+     */
+    void forEach(
+        const std::function<void(const MetricRef &)> &fn) const;
 
     /** Number of registered metrics. */
     size_t size() const;

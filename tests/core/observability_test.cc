@@ -1,0 +1,303 @@
+/**
+ * @file
+ * End-to-end tests of the continuous observability plane: the live
+ * server's time-series store feeding the `top` dashboard and
+ * `series:` wire verbs, the structured JSON `/healthz` and
+ * `/debug/timeseries` HTTP routes with their JSON error contract,
+ * and the sampler-tick-vs-stop() race the TSan stage hammers.
+ */
+
+#include "core/djinn_server.hh"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/djinn_client.hh"
+#include "core/http_endpoint.hh"
+#include "nn/init.hh"
+#include "nn/net_def.hh"
+#include "telemetry/health.hh"
+#include "telemetry/timeseries.hh"
+#include "telemetry/tracer.hh"
+
+namespace djinn {
+namespace core {
+namespace {
+
+class ObservabilityTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto net = nn::parseNetDefOrDie(
+            "name tiny\ninput 1 4 4\nlayer fc fc out 8\n");
+        nn::initializeWeights(*net, 3);
+        ASSERT_TRUE(registry_.add(std::move(net)).isOk());
+    }
+
+    void
+    startServer(ServerConfig config)
+    {
+        server_ = std::make_unique<DjinnServer>(registry_, config);
+        ASSERT_TRUE(server_->start().isOk());
+    }
+
+    ModelRegistry registry_;
+    std::unique_ptr<DjinnServer> server_;
+};
+
+TEST_F(ObservabilityTest, TopSeriesAndHealthOverWire)
+{
+    ServerConfig config;
+    config.batching = true;
+    config.batchOptions.maxQueries = 4;
+    config.batchOptions.maxDelay = 100e-6;
+    config.samplerPeriod = 0.01; // fast ticks for the test
+    startServer(config);
+
+    DjinnClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", server_->port()).isOk());
+    std::vector<float> payload(16, 0.5f);
+    for (int i = 0; i < 32; ++i)
+        ASSERT_TRUE(client.infer("tiny", 1, payload).isOk());
+
+    // Wait until the sampler has recorded the request history
+    // (the store adopts metrics on its first tick after they
+    // register).
+    auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::seconds(10);
+    for (;;) {
+        const telemetry::TimeSeriesStore *store =
+            server_->timeSeries();
+        ASSERT_NE(store, nullptr);
+        if (store->sampleCount() >= 3
+            && !store->trackIds("djinn_requests_total").empty())
+            break;
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "sampler never populated the store";
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(20));
+    }
+
+    // The live dashboard names the model and its column header.
+    auto top = client.metricsExposition("top");
+    ASSERT_TRUE(top.isOk());
+    EXPECT_NE(top.value().find("djinn top"), std::string::npos)
+        << top.value();
+    EXPECT_NE(top.value().find("tiny"), std::string::npos)
+        << top.value();
+    EXPECT_NE(top.value().find("QPS"), std::string::npos);
+
+    // Windowed variant parses its suffix.
+    auto top5 = client.metricsExposition("top:5");
+    ASSERT_TRUE(top5.isOk());
+    EXPECT_NE(top5.value().find("window 5s"), std::string::npos)
+        << top5.value();
+
+    // Per-model series of the request counter.
+    auto series =
+        client.metricsExposition("series:djinn_requests_total");
+    ASSERT_TRUE(series.isOk());
+    EXPECT_NE(series.value().find(
+                  "\"metric\": \"djinn_requests_total\""),
+              std::string::npos)
+        << series.value();
+    EXPECT_NE(series.value().find("\"points\": ["),
+              std::string::npos);
+
+    // Structured health verdict with uptime.
+    auto health = client.metricsExposition("health");
+    ASSERT_TRUE(health.isOk());
+    EXPECT_NE(health.value().find("\"status\": \"ok\""),
+              std::string::npos)
+        << health.value();
+    EXPECT_NE(health.value().find("\"uptime_seconds\""),
+              std::string::npos);
+
+    // A bad series spec is a BadRequest, not a crash.
+    auto bad = client.metricsExposition("series:");
+    EXPECT_FALSE(bad.isOk());
+
+    server_->stop();
+}
+
+TEST_F(ObservabilityTest, VerbsFailCleanlyWithoutStore)
+{
+    ServerConfig config;
+    config.tracing = false; // disables sampler, store, monitor
+    startServer(config);
+    EXPECT_EQ(server_->timeSeries(), nullptr);
+    EXPECT_EQ(server_->health(), nullptr);
+
+    DjinnClient client;
+    ASSERT_TRUE(
+        client.connect("127.0.0.1", server_->port()).isOk());
+    EXPECT_FALSE(client.metricsExposition("top").isOk());
+    EXPECT_FALSE(client.metricsExposition("health").isOk());
+    EXPECT_FALSE(
+        client.metricsExposition("series:djinn_requests_total")
+            .isOk());
+    // The plain exposition still works.
+    EXPECT_TRUE(client.metricsExposition().isOk());
+    server_->stop();
+}
+
+TEST(ObservabilityHttp, TimeseriesRouteAndJsonErrors)
+{
+    telemetry::MetricRegistry metrics;
+    telemetry::Tracer tracer(256);
+    telemetry::Counter &requests =
+        metrics.counter("djinn_requests_total", {{"model", "m"}});
+    telemetry::TimeSeriesStore store(metrics);
+    for (int t = 0; t <= 10; ++t) {
+        requests.inc(5);
+        store.sample(static_cast<double>(t));
+    }
+
+    HttpEndpoint endpoint(metrics, tracer);
+    std::string type, body;
+
+    // Without a store the route reports 503 with a JSON error.
+    EXPECT_EQ(endpoint.handle(
+                  "/debug/timeseries?metric=djinn_requests_total",
+                  type, body),
+              503);
+    EXPECT_NE(body.find("\"error\""), std::string::npos);
+
+    endpoint.setTimeSeriesStore(&store);
+    EXPECT_EQ(endpoint.handle(
+                  "/debug/timeseries?metric=djinn_requests_total"
+                  "&window=60",
+                  type, body),
+              200);
+    EXPECT_EQ(type, "application/json");
+    EXPECT_NE(body.find("\"series\""), std::string::npos);
+    EXPECT_NE(body.find("\"model\": \"m\""), std::string::npos);
+
+    // Missing metric parameter.
+    EXPECT_EQ(endpoint.handle("/debug/timeseries", type, body),
+              400);
+    EXPECT_NE(body.find("\"error\""), std::string::npos);
+    EXPECT_NE(body.find("\"status\": 400"), std::string::npos);
+
+    // Out-of-range window and step are bounds-checked.
+    EXPECT_EQ(endpoint.handle(
+                  "/debug/timeseries?metric=djinn_requests_total"
+                  "&window=999999999",
+                  type, body),
+              400);
+    EXPECT_EQ(endpoint.handle(
+                  "/debug/timeseries?metric=djinn_requests_total"
+                  "&window=60&step=-1",
+                  type, body),
+              400);
+
+    // Unknown metric.
+    EXPECT_EQ(endpoint.handle(
+                  "/debug/timeseries?metric=no_such_metric", type,
+                  body),
+              404);
+    EXPECT_NE(body.find("\"error\""), std::string::npos);
+
+    // The JSON error contract also covers the older routes.
+    EXPECT_EQ(endpoint.handle("/trace?last=bogus", type, body),
+              400);
+    EXPECT_NE(body.find("\"error\""), std::string::npos);
+    EXPECT_EQ(endpoint.handle("/nope", type, body), 404);
+    EXPECT_NE(body.find("\"error\""), std::string::npos);
+}
+
+TEST(ObservabilityHttp, HealthzPlainAndStructured)
+{
+    telemetry::MetricRegistry metrics;
+    telemetry::Tracer tracer(256);
+    HttpEndpoint endpoint(metrics, tracer);
+    std::string type, body;
+
+    // Without a monitor the legacy plain liveness reply stands.
+    EXPECT_EQ(endpoint.handle("/healthz", type, body), 200);
+    EXPECT_EQ(body, "ok\n");
+
+    // With a monitor the verdict is structured JSON.
+    telemetry::TimeSeriesStore store(metrics);
+    double now = 0.0;
+    telemetry::HealthMonitor monitor(
+        store, metrics, telemetry::HealthOptions{},
+        [&now] { return now; });
+    metrics.counter("djinn_requests_total").inc();
+    for (int t = 0; t <= 5; ++t) {
+        now = static_cast<double>(t);
+        store.sample(now);
+    }
+    endpoint.setHealthMonitor(&monitor);
+    endpoint.setStartTime(0.0);
+    EXPECT_EQ(endpoint.handle("/healthz", type, body), 200);
+    EXPECT_EQ(type, "application/json");
+    EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos)
+        << body;
+    EXPECT_NE(body.find("\"uptime_seconds\""), std::string::npos);
+
+    // Degraded (stale sampler) still answers 200: degraded means
+    // "serving with issues", not "kill the backend".
+    now = 1000.0;
+    EXPECT_EQ(endpoint.handle("/healthz", type, body), 200);
+    EXPECT_NE(body.find("\"status\": \"degraded\""),
+              std::string::npos)
+        << body;
+    EXPECT_NE(body.find("\"rule\": \"stale\""), std::string::npos);
+
+    // Unhealthy answers 503 so load balancers eject the backend.
+    telemetry::Gauge &depth =
+        metrics.gauge("djinn_batch_queue_depth_total");
+    telemetry::Counter &batches =
+        metrics.counter("djinn_batches_total");
+    batches.inc();
+    for (int t = 1000; t <= 1040; ++t) {
+        depth.set(5.0);
+        now = static_cast<double>(t);
+        store.sample(now);
+    }
+    EXPECT_EQ(endpoint.handle("/healthz", type, body), 503);
+    EXPECT_NE(body.find("\"status\": \"unhealthy\""),
+              std::string::npos)
+        << body;
+}
+
+TEST_F(ObservabilityTest, SamplerTickVsStopRace)
+{
+    // The sampler hook samples the store and ticks the monitor;
+    // stop() flags draining and tears the sampler down. Cycle the
+    // pair rapidly — TSan runs this suite to prove the shutdown
+    // ordering is clean.
+    for (int round = 0; round < 20; ++round) {
+        ServerConfig config;
+        config.batching = true;
+        config.batchOptions.maxQueries = 2;
+        config.batchOptions.maxDelay = 50e-6;
+        config.samplerPeriod = 0.0005;
+        DjinnServer server(registry_, config);
+        ASSERT_TRUE(server.start().isOk());
+        DjinnClient client;
+        ASSERT_TRUE(
+            client.connect("127.0.0.1", server.port()).isOk());
+        std::vector<float> payload(16, 0.5f);
+        (void)client.infer("tiny", 1, payload);
+        server.stop();
+        // After stop the last verdict is a drain: never unhealthy.
+        const telemetry::HealthMonitor *health = server.health();
+        ASSERT_NE(health, nullptr);
+        EXPECT_NE(health->lastVerdict().level,
+                  telemetry::HealthLevel::Unhealthy);
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace djinn

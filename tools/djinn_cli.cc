@@ -9,6 +9,7 @@
  *   djinn_cli ... HOST PORT stats
  *   djinn_cli ... HOST PORT metrics [prometheus|json|requests]
  *   djinn_cli ... HOST PORT tail [PCT]
+ *   djinn_cli ... HOST PORT top [WINDOW_SECONDS]
  *   djinn_cli ... HOST PORT trace OUT.json [last_n]
  *   djinn_cli ... HOST PORT profile [SECONDS] [OUT.txt]
  *   djinn_cli ... HOST PORT infer MODEL ROWS [payload.f32]
@@ -29,6 +30,14 @@
  * format prints the recent-request table instead: one line per
  * request with its trace id, rows, the size of the batch that
  * served it, and service latency.
+ *
+ * `top` is the live operator dashboard: per-model QPS, windowed
+ * p50/p99, shed rate, and batch occupancy with request-rate
+ * sparklines, computed server-side from the continuous time-series
+ * store and refreshed every --interval-ms (default 1000). On a tty
+ * it clears the screen between frames and runs until interrupted;
+ * piped, it prints --frames frames (default 1) of plain text, so
+ * scripts and tests can grep it.
  *
  * `tail` asks the server's flight recorder where tail latency
  * comes from: it compares the pPCT-slowest requests (default p99)
@@ -51,13 +60,17 @@
  * every row is printed.
  */
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hh"
@@ -73,13 +86,19 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: djinn_cli [--timeout-ms N] [--retries N] "
-                 "[--deadline-ms N] HOST PORT "
-                 "ping|list|stats|metrics|tail|trace|profile|infer "
-                 "[MODEL ROWS [payload.f32]]\n"
+                 "[--deadline-ms N] [--frames N] [--interval-ms N] "
+                 "HOST PORT "
+                 "ping|list|stats|metrics|tail|top|trace|profile|"
+                 "infer [MODEL ROWS [payload.f32]]\n"
                  "       metrics takes an optional format: "
                  "prometheus (default), json, or requests\n"
                  "       tail takes an optional percentile: "
                  "djinn_cli HOST PORT tail [PCT] (default 99)\n"
+                 "       top takes an optional window: "
+                 "djinn_cli HOST PORT top [WINDOW_SECONDS] "
+                 "(default 60); --frames N stops after N frames "
+                 "(0 = until interrupted), --interval-ms sets the "
+                 "refresh period\n"
                  "       trace takes an output file: "
                  "djinn_cli HOST PORT trace out.json\n"
                  "       profile takes an optional window and "
@@ -96,6 +115,8 @@ main(int argc, char **argv)
     double timeout_ms = 0.0;
     int retries = 0;
     uint32_t deadline_ms = 0;
+    int frames = -1;
+    int interval_ms = 1000;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
         std::string arg = argv[argi];
@@ -108,6 +129,12 @@ main(int argc, char **argv)
         } else if (arg == "--deadline-ms") {
             deadline_ms =
                 static_cast<uint32_t>(std::atoi(argv[++argi]));
+        } else if (arg == "--frames") {
+            frames = std::atoi(argv[++argi]);
+        } else if (arg == "--interval-ms") {
+            interval_ms = std::atoi(argv[++argi]);
+            if (interval_ms <= 0)
+                return usage();
         } else {
             return usage();
         }
@@ -228,6 +255,43 @@ main(int argc, char **argv)
             return 1;
         }
         std::fputs(report.value().c_str(), stdout);
+        return 0;
+    }
+    if (command == "top") {
+        double window = 60.0;
+        if (argc > 4) {
+            window = std::atof(argv[4]);
+            if (!(window > 0.0)) {
+                std::fprintf(stderr,
+                             "WINDOW_SECONDS must be positive\n");
+                return 2;
+            }
+        }
+        const bool tty = isatty(fileno(stdout)) != 0;
+        // Interactive default: refresh forever. Piped default: one
+        // frame, so `djinn_cli ... top | grep` terminates.
+        if (frames < 0)
+            frames = tty ? 0 : 1;
+        for (int frame = 0; frames == 0 || frame < frames;
+             ++frame) {
+            if (frame > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(interval_ms));
+            }
+            auto dashboard = client.metricsExposition(
+                strprintf("top:%g", window));
+            if (!dashboard.isOk()) {
+                std::fprintf(stderr, "%s\n",
+                             dashboard.status().toString().c_str());
+                return 1;
+            }
+            if (tty) {
+                // Home the cursor and clear before each frame.
+                std::fputs("\x1b[H\x1b[2J", stdout);
+            }
+            std::fputs(dashboard.value().c_str(), stdout);
+            std::fflush(stdout);
+        }
         return 0;
     }
     if (command == "profile") {

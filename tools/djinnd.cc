@@ -15,6 +15,7 @@
  *          [--metrics-dump] [--metrics-dump-json]
  *          [--http-port N] [--no-tracing]
  *          [--profile-hz N] [--slo-ms X]
+ *          [--timeseries-cap N]
  *          [--netdef FILE --weights FILE]...
  *
  * --metrics-dump prints the full telemetry exposition (Prometheus
@@ -37,11 +38,19 @@
  * every setting.
  *
  * --http-port N starts the embedded HTTP scrape endpoint on port N
- * (0 picks an ephemeral port): GET /healthz, GET /metrics
- * (Prometheus text), GET /trace?last=N (Chrome trace-event JSON,
- * loadable in chrome://tracing or https://ui.perfetto.dev), and
- * GET /profile?seconds=N (collapsed stacks for flamegraph.pl).
- * --no-tracing disables span recording for sampled requests.
+ * (0 picks an ephemeral port): GET /healthz (structured JSON
+ * health verdict with uptime), GET /metrics (Prometheus text),
+ * GET /trace?last=N (Chrome trace-event JSON, loadable in
+ * chrome://tracing or https://ui.perfetto.dev),
+ * GET /profile?seconds=N (collapsed stacks for flamegraph.pl), and
+ * GET /debug/timeseries?metric=M&window=W (windowed series from
+ * the continuous time-series store — the same data `djinn_cli
+ * HOST PORT top` renders as a live dashboard). --no-tracing
+ * disables span recording for sampled requests (and with it the
+ * store, the health watchdog, and the dashboard).
+ *
+ * --timeseries-cap N sets the store's retention in sampler-period
+ * slots (default 600 = 2.5 minutes at the 0.25 s period).
  *
  * --profile-hz N runs the continuous sampling profiler at N samples
  * per consumed CPU-second (off by default; /profile still works via
@@ -106,6 +115,7 @@ usage()
                  "[--metrics-dump-json]\n"
                  "              [--http-port N] [--no-tracing]\n"
                  "              [--profile-hz N] [--slo-ms X]\n"
+                 "              [--timeseries-cap N]\n"
                  "              [--netdef F --weights F]...\n");
 }
 
@@ -195,6 +205,14 @@ main(int argc, char **argv)
         } else if (arg == "--slo-ms") {
             config.sloTargetSeconds =
                 std::atof(next("--slo-ms")) * 1e-3;
+        } else if (arg == "--timeseries-cap") {
+            int cap = std::atoi(next("--timeseries-cap"));
+            if (cap < 2) {
+                std::fprintf(stderr,
+                             "--timeseries-cap must be >= 2\n");
+                return 2;
+            }
+            config.timeseriesCapacity = static_cast<size_t>(cap);
         } else if (arg == "--metrics-dump") {
             metrics_dump = true;
         } else if (arg == "--metrics-dump-json") {
@@ -278,8 +296,11 @@ main(int argc, char **argv)
                 common::computeThreads());
     if (config.httpPort >= 0) {
         std::printf("http endpoint on %s:%u "
-                    "(/healthz /metrics /trace /profile)\n",
+                    "(/healthz /metrics /trace /profile "
+                    "/debug/timeseries)\n",
                     config.bindAddress.c_str(), server.httpPort());
+        std::printf("live dashboard: djinn_cli %s %u top\n",
+                    config.bindAddress.c_str(), server.port());
     }
 
     std::signal(SIGINT, onSignal);

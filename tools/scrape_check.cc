@@ -17,9 +17,14 @@
  * content type, terminate with `# EOF`, carry only well-formed
  * `# {...} value` exemplar suffixes, and still parse; the plain
  * Prometheus rendering must stay free of exemplar/OpenMetrics
- * markers (byte-stable with exemplars off). Finally /debug/tail
- * must answer attribution JSON. Exits 0 when every check passes;
- * prints the first failure and exits 1 otherwise.
+ * markers (byte-stable with exemplars off). /debug/tail must
+ * answer attribution JSON. When the daemon runs a health monitor,
+ * /healthz must carry the structured JSON verdict (status +
+ * uptime); /debug/timeseries must serve windowed series JSON for a
+ * known metric, 400 with a JSON error body when the metric
+ * parameter is missing or the window is out of bounds, and 404 for
+ * an unknown metric. Exits 0 when every check passes; prints the
+ * first failure and exits 1 otherwise.
  *
  * Exists so `scripts/check_build.sh` can smoke-test the endpoint
  * without assuming curl is installed.
@@ -212,7 +217,23 @@ main(int argc, char **argv)
                      "%.1fs\n", timeout);
         return 1;
     }
-    std::printf("ok: /healthz 200\n");
+    // With a health monitor the body is the structured verdict;
+    // without one it is the legacy plain "ok". Validate whichever
+    // shape answered.
+    if (!body.empty() && body[0] == '{') {
+        if (body.find("\"status\"") == std::string::npos ||
+            body.find("\"uptime_seconds\"") == std::string::npos ||
+            body.find("\"reasons\"") == std::string::npos) {
+            std::fprintf(stderr,
+                         "FAIL: /healthz JSON lacks status/"
+                         "uptime_seconds/reasons: '%s'\n",
+                         body.c_str());
+            return 1;
+        }
+        std::printf("ok: /healthz 200 (structured verdict)\n");
+    } else {
+        std::printf("ok: /healthz 200\n");
+    }
 
     // 2. /metrics must parse as a Prometheus text exposition.
     if (!httpGet(host, port, "/metrics", code, body) ||
@@ -362,5 +383,83 @@ main(int argc, char **argv)
         return 1;
     }
     std::printf("ok: /debug/tail answers attribution JSON\n");
+
+    // 8. /debug/timeseries: windowed series JSON for a metric the
+    // server always has, JSON 400s for parameter errors, and a
+    // JSON 404 for an unknown metric. Skipped (with a 503) when
+    // the daemon runs without the time-series store.
+    // The store adopts metrics on its first sampler tick, so right
+    // after startup the known-metric query can briefly 404; retry
+    // within the timeout budget.
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(timeout));
+    while (true) {
+        if (!httpGet(host, port,
+                     "/debug/timeseries?metric=djinn_health"
+                     "&window=60",
+                     code, body, std::string(), &content_type)) {
+            std::fprintf(stderr,
+                         "FAIL: GET /debug/timeseries io error\n");
+            return 1;
+        }
+        if (code != 404 ||
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+    }
+    if (code == 503) {
+        std::printf("ok: /debug/timeseries 503 (store disabled)\n");
+        return 0;
+    }
+    if (code != 200 ||
+        body.find("\"series\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: GET /debug/timeseries -> %d '%s'\n",
+                     code, body.c_str());
+        return 1;
+    }
+    if (content_type.find("application/json") ==
+        std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: /debug/timeseries content type '%s'\n",
+                     content_type.c_str());
+        return 1;
+    }
+    if (!httpGet(host, port, "/debug/timeseries", code, body) ||
+        code != 400 ||
+        body.find("\"error\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: /debug/timeseries without metric "
+                     "should 400 with a JSON error (got %d)\n",
+                     code);
+        return 1;
+    }
+    if (!httpGet(host, port,
+                 "/debug/timeseries?metric=djinn_health"
+                 "&window=999999999",
+                 code, body) ||
+        code != 400 ||
+        body.find("\"error\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: /debug/timeseries with out-of-bounds "
+                     "window should 400 (got %d)\n", code);
+        return 1;
+    }
+    if (!httpGet(host, port,
+                 "/debug/timeseries?metric=no_such_metric", code,
+                 body) ||
+        code != 404 ||
+        body.find("\"error\"") == std::string::npos) {
+        std::fprintf(stderr,
+                     "FAIL: /debug/timeseries with unknown metric "
+                     "should 404 with a JSON error (got %d)\n",
+                     code);
+        return 1;
+    }
+    std::printf("ok: /debug/timeseries serves series JSON with "
+                "JSON errors\n");
     return 0;
 }
