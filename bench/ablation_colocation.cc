@@ -10,9 +10,22 @@
  * servers behind the chosen front-end routing policy serves an
  * open-loop trace of the full suite, showing how the single-server
  * consolidation story composes with cluster-level placement.
+ *
+ * With `--frontier [--json]` the cluster replay sweeps offered
+ * load and compares three node-local dispatch policies (DESIGN.md
+ * §16) on the throughput-vs-SLO frontier: batch-only (SLO-driven
+ * adaptive batch sizing), mt-only (weighted fair sharing across
+ * tenants with static tuned batches), and hybrid (both). Each
+ * (policy, load) point reports goodput, p95/p99 latency, and the
+ * shed fraction; the text mode ends with the count of load points
+ * where hybrid weakly dominates both baselines (goodput no lower
+ * AND p95 no higher). Fully deterministic: the same flags print
+ * byte-identical output, which scripts/check_build.sh relies on.
  */
 
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "cluster/simulator.hh"
@@ -73,6 +86,140 @@ replayThroughPolicy(const char *policy_name)
     return 0;
 }
 
+/** One (policy, load) point on the frontier. */
+struct FrontierPoint {
+    double rate = 0.0;
+    double goodputQps = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double shedFraction = 0.0;
+};
+
+/** Run one dispatch policy across the load sweep. */
+std::vector<FrontierPoint>
+frontierSweep(bool adaptive, bool fair,
+              const std::vector<double> &rates)
+{
+    std::vector<FrontierPoint> points;
+    for (double rate : rates) {
+        cluster::ClusterConfig config;
+        config.nodeCount = 4;
+        config.node.gpus = 1;
+        config.policy = cluster::RoutePolicy::JoinShortestQueue;
+        config.deadlineSeconds = 0.250;
+        config.node.sloSeconds = config.deadlineSeconds;
+        config.node.adaptiveBatch = adaptive;
+        config.node.fairShare = fair;
+        if (fair) {
+            // The latency-critical heavies get their own tenants;
+            // the five lighter services share the default tenant.
+            config.node.tenantWeights["IMC"] = 4.0;
+            config.node.tenantWeights["ASR"] = 2.0;
+        }
+        config.sampleInterval = 0.0;
+        config.seed = 23;
+
+        cluster::WorkloadSpec workload;
+        workload.apps = serve::allApps();
+        workload.process = cluster::ArrivalProcess::Mmpp;
+        workload.meanRate = rate;
+        workload.durationSeconds = 20.0;
+        workload.seed = 23;
+
+        cluster::ClusterResult result = cluster::runClusterSim(
+            config, cluster::generateTrace(workload));
+
+        FrontierPoint point;
+        point.rate = rate;
+        point.goodputQps = result.throughputQps;
+        point.p95Ms = 1e3 * result.latency.p95;
+        point.p99Ms = 1e3 * result.latency.p99;
+        point.shedFraction = result.lostFraction();
+        points.push_back(point);
+    }
+    return points;
+}
+
+/** The throughput-vs-SLO frontier behind --frontier. */
+int
+runFrontier(bool json)
+{
+    const std::vector<double> rates = {1000.0, 2000.0, 2500.0,
+                                       3200.0};
+    struct Policy {
+        const char *name;
+        bool adaptive;
+        bool fair;
+    };
+    const Policy policies[] = {
+        {"batch-only", true, false},
+        {"mt-only", false, true},
+        {"hybrid", true, true},
+    };
+
+    std::vector<std::vector<FrontierPoint>> sweeps;
+    for (const Policy &policy : policies)
+        sweeps.push_back(frontierSweep(policy.adaptive,
+                                       policy.fair, rates));
+
+    if (json) {
+        std::printf("{\"frontier\": [\n");
+        bool first = true;
+        for (size_t p = 0; p < sweeps.size(); ++p) {
+            for (const FrontierPoint &point : sweeps[p]) {
+                std::printf("%s  {\"policy\": \"%s\", "
+                            "\"offered_qps\": %.6g, "
+                            "\"goodput_qps\": %.6g, "
+                            "\"p95_ms\": %.6g, "
+                            "\"p99_ms\": %.6g, "
+                            "\"shed_fraction\": %.6g}",
+                            first ? "" : ",\n", policies[p].name,
+                            point.rate, point.goodputQps,
+                            point.p95Ms, point.p99Ms,
+                            point.shedFraction);
+                first = false;
+            }
+        }
+        std::printf("\n]}\n");
+        return 0;
+    }
+
+    banner("Ablation", "Throughput-vs-SLO frontier: adaptive "
+                       "batching x multi-tenancy");
+    std::printf("4 nodes, jsq routing, mmpp arrivals over the full "
+                "Tonic mix, SLO 250 ms\ntenants under fair share: "
+                "IMC weight 4, ASR weight 2, rest shared at 1\n\n");
+    row({"policy", "offered", "goodput", "p95 ms", "p99 ms",
+         "shed %"});
+    for (size_t p = 0; p < sweeps.size(); ++p) {
+        for (const FrontierPoint &point : sweeps[p]) {
+            row({policies[p].name, num(point.rate, 0),
+                 num(point.goodputQps, 0), num(point.p95Ms, 1),
+                 num(point.p99Ms, 1),
+                 num(100.0 * point.shedFraction, 2)});
+        }
+    }
+
+    // Weak dominance: hybrid serves no less AND its p95 is no
+    // higher than each baseline at the same offered load.
+    int dominated = 0;
+    for (size_t i = 0; i < rates.size(); ++i) {
+        const FrontierPoint &hybrid = sweeps[2][i];
+        bool dominates = true;
+        for (size_t p = 0; p < 2; ++p) {
+            const FrontierPoint &base = sweeps[p][i];
+            if (hybrid.goodputQps < base.goodputQps ||
+                hybrid.p95Ms > base.p95Ms)
+                dominates = false;
+        }
+        dominated += dominates ? 1 : 0;
+    }
+    std::printf("\nhybrid weakly dominates both baselines at %d of "
+                "%zu load points\n\n",
+                dominated, rates.size());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -80,9 +227,17 @@ main(int argc, char **argv)
 {
     if (argc == 3 && std::strcmp(argv[1], "--policy") == 0)
         return replayThroughPolicy(argv[2]);
+    if (argc >= 2 && std::strcmp(argv[1], "--frontier") == 0) {
+        bool json =
+            argc == 3 && std::strcmp(argv[2], "--json") == 0;
+        if (argc > 2 && !json)
+            return 2;
+        return runFrontier(json);
+    }
     if (argc != 1) {
         std::fprintf(stderr, "usage: %s [--policy "
-                             "rr|jsq|po2|jsq-d|po2-d]\n",
+                             "rr|jsq|po2|jsq-d|po2-d] "
+                             "[--frontier [--json]]\n",
                      argv[0]);
         return 2;
     }

@@ -329,6 +329,49 @@ runClusterStage(const SuiteConfig &config,
         emitSample(out, "djinn_bench_cluster_throughput_qps", base,
                    result.throughputQps);
     }
+
+    // The hybrid node-local dispatch policy (DESIGN.md §16):
+    // SLO-driven adaptive batch sizing plus weighted fair sharing
+    // across tenants, replayed over the same trace. Pure virtual
+    // time like the stages above, so bench_compare guards these
+    // numbers at zero noise.
+    {
+        cluster::ClusterConfig cc;
+        cc.nodeCount = 4;
+        cc.node.gpus = 1;
+        cc.node.maxBatch = 4;
+        cc.node.batchTimeout = 1e-3;
+        cc.policy = cluster::RoutePolicy::JoinShortestQueue;
+        cc.sampleInterval = 0.1;
+        cc.deadlineSeconds = 0.05;
+        cc.node.sloSeconds = cc.deadlineSeconds;
+        cc.node.adaptiveBatch = true;
+        cc.node.fairShare = true;
+        cc.node.tenantWeights["IMC"] = 2.0;
+        cc.serviceModel = [](serve::App, int64_t queries) {
+            return static_cast<double>(queries) * 1e-3;
+        };
+        cc.seed = config.seed;
+        cluster::ClusterResult result =
+            cluster::runClusterSim(cc, trace);
+
+        const telemetry::LabelMap base{{"policy", "hybrid"}};
+        telemetry::LabelMap labels = base;
+        labels["stat"] = "p50";
+        emitSample(out, "djinn_bench_cluster_latency_seconds",
+                   labels, result.latency.p50);
+        labels["stat"] = "p99";
+        emitSample(out, "djinn_bench_cluster_latency_seconds",
+                   labels, result.latency.p99);
+        emitSample(out, "djinn_bench_cluster_shed_fraction", base,
+                   result.offered
+                       ? static_cast<double>(result.shedOverload +
+                                             result.shedDeadline) /
+                             static_cast<double>(result.offered)
+                       : 0.0);
+        emitSample(out, "djinn_bench_cluster_throughput_qps", base,
+                   result.throughputQps);
+    }
 }
 
 std::string

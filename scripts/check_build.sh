@@ -124,6 +124,47 @@ kill "$djinnd_pid" 2>/dev/null || true
 wait "$djinnd_pid" 2>/dev/null || true
 trap - EXIT
 
+# Adaptive scheduler smoke (DESIGN.md §16): boot a daemon with two
+# weighted tenants sharing the mnist weights under --sched adaptive,
+# drive load through both instances, then assert the djinn_sched_*
+# gauge families show up in the exposition and the `sched` wire verb
+# answers with the scheduler state dump.
+./build/tools/djinnd --port 19166 --models mnist --batching \
+    --sched adaptive --slo-ms 50 \
+    --tenant gold=mnist:2 --tenant bronze=mnist:1 &
+sched_pid=$!
+trap 'kill "$sched_pid" 2>/dev/null || true' EXIT
+tries=0
+until ./build/tools/djinn_cli --timeout-ms 2000 127.0.0.1 19166 \
+    ping > /dev/null 2>&1; do
+    tries=$((tries + 1))
+    if [ "$tries" -ge 50 ]; then
+        echo "check_build: sched djinnd did not come up" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+for tenant in gold bronze gold bronze; do
+    if ! ./build/tools/djinn_cli 127.0.0.1 19166 infer "$tenant" 4 \
+        > /dev/null; then
+        echo "check_build: tenant inference ($tenant) FAILED" >&2
+        exit 1
+    fi
+done
+if ! ./build/tools/djinn_cli 127.0.0.1 19166 metrics \
+    | grep -q '^djinn_sched_'; then
+    echo "check_build: metrics lack djinn_sched_* gauges" >&2
+    exit 1
+fi
+if ! ./build/tools/djinn_cli 127.0.0.1 19166 sched \
+    | grep -q '"tenant": "gold"'; then
+    echo "check_build: sched verb lacks tenant state" >&2
+    exit 1
+fi
+kill "$sched_pid" 2>/dev/null || true
+wait "$sched_pid" 2>/dev/null || true
+trap - EXIT
+
 # Robustness battery (DESIGN.md §10): fault-injection, timeout,
 # retry, backpressure, and drain suites in release mode. The TSan
 # stage below re-runs most of them; the fd-exhaustion AcceptLoop
@@ -166,6 +207,30 @@ if ! grep -q djinn_tail_dominant /tmp/djinn_cluster_a.json; then
     exit 1
 fi
 rm -f /tmp/djinn_cluster_a.json /tmp/djinn_cluster_b.json
+
+# Throughput-vs-SLO frontier (DESIGN.md §16): the JSON sweep must be
+# byte-identical across runs (the adaptive scheduler is clock-free),
+# and in text mode the hybrid policy must weakly dominate both the
+# batch-only and mt-only baselines at >= 2 of the swept load points.
+./build/bench/ablation_colocation --frontier --json \
+    > /tmp/djinn_frontier_a.json
+./build/bench/ablation_colocation --frontier --json \
+    > /tmp/djinn_frontier_b.json
+if ! cmp -s /tmp/djinn_frontier_a.json /tmp/djinn_frontier_b.json; then
+    echo "check_build: frontier determinism smoke FAILED" >&2
+    diff /tmp/djinn_frontier_a.json /tmp/djinn_frontier_b.json >&2 \
+        || true
+    exit 1
+fi
+rm -f /tmp/djinn_frontier_a.json /tmp/djinn_frontier_b.json
+dominated=$(./build/bench/ablation_colocation --frontier \
+    | sed -nE \
+    's/.*hybrid weakly dominates both baselines at ([0-9]+) of.*/\1/p')
+if [ -z "$dominated" ] || [ "$dominated" -lt 2 ]; then
+    echo "check_build: hybrid dominates at ${dominated:-0} load" \
+         "points (need >= 2)" >&2
+    exit 1
+fi
 
 # Perf-regression harness smoke (DESIGN.md §15): two back-to-back
 # quick runs of bench_suite must compare clean (the noise-aware
@@ -239,7 +304,7 @@ cmake --build build-tsan -j --target common_test nn_test core_test \
 # primitives.
 ./build-tsan/tests/nn_test --gtest_filter='GemmDiff*:Quant*'
 ./build-tsan/tests/core_test \
-    --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*:*Observability*'
+    --gtest_filter='*Batcher*:*Server*:*Robustness*:*Retry*:*FrameIo*:*Observability*:*Sched*'
 # The flight recorder's seqlock ring and the histogram exemplar
 # slots are lock-free multi-writer structures; their stress tests
 # are only meaningful under TSan.

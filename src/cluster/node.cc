@@ -25,14 +25,68 @@ ClusterNode::ClusterNode(sim::EventQueue &eq, int id,
         fatal("ClusterNode: speedFactor must be positive");
     if (!service_)
         fatal("ClusterNode: service model must be set");
+
+    if (spec_.adaptiveBatch || spec_.fairShare) {
+        serve::SchedulerOptions options;
+        if (spec_.sloSeconds > 0.0)
+            options.defaultSloSeconds = spec_.sloSeconds;
+        // Dispatch capacity scales with the executor pool: N GPUs
+        // serve N seconds of batch time per simulated second.
+        options.poolSeconds = static_cast<double>(spec_.gpus);
+        sched_ = std::make_unique<serve::AdaptiveScheduler>(options);
+        for (const auto &[name, weight] : spec_.tenantWeights)
+            sched_->addTenant(name, weight);
+    }
 }
 
 int64_t
 ClusterNode::effectiveMaxBatch(serve::App app) const
 {
-    if (spec_.maxBatch > 0)
-        return spec_.maxBatch;
-    return serve::appSpec(app).tunedBatch;
+    int64_t base = spec_.maxBatch > 0 ? spec_.maxBatch
+                                      : serve::appSpec(app).tunedBatch;
+    if (sched_ && spec_.adaptiveBatch) {
+        int64_t target = sched_->batchTarget(serve::appName(app));
+        return std::max<int64_t>(1, std::min(target, base));
+    }
+    return base;
+}
+
+void
+ClusterNode::registerApp(serve::App app)
+{
+    if (!sched_)
+        return;
+    const std::string name = serve::appName(app);
+    // An app named in tenantWeights is its own tenant; everything
+    // else shares the scheduler's implicit "default" tenant.
+    std::string tenant = "default";
+    if (spec_.tenantWeights.count(name))
+        tenant = name;
+    tenantOf_[app] = tenant;
+    sched_->assignModel(name, tenant);
+    sched_->setMaxBatch(name, spec_.maxBatch > 0
+                                  ? spec_.maxBatch
+                                  : serve::appSpec(app).tunedBatch);
+    if (spec_.sloSeconds > 0.0)
+        sched_->setSlo(name, spec_.sloSeconds);
+}
+
+void
+ClusterNode::maybeSchedTick()
+{
+    if (!sched_)
+        return;
+    const double now = eq_.now();
+    // A 100 ms control period in virtual time, piggybacked on
+    // arrival/completion events; idle nodes simply stop ticking.
+    if (lastSchedTick_ >= 0.0 && now - lastSchedTick_ < 0.1)
+        return;
+    for (const auto &[app, aq] : queues_) {
+        sched_->setBacklog(serve::appName(app),
+                           static_cast<int64_t>(aq.queue.size()));
+    }
+    sched_->tick(now);
+    lastSchedTick_ = now;
 }
 
 bool
@@ -42,8 +96,12 @@ ClusterNode::enqueue(const Request &request)
         return false;
 
     auto [it, inserted] = queues_.try_emplace(request.app);
-    if (inserted)
+    if (inserted) {
         order_.push_back(request.app);
+        registerApp(request.app);
+    }
+    if (sched_)
+        sched_->observeArrival(serve::appName(request.app), 1);
     AppQueue &aq = it->second;
     Request admitted = request;
     admitted.admitTime = eq_.now();
@@ -51,6 +109,7 @@ ClusterNode::enqueue(const Request &request)
     aq.queue.push_back(admitted);
     ++totalQueued_;
     maxQueued_ = std::max(maxQueued_, totalQueued_);
+    maybeSchedTick();
 
     if (static_cast<int64_t>(aq.queue.size()) >=
         effectiveMaxBatch(request.app)) {
@@ -114,14 +173,44 @@ ClusterNode::pump()
 {
     while (freeGpus_ > 0 && !order_.empty()) {
         bool found = false;
-        for (size_t probe = 0; probe < order_.size(); ++probe) {
-            size_t i = (cursor_ + probe) % order_.size();
-            serve::App app = order_[i];
-            if (dispatchable(queues_[app], app)) {
-                cursor_ = (i + 1) % order_.size();
-                dispatch(app);
+        if (sched_ && spec_.fairShare) {
+            // Weighted fair sharing: among dispatchable apps, pick
+            // the one whose tenant holds the largest deficit
+            // credit. Work-conserving — a free GPU never idles
+            // while anything is dispatchable, even if every
+            // deficit is negative. Ties break on the round-robin
+            // scan order (strict >), keeping runs deterministic.
+            bool have = false;
+            size_t best = 0;
+            double bestDeficit = 0.0;
+            for (size_t probe = 0; probe < order_.size(); ++probe) {
+                size_t i = (cursor_ + probe) % order_.size();
+                serve::App app = order_[i];
+                if (!dispatchable(queues_[app], app))
+                    continue;
+                double deficit =
+                    sched_->tenantDeficit(tenantOf_.at(app));
+                if (!have || deficit > bestDeficit) {
+                    have = true;
+                    best = i;
+                    bestDeficit = deficit;
+                }
+            }
+            if (have) {
+                cursor_ = (best + 1) % order_.size();
+                dispatch(order_[best]);
                 found = true;
-                break;
+            }
+        } else {
+            for (size_t probe = 0; probe < order_.size(); ++probe) {
+                size_t i = (cursor_ + probe) % order_.size();
+                serve::App app = order_[i];
+                if (dispatchable(queues_[app], app)) {
+                    cursor_ = (i + 1) % order_.size();
+                    dispatch(app);
+                    found = true;
+                    break;
+                }
             }
         }
         if (!found)
@@ -183,6 +272,8 @@ ClusterNode::dispatch(serve::App app)
     busySeconds_ += service_time;
     ++batches_;
     dispatched_ += static_cast<uint64_t>(queries);
+    if (sched_)
+        sched_->chargeDispatch(serve::appName(app), service_time);
 
     eq_.scheduleAfter(
         service_time,
@@ -212,6 +303,11 @@ ClusterNode::onBatchDone(std::vector<Request> batch,
         ewmaQuerySeconds_ == 0.0
             ? per_query
             : 0.8 * ewmaQuerySeconds_ + 0.2 * per_query;
+    if (sched_) {
+        sched_->observeBatch(serve::appName(batch[0].app), queries,
+                             serviceTime);
+        maybeSchedTick();
+    }
     pump();
 }
 

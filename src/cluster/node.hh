@@ -16,10 +16,13 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/policy.hh"
 #include "serve/app.hh"
+#include "serve/scheduler.hh"
 #include "sim/event_queue.hh"
 
 namespace djinn {
@@ -59,6 +62,32 @@ struct NodeSpec {
 
     /** Relative node speed; 2.0 serves twice as fast. */
     double speedFactor = 1.0;
+
+    /**
+     * SLO-driven adaptive batching (DESIGN.md §16): size each
+     * app's dispatch batch from its observed arrival rate and
+     * calibrated batch service time instead of the static tuned
+     * batch, shrinking under burn-rate pressure.
+     */
+    bool adaptiveBatch = false;
+
+    /**
+     * Multi-tenant weighted fair sharing: pick the dispatchable
+     * app whose tenant holds the largest deficit-round-robin
+     * credit (work-conserving; a free GPU never idles while any
+     * app is dispatchable).
+     */
+    bool fairShare = false;
+
+    /** Per-query latency SLO driving the adaptive policy,
+     * seconds. <= 0 keeps the scheduler's default. */
+    double sloSeconds = 0.0;
+
+    /**
+     * Fair-share weight per app name (serve::appName); apps not
+     * listed share the implicit "default" tenant at weight 1.
+     */
+    std::map<std::string, double> tenantWeights;
 };
 
 /** One simulated server. Single-threaded, driven by the event
@@ -172,6 +201,8 @@ class ClusterNode
     void dispatch(serve::App app);
     void onBatchDone(std::vector<Request> batch, double serviceTime,
                      double dispatchTime);
+    void registerApp(serve::App app);
+    void maybeSchedTick();
 
     sim::EventQueue &eq_;
     int id_;
@@ -195,6 +226,15 @@ class ClusterNode
     /** Smoothed seconds per query actually observed (EWMA); 0
      * until the first batch completes. */
     double ewmaQuerySeconds_ = 0.0;
+
+    /** Adaptive batch + fair-share control plane; null unless
+     * spec.adaptiveBatch or spec.fairShare is set. Ticked lazily
+     * from enqueue/completion events in virtual time (the
+     * single-threaded simulator never self-schedules control
+     * events, which would keep the event queue alive forever). */
+    std::unique_ptr<serve::AdaptiveScheduler> sched_;
+    double lastSchedTick_ = -1.0;
+    std::map<serve::App, std::string> tenantOf_;
 };
 
 } // namespace cluster

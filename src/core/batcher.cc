@@ -63,7 +63,13 @@ BatchingExecutor::queueFor(const std::string &model, Status &error)
         return nullptr;
     }
     auto queue = std::make_unique<ModelQueue>();
+    queue->name = model;
     queue->network = std::move(network);
+    auto pending_target = pendingTargets_.find(model);
+    queue->target.store(pending_target != pendingTargets_.end()
+                            ? pending_target->second
+                            : options_.maxQueries,
+                        std::memory_order_relaxed);
     if (metrics_) {
         using telemetry::Phase;
         const telemetry::LabelMap model_label{{"model", model}};
@@ -161,9 +167,13 @@ BatchingExecutor::submit(const std::string &model, int64_t rows,
         std::lock_guard<std::mutex> lock(queue->mutex);
         // Admission control: reject at enqueue instead of queueing
         // without bound. The caller sees Overloaded and may retry
-        // after backoff; the query was never executed.
+        // after backoff; the query was never executed. The cap is
+        // re-derived from the live dispatch target on every
+        // submit, so a scheduler that shrinks the batch tightens
+        // admission with it.
         if (static_cast<int64_t>(queue->pending.size()) >=
-            options_.queueDepthCap()) {
+            options_.queueDepthCapFor(queue->target.load(
+                std::memory_order_relaxed))) {
             shedQueueFull_.fetch_add(1, std::memory_order_relaxed);
             if (queue->shedQueueFullCounter)
                 queue->shedQueueFullCounter->inc();
@@ -200,7 +210,7 @@ void
 BatchingExecutor::dispatchLoop(ModelQueue *queue)
 {
     common::setCurrentThreadName(
-        ("batch-" + queue->network->name()).c_str());
+        ("batch-" + queue->name).c_str());
     using Clock = std::chrono::steady_clock;
     const auto max_delay = std::chrono::duration_cast<
         Clock::duration>(std::chrono::duration<double>(
@@ -208,6 +218,7 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
 
     while (true) {
         std::vector<Pending> batch;
+        int64_t target = options_.maxQueries;
         {
             std::unique_lock<std::mutex> lock(queue->mutex);
             queue->cv.wait(lock, [&]() {
@@ -215,18 +226,36 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             });
             if (queue->stopping && queue->pending.empty())
                 return;
-            // Give peers a chance to join the batch.
+            // Give peers a chance to join the batch, up to the
+            // live dispatch target (re-read inside the predicate:
+            // a retarget mid-wait takes effect immediately).
+            target = queue->target.load(std::memory_order_relaxed);
             if (static_cast<int64_t>(queue->pending.size()) <
-                options_.maxQueries && !queue->stopping) {
+                target && !queue->stopping) {
                 queue->cv.wait_for(lock, max_delay, [&]() {
+                    target = queue->target.load(
+                        std::memory_order_relaxed);
                     return queue->stopping ||
                            static_cast<int64_t>(
-                               queue->pending.size()) >=
-                               options_.maxQueries;
+                               queue->pending.size()) >= target;
                 });
             }
+            // Fair-share gate: hold the assembled-but-undispatched
+            // batch until the scheduler grants this model's tenant
+            // a dispatch slot. The queue mutex is released while
+            // parked, so admission keeps running; a shutdown wakes
+            // the wait and dispatches the remainder.
+            if (gate_ && !queue->stopping) {
+                const std::string &name = queue->name;
+                while (!queue->stopping && !gate_(name)) {
+                    queue->cv.wait_for(
+                        lock, std::chrono::milliseconds(1));
+                }
+                target = queue->target.load(
+                    std::memory_order_relaxed);
+            }
             int64_t take = std::min<int64_t>(
-                options_.maxQueries,
+                target,
                 static_cast<int64_t>(queue->pending.size()));
             batch.assign(
                 std::make_move_iterator(queue->pending.begin()),
@@ -425,9 +454,13 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             queue->batchRowsHist->record(
                 static_cast<double>(total_rows));
             queue->batchesCounter->inc();
+            // Occupancy against the *live* dispatch target: with
+            // an adaptive scheduler the static maxQueries would
+            // read misleadingly low after a shrink (and > 1.0
+            // after a grow past a stale denominator).
             queue->occupancyGauge->set(
                 static_cast<double>(batch.size()) /
-                static_cast<double>(options_.maxQueries));
+                static_cast<double>(std::max<int64_t>(target, 1)));
             queue->forwardCyclesHist->record(
                 static_cast<double>(forward_delta.work()));
             if (forward_delta.hardware) {
@@ -437,6 +470,12 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
                 queue->forwardCacheMissHist->record(
                     static_cast<double>(forward_delta.cacheMisses));
             }
+        }
+
+        if (observer_) {
+            observer_(queue->name,
+                      static_cast<int64_t>(batch.size()),
+                      forward_seconds);
         }
 
         // Count before fulfilling the promises: a caller must never
@@ -468,6 +507,48 @@ BatchingExecutor::dispatchLoop(ModelQueue *queue)
             p.promise.set_value(std::move(result));
         }
     }
+}
+
+void
+BatchingExecutor::setBatchTarget(const std::string &model,
+                                 int64_t target)
+{
+    target = std::max<int64_t>(
+        1, std::min(target, options_.maxQueries));
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    pendingTargets_[model] = target;
+    auto it = queues_.find(model);
+    if (it == queues_.end())
+        return;
+    ModelQueue *queue = it->second.get();
+    queue->target.store(target, std::memory_order_relaxed);
+    // Wake the dispatcher: a smaller target may make the current
+    // backlog dispatchable right now.
+    std::lock_guard<std::mutex> qlock(queue->mutex);
+    queue->cv.notify_all();
+}
+
+int64_t
+BatchingExecutor::batchTarget(const std::string &model) const
+{
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    auto it = queues_.find(model);
+    if (it != queues_.end())
+        return it->second->target.load(std::memory_order_relaxed);
+    auto pending = pendingTargets_.find(model);
+    return pending != pendingTargets_.end() ? pending->second
+                                            : options_.maxQueries;
+}
+
+int64_t
+BatchingExecutor::queueDepth(const std::string &model) const
+{
+    std::lock_guard<std::mutex> lock(mapMutex_);
+    auto it = queues_.find(model);
+    if (it == queues_.end())
+        return 0;
+    std::lock_guard<std::mutex> qlock(it->second->mutex);
+    return static_cast<int64_t>(it->second->pending.size());
 }
 
 uint64_t

@@ -8,10 +8,12 @@
 #ifndef DJINN_CORE_BATCHER_HH
 #define DJINN_CORE_BATCHER_HH
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -52,11 +54,28 @@ struct BatchOptions {
      */
     int64_t maxQueueDepth = 0;
 
-    /** The effective per-model queue cap. */
+    /**
+     * The per-model queue cap when the live dispatch target is
+     * @p currentBatch queries. An explicit maxQueueDepth always
+     * wins; otherwise the cap tracks the *current* batch size —
+     * not the static maxQueries — so an adaptive scheduler that
+     * shrinks the batch also tightens admission instead of letting
+     * the queue grow to a stale, larger cap. Floored at one
+     * minimum batch's worth of slack.
+     */
+    int64_t
+    queueDepthCapFor(int64_t currentBatch) const
+    {
+        if (maxQueueDepth > 0)
+            return maxQueueDepth;
+        return 4 * std::max<int64_t>(currentBatch, 1);
+    }
+
+    /** The queue cap at the static configured batch size. */
     int64_t
     queueDepthCap() const
     {
-        return maxQueueDepth > 0 ? maxQueueDepth : 4 * maxQueries;
+        return queueDepthCapFor(maxQueries);
     }
 };
 
@@ -162,6 +181,51 @@ class BatchingExecutor
      */
     void setTracer(telemetry::Tracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * May @p model dispatch a batch right now? A dispatcher whose
+     * gate answers false parks (rechecking every millisecond and
+     * on queue activity) with its queue intact — the fair-share
+     * scheduler's deficit accounting hook. Call before serving
+     * traffic.
+     */
+    using DispatchGate = std::function<bool(const std::string &)>;
+    void setDispatchGate(DispatchGate gate)
+    {
+        gate_ = std::move(gate);
+    }
+
+    /**
+     * Called after every combined forward pass with the model, the
+     * number of queries served, and the pass's service seconds —
+     * the scheduler's service-time calibration and dispatch-charge
+     * hook. Runs on the dispatcher thread; call before serving
+     * traffic.
+     */
+    using BatchObserver = std::function<void(
+        const std::string &, int64_t, double)>;
+    void setBatchObserver(BatchObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /**
+     * Set @p model's live dispatch target (clamped to
+     * [1, maxQueries]). The dispatcher assembles batches toward
+     * the target instead of the static maxQueries, the admission
+     * cap re-derives from it, and occupancy is reported against
+     * it. Safe to call at any time; targets for models with no
+     * queue yet apply when the queue is created.
+     */
+    void setBatchTarget(const std::string &model, int64_t target);
+
+    /** The live dispatch target for @p model. */
+    int64_t batchTarget(const std::string &model) const;
+
+    /** Queries currently queued for @p model (0 when it has no
+     * queue), for the scheduler's backlog-aware latency
+     * prediction. */
+    int64_t queueDepth(const std::string &model) const;
+
     /** Number of combined forward passes executed so far. */
     uint64_t batchesExecuted() const;
 
@@ -221,9 +285,20 @@ class BatchingExecutor
         std::mutex mutex;
         std::condition_variable cv;
         std::vector<Pending> pending;
+        /** The served model name — the registry key, which for a
+         * tenant instance differs from network->name() (instances
+         * share the base network's weights; see
+         * ModelRegistry::addInstance). The scheduler gate and
+         * batch observer key on this, so per-tenant accounting
+         * stays per-instance. */
+        std::string name;
         std::shared_ptr<const nn::Network> network;
         std::thread dispatcher;
         bool stopping = false;
+
+        /** Live dispatch target in [1, maxQueries]; atomic so the
+         * scheduler can retarget without the queue mutex. */
+        std::atomic<int64_t> target{1};
 
         // Cached telemetry instruments (null when telemetry is
         // off); resolved once at queue creation so the hot path
@@ -257,9 +332,15 @@ class BatchingExecutor
     BatchOptions options_;
     telemetry::MetricRegistry *metrics_;
     telemetry::Tracer *tracer_ = nullptr;
+    DispatchGate gate_;
+    BatchObserver observer_;
 
-    std::mutex mapMutex_;
+    mutable std::mutex mapMutex_;
     std::map<std::string, std::unique_ptr<ModelQueue>> queues_;
+
+    /** Targets set before a model's queue exists, applied at queue
+     * creation. Guarded by mapMutex_. */
+    std::map<std::string, int64_t> pendingTargets_;
     bool stopping_ = false;
 
     std::atomic<uint64_t> batches_{0};

@@ -118,6 +118,41 @@ DjinnServer::DjinnServer(const ModelRegistry &registry,
         if (config_.tracing)
             batcher_->setTracer(&tracer_);
     }
+    if (config_.adaptiveScheduling && batcher_) {
+        serve::SchedulerOptions sched_opts =
+            config_.schedulerOptions;
+        sched_opts.maxBatch = config_.batchOptions.maxQueries;
+        sched_opts.maxDeficitSeconds = std::max(
+            sched_opts.maxDeficitSeconds, config_.samplerPeriod);
+        if (config_.sloTargetSeconds > 0.0)
+            sched_opts.defaultSloSeconds =
+                config_.sloTargetSeconds;
+        scheduler_ = std::make_unique<serve::AdaptiveScheduler>(
+            sched_opts, &metrics_);
+        for (const auto &[tenant, weight] : config_.tenantWeights)
+            scheduler_->addTenant(tenant, weight);
+        for (const auto &[model, tenant] : config_.tenantModels)
+            scheduler_->assignModel(model, tenant);
+        serve::AdaptiveScheduler *sched = scheduler_.get();
+        // Calibrate service time and charge the tenant's deficit
+        // per dispatched batch; gate dispatches on fair share only
+        // when tenants are actually configured.
+        batcher_->setBatchObserver(
+            [sched](const std::string &model, int64_t queries,
+                    double seconds) {
+                sched->observeBatch(model, queries, seconds);
+                sched->chargeDispatch(model, seconds);
+            });
+        // The gate needs the sampler tick to refill deficits, so
+        // it only arms when the sampler will actually run.
+        if (!config_.tenantWeights.empty() && config_.tracing &&
+            config_.samplerPeriod > 0.0) {
+            batcher_->setDispatchGate(
+                [sched](const std::string &model) {
+                    return sched->allowDispatch(model);
+                });
+        }
+    }
     if (config_.sloTargetSeconds > 0.0) {
         telemetry::SloOptions slo_opts;
         slo_opts.defaultTargetSeconds = config_.sloTargetSeconds;
@@ -290,6 +325,29 @@ DjinnServer::start()
                 }
                 if (slo_)
                     slo_->updateBurnRates();
+                if (scheduler_ && batcher_) {
+                    // One control-loop step: feed the scheduler
+                    // the latest backlog and burn signals, advance
+                    // its EWMAs and deficits, then push the new
+                    // per-model dispatch targets into the batcher.
+                    for (const auto &model :
+                         registry_.modelNames()) {
+                        scheduler_->setBacklog(
+                            model, batcher_->queueDepth(model));
+                        if (slo_) {
+                            scheduler_->observeBurnRate(
+                                model, slo_->burnRate(model));
+                        }
+                    }
+                    scheduler_->tick(telemetry::traceNowUs() *
+                                     1e-6);
+                    for (const auto &model :
+                         registry_.modelNames()) {
+                        batcher_->setBatchTarget(
+                            model,
+                            scheduler_->batchTarget(model));
+                    }
+                }
             });
         sampler_->start();
     }
@@ -857,6 +915,18 @@ DjinnServer::handleRequest(const Request &request,
                     response.message = telemetry::renderTopDashboard(
                         *timeseries_, health_.get(), dash);
                 }
+            } else if (format == "sched") {
+                // The adaptive scheduler's policy state (dispatch
+                // targets, arrival/service EWMAs, tenant deficit
+                // accounting). Backs `djinn_cli sched`.
+                if (!scheduler_) {
+                    response.status = WireStatus::ServerError;
+                    response.message =
+                        "adaptive scheduler disabled (--sched "
+                        "adaptive requires --batching)";
+                } else {
+                    response.message = scheduler_->renderJson();
+                }
             } else if (format.rfind("series:", 0) == 0) {
                 // "series:<metric>" or "series:<metric>:<window>".
                 if (!timeseries_) {
@@ -993,6 +1063,8 @@ DjinnServer::handleInference(const Request &request,
             // zero cycles while parked, honestly reflecting that
             // waiting burns no CPU — while the pass's forward
             // cycles are recorded per batch by the dispatcher.
+            if (scheduler_)
+                scheduler_->observeArrival(request.model, 1);
             telemetry::CounterScope wait_scope;
             auto future =
                 wire ? batcher_->submit(request.model, rows,

@@ -25,6 +25,7 @@
 #include "core/batcher.hh"
 #include "core/model_registry.hh"
 #include "core/protocol.hh"
+#include "serve/scheduler.hh"
 #include "telemetry/flight_recorder.hh"
 #include "telemetry/health.hh"
 #include "telemetry/metrics.hh"
@@ -157,6 +158,30 @@ struct ServerConfig {
     telemetry::HealthOptions healthOptions;
 
     /**
+     * Adaptive scheduling (`djinnd --sched adaptive`): size each
+     * model's dispatch batch from its observed arrival rate and
+     * SLO, and fair-share the compute pool across tenants. Only
+     * meaningful with batching on. Off keeps the paper's static
+     * tuned-batch policy.
+     */
+    bool adaptiveScheduling = false;
+
+    /** Scheduler policy knobs when adaptiveScheduling is on; the
+     * maxBatch/SLO fields are overridden from batchOptions and
+     * sloTargetSeconds at construction. */
+    serve::SchedulerOptions schedulerOptions;
+
+    /**
+     * Tenant weights (`djinnd --tenant NAME=MODEL[:WEIGHT]`): maps
+     * each tenant name to its fair-share weight. Model-to-tenant
+     * bindings ride in tenantModels.
+     */
+    std::map<std::string, double> tenantWeights;
+
+    /** Model name -> tenant name bindings for fair sharing. */
+    std::map<std::string, std::string> tenantModels;
+
+    /**
      * Declared per-model serving precisions (`djinnd --precision
      * <model>=int8|bf16|f32`). The registry's networks are lowered
      * when they are built; this map is the deployment's declared
@@ -279,6 +304,22 @@ class DjinnServer
      */
     telemetry::SloTracker *slo() { return slo_.get(); }
 
+    /**
+     * The adaptive batching / fair-share policy engine; null
+     * unless ServerConfig::adaptiveScheduling (and batching) is
+     * on. Drives the batcher's per-model dispatch targets and the
+     * tenant dispatch gate; its state backs the `sched` Metrics
+     * verb and the djinn_sched_* gauges.
+     */
+    serve::AdaptiveScheduler *scheduler()
+    {
+        return scheduler_.get();
+    }
+    const serve::AdaptiveScheduler *scheduler() const
+    {
+        return scheduler_.get();
+    }
+
     /** Bound HTTP scrape port; 0 when the endpoint is disabled. */
     uint16_t httpPort() const;
 
@@ -351,6 +392,7 @@ class DjinnServer
     telemetry::Tracer tracer_;
     telemetry::FlightRecorder flightRecorder_;
     std::unique_ptr<BatchingExecutor> batcher_;
+    std::unique_ptr<serve::AdaptiveScheduler> scheduler_;
     std::unique_ptr<telemetry::SloTracker> slo_;
     std::unique_ptr<telemetry::TimeSeriesStore> timeseries_;
     std::unique_ptr<telemetry::HealthMonitor> health_;

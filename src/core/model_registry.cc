@@ -1,6 +1,7 @@
 #include "core/model_registry.hh"
 
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -56,6 +57,48 @@ ModelRegistry::loadFromFiles(const std::string &netdef_path,
     return add(std::move(net));
 }
 
+Status
+ModelRegistry::addInstance(const std::string &instance,
+                           const std::string &base)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto base_it = models_.find(base);
+    if (base_it == models_.end())
+        return Status::notFound("unknown model '" + base + "'");
+    auto [it, inserted] = models_.emplace(instance,
+                                          base_it->second);
+    if (!inserted)
+        return Status::invalidArgument("model '" + instance +
+                                       "' already registered");
+    return Status::ok();
+}
+
+Status
+ModelRegistry::unload(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end())
+        return Status::notFound("unknown model '" + name + "'");
+    models_.erase(it);
+    return Status::ok();
+}
+
+size_t
+ModelRegistry::instanceCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end())
+        return 0;
+    size_t count = 0;
+    for (const auto &[other, net] : models_) {
+        if (net.get() == it->second.get())
+            ++count;
+    }
+    return count;
+}
+
 std::shared_ptr<const nn::Network>
 ModelRegistry::find(const std::string &name) const
 {
@@ -87,8 +130,11 @@ ModelRegistry::totalWeightBytes() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     uint64_t total = 0;
-    for (const auto &[name, net] : models_)
-        total += net->weightBytes();
+    std::set<const nn::Network *> counted;
+    for (const auto &[name, net] : models_) {
+        if (counted.insert(net.get()).second)
+            total += net->weightBytes();
+    }
     return total;
 }
 

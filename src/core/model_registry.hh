@@ -58,6 +58,28 @@ class ModelRegistry
     Status loadFromFiles(const std::string &netdef_path,
                          const std::string &weights_path);
 
+    /**
+     * Register @p instance as an additional serving name sharing
+     * @p base's network (multi-tenant weight sharing): both names
+     * resolve to the same immutable nn::Network, so N tenant
+     * instances of one architecture keep exactly one copy of the
+     * weights resident. Refcounted via shared ownership — the
+     * weights stay alive until the last sharing name is unloaded.
+     */
+    Status addInstance(const std::string &instance,
+                       const std::string &base);
+
+    /**
+     * Drop one registered name. The underlying network is freed
+     * only when no other name (and no in-flight request) still
+     * shares it.
+     */
+    Status unload(const std::string &name);
+
+    /** Registered names currently sharing @p name's network,
+     * including @p name itself; 0 when @p name is absent. */
+    size_t instanceCount(const std::string &name) const;
+
     /** Look up a model; nullptr when absent. */
     std::shared_ptr<const nn::Network> find(
         const std::string &name) const;
@@ -68,7 +90,9 @@ class ModelRegistry
     /** Number of registered models. */
     size_t size() const;
 
-    /** Total resident weight bytes across all models. */
+    /** Total resident weight bytes. Networks shared by several
+     * registered names (addInstance) are counted once — resident
+     * bytes, not the sum over names. */
     uint64_t totalWeightBytes() const;
 
   private:

@@ -123,6 +123,19 @@ HealthMonitor::evaluate(double nowSeconds) const
             store_.windowStat(window, TimeSeriesStore::Op::Avg);
         if (!burn.valid || burn.value < options_.burnDegraded)
             continue;
+        // An idle model's burn gauge is stale history, not live
+        // budget burn: require actual request traffic for the
+        // same model over the window before alerting on it.
+        TimeSeriesStore::Window traffic = window;
+        traffic.name = "djinn_requests_total";
+        traffic.labels = {};
+        auto traffic_model = id.labels.find("model");
+        if (traffic_model != id.labels.end())
+            traffic.labels = {{"model", traffic_model->second}};
+        const auto requestRate = store_.windowStat(
+            traffic, TimeSeriesStore::Op::Rate);
+        if (!requestRate.valid || requestRate.value <= 0.0)
+            continue;
         HealthReason reason;
         reason.rule = "burn_rate";
         reason.level = burn.value >= options_.burnUnhealthy

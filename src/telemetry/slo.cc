@@ -32,6 +32,8 @@ SloTracker::SloTracker(MetricRegistry &registry,
         fatal("SloTracker: objective must be in (0, 1)");
     if (options_.windowSeconds < 1.0)
         fatal("SloTracker: window must be at least one second");
+    if (options_.idleResetSeconds < 1.0)
+        fatal("SloTracker: idle reset must be at least one second");
 }
 
 SloTracker::ModelState &
@@ -85,6 +87,7 @@ SloTracker::record(const std::string &model,
     (good ? state.good : state.bad)->inc();
 
     int64_t second = static_cast<int64_t>(clock_());
+    state.lastRecordSecond = second;
     Bucket &bucket =
         state.window[static_cast<size_t>(second) %
                      state.window.size()];
@@ -100,6 +103,14 @@ double
 SloTracker::windowBurnRate(const ModelState &state,
                            int64_t now_second) const
 {
+    // An idle model burns nothing: a stale burst still inside the
+    // window is history, not live budget consumption, and must
+    // not alarm a model that is serving no traffic.
+    if (state.lastRecordSecond < 0 ||
+        now_second - state.lastRecordSecond >=
+            static_cast<int64_t>(options_.idleResetSeconds))
+        return 0.0;
+
     uint64_t good = 0, bad = 0;
     int64_t window = static_cast<int64_t>(state.window.size());
     for (const Bucket &b : state.window) {

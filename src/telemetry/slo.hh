@@ -53,6 +53,17 @@ struct SloOptions {
 
     /** Rolling window the burn rate is computed over, seconds. */
     double windowSeconds = 60.0;
+
+    /**
+     * A model with no traffic for this long reports burn rate 0.
+     * The burn rate is a *fraction* of in-window requests: once a
+     * model goes idle, a stale burst (even a single bad request)
+     * would otherwise pin the gauge at up to 1/(1 - objective) for
+     * the rest of the window and trip health alerting on a model
+     * that is serving nothing. Seconds; must not exceed
+     * windowSeconds to matter.
+     */
+    double idleResetSeconds = 15.0;
 };
 
 /**
@@ -113,6 +124,10 @@ class SloTracker
         Gauge *targetGauge = nullptr;
         double targetSeconds = 0.0;
         std::vector<Bucket> window;
+
+        /** Absolute second of the newest record(); -1 before the
+         * first. Gates the idle burn-rate reset. */
+        int64_t lastRecordSecond = -1;
     };
 
     ModelState &stateFor(const std::string &model);

@@ -67,6 +67,37 @@ TEST(ClusterSim, SameSeedIsBitIdentical)
     }
 }
 
+TEST(ClusterSim, AdaptiveFairShareSameSeedIsBitIdentical)
+{
+    // The adaptive + fair-share dispatch policies (DESIGN.md §16)
+    // must preserve the simulator's bit-determinism guarantee: the
+    // scheduler is clock-free and ticks on virtual event time
+    // only.
+    ClusterTrace trace = generateTrace(mixSpec(3000.0, 5.0, 3));
+    ClusterConfig config = smallCluster(RoutePolicy::PowerOfTwo);
+    config.deadlineSeconds = 0.050;
+    config.node.sloSeconds = 0.050;
+    config.node.adaptiveBatch = true;
+    config.node.fairShare = true;
+    config.node.tenantWeights["IMC"] = 2.0;
+    ClusterResult a = runClusterSim(config, trace);
+    ClusterResult b = runClusterSim(config, trace);
+    EXPECT_EQ(a.traceHash, b.traceHash);
+    EXPECT_EQ(a.eventsFired, b.eventsFired);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.lost, b.lost);
+    EXPECT_EQ(a.latency.p99, b.latency.p99);
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_GT(a.completed, 0u);
+
+    // And the policy must actually engage: with adaptive batching
+    // the event sequence differs from the static-batch baseline.
+    ClusterConfig baseline = smallCluster(RoutePolicy::PowerOfTwo);
+    baseline.deadlineSeconds = 0.050;
+    ClusterResult c = runClusterSim(baseline, trace);
+    EXPECT_NE(a.traceHash, c.traceHash);
+}
+
 TEST(ClusterSim, DifferentSeedChangesTheEventSequence)
 {
     ClusterTrace trace = generateTrace(mixSpec(3000.0, 5.0, 3));

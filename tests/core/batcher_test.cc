@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
 #include "nn/init.hh"
 #include "nn/net_def.hh"
+#include "telemetry/metrics.hh"
 
 namespace djinn {
 namespace core {
@@ -210,6 +212,74 @@ TEST_F(BatcherTest, FullQueueShedsWithOverloaded)
     EXPECT_EQ(ok + overloaded, 12);
     EXPECT_EQ(executor.queueFullSheds(),
               static_cast<uint64_t>(overloaded));
+}
+
+TEST_F(BatcherTest, AdmissionCapTracksShrunkenBatchTarget)
+{
+    // The bug-1 regression: the derived queue cap (4 x batch) was
+    // computed once from the static maxQueries. After the adaptive
+    // scheduler shrinks the dispatch target, admission must
+    // re-derive from the *current* target — with the stale cap
+    // (4 x 16 = 64) none of the 40 submits below would shed.
+    BatchOptions options;
+    options.maxQueries = 16;
+    options.maxDelay = 1.0; // dispatcher waits for peers
+    BatchingExecutor executor(registry_, options);
+
+    // Park the dispatcher so nothing drains while the burst lands.
+    std::atomic<bool> open{false};
+    executor.setDispatchGate(
+        [&open](const std::string &) { return open.load(); });
+    executor.setBatchTarget("tiny", 4); // live cap: 4 x 4 = 16
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 40; ++i)
+        futures.push_back(executor.submit("tiny", 1, {1, 2, 3, 4}));
+    EXPECT_EQ(executor.queueFullSheds(), 24u);
+
+    open.store(true);
+    int ok = 0, overloaded = 0;
+    for (auto &f : futures) {
+        InferenceResult result = f.get();
+        if (result.status.isOk())
+            ++ok;
+        else if (result.status.code() == StatusCode::Overloaded)
+            ++overloaded;
+    }
+    EXPECT_EQ(ok, 16);
+    EXPECT_EQ(overloaded, 24);
+}
+
+TEST_F(BatcherTest, OccupancyReportsAgainstCurrentTarget)
+{
+    // The bug-2 regression: djinn_batch_occupancy divided by the
+    // static tuned batch, so a full batch under a shrunken target
+    // read 4/16 = 0.25 instead of 1.0.
+    telemetry::MetricRegistry metrics;
+    BatchOptions options;
+    options.maxQueries = 16;
+    options.maxDelay = 1.0;
+    BatchingExecutor executor(registry_, options, &metrics);
+
+    std::atomic<bool> open{false};
+    executor.setDispatchGate(
+        [&open](const std::string &) { return open.load(); });
+    executor.setBatchTarget("tiny", 4);
+    EXPECT_EQ(executor.batchTarget("tiny"), 4);
+
+    std::vector<std::future<InferenceResult>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(executor.submit("tiny", 1, {1, 2, 3, 4}));
+    open.store(true);
+    for (auto &f : futures)
+        ASSERT_TRUE(f.get().status.isOk());
+
+    double occupancy = -1.0;
+    for (const telemetry::MetricSample &s : metrics.snapshot()) {
+        if (s.name == std::string("djinn_batch_occupancy"))
+            occupancy = s.value;
+    }
+    EXPECT_DOUBLE_EQ(occupancy, 1.0);
 }
 
 TEST_F(BatcherTest, ExpiredDeadlineShedsBeforeForward)

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "nn/init.hh"
 #include "nn/net_def.hh"
@@ -139,6 +140,64 @@ TEST(ModelRegistry, ShippedNetdefFilesLoadAndMatchZoo)
         EXPECT_EQ(loaded->outputShape(), zoo_net->outputShape())
             << name;
     }
+}
+
+TEST(ModelRegistry, InstancesShareWeightTensors)
+{
+    // Tenant instances (DESIGN.md §16) alias the base model's
+    // Network: no duplicate resident weight bytes, and the byte
+    // accounting dedups shared tensors.
+    ModelRegistry registry;
+    auto base = tinyNet("base");
+    uint64_t weight_bytes = base->weightBytes();
+    ASSERT_TRUE(registry.add(std::move(base)).isOk());
+
+    ASSERT_TRUE(registry.addInstance("tenant-a", "base").isOk());
+    ASSERT_TRUE(registry.addInstance("tenant-b", "base").isOk());
+    EXPECT_EQ(registry.size(), 3u);
+    EXPECT_EQ(registry.find("tenant-a").get(),
+              registry.find("base").get());
+    EXPECT_EQ(registry.instanceCount("base"), 3u);
+    EXPECT_EQ(registry.instanceCount("tenant-a"), 3u);
+    EXPECT_EQ(registry.totalWeightBytes(), weight_bytes);
+}
+
+TEST(ModelRegistry, AddInstanceRejectsMissingBaseAndDuplicates)
+{
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.add(tinyNet("base")).isOk());
+    EXPECT_EQ(registry.addInstance("t", "missing").code(),
+              StatusCode::NotFound);
+    ASSERT_TRUE(registry.addInstance("t", "base").isOk());
+    EXPECT_EQ(registry.addInstance("t", "base").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(registry.addInstance("base", "base").code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(ModelRegistry, UnloadReleasesWeightsAtLastInstance)
+{
+    // The refcount lifecycle: unloading one tenant keeps the
+    // shared weights resident for the others; unloading the last
+    // holder frees them.
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.add(tinyNet("base")).isOk());
+    ASSERT_TRUE(registry.addInstance("tenant", "base").isOk());
+    std::weak_ptr<const nn::Network> weights =
+        registry.find("base");
+    ASSERT_FALSE(weights.expired());
+
+    ASSERT_TRUE(registry.unload("tenant").isOk());
+    EXPECT_EQ(registry.find("tenant"), nullptr);
+    EXPECT_EQ(registry.instanceCount("base"), 1u);
+    EXPECT_FALSE(weights.expired());
+
+    ASSERT_TRUE(registry.unload("base").isOk());
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_TRUE(weights.expired());
+    EXPECT_EQ(registry.unload("base").code(),
+              StatusCode::NotFound);
+    EXPECT_EQ(registry.instanceCount("base"), 0u);
 }
 
 TEST(ModelRegistry, LoadFromMissingFileFails)

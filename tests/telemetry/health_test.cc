@@ -82,10 +82,14 @@ TEST(Health, BurnRateThresholds)
     HealthFixture f;
     Gauge &burn = f.registry.gauge(sloBurnRateMetricName,
                                    {{"model", "m"}});
+    Counter &requests = f.registry.counter("djinn_requests_total",
+                                           {{"model", "m"}});
     // Keep the sampler fresh while the burn gauge sits at 3x: over
-    // budget (degraded) but under the 10x unhealthy ceiling.
+    // budget (degraded) but under the 10x unhealthy ceiling. The
+    // model must be serving traffic for the rule to consider it.
     for (int t = 0; t <= 20; ++t) {
         burn.set(3.0);
+        requests.inc(5);
         f.sampleAt(static_cast<double>(t));
     }
     HealthVerdict verdict = f.monitor.evaluateNow();
@@ -97,10 +101,33 @@ TEST(Health, BurnRateThresholds)
 
     for (int t = 21; t <= 40; ++t) {
         burn.set(25.0);
+        requests.inc(5);
         f.sampleAt(static_cast<double>(t));
     }
     verdict = f.monitor.evaluateNow();
     EXPECT_EQ(verdict.level, HealthLevel::Unhealthy);
+}
+
+TEST(Health, IdleModelBurnGaugeNeverDegrades)
+{
+    // The satellite regression test: a burn gauge stuck high for a
+    // model with ZERO request traffic in the window (a stale burst,
+    // or a gauge that was never idle-reset) must not trip the
+    // burn-rate rule — idle models cannot be burning budget.
+    // Pre-fix the rule alerted on the gauge alone and this read
+    // Unhealthy.
+    HealthFixture f;
+    Gauge &burn = f.registry.gauge(sloBurnRateMetricName,
+                                   {{"model", "idle"}});
+    f.registry.counter("djinn_requests_total",
+                       {{"model", "idle"}});
+    for (int t = 0; t <= 20; ++t) {
+        burn.set(25.0);
+        f.sampleAt(static_cast<double>(t));
+    }
+    HealthVerdict verdict = f.monitor.evaluateNow();
+    EXPECT_EQ(verdict.level, HealthLevel::Ok) << verdict.toString();
+    EXPECT_TRUE(verdict.reasons.empty());
 }
 
 TEST(Health, ShedRateCeiling)
@@ -252,8 +279,11 @@ TEST(Health, TickExportsGaugesAndRetainsVerdict)
     HealthFixture f;
     Gauge &burn = f.registry.gauge(sloBurnRateMetricName,
                                    {{"model", "m"}});
+    Counter &requests = f.registry.counter("djinn_requests_total",
+                                           {{"model", "m"}});
     for (int t = 0; t <= 20; ++t) {
         burn.set(3.0);
+        requests.inc(5);
         f.sampleAt(static_cast<double>(t));
     }
     f.monitor.tick();

@@ -125,6 +125,40 @@ TEST(SloTrackerTest, WindowExpiryForgetsOldFailures)
     EXPECT_EQ(sampleValue(registry, sloBadMetricName, "m"), 1.0);
 }
 
+TEST(SloTrackerTest, IdleModelResetsBurnBeforeWindowExpiry)
+{
+    // The satellite regression test: the burn rate is a fraction
+    // of in-window traffic, so a model that stops serving after a
+    // bad burst would otherwise pin burn = 1/(1 - objective) for
+    // the full window. Idle models must read 0 once the idle
+    // horizon passes, long before the window forgets the burst.
+    MetricRegistry registry;
+    SloOptions options;
+    options.windowSeconds = 60.0;
+    options.idleResetSeconds = 15.0;
+    double now = 0.0;
+    SloTracker slo(registry, options, [&]() { return now; });
+
+    slo.record("m", 9.0); // bad burst at t=0, then silence
+    EXPECT_GT(slo.burnRate("m"), 0.0);
+
+    // Recently active: the burst still burns.
+    now = 5.0;
+    EXPECT_GT(slo.burnRate("m"), 0.0);
+
+    // Idle past the reset horizon but well inside the 60 s window:
+    // pre-fix this still read 100 (1 bad / 1 total / 0.01 budget).
+    now = 30.0;
+    slo.updateBurnRates();
+    EXPECT_DOUBLE_EQ(slo.burnRate("m"), 0.0);
+    EXPECT_DOUBLE_EQ(
+        sampleValue(registry, sloBurnRateMetricName, "m"), 0.0);
+
+    // Traffic resumes: live accounting picks right back up.
+    slo.record("m", 9.0);
+    EXPECT_GT(slo.burnRate("m"), 0.0);
+}
+
 TEST(SloTrackerTest, MixedTrafficAcrossSecondsAggregates)
 {
     MetricRegistry registry;

@@ -9,6 +9,8 @@
  *               [--duration SECONDS] [--requests N] [--batch N]
  *               [--batch-timeout-ms MS] [--queue-depth N]
  *               [--slo-ms MS] [--retries N] [--seed N]
+ *               [--sched static|adaptive|fair|hybrid]
+ *               [--tenant APP=WEIGHT[,APP=WEIGHT...]]
  *               [--apps IMC,ASR,...] [--sample-ms MS] [--json]
  *
  * Generates a synthetic open-loop trace over the Tonic mix (all
@@ -23,6 +25,13 @@
  * (power of two choices), jsq-d / po2-d (deadline-aware variants;
  * they shed requests whose SLO no node can meet). Deadline-aware
  * policies need --slo-ms.
+ *
+ * --sched selects the node-local dispatch policy (DESIGN.md §16):
+ * static (tuned batches, round-robin — the default), adaptive
+ * (SLO-driven batch sizing), fair (weighted fair sharing across
+ * tenants from --tenant), or hybrid (both). --tenant APP=WEIGHT
+ * gives APP its own tenant at that fair-share weight; unlisted
+ * apps share the default tenant at weight 1.
  */
 
 #include <cstdio>
@@ -55,6 +64,8 @@ usage()
         "    [--duration SECONDS] [--requests N] [--batch N]\n"
         "    [--batch-timeout-ms MS] [--queue-depth N]\n"
         "    [--slo-ms MS] [--retries N] [--seed N]\n"
+        "    [--sched static|adaptive|fair|hybrid]\n"
+        "    [--tenant APP=WEIGHT[,APP=WEIGHT...]]\n"
         "    [--apps IMC,ASR,...] [--sample-ms MS] [--json]\n");
     return 2;
 }
@@ -129,6 +140,39 @@ main(int argc, char **argv)
         } else if (arg == "--slo-ms") {
             config.deadlineSeconds =
                 1e-3 * parseDouble("--slo-ms", value());
+            config.node.sloSeconds = config.deadlineSeconds;
+        } else if (arg == "--sched") {
+            std::string mode = value();
+            if (mode == "static") {
+                config.node.adaptiveBatch = false;
+                config.node.fairShare = false;
+            } else if (mode == "adaptive") {
+                config.node.adaptiveBatch = true;
+            } else if (mode == "fair") {
+                config.node.fairShare = true;
+            } else if (mode == "hybrid") {
+                config.node.adaptiveBatch = true;
+                config.node.fairShare = true;
+            } else {
+                fatal("--sched wants static|adaptive|fair|hybrid, "
+                      "got '%s'", mode.c_str());
+            }
+        } else if (arg == "--tenant") {
+            for (const std::string &pair : split(value(), ',')) {
+                size_t eq = pair.find('=');
+                if (eq == std::string::npos || eq == 0)
+                    fatal("--tenant wants APP=WEIGHT pairs, got "
+                          "'%s'", pair.c_str());
+                double weight =
+                    parseDouble("--tenant", pair.c_str() + eq + 1);
+                if (weight <= 0.0)
+                    fatal("--tenant weight must be positive");
+                // Validate the app name eagerly for a clear error.
+                serve::App app =
+                    serve::appFromName(pair.substr(0, eq));
+                config.node.tenantWeights[serve::appName(app)] =
+                    weight;
+            }
         } else if (arg == "--retries") {
             config.retry.maxAttempts = 1 + static_cast<int>(
                 parseLong("--retries", value()));

@@ -9,6 +9,7 @@
  *   djinn_cli ... HOST PORT stats
  *   djinn_cli ... HOST PORT metrics [prometheus|json|requests]
  *   djinn_cli ... HOST PORT tail [PCT]
+ *   djinn_cli ... HOST PORT sched
  *   djinn_cli ... HOST PORT top [WINDOW_SECONDS]
  *   djinn_cli ... HOST PORT trace OUT.json [last_n]
  *   djinn_cli ... HOST PORT profile [SECONDS] [OUT.txt]
@@ -38,6 +39,13 @@
  * it clears the screen between frames and runs until interrupted;
  * piped, it prints --frames frames (default 1) of plain text, so
  * scripts and tests can grep it.
+ *
+ * `sched` dumps the adaptive scheduler's live state as JSON: each
+ * model's current batch target, observed arrival rate, calibrated
+ * per-query service time, SLO and burn rate, plus each tenant's
+ * fair-share weight, deficit, and realised share of dispatch
+ * capacity. Requires a server started with `--sched adaptive`
+ * (DESIGN.md §16).
  *
  * `tail` asks the server's flight recorder where tail latency
  * comes from: it compares the pPCT-slowest requests (default p99)
@@ -88,8 +96,8 @@ usage()
                  "usage: djinn_cli [--timeout-ms N] [--retries N] "
                  "[--deadline-ms N] [--frames N] [--interval-ms N] "
                  "HOST PORT "
-                 "ping|list|stats|metrics|tail|top|trace|profile|"
-                 "infer [MODEL ROWS [payload.f32]]\n"
+                 "ping|list|stats|metrics|tail|sched|top|trace|"
+                 "profile|infer [MODEL ROWS [payload.f32]]\n"
                  "       metrics takes an optional format: "
                  "prometheus (default), json, or requests\n"
                  "       tail takes an optional percentile: "
@@ -255,6 +263,18 @@ main(int argc, char **argv)
             return 1;
         }
         std::fputs(report.value().c_str(), stdout);
+        return 0;
+    }
+    if (command == "sched") {
+        // The Metrics verb's "sched" format dumps the adaptive
+        // scheduler's per-model targets and tenant fair shares.
+        auto state = client.metricsExposition("sched");
+        if (!state.isOk()) {
+            std::fprintf(stderr, "%s\n",
+                         state.status().toString().c_str());
+            return 1;
+        }
+        std::fputs(state.value().c_str(), stdout);
         return 0;
     }
     if (command == "top") {

@@ -15,6 +15,8 @@
  *          [--metrics-dump] [--metrics-dump-json]
  *          [--http-port N] [--no-tracing]
  *          [--profile-hz N] [--slo-ms X]
+ *          [--sched adaptive|static]
+ *          [--tenant NAME=MODEL[:WEIGHT]]...
  *          [--timeseries-cap N]
  *          [--netdef FILE --weights FILE]...
  *
@@ -57,6 +59,18 @@
  * a temporary window). --slo-ms X sets the per-model latency SLO
  * target driving the djinn_slo_* good/bad counters and burn-rate
  * gauges (default 50 ms; 0 disables SLO tracking).
+ *
+ * --sched adaptive enables the SLO-driven adaptive batch scheduler
+ * (DESIGN.md §16): each model's dispatch batch is sized from its
+ * observed arrival rate and calibrated batch service time so
+ * predicted latency stays inside the --slo-ms target, shrinking
+ * under burn-rate pressure (requires --batching). --tenant
+ * NAME=MODEL[:WEIGHT] (repeatable) registers a tenant-visible
+ * instance of MODEL named NAME that shares MODEL's weight tensors
+ * (no duplicate resident bytes) and receives a WEIGHT-proportional
+ * share of batch dispatch capacity via deficit round-robin
+ * (default weight 1). Inspect live state with
+ * `djinn_cli HOST PORT sched`.
  *
  * Overload & failure handling (DESIGN.md §10): --max-queue-depth N
  * caps each model's batch queue (0 derives 4 x batch size; excess
@@ -115,6 +129,8 @@ usage()
                  "[--metrics-dump-json]\n"
                  "              [--http-port N] [--no-tracing]\n"
                  "              [--profile-hz N] [--slo-ms X]\n"
+                 "              [--sched adaptive|static]\n"
+                 "              [--tenant NAME=MODEL[:WEIGHT]]...\n"
                  "              [--timeseries-cap N]\n"
                  "              [--netdef F --weights F]...\n");
 }
@@ -128,6 +144,7 @@ main(int argc, char **argv)
     config.port = 5555; // the historical DjiNN default port
     std::vector<std::string> model_names{"mnist", "senna_pos"};
     std::vector<std::pair<std::string, std::string>> custom;
+    std::vector<std::pair<std::string, std::string>> tenants;
     uint64_t seed = 42;
     bool metrics_dump = false;
     bool metrics_json = false;
@@ -205,6 +222,46 @@ main(int argc, char **argv)
         } else if (arg == "--slo-ms") {
             config.sloTargetSeconds =
                 std::atof(next("--slo-ms")) * 1e-3;
+        } else if (arg == "--sched") {
+            std::string mode = next("--sched");
+            if (mode == "adaptive") {
+                config.adaptiveScheduling = true;
+            } else if (mode == "static") {
+                config.adaptiveScheduling = false;
+            } else {
+                std::fprintf(stderr,
+                             "--sched wants adaptive|static, "
+                             "got '%s'\n", mode.c_str());
+                return 2;
+            }
+        } else if (arg == "--tenant") {
+            std::string spec = next("--tenant");
+            size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= spec.size()) {
+                std::fprintf(stderr,
+                             "--tenant wants NAME=MODEL[:WEIGHT], "
+                             "got '%s'\n", spec.c_str());
+                return 2;
+            }
+            std::string name = spec.substr(0, eq);
+            std::string model = spec.substr(eq + 1);
+            double weight = 1.0;
+            size_t colon = model.find(':');
+            if (colon != std::string::npos) {
+                weight = std::atof(model.c_str() + colon + 1);
+                model = model.substr(0, colon);
+            }
+            if (model.empty() || weight <= 0.0) {
+                std::fprintf(stderr,
+                             "--tenant wants NAME=MODEL[:WEIGHT] "
+                             "with WEIGHT > 0, got '%s'\n",
+                             spec.c_str());
+                return 2;
+            }
+            tenants.emplace_back(name, model);
+            config.tenantWeights[name] = weight;
+            config.tenantModels[name] = name;
         } else if (arg == "--timeseries-cap") {
             int cap = std::atoi(next("--timeseries-cap"));
             if (cap < 2) {
@@ -277,6 +334,24 @@ main(int argc, char **argv)
                          netdef.c_str(), s.toString().c_str());
             return 1;
         }
+    }
+    for (const auto &[name, base] : tenants) {
+        Status s = registry.addInstance(name, base);
+        if (!s.isOk()) {
+            std::fprintf(stderr,
+                         "cannot register tenant '%s' on '%s': "
+                         "%s\n", name.c_str(), base.c_str(),
+                         s.toString().c_str());
+            return 1;
+        }
+        std::printf("tenant %s serves %s (weight %.3g, shared "
+                    "weights)\n", name.c_str(), base.c_str(),
+                    config.tenantWeights[name]);
+    }
+    if (config.adaptiveScheduling && !config.batching) {
+        std::fprintf(stderr,
+                     "--sched adaptive requires --batching\n");
+        return 2;
     }
     std::printf("%zu models resident (%.0f MiB, shared read-only)\n",
                 registry.size(),
